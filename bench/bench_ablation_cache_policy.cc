@@ -1,0 +1,57 @@
+// Ablation: static graph-derived replication (HET-GMP's 2D vertex-cut)
+// vs dynamic LRU caching (the cache-enabled architecture of HET [34], the
+// paper's predecessor) at equal replica capacity. The paper's thesis is
+// that placing replicas from the *global co-access structure* beats
+// reacting to the local access stream.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "comm/topology.h"
+#include "core/runner.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Static vertex-cut replication vs dynamic LRU caching",
+              "design comparison vs HET [34] (§3 'Related Work')");
+  const double scale = EnvScale(0.5);
+  const Topology topology = Topology::EightGpuQpi();
+  CtrDataset train = GenerateSyntheticCtr(CriteoLikeConfig(scale));
+  CtrDataset test = train.SplitTail(0.1);
+
+  std::printf("%10s %-10s %10s %14s %12s\n", "capacity", "policy", "AUC",
+              "emb KB/iter", "throughput");
+  for (double frac : {0.01, 0.05, 0.10}) {
+    for (bool lru : {false, true}) {
+      EngineConfig cfg;
+      cfg.strategy = Strategy::kHetGmp;
+      ApplyStrategyDefaults(&cfg);
+      cfg.batch_size = 512;
+      cfg.embedding_dim = 16;
+      cfg.bound.s = 100;
+      if (lru) {
+        cfg.replica_policy = ReplicaPolicy::kLruDynamic;
+        cfg.lru_capacity_fraction = frac;
+        cfg.hybrid_options.secondary_fraction = 0.0;
+      } else {
+        cfg.hybrid_options.secondary_fraction = frac;
+      }
+      ExperimentResult r =
+          RunExperiment(cfg, train, test, topology, /*max_epochs=*/2);
+      const RoundStats& last = r.train.rounds.back();
+      std::printf("%9.0f%% %-10s %10.4f %14.1f %10.1fM\n", 100 * frac,
+                  lru ? "LRU" : "static", r.train.final_auc,
+                  last.embedding_bytes /
+                      static_cast<double>(r.train.total_iterations) /
+                      1024.0,
+                  r.train.Throughput() / 1e6);
+    }
+  }
+  std::printf(
+      "\nexpected: at equal capacity, static vertex-cut replicas move "
+      "less embedding traffic than LRU (no cold-miss churn, globally "
+      "informed placement); the gap narrows as capacity grows.\n");
+  return 0;
+}

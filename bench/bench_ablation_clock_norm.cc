@@ -1,0 +1,52 @@
+// Ablation (DESIGN.md §4): access-frequency clock normalization (§5.3).
+// The inter-embedding check compares clocks of embeddings whose update
+// rates differ by orders of magnitude; without the p_j/p_i scaling, hot
+// and cold embeddings look mutually stale and the check triggers refresh
+// traffic that buys no model quality.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "comm/topology.h"
+#include "core/runner.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Ablation: frequency-normalized clocks in the inter-"
+              "embedding staleness check",
+              "design choice of §5.3 (clock normalization)");
+  const double scale = EnvScale(0.35);
+  const Topology topology = Topology::EightGpuQpi();
+  CtrDataset train = GenerateSyntheticCtr(AvazuLikeConfig(scale));
+  CtrDataset test = train.SplitTail(0.15);
+
+  std::printf("%-14s %10s %14s %16s %14s\n", "normalize", "AUC",
+              "stale flags", "inter-refreshes", "throughput");
+  for (bool normalize : {true, false}) {
+    EngineConfig cfg;
+    cfg.strategy = Strategy::kHetGmp;
+    ApplyStrategyDefaults(&cfg);
+    cfg.bound.s = 20;
+    cfg.bound.normalize_by_frequency = normalize;
+    cfg.batch_size = 256;
+    cfg.embedding_dim = 16;
+    cfg.hybrid_options.secondary_fraction = 0.05;
+    ExperimentResult r =
+        RunExperiment(cfg, train, test, topology, /*max_epochs=*/4);
+    const RoundStats& last = r.train.rounds.back();
+    std::printf("%-14s %10.4f %14lld %16lld %12.1fM\n",
+                normalize ? "on (paper)" : "off",
+                r.train.final_auc,
+                static_cast<long long>(last.inter_flags),
+                static_cast<long long>(last.inter_refreshes),
+                r.train.Throughput() / 1e6);
+  }
+  std::printf(
+      "\nexpected: without normalization, hot/cold clock pairs are flagged "
+      "stale pervasively (false positives the engine's refresh guard then "
+      "has to absorb); with it, flags track genuine staleness. AUC is "
+      "unaffected either way.\n");
+  return 0;
+}

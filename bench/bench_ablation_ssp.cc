@@ -1,0 +1,79 @@
+// Ablation: graph-based bounded asynchrony vs SSP (§3, §5.3). SSP bounds
+// staleness by *worker iteration age* with no view of per-embedding update
+// activity: a cached hot embedding (updated by everyone each iteration)
+// and a cold one (updated once an epoch) expire on the same schedule. The
+// graph-based bound instead reacts to actual update clocks per embedding.
+//
+// Comparison at matched refresh traffic: sweep SSP slack and graph bound
+// s; report refresh counts, embedding traffic, and final AUC.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "comm/topology.h"
+#include "core/runner.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+namespace {
+
+EngineConfig Base() {
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  cfg.batch_size = 256;
+  cfg.embedding_dim = 16;
+  cfg.hybrid_options.secondary_fraction = 0.05;
+  return cfg;
+}
+
+void Report(const char* label, const ExperimentResult& r) {
+  const RoundStats& last = r.train.rounds.back();
+  std::printf("%-24s %10.4f %14lld %14.1f %12.1fM\n", label,
+              r.train.final_auc,
+              static_cast<long long>(last.intra_refreshes),
+              last.embedding_bytes /
+                  static_cast<double>(r.train.total_iterations) / 1024.0,
+              r.train.Throughput() / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Graph-based bounded asynchrony vs SSP",
+              "§3/§5.3 design comparison (no figure; motivates the "
+              "graph view)");
+  const double scale = EnvScale(0.35);
+  const Topology topology = Topology::EightGpuQpi();
+  CtrDataset train = GenerateSyntheticCtr(CriteoLikeConfig(scale));
+  CtrDataset test = train.SplitTail(0.15);
+
+  std::printf("%-24s %10s %14s %14s %12s\n", "protocol", "AUC",
+              "refreshes", "emb KB/iter", "throughput");
+  for (int slack : {1, 4, 16}) {
+    EngineConfig cfg = Base();
+    cfg.consistency = ConsistencyMode::kSsp;
+    cfg.ssp_slack = slack;
+    char label[64];
+    std::snprintf(label, sizeof(label), "SSP(slack=%d)", slack);
+    Report(label,
+           RunExperiment(cfg, train, test, topology, /*max_epochs=*/4));
+  }
+  for (uint64_t s : {uint64_t{10}, uint64_t{50}, uint64_t{200}}) {
+    EngineConfig cfg = Base();
+    cfg.bound.s = s;
+    char label[64];
+    std::snprintf(label, sizeof(label), "graph-bounded(s=%llu)",
+                  static_cast<unsigned long long>(s));
+    Report(label,
+           RunExperiment(cfg, train, test, topology, /*max_epochs=*/4));
+  }
+  std::printf(
+      "\nexpected: SSP expires hot and cold replicas alike, so at any "
+      "slack it either refreshes far more (tight) or tolerates unbounded "
+      "per-embedding drift (loose). The graph-based bound tracks actual "
+      "update clocks and reaches the same AUC with less refresh "
+      "traffic.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 10: "Total throughput comparison for WDL under different number
+// of GPUs" (cluster B: NVLink islands of 4, QPI within a node, 10 GbE
+// between 8-GPU nodes). Paper shape: HugeCTR's total throughput *drops*
+// as workers spill across NVLink islands and machines; HET-GMP keeps
+// scaling and is up to 27.5x / 24.8x faster at high worker counts on
+// Criteo / Company.
+//
+// Throughput runs use a larger feature space than the convergence runs so
+// per-batch deduplication does not mask traffic (see DESIGN.md §5); AUC
+// is irrelevant here.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "comm/topology.h"
+#include "core/runner.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+namespace {
+
+double Throughput(Strategy strategy, const CtrDataset& train,
+                  const CtrDataset& test, int workers) {
+  const Topology topology = Topology::ClusterB(workers);
+  EngineConfig cfg;
+  cfg.strategy = strategy;
+  cfg.model = ModelType::kWdl;
+  ApplyStrategyDefaults(&cfg);
+  cfg.batch_size = 1024;
+  cfg.embedding_dim = 32;
+  cfg.rounds_per_epoch = 1;
+  // Scaled GPU memory budget: 5% of this (small) table per worker, the
+  // same relative overhead the paper's 1% is to its 33M-row tables; batch
+  // the hot-replica write-backs (allowed under the staleness bound) so
+  // they do not serialize on the inter-machine links.
+  cfg.hybrid_options.secondary_fraction = 0.08;
+  cfg.write_back_every = 4;
+  cfg.bound.s = 400;
+  ExperimentResult r =
+      RunExperiment(cfg, train, test, topology, /*max_epochs=*/1);
+  return r.train.Throughput();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Total throughput vs number of workers (cluster B)",
+              "Figure 10");
+  const double scale = EnvScale(0.6);
+  const int worker_counts[] = {1, 2, 4, 8, 16, 24};
+
+  for (auto data_cfg : {CriteoLikeConfig(scale), CompanyLikeConfig(scale)}) {
+    // Widen the feature space for traffic realism (dedup-resistant) and
+    // use the upper end of the generator's locality range (production
+    // co-access locality at the paper's scale is far stronger than our
+    // scaled synthetic default; see EXPERIMENTS.md).
+    data_cfg.num_features *= 6;
+    data_cfg.cluster_affinity = 0.92;
+    CtrDataset train = GenerateSyntheticCtr(data_cfg);
+    CtrDataset test = train.SplitTail(0.05);
+    std::printf("\n--- %s (million samples / simulated second) ---\n",
+                data_cfg.name.c_str());
+    std::printf("%8s %12s %12s %10s\n", "#workers", "HugeCTR", "HET-GMP",
+                "speedup");
+    for (int n : worker_counts) {
+      const double hugectr = Throughput(Strategy::kHugeCtr, train, test, n);
+      const double gmp = Throughput(Strategy::kHetGmp, train, test, n);
+      std::printf("%8d %12.2f %12.2f %9.1fx\n", n, hugectr / 1e6,
+                  gmp / 1e6, gmp / hugectr);
+    }
+  }
+  std::printf(
+      "\npaper shape: HugeCTR throughput collapses once traffic crosses "
+      "QPI (>4) and Ethernet (>8); HET-GMP stays robust and the gap "
+      "widens with scale (paper: up to 27.5x at 16 workers).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 3: "Embedding co-occurrence graph partition results" — METIS
+// clusters the co-occurrence graph into 8 clusters and the co-occurrence
+// mass concentrates in dense diagonal regions. We reproduce with the
+// multilevel partitioner and report (a) the within-cluster weight
+// fraction (diagonal mass) against the 1/k random baseline and (b) a
+// cluster-cluster weight heatmap (the diagonal blocks themselves).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "graph/cooccurrence.h"
+#include "metrics/comm_report.h"
+#include "partition/multilevel_partitioner.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+namespace {
+
+constexpr int kClusters = 8;  // "8 is only for illustrative purposes"
+
+std::vector<std::vector<uint64_t>> ClusterWeightMatrix(
+    const WeightedGraph& g, const std::vector<int>& cluster_of) {
+  std::vector<std::vector<uint64_t>> m(kClusters,
+                                       std::vector<uint64_t>(kClusters, 0));
+  for (int64_t u = 0; u < g.num_vertices(); ++u) {
+    for (int64_t e = 0; e < g.Degree(u); ++e) {
+      const auto& edge = g.Neighbors(u)[e];
+      m[cluster_of[u]][cluster_of[edge.to]] +=
+          static_cast<uint64_t>(edge.weight);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Co-occurrence graph clustering (dense diagonal blocks)",
+              "Figure 3");
+  const double scale = EnvScale(0.5);
+  for (const auto& cfg : PaperDatasets(scale)) {
+    CtrDataset data = GenerateSyntheticCtr(cfg);
+    WeightedGraph graph = BuildCooccurrenceGraph(data);
+    MultilevelPartitioner ml;
+    std::vector<int> clusters = ml.Cluster(graph, kClusters);
+
+    Rng rng(5);
+    std::vector<int> random(graph.num_vertices());
+    for (auto& c : random) c = static_cast<int>(rng.NextUint64(kClusters));
+
+    const double within = WithinClusterWeightFraction(graph, clusters);
+    const double baseline = WithinClusterWeightFraction(graph, random);
+    std::printf("\n%s: %lld embeddings, %lld co-occurrence edges\n",
+                cfg.name.c_str(),
+                static_cast<long long>(graph.num_vertices()),
+                static_cast<long long>(graph.num_edges()));
+    std::printf("  within-cluster weight: clustered %.1f%% vs random %.1f%% "
+                "(%.1fx)\n",
+                100 * within, 100 * baseline, within / baseline);
+    std::printf("  cluster-cluster co-occurrence heatmap "
+                "(diagonal = within-cluster):\n%s",
+                RenderPairHeatmap(ClusterWeightMatrix(graph, clusters))
+                    .c_str());
+  }
+  std::printf(
+      "\npaper shape: co-occurrence relations cluster into dense diagonal "
+      "regions on all three datasets.\n");
+  return 0;
+}

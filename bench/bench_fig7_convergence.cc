@@ -1,0 +1,126 @@
+// Figure 7: "Convergence performance comparison" — test-AUC-vs-time for
+// TF-PS, Parallax, HugeCTR, HET-MP and HET-GMP (s = 0 / 10 / 100) on
+// WDL & DCN × three datasets (8 workers). Paper shape:
+//  * TF-PS and Parallax never reach the AUC threshold in budget;
+//  * HugeCTR ≈ HET-MP;
+//  * HET-GMP reaches the threshold fastest (1.64-2.66x over HugeCTR,
+//    1.2-3.56x over HET-MP at s=100).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "comm/topology.h"
+#include "core/runner.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+namespace {
+
+struct Contender {
+  std::string label;
+  Strategy strategy;
+  uint64_t s = 100;
+};
+
+EngineConfig MakeConfig(const Contender& c, ModelType model) {
+  EngineConfig cfg;
+  cfg.strategy = c.strategy;
+  cfg.model = model;
+  ApplyStrategyDefaults(&cfg);
+  cfg.bound.s = c.s;
+  cfg.batch_size = 256;
+  cfg.embedding_dim = 16;
+  cfg.rounds_per_epoch = 8;  // fine-grained time-to-AUC resolution
+  return cfg;
+}
+
+// Simulated seconds until the run's AUC first reaches `target`; negative
+// if never.
+double TimeToTarget(const TrainResult& r, double target) {
+  for (const RoundStats& rs : r.rounds) {
+    if (rs.auc >= target) return rs.sim_time;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("End-to-end convergence comparison (8 workers, cluster A "
+              "node)",
+              "Figure 7 (a)-(f)");
+  const double scale = EnvScale(0.5);
+  const Topology topology = Topology::EightGpuQpi();
+
+  const std::vector<Contender> contenders = {
+      {"TF-PS", Strategy::kTfPs},
+      {"Parallax", Strategy::kParallax},
+      {"HugeCTR", Strategy::kHugeCtr},
+      {"HET-MP", Strategy::kHetMp},
+      {"HET-GMP(s=0)", Strategy::kHetGmp, 0},
+      {"HET-GMP(s=10)", Strategy::kHetGmp, 10},
+      {"HET-GMP(s=100)", Strategy::kHetGmp, 100},
+  };
+
+  for (ModelType model : {ModelType::kWdl, ModelType::kDcn}) {
+    for (const auto& data_cfg : PaperDatasets(scale)) {
+      CtrDataset train = GenerateSyntheticCtr(data_cfg);
+      CtrDataset test = train.SplitTail(0.15);
+
+      // Calibrate the AUC threshold from a reference HET-GMP run (the
+      // paper uses dataset-specific thresholds from the literature). The
+      // margin absorbs run-to-run variance of asynchronous training; the
+      // budget is the paper-style "given time threshold" that the CPU-PS
+      // systems miss.
+      EngineConfig ref_cfg = MakeConfig(contenders.back(), model);
+      ExperimentResult ref =
+          RunExperiment(ref_cfg, train, test, topology, /*max_epochs=*/5);
+      double best_ref = 0.0;
+      double ref_time_to_best = ref.train.total_sim_time;
+      for (const RoundStats& rs : ref.train.rounds) {
+        if (rs.auc > best_ref) {
+          best_ref = rs.auc;
+          ref_time_to_best = rs.sim_time;
+        }
+      }
+      const double target = best_ref - 0.012;
+      const double budget = ref_time_to_best * 2.5;
+
+      std::printf("\n--- %s on %s (AUC threshold %.4f) ---\n",
+                  ModelTypeName(model), data_cfg.name.c_str(), target);
+      std::printf("%-16s %14s %10s %12s\n", "system", "time-to-AUC(s)",
+                  "final AUC", "vs HugeCTR");
+      double hugectr_time = -1.0;
+      for (const auto& c : contenders) {
+        EngineConfig cfg = MakeConfig(c, model);
+        ExperimentResult r = RunExperiment(cfg, train, test, topology,
+                                           /*max_epochs=*/30, target,
+                                           budget);
+        const double t = TimeToTarget(r.train, target);
+        if (c.strategy == Strategy::kHugeCtr) hugectr_time = t;
+        char speedup[32] = "-";
+        if (t > 0 && hugectr_time > 0) {
+          std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                        hugectr_time / t);
+        }
+        char time_label[32];
+        if (t > 0) {
+          std::snprintf(time_label, sizeof(time_label), "%.4f", t);
+        } else {
+          std::snprintf(time_label, sizeof(time_label), "DNF(%.4f)",
+                        r.train.final_auc);
+        }
+        std::printf("%-16s %14s %10.4f %12s\n", c.label.c_str(), time_label,
+                    r.train.final_auc, speedup);
+      }
+    }
+  }
+  std::printf(
+      "\npaper shape: CPU-PS systems (TF-PS, Parallax) miss the threshold "
+      "within budget; HugeCTR tracks HET-MP; HET-GMP converges fastest, "
+      "with s=0 already ahead and s=100 fastest overall.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) for the library's hot kernels:
+// partitioning passes, Zipf sampling, AUC, the dense GEMM, and a full
+// engine training iteration. These guard the constants behind Table 3's
+// "partitioning time ≪ training time" claim.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/topology.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+#include "metrics/auc.h"
+#include "partition/bicut_partitioner.h"
+#include "partition/hybrid_partitioner.h"
+#include "partition/multilevel_partitioner.h"
+#include "partition/random_partitioner.h"
+#include "tensor/ops.h"
+
+namespace hetgmp {
+namespace {
+
+const CtrDataset& BenchDataset() {
+  static const CtrDataset* dataset = [] {
+    SyntheticCtrConfig cfg = CriteoLikeConfig(0.25);
+    return new CtrDataset(GenerateSyntheticCtr(cfg));
+  }();
+  return *dataset;
+}
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler sampler(1 << 20, 1.05);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::Gaussian({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Gaussian({n, n}, 1.0f, &rng);
+  Tensor out;
+  for (auto _ : state) {
+    MatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128);
+
+void BM_Auc(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  std::vector<float> scores(n), labels(n);
+  for (int64_t i = 0; i < n; ++i) {
+    scores[i] = rng.NextFloat(0, 1);
+    labels[i] = rng.NextBool(0.3) ? 1.0f : 0.0f;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAuc(scores, labels));
+  }
+}
+BENCHMARK(BM_Auc)->Arg(10000)->Arg(100000);
+
+void BM_RandomPartition(benchmark::State& state) {
+  Bigraph graph(BenchDataset());
+  for (auto _ : state) {
+    RandomPartitioner p;
+    benchmark::DoNotOptimize(p.Run(graph, 8).sample_owner.data());
+  }
+}
+BENCHMARK(BM_RandomPartition);
+
+void BM_BiCutPartition(benchmark::State& state) {
+  Bigraph graph(BenchDataset());
+  for (auto _ : state) {
+    BiCutPartitioner p;
+    benchmark::DoNotOptimize(p.Run(graph, 8).sample_owner.data());
+  }
+}
+BENCHMARK(BM_BiCutPartition);
+
+void BM_HybridPartition(benchmark::State& state) {
+  Bigraph graph(BenchDataset());
+  HybridPartitionerOptions opt;
+  opt.rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    HybridPartitioner p(opt);
+    benchmark::DoNotOptimize(p.Run(graph, 8).sample_owner.data());
+  }
+}
+BENCHMARK(BM_HybridPartition)->Arg(1)->Arg(3);
+
+void BM_MultilevelCluster(benchmark::State& state) {
+  WeightedGraph graph = BuildCooccurrenceGraph(BenchDataset());
+  MultilevelPartitioner ml;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml.Cluster(graph, 8).data());
+  }
+}
+BENCHMARK(BM_MultilevelCluster);
+
+void BM_EngineEpoch(benchmark::State& state) {
+  CtrDataset train = BenchDataset();
+  CtrDataset test = train.SplitTail(0.1);
+  const Topology topology = Topology::EightGpuQpi();
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  cfg.batch_size = 256;
+  cfg.embedding_dim = 16;
+  cfg.rounds_per_epoch = 1;
+  Bigraph graph(train);
+  Partition part = BuildPartition(cfg, graph, topology);
+  for (auto _ : state) {
+    Engine engine(cfg, train, test, topology, part);
+    benchmark::DoNotOptimize(engine.Train(1).samples_processed);
+  }
+}
+BENCHMARK(BM_EngineEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hetgmp
+
+BENCHMARK_MAIN();

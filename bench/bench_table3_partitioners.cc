@@ -1,0 +1,81 @@
+// Table 3: "Graph partitioning algorithms performance comparison" —
+// remote embedding communications per epoch and partitioning wall time
+// for Random, BiCut and our hybrid algorithm at 1/3/5 rounds, 8
+// partitions, on the three datasets. Paper shape: BiCut reduces 13.5-18.7%
+// over random; ours reduces 37-68% with most of the win by round 3, and
+// partitioning time stays negligible next to training.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/bigraph.h"
+#include "partition/bicut_partitioner.h"
+#include "partition/hybrid_partitioner.h"
+#include "partition/quality.h"
+#include "partition/random_partitioner.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+namespace {
+
+constexpr int kParts = 8;
+
+struct Row {
+  const char* label;
+  std::unique_ptr<Partitioner> partitioner;
+};
+
+std::vector<Row> MakeRows() {
+  std::vector<Row> rows;
+  rows.push_back({"Random", std::make_unique<RandomPartitioner>()});
+  rows.push_back({"BiCut", std::make_unique<BiCutPartitioner>()});
+  for (int rounds : {1, 3, 5}) {
+    HybridPartitionerOptions opt;
+    opt.rounds = rounds;
+    static const char* kLabels[] = {"Ours (1 round)", "Ours (3 rounds)",
+                                    "Ours (5 rounds)"};
+    rows.push_back({kLabels[rounds == 1 ? 0 : (rounds == 3 ? 1 : 2)],
+                    std::make_unique<HybridPartitioner>(opt)});
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Partitioning algorithm comparison (8 partitions)",
+              "Table 3");
+  const double scale = EnvScale(1.0);
+  for (const auto& data_cfg : PaperDatasets(scale)) {
+    CtrDataset data = GenerateSyntheticCtr(data_cfg);
+    Bigraph graph(data);
+    std::printf("\n--- %s ---\n", data_cfg.name.c_str());
+    std::printf("%-16s %16s %12s %10s\n", "Algorithm", "Communication",
+                "Reduction", "Time(ms)");
+    int64_t random_remote = 0;
+    for (auto& row : MakeRows()) {
+      const auto start = std::chrono::steady_clock::now();
+      Partition p = row.partitioner->Run(graph, kParts);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const PartitionQuality q = EvaluatePartition(graph, p);
+      if (random_remote == 0) random_remote = q.remote_accesses;
+      std::printf("%-16s %16lld %11.1f%% %10.0f\n", row.label,
+                  static_cast<long long>(q.remote_accesses),
+                  100.0 * (1.0 - static_cast<double>(q.remote_accesses) /
+                                     random_remote),
+                  ms);
+    }
+  }
+  std::printf(
+      "\npaper shape: BiCut 13.5-18.7%% reduction; ours 37-68%%, with "
+      "rounds 3→5 adding little; partition time negligible vs training "
+      "(<2%%).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Theorem 1 (§5.4): numerical verification of the convergence guarantees
+// of graph-based bounded asynchrony — Σ||x(t+1)−x(t)|| < ∞ (Eq. 7) and
+// F(mean iterate) − F_inf ≤ O(1/t) (Eq. 9) — for step sizes
+// η ∈ (0, 1/(L(1+2√(p·s)))), across a (workers, staleness) grid.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "theory/theorem1.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Bounded-staleness convergence guarantees", "Theorem 1 (§5.4)");
+  std::printf("%4s %4s %12s %14s %14s %12s %10s\n", "p", "s", "eta",
+              "final F", "sum||dx||", "tail-mass", "rate-exp");
+  for (int p : {1, 4, 8, 16}) {
+    for (uint64_t s : {uint64_t{0}, uint64_t{2}, uint64_t{8},
+                       uint64_t{32}}) {
+      Theorem1Config cfg;
+      cfg.num_workers = p;
+      cfg.staleness = s;
+      cfg.steps = 8000;
+      Theorem1Result r = RunTheorem1(cfg);
+      std::printf("%4d %4llu %12.3e %14.3e %14.4f %11.4f%% %10.2f\n", p,
+                  static_cast<unsigned long long>(s), r.step_size,
+                  r.final_objective, r.sum_step_norms,
+                  100.0 * r.tail_mass_fraction, r.rate_exponent);
+    }
+  }
+  std::printf(
+      "\nexpected: every (p, s) cell converges (final F ≈ 0); the step-norm "
+      "series is summable (tail mass → 0, Eq. 7); the mean-iterate gap "
+      "decays at least as fast as 1/t (rate exponent ≤ −1, Eq. 9). Larger "
+      "p·s forces a smaller theorem step size.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#ifndef HETGMP_BENCH_BENCH_UTIL_H_
+#define HETGMP_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the table/figure reproduction binaries.
+//
+// Every bench honours HETGMP_BENCH_SCALE (a float multiplier on dataset
+// sizes, default 1.0 of the bench's own choice) so the suite can be run
+// quickly on small machines: HETGMP_BENCH_SCALE=0.25 ./bench_fig7_...
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/stats.h"
+#include "data/synthetic.h"
+
+namespace hetgmp::bench {
+
+inline double EnvScale(double default_scale) {
+  const char* s = std::getenv("HETGMP_BENCH_SCALE");
+  if (s == nullptr) return default_scale;
+  const double v = std::atof(s);
+  return v > 0 ? v * default_scale : default_scale;
+}
+
+// The three evaluation datasets (Table 1 analogues), at a bench-chosen
+// scale.
+inline std::vector<SyntheticCtrConfig> PaperDatasets(double scale) {
+  return {AvazuLikeConfig(scale), CriteoLikeConfig(scale),
+          CompanyLikeConfig(scale)};
+}
+
+inline void PrintHeader(const char* what, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace hetgmp::bench
+
+#endif  // HETGMP_BENCH_BENCH_UTIL_H_

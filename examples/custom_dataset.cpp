@@ -1,0 +1,83 @@
+// Custom data end to end: parse a LibSVM-style CTR log, persist it in the
+// binary format, reload it, and train HET-GMP on it — the path a
+// downstream user takes to run the system on their own data.
+
+#include <cstdio>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "comm/topology.h"
+#include "common/random.h"
+#include "core/runner.h"
+#include "data/io.h"
+#include "data/stats.h"
+
+using namespace hetgmp;  // NOLINT — example brevity
+
+namespace {
+
+// Builds a small LibSVM-style text log (stand-in for a real exported
+// click log): 4 fields with 40/30/20/10 features, labels from a noisy
+// linear teacher over the field-0 feature.
+std::string MakeDemoLog(int64_t samples) {
+  std::vector<int64_t> offsets = {0, 40, 70, 90, 100};
+  Rng rng(2024);
+  std::ostringstream os;
+  os << "# demo click log: label f0 f1 f2 f3\n";
+  for (int64_t i = 0; i < samples; ++i) {
+    int64_t f0 = static_cast<int64_t>(rng.NextUint64(40));
+    const double logit = (static_cast<double>(f0) / 40.0 - 0.5) * 4.0 +
+                         rng.NextGaussian() * 0.7;
+    const int label = rng.NextBool(1.0 / (1.0 + std::exp(-logit))) ? 1 : 0;
+    os << label << " " << f0 << " " << 40 + rng.NextUint64(30) << " "
+       << 70 + rng.NextUint64(20) << " " << 90 + rng.NextUint64(10)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  // 1. Parse the text log.
+  const std::string log = MakeDemoLog(6000);
+  Result<CtrDataset> parsed =
+      ParseLibSvmCtr(log, "demo-log", /*num_fields=*/4, {0, 40, 70, 90, 100});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Persist + reload through the binary format.
+  const std::string path = "/tmp/hetgmp_demo_dataset.bin";
+  if (Status st = SaveDataset(parsed.value(), path); !st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Result<CtrDataset> loaded = LoadDataset(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  CtrDataset train = std::move(loaded).value();
+  CtrDataset test = train.SplitTail(0.2);
+  std::printf("dataset: %s\n", ComputeDatasetStats(train).ToString().c_str());
+
+  // 3. Train HET-GMP on it.
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  cfg.batch_size = 128;
+  cfg.embedding_dim = 8;
+  ExperimentResult r = RunExperiment(cfg, train, test,
+                                     Topology::FourGpuPcie(),
+                                     /*max_epochs=*/6);
+  std::printf("\n== %s ==\n%s", r.description.c_str(),
+              FormatConvergenceCurve(r.train).c_str());
+  std::printf("final AUC %.4f\n", r.train.final_auc);
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "comm/allreduce.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+uint64_t RingAllReduceBytesPerWorker(int num_workers,
+                                     uint64_t bytes_per_worker) {
+  if (num_workers <= 1) return 0;
+  return 2 * static_cast<uint64_t>(num_workers - 1) * bytes_per_worker /
+         static_cast<uint64_t>(num_workers);
+}
+
+double RingAllReduceTime(const Topology& topology,
+                         uint64_t bytes_per_worker) {
+  const int n = topology.num_workers();
+  if (n <= 1 || bytes_per_worker == 0) return 0.0;
+  // Ring order 0→1→...→n-1→0; 2(n-1) steps each moving a payload/n chunk
+  // over the slowest hop. Chunks are deeply pipelined (NCCL-style), so the
+  // per-step latency is not paid serially — the collective pays the
+  // bandwidth term plus roughly one round-trip of the worst link.
+  const double chunk = static_cast<double>(bytes_per_worker) / n;
+  double max_latency = 0.0;
+  double min_bw = topology.BandwidthBytesPerSec(0, n > 1 ? 1 : 0);
+  for (int w = 0; w < n; ++w) {
+    const int next = (w + 1) % n;
+    max_latency = std::max(max_latency, topology.LatencySec(w, next));
+    min_bw = std::min(min_bw, topology.BandwidthBytesPerSec(w, next));
+  }
+  return 2.0 * (n - 1) * chunk / min_bw + 2.0 * max_latency;
+}
+
+double RingAllReduceAverage(
+    Fabric* fabric, const std::vector<std::vector<Tensor*>>& replicas) {
+  const int n = static_cast<int>(replicas.size());
+  HETGMP_CHECK_GT(n, 0);
+  if (n == 1) return 0.0;
+  const size_t num_tensors = replicas[0].size();
+  uint64_t payload = 0;
+  for (Tensor* t : replicas[0]) payload += t->bytes();
+
+  // Semantics: average element-wise across workers.
+  for (size_t t = 0; t < num_tensors; ++t) {
+    Tensor* first = replicas[0][t];
+    for (int w = 1; w < n; ++w) {
+      HETGMP_CHECK_EQ(replicas[w].size(), num_tensors);
+      Tensor* other = replicas[w][t];
+      HETGMP_CHECK_EQ(other->size(), first->size());
+      for (int64_t i = 0; i < first->size(); ++i) {
+        first->at(i) += other->at(i);
+      }
+    }
+    const float inv = 1.0f / static_cast<float>(n);
+    for (int64_t i = 0; i < first->size(); ++i) first->at(i) *= inv;
+    for (int w = 1; w < n; ++w) {
+      Tensor* other = replicas[w][t];
+      for (int64_t i = 0; i < first->size(); ++i) {
+        other->at(i) = first->at(i);
+      }
+    }
+  }
+
+  // Cost accounting: each worker ships 2(n-1)/n of the payload around the
+  // ring; charge each hop so the pair counters reflect ring traffic.
+  const Topology& topo = fabric->topology();
+  const uint64_t per_hop_total =
+      RingAllReduceBytesPerWorker(n, payload);
+  for (int w = 0; w < n; ++w) {
+    fabric->Transfer(w, (w + 1) % n, per_hop_total,
+                     TrafficClass::kAllReduce);
+  }
+  return RingAllReduceTime(topo, payload);
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,34 @@
+#ifndef HETGMP_COMM_ALLREDUCE_H_
+#define HETGMP_COMM_ALLREDUCE_H_
+
+#include <vector>
+
+#include "comm/fabric.h"
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// Ring AllReduce over the simulated fabric (the dense-parameter path of
+// the hybrid architecture, §5). Semantically: every worker's tensors are
+// replaced by the element-wise average across workers. Cost model: the
+// standard 2(N-1) ring steps, each moving a 1/N chunk over that ring hop,
+// all hops overlapped — so the step time is the *slowest* hop's time.
+//
+// `replicas[w]` is worker w's list of dense parameter tensors; all workers
+// must pass identically-shaped lists. Returns the simulated seconds *per
+// worker* (every worker is busy for the whole collective) and charges the
+// fabric's AllReduce counters.
+double RingAllReduceAverage(Fabric* fabric,
+                            const std::vector<std::vector<Tensor*>>& replicas);
+
+// Cost-only variant used when the caller synchronizes values itself.
+double RingAllReduceTime(const Topology& topology, uint64_t bytes_per_worker);
+
+// Bytes each worker sends in a full ring AllReduce of a payload of
+// `bytes_per_worker`: 2 * (N-1)/N * payload.
+uint64_t RingAllReduceBytesPerWorker(int num_workers,
+                                     uint64_t bytes_per_worker);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMM_ALLREDUCE_H_

@@ -1,0 +1,121 @@
+#include "comm/fabric.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stringutil.h"
+
+namespace hetgmp {
+
+const char* TrafficClassName(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kEmbedding:
+      return "embedding";
+    case TrafficClass::kIndexClock:
+      return "index+clock";
+    case TrafficClass::kAllReduce:
+      return "allreduce";
+    default:
+      return "?";
+  }
+}
+
+Fabric::Fabric(const Topology& topology)
+    : topology_(topology), n_(topology.num_workers()) {
+  const int64_t cells =
+      static_cast<int64_t>(TrafficClass::kNumClasses) * n_ * n_;
+  bytes_ = std::make_unique<std::atomic<uint64_t>[]>(cells);
+  for (int64_t i = 0; i < cells; ++i) {
+    bytes_[i].store(0, std::memory_order_relaxed);
+  }
+  for (auto& h : host_bytes_) h.store(0, std::memory_order_relaxed);
+  machine_sharers_.assign(n_, 1);
+  for (int w = 0; w < n_; ++w) {
+    int count = 0;
+    for (int v = 0; v < n_; ++v) {
+      if (topology_.machine_of(v) == topology_.machine_of(w)) ++count;
+    }
+    machine_sharers_[w] = count;
+  }
+}
+
+double Fabric::Transfer(int src, int dst, uint64_t bytes, TrafficClass cls) {
+  HETGMP_CHECK_GE(src, 0);
+  HETGMP_CHECK_LT(src, n_);
+  HETGMP_CHECK_GE(dst, 0);
+  HETGMP_CHECK_LT(dst, n_);
+  if (src == dst || bytes == 0) return 0.0;
+  bytes_[Index(src, dst, cls)].fetch_add(bytes, std::memory_order_relaxed);
+  double bw = topology_.BandwidthBytesPerSec(src, dst);
+  // Point-to-point flows that leave the machine share its NIC with every
+  // co-located worker's flows (all workers communicate each iteration in
+  // steady state). Collectives are not divided — a ring crosses each NIC
+  // as a single stream (see RingAllReduceTime).
+  if (topology_.machine_of(src) != topology_.machine_of(dst)) {
+    bw /= static_cast<double>(machine_sharers_[src]);
+  }
+  return topology_.LatencySec(src, dst) + static_cast<double>(bytes) / bw;
+}
+
+double Fabric::TransferToHost(int worker, int host_machine, uint64_t bytes,
+                              TrafficClass cls) {
+  if (bytes == 0) return 0.0;
+  host_bytes_[static_cast<int>(cls)].fetch_add(bytes,
+                                               std::memory_order_relaxed);
+  return topology_.HostLatencySec(worker, host_machine) +
+         static_cast<double>(bytes) /
+             topology_.HostBandwidthBytesPerSec(worker, host_machine);
+}
+
+uint64_t Fabric::TotalBytes(TrafficClass cls) const {
+  uint64_t total =
+      host_bytes_[static_cast<int>(cls)].load(std::memory_order_relaxed);
+  for (int s = 0; s < n_; ++s) {
+    for (int d = 0; d < n_; ++d) {
+      total += bytes_[Index(s, d, cls)].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t Fabric::TotalBytes() const {
+  uint64_t total = 0;
+  for (int c = 0; c < static_cast<int>(TrafficClass::kNumClasses); ++c) {
+    total += TotalBytes(static_cast<TrafficClass>(c));
+  }
+  return total;
+}
+
+uint64_t Fabric::PairBytes(int src, int dst, TrafficClass cls) const {
+  return bytes_[Index(src, dst, cls)].load(std::memory_order_relaxed);
+}
+
+std::vector<std::vector<uint64_t>> Fabric::PairMatrix(
+    TrafficClass cls) const {
+  std::vector<std::vector<uint64_t>> m(n_, std::vector<uint64_t>(n_, 0));
+  for (int s = 0; s < n_; ++s) {
+    for (int d = 0; d < n_; ++d) m[s][d] = PairBytes(s, d, cls);
+  }
+  return m;
+}
+
+void Fabric::ResetCounters() {
+  const int64_t cells =
+      static_cast<int64_t>(TrafficClass::kNumClasses) * n_ * n_;
+  for (int64_t i = 0; i < cells; ++i) {
+    bytes_[i].store(0, std::memory_order_relaxed);
+  }
+  for (auto& h : host_bytes_) h.store(0, std::memory_order_relaxed);
+}
+
+std::string Fabric::ReportString() const {
+  std::ostringstream os;
+  os << "fabric[" << topology_.name() << "]";
+  for (int c = 0; c < static_cast<int>(TrafficClass::kNumClasses); ++c) {
+    const auto cls = static_cast<TrafficClass>(c);
+    os << " " << TrafficClassName(cls) << "=" << HumanBytes(TotalBytes(cls));
+  }
+  return os.str();
+}
+
+}  // namespace hetgmp

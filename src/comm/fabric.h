@@ -1,0 +1,75 @@
+#ifndef HETGMP_COMM_FABRIC_H_
+#define HETGMP_COMM_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/topology.h"
+
+namespace hetgmp {
+
+// Traffic categories matching the Figure 8 breakdown.
+enum class TrafficClass {
+  kEmbedding = 0,   // embedding values and their gradients
+  kIndexClock = 1,  // sparse indexes + clock metadata
+  kAllReduce = 2,   // dense-parameter synchronization
+  kNumClasses = 3,
+};
+
+const char* TrafficClassName(TrafficClass c);
+
+// The simulated interconnect. Every remote operation in the engine goes
+// through Transfer(), which (a) tallies exact byte counts per (src, dst,
+// class) and (b) returns the simulated wall time the transfer would take
+// on the modeled link (latency + bytes/bandwidth). The engine adds that
+// time to the issuing worker's simulated clock.
+//
+// Thread-safe: counters are relaxed atomics (read coherently only after
+// workers quiesce, which is how the benches use them).
+class Fabric {
+ public:
+  explicit Fabric(const Topology& topology);
+
+  const Topology& topology() const { return topology_; }
+  int num_workers() const { return topology_.num_workers(); }
+
+  // Accounts a src→dst transfer and returns its simulated duration in
+  // seconds. src == dst is free (local memory traffic is part of compute).
+  double Transfer(int src, int dst, uint64_t bytes, TrafficClass cls);
+
+  // GPU worker ↔ CPU host of `host_machine` (parameter-server path).
+  // Counted under `cls` in the worker's row with dst = src (host traffic
+  // has no peer worker; the pair matrix tracks worker-to-worker traffic).
+  double TransferToHost(int worker, int host_machine, uint64_t bytes,
+                        TrafficClass cls);
+
+  // --- Counter access (call after workers quiesce) ---
+  uint64_t TotalBytes(TrafficClass cls) const;
+  uint64_t TotalBytes() const;
+  uint64_t PairBytes(int src, int dst, TrafficClass cls) const;
+  // Worker-to-worker embedding traffic matrix (Figure 9(b)).
+  std::vector<std::vector<uint64_t>> PairMatrix(TrafficClass cls) const;
+
+  void ResetCounters();
+
+  std::string ReportString() const;
+
+ private:
+  int64_t Index(int src, int dst, TrafficClass cls) const {
+    return (static_cast<int64_t>(cls) * n_ + src) * n_ + dst;
+  }
+
+  const Topology& topology_;
+  const int n_;
+  std::vector<int> machine_sharers_;  // workers on each worker's machine
+  std::unique_ptr<std::atomic<uint64_t>[]> bytes_;
+  std::atomic<uint64_t> host_bytes_[static_cast<int>(
+      TrafficClass::kNumClasses)];
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMM_FABRIC_H_

@@ -1,0 +1,216 @@
+#include "comm/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+double LinkBandwidthBytesPerSec(LinkType type) {
+  // Effective (not peak) per-direction bandwidths.
+  switch (type) {
+    case LinkType::kLocal:
+      return 600e9;  // on-device memory path; effectively free
+    case LinkType::kNvlink:
+      return 120e9;
+    case LinkType::kPcie:
+      return 12e9;
+    case LinkType::kQpi:
+      return 7e9;
+    case LinkType::kEth10G:
+      return 1.1e9;
+    case LinkType::kEth1G:
+      return 0.11e9;
+  }
+  return 1e9;
+}
+
+double LinkLatencySec(LinkType type) {
+  switch (type) {
+    case LinkType::kLocal:
+      return 0.0;
+    case LinkType::kNvlink:
+      return 2e-6;
+    case LinkType::kPcie:
+      return 3e-6;
+    case LinkType::kQpi:
+      return 2e-6;
+    case LinkType::kEth10G:
+      return 25e-6;
+    case LinkType::kEth1G:
+      return 50e-6;
+  }
+  return 1e-5;
+}
+
+const char* LinkTypeName(LinkType type) {
+  switch (type) {
+    case LinkType::kLocal:
+      return "local";
+    case LinkType::kNvlink:
+      return "NVLink";
+    case LinkType::kPcie:
+      return "PCIe";
+    case LinkType::kQpi:
+      return "QPI";
+    case LinkType::kEth10G:
+      return "10GbE";
+    case LinkType::kEth1G:
+      return "1GbE";
+  }
+  return "?";
+}
+
+Topology::Topology(std::string name, std::vector<int> machine_of,
+                   std::vector<std::vector<LinkType>> links)
+    : name_(std::move(name)),
+      machine_of_(std::move(machine_of)),
+      links_(std::move(links)) {
+  const int n = num_workers();
+  HETGMP_CHECK_GT(n, 0);
+  HETGMP_CHECK_EQ(static_cast<int>(links_.size()), n);
+  for (const auto& row : links_) {
+    HETGMP_CHECK_EQ(static_cast<int>(row.size()), n);
+  }
+  num_machines_ = 1 + *std::max_element(machine_of_.begin(),
+                                        machine_of_.end());
+}
+
+namespace {
+
+// Builds an n-worker topology: intra_group within groups of `group_size`
+// on a machine, intra_machine across groups of one machine, inter_machine
+// otherwise. `machine_size` workers per machine.
+Topology BuildGrouped(std::string name, int num_workers, int machine_size,
+                      int group_size, LinkType intra_group,
+                      LinkType intra_machine, LinkType inter_machine) {
+  HETGMP_CHECK_GT(num_workers, 0);
+  std::vector<int> machine_of(num_workers);
+  for (int w = 0; w < num_workers; ++w) machine_of[w] = w / machine_size;
+  std::vector<std::vector<LinkType>> links(
+      num_workers, std::vector<LinkType>(num_workers, LinkType::kLocal));
+  for (int a = 0; a < num_workers; ++a) {
+    for (int b = 0; b < num_workers; ++b) {
+      if (a == b) continue;
+      if (machine_of[a] != machine_of[b]) {
+        links[a][b] = inter_machine;
+      } else if (a / group_size != b / group_size) {
+        links[a][b] = intra_machine;
+      } else {
+        links[a][b] = intra_group;
+      }
+    }
+  }
+  return Topology(std::move(name), std::move(machine_of), std::move(links));
+}
+
+}  // namespace
+
+Topology Topology::FourGpuNvlink() {
+  return BuildGrouped("4-GPU NVLink", 4, 4, 4, LinkType::kNvlink,
+                      LinkType::kNvlink, LinkType::kEth10G);
+}
+
+Topology Topology::FourGpuPcie() {
+  return BuildGrouped("4-GPU PCIe", 4, 4, 4, LinkType::kPcie,
+                      LinkType::kPcie, LinkType::kEth1G);
+}
+
+Topology Topology::EightGpuQpi() {
+  // Two 4-GPU PCIe switch groups joined by QPI.
+  return BuildGrouped("8-GPU QPI", 8, 8, 4, LinkType::kPcie, LinkType::kQpi,
+                      LinkType::kEth1G);
+}
+
+Topology Topology::ClusterA(int num_workers) {
+  return BuildGrouped("cluster-A(" + std::to_string(num_workers) + ")",
+                      num_workers, 8, 4, LinkType::kPcie, LinkType::kQpi,
+                      LinkType::kEth1G);
+}
+
+Topology Topology::ClusterB(int num_workers) {
+  // NVLink forms islands of 4 GPUs; crossing islands inside a node rides
+  // QPI ("the inter-GPU connections change from NVLink to QPI and Ethernet
+  // when involving more GPUs", §7.4).
+  return BuildGrouped("cluster-B(" + std::to_string(num_workers) + ")",
+                      num_workers, 8, 4, LinkType::kNvlink, LinkType::kQpi,
+                      LinkType::kEth10G);
+}
+
+double Topology::BandwidthBytesPerSec(int a, int b) const {
+  return LinkBandwidthBytesPerSec(links_[a][b]);
+}
+
+double Topology::LatencySec(int a, int b) const {
+  return LinkLatencySec(links_[a][b]);
+}
+
+double Topology::HostBandwidthBytesPerSec(int worker,
+                                          int host_machine) const {
+  // The CPU parameter server is a shared resource: all GPUs of a machine
+  // funnel through one PCIe root complex and the host's memory bus, so the
+  // effective per-worker bandwidth is the link divided by the sharers.
+  // (This is the CPU-GPU bottleneck §3 attributes to PS designs.)
+  int sharers = 0;
+  for (int m : machine_of_) {
+    if (m == machine_of_[worker]) ++sharers;
+  }
+  double bw = LinkBandwidthBytesPerSec(LinkType::kPcie) /
+              std::max(1, sharers);
+  if (machine_of_[worker] == host_machine) return bw;
+  // Cross-machine host access additionally rides the slowest
+  // inter-machine link this worker has, shared with its co-located
+  // workers' flows like any other inter-machine traffic.
+  for (int b = 0; b < num_workers(); ++b) {
+    if (machine_of_[b] == host_machine) {
+      bw = std::min(bw, BandwidthBytesPerSec(worker, b) /
+                            std::max(1, sharers));
+    }
+  }
+  return bw;
+}
+
+double Topology::HostLatencySec(int worker, int host_machine) const {
+  // PS software stack (request handling, CPU-side lookup) dwarfs the raw
+  // link latency.
+  constexpr double kPsSoftwareLatency = 30e-6;
+  if (machine_of_[worker] == host_machine) {
+    return kPsSoftwareLatency + LinkLatencySec(LinkType::kPcie);
+  }
+  double lat = LinkLatencySec(LinkType::kPcie);
+  for (int b = 0; b < num_workers(); ++b) {
+    if (machine_of_[b] == host_machine) {
+      lat = std::max(lat, LatencySec(worker, b));
+    }
+  }
+  return kPsSoftwareLatency + lat;
+}
+
+std::vector<std::vector<double>> Topology::CommWeightMatrix() const {
+  const int n = num_workers();
+  // Cheapest (fastest) remote link defines weight 1.0.
+  double best_bw = 0.0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a != b) best_bw = std::max(best_bw, BandwidthBytesPerSec(a, b));
+    }
+  }
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      w[a][b] = best_bw / BandwidthBytesPerSec(a, b);
+    }
+  }
+  return w;
+}
+
+std::vector<std::vector<double>> Topology::UniformWeightMatrix() const {
+  const int n = num_workers();
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 1.0));
+  for (int a = 0; a < n; ++a) w[a][a] = 0.0;
+  return w;
+}
+
+}  // namespace hetgmp

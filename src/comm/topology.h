@@ -1,0 +1,81 @@
+#ifndef HETGMP_COMM_TOPOLOGY_H_
+#define HETGMP_COMM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetgmp {
+
+// Interconnect technologies with effective per-direction bandwidth. The
+// absolute values are calibration constants for the simulator (DESIGN.md
+// §2); the experiments depend on their *ratios*, which follow the hardware
+// in the paper's clusters.
+enum class LinkType {
+  kLocal,     // same device
+  kNvlink,    // intra-node NVLink mesh (cluster B)
+  kPcie,      // PCIe 3.0 x16 within a switch group (cluster A)
+  kQpi,       // cross-socket within a node
+  kEth10G,    // 10 Gb Ethernet between nodes (cluster B)
+  kEth1G,     // 1 Gb Ethernet between nodes (cluster A)
+};
+
+double LinkBandwidthBytesPerSec(LinkType type);
+double LinkLatencySec(LinkType type);
+const char* LinkTypeName(LinkType type);
+
+// A cluster of workers (simulated GPUs) plus a CPU host per machine (used
+// by the parameter-server baselines). Pairwise link types determine
+// bandwidth and latency; machines group workers for hierarchy-aware
+// partitioning.
+class Topology {
+ public:
+  // Generic constructor: machine_of[w] gives the machine hosting worker w;
+  // link(w1, w2) is derived from the builder presets below.
+  Topology(std::string name, std::vector<int> machine_of,
+           std::vector<std::vector<LinkType>> links);
+
+  // --- Presets matching the paper's experimental settings (§7) ---
+  // Figure 1 environments:
+  static Topology FourGpuNvlink();
+  static Topology FourGpuPcie();
+  static Topology EightGpuQpi();
+  // Cluster A: nodes of 8 PCIe GPUs (two 4-GPU switch groups joined by
+  // QPI), 1 GbE between nodes.
+  static Topology ClusterA(int num_workers);
+  // Cluster B: nodes of 8 NVLink GPUs, 10 GbE between nodes.
+  static Topology ClusterB(int num_workers);
+
+  const std::string& name() const { return name_; }
+  int num_workers() const { return static_cast<int>(machine_of_.size()); }
+  int num_machines() const { return num_machines_; }
+  int machine_of(int worker) const { return machine_of_[worker]; }
+
+  LinkType link(int a, int b) const { return links_[a][b]; }
+  double BandwidthBytesPerSec(int a, int b) const;
+  double LatencySec(int a, int b) const;
+
+  // GPU ↔ host CPU of the worker's machine (PCIe); a worker reaching
+  // another machine's host pays the inter-machine link instead.
+  double HostBandwidthBytesPerSec(int worker, int host_machine) const;
+  double HostLatencySec(int worker, int host_machine) const;
+
+  // Pairwise cost weights for the partitioner: cost(i,j) proportional to
+  // 1/bandwidth, normalized so the cheapest remote link weighs 1.0.
+  // (Figure 9's "hierarchical" policy; the paper sets inter-machine 10x
+  // intra-machine, which these weights reproduce on cluster B.)
+  std::vector<std::vector<double>> CommWeightMatrix() const;
+
+  // Uniform off-diagonal weights (Figure 9's "non-hierarchical" policy).
+  std::vector<std::vector<double>> UniformWeightMatrix() const;
+
+ private:
+  std::string name_;
+  std::vector<int> machine_of_;
+  std::vector<std::vector<LinkType>> links_;
+  int num_machines_ = 0;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMM_TOPOLOGY_H_

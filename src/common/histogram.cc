@@ -1,0 +1,129 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+double Histogram::BucketUpper(int b) {
+  // Bucket 0 holds values <= 0; bucket b holds (upper(b-1), upper(b)] with
+  // upper(b) = 10^((b-77)/5.1), giving ~5 buckets per decade.
+  if (b <= 0) return 0.0;
+  return std::pow(10.0, (b - 77) / 5.1);
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  int b = 0;
+  if (value > 0.0) {
+    b = static_cast<int>(std::ceil(std::log10(value) * 5.1 + 77.0));
+    b = std::clamp(b, 1, kNumBuckets - 1);
+  }
+  ++buckets_[b];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+}
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::min() const { return min_; }
+double Histogram::max() const { return max_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) return 0.0;
+  const double mean = Mean();
+  const double var =
+      std::max(0.0, sum_sq_ / static_cast<double>(count_) - mean * mean);
+  return std::sqrt(var);
+}
+
+double Histogram::Quantile(double p) const {
+  HETGMP_CHECK_GE(p, 0.0);
+  HETGMP_CHECK_LE(p, 1.0);
+  if (count_ == 0) return 0.0;
+  const double target = p * static_cast<double>(count_);
+  double seen = 0.0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += static_cast<double>(buckets_[b]);
+    if (seen >= target) {
+      const double lower = b == 0 ? min_ : BucketUpper(b - 1);
+      const double upper = BucketUpper(b);
+      // Interpolate within the bucket, clamped to the observed range.
+      const double frac =
+          buckets_[b] == 0
+              ? 1.0
+              : 1.0 - (seen - target) / static_cast<double>(buckets_[b]);
+      double q = lower + frac * (upper - lower);
+      return std::clamp(q, min_, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::Gini() const {
+  // Gini from bucket midpoints: G = Σ Σ |x_i - x_j| f_i f_j / (2 μ).
+  if (count_ == 0 || sum_ <= 0.0) return 0.0;
+  std::vector<std::pair<double, double>> mass;  // (midpoint, fraction)
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double lower = b == 0 ? 0.0 : BucketUpper(b - 1);
+    const double mid = 0.5 * (lower + BucketUpper(b));
+    mass.emplace_back(mid, static_cast<double>(buckets_[b]) /
+                               static_cast<double>(count_));
+  }
+  const double mu = Mean();
+  double acc = 0.0;
+  for (const auto& [xi, fi] : mass) {
+    for (const auto& [xj, fj] : mass) {
+      acc += std::abs(xi - xj) * fi * fj;
+    }
+  }
+  return acc / (2.0 * mu);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " stddev=" << StdDev()
+     << " min=" << min_ << " p50=" << Quantile(0.5)
+     << " p99=" << Quantile(0.99) << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,51 @@
+#ifndef HETGMP_COMMON_HISTOGRAM_H_
+#define HETGMP_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetgmp {
+
+// Streaming summary of a scalar distribution (degree skew, per-worker load,
+// iteration latencies). Keeps exact moments plus a log-scale bucket count;
+// quantiles are approximate (bucket interpolation).
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  double StdDev() const;
+
+  // Approximate p-quantile, p in [0, 1].
+  double Quantile(double p) const;
+
+  // Gini coefficient of positive added values; 0 = perfectly even,
+  // → 1 = maximally skewed. Approximated from buckets.
+  double Gini() const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 154;  // covers [0, 1e30) log-spaced
+  static double BucketUpper(int b);
+
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<int64_t> buckets_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMMON_HISTOGRAM_H_

@@ -1,0 +1,81 @@
+#ifndef HETGMP_COMMON_LOGGING_H_
+#define HETGMP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hetgmp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Minimum level that is actually emitted; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Stream-style log sink. Emits on destruction; `fatal` aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed values when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Turns a streamed expression into void so CHECK can sit inside a ternary
+// (operator& binds looser than << and tighter than ?:).
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace hetgmp
+
+#define HETGMP_LOG(level)                                                  \
+  ::hetgmp::internal_logging::LogMessage(::hetgmp::LogLevel::k##level,     \
+                                         __FILE__, __LINE__)               \
+      .stream()
+
+// Programmer-error assertions: abort with a message. Used for invariants
+// that indicate bugs rather than bad input (bad input gets a Status).
+#define HETGMP_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                          \
+         : ::hetgmp::internal_logging::Voidify() &                          \
+               ::hetgmp::internal_logging::LogMessage(                      \
+                   ::hetgmp::LogLevel::kError, __FILE__, __LINE__, true)    \
+                   .stream()                                                \
+               << "Check failed: " #cond " "
+
+#define HETGMP_CHECK_OK(expr)                                               \
+  do {                                                                      \
+    ::hetgmp::Status _st = (expr);                                          \
+    HETGMP_CHECK(_st.ok()) << _st.ToString();                               \
+  } while (0)
+
+#define HETGMP_CHECK_EQ(a, b) HETGMP_CHECK((a) == (b))
+#define HETGMP_CHECK_NE(a, b) HETGMP_CHECK((a) != (b))
+#define HETGMP_CHECK_LT(a, b) HETGMP_CHECK((a) < (b))
+#define HETGMP_CHECK_LE(a, b) HETGMP_CHECK((a) <= (b))
+#define HETGMP_CHECK_GT(a, b) HETGMP_CHECK((a) > (b))
+#define HETGMP_CHECK_GE(a, b) HETGMP_CHECK((a) >= (b))
+
+#endif  // HETGMP_COMMON_LOGGING_H_

@@ -1,0 +1,95 @@
+#ifndef HETGMP_COMMON_STATUS_H_
+#define HETGMP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace hetgmp {
+
+// Error categories used across the library. Kept deliberately small: the
+// library runs in-process and most failures are configuration errors.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+// Lightweight status object in the RocksDB/Abseil style. Functions that can
+// fail due to caller input return Status (or Result<T>); programmer errors
+// use CHECK macros from logging.h instead.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "InvalidArgument: num_parts must be > 0".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+// Result<T>: either a value or an error Status. Use value() only after
+// checking ok(); value() on an error aborts via CHECK.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+// Propagates errors to the caller: `HETGMP_RETURN_IF_ERROR(DoThing());`
+#define HETGMP_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::hetgmp::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMMON_STATUS_H_

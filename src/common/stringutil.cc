@@ -1,0 +1,67 @@
+#include "common/stringutil.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hetgmp {
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string HumanCount(double count) {
+  static const char* kUnits[] = {"", "k", "M", "B", "T"};
+  double v = count;
+  int unit = 0;
+  while (v >= 1000.0 && unit < 4) {
+    v /= 1000.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string JoinInts(const std::vector<int64_t>& values,
+                     const std::string& sep) {
+  std::ostringstream os;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << sep;
+    os << values[i];
+  }
+  return os.str();
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string Percent(double fraction) {
+  return FormatDouble(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,31 @@
+#ifndef HETGMP_COMMON_STRINGUTIL_H_
+#define HETGMP_COMMON_STRINGUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetgmp {
+
+// "1.5 GiB", "312.0 MiB", ... for log and report output.
+std::string HumanBytes(uint64_t bytes);
+
+// "1.2M", "34.5k" style counts.
+std::string HumanCount(double count);
+
+// Fixed-precision double rendering ("%.*f").
+std::string FormatDouble(double v, int precision);
+
+// Joins elements with `sep` using operator<< rendering.
+std::string JoinInts(const std::vector<int64_t>& values,
+                     const std::string& sep);
+
+// Left-pads `s` with spaces to at least `width` characters (for tables).
+std::string PadLeft(const std::string& s, size_t width);
+
+// Renders `fraction` (0..1) as "NN.N%".
+std::string Percent(double fraction);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMMON_STRINGUTIL_H_

@@ -1,0 +1,100 @@
+#include "common/threading.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+Barrier::Barrier(int num_threads) : num_threads_(num_threads) {
+  HETGMP_CHECK_GT(num_threads, 0);
+}
+
+bool Barrier::ArriveAndWait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t gen = generation_;
+  if (++waiting_ == num_threads_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return true;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+  return false;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  HETGMP_CHECK_GT(num_threads, 0);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    HETGMP_CHECK(!shutdown_);
+    queue_.push(std::move(fn));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      fn = std::move(queue_.front());
+      queue_.pop();
+    }
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int num_threads, int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  num_threads = std::max(1, std::min<int>(num_threads, n));
+  if (num_threads == 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int64_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace hetgmp

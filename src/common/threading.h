@@ -1,0 +1,74 @@
+#ifndef HETGMP_COMMON_THREADING_H_
+#define HETGMP_COMMON_THREADING_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hetgmp {
+
+// Reusable cyclic barrier for N participants. Used by the engine to
+// implement BSP supersteps and epoch boundaries across simulated workers.
+class Barrier {
+ public:
+  explicit Barrier(int num_threads);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  // Blocks until all participants arrive. Returns true on exactly one
+  // participant per generation (the "serial" thread), mirroring
+  // pthread_barrier's PTHREAD_BARRIER_SERIAL_THREAD.
+  bool ArriveAndWait();
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int waiting_ = 0;
+  uint64_t generation_ = 0;
+};
+
+// Fixed-size pool executing posted closures. Used for data generation and
+// evaluation parallelism (the training engine manages its own worker
+// threads directly, because workers own per-shard state).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> fn);
+
+  // Blocks until all submitted work has completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  static void ParallelFor(int num_threads, int64_t n,
+                          const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMMON_THREADING_H_

@@ -1,0 +1,79 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+namespace {
+
+// h(x) = x^-θ evaluated in log space for numerical stability.
+double HFunction(double x, double theta) {
+  return std::exp(-theta * std::log(x));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  HETGMP_CHECK_GE(n, 1u);
+  HETGMP_CHECK_GE(theta, 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - HFunction(2.0, theta_));
+}
+
+double ZipfSampler::H(double x) const {
+  // ∫ t^-θ dt: log(x) when θ==1, else (x^{1-θ} - 1)/(1-θ).
+  const double log_x = std::log(x);
+  if (std::abs(theta_ - 1.0) < 1e-12) return log_x;
+  return std::expm1((1.0 - theta_) * log_x) / (1.0 - theta_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::abs(theta_ - 1.0) < 1e-12) return std::exp(x);
+  return std::exp(std::log1p(x * (1.0 - theta_)) / (1.0 - theta_));
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  if (theta_ == 0.0 || n_ == 1) {
+    return rng->NextUint64(n_);
+  }
+  // Rejection-inversion (Hörmann & Derflinger 1996): invert the integral of
+  // the continuous majorizing density, then accept/reject against the
+  // discrete pmf. Expected iterations < 2 for all θ.
+  for (;;) {
+    const double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= s_ || u >= H(k + 0.5) - HFunction(k, theta_)) {
+      return static_cast<uint64_t>(k) - 1;  // shift to 0-based ids
+    }
+  }
+}
+
+double ZipfSampler::Pmf(uint64_t k) const {
+  HETGMP_CHECK_LT(k, n_);
+  if (normalizer_ < 0.0) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      sum += HFunction(static_cast<double>(i), theta_);
+    }
+    normalizer_ = sum;
+  }
+  return HFunction(static_cast<double>(k + 1), theta_) / normalizer_;
+}
+
+std::vector<double> EmpiricalZipfFrequencies(const ZipfSampler& sampler,
+                                             uint64_t draws, Rng* rng) {
+  std::vector<double> freq(sampler.n(), 0.0);
+  for (uint64_t i = 0; i < draws; ++i) {
+    freq[sampler.Sample(rng)] += 1.0;
+  }
+  for (auto& f : freq) f /= static_cast<double>(draws);
+  return freq;
+}
+
+}  // namespace hetgmp

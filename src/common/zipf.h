@@ -1,0 +1,51 @@
+#ifndef HETGMP_COMMON_ZIPF_H_
+#define HETGMP_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hetgmp {
+
+// Samples from a Zipf distribution over {0, 1, ..., n-1}: P(k) ∝ 1/(k+1)^θ.
+// This is the access-skew model the paper relies on ("highly skewed
+// power-law degree distributions", §4): with θ≈1 the top 1% of items absorb
+// the majority of accesses.
+//
+// Uses the rejection-inversion method of Hörmann & Derflinger (1996), which
+// is O(1) per sample with no table precomputation, so it stays cheap even
+// for n in the hundreds of millions.
+class ZipfSampler {
+ public:
+  // n: support size (must be >= 1); theta: exponent (>= 0; 0 is uniform).
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Exact probability mass of item k (for tests and normalization); O(n) to
+  // compute the normalizer on first call.
+  double Pmf(uint64_t k) const;
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+  mutable double normalizer_ = -1.0;  // lazily computed for Pmf()
+};
+
+// Convenience: empirical frequency of each item over `draws` samples.
+std::vector<double> EmpiricalZipfFrequencies(const ZipfSampler& sampler,
+                                             uint64_t draws, Rng* rng);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMMON_ZIPF_H_

@@ -1,0 +1,59 @@
+#include "core/config.h"
+
+#include <sstream>
+
+namespace hetgmp {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kTfPs:
+      return "TF-PS";
+    case Strategy::kParallax:
+      return "Parallax";
+    case Strategy::kHugeCtr:
+      return "HugeCTR";
+    case Strategy::kHetMp:
+      return "HET-MP";
+    case Strategy::kHetGmp:
+      return "HET-GMP";
+  }
+  return "?";
+}
+
+void ApplyStrategyDefaults(EngineConfig* config) {
+  switch (config->strategy) {
+    case Strategy::kTfPs:
+    case Strategy::kParallax:
+      config->placement = PlacementPolicy::kRandom;
+      config->consistency = ConsistencyMode::kAsp;
+      config->hybrid_options.secondary_fraction = 0.0;
+      break;
+    case Strategy::kHugeCtr:
+    case Strategy::kHetMp:
+      config->placement = PlacementPolicy::kRandom;
+      config->consistency = ConsistencyMode::kBsp;
+      config->hybrid_options.secondary_fraction = 0.0;
+      break;
+    case Strategy::kHetGmp:
+      config->placement = PlacementPolicy::kHybrid;
+      config->consistency = ConsistencyMode::kGraphBounded;
+      break;
+  }
+}
+
+std::string EngineConfig::ToString() const {
+  std::ostringstream os;
+  os << StrategyName(strategy) << "/" << ModelTypeName(model)
+     << " d=" << embedding_dim << " batch=" << batch_size
+     << " consistency=" << ConsistencyModeName(consistency);
+  if (consistency == ConsistencyMode::kGraphBounded) {
+    if (bound.unbounded()) {
+      os << " s=inf";
+    } else {
+      os << " s=" << bound.s;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hetgmp

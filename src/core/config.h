@@ -1,0 +1,115 @@
+#ifndef HETGMP_CORE_CONFIG_H_
+#define HETGMP_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "embed/embedding_table.h"
+#include "models/model.h"
+#include "partition/hybrid_partitioner.h"
+#include "sync/staleness.h"
+
+namespace hetgmp {
+
+// The training-system designs compared in §7. All run on the same engine
+// backbone (as the paper does with HET-MP, precisely to isolate the
+// placement/consistency policy from the implementation substrate):
+//
+//  kTfPs     TensorFlow-PS: embedding table on CPU hosts, every lookup and
+//            update crosses the GPU↔host link; dense parameters also pushed
+//            through the PS; fully asynchronous.
+//  kParallax Hybrid architecture: sparse via CPU PS, dense via AllReduce;
+//            fully asynchronous.
+//  kHugeCtr  GPU model parallelism: table hash-partitioned over GPU memory,
+//            remote fetch per batch, BSP.
+//  kHetMp    The paper's auxiliary baseline: this engine with random
+//            partitioning, no replication, BSP.
+//  kHetGmp   The full system: hybrid graph partitioning + vertex-cut
+//            replication + graph-based bounded asynchrony.
+enum class Strategy { kTfPs, kParallax, kHugeCtr, kHetMp, kHetGmp };
+
+const char* StrategyName(Strategy s);
+
+// Which placement algorithm produces the partition.
+enum class PlacementPolicy { kRandom, kBiCut, kHybrid };
+
+// How non-local embeddings are replicated on each worker:
+//  kStaticVertexCut — Algorithm 1's 2D pass decides membership up front
+//                     (HET-GMP's design);
+//  kLruDynamic      — a runtime LRU cache of fixed capacity (the
+//                     cache-enabled architecture of HET [34], kept here as
+//                     the design-comparison baseline).
+enum class ReplicaPolicy { kStaticVertexCut, kLruDynamic };
+
+struct EngineConfig {
+  Strategy strategy = Strategy::kHetGmp;
+  ModelType model = ModelType::kWdl;
+
+  int embedding_dim = 16;
+  int batch_size = 512;  // per worker
+  float dense_lr = 0.05f;
+  float embed_lr = 0.05f;
+  EmbeddingOptimizer embed_optimizer = EmbeddingOptimizer::kAdaGrad;
+  float embed_init_stddev = 0.01f;
+
+  // Consistency. Strategies pick their defaults via ApplyStrategyDefaults;
+  // HET-GMP honours `bound` (Table 2 sweeps bound.s).
+  ConsistencyMode consistency = ConsistencyMode::kGraphBounded;
+  StalenessBound bound;
+  // SSP iteration slack (only used when consistency == kSsp).
+  int ssp_slack = 4;
+
+  // Write-back batching for secondary replicas: a touched secondary
+  // flushes its accumulated gradient to the primary every k-th iteration
+  // (staggered by slot) instead of every iteration. 1 reproduces the
+  // paper's §6 protocol exactly; larger values trade primary freshness
+  // (still covered by the staleness bound — pending updates are local
+  // updates the bound accounts for) for less write-back traffic. All
+  // pending updates are force-flushed at round barriers.
+  int write_back_every = 1;
+
+  // Placement (HET-GMP defaults to kHybrid; baselines to kRandom).
+  PlacementPolicy placement = PlacementPolicy::kHybrid;
+  HybridPartitionerOptions hybrid_options;
+
+  // Replication mechanism; kLruDynamic replaces the static secondaries
+  // with an LRU cache holding lru_capacity_fraction of the global table.
+  ReplicaPolicy replica_policy = ReplicaPolicy::kStaticVertexCut;
+  double lru_capacity_fraction = 0.01;
+
+  // Simulated-compute calibration: effective device FLOP/s for the dense
+  // towers (a GPU-class device; this is what makes embedding communication
+  // dominate iteration time as in Figure 1). See DESIGN.md §5.
+  double device_flops = 8e12;
+
+  // Per-worker compute slowdown factors (straggler injection): worker w's
+  // compute time is multiplied by worker_slowdown[w]. Empty = all 1.0.
+  // Used by the straggler-resilience ablation (BSP pays the slowest
+  // worker every iteration; bounded asynchrony does not).
+  std::vector<double> worker_slowdown;
+
+  // Heterogeneity-aware load balancing (§3: the balancer considers
+  // computation too): when true, each worker's per-iteration batch is
+  // scaled by 1/worker_slowdown[w] and the hybrid partitioner targets
+  // capacity-proportional sample counts, so slow devices do less work per
+  // step instead of stalling everyone.
+  bool balance_batch_to_capacity = false;
+
+  // Barrier/evaluation cadence: each epoch is split into this many rounds;
+  // every round ends with a light global barrier where the runner may
+  // evaluate AUC and asynchronous modes re-average dense parameters.
+  int rounds_per_epoch = 4;
+
+  uint64_t seed = 12345;
+
+  std::string ToString() const;
+};
+
+// Fills strategy-implied fields (placement, consistency, replication) in
+// place; explicit user choices for `bound.s` are preserved.
+void ApplyStrategyDefaults(EngineConfig* config);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_CORE_CONFIG_H_

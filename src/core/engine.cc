@@ -1,0 +1,822 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "metrics/auc.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace hetgmp {
+
+namespace {
+
+// How a unique feature of the current batch was resolved.
+enum FeatKind : uint8_t {
+  kLocalPrimary = 0,  // this worker owns the primary — free access
+  kSecondary = 1,     // served by the local secondary cache
+  kRemoteFetch = 2,   // fetched from the owning worker this batch
+  kHostFetch = 3,     // parameter-server path (CPU host)
+};
+
+constexpr uint64_t kIdBytes = 8;     // sparse index entry
+constexpr uint64_t kClockBytes = 8;  // clock metadata entry
+
+}  // namespace
+
+// Per-worker mutable state. Only the owning worker thread touches it,
+// except `iter_count` (read by SSP throttling) and `sim_time` (read in the
+// round-barrier serial section while the worker is parked).
+struct Engine::WorkerState {
+  int id = 0;
+  Rng rng{0};
+  std::vector<int64_t> local_samples;
+  int64_t cursor = 0;
+  int64_t batch_size = 0;  // per-worker (capacity-scaled when configured)
+  std::atomic<int64_t> iter_count{0};
+
+  // Batch scratch (reused across iterations).
+  std::vector<int64_t> batch_samples;
+  std::vector<float> batch_labels;
+  std::vector<FeatureId> unique_feats;
+  std::unordered_map<FeatureId, int32_t> feat_index;
+  std::vector<uint8_t> feat_kind;
+  std::vector<int64_t> feat_slot;
+  std::vector<uint64_t> feat_clock;  // replica clock as gathered
+  Tensor unique_values;
+  Tensor unique_grads;
+  Tensor emb_in, demb_in, logits, dlogits;
+
+  // Per-iteration communication tallies, flushed into the fabric once per
+  // peer per iteration (the batched message protocol of §6).
+  std::vector<uint64_t> fetch_bytes;   // peer → me, embedding values
+  std::vector<uint64_t> push_bytes;    // me → peer, gradients
+  std::vector<uint64_t> index_bytes;   // me ↔ peer, ids and clocks
+  std::vector<uint64_t> host_fetch_bytes;  // per machine (PS path)
+  std::vector<uint64_t> host_push_bytes;
+  std::vector<uint64_t> host_index_bytes;
+
+  // Simulated clocks (seconds).
+  double sim_time = 0.0;
+  double compute_time = 0.0;
+  double comm_time = 0.0;
+
+  int64_t samples_done = 0;
+  double loss_sum = 0.0;
+  int64_t loss_count = 0;
+  int64_t remote_fetches = 0;
+  int64_t intra_refreshes = 0;
+  int64_t inter_refreshes = 0;
+  int64_t inter_flags = 0;
+
+  // SSP mode only: iteration at which each secondary slot was last
+  // refreshed (SSP caches expire by worker-iteration age, §3 — no graph
+  // view of per-embedding update activity).
+  std::vector<int64_t> ssp_refresh_iter;
+
+  std::unique_ptr<SgdOptimizer> dense_opt;
+};
+
+Engine::Engine(const EngineConfig& config, const CtrDataset& train,
+               const CtrDataset& test, const Topology& topology,
+               Partition partition)
+    : config_(config),
+      train_(train),
+      test_(test),
+      topology_(topology),
+      partition_(std::move(partition)),
+      bigraph_(train),
+      round_barrier_(topology.num_workers()),
+      iter_barrier_(topology.num_workers()) {
+  const int N = topology_.num_workers();
+  HETGMP_CHECK_EQ(partition_.num_parts, N);
+  HETGMP_CHECK_EQ(partition_.num_samples(), train_.num_samples());
+  HETGMP_CHECK_EQ(partition_.num_embeddings(), train_.num_features());
+
+  access_freq_ = bigraph_.AccessFrequencies();
+  table_ = std::make_unique<EmbeddingTable>(
+      train_.num_features(), config_.embedding_dim,
+      config_.embed_init_stddev, config_.seed + 7,
+      config_.embed_optimizer, config_.embed_lr);
+  clocks_ = std::make_unique<ClockTable>(N, train_.num_features());
+  fabric_ = std::make_unique<Fabric>(topology_);
+
+  lru_caches_.assign(N, nullptr);
+  for (int w = 0; w < N; ++w) {
+    if (config_.replica_policy == ReplicaPolicy::kLruDynamic) {
+      const int64_t capacity = static_cast<int64_t>(
+          config_.lru_capacity_fraction *
+          static_cast<double>(train_.num_features()));
+      auto lru = std::make_unique<LruEmbeddingCache>(capacity,
+                                                     config_.embedding_dim);
+      lru_caches_[w] = lru.get();
+      caches_.push_back(std::move(lru));
+    } else {
+      caches_.push_back(std::make_unique<SecondaryCache>(
+          partition_.secondaries[w], config_.embedding_dim));
+      // §6: "when the embedding table is created, space is allocated for
+      // both primary and secondary embeddings guided by the partition
+      // result" — secondaries start synchronized with their primaries
+      // (clock 0 on both sides).
+      ReplicaStore& cache = *caches_.back();
+      for (int64_t slot = 0; slot < cache.size(); ++slot) {
+        cache.SetValue(slot, table_->UnsafeRow(cache.IdAt(slot)));
+      }
+    }
+    // Identical seed → identical initial dense replicas (the AllReduce
+    // invariant of the hybrid architecture).
+    Rng model_rng(config_.seed + 1000);
+    models_.push_back(CreateFieldModel(config_.model, train_.num_fields(),
+                                       config_.embedding_dim, &model_rng));
+
+    auto ws = std::make_unique<WorkerState>();
+    ws->id = w;
+    ws->rng = Rng(config_.seed + 31 * w);
+    ws->fetch_bytes.assign(N, 0);
+    ws->push_bytes.assign(N, 0);
+    ws->index_bytes.assign(N, 0);
+    ws->host_fetch_bytes.assign(topology_.num_machines(), 0);
+    ws->host_push_bytes.assign(topology_.num_machines(), 0);
+    ws->host_index_bytes.assign(topology_.num_machines(), 0);
+    ws->ssp_refresh_iter.assign(caches_[w]->size(), 0);
+    ws->batch_size = config_.batch_size;
+    if (config_.balance_batch_to_capacity &&
+        static_cast<size_t>(w) < config_.worker_slowdown.size() &&
+        config_.worker_slowdown[w] > 0) {
+      ws->batch_size = std::max<int64_t>(
+          1, static_cast<int64_t>(config_.batch_size /
+                                  config_.worker_slowdown[w]));
+    }
+    ws->dense_opt = std::make_unique<SgdOptimizer>(config_.dense_lr);
+    workers_.push_back(std::move(ws));
+  }
+  for (int64_t s = 0; s < train_.num_samples(); ++s) {
+    workers_[partition_.sample_owner[s]]->local_samples.push_back(s);
+  }
+  // A worker with no local samples still participates in barriers; give it
+  // at least one sample so every iteration has work.
+  for (auto& ws : workers_) {
+    if (ws->local_samples.empty()) ws->local_samples.push_back(0);
+  }
+
+  iters_per_epoch_ = std::max<int64_t>(
+      1, (train_.num_samples() + static_cast<int64_t>(N) * config_.batch_size -
+          1) /
+             (static_cast<int64_t>(N) * config_.batch_size));
+}
+
+Engine::~Engine() = default;
+
+void Engine::RefreshSecondary(WorkerState* ws, FeatureId x, int64_t slot) {
+  // Pending local updates must reach the primary before the cached value
+  // is overwritten, or they would be lost.
+  FlushSecondary(ws, x, slot);
+  ReplicaStore& cache = *caches_[ws->id];
+  table_->ReadRow(x, cache.Value(slot));
+  const uint64_t clock = PrimaryClock(x);
+  cache.set_synced_clock(slot, clock);
+  clocks_->Set(ws->id, x, clock);
+  if (!ws->ssp_refresh_iter.empty()) {
+    ws->ssp_refresh_iter[slot] =
+        ws->iter_count.load(std::memory_order_relaxed);
+  }
+  const int owner = partition_.embedding_owner[x];
+  ws->fetch_bytes[owner] += table_->RowBytes();
+  ws->index_bytes[owner] += kIdBytes + kClockBytes;
+}
+
+void Engine::FlushSecondary(WorkerState* ws, FeatureId x, int64_t slot) {
+  ReplicaStore& cache = *caches_[ws->id];
+  const int64_t count = cache.pending_count(slot);
+  if (count == 0) return;
+  table_->ApplyGradient(x, cache.Pending(slot));
+  const int owner = partition_.embedding_owner[x];
+  // One flush = one update event on the primary clock ("local reduction
+  // then write to primaries", §6 — the reduced write-back is the unit of
+  // staleness, not its constituent sample gradients). The secondary has
+  // already applied the same update locally, so its synced clock advances
+  // too: it is only stale with respect to *foreign* updates.
+  clocks_->Increment(owner, x, 1);
+  cache.set_synced_clock(slot, cache.synced_clock(slot) + 1);
+  cache.ClearPending(slot);
+  ws->push_bytes[owner] += table_->RowBytes();
+  ws->index_bytes[owner] += kIdBytes;
+}
+
+void Engine::ResolveFeature(WorkerState* ws, FeatureId x, float* out) {
+  const int w = ws->id;
+  const bool ps_path = config_.strategy == Strategy::kTfPs ||
+                       config_.strategy == Strategy::kParallax;
+  if (ps_path) {
+    table_->ReadRow(x, out);
+    const int host = static_cast<int>(x % topology_.num_machines());
+    ws->host_fetch_bytes[host] += table_->RowBytes();
+    ws->host_index_bytes[host] += kIdBytes;
+    ws->feat_kind.push_back(kHostFetch);
+    ws->feat_slot.push_back(-1);
+    ws->feat_clock.push_back(0);
+    ++ws->remote_fetches;
+    return;
+  }
+
+  const int owner = partition_.embedding_owner[x];
+  if (owner == w) {
+    table_->ReadRow(x, out);
+    ws->feat_kind.push_back(kLocalPrimary);
+    ws->feat_slot.push_back(-1);
+    ws->feat_clock.push_back(PrimaryClock(x));
+    return;
+  }
+
+  ReplicaStore& cache = *caches_[w];
+  const int64_t slot = cache.Slot(x);
+  if (slot >= 0) {
+    // Intra-embedding synchronization (① in Figure 6): compare the cached
+    // replica's clock against the primary's; refresh when the gap exceeds
+    // s. The clock exchange itself is index+clock traffic. Under SSP the
+    // cache instead expires by worker-iteration age — SSP has no view of
+    // per-embedding update activity (§3).
+    ws->index_bytes[owner] += kIdBytes + kClockBytes;
+    bool stale;
+    if (config_.consistency == ConsistencyMode::kSsp) {
+      const int64_t it = ws->iter_count.load(std::memory_order_relaxed);
+      stale = it - ws->ssp_refresh_iter[slot] > config_.ssp_slack;
+    } else {
+      stale = !IntraEmbeddingFresh(cache.synced_clock(slot),
+                                   PrimaryClock(x), config_.bound);
+    }
+    if (stale) {
+      RefreshSecondary(ws, x, slot);
+      ++ws->intra_refreshes;
+    }
+    const float* v = cache.Value(slot);
+    for (int c = 0; c < config_.embedding_dim; ++c) out[c] = v[c];
+    ws->feat_kind.push_back(kSecondary);
+    ws->feat_slot.push_back(slot);
+    ws->feat_clock.push_back(cache.synced_clock(slot));
+    return;
+  }
+
+  // No replica: fetch the primary row for this batch.
+  table_->ReadRow(x, out);
+  ws->fetch_bytes[owner] += table_->RowBytes();
+  ws->index_bytes[owner] += kIdBytes;
+  ++ws->remote_fetches;
+
+  // Dynamic caching (HET-style): admit the fetched row into the LRU
+  // cache, unless the eviction victim is another feature of this very
+  // batch (whose slot is already referenced by earlier resolutions).
+  LruEmbeddingCache* lru = lru_caches_[w];
+  if (lru != nullptr && lru->size() > 0) {
+    const int64_t victim = lru->EvictionCandidate();
+    const FeatureId victim_id = victim >= 0 ? lru->IdAt(victim) : -1;
+    if (victim_id < 0 || ws->feat_index.find(victim_id) ==
+                             ws->feat_index.end()) {
+      if (victim_id >= 0) FlushSecondary(ws, victim_id, victim);
+      const int64_t new_slot = lru->Insert(x);
+      lru->SetValue(new_slot, out);
+      const uint64_t clock = PrimaryClock(x);
+      lru->set_synced_clock(new_slot, clock);
+      clocks_->Set(w, x, clock);
+      if (!ws->ssp_refresh_iter.empty()) {
+        ws->ssp_refresh_iter[new_slot] =
+            ws->iter_count.load(std::memory_order_relaxed);
+      }
+      ws->feat_kind.push_back(kSecondary);
+      ws->feat_slot.push_back(new_slot);
+      ws->feat_clock.push_back(clock);
+      return;
+    }
+  }
+
+  ws->feat_kind.push_back(kRemoteFetch);
+  ws->feat_slot.push_back(-1);
+  ws->feat_clock.push_back(PrimaryClock(x));
+}
+
+void Engine::TrainIteration(WorkerState* ws) {
+  const int w = ws->id;
+  const int F = train_.num_fields();
+  const int d = config_.embedding_dim;
+  const int64_t B = ws->batch_size;
+
+  // ---- 1. Select the batch (cyclic over local samples). ----
+  ws->batch_samples.clear();
+  ws->batch_labels.clear();
+  const int64_t local = static_cast<int64_t>(ws->local_samples.size());
+  for (int64_t b = 0; b < B; ++b) {
+    const int64_t s = ws->local_samples[ws->cursor % local];
+    ++ws->cursor;
+    ws->batch_samples.push_back(s);
+    ws->batch_labels.push_back(train_.label(s));
+  }
+
+  // ---- 2. Unique feature set of the batch. ----
+  ws->feat_index.clear();
+  ws->unique_feats.clear();
+  ws->feat_kind.clear();
+  ws->feat_slot.clear();
+  ws->feat_clock.clear();
+  for (int64_t s : ws->batch_samples) {
+    const FeatureId* feats = train_.sample_features(s);
+    for (int f = 0; f < F; ++f) {
+      ws->feat_index.emplace(feats[f],
+                             static_cast<int32_t>(ws->unique_feats.size()));
+      if (static_cast<size_t>(ws->feat_index.size()) >
+          ws->unique_feats.size()) {
+        ws->unique_feats.push_back(feats[f]);
+      }
+    }
+  }
+  const int64_t U = static_cast<int64_t>(ws->unique_feats.size());
+
+  // ---- 3. Gather (Read op) with staleness checks. ----
+  ws->unique_values.Resize({U, d});
+  for (int64_t u = 0; u < U; ++u) {
+    ResolveFeature(ws, ws->unique_feats[u], ws->unique_values.row(u));
+  }
+
+  // ---- 3b. Inter-embedding synchronization (② in Figure 6). ----
+  if (config_.consistency == ConsistencyMode::kGraphBounded &&
+      !config_.bound.unbounded() && caches_[w]->size() > 0) {
+    for (int64_t s : ws->batch_samples) {
+      const FeatureId* feats = train_.sample_features(s);
+      for (int a = 0; a < F; ++a) {
+        const int32_t ua = ws->feat_index[feats[a]];
+        for (int b = a + 1; b < F; ++b) {
+          const int32_t ub = ws->feat_index[feats[b]];
+          if (ua == ub) continue;
+          // Only a secondary can be refreshed; primaries are never stale.
+          const bool sec_a = ws->feat_kind[ua] == kSecondary;
+          const bool sec_b = ws->feat_kind[ub] == kSecondary;
+          if (!sec_a && !sec_b) continue;
+          const FeatureId xa = ws->unique_feats[ua];
+          const FeatureId xb = ws->unique_feats[ub];
+          if (InterEmbeddingFresh(ws->feat_clock[ua], access_freq_[xa],
+                                  ws->feat_clock[ub], access_freq_[xb],
+                                  config_.bound)) {
+            continue;
+          }
+          ++ws->inter_flags;
+          // Refresh the stale secondary (the one with the smaller
+          // normalized clock); if both are secondary, refresh the laggard.
+          // A refresh only helps if the replica actually lags its primary
+          // (lag 0 replicas cannot be made fresher — re-fetching them
+          // would thrash without changing the pair's clocks).
+          const double na = access_freq_[xa] > 0
+                                ? ws->feat_clock[ua] / access_freq_[xa]
+                                : 0.0;
+          const double nb = access_freq_[xb] > 0
+                                ? ws->feat_clock[ub] / access_freq_[xb]
+                                : 0.0;
+          int32_t victim;
+          if (sec_a && sec_b) {
+            victim = na <= nb ? ua : ub;
+          } else {
+            victim = sec_a ? ua : ub;
+          }
+          const FeatureId xv = ws->unique_feats[victim];
+          if (PrimaryClock(xv) <= ws->feat_clock[victim]) continue;
+          RefreshSecondary(ws, xv, ws->feat_slot[victim]);
+          ws->feat_clock[victim] =
+              caches_[w]->synced_clock(ws->feat_slot[victim]);
+          const float* v = caches_[w]->Value(ws->feat_slot[victim]);
+          float* row = ws->unique_values.row(victim);
+          for (int c = 0; c < d; ++c) row[c] = v[c];
+          ++ws->inter_refreshes;
+        }
+      }
+    }
+  }
+
+  // ---- 4. Assemble the embedding block [B, F*d]. ----
+  ws->emb_in.Resize({B, static_cast<int64_t>(F) * d});
+  for (int64_t b = 0; b < B; ++b) {
+    const FeatureId* feats = train_.sample_features(ws->batch_samples[b]);
+    float* row = ws->emb_in.row(b);
+    for (int f = 0; f < F; ++f) {
+      const int32_t u = ws->feat_index[feats[f]];
+      const float* v = ws->unique_values.row(u);
+      for (int c = 0; c < d; ++c) row[f * d + c] = v[c];
+    }
+  }
+
+  // ---- 5. Dense forward/backward. ----
+  EmbeddingModel& model = *models_[w];
+  model.Forward(ws->emb_in, &ws->logits);
+  const double loss =
+      BceWithLogits(ws->logits, ws->batch_labels, &ws->dlogits);
+  model.Backward(ws->dlogits, &ws->demb_in);
+  ws->loss_sum += loss;
+  ++ws->loss_count;
+  double compute_sec =
+      static_cast<double>(B) *
+      static_cast<double>(model.FlopsPerSample()) / config_.device_flops;
+  if (static_cast<size_t>(w) < config_.worker_slowdown.size()) {
+    compute_sec *= config_.worker_slowdown[w];
+  }
+  ws->compute_time += compute_sec;
+  ws->sim_time += compute_sec;
+
+  // ---- 6. Scatter embedding gradients (Update op). ----
+  ws->unique_grads.Resize({U, d});
+  for (int64_t b = 0; b < B; ++b) {
+    const FeatureId* feats = train_.sample_features(ws->batch_samples[b]);
+    const float* grow = ws->demb_in.row(b);
+    for (int f = 0; f < F; ++f) {
+      const int32_t u = ws->feat_index[feats[f]];
+      float* g = ws->unique_grads.row(u);
+      for (int c = 0; c < d; ++c) g[c] += grow[f * d + c];
+    }
+  }
+  for (int64_t u = 0; u < U; ++u) {
+    const FeatureId x = ws->unique_feats[u];
+    const float* grad = ws->unique_grads.row(u);
+    switch (ws->feat_kind[u]) {
+      case kLocalPrimary:
+        table_->ApplyGradient(x, grad);
+        clocks_->Increment(w, x);
+        break;
+      case kSecondary: {
+        // Local update on the cached copy plus a pending write-back.
+        ReplicaStore& cache = *caches_[w];
+        const int64_t slot = ws->feat_slot[u];
+        SgdUpdateRow(cache.Value(slot), grad, d, config_.embed_lr);
+        cache.AccumulatePending(slot, grad);
+        break;
+      }
+      case kRemoteFetch: {
+        const int owner = partition_.embedding_owner[x];
+        table_->ApplyGradient(x, grad);
+        clocks_->Increment(owner, x);
+        ws->push_bytes[owner] += table_->RowBytes();
+        ws->index_bytes[owner] += kIdBytes;
+        break;
+      }
+      case kHostFetch: {
+        table_->ApplyGradient(x, grad);
+        const int host = static_cast<int>(x % topology_.num_machines());
+        ws->host_push_bytes[host] += table_->RowBytes();
+        ws->host_index_bytes[host] += kIdBytes;
+        break;
+      }
+    }
+  }
+
+  // ---- 7. Write back pending secondary updates ("local reduction then
+  // write to primaries", §6). With write_back_every > 1, flushes are
+  // staggered across iterations by slot; RunWorkerRound force-flushes the
+  // remainder at round barriers.
+  const int64_t wbe = std::max(1, config_.write_back_every);
+  const int64_t iter_now = ws->iter_count.load(std::memory_order_relaxed);
+  for (int64_t u = 0; u < U; ++u) {
+    if (ws->feat_kind[u] != kSecondary) continue;
+    if (wbe == 1 || (iter_now + ws->feat_slot[u]) % wbe == 0) {
+      FlushSecondary(ws, ws->unique_feats[u], ws->feat_slot[u]);
+    }
+  }
+
+  // ---- 8. Charge batched per-peer transfers. ----
+  ChargePendingTransfers(ws);
+
+  ws->samples_done += B;
+  ws->iter_count.fetch_add(1, std::memory_order_release);
+}
+
+// Flushes the per-iteration byte tallies into the fabric (one batched
+// message per peer per direction) and charges the issuing worker's clock.
+void Engine::ChargePendingTransfers(WorkerState* ws) {
+  const int w = ws->id;
+  double comm_sec = 0.0;
+  const int N = topology_.num_workers();
+  for (int o = 0; o < N; ++o) {
+    if (ws->fetch_bytes[o] != 0) {
+      comm_sec += fabric_->Transfer(o, w, ws->fetch_bytes[o],
+                                    TrafficClass::kEmbedding);
+      ws->fetch_bytes[o] = 0;
+    }
+    if (ws->push_bytes[o] != 0) {
+      comm_sec += fabric_->Transfer(w, o, ws->push_bytes[o],
+                                    TrafficClass::kEmbedding);
+      ws->push_bytes[o] = 0;
+    }
+    if (ws->index_bytes[o] != 0) {
+      comm_sec += fabric_->Transfer(w, o, ws->index_bytes[o],
+                                    TrafficClass::kIndexClock);
+      ws->index_bytes[o] = 0;
+    }
+  }
+  for (int m = 0; m < topology_.num_machines(); ++m) {
+    if (ws->host_fetch_bytes[m] != 0) {
+      comm_sec += fabric_->TransferToHost(w, m, ws->host_fetch_bytes[m],
+                                          TrafficClass::kEmbedding);
+      ws->host_fetch_bytes[m] = 0;
+    }
+    if (ws->host_push_bytes[m] != 0) {
+      comm_sec += fabric_->TransferToHost(w, m, ws->host_push_bytes[m],
+                                          TrafficClass::kEmbedding);
+      ws->host_push_bytes[m] = 0;
+    }
+    if (ws->host_index_bytes[m] != 0) {
+      comm_sec += fabric_->TransferToHost(w, m, ws->host_index_bytes[m],
+                                          TrafficClass::kIndexClock);
+      ws->host_index_bytes[m] = 0;
+    }
+  }
+  ws->comm_time += comm_sec;
+  ws->sim_time += comm_sec;
+}
+
+void Engine::SyncDense(WorkerState* ws) {
+  EmbeddingModel& model = *models_[ws->id];
+  const uint64_t payload = model.DenseParamBytes();
+  const int N = topology_.num_workers();
+  double comm_sec = 0.0;
+  if (config_.strategy == Strategy::kTfPs) {
+    // Push gradients and pull parameters through the CPU PS.
+    const int m = topology_.machine_of(ws->id);
+    comm_sec += fabric_->TransferToHost(ws->id, m, payload,
+                                        TrafficClass::kAllReduce);
+    comm_sec += fabric_->TransferToHost(ws->id, m, payload,
+                                        TrafficClass::kAllReduce);
+  } else if (N > 1) {
+    // Ring AllReduce; each worker charges its own outgoing hop so the
+    // total matches one collective.
+    const uint64_t hop = RingAllReduceBytesPerWorker(N, payload);
+    fabric_->Transfer(ws->id, (ws->id + 1) % N, hop,
+                      TrafficClass::kAllReduce);
+    comm_sec += RingAllReduceTime(topology_, payload);
+  }
+  ws->comm_time += comm_sec;
+  ws->sim_time += comm_sec;
+}
+
+void Engine::RunWorkerRound(WorkerState* ws, int64_t iters) {
+  const bool bsp = config_.consistency == ConsistencyMode::kBsp;
+  const int N = topology_.num_workers();
+
+  for (int64_t it = 0; it < iters; ++it) {
+    if (config_.consistency == ConsistencyMode::kSsp) {
+      // Throttle: stay within ssp_slack iterations of the slowest worker.
+      for (;;) {
+        int64_t min_iter = workers_[0]->iter_count.load(
+            std::memory_order_acquire);
+        for (int p = 1; p < N; ++p) {
+          min_iter = std::min(min_iter, workers_[p]->iter_count.load(
+                                            std::memory_order_acquire));
+        }
+        if (ws->iter_count.load(std::memory_order_relaxed) - min_iter <=
+            config_.ssp_slack) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+
+    TrainIteration(ws);
+    SyncDense(ws);
+
+    if (bsp && N > 1) {
+      // Exact BSP: average dense gradients across replicas and align
+      // simulated clocks to the straggler, every iteration.
+      if (iter_barrier_.ArriveAndWait()) {
+        const size_t num_tensors = models_[0]->DenseGrads().size();
+        for (size_t t = 0; t < num_tensors; ++t) {
+          Tensor* first = models_[0]->DenseGrads()[t];
+          for (int p = 1; p < N; ++p) {
+            Tensor* other = models_[p]->DenseGrads()[t];
+            for (int64_t i = 0; i < first->size(); ++i) {
+              first->at(i) += other->at(i);
+            }
+          }
+          const float inv = 1.0f / static_cast<float>(N);
+          for (int64_t i = 0; i < first->size(); ++i) first->at(i) *= inv;
+          for (int p = 1; p < N; ++p) {
+            Tensor* other = models_[p]->DenseGrads()[t];
+            for (int64_t i = 0; i < first->size(); ++i) {
+              other->at(i) = first->at(i);
+            }
+          }
+        }
+        bsp_shared_max_time_ = 0.0;
+        for (int p = 0; p < N; ++p) {
+          bsp_shared_max_time_ =
+              std::max(bsp_shared_max_time_, workers_[p]->sim_time);
+        }
+      }
+      iter_barrier_.ArriveAndWait();
+      ws->sim_time = bsp_shared_max_time_;
+    }
+
+    // Apply the (possibly averaged) dense gradients.
+    ws->dense_opt->Step(models_[ws->id]->DenseParams(),
+                        models_[ws->id]->DenseGrads());
+    models_[ws->id]->ZeroGrads();
+    if (bsp && N > 1) {
+      // Keep replicas bit-identical: a third rendezvous before anyone
+      // starts mutating gradients again.
+      iter_barrier_.ArriveAndWait();
+    }
+  }
+
+  // Round boundary: force-flush every pending secondary write-back so the
+  // primaries are complete for evaluation (per-iteration flushing leaves
+  // nothing pending when write_back_every == 1).
+  if (config_.write_back_every > 1) {
+    ReplicaStore& cache = *caches_[ws->id];
+    for (int64_t slot = 0; slot < cache.size(); ++slot) {
+      const FeatureId id = cache.IdAt(slot);
+      if (id >= 0 && cache.pending_count(slot) > 0) {
+        FlushSecondary(ws, id, slot);
+      }
+    }
+    ChargePendingTransfers(ws);
+  }
+}
+
+Status Engine::ValidateInvariants() const {
+  const int N = topology_.num_workers();
+  for (int w = 0; w < N; ++w) {
+    const ReplicaStore& cache = *caches_[w];
+    for (int64_t slot = 0; slot < cache.size(); ++slot) {
+      const FeatureId id = cache.IdAt(slot);
+      if (id < 0) continue;
+      if (cache.pending_count(slot) != 0) {
+        return Status::Internal(
+            "worker " + std::to_string(w) + " slot " +
+            std::to_string(slot) + " has unflushed pending updates");
+      }
+      const uint64_t primary =
+          clocks_->Get(partition_.embedding_owner[id], id);
+      if (cache.synced_clock(slot) > primary) {
+        return Status::Internal(
+            "worker " + std::to_string(w) + " replica of embedding " +
+            std::to_string(id) + " is ahead of its primary clock");
+      }
+    }
+  }
+  // Dense replicas agree (round boundaries re-average them).
+  auto params0 = models_[0]->DenseParams();
+  for (int w = 1; w < N; ++w) {
+    auto params = models_[w]->DenseParams();
+    if (params.size() != params0.size()) {
+      return Status::Internal("dense tensor count mismatch");
+    }
+    for (size_t t = 0; t < params.size(); ++t) {
+      for (int64_t i = 0; i < params0[t]->size(); ++i) {
+        if (params[t]->at(i) != params0[t]->at(i)) {
+          return Status::Internal(
+              "dense replicas diverge at worker " + std::to_string(w) +
+              " tensor " + std::to_string(t));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double Engine::EvaluateAuc() {
+  const int F = train_.num_fields();
+  const int d = config_.embedding_dim;
+  const int64_t n = test_.num_samples();
+  if (n == 0) return 0.5;
+  constexpr int64_t kChunk = 2048;
+  std::vector<float> scores;
+  scores.reserve(n);
+  Tensor emb_in;
+  Tensor logits;
+  EmbeddingModel& model = *models_[0];
+  for (int64_t start = 0; start < n; start += kChunk) {
+    const int64_t len = std::min(kChunk, n - start);
+    emb_in.Resize({len, static_cast<int64_t>(F) * d});
+    for (int64_t i = 0; i < len; ++i) {
+      const FeatureId* feats = test_.sample_features(start + i);
+      float* row = emb_in.row(i);
+      for (int f = 0; f < F; ++f) {
+        const float* v = table_->UnsafeRow(feats[f]);
+        for (int c = 0; c < d; ++c) row[f * d + c] = v[c];
+      }
+    }
+    model.Forward(emb_in, &logits);
+    for (int64_t i = 0; i < len; ++i) {
+      scores.push_back(logits.at(i));
+    }
+  }
+  return ComputeAuc(scores, test_.labels());
+}
+
+TrainResult Engine::Train(int max_epochs, double auc_target,
+                          double sim_time_budget) {
+  HETGMP_CHECK_GT(max_epochs, 0);
+  const int N = topology_.num_workers();
+  const int rounds_per_epoch = std::max(1, config_.rounds_per_epoch);
+  const int64_t iters_per_round = std::max<int64_t>(
+      1, (iters_per_epoch_ + rounds_per_epoch - 1) / rounds_per_epoch);
+  const int total_rounds = max_epochs * rounds_per_epoch;
+
+  stop_.store(false, std::memory_order_relaxed);
+  TrainResult result;
+  std::mutex result_mu;
+
+  auto worker_main = [&](int w) {
+    WorkerState* ws = workers_[w].get();
+    for (int round = 0; round < total_rounds; ++round) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      RunWorkerRound(ws, iters_per_round);
+      if (round_barrier_.ArriveAndWait()) {
+        // ---- Serial round-end section (exactly one thread). ----
+        if (config_.consistency != ConsistencyMode::kBsp && N > 1) {
+          // Asynchronous modes: re-average the dense replicas (local-SGD
+          // style; per-iteration sync cost was already charged).
+          const size_t num_tensors = models_[0]->DenseParams().size();
+          for (size_t t = 0; t < num_tensors; ++t) {
+            Tensor* first = models_[0]->DenseParams()[t];
+            for (int p = 1; p < N; ++p) {
+              Tensor* other = models_[p]->DenseParams()[t];
+              for (int64_t i = 0; i < first->size(); ++i) {
+                first->at(i) += other->at(i);
+              }
+            }
+            const float inv = 1.0f / static_cast<float>(N);
+            for (int64_t i = 0; i < first->size(); ++i) {
+              first->at(i) *= inv;
+            }
+            for (int p = 1; p < N; ++p) {
+              Tensor* other = models_[p]->DenseParams()[t];
+              for (int64_t i = 0; i < first->size(); ++i) {
+                other->at(i) = first->at(i);
+              }
+            }
+          }
+        }
+        double max_time = 0.0;
+        for (int p = 0; p < N; ++p) {
+          max_time = std::max(max_time, workers_[p]->sim_time);
+        }
+        for (int p = 0; p < N; ++p) workers_[p]->sim_time = max_time;
+
+        RoundStats rs;
+        rs.round = round;
+        rs.sim_time = max_time;
+        rs.auc = EvaluateAuc();
+        double loss_sum = 0.0;
+        int64_t loss_count = 0;
+        for (int p = 0; p < N; ++p) {
+          rs.iterations_done += workers_[p]->iter_count.load();
+          rs.remote_fetches += workers_[p]->remote_fetches;
+          rs.intra_refreshes += workers_[p]->intra_refreshes;
+          rs.inter_refreshes += workers_[p]->inter_refreshes;
+          rs.inter_flags += workers_[p]->inter_flags;
+          loss_sum += workers_[p]->loss_sum;
+          loss_count += workers_[p]->loss_count;
+          workers_[p]->loss_sum = 0.0;
+          workers_[p]->loss_count = 0;
+        }
+        rs.train_loss = loss_count > 0 ? loss_sum / loss_count : 0.0;
+        rs.embedding_bytes = fabric_->TotalBytes(TrafficClass::kEmbedding);
+        rs.index_clock_bytes =
+            fabric_->TotalBytes(TrafficClass::kIndexClock);
+        rs.allreduce_bytes = fabric_->TotalBytes(TrafficClass::kAllReduce);
+        {
+          std::lock_guard<std::mutex> lock(result_mu);
+          result.rounds.push_back(rs);
+        }
+        bool stop = false;
+        if (auc_target > 0 && rs.auc >= auc_target) {
+          result.reached_target = true;
+          stop = true;
+        }
+        if (sim_time_budget > 0 && rs.sim_time >= sim_time_budget) {
+          stop = true;
+        }
+        if (round == total_rounds - 1) stop = true;
+        if (stop) stop_.store(true, std::memory_order_release);
+      }
+      round_barrier_.ArriveAndWait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(N);
+  for (int w = 0; w < N; ++w) threads.emplace_back(worker_main, w);
+  for (auto& t : threads) t.join();
+
+  result.final_auc = result.rounds.empty() ? 0.5 : result.rounds.back().auc;
+  double compute = 0.0, comm = 0.0;
+  for (int p = 0; p < N; ++p) {
+    result.total_sim_time =
+        std::max(result.total_sim_time, workers_[p]->sim_time);
+    compute += workers_[p]->compute_time;
+    comm += workers_[p]->comm_time;
+    result.total_iterations += workers_[p]->iter_count.load();
+    result.samples_processed += workers_[p]->samples_done;
+  }
+  result.compute_time = compute / N;
+  result.comm_time = comm / N;
+  return result;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,149 @@
+#ifndef HETGMP_CORE_ENGINE_H_
+#define HETGMP_CORE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/allreduce.h"
+#include "comm/fabric.h"
+#include "comm/topology.h"
+#include "common/status.h"
+#include "common/threading.h"
+#include "core/config.h"
+#include "data/dataset.h"
+#include "embed/embedding_table.h"
+#include "embed/lru_cache.h"
+#include "embed/replica_store.h"
+#include "embed/secondary_cache.h"
+#include "graph/bigraph.h"
+#include "models/model.h"
+#include "partition/partition.h"
+#include "sync/clock_table.h"
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// Metrics recorded at every round barrier.
+struct RoundStats {
+  int round = 0;
+  int64_t iterations_done = 0;      // global iteration count so far
+  double sim_time = 0.0;            // max worker simulated time so far
+  double auc = 0.5;                 // test AUC at this point
+  double train_loss = 0.0;          // mean BCE over the round (worker 0)
+  uint64_t embedding_bytes = 0;     // cumulative fabric counters
+  uint64_t index_clock_bytes = 0;
+  uint64_t allreduce_bytes = 0;
+  int64_t remote_fetches = 0;       // cumulative
+  int64_t intra_refreshes = 0;
+  int64_t inter_refreshes = 0;
+  // Inter-embedding pairs flagged stale by the check (whether or not a
+  // refresh could help) — the raw false-positive rate the frequency
+  // normalization of §5.3 is designed to suppress.
+  int64_t inter_flags = 0;
+};
+
+struct TrainResult {
+  std::vector<RoundStats> rounds;
+  double final_auc = 0.5;
+  double total_sim_time = 0.0;       // simulated seconds
+  double compute_time = 0.0;         // simulated seconds in dense compute
+  double comm_time = 0.0;            // simulated seconds in communication
+  int64_t total_iterations = 0;      // per-worker iterations × workers
+  int64_t samples_processed = 0;
+  bool reached_target = false;
+
+  double Throughput() const {        // samples / simulated second
+    return total_sim_time > 0 ? samples_processed / total_sim_time : 0.0;
+  }
+};
+
+// The simulated distributed trainer. One OS thread per worker; shared
+// primary embedding arena; per-worker secondary caches, dense model
+// replicas, and simulated clocks. All cross-worker data movement is
+// charged to the Fabric (bytes exactly, time via the link model).
+//
+// The dataset, topology, and partition must outlive the engine.
+class Engine {
+ public:
+  Engine(const EngineConfig& config, const CtrDataset& train,
+         const CtrDataset& test, const Topology& topology,
+         Partition partition);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Runs up to `max_epochs` epochs; stops early once test AUC reaches
+  // `auc_target` (ignored if <= 0) or simulated time exceeds
+  // `sim_time_budget` seconds (ignored if <= 0).
+  TrainResult Train(int max_epochs, double auc_target = -1.0,
+                    double sim_time_budget = -1.0);
+
+  // Test AUC with the current primary table + worker 0's dense model.
+  double EvaluateAuc();
+
+  // Debug invariant check (call with quiesced workers, e.g. after Train):
+  //  * every replica's pending write-back is flushed (rounds end with a
+  //    force-flush when batching is on, and per-iteration flush otherwise);
+  //  * no replica's synced clock is ahead of its primary clock;
+  //  * dense model replicas agree across workers (they are re-averaged at
+  //    every round boundary).
+  Status ValidateInvariants() const;
+
+  const Fabric& fabric() const { return *fabric_; }
+  const Partition& partition() const { return partition_; }
+  const EngineConfig& config() const { return config_; }
+  int num_workers() const { return topology_.num_workers(); }
+
+ private:
+  struct WorkerState;
+
+  void TrainIteration(WorkerState* ws);
+  // Resolves one unique feature of the current batch into `out` (dim
+  // floats), charging communication as needed.
+  void ResolveFeature(WorkerState* ws, FeatureId x, float* out);
+  void RefreshSecondary(WorkerState* ws, FeatureId x, int64_t slot);
+  void FlushSecondary(WorkerState* ws, FeatureId x, int64_t slot);
+  void ChargePendingTransfers(WorkerState* ws);
+  void ScatterGradients(WorkerState* ws);
+  void SyncDense(WorkerState* ws);
+  void RunWorkerRound(WorkerState* ws, int64_t iters);
+
+  uint64_t PrimaryClock(FeatureId x) const {
+    return clocks_->Get(partition_.embedding_owner[x], x);
+  }
+
+  const EngineConfig config_;
+  const CtrDataset& train_;
+  const CtrDataset& test_;
+  const Topology& topology_;
+  Partition partition_;
+  Bigraph bigraph_;
+  std::vector<double> access_freq_;
+
+  std::unique_ptr<EmbeddingTable> table_;
+  std::unique_ptr<ClockTable> clocks_;
+  std::unique_ptr<Fabric> fabric_;
+  std::vector<std::unique_ptr<ReplicaStore>> caches_;
+  // Non-null aliases into caches_ when replica_policy == kLruDynamic.
+  std::vector<LruEmbeddingCache*> lru_caches_;
+  std::vector<std::unique_ptr<EmbeddingModel>> models_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  Barrier round_barrier_;
+  Barrier iter_barrier_;
+  // Scratch for BSP straggler alignment; written only inside the
+  // iter_barrier_ serial section while all other workers are parked.
+  double bsp_shared_max_time_ = 0.0;
+  std::atomic<bool> stop_{false};
+
+  // Per-epoch iteration budget per worker.
+  int64_t iters_per_epoch_ = 0;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_CORE_ENGINE_H_

@@ -1,0 +1,76 @@
+#include "core/runner.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stringutil.h"
+#include "partition/bicut_partitioner.h"
+#include "partition/hybrid_partitioner.h"
+#include "partition/random_partitioner.h"
+
+namespace hetgmp {
+
+Partition BuildPartition(const EngineConfig& config, const Bigraph& graph,
+                         const Topology& topology) {
+  const int N = topology.num_workers();
+  switch (config.placement) {
+    case PlacementPolicy::kRandom: {
+      RandomPartitioner p(config.seed + 1);
+      return p.Run(graph, N);
+    }
+    case PlacementPolicy::kBiCut: {
+      BiCutPartitioner p(/*max_imbalance=*/0.05, config.seed + 1);
+      return p.Run(graph, N);
+    }
+    case PlacementPolicy::kHybrid: {
+      HybridPartitionerOptions options = config.hybrid_options;
+      if (options.comm_weight.empty()) {
+        options.comm_weight = topology.CommWeightMatrix();
+      }
+      if (config.balance_batch_to_capacity &&
+          options.worker_capacity.empty() &&
+          !config.worker_slowdown.empty()) {
+        options.worker_capacity.resize(N, 1.0);
+        for (int w = 0; w < N && w < static_cast<int>(
+                                        config.worker_slowdown.size());
+             ++w) {
+          options.worker_capacity[w] = 1.0 / config.worker_slowdown[w];
+        }
+      }
+      options.seed = config.seed + 1;
+      HybridPartitioner p(options);
+      return p.Run(graph, N);
+    }
+  }
+  HETGMP_CHECK(false) << " unknown placement policy";
+  return {};
+}
+
+ExperimentResult RunExperiment(EngineConfig config, const CtrDataset& train,
+                               const CtrDataset& test,
+                               const Topology& topology, int max_epochs,
+                               double auc_target, double sim_time_budget) {
+  Bigraph graph(train);
+  ExperimentResult out;
+  out.partition = BuildPartition(config, graph, topology);
+  Engine engine(config, train, test, topology, out.partition);
+  out.train = engine.Train(max_epochs, auc_target, sim_time_budget);
+  std::ostringstream os;
+  os << config.ToString() << " on " << train.name() << " ["
+     << topology.name() << "]";
+  out.description = os.str();
+  return out;
+}
+
+std::string FormatConvergenceCurve(const TrainResult& result) {
+  std::ostringstream os;
+  os << "  sim_time(s)    AUC     loss\n";
+  for (const RoundStats& r : result.rounds) {
+    os << "  " << PadLeft(FormatDouble(r.sim_time, 4), 11) << " "
+       << PadLeft(FormatDouble(r.auc, 4), 7) << " "
+       << PadLeft(FormatDouble(r.train_loss, 4), 8) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,41 @@
+#ifndef HETGMP_CORE_RUNNER_H_
+#define HETGMP_CORE_RUNNER_H_
+
+#include <memory>
+#include <string>
+
+#include "comm/topology.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "graph/bigraph.h"
+#include "partition/partition.h"
+
+namespace hetgmp {
+
+// Builds the partition a config implies. For the hybrid placement, empty
+// comm weights are filled from the topology (the heterogeneity-aware
+// default); pass Topology::UniformWeightMatrix() explicitly to get the
+// "non-hierarchical" variant of Figure 9.
+Partition BuildPartition(const EngineConfig& config, const Bigraph& graph,
+                         const Topology& topology);
+
+// One-call experiment: partition + engine + training run.
+struct ExperimentResult {
+  TrainResult train;
+  Partition partition;
+  std::string description;
+};
+
+ExperimentResult RunExperiment(EngineConfig config, const CtrDataset& train,
+                               const CtrDataset& test,
+                               const Topology& topology, int max_epochs,
+                               double auc_target = -1.0,
+                               double sim_time_budget = -1.0);
+
+// Renders the convergence curve of a result as "time auc" rows.
+std::string FormatConvergenceCurve(const TrainResult& result);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_CORE_RUNNER_H_

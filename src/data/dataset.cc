@@ -1,0 +1,57 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+CtrDataset::CtrDataset(std::string name, int num_fields,
+                       std::vector<int64_t> field_offsets,
+                       std::vector<FeatureId> feature_ids,
+                       std::vector<float> labels)
+    : name_(std::move(name)),
+      num_fields_(num_fields),
+      field_offsets_(std::move(field_offsets)),
+      feature_ids_(std::move(feature_ids)),
+      labels_(std::move(labels)) {
+  HETGMP_CHECK_EQ(static_cast<int>(field_offsets_.size()), num_fields_ + 1);
+  HETGMP_CHECK_EQ(field_offsets_[0], 0);
+  HETGMP_CHECK_EQ(feature_ids_.size(),
+                  labels_.size() * static_cast<size_t>(num_fields_));
+}
+
+int CtrDataset::FieldOfFeature(FeatureId f) const {
+  HETGMP_CHECK_GE(f, 0);
+  HETGMP_CHECK_LT(f, num_features());
+  const auto it =
+      std::upper_bound(field_offsets_.begin(), field_offsets_.end(), f);
+  return static_cast<int>(it - field_offsets_.begin()) - 1;
+}
+
+CtrDataset CtrDataset::SplitTail(double fraction) {
+  HETGMP_CHECK_GT(fraction, 0.0);
+  HETGMP_CHECK_LT(fraction, 1.0);
+  const int64_t n = num_samples();
+  const int64_t tail = std::max<int64_t>(1, static_cast<int64_t>(n * fraction));
+  const int64_t head = n - tail;
+  HETGMP_CHECK_GT(head, 0);
+
+  std::vector<FeatureId> tail_features(
+      feature_ids_.begin() + head * num_fields_, feature_ids_.end());
+  std::vector<float> tail_labels(labels_.begin() + head, labels_.end());
+
+  feature_ids_.resize(head * num_fields_);
+  labels_.resize(head);
+
+  return CtrDataset(name_ + "-test", num_fields_, field_offsets_,
+                    std::move(tail_features), std::move(tail_labels));
+}
+
+std::vector<int64_t> CtrDataset::FeatureFrequencies() const {
+  std::vector<int64_t> freq(num_features(), 0);
+  for (FeatureId f : feature_ids_) ++freq[f];
+  return freq;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,64 @@
+#ifndef HETGMP_DATA_DATASET_H_
+#define HETGMP_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetgmp {
+
+// Global id of an embedding row. Field f's features occupy the contiguous
+// range [field_offsets[f], field_offsets[f+1]).
+using FeatureId = int64_t;
+
+// A CTR dataset: every sample is one categorical feature per field plus a
+// binary click label. Stored CSR so the bigraph and the engine can iterate
+// features without per-sample allocations.
+class CtrDataset {
+ public:
+  CtrDataset() = default;
+
+  // Constructs from raw CSR arrays. feature_ids.size() must equal
+  // num_samples * num_fields (exactly one feature per field per sample).
+  CtrDataset(std::string name, int num_fields,
+             std::vector<int64_t> field_offsets,
+             std::vector<FeatureId> feature_ids, std::vector<float> labels);
+
+  const std::string& name() const { return name_; }
+  int64_t num_samples() const {
+    return static_cast<int64_t>(labels_.size());
+  }
+  int num_fields() const { return num_fields_; }
+  int64_t num_features() const { return field_offsets_.back(); }
+  const std::vector<int64_t>& field_offsets() const { return field_offsets_; }
+
+  // Features of sample i (exactly num_fields entries, one per field).
+  const FeatureId* sample_features(int64_t i) const {
+    return feature_ids_.data() + i * num_fields_;
+  }
+  float label(int64_t i) const { return labels_[i]; }
+  const std::vector<float>& labels() const { return labels_; }
+  const std::vector<FeatureId>& feature_ids() const { return feature_ids_; }
+
+  // Field that feature id f belongs to (binary search over offsets).
+  int FieldOfFeature(FeatureId f) const;
+
+  // Splits off the last `fraction` of samples as a held-out test set and
+  // returns it; this dataset keeps the remaining prefix.
+  CtrDataset SplitTail(double fraction);
+
+  // Per-feature access count across all samples (the embedding-vertex
+  // degree distribution of the bigraph).
+  std::vector<int64_t> FeatureFrequencies() const;
+
+ private:
+  std::string name_;
+  int num_fields_ = 0;
+  std::vector<int64_t> field_offsets_;  // size num_fields + 1
+  std::vector<FeatureId> feature_ids_;  // CSR payload, row-major by sample
+  std::vector<float> labels_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_DATA_DATASET_H_

@@ -1,0 +1,210 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace hetgmp {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'G', 'M', 'P', 'D', 'S', '0', '1'};
+
+// RAII FILE handle.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() const { return f_; }
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_;
+};
+
+Status WriteBytes(std::FILE* f, const void* data, size_t bytes) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::Internal("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t bytes) {
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    return Status::InvalidArgument("truncated file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WriteVector(std::FILE* f, const std::vector<T>& v) {
+  const uint64_t n = v.size();
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, &n, sizeof(n)));
+  if (n > 0) {
+    HETGMP_RETURN_IF_ERROR(WriteBytes(f, v.data(), n * sizeof(T)));
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadVector(std::FILE* f, std::vector<T>* v, uint64_t max_elems) {
+  uint64_t n = 0;
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &n, sizeof(n)));
+  if (n > max_elems) {
+    return Status::InvalidArgument("implausible element count (corrupt?)");
+  }
+  v->resize(n);
+  if (n > 0) {
+    HETGMP_RETURN_IF_ERROR(ReadBytes(f, v->data(), n * sizeof(T)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveDataset(const CtrDataset& dataset, const std::string& path) {
+  File file(path, "wb");
+  if (!file.ok()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, kMagic, sizeof(kMagic)));
+  const uint64_t name_len = dataset.name().size();
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, &name_len, sizeof(name_len)));
+  HETGMP_RETURN_IF_ERROR(
+      WriteBytes(f, dataset.name().data(), dataset.name().size()));
+  const int64_t num_fields = dataset.num_fields();
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, &num_fields, sizeof(num_fields)));
+  HETGMP_RETURN_IF_ERROR(WriteVector(f, dataset.field_offsets()));
+  HETGMP_RETURN_IF_ERROR(WriteVector(f, dataset.feature_ids()));
+  HETGMP_RETURN_IF_ERROR(WriteVector(f, dataset.labels()));
+  return Status::OK();
+}
+
+Result<CtrDataset> LoadDataset(const std::string& path) {
+  File file(path, "rb");
+  if (!file.ok()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::FILE* f = file.get();
+  char magic[8];
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a HET-GMP dataset file: " + path);
+  }
+  uint64_t name_len = 0;
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &name_len, sizeof(name_len)));
+  if (name_len > 4096) {
+    return Status::InvalidArgument("implausible name length (corrupt?)");
+  }
+  std::string name(name_len, '\0');
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, name.data(), name_len));
+  int64_t num_fields = 0;
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &num_fields, sizeof(num_fields)));
+  if (num_fields <= 0 || num_fields > 100000) {
+    return Status::InvalidArgument("implausible field count (corrupt?)");
+  }
+  constexpr uint64_t kMaxElems = uint64_t{1} << 36;
+  std::vector<int64_t> field_offsets;
+  std::vector<FeatureId> feature_ids;
+  std::vector<float> labels;
+  HETGMP_RETURN_IF_ERROR(ReadVector(f, &field_offsets, kMaxElems));
+  HETGMP_RETURN_IF_ERROR(ReadVector(f, &feature_ids, kMaxElems));
+  HETGMP_RETURN_IF_ERROR(ReadVector(f, &labels, kMaxElems));
+
+  // Structural validation before handing to the (CHECK-guarded) ctor.
+  if (static_cast<int64_t>(field_offsets.size()) != num_fields + 1 ||
+      field_offsets.front() != 0) {
+    return Status::InvalidArgument("inconsistent field offsets");
+  }
+  for (size_t i = 1; i < field_offsets.size(); ++i) {
+    if (field_offsets[i] < field_offsets[i - 1]) {
+      return Status::InvalidArgument("field offsets not monotone");
+    }
+  }
+  if (feature_ids.size() !=
+      labels.size() * static_cast<size_t>(num_fields)) {
+    return Status::InvalidArgument("CSR size mismatch");
+  }
+  for (FeatureId id : feature_ids) {
+    if (id < 0 || id >= field_offsets.back()) {
+      return Status::InvalidArgument("feature id out of range");
+    }
+  }
+  return CtrDataset(std::move(name), static_cast<int>(num_fields),
+                    std::move(field_offsets), std::move(feature_ids),
+                    std::move(labels));
+}
+
+Result<CtrDataset> ParseLibSvmCtr(const std::string& text,
+                                  const std::string& name, int num_fields,
+                                  std::vector<int64_t> field_offsets) {
+  if (num_fields <= 0) {
+    return Status::InvalidArgument("num_fields must be positive");
+  }
+  if (static_cast<int>(field_offsets.size()) != num_fields + 1) {
+    return Status::InvalidArgument("field_offsets must have num_fields+1 "
+                                   "entries");
+  }
+  std::vector<FeatureId> ids;
+  std::vector<float> labels;
+  std::istringstream lines(text);
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    double label = 0.0;
+    if (!(fields >> label) || (label != 0.0 && label != 1.0)) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": bad label");
+    }
+    for (int f = 0; f < num_fields; ++f) {
+      std::string token;
+      if (!(fields >> token)) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": expected " +
+            std::to_string(num_fields) + " features");
+      }
+      // Accept "id" or "id:value"; the value is ignored (one-hot).
+      const size_t colon = token.find(':');
+      if (colon != std::string::npos) token.resize(colon);
+      char* end = nullptr;
+      const int64_t id = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": bad feature id '" +
+            token + "'");
+      }
+      if (id < field_offsets[f] || id >= field_offsets[f + 1]) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": feature " +
+            std::to_string(id) + " outside field " + std::to_string(f) +
+            " range");
+      }
+      ids.push_back(id);
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": trailing token '" +
+          extra + "'");
+    }
+    labels.push_back(static_cast<float>(label));
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("no samples in input");
+  }
+  return CtrDataset(name, num_fields, std::move(field_offsets),
+                    std::move(ids), std::move(labels));
+}
+
+}  // namespace hetgmp

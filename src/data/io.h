@@ -1,0 +1,36 @@
+#ifndef HETGMP_DATA_IO_H_
+#define HETGMP_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace hetgmp {
+
+// Binary dataset serialization (magic + header + CSR payload), so
+// generated datasets can be reused across runs and external data can be
+// converted once. All functions return Status; corrupt or truncated files
+// are reported, never crash.
+
+// Writes `dataset` to `path` (overwrites).
+Status SaveDataset(const CtrDataset& dataset, const std::string& path);
+
+// Reads a dataset previously written by SaveDataset.
+Result<CtrDataset> LoadDataset(const std::string& path);
+
+// Parses the LibSVM-style text format commonly used for CTR logs:
+//
+//   <label> <feature_id>[:<ignored>] <feature_id> ...
+//
+// one sample per line, exactly `num_fields` features per sample in field
+// order. Feature ids are global (within the concatenated field ranges
+// given by `field_offsets`). Lines violating the schema produce an
+// InvalidArgument status naming the line.
+Result<CtrDataset> ParseLibSvmCtr(const std::string& text,
+                                  const std::string& name, int num_fields,
+                                  std::vector<int64_t> field_offsets);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_DATA_IO_H_

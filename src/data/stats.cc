@@ -1,0 +1,60 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stringutil.h"
+
+namespace hetgmp {
+
+DatasetStats ComputeDatasetStats(const CtrDataset& dataset) {
+  DatasetStats s;
+  s.name = dataset.name();
+  s.num_samples = dataset.num_samples();
+  s.num_features = dataset.num_features();
+  s.num_fields = dataset.num_fields();
+
+  std::vector<int64_t> freq = dataset.FeatureFrequencies();
+  s.num_accesses = 0;
+  for (int64_t f : freq) {
+    s.num_accesses += f;
+    if (f > 0) ++s.distinct_features;
+  }
+  if (s.num_accesses == 0) return s;
+
+  std::sort(freq.begin(), freq.end(), std::greater<int64_t>());
+  s.max_frequency =
+      static_cast<double>(freq[0]) / static_cast<double>(s.num_accesses);
+
+  const int64_t top = std::max<int64_t>(1, s.num_features / 100);
+  int64_t top_sum = 0;
+  for (int64_t i = 0; i < top; ++i) top_sum += freq[i];
+  s.top1pct_share =
+      static_cast<double>(top_sum) / static_cast<double>(s.num_accesses);
+
+  // Gini over the (descending-sorted) frequency vector.
+  // G = (n + 1 - 2 * Σ_i cum_i / total) / n with ascending order; adapt.
+  double cum = 0.0, weighted = 0.0;
+  for (auto it = freq.rbegin(); it != freq.rend(); ++it) {  // ascending
+    cum += static_cast<double>(*it);
+    weighted += cum;
+  }
+  const double n = static_cast<double>(freq.size());
+  s.gini = (n + 1.0 - 2.0 * weighted / static_cast<double>(s.num_accesses)) / n;
+  return s;
+}
+
+std::string DatasetStats::ToString() const {
+  std::ostringstream os;
+  os << name << ": samples=" << HumanCount(double(num_samples))
+     << " features=" << HumanCount(double(num_features))
+     << " fields=" << num_fields
+     << " accesses=" << HumanCount(double(num_accesses))
+     << " distinct=" << HumanCount(double(distinct_features))
+     << " hottest=" << Percent(max_frequency)
+     << " top1%share=" << Percent(top1pct_share)
+     << " gini=" << FormatDouble(gini, 3);
+  return os.str();
+}
+
+}  // namespace hetgmp

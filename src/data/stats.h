@@ -1,0 +1,30 @@
+#ifndef HETGMP_DATA_STATS_H_
+#define HETGMP_DATA_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace hetgmp {
+
+// Table-1 style summary plus the skew measures motivating §4.
+struct DatasetStats {
+  std::string name;
+  int64_t num_samples = 0;
+  int64_t num_features = 0;
+  int num_fields = 0;
+  int64_t num_accesses = 0;        // total (sample, feature) edges
+  int64_t distinct_features = 0;   // features with at least one access
+  double max_frequency = 0.0;      // hottest feature's access share
+  double top1pct_share = 0.0;      // share of accesses to the top 1% features
+  double gini = 0.0;               // Gini of the feature frequency vector
+
+  std::string ToString() const;
+};
+
+DatasetStats ComputeDatasetStats(const CtrDataset& dataset);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_DATA_STATS_H_

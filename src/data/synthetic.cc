@@ -1,0 +1,152 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace hetgmp {
+
+SyntheticCtrConfig AvazuLikeConfig(double scale) {
+  SyntheticCtrConfig c;
+  c.name = "avazu-like";
+  c.num_samples = static_cast<int64_t>(40000 * scale);
+  c.num_fields = 22;
+  c.num_features = static_cast<int64_t>(5000 * scale);
+  c.zipf_theta = 1.1;
+  c.seed = 1001;
+  return c;
+}
+
+SyntheticCtrConfig CriteoLikeConfig(double scale) {
+  SyntheticCtrConfig c;
+  c.name = "criteo-like";
+  c.num_samples = static_cast<int64_t>(45000 * scale);
+  c.num_fields = 26;
+  c.num_features = static_cast<int64_t>(9000 * scale);
+  c.zipf_theta = 1.05;
+  c.seed = 1002;
+  return c;
+}
+
+SyntheticCtrConfig CompanyLikeConfig(double scale) {
+  SyntheticCtrConfig c;
+  c.name = "company-like";
+  c.num_samples = static_cast<int64_t>(36000 * scale);
+  c.num_fields = 43;
+  c.num_features = static_cast<int64_t>(15000 * scale);
+  c.zipf_theta = 1.0;
+  c.seed = 1003;
+  return c;
+}
+
+namespace {
+
+// Uneven field sizes (id-like fields are huge, enum-like fields tiny), as
+// in real CTR logs: size_f ∝ (f+1)^-0.6, with a floor that keeps every
+// cluster slice non-empty.
+std::vector<int64_t> FieldSizes(const SyntheticCtrConfig& cfg) {
+  const int F = cfg.num_fields;
+  const int64_t floor_size = std::max<int64_t>(cfg.num_clusters, 4);
+  std::vector<double> weight(F);
+  double total = 0.0;
+  for (int f = 0; f < F; ++f) {
+    weight[f] = std::pow(static_cast<double>(f + 1), -0.6);
+    total += weight[f];
+  }
+  std::vector<int64_t> sizes(F);
+  int64_t assigned = 0;
+  for (int f = 0; f < F; ++f) {
+    sizes[f] = std::max<int64_t>(
+        floor_size,
+        static_cast<int64_t>(cfg.num_features * weight[f] / total));
+    assigned += sizes[f];
+  }
+  // Rebalance rounding drift onto the largest field, never shrinking it
+  // below the floor (tiny scales can make floors exceed the requested
+  // total, in which case the realized feature count is slightly larger).
+  sizes[0] = std::max(floor_size, sizes[0] + cfg.num_features - assigned);
+  return sizes;
+}
+
+}  // namespace
+
+CtrDataset GenerateSyntheticCtr(const SyntheticCtrConfig& cfg,
+                                std::vector<float>* teacher_logits) {
+  HETGMP_CHECK_GT(cfg.num_samples, 0);
+  HETGMP_CHECK_GT(cfg.num_fields, 0);
+  HETGMP_CHECK_GT(cfg.num_clusters, 0);
+  Rng rng(cfg.seed);
+
+  const int F = cfg.num_fields;
+  const int K = cfg.num_clusters;
+  const std::vector<int64_t> sizes = FieldSizes(cfg);
+
+  std::vector<int64_t> offsets(F + 1, 0);
+  for (int f = 0; f < F; ++f) offsets[f + 1] = offsets[f] + sizes[f];
+  const int64_t total_features = offsets.back();
+
+  // Per-field samplers: one Zipf over the cluster slice (locality draws)
+  // and one over the whole field (escape draws, which concentrate global
+  // popularity on each field's low ids — the shared hot features that
+  // vertex-cut replication targets).
+  std::vector<ZipfSampler> slice_samplers;
+  std::vector<ZipfSampler> field_samplers;
+  std::vector<int64_t> slice_len(F);
+  slice_samplers.reserve(F);
+  field_samplers.reserve(F);
+  for (int f = 0; f < F; ++f) {
+    slice_len[f] = std::max<int64_t>(1, sizes[f] / K);
+    slice_samplers.emplace_back(static_cast<uint64_t>(slice_len[f]),
+                                cfg.zipf_theta);
+    field_samplers.emplace_back(static_cast<uint64_t>(sizes[f]),
+                                cfg.zipf_theta);
+  }
+
+  // Teacher model: per-feature weight + per-cluster offset.
+  std::vector<float> teacher(total_features);
+  for (auto& w : teacher) {
+    w = static_cast<float>(rng.NextGaussian() * cfg.teacher_weight_stddev);
+  }
+  std::vector<float> cluster_effect(K);
+  for (auto& e : cluster_effect) {
+    e = static_cast<float>(rng.NextGaussian() * cfg.cluster_effect_stddev);
+  }
+
+  std::vector<FeatureId> feature_ids;
+  feature_ids.reserve(cfg.num_samples * F);
+  std::vector<float> labels(cfg.num_samples);
+  const double logit_scale = 1.0 / std::sqrt(static_cast<double>(F));
+
+  for (int64_t i = 0; i < cfg.num_samples; ++i) {
+    const int cluster = static_cast<int>(rng.NextUint64(K));
+    double logit = cluster_effect[cluster];
+    for (int f = 0; f < F; ++f) {
+      int64_t local;
+      if (rng.NextBool(cfg.cluster_affinity)) {
+        // Draw from this cluster's slice of the field.
+        const int64_t start = cluster * slice_len[f];
+        local = start + static_cast<int64_t>(slice_samplers[f].Sample(&rng));
+        local = std::min(local, sizes[f] - 1);
+      } else {
+        local = static_cast<int64_t>(field_samplers[f].Sample(&rng));
+      }
+      const FeatureId id = offsets[f] + local;
+      feature_ids.push_back(id);
+      logit += teacher[id] * logit_scale;
+    }
+    if (teacher_logits != nullptr) {
+      teacher_logits->push_back(static_cast<float>(logit));
+    }
+    logit += rng.NextGaussian() * cfg.teacher_noise_stddev;
+    labels[i] = rng.NextBool(1.0 / (1.0 + std::exp(-logit))) ? 1.0f : 0.0f;
+  }
+
+  return CtrDataset(cfg.name, F, std::move(offsets), std::move(feature_ids),
+                    std::move(labels));
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,116 @@
+#include "embed/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace hetgmp {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'G', 'M', 'P', 'C', 'K', '0', '1'};
+
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() const { return f_; }
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_;
+};
+
+Status WriteBytes(std::FILE* f, const void* data, size_t bytes) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::Internal("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t bytes) {
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    return Status::InvalidArgument("truncated checkpoint");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const EmbeddingTable& table,
+                      const std::vector<Tensor*>& dense_params,
+                      const std::string& path) {
+  File file(path, "wb");
+  if (!file.ok()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, kMagic, sizeof(kMagic)));
+  const int64_t rows = table.num_embeddings();
+  const int64_t dim = table.dim();
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, &rows, sizeof(rows)));
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, &dim, sizeof(dim)));
+  for (int64_t x = 0; x < rows; ++x) {
+    HETGMP_RETURN_IF_ERROR(
+        WriteBytes(f, table.UnsafeRow(x), dim * sizeof(float)));
+  }
+  const uint64_t num_tensors = dense_params.size();
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, &num_tensors, sizeof(num_tensors)));
+  for (const Tensor* t : dense_params) {
+    const int64_t size = t->size();
+    HETGMP_RETURN_IF_ERROR(WriteBytes(f, &size, sizeof(size)));
+    HETGMP_RETURN_IF_ERROR(
+        WriteBytes(f, t->data(), size * sizeof(float)));
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path, EmbeddingTable* table,
+                      const std::vector<Tensor*>& dense_params) {
+  File file(path, "rb");
+  if (!file.ok()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::FILE* f = file.get();
+  char magic[8];
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a HET-GMP checkpoint: " + path);
+  }
+  int64_t rows = 0, dim = 0;
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &rows, sizeof(rows)));
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &dim, sizeof(dim)));
+  if (rows != table->num_embeddings() || dim != table->dim()) {
+    return Status::InvalidArgument(
+        "checkpoint shape mismatch: file has " + std::to_string(rows) +
+        "x" + std::to_string(dim) + ", table is " +
+        std::to_string(table->num_embeddings()) + "x" +
+        std::to_string(table->dim()));
+  }
+  for (int64_t x = 0; x < rows; ++x) {
+    HETGMP_RETURN_IF_ERROR(
+        ReadBytes(f, table->UnsafeMutableRow(x), dim * sizeof(float)));
+  }
+  uint64_t num_tensors = 0;
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &num_tensors, sizeof(num_tensors)));
+  if (num_tensors != dense_params.size()) {
+    return Status::InvalidArgument("dense tensor count mismatch");
+  }
+  for (Tensor* t : dense_params) {
+    int64_t size = 0;
+    HETGMP_RETURN_IF_ERROR(ReadBytes(f, &size, sizeof(size)));
+    if (size != t->size()) {
+      return Status::InvalidArgument("dense tensor size mismatch");
+    }
+    HETGMP_RETURN_IF_ERROR(
+        ReadBytes(f, t->data(), size * sizeof(float)));
+  }
+  return Status::OK();
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,31 @@
+#ifndef HETGMP_EMBED_CHECKPOINT_H_
+#define HETGMP_EMBED_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "embed/embedding_table.h"
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// Model checkpointing: embedding table rows plus the dense parameter
+// tensors, in one binary file. Long CTR training jobs checkpoint the
+// embedding state because regenerating it is the expensive part.
+//
+// Only call with quiesced workers (the table is read through the unsafe
+// row accessors).
+
+Status SaveCheckpoint(const EmbeddingTable& table,
+                      const std::vector<Tensor*>& dense_params,
+                      const std::string& path);
+
+// Restores into an existing table/params of identical shape; shape
+// mismatches are InvalidArgument.
+Status LoadCheckpoint(const std::string& path, EmbeddingTable* table,
+                      const std::vector<Tensor*>& dense_params);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_EMBED_CHECKPOINT_H_

@@ -1,0 +1,43 @@
+#include "embed/embedding_table.h"
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace hetgmp {
+
+EmbeddingTable::EmbeddingTable(int64_t num_embeddings, int dim,
+                               float init_stddev, uint64_t seed,
+                               EmbeddingOptimizer optimizer, float lr)
+    : num_embeddings_(num_embeddings),
+      dim_(dim),
+      optimizer_(optimizer),
+      lr_(lr),
+      mutexes_(kMutexStripes) {
+  HETGMP_CHECK_GT(dim, 0);
+  values_.resize(num_embeddings * dim);
+  Rng rng(seed);
+  for (auto& v : values_) {
+    v = static_cast<float>(rng.NextGaussian()) * init_stddev;
+  }
+  if (optimizer_ == EmbeddingOptimizer::kAdaGrad) {
+    accum_.assign(values_.size(), 0.0f);
+  }
+}
+
+void EmbeddingTable::ReadRow(int64_t x, float* out) const {
+  std::lock_guard<std::mutex> lock(RowMutex(x));
+  const float* row = values_.data() + x * dim_;
+  for (int c = 0; c < dim_; ++c) out[c] = row[c];
+}
+
+void EmbeddingTable::ApplyGradient(int64_t x, const float* grad) {
+  std::lock_guard<std::mutex> lock(RowMutex(x));
+  float* row = values_.data() + x * dim_;
+  if (optimizer_ == EmbeddingOptimizer::kAdaGrad) {
+    AdaGradUpdateRow(row, grad, accum_.data() + x * dim_, dim_, lr_);
+  } else {
+    SgdUpdateRow(row, grad, dim_, lr_);
+  }
+}
+
+}  // namespace hetgmp

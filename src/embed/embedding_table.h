@@ -1,0 +1,71 @@
+#ifndef HETGMP_EMBED_EMBEDDING_TABLE_H_
+#define HETGMP_EMBED_EMBEDDING_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hetgmp {
+
+// Optimizer applied to embedding rows. CTR systems use per-row AdaGrad;
+// SGD is kept for the convergence-theory tests (§5.4 assumes plain
+// gradient steps).
+enum class EmbeddingOptimizer { kSgd, kAdaGrad };
+
+// The primary replicas of all embedding rows, sharded logically by the
+// partition's embedding_owner but stored in one arena (the simulated
+// cluster shares an address space; *access* still goes through the
+// engine's fabric accounting — see core/engine.cc).
+//
+// Thread-safety: row updates and reads take a striped lock so concurrent
+// write-backs from different workers never interleave within a row.
+class EmbeddingTable {
+ public:
+  EmbeddingTable(int64_t num_embeddings, int dim, float init_stddev,
+                 uint64_t seed,
+                 EmbeddingOptimizer optimizer = EmbeddingOptimizer::kAdaGrad,
+                 float lr = 0.05f);
+
+  int64_t num_embeddings() const { return num_embeddings_; }
+  int dim() const { return dim_; }
+
+  // Copies row x into out[0..dim).
+  void ReadRow(int64_t x, float* out) const;
+
+  // Applies one optimizer step with `grad` (scaled by count identical
+  // gradient applications when a secondary flushes a batch of `count`
+  // accumulated updates).
+  void ApplyGradient(int64_t x, const float* grad);
+
+  // Direct row access without locking — only safe when workers are
+  // quiesced (evaluation, tests).
+  const float* UnsafeRow(int64_t x) const {
+    return values_.data() + x * dim_;
+  }
+  float* UnsafeMutableRow(int64_t x) { return values_.data() + x * dim_; }
+
+  uint64_t RowBytes() const {
+    return static_cast<uint64_t>(dim_) * sizeof(float);
+  }
+
+ private:
+  std::mutex& RowMutex(int64_t x) const {
+    return mutexes_[static_cast<size_t>(x) % kMutexStripes];
+  }
+
+  static constexpr size_t kMutexStripes = 1024;
+
+  int64_t num_embeddings_;
+  int dim_;
+  EmbeddingOptimizer optimizer_;
+  float lr_;
+  std::vector<float> values_;
+  std::vector<float> accum_;  // AdaGrad accumulators (empty for SGD)
+  mutable std::vector<std::mutex> mutexes_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_EMBED_EMBEDDING_TABLE_H_

@@ -1,0 +1,115 @@
+#include "embed/lru_cache.h"
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+LruEmbeddingCache::LruEmbeddingCache(int64_t capacity, int dim)
+    : dim_(dim), capacity_(capacity) {
+  HETGMP_CHECK_GT(dim, 0);
+  HETGMP_CHECK_GE(capacity, 0);
+  id_of_.assign(capacity, -1);
+  prev_.assign(capacity, -1);
+  next_.assign(capacity, -1);
+  free_slots_.reserve(capacity);
+  for (int64_t s = capacity - 1; s >= 0; --s) free_slots_.push_back(s);
+  values_.assign(capacity * dim_, 0.0f);
+  pending_.assign(capacity * dim_, 0.0f);
+  pending_count_.assign(capacity, 0);
+  synced_clock_.assign(capacity, 0);
+  slot_of_.reserve(capacity * 2);
+}
+
+void LruEmbeddingCache::Unlink(int64_t slot) {
+  const int64_t p = prev_[slot], n = next_[slot];
+  if (p != -1) {
+    next_[p] = n;
+  } else {
+    head_ = n;
+  }
+  if (n != -1) {
+    prev_[n] = p;
+  } else {
+    tail_ = p;
+  }
+  prev_[slot] = next_[slot] = -1;
+}
+
+void LruEmbeddingCache::LinkFront(int64_t slot) {
+  prev_[slot] = -1;
+  next_[slot] = head_;
+  if (head_ != -1) prev_[head_] = slot;
+  head_ = slot;
+  if (tail_ == -1) tail_ = slot;
+}
+
+void LruEmbeddingCache::MoveToFront(int64_t slot) {
+  if (head_ == slot) return;
+  Unlink(slot);
+  LinkFront(slot);
+}
+
+int64_t LruEmbeddingCache::Slot(FeatureId x) {
+  const auto it = slot_of_.find(x);
+  if (it == slot_of_.end()) {
+    ++misses_;
+    return -1;
+  }
+  ++hits_;
+  MoveToFront(it->second);
+  return it->second;
+}
+
+int64_t LruEmbeddingCache::EvictionCandidate() const {
+  if (!free_slots_.empty() || capacity_ == 0) return -1;
+  return tail_;
+}
+
+int64_t LruEmbeddingCache::Insert(FeatureId x) {
+  HETGMP_CHECK_GT(capacity_, 0);
+  HETGMP_CHECK(slot_of_.find(x) == slot_of_.end())
+      << " inserting already-cached embedding " << x;
+  int64_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = tail_;
+    HETGMP_CHECK_GE(slot, 0);
+    HETGMP_CHECK_EQ(pending_count_[slot], 0)
+        << " evicting slot with unflushed pending gradient";
+    slot_of_.erase(id_of_[slot]);
+    Unlink(slot);
+  }
+  id_of_[slot] = x;
+  slot_of_.emplace(x, slot);
+  LinkFront(slot);
+  float* v = Value(slot);
+  float* p = Pending(slot);
+  for (int c = 0; c < dim_; ++c) {
+    v[c] = 0.0f;
+    p[c] = 0.0f;
+  }
+  pending_count_[slot] = 0;
+  synced_clock_[slot] = 0;
+  return slot;
+}
+
+void LruEmbeddingCache::AccumulatePending(int64_t slot, const float* grad) {
+  float* p = Pending(slot);
+  for (int c = 0; c < dim_; ++c) p[c] += grad[c];
+  ++pending_count_[slot];
+}
+
+void LruEmbeddingCache::ClearPending(int64_t slot) {
+  float* p = Pending(slot);
+  for (int c = 0; c < dim_; ++c) p[c] = 0.0f;
+  pending_count_[slot] = 0;
+}
+
+void LruEmbeddingCache::SetValue(int64_t slot, const float* value) {
+  float* v = Value(slot);
+  for (int c = 0; c < dim_; ++c) v[c] = value[c];
+}
+
+}  // namespace hetgmp

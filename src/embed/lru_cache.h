@@ -1,0 +1,89 @@
+#ifndef HETGMP_EMBED_LRU_CACHE_H_
+#define HETGMP_EMBED_LRU_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "embed/replica_store.h"
+
+namespace hetgmp {
+
+// Fixed-capacity LRU replica store — the *dynamic* caching design of HET
+// (the paper's predecessor system [34]), implemented so HET-GMP's static
+// graph-derived replication can be compared against runtime-adaptive
+// caching under identical staleness machinery
+// (bench_ablation_cache_policy).
+//
+// Slots are recycled: inserting into a full cache evicts the least
+// recently used entry. The caller must write back the evictee's pending
+// gradient first (Insert reports it).
+class LruEmbeddingCache : public ReplicaStore {
+ public:
+  LruEmbeddingCache(int64_t capacity, int dim);
+
+  int dim() const override { return dim_; }
+  int64_t size() const override { return capacity_; }
+  int64_t occupied() const { return static_cast<int64_t>(slot_of_.size()); }
+  FeatureId IdAt(int64_t slot) const override { return id_of_[slot]; }
+
+  // Looks up x; a hit refreshes recency.
+  int64_t Slot(FeatureId x) override;
+
+  // Candidate eviction victim if an insert happened now: the LRU occupied
+  // slot, or -1 when there is still free space. The caller flushes its
+  // pending gradient, then calls Insert.
+  int64_t EvictionCandidate() const;
+
+  // Inserts x (must not be present), evicting the LRU entry if full; that
+  // entry's pending gradient must already be flushed (checked). Returns
+  // the slot now holding x, with value/pending zeroed and clock 0.
+  int64_t Insert(FeatureId x);
+
+  float* Value(int64_t slot) override { return values_.data() + slot * dim_; }
+  float* Pending(int64_t slot) override {
+    return pending_.data() + slot * dim_;
+  }
+  int64_t pending_count(int64_t slot) const override {
+    return pending_count_[slot];
+  }
+  uint64_t synced_clock(int64_t slot) const override {
+    return synced_clock_[slot];
+  }
+  void set_synced_clock(int64_t slot, uint64_t clock) override {
+    synced_clock_[slot] = clock;
+  }
+
+  void AccumulatePending(int64_t slot, const float* grad) override;
+  void ClearPending(int64_t slot) override;
+  void SetValue(int64_t slot, const float* value) override;
+
+  // Hit-rate instrumentation.
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  void MoveToFront(int64_t slot);
+  void Unlink(int64_t slot);
+  void LinkFront(int64_t slot);
+
+  int dim_;
+  int64_t capacity_;
+  std::unordered_map<FeatureId, int64_t> slot_of_;
+  std::vector<FeatureId> id_of_;      // -1 = unoccupied
+  std::vector<int64_t> prev_, next_;  // recency list over slots
+  int64_t head_ = -1;                 // most recent
+  int64_t tail_ = -1;                 // least recent
+  std::vector<int64_t> free_slots_;
+  std::vector<float> values_;
+  std::vector<float> pending_;
+  std::vector<int64_t> pending_count_;
+  std::vector<uint64_t> synced_clock_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_EMBED_LRU_CACHE_H_

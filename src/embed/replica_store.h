@@ -1,0 +1,49 @@
+#ifndef HETGMP_EMBED_REPLICA_STORE_H_
+#define HETGMP_EMBED_REPLICA_STORE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace hetgmp {
+
+// A worker's local replica storage: slot-addressed rows with a cached
+// value, a pending (not yet written back) gradient, and the primary clock
+// reflected in the value. Two implementations:
+//
+//  * SecondaryCache  — static membership from the 2D vertex-cut (§5.2,
+//    HET-GMP's design);
+//  * LruEmbeddingCache — dynamic LRU membership (the cache-enabled
+//    architecture of HET, the paper's predecessor system [34]).
+//
+// Single-owner: only the owning worker thread touches its store.
+class ReplicaStore {
+ public:
+  virtual ~ReplicaStore() = default;
+
+  virtual int dim() const = 0;
+  // Number of slots (capacity for dynamic stores).
+  virtual int64_t size() const = 0;
+  // Slot holding embedding x, or -1. Dynamic stores refresh recency.
+  virtual int64_t Slot(FeatureId x) = 0;
+  // Embedding held by `slot`, or -1 when the slot is unoccupied.
+  virtual FeatureId IdAt(int64_t slot) const = 0;
+
+  virtual float* Value(int64_t slot) = 0;
+  virtual float* Pending(int64_t slot) = 0;
+  virtual int64_t pending_count(int64_t slot) const = 0;
+  virtual uint64_t synced_clock(int64_t slot) const = 0;
+  virtual void set_synced_clock(int64_t slot, uint64_t clock) = 0;
+
+  virtual void AccumulatePending(int64_t slot, const float* grad) = 0;
+  virtual void ClearPending(int64_t slot) = 0;
+  virtual void SetValue(int64_t slot, const float* value) = 0;
+
+  uint64_t RowBytes() const {
+    return static_cast<uint64_t>(dim()) * sizeof(float);
+  }
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_EMBED_REPLICA_STORE_H_

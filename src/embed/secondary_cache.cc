@@ -1,0 +1,40 @@
+#include "embed/secondary_cache.h"
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+SecondaryCache::SecondaryCache(const std::vector<FeatureId>& embedding_ids,
+                               int dim)
+    : dim_(dim), ids_(embedding_ids) {
+  HETGMP_CHECK_GT(dim, 0);
+  slot_of_.reserve(ids_.size() * 2);
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    const bool inserted =
+        slot_of_.emplace(ids_[i], static_cast<int64_t>(i)).second;
+    HETGMP_CHECK(inserted) << " duplicate secondary id " << ids_[i];
+  }
+  values_.assign(ids_.size() * dim_, 0.0f);
+  pending_.assign(ids_.size() * dim_, 0.0f);
+  pending_count_.assign(ids_.size(), 0);
+  synced_clock_.assign(ids_.size(), 0);
+}
+
+void SecondaryCache::AccumulatePending(int64_t slot, const float* grad) {
+  float* p = Pending(slot);
+  for (int c = 0; c < dim_; ++c) p[c] += grad[c];
+  ++pending_count_[slot];
+}
+
+void SecondaryCache::ClearPending(int64_t slot) {
+  float* p = Pending(slot);
+  for (int c = 0; c < dim_; ++c) p[c] = 0.0f;
+  pending_count_[slot] = 0;
+}
+
+void SecondaryCache::SetValue(int64_t slot, const float* value) {
+  float* v = Value(slot);
+  for (int c = 0; c < dim_; ++c) v[c] = value[c];
+}
+
+}  // namespace hetgmp

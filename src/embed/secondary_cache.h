@@ -1,0 +1,77 @@
+#ifndef HETGMP_EMBED_SECONDARY_CACHE_H_
+#define HETGMP_EMBED_SECONDARY_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "embed/replica_store.h"
+
+namespace hetgmp {
+
+// One worker's secondary replicas (§5.2/§6): for every embedding the
+// vertex-cut assigned to this worker, a cached value row, a pending
+// gradient buffer (updates applied locally but not yet written back), and
+// the primary clock at the last refresh. Membership is *static* — decided
+// by Algorithm 1's 2D pass, not by runtime access patterns.
+//
+// Single-owner: only the owning worker touches its cache, so no locking.
+// (The extra space for "stale gradients" the paper mentions in §6 is the
+// pending buffer.)
+class SecondaryCache : public ReplicaStore {
+ public:
+  SecondaryCache(const std::vector<FeatureId>& embedding_ids, int dim);
+
+  int dim() const override { return dim_; }
+  int64_t size() const override { return static_cast<int64_t>(ids_.size()); }
+  const std::vector<FeatureId>& ids() const { return ids_; }
+  FeatureId IdAt(int64_t slot) const override { return ids_[slot]; }
+
+  // Slot of embedding x, or -1 when x is not cached here.
+  int64_t Slot(FeatureId x) override {
+    const auto it = slot_of_.find(x);
+    return it == slot_of_.end() ? -1 : it->second;
+  }
+
+  float* Value(int64_t slot) override { return values_.data() + slot * dim_; }
+  const float* Value(int64_t slot) const {
+    return values_.data() + slot * dim_;
+  }
+  float* Pending(int64_t slot) override {
+    return pending_.data() + slot * dim_;
+  }
+  int64_t pending_count(int64_t slot) const override {
+    return pending_count_[slot];
+  }
+
+  uint64_t synced_clock(int64_t slot) const override {
+    return synced_clock_[slot];
+  }
+  void set_synced_clock(int64_t slot, uint64_t clock) override {
+    synced_clock_[slot] = clock;
+  }
+
+  // Adds a gradient to the pending buffer (local update awaiting
+  // write-back).
+  void AccumulatePending(int64_t slot, const float* grad) override;
+
+  // Clears the pending buffer after write-back.
+  void ClearPending(int64_t slot) override;
+
+  // Overwrites the cached value (refresh from primary).
+  void SetValue(int64_t slot, const float* value) override;
+
+ private:
+  int dim_;
+  std::vector<FeatureId> ids_;
+  std::unordered_map<FeatureId, int64_t> slot_of_;
+  std::vector<float> values_;
+  std::vector<float> pending_;
+  std::vector<int64_t> pending_count_;
+  std::vector<uint64_t> synced_clock_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_EMBED_SECONDARY_CACHE_H_

@@ -1,0 +1,50 @@
+#include "graph/bigraph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+Bigraph::Bigraph(const CtrDataset& dataset)
+    : num_samples_(dataset.num_samples()),
+      num_embeddings_(dataset.num_features()),
+      arity_(dataset.num_fields()),
+      sample_features_(dataset.feature_ids().data()) {
+  degrees_.assign(num_embeddings_, 0);
+  for (FeatureId f : dataset.feature_ids()) ++degrees_[f];
+
+  emb_offsets_.assign(num_embeddings_ + 1, 0);
+  for (int64_t x = 0; x < num_embeddings_; ++x) {
+    emb_offsets_[x + 1] = emb_offsets_[x] + degrees_[x];
+  }
+  emb_adj_.resize(emb_offsets_.back());
+  std::vector<int64_t> cursor(emb_offsets_.begin(), emb_offsets_.end() - 1);
+  for (int64_t s = 0; s < num_samples_; ++s) {
+    const FeatureId* feats = SampleNeighbors(s);
+    for (int f = 0; f < arity_; ++f) {
+      emb_adj_[cursor[feats[f]]++] = s;
+    }
+  }
+}
+
+std::vector<FeatureId> Bigraph::EmbeddingsByDegreeDesc() const {
+  std::vector<FeatureId> ids(num_embeddings_);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&](FeatureId a, FeatureId b) {
+    return degrees_[a] > degrees_[b];
+  });
+  return ids;
+}
+
+std::vector<double> Bigraph::AccessFrequencies() const {
+  const double total = static_cast<double>(num_edges());
+  std::vector<double> p(num_embeddings_);
+  for (int64_t x = 0; x < num_embeddings_; ++x) {
+    p[x] = total > 0 ? static_cast<double>(degrees_[x]) / total : 0.0;
+  }
+  return p;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,63 @@
+#ifndef HETGMP_GRAPH_BIGRAPH_H_
+#define HETGMP_GRAPH_BIGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hetgmp {
+
+// The paper's bigraph abstraction (§5.1): G = (V_x, V_ξ, E) with embedding
+// vertices x, sample vertices ξ, and an edge (x_i, ξ_j) whenever sample j
+// uses embedding i. Both directions are materialized in CSR form:
+//  * sample → embeddings is the dataset CSR (fixed arity = num_fields);
+//  * embedding → samples is built here.
+class Bigraph {
+ public:
+  // `dataset` must outlive the Bigraph (the sample-side CSR is borrowed).
+  explicit Bigraph(const CtrDataset& dataset);
+
+  int64_t num_samples() const { return num_samples_; }
+  int64_t num_embeddings() const { return num_embeddings_; }
+  int64_t num_edges() const {
+    return num_samples_ * static_cast<int64_t>(arity_);
+  }
+  int arity() const { return arity_; }  // embeddings per sample
+
+  // Embeddings adjacent to sample s (exactly arity() entries).
+  const FeatureId* SampleNeighbors(int64_t s) const {
+    return sample_features_ + s * arity_;
+  }
+
+  // Samples adjacent to embedding x.
+  const int64_t* EmbeddingNeighbors(FeatureId x) const {
+    return emb_adj_.data() + emb_offsets_[x];
+  }
+  int64_t EmbeddingDegree(FeatureId x) const {
+    return emb_offsets_[x + 1] - emb_offsets_[x];
+  }
+
+  const std::vector<int64_t>& embedding_degrees() const { return degrees_; }
+
+  // Embedding ids in descending degree order (hot-first; used by the
+  // vertex-cut pass and by frequency-normalized clocks).
+  std::vector<FeatureId> EmbeddingsByDegreeDesc() const;
+
+  // Access probability p_i = degree_i / Σ degrees (for clock
+  // normalization, §5.3).
+  std::vector<double> AccessFrequencies() const;
+
+ private:
+  int64_t num_samples_;
+  int64_t num_embeddings_;
+  int arity_;
+  const FeatureId* sample_features_;  // borrowed from the dataset
+  std::vector<int64_t> emb_offsets_;  // size num_embeddings + 1
+  std::vector<int64_t> emb_adj_;      // sample ids
+  std::vector<int64_t> degrees_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_GRAPH_BIGRAPH_H_

@@ -1,0 +1,98 @@
+#include "graph/cooccurrence.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+WeightedGraph::WeightedGraph(
+    int64_t num_vertices,
+    std::vector<std::vector<std::pair<int64_t, double>>> adj)
+    : num_vertices_(num_vertices) {
+  HETGMP_CHECK_EQ(static_cast<int64_t>(adj.size()), num_vertices);
+  offsets_.assign(num_vertices + 1, 0);
+  for (int64_t u = 0; u < num_vertices; ++u) {
+    offsets_[u + 1] = offsets_[u] + static_cast<int64_t>(adj[u].size());
+  }
+  adj_.reserve(offsets_.back());
+  vertex_weight_.assign(num_vertices, 0.0);
+  for (int64_t u = 0; u < num_vertices; ++u) {
+    for (const auto& [v, w] : adj[u]) {
+      HETGMP_CHECK_GE(v, 0);
+      HETGMP_CHECK_LT(v, num_vertices);
+      adj_.push_back(Edge{v, w});
+      vertex_weight_[u] += w;
+      total_edge_weight_ += w;
+    }
+  }
+  // Each undirected edge is stored twice.
+  num_edges_ = static_cast<int64_t>(adj_.size()) / 2;
+  total_edge_weight_ /= 2.0;
+}
+
+WeightedGraph BuildCooccurrenceGraph(const CtrDataset& dataset,
+                                     const CooccurrenceOptions& options) {
+  const int F = dataset.num_fields();
+  const int64_t n = dataset.num_features();
+
+  // Enumerate pairs (a, b) of field indices in a fixed order that cycles
+  // through all fields, truncated to max_pairs_per_sample.
+  std::vector<std::pair<int, int>> pair_order;
+  for (int d = 1; d < F && static_cast<int>(pair_order.size()) <
+                               options.max_pairs_per_sample;
+       ++d) {
+    for (int a = 0; a + d < F && static_cast<int>(pair_order.size()) <
+                                     options.max_pairs_per_sample;
+         ++a) {
+      pair_order.emplace_back(a, a + d);
+    }
+  }
+
+  // Accumulate pair counts keyed by (min_id << 32 unsafe for big ids) —
+  // use a 128-bit-safe composite key via unordered_map<uint64_t> with ids
+  // packed only when they fit, otherwise a pair-keyed map. Feature counts
+  // in this library stay < 2^31, so packing is safe; enforce it.
+  HETGMP_CHECK_LT(n, (int64_t{1} << 31));
+  std::unordered_map<uint64_t, double> counts;
+  counts.reserve(dataset.num_samples() * 4);
+  for (int64_t s = 0; s < dataset.num_samples(); ++s) {
+    const FeatureId* feats = dataset.sample_features(s);
+    for (const auto& [a, b] : pair_order) {
+      FeatureId u = feats[a], v = feats[b];
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      const uint64_t key =
+          (static_cast<uint64_t>(u) << 31) | static_cast<uint64_t>(v);
+      counts[key] += 1.0;
+    }
+  }
+
+  std::vector<std::vector<std::pair<int64_t, double>>> adj(n);
+  for (const auto& [key, w] : counts) {
+    if (w < options.min_weight) continue;
+    const int64_t u = static_cast<int64_t>(key >> 31);
+    const int64_t v = static_cast<int64_t>(key & ((uint64_t{1} << 31) - 1));
+    adj[u].emplace_back(v, w);
+    adj[v].emplace_back(u, w);
+  }
+  return WeightedGraph(n, std::move(adj));
+}
+
+double WithinClusterWeightFraction(const WeightedGraph& graph,
+                                   const std::vector<int>& cluster_of) {
+  HETGMP_CHECK_EQ(static_cast<int64_t>(cluster_of.size()),
+                  graph.num_vertices());
+  if (graph.total_edge_weight() <= 0.0) return 0.0;
+  double within = 0.0;
+  for (int64_t u = 0; u < graph.num_vertices(); ++u) {
+    const auto* edges = graph.Neighbors(u);
+    for (int64_t e = 0; e < graph.Degree(u); ++e) {
+      if (cluster_of[u] == cluster_of[edges[e].to]) within += edges[e].weight;
+    }
+  }
+  return within / (2.0 * graph.total_edge_weight());
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,47 @@
+#include "metrics/auc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+double ComputeAuc(const std::vector<float>& scores,
+                  const std::vector<float>& labels) {
+  HETGMP_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  if (n == 0) return 0.5;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Mid-ranks over tied score groups.
+  double positive_rank_sum = 0.0;
+  int64_t num_positive = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double mid_rank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        positive_rank_sum += mid_rank;
+        ++num_positive;
+      }
+    }
+    i = j;
+  }
+
+  const int64_t num_negative = static_cast<int64_t>(n) - num_positive;
+  if (num_positive == 0 || num_negative == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(num_positive) *
+                       (static_cast<double>(num_positive) + 1.0) / 2.0;
+  return u / (static_cast<double>(num_positive) *
+              static_cast<double>(num_negative));
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,16 @@
+#ifndef HETGMP_METRICS_AUC_H_
+#define HETGMP_METRICS_AUC_H_
+
+#include <vector>
+
+namespace hetgmp {
+
+// Exact ROC AUC via the rank-sum (Mann–Whitney U) formulation, with the
+// standard mid-rank correction for tied scores. labels are {0,1}; returns
+// 0.5 when either class is absent.
+double ComputeAuc(const std::vector<float>& scores,
+                  const std::vector<float>& labels);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_METRICS_AUC_H_

@@ -1,0 +1,58 @@
+#include "metrics/comm_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stringutil.h"
+
+namespace hetgmp {
+
+CommBreakdown SnapshotBreakdown(const Fabric& fabric, int64_t iterations) {
+  HETGMP_CHECK_GT(iterations, 0);
+  CommBreakdown b;
+  const double inv = 1.0 / static_cast<double>(iterations);
+  b.embedding_bytes_per_iter =
+      static_cast<double>(fabric.TotalBytes(TrafficClass::kEmbedding)) * inv;
+  b.index_clock_bytes_per_iter =
+      static_cast<double>(fabric.TotalBytes(TrafficClass::kIndexClock)) * inv;
+  b.allreduce_bytes_per_iter =
+      static_cast<double>(fabric.TotalBytes(TrafficClass::kAllReduce)) * inv;
+  return b;
+}
+
+std::string CommBreakdown::ToString() const {
+  std::ostringstream os;
+  os << "embedding=" << HumanBytes(uint64_t(embedding_bytes_per_iter))
+     << "/iter index+clock="
+     << HumanBytes(uint64_t(index_clock_bytes_per_iter))
+     << "/iter allreduce=" << HumanBytes(uint64_t(allreduce_bytes_per_iter))
+     << "/iter";
+  return os.str();
+}
+
+std::string RenderPairHeatmap(
+    const std::vector<std::vector<uint64_t>>& matrix) {
+  uint64_t max_cell = 0;
+  for (const auto& row : matrix) {
+    for (uint64_t v : row) max_cell = std::max(max_cell, v);
+  }
+  static const char* kShades[] = {" .", " -", " +", " *", " #", " @"};
+  std::ostringstream os;
+  for (size_t r = 0; r < matrix.size(); ++r) {
+    os << "w" << PadLeft(std::to_string(r), 2) << " |";
+    for (uint64_t v : matrix[r]) {
+      int shade = 0;
+      if (max_cell > 0 && v > 0) {
+        shade = 1 + static_cast<int>(4.0 * static_cast<double>(v) /
+                                     static_cast<double>(max_cell));
+        shade = std::min(shade, 5);
+      }
+      os << kShades[shade];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetgmp

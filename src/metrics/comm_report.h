@@ -1,0 +1,36 @@
+#ifndef HETGMP_METRICS_COMM_REPORT_H_
+#define HETGMP_METRICS_COMM_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/fabric.h"
+
+namespace hetgmp {
+
+// Snapshot of fabric counters, normalized per iteration — the quantity
+// Figure 8 plots (three stacked categories per configuration).
+struct CommBreakdown {
+  double embedding_bytes_per_iter = 0.0;
+  double index_clock_bytes_per_iter = 0.0;
+  double allreduce_bytes_per_iter = 0.0;
+
+  double total_per_iter() const {
+    return embedding_bytes_per_iter + index_clock_bytes_per_iter +
+           allreduce_bytes_per_iter;
+  }
+  std::string ToString() const;
+};
+
+CommBreakdown SnapshotBreakdown(const Fabric& fabric, int64_t iterations);
+
+// Normalized pair matrix for the Figure 9(b) heatmap: row-major fractions
+// of the total (0 if no traffic). Rendered as a text heatmap with
+// shade characters.
+std::string RenderPairHeatmap(
+    const std::vector<std::vector<uint64_t>>& matrix);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_METRICS_COMM_REPORT_H_

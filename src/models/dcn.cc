@@ -1,0 +1,77 @@
+#include "models/dcn.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace hetgmp {
+
+namespace {
+constexpr int64_t kDeepOutDim = 16;
+}  // namespace
+
+DcnModel::DcnModel(int64_t input_dim, int num_cross_layers,
+                   std::vector<int64_t> hidden_dims, Rng* rng)
+    : cross_(input_dim, num_cross_layers, rng),
+      deep_(input_dim, hidden_dims, kDeepOutDim, rng),
+      combine_(input_dim + kDeepOutDim, 1, rng),
+      input_dim_(input_dim),
+      deep_out_dim_(kDeepOutDim) {}
+
+void DcnModel::Forward(const Tensor& emb_in, Tensor* logits) {
+  cross_.Forward(emb_in, &cross_out_);
+  deep_.Forward(emb_in, &deep_out_);
+  const int64_t batch = emb_in.dim(0);
+  concat_.Resize({batch, input_dim_ + deep_out_dim_});
+  for (int64_t i = 0; i < batch; ++i) {
+    float* row = concat_.row(i);
+    const float* c = cross_out_.row(i);
+    const float* d = deep_out_.row(i);
+    for (int64_t j = 0; j < input_dim_; ++j) row[j] = c[j];
+    for (int64_t j = 0; j < deep_out_dim_; ++j) row[input_dim_ + j] = d[j];
+  }
+  combine_.Forward(concat_, logits);
+}
+
+void DcnModel::Backward(const Tensor& dlogits, Tensor* demb_in) {
+  combine_.Backward(dlogits, &concat_grad_);
+  const int64_t batch = concat_grad_.dim(0);
+  Tensor dcross({batch, input_dim_});
+  Tensor ddeep({batch, deep_out_dim_});
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* row = concat_grad_.row(i);
+    float* c = dcross.row(i);
+    float* d = ddeep.row(i);
+    for (int64_t j = 0; j < input_dim_; ++j) c[j] = row[j];
+    for (int64_t j = 0; j < deep_out_dim_; ++j) d[j] = row[input_dim_ + j];
+  }
+  cross_.Backward(dcross, &cross_grad_in_);
+  deep_.Backward(ddeep, &deep_grad_in_);
+  demb_in->Resize(cross_grad_in_.shape());
+  for (int64_t i = 0; i < demb_in->size(); ++i) {
+    demb_in->at(i) = cross_grad_in_.at(i) + deep_grad_in_.at(i);
+  }
+}
+
+std::vector<Tensor*> DcnModel::DenseParams() {
+  std::vector<Tensor*> out = cross_.Params();
+  for (Tensor* p : deep_.Params()) out.push_back(p);
+  for (Tensor* p : combine_.Params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> DcnModel::DenseGrads() {
+  std::vector<Tensor*> out = cross_.Grads();
+  for (Tensor* g : deep_.Grads()) out.push_back(g);
+  for (Tensor* g : combine_.Grads()) out.push_back(g);
+  return out;
+}
+
+int64_t DcnModel::FlopsPerSample() const {
+  int64_t weights = 0;
+  for (Tensor* p : const_cast<DcnModel*>(this)->DenseParams()) {
+    weights += p->size();
+  }
+  return 6 * weights;
+}
+
+}  // namespace hetgmp

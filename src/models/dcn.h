@@ -1,0 +1,47 @@
+#ifndef HETGMP_MODELS_DCN_H_
+#define HETGMP_MODELS_DCN_H_
+
+#include <vector>
+
+#include "models/model.h"
+#include "nn/cross_layer.h"
+#include "nn/dense.h"
+#include "nn/mlp.h"
+
+namespace hetgmp {
+
+// Deep & Cross Network (Wang et al., 2017): a cross network and a deep MLP
+// run in parallel over the embedding block; their outputs are concatenated
+// and mapped to a logit by a final linear layer. The cross layers give DCN
+// more dense parameters than WDL — the paper leans on this in Figure 8
+// ("the DCN network has more dense parameters in its cross layers").
+class DcnModel : public EmbeddingModel {
+ public:
+  DcnModel(int64_t input_dim, int num_cross_layers,
+           std::vector<int64_t> hidden_dims, Rng* rng);
+
+  void Forward(const Tensor& emb_in, Tensor* logits) override;
+  void Backward(const Tensor& dlogits, Tensor* demb_in) override;
+
+  std::vector<Tensor*> DenseParams() override;
+  std::vector<Tensor*> DenseGrads() override;
+  int64_t FlopsPerSample() const override;
+  const char* name() const override { return "DCN"; }
+
+ private:
+  CrossNetwork cross_;
+  Mlp deep_;
+  Dense combine_;  // [cross_dim + deep_dim] → 1
+  int64_t input_dim_;
+  int64_t deep_out_dim_;
+  Tensor cross_out_;
+  Tensor deep_out_;
+  Tensor concat_;
+  Tensor concat_grad_;
+  Tensor cross_grad_in_;
+  Tensor deep_grad_in_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_MODELS_DCN_H_

@@ -1,0 +1,94 @@
+#include "models/deepfm.h"
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+DeepFmModel::DeepFmModel(int num_fields, int field_dim,
+                         std::vector<int64_t> hidden_dims, Rng* rng)
+    : num_fields_(num_fields),
+      field_dim_(field_dim),
+      linear_(static_cast<int64_t>(num_fields) * field_dim, 1, rng),
+      deep_(static_cast<int64_t>(num_fields) * field_dim, hidden_dims, 1,
+            rng) {
+  HETGMP_CHECK_GT(num_fields, 0);
+  HETGMP_CHECK_GT(field_dim, 0);
+}
+
+void DeepFmModel::Forward(const Tensor& emb_in, Tensor* logits) {
+  const int64_t batch = emb_in.dim(0);
+  HETGMP_CHECK_EQ(emb_in.dim(1),
+                  static_cast<int64_t>(num_fields_) * field_dim_);
+  cached_in_ = emb_in;
+  linear_.Forward(emb_in, &linear_out_);
+  deep_.Forward(emb_in, &deep_out_);
+
+  // FM second-order term: 0.5 Σ_d (S_d² − Σ_f v_{f,d}²), with
+  // S_d = Σ_f v_{f,d} cached for the backward pass.
+  field_sum_.Resize({batch, field_dim_});
+  logits->Resize({batch, 1});
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* row = emb_in.row(i);
+    float* sums = field_sum_.row(i);
+    double square_of_sum = 0.0, sum_of_square = 0.0;
+    for (int d = 0; d < field_dim_; ++d) {
+      float s = 0.0f;
+      for (int f = 0; f < num_fields_; ++f) {
+        const float v = row[f * field_dim_ + d];
+        s += v;
+        sum_of_square += static_cast<double>(v) * v;
+      }
+      sums[d] = s;
+      square_of_sum += static_cast<double>(s) * s;
+    }
+    const double fm = 0.5 * (square_of_sum - sum_of_square);
+    logits->at(i) = linear_out_.at(i) + deep_out_.at(i) +
+                    static_cast<float>(fm);
+  }
+}
+
+void DeepFmModel::Backward(const Tensor& dlogits, Tensor* demb_in) {
+  linear_.Backward(dlogits, &linear_grad_in_);
+  deep_.Backward(dlogits, &deep_grad_in_);
+  const int64_t batch = cached_in_.dim(0);
+  demb_in->Resize(cached_in_.shape());
+  for (int64_t i = 0; i < batch; ++i) {
+    const float g = dlogits.at(i);
+    const float* row = cached_in_.row(i);
+    const float* sums = field_sum_.row(i);
+    const float* lg = linear_grad_in_.row(i);
+    const float* dg = deep_grad_in_.row(i);
+    float* out = demb_in->row(i);
+    for (int f = 0; f < num_fields_; ++f) {
+      for (int d = 0; d < field_dim_; ++d) {
+        const int64_t idx = f * field_dim_ + d;
+        // d(fm)/dv = S_d − v.
+        out[idx] = lg[idx] + dg[idx] + g * (sums[d] - row[idx]);
+      }
+    }
+  }
+}
+
+std::vector<Tensor*> DeepFmModel::DenseParams() {
+  std::vector<Tensor*> out = linear_.Params();
+  for (Tensor* p : deep_.Params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> DeepFmModel::DenseGrads() {
+  std::vector<Tensor*> out = linear_.Grads();
+  for (Tensor* g : deep_.Grads()) out.push_back(g);
+  return out;
+}
+
+int64_t DeepFmModel::FlopsPerSample() const {
+  int64_t weights = 0;
+  for (Tensor* p : const_cast<DeepFmModel*>(this)->DenseParams()) {
+    weights += p->size();
+  }
+  // Dense towers plus the FM interaction (≈ 4 FLOPs per embedding value).
+  return 6 * weights +
+         4 * static_cast<int64_t>(num_fields_) * field_dim_;
+}
+
+}  // namespace hetgmp

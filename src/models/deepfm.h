@@ -1,0 +1,53 @@
+#ifndef HETGMP_MODELS_DEEPFM_H_
+#define HETGMP_MODELS_DEEPFM_H_
+
+#include <vector>
+
+#include "models/model.h"
+#include "nn/dense.h"
+#include "nn/mlp.h"
+
+namespace hetgmp {
+
+// DeepFM (Guo et al., IJCAI'17) — one of the embedding models §5.1 names
+// as supported by the bigraph abstraction. The logit combines:
+//
+//  * a first-order linear term over the embedding block,
+//  * the FM second-order interaction
+//      0.5 Σ_d [ (Σ_f v_{f,d})² − Σ_f v_{f,d}² ]
+//    over the per-field embedding vectors v_f, and
+//  * a deep MLP over the concatenated block.
+//
+// The FM term shares the same embeddings as the deep part (the defining
+// DeepFM trick), so the engine's gather/scatter path is identical to
+// WDL/DCN.
+class DeepFmModel : public EmbeddingModel {
+ public:
+  // input_dim = num_fields * field_dim.
+  DeepFmModel(int num_fields, int field_dim,
+              std::vector<int64_t> hidden_dims, Rng* rng);
+
+  void Forward(const Tensor& emb_in, Tensor* logits) override;
+  void Backward(const Tensor& dlogits, Tensor* demb_in) override;
+
+  std::vector<Tensor*> DenseParams() override;
+  std::vector<Tensor*> DenseGrads() override;
+  int64_t FlopsPerSample() const override;
+  const char* name() const override { return "DeepFM"; }
+
+ private:
+  int num_fields_;
+  int field_dim_;
+  Dense linear_;  // first-order term
+  Mlp deep_;
+  Tensor cached_in_;
+  Tensor field_sum_;  // [batch, field_dim]: Σ_f v_f per sample
+  Tensor linear_out_;
+  Tensor deep_out_;
+  Tensor linear_grad_in_;
+  Tensor deep_grad_in_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_MODELS_DEEPFM_H_

@@ -1,0 +1,55 @@
+#include "models/model.h"
+
+#include "common/logging.h"
+#include "models/dcn.h"
+#include "models/deepfm.h"
+#include "models/wdl.h"
+
+namespace hetgmp {
+
+const char* ModelTypeName(ModelType type) {
+  switch (type) {
+    case ModelType::kWdl:
+      return "WDL";
+    case ModelType::kDcn:
+      return "DCN";
+    case ModelType::kDeepFm:
+      return "DeepFM";
+  }
+  return "?";
+}
+
+std::unique_ptr<EmbeddingModel> CreateModel(ModelType type,
+                                            int64_t input_dim, Rng* rng) {
+  HETGMP_CHECK_GT(input_dim, 0);
+  switch (type) {
+    case ModelType::kWdl:
+      return std::make_unique<WdlModel>(
+          input_dim, std::vector<int64_t>{32, 16}, rng);
+    case ModelType::kDcn:
+      return std::make_unique<DcnModel>(
+          input_dim, /*num_cross_layers=*/2, std::vector<int64_t>{64, 32},
+          rng);
+    case ModelType::kDeepFm:
+      // Without field structure, treat the block as one field of
+      // input_dim (degenerates to linear + deep; FM term vanishes).
+      return std::make_unique<DeepFmModel>(
+          /*num_fields=*/1, static_cast<int>(input_dim),
+          std::vector<int64_t>{32, 16}, rng);
+  }
+  HETGMP_CHECK(false) << " unknown model type";
+  return nullptr;
+}
+
+std::unique_ptr<EmbeddingModel> CreateFieldModel(ModelType type,
+                                                 int num_fields,
+                                                 int field_dim, Rng* rng) {
+  if (type == ModelType::kDeepFm) {
+    return std::make_unique<DeepFmModel>(num_fields, field_dim,
+                                         std::vector<int64_t>{32, 16}, rng);
+  }
+  return CreateModel(type, static_cast<int64_t>(num_fields) * field_dim,
+                     rng);
+}
+
+}  // namespace hetgmp

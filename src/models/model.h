@@ -1,0 +1,68 @@
+#ifndef HETGMP_MODELS_MODEL_H_
+#define HETGMP_MODELS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// The dense tower of a CTR embedding model (§5.1): consumes the gathered
+// embedding block of a mini-batch — one row per sample holding the
+// concatenation of its num_fields embedding vectors — and produces click
+// logits. Gradients flow back to both the dense parameters (synchronized
+// by AllReduce) and the embedding block (scattered to embedding rows by
+// the engine).
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  // emb_in: [batch, num_fields * dim]; logits: [batch, 1].
+  virtual void Forward(const Tensor& emb_in, Tensor* logits) = 0;
+
+  // dlogits: [batch, 1]; demb_in: [batch, num_fields * dim]. Accumulates
+  // dense-parameter gradients internally.
+  virtual void Backward(const Tensor& dlogits, Tensor* demb_in) = 0;
+
+  virtual std::vector<Tensor*> DenseParams() = 0;
+  virtual std::vector<Tensor*> DenseGrads() = 0;
+  void ZeroGrads() {
+    for (Tensor* g : DenseGrads()) g->Fill(0.0f);
+  }
+
+  int64_t NumDenseParams() {
+    int64_t n = 0;
+    for (Tensor* p : DenseParams()) n += p->size();
+    return n;
+  }
+  uint64_t DenseParamBytes() {
+    return static_cast<uint64_t>(NumDenseParams()) * sizeof(float);
+  }
+
+  // Estimated forward+backward FLOPs per sample, for the simulated compute
+  // time model (≈ 3 fwd-equivalents, 2 FLOPs per weight per pass).
+  virtual int64_t FlopsPerSample() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+enum class ModelType { kWdl, kDcn, kDeepFm };
+
+const char* ModelTypeName(ModelType type);
+
+// Factory. `input_dim` = num_fields * embedding_dim. DeepFM additionally
+// needs the field structure; callers with field information should use
+// CreateFieldModel, which falls back to this for field-agnostic models.
+std::unique_ptr<EmbeddingModel> CreateModel(ModelType type,
+                                            int64_t input_dim, Rng* rng);
+
+std::unique_ptr<EmbeddingModel> CreateFieldModel(ModelType type,
+                                                 int num_fields,
+                                                 int field_dim, Rng* rng);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_MODELS_MODEL_H_

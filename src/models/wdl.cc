@@ -1,0 +1,52 @@
+#include "models/wdl.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace hetgmp {
+
+WdlModel::WdlModel(int64_t input_dim, std::vector<int64_t> hidden_dims,
+                   Rng* rng)
+    : wide_(input_dim, 1, rng), deep_(input_dim, hidden_dims, 1, rng) {}
+
+void WdlModel::Forward(const Tensor& emb_in, Tensor* logits) {
+  wide_.Forward(emb_in, &wide_out_);
+  deep_.Forward(emb_in, &deep_out_);
+  logits->Resize(wide_out_.shape());
+  for (int64_t i = 0; i < logits->size(); ++i) {
+    logits->at(i) = wide_out_.at(i) + deep_out_.at(i);
+  }
+}
+
+void WdlModel::Backward(const Tensor& dlogits, Tensor* demb_in) {
+  wide_.Backward(dlogits, &wide_grad_in_);
+  deep_.Backward(dlogits, &deep_grad_in_);
+  demb_in->Resize(wide_grad_in_.shape());
+  for (int64_t i = 0; i < demb_in->size(); ++i) {
+    demb_in->at(i) = wide_grad_in_.at(i) + deep_grad_in_.at(i);
+  }
+}
+
+std::vector<Tensor*> WdlModel::DenseParams() {
+  std::vector<Tensor*> out = wide_.Params();
+  for (Tensor* p : deep_.Params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> WdlModel::DenseGrads() {
+  std::vector<Tensor*> out = wide_.Grads();
+  for (Tensor* g : deep_.Grads()) out.push_back(g);
+  return out;
+}
+
+int64_t WdlModel::FlopsPerSample() const {
+  int64_t weights = 0;
+  for (Tensor* p : const_cast<WdlModel*>(this)->DenseParams()) {
+    weights += p->size();
+  }
+  // 2 FLOPs per weight per pass, ~3 forward-equivalent passes (fwd + bwd
+  // wrt activations + bwd wrt weights).
+  return 6 * weights;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,38 @@
+#ifndef HETGMP_MODELS_WDL_H_
+#define HETGMP_MODELS_WDL_H_
+
+#include <vector>
+
+#include "models/model.h"
+#include "nn/dense.h"
+#include "nn/mlp.h"
+
+namespace hetgmp {
+
+// Wide & Deep (Cheng et al., 2016): logit = wide(x) + deep(x), where the
+// wide part is a linear model over the embedding block (memorization) and
+// the deep part is an MLP (generalization).
+class WdlModel : public EmbeddingModel {
+ public:
+  WdlModel(int64_t input_dim, std::vector<int64_t> hidden_dims, Rng* rng);
+
+  void Forward(const Tensor& emb_in, Tensor* logits) override;
+  void Backward(const Tensor& dlogits, Tensor* demb_in) override;
+
+  std::vector<Tensor*> DenseParams() override;
+  std::vector<Tensor*> DenseGrads() override;
+  int64_t FlopsPerSample() const override;
+  const char* name() const override { return "WDL"; }
+
+ private:
+  Dense wide_;
+  Mlp deep_;
+  Tensor wide_out_;
+  Tensor deep_out_;
+  Tensor wide_grad_in_;
+  Tensor deep_grad_in_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_MODELS_WDL_H_

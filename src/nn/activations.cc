@@ -1,0 +1,16 @@
+#include "nn/activations.h"
+
+#include "tensor/ops.h"
+
+namespace hetgmp {
+
+void Relu::Forward(const Tensor& in, Tensor* out) {
+  cached_in_ = in;
+  ReluForward(in, out);
+}
+
+void Relu::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  ReluBackward(cached_in_, grad_out, grad_in);
+}
+
+}  // namespace hetgmp

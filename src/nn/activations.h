@@ -1,0 +1,25 @@
+#ifndef HETGMP_NN_ACTIVATIONS_H_
+#define HETGMP_NN_ACTIVATIONS_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace hetgmp {
+
+// Elementwise rectified linear unit.
+class Relu : public Layer {
+ public:
+  void Forward(const Tensor& in, Tensor* out) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+
+  std::vector<Tensor*> Params() override { return {}; }
+  std::vector<Tensor*> Grads() override { return {}; }
+
+ private:
+  Tensor cached_in_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_NN_ACTIVATIONS_H_

@@ -1,0 +1,107 @@
+#include "nn/cross_layer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace hetgmp {
+
+CrossNetwork::CrossNetwork(int64_t dim, int num_layers, Rng* rng) {
+  HETGMP_CHECK_GT(num_layers, 0);
+  w_.reserve(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    // Small-gain init keeps the residual path dominant at the start.
+    w_.push_back(Tensor::Gaussian({dim}, 1.0f / std::sqrt(float(dim)), rng));
+    b_.push_back(Tensor({dim}));
+    w_grad_.push_back(Tensor({dim}));
+    b_grad_.push_back(Tensor({dim}));
+  }
+}
+
+void CrossNetwork::Forward(const Tensor& in, Tensor* out) {
+  const int L = num_layers();
+  const int64_t batch = in.dim(0);
+  const int64_t d = in.dim(1);
+  HETGMP_CHECK_EQ(d, w_[0].size());
+
+  x_.assign(1, in);
+  s_.assign(L, std::vector<float>(batch, 0.0f));
+  for (int l = 0; l < L; ++l) {
+    const Tensor& xl = x_.back();
+    Tensor next({batch, d});
+    for (int64_t i = 0; i < batch; ++i) {
+      const float* x0row = in.row(i);
+      const float* xlrow = xl.row(i);
+      float s = 0.0f;
+      for (int64_t c = 0; c < d; ++c) s += xlrow[c] * w_[l].at(c);
+      s_[l][i] = s;
+      float* nrow = next.row(i);
+      for (int64_t c = 0; c < d; ++c) {
+        nrow[c] = x0row[c] * s + b_[l].at(c) + xlrow[c];
+      }
+    }
+    x_.push_back(std::move(next));
+  }
+  *out = x_.back();
+}
+
+void CrossNetwork::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  const int L = num_layers();
+  const Tensor& x0 = x_[0];
+  const int64_t batch = x0.dim(0);
+  const int64_t d = x0.dim(1);
+  HETGMP_CHECK_EQ(grad_out.dim(0), batch);
+  HETGMP_CHECK_EQ(grad_out.dim(1), d);
+
+  Tensor dxl = grad_out;          // gradient flowing into x_{l+1}
+  Tensor dx0({batch, d});         // accumulated gradient on x0 via the
+                                  // multiplicative term
+  for (int l = L - 1; l >= 0; --l) {
+    const Tensor& xl = x_[l];
+    Tensor dprev({batch, d});
+    for (int64_t i = 0; i < batch; ++i) {
+      const float* gout = dxl.row(i);
+      const float* x0row = x0.row(i);
+      const float* xlrow = xl.row(i);
+      // g·x0 appears in both the w gradient and the x_l gradient.
+      float g_dot_x0 = 0.0f;
+      for (int64_t c = 0; c < d; ++c) g_dot_x0 += gout[c] * x0row[c];
+      const float s = s_[l][i];
+      float* dprow = dprev.row(i);
+      float* dx0row = dx0.row(i);
+      for (int64_t c = 0; c < d; ++c) {
+        w_grad_[l].at(c) += g_dot_x0 * xlrow[c];
+        b_grad_[l].at(c) += gout[c];
+        dprow[c] = gout[c] + g_dot_x0 * w_[l].at(c);
+        dx0row[c] += s * gout[c];
+      }
+    }
+    dxl = std::move(dprev);
+  }
+  // x_0's total gradient: residual chain (dxl) + multiplicative terms (dx0).
+  grad_in->Resize({batch, d});
+  for (int64_t i = 0; i < grad_in->size(); ++i) {
+    grad_in->at(i) = dxl.at(i) + dx0.at(i);
+  }
+}
+
+std::vector<Tensor*> CrossNetwork::Params() {
+  std::vector<Tensor*> out;
+  for (size_t l = 0; l < w_.size(); ++l) {
+    out.push_back(&w_[l]);
+    out.push_back(&b_[l]);
+  }
+  return out;
+}
+
+std::vector<Tensor*> CrossNetwork::Grads() {
+  std::vector<Tensor*> out;
+  for (size_t l = 0; l < w_.size(); ++l) {
+    out.push_back(&w_grad_[l]);
+    out.push_back(&b_grad_[l]);
+  }
+  return out;
+}
+
+}  // namespace hetgmp

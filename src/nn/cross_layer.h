@@ -1,0 +1,43 @@
+#ifndef HETGMP_NN_CROSS_LAYER_H_
+#define HETGMP_NN_CROSS_LAYER_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace hetgmp {
+
+// The cross network of Deep & Cross (Wang et al., ADKDD'17). With input x0
+// (per sample), layer l computes
+//
+//   x_{l+1} = x0 * (x_l · w_l) + b_l + x_l
+//
+// i.e., an explicit bounded-degree feature-interaction term plus a residual
+// connection. All layers share the input dimension d; parameters per layer
+// are w_l, b_l ∈ R^d.
+class CrossNetwork : public Layer {
+ public:
+  CrossNetwork(int64_t dim, int num_layers, Rng* rng);
+
+  void Forward(const Tensor& in, Tensor* out) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+
+  std::vector<Tensor*> Params() override;
+  std::vector<Tensor*> Grads() override;
+
+  int num_layers() const { return static_cast<int>(w_.size()); }
+
+ private:
+  std::vector<Tensor> w_;
+  std::vector<Tensor> b_;
+  std::vector<Tensor> w_grad_;
+  std::vector<Tensor> b_grad_;
+  // Per-forward caches: x_[l] is the input to layer l (x_[0] == x0);
+  // s_[l][i] is the scalar x_l,i · w_l for sample i.
+  std::vector<Tensor> x_;
+  std::vector<std::vector<float>> s_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_NN_CROSS_LAYER_H_

@@ -1,0 +1,31 @@
+#include "nn/dense.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace hetgmp {
+
+Dense::Dense(int64_t in_dim, int64_t out_dim, Rng* rng)
+    : weight_(Tensor::XavierUniform(in_dim, out_dim, rng)),
+      bias_({out_dim}),
+      weight_grad_({in_dim, out_dim}),
+      bias_grad_({out_dim}) {}
+
+void Dense::Forward(const Tensor& in, Tensor* out) {
+  HETGMP_CHECK_EQ(in.dim(1), weight_.dim(0));
+  cached_in_ = in;
+  MatMul(in, weight_, out);
+  AddBiasRows(out, bias_);
+}
+
+void Dense::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  HETGMP_CHECK_EQ(grad_out.dim(1), weight_.dim(1));
+  // dW += in^T @ grad_out; db += column sums; grad_in = grad_out @ W^T.
+  MatMulTransA(cached_in_, grad_out, &scratch_);
+  Axpy(1.0f, scratch_, &weight_grad_);
+  SumRows(grad_out, &scratch_);
+  Axpy(1.0f, scratch_, &bias_grad_);
+  MatMulTransB(grad_out, weight_, grad_in);
+}
+
+}  // namespace hetgmp

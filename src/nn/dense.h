@@ -1,0 +1,37 @@
+#ifndef HETGMP_NN_DENSE_H_
+#define HETGMP_NN_DENSE_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace hetgmp {
+
+// Fully connected layer: out = in @ W + b, W: [in_dim, out_dim], b: [out_dim].
+class Dense : public Layer {
+ public:
+  Dense(int64_t in_dim, int64_t out_dim, Rng* rng);
+
+  void Forward(const Tensor& in, Tensor* out) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+
+  std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Grads() override {
+    return {&weight_grad_, &bias_grad_};
+  }
+
+  int64_t in_dim() const { return weight_.dim(0); }
+  int64_t out_dim() const { return weight_.dim(1); }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_in_;
+  Tensor scratch_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_NN_DENSE_H_

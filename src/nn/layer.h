@@ -1,0 +1,39 @@
+#ifndef HETGMP_NN_LAYER_H_
+#define HETGMP_NN_LAYER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// Interface for a differentiable layer. Layers cache whatever they need
+// from Forward so Backward can run; the trainer drives
+// Forward → Backward → optimizer step → ZeroGrads each iteration.
+//
+// Gradients accumulate across Backward calls until ZeroGrads, so a layer
+// can be reused over micro-batches.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Computes out = f(in). `in` has a leading batch dimension.
+  virtual void Forward(const Tensor& in, Tensor* out) = 0;
+
+  // Computes grad_in = df/din · grad_out and accumulates parameter
+  // gradients. Must be called after Forward with a matching batch.
+  virtual void Backward(const Tensor& grad_out, Tensor* grad_in) = 0;
+
+  // Parameter tensors and their gradient slots, index-aligned. Both lists
+  // may be empty for stateless layers.
+  virtual std::vector<Tensor*> Params() = 0;
+  virtual std::vector<Tensor*> Grads() = 0;
+
+  void ZeroGrads() {
+    for (Tensor* g : Grads()) g->Fill(0.0f);
+  }
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_NN_LAYER_H_

@@ -1,0 +1,47 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+namespace {
+
+// Stable BCE: max(z,0) - z*y + log(1 + exp(-|z|)).
+double StableBce(double z, double y) {
+  return std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::abs(z)));
+}
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+double BceWithLogits(const Tensor& logits, const std::vector<float>& labels,
+                     Tensor* grad) {
+  const int64_t batch = logits.dim(0);
+  HETGMP_CHECK_EQ(batch, static_cast<int64_t>(labels.size()));
+  grad->Resize(logits.shape());
+  double total = 0.0;
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  for (int64_t i = 0; i < batch; ++i) {
+    const double z = logits.at(i);
+    const double y = labels[i];
+    total += StableBce(z, y);
+    grad->at(i) = static_cast<float>((Sigmoid(z) - y) * inv_batch);
+  }
+  return total * inv_batch;
+}
+
+double BceWithLogitsLoss(const Tensor& logits,
+                         const std::vector<float>& labels) {
+  const int64_t batch = logits.dim(0);
+  HETGMP_CHECK_EQ(batch, static_cast<int64_t>(labels.size()));
+  double total = 0.0;
+  for (int64_t i = 0; i < batch; ++i) {
+    total += StableBce(logits.at(i), labels[i]);
+  }
+  return total / static_cast<double>(batch);
+}
+
+}  // namespace hetgmp

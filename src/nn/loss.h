@@ -1,0 +1,24 @@
+#ifndef HETGMP_NN_LOSS_H_
+#define HETGMP_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// Binary cross-entropy on logits (the CTR objective). Numerically stable
+// log-sum-exp form. logits: [batch, 1]; labels: {0,1}^batch.
+//
+// Returns the mean loss; writes d(mean loss)/d(logit) into grad (same shape
+// as logits).
+double BceWithLogits(const Tensor& logits, const std::vector<float>& labels,
+                     Tensor* grad);
+
+// Mean loss only (evaluation path, no gradient).
+double BceWithLogitsLoss(const Tensor& logits,
+                         const std::vector<float>& labels);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_NN_LOSS_H_

@@ -1,0 +1,55 @@
+#include "nn/mlp.h"
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+
+namespace hetgmp {
+
+Mlp::Mlp(int64_t in_dim, const std::vector<int64_t>& hidden_dims,
+         int64_t out_dim, Rng* rng) {
+  int64_t prev = in_dim;
+  for (int64_t h : hidden_dims) {
+    layers_.push_back(std::make_unique<Dense>(prev, h, rng));
+    layers_.push_back(std::make_unique<Relu>());
+    prev = h;
+  }
+  layers_.push_back(std::make_unique<Dense>(prev, out_dim, rng));
+}
+
+void Mlp::Forward(const Tensor& in, Tensor* out) {
+  activations_.resize(layers_.size());
+  const Tensor* cur = &in;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l]->Forward(*cur, &activations_[l]);
+    cur = &activations_[l];
+  }
+  *out = activations_.back();
+}
+
+void Mlp::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  Tensor grad = grad_out;
+  Tensor prev_grad;
+  for (int l = static_cast<int>(layers_.size()) - 1; l >= 0; --l) {
+    layers_[l]->Backward(grad, &prev_grad);
+    grad = std::move(prev_grad);
+  }
+  *grad_in = std::move(grad);
+}
+
+std::vector<Tensor*> Mlp::Params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Mlp::Grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->Grads()) out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace hetgmp

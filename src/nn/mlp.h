@@ -1,0 +1,34 @@
+#ifndef HETGMP_NN_MLP_H_
+#define HETGMP_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace hetgmp {
+
+// Sequential container: Dense(h1) → ReLU → ... → Dense(out_dim).
+// hidden_dims lists the hidden layer widths; the final Dense has no
+// activation (caller applies a loss on logits).
+class Mlp : public Layer {
+ public:
+  Mlp(int64_t in_dim, const std::vector<int64_t>& hidden_dims,
+      int64_t out_dim, Rng* rng);
+
+  void Forward(const Tensor& in, Tensor* out) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+
+  std::vector<Tensor*> Params() override;
+  std::vector<Tensor*> Grads() override;
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Tensor> activations_;  // outputs of each layer, reused
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_NN_MLP_H_

@@ -1,0 +1,36 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+void SgdOptimizer::Step(const std::vector<Tensor*>& params,
+                        const std::vector<Tensor*>& grads) {
+  HETGMP_CHECK_EQ(params.size(), grads.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor* p = params[i];
+    const Tensor* g = grads[i];
+    HETGMP_CHECK_EQ(p->size(), g->size());
+    for (int64_t j = 0; j < p->size(); ++j) {
+      p->at(j) -= lr_ * (g->at(j) + weight_decay_ * p->at(j));
+    }
+  }
+}
+
+void AdaGradUpdateRow(float* row, const float* grad, float* accum,
+                      int64_t dim, float lr, float epsilon) {
+  for (int64_t c = 0; c < dim; ++c) {
+    accum[c] += grad[c] * grad[c];
+    row[c] -= lr * grad[c] / (std::sqrt(accum[c]) + epsilon);
+  }
+}
+
+void SgdUpdateRow(float* row, const float* grad, int64_t dim, float lr) {
+  for (int64_t c = 0; c < dim; ++c) {
+    row[c] -= lr * grad[c];
+  }
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,38 @@
+#ifndef HETGMP_NN_OPTIMIZER_H_
+#define HETGMP_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// Plain SGD for dense parameters: p -= lr * (g + weight_decay * p).
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(float lr, float weight_decay = 0.0f)
+      : lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads);
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+// AdaGrad state for a single embedding row, updated in place. Embedding
+// tables use per-row AdaGrad (standard for sparse CTR features): accum is
+// the running sum of squared gradients for the row.
+void AdaGradUpdateRow(float* row, const float* grad, float* accum,
+                      int64_t dim, float lr, float epsilon = 1e-8f);
+
+// SGD update for a single embedding row.
+void SgdUpdateRow(float* row, const float* grad, int64_t dim, float lr);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_NN_OPTIMIZER_H_

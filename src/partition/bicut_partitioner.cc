@@ -1,0 +1,58 @@
+#include "partition/bicut_partitioner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace hetgmp {
+
+Partition BiCutPartitioner::Run(const Bigraph& graph, int num_parts) {
+  HETGMP_CHECK_GT(num_parts, 0);
+  const int64_t n_s = graph.num_samples();
+  const int64_t n_x = graph.num_embeddings();
+  const int N = num_parts;
+  Rng rng(seed_);
+
+  Partition part;
+  part.num_parts = N;
+  part.sample_owner.assign(n_s, 0);
+  part.embedding_owner.resize(n_x);
+  part.secondaries.assign(N, {});
+
+  // Pass 1: hash-distribute the embedding side.
+  for (int64_t x = 0; x < n_x; ++x) {
+    part.embedding_owner[x] = static_cast<int>(rng.NextUint64(N));
+  }
+
+  // Pass 2: one greedy streaming pass over samples with a hard load cap.
+  const int64_t cap = static_cast<int64_t>(
+      (1.0 + max_imbalance_) * static_cast<double>(n_s) / N) + 1;
+  std::vector<int64_t> load(N, 0);
+  std::vector<int64_t> tally(N, 0);
+  for (int64_t s = 0; s < n_s; ++s) {
+    std::fill(tally.begin(), tally.end(), 0);
+    const FeatureId* feats = graph.SampleNeighbors(s);
+    for (int f = 0; f < graph.arity(); ++f) {
+      ++tally[part.embedding_owner[feats[f]]];
+    }
+    int best = -1;
+    int64_t best_tally = -1;
+    for (int j = 0; j < N; ++j) {
+      if (load[j] >= cap) continue;
+      // Break ties toward the lighter partition.
+      if (tally[j] > best_tally ||
+          (tally[j] == best_tally && best >= 0 && load[j] < load[best])) {
+        best_tally = tally[j];
+        best = j;
+      }
+    }
+    HETGMP_CHECK_GE(best, 0) << " all partitions at cap";
+    part.sample_owner[s] = best;
+    ++load[best];
+  }
+  return part;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,37 @@
+#ifndef HETGMP_PARTITION_BICUT_PARTITIONER_H_
+#define HETGMP_PARTITION_BICUT_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace hetgmp {
+
+// BiCut (Chen et al., JCST'15): the bipartite-oriented variant of
+// PowerLyra's hybrid-cut, used by the paper as the strong partitioning
+// baseline (Table 3). One-pass and skew-aware:
+//
+//  1. The "favorite" subset — here the embedding side, whose placement
+//     determines communication — is hash-distributed evenly.
+//  2. Each sample is then greedily assigned to the partition that owns the
+//     most of its embeddings, subject to a load cap, so per-sample access
+//     locality is exploited without a second pass.
+//
+// No replication, no iteration — by design (graph systems amortize
+// partitioning over a short computation; see §3 "Graph Partitioning").
+class BiCutPartitioner : public Partitioner {
+ public:
+  explicit BiCutPartitioner(double max_imbalance = 0.05, uint64_t seed = 11)
+      : max_imbalance_(max_imbalance), seed_(seed) {}
+
+  Partition Run(const Bigraph& graph, int num_parts) override;
+  const char* name() const override { return "bicut"; }
+
+ private:
+  double max_imbalance_;
+  uint64_t seed_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_PARTITION_BICUT_PARTITIONER_H_

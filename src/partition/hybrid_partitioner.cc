@@ -1,0 +1,321 @@
+#include "partition/hybrid_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace hetgmp {
+
+namespace {
+
+// Mutable state for Algorithm 1: per-partition tallies plus the count(x, i)
+// matrix from Eq. 3 ("the number of times embedding x is used by the data
+// samples in the i-th partition"), maintained incrementally across vertex
+// moves.
+class PartitionState {
+ public:
+  PartitionState(const Bigraph& graph, int num_parts,
+                 const std::vector<std::vector<double>>& weight)
+      : graph_(graph),
+        n_(num_parts),
+        weight_(weight),
+        cnt_(graph.num_embeddings() * num_parts, 0),
+        sample_count_(num_parts, 0),
+        emb_count_(num_parts, 0),
+        comm_cost_(num_parts, 0.0) {}
+
+  void InitFrom(const Partition& p) {
+    sample_owner_ = p.sample_owner;
+    emb_owner_ = p.embedding_owner;
+    for (int64_t s = 0; s < graph_.num_samples(); ++s) {
+      ++sample_count_[sample_owner_[s]];
+      const FeatureId* feats = graph_.SampleNeighbors(s);
+      for (int f = 0; f < graph_.arity(); ++f) {
+        ++cnt_[feats[f] * n_ + sample_owner_[s]];
+      }
+    }
+    for (int64_t x = 0; x < graph_.num_embeddings(); ++x) {
+      ++emb_count_[emb_owner_[x]];
+    }
+    RecomputeCommCosts();
+  }
+
+  // δ_c(G_i) (Eq. 3) with bandwidth weights: partitions pay weight(i, owner)
+  // for every access to a non-local embedding.
+  void RecomputeCommCosts() {
+    std::fill(comm_cost_.begin(), comm_cost_.end(), 0.0);
+    for (int64_t x = 0; x < graph_.num_embeddings(); ++x) {
+      const int owner = emb_owner_[x];
+      for (int i = 0; i < n_; ++i) {
+        if (i == owner) continue;
+        comm_cost_[i] += cnt_[x * n_ + i] * weight_[i][owner];
+      }
+    }
+  }
+
+  int sample_owner(int64_t s) const { return sample_owner_[s]; }
+  int emb_owner(int64_t x) const { return emb_owner_[x]; }
+  int64_t cnt(int64_t x, int i) const { return cnt_[x * n_ + i]; }
+  int64_t sample_count(int i) const { return sample_count_[i]; }
+  int64_t emb_count(int i) const { return emb_count_[i]; }
+  double comm_cost(int i) const { return comm_cost_[i]; }
+  double AvgCommCost() const {
+    return std::accumulate(comm_cost_.begin(), comm_cost_.end(), 0.0) / n_;
+  }
+
+  void DetachSample(int64_t s) {
+    const int a = sample_owner_[s];
+    --sample_count_[a];
+    const FeatureId* feats = graph_.SampleNeighbors(s);
+    for (int f = 0; f < graph_.arity(); ++f) {
+      const FeatureId x = feats[f];
+      --cnt_[x * n_ + a];
+      const int o = emb_owner_[x];
+      if (o != a) comm_cost_[a] -= weight_[a][o];
+    }
+    sample_owner_[s] = -1;
+  }
+
+  void AttachSample(int64_t s, int b) {
+    sample_owner_[s] = b;
+    ++sample_count_[b];
+    const FeatureId* feats = graph_.SampleNeighbors(s);
+    for (int f = 0; f < graph_.arity(); ++f) {
+      const FeatureId x = feats[f];
+      ++cnt_[x * n_ + b];
+      const int o = emb_owner_[x];
+      if (o != b) comm_cost_[b] += weight_[b][o];
+    }
+  }
+
+  // Cost that all partitions together would pay for embedding x if it were
+  // owned by j: Σ_{i≠j} count(x, i) · weight(i, j).
+  double EmbeddingCommIfOwnedBy(int64_t x, int j) const {
+    double cost = 0.0;
+    for (int i = 0; i < n_; ++i) {
+      if (i == j) continue;
+      const int64_t c = cnt_[x * n_ + i];
+      if (c != 0) cost += static_cast<double>(c) * weight_[i][j];
+    }
+    return cost;
+  }
+
+  void DetachEmbedding(int64_t x) {
+    const int a = emb_owner_[x];
+    --emb_count_[a];
+    // Other partitions were paying for x; stop charging them while x is in
+    // flight (AttachEmbedding re-charges for the new owner).
+    for (int i = 0; i < n_; ++i) {
+      if (i == a) continue;
+      const int64_t c = cnt_[x * n_ + i];
+      if (c != 0) comm_cost_[i] -= static_cast<double>(c) * weight_[i][a];
+    }
+    emb_owner_[x] = -1;
+  }
+
+  void AttachEmbedding(int64_t x, int b) {
+    emb_owner_[x] = b;
+    ++emb_count_[b];
+    for (int i = 0; i < n_; ++i) {
+      if (i == b) continue;
+      const int64_t c = cnt_[x * n_ + i];
+      if (c != 0) comm_cost_[i] += static_cast<double>(c) * weight_[i][b];
+    }
+  }
+
+  // Marginal comm a sample adds to partition j: the weighted count of its
+  // embeddings that are remote from j.
+  double SampleCommCost(int64_t s, int j) const {
+    double cost = 0.0;
+    const FeatureId* feats = graph_.SampleNeighbors(s);
+    for (int f = 0; f < graph_.arity(); ++f) {
+      const int o = emb_owner_[feats[f]];
+      if (o != j && o >= 0) cost += weight_[j][o];
+    }
+    return cost;
+  }
+
+ private:
+  const Bigraph& graph_;
+  const int n_;
+  const std::vector<std::vector<double>>& weight_;
+  std::vector<int32_t> cnt_;
+  std::vector<int> sample_owner_;
+  std::vector<int> emb_owner_;
+  std::vector<int64_t> sample_count_;
+  std::vector<int64_t> emb_count_;
+  std::vector<double> comm_cost_;
+};
+
+std::vector<std::vector<double>> HomogeneousWeights(int n) {
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 1.0));
+  for (int i = 0; i < n; ++i) w[i][i] = 0.0;
+  return w;
+}
+
+}  // namespace
+
+Partition HybridPartitioner::Run(const Bigraph& graph, int num_parts) {
+  HETGMP_CHECK_GT(num_parts, 0);
+  const int64_t n_s = graph.num_samples();
+  const int64_t n_x = graph.num_embeddings();
+  const int N = num_parts;
+
+  std::vector<std::vector<double>> weight = options_.comm_weight;
+  if (weight.empty()) {
+    weight = HomogeneousWeights(N);
+  }
+  HETGMP_CHECK_EQ(static_cast<int>(weight.size()), N);
+
+  // Line 1: random initial partition.
+  Rng rng(options_.seed);
+  Partition part;
+  part.num_parts = N;
+  part.sample_owner.resize(n_s);
+  part.embedding_owner.resize(n_x);
+  part.secondaries.assign(N, {});
+  for (auto& o : part.sample_owner) o = static_cast<int>(rng.NextUint64(N));
+  for (auto& o : part.embedding_owner) {
+    o = static_cast<int>(rng.NextUint64(N));
+  }
+
+  PartitionState state(graph, N, weight);
+  state.InitFrom(part);
+
+  // Balance terms (Eq. 4/5) are normalized to imbalance *fractions* and
+  // scaled so they are commensurate with the marginal communication term:
+  // a sample contributes up to arity() cut-edges, each costing the average
+  // off-diagonal weight (without the weight factor, heterogeneous-weight
+  // runs would let the huge inter-machine penalties swamp balance
+  // entirely). See the header comment for the sign convention.
+  // Per-partition sample targets: proportional to compute capacity when
+  // given, else uniform. Embedding targets stay uniform (memory-bound).
+  std::vector<double> target_samples(N, static_cast<double>(n_s) / N);
+  if (!options_.worker_capacity.empty()) {
+    HETGMP_CHECK_EQ(static_cast<int>(options_.worker_capacity.size()), N);
+    double total_cap = 0.0;
+    for (double c : options_.worker_capacity) {
+      HETGMP_CHECK_GT(c, 0.0);
+      total_cap += c;
+    }
+    for (int j = 0; j < N; ++j) {
+      target_samples[j] =
+          static_cast<double>(n_s) * options_.worker_capacity[j] /
+          total_cap;
+    }
+  }
+  const double avg_embs = static_cast<double>(n_x) / N;
+  double weight_sum = 0.0;
+  for (int i = 0; i < N; ++i) {
+    for (int j = 0; j < N; ++j) {
+      if (i != j) weight_sum += weight[i][j];
+    }
+  }
+  const double avg_weight =
+      N > 1 ? weight_sum / (static_cast<double>(N) * (N - 1)) : 1.0;
+  const double balance_scale =
+      static_cast<double>(graph.arity()) * std::max(1.0, avg_weight);
+
+  // Visit order: all vertices, embeddings interleaved with samples,
+  // shuffled once per run for tie-breaking diversity.
+  std::vector<int64_t> order(n_s + n_x);
+  std::iota(order.begin(), order.end(), 0);
+  for (int64_t i = static_cast<int64_t>(order.size()) - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.NextUint64(i + 1)]);
+  }
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    // ---- Step 1: 1D edge-cut pass (lines 3-5) ----
+    for (int64_t v : order) {
+      if (v < n_s) {
+        const int64_t s = v;
+        state.DetachSample(s);
+        int best = 0;
+        double best_score = std::numeric_limits<double>::infinity();
+        const double avg_comm = state.AvgCommCost();
+        for (int j = 0; j < N; ++j) {
+          const double delta_c = state.SampleCommCost(s, j);
+          const double delta_xi =
+              (state.sample_count(j) + 1 - target_samples[j]) / target_samples[j];
+          const double delta_x =
+              (state.emb_count(j) - avg_embs) / avg_embs;
+          const double delta_d =
+              (state.comm_cost(j) - avg_comm) / std::max(avg_comm, 1.0);
+          const double score =
+              delta_c + balance_scale * (options_.alpha * delta_xi +
+                                         options_.beta * delta_x +
+                                         options_.gamma * delta_d);
+          if (score < best_score) {
+            best_score = score;
+            best = j;
+          }
+        }
+        state.AttachSample(s, best);
+      } else {
+        const int64_t x = v - n_s;
+        state.DetachEmbedding(x);
+        int best = 0;
+        double best_score = std::numeric_limits<double>::infinity();
+        const double avg_comm = state.AvgCommCost();
+        for (int j = 0; j < N; ++j) {
+          const double delta_c = state.EmbeddingCommIfOwnedBy(x, j);
+          const double delta_xi =
+              (state.sample_count(j) - target_samples[j]) / target_samples[j];
+          const double delta_x =
+              (state.emb_count(j) + 1 - avg_embs) / avg_embs;
+          const double delta_d =
+              (state.comm_cost(j) - avg_comm) / std::max(avg_comm, 1.0);
+          const double score =
+              delta_c + balance_scale * (options_.alpha * delta_xi +
+                                         options_.beta * delta_x +
+                                         options_.gamma * delta_d);
+          if (score < best_score) {
+            best_score = score;
+            best = j;
+          }
+        }
+        state.AttachEmbedding(x, best);
+      }
+    }
+  }
+
+  // Export 1D result.
+  for (int64_t s = 0; s < n_s; ++s) part.sample_owner[s] = state.sample_owner(s);
+  for (int64_t x = 0; x < n_x; ++x) {
+    part.embedding_owner[x] = state.emb_owner(x);
+  }
+
+  // ---- Step 2: 2D vertex-cut pass (lines 6-11) ----
+  // For each partition, rank remote embeddings by count(x, i); since the
+  // denominator of Eq. 6 is identical for all candidates of a given
+  // partition, ranking by the numerator realizes argmax δ_p exactly.
+  const int64_t budget = static_cast<int64_t>(
+      options_.secondary_fraction * static_cast<double>(n_x));
+  if (budget > 0) {
+    std::vector<std::pair<int64_t, FeatureId>> candidates;
+    for (int i = 0; i < N; ++i) {
+      candidates.clear();
+      for (int64_t x = 0; x < n_x; ++x) {
+        if (state.emb_owner(x) == i) continue;
+        const int64_t c = state.cnt(x, i);
+        if (c > 0) candidates.emplace_back(c, x);
+      }
+      const int64_t take =
+          std::min<int64_t>(budget, static_cast<int64_t>(candidates.size()));
+      std::partial_sort(candidates.begin(), candidates.begin() + take,
+                        candidates.end(),
+                        std::greater<std::pair<int64_t, FeatureId>>());
+      part.secondaries[i].reserve(take);
+      for (int64_t k = 0; k < take; ++k) {
+        part.secondaries[i].push_back(candidates[k].second);
+      }
+    }
+  }
+  return part;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,270 @@
+#include "partition/multilevel_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace hetgmp {
+
+namespace {
+
+// In-memory level graph used during coarsening.
+struct LevelGraph {
+  int64_t n = 0;
+  std::vector<std::vector<std::pair<int64_t, double>>> adj;
+  std::vector<double> vwgt;  // number of original vertices collapsed here
+};
+
+LevelGraph FromWeighted(const WeightedGraph& g) {
+  LevelGraph lg;
+  lg.n = g.num_vertices();
+  lg.adj.resize(lg.n);
+  lg.vwgt.assign(lg.n, 1.0);
+  for (int64_t u = 0; u < lg.n; ++u) {
+    const auto* edges = g.Neighbors(u);
+    lg.adj[u].reserve(g.Degree(u));
+    for (int64_t e = 0; e < g.Degree(u); ++e) {
+      lg.adj[u].emplace_back(edges[e].to, edges[e].weight);
+    }
+  }
+  return lg;
+}
+
+// Heavy-edge matching: collapse each matched pair into one coarse vertex.
+// Matching priority normalizes edge weight by the endpoints' total
+// strength — on power-law graphs (embedding co-occurrence has hub
+// features) raw heavy-edge matching glues clusters through hubs, while the
+// normalized score prefers edges that are *relatively* heavy for both
+// endpoints. Returns the coarse graph and writes the fine→coarse map.
+LevelGraph Coarsen(const LevelGraph& g, Rng* rng,
+                   std::vector<int64_t>* fine_to_coarse) {
+  std::vector<int64_t> order(g.n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int64_t i = g.n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng->NextUint64(i + 1)]);
+  }
+
+  std::vector<double> strength(g.n, 0.0);
+  for (int64_t u = 0; u < g.n; ++u) {
+    for (const auto& [v, w] : g.adj[u]) strength[u] += w;
+  }
+
+  std::vector<int64_t> match(g.n, -1);
+  for (int64_t u : order) {
+    if (match[u] != -1) continue;
+    int64_t best = -1;
+    double best_w = -1.0;
+    for (const auto& [v, w] : g.adj[u]) {
+      if (v == u || match[v] != -1) continue;
+      const double score =
+          w / std::sqrt(std::max(1.0, strength[u] * strength[v]));
+      if (score > best_w) {
+        best_w = score;
+        best = v;
+      }
+    }
+    if (best >= 0) {
+      match[u] = best;
+      match[best] = u;
+    } else {
+      match[u] = u;
+    }
+  }
+
+  fine_to_coarse->assign(g.n, -1);
+  int64_t next = 0;
+  for (int64_t u = 0; u < g.n; ++u) {
+    if ((*fine_to_coarse)[u] != -1) continue;
+    (*fine_to_coarse)[u] = next;
+    (*fine_to_coarse)[match[u]] = next;  // may be u itself
+    ++next;
+  }
+
+  LevelGraph coarse;
+  coarse.n = next;
+  coarse.adj.resize(next);
+  coarse.vwgt.assign(next, 0.0);
+  std::unordered_map<int64_t, double> acc;
+  for (int64_t u = 0; u < g.n; ++u) {
+    const int64_t cu = (*fine_to_coarse)[u];
+    coarse.vwgt[cu] += g.vwgt[u];
+  }
+  // Merge parallel edges per coarse vertex.
+  std::vector<std::unordered_map<int64_t, double>> cadj(next);
+  for (int64_t u = 0; u < g.n; ++u) {
+    const int64_t cu = (*fine_to_coarse)[u];
+    for (const auto& [v, w] : g.adj[u]) {
+      const int64_t cv = (*fine_to_coarse)[v];
+      if (cu == cv) continue;
+      cadj[cu][cv] += w;
+    }
+  }
+  for (int64_t cu = 0; cu < next; ++cu) {
+    coarse.adj[cu].assign(cadj[cu].begin(), cadj[cu].end());
+  }
+  return coarse;
+}
+
+// One pass of boundary Kernighan-Lin refinement; returns #moves.
+int64_t RefinePass(const LevelGraph& g, int k, double max_weight,
+                   std::vector<int>* cluster_of,
+                   std::vector<double>* cluster_weight) {
+  int64_t moves = 0;
+  std::vector<double> conn(k, 0.0);
+  for (int64_t u = 0; u < g.n; ++u) {
+    const int cu = (*cluster_of)[u];
+    std::fill(conn.begin(), conn.end(), 0.0);
+    bool boundary = false;
+    for (const auto& [v, w] : g.adj[u]) {
+      const int cv = (*cluster_of)[v];
+      conn[cv] += w;
+      if (cv != cu) boundary = true;
+    }
+    if (!boundary) continue;
+    int best = cu;
+    double best_gain = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (c == cu) continue;
+      if ((*cluster_weight)[c] + g.vwgt[u] > max_weight) continue;
+      const double gain = conn[c] - conn[cu];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    if (best != cu) {
+      (*cluster_weight)[cu] -= g.vwgt[u];
+      (*cluster_weight)[best] += g.vwgt[u];
+      (*cluster_of)[u] = best;
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+// Greedy initial partition at the coarsest level: stream vertices in
+// decreasing weight, placing each where connectivity is highest among
+// clusters with room.
+void InitialPartition(const LevelGraph& g, int k, double max_weight,
+                      Rng* rng, std::vector<int>* cluster_of,
+                      std::vector<double>* cluster_weight) {
+  std::vector<int64_t> order(g.n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int64_t i = g.n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng->NextUint64(i + 1)]);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return g.vwgt[a] > g.vwgt[b];
+  });
+
+  cluster_of->assign(g.n, -1);
+  cluster_weight->assign(k, 0.0);
+  std::vector<double> conn(k, 0.0);
+  for (int64_t u : order) {
+    std::fill(conn.begin(), conn.end(), 0.0);
+    for (const auto& [v, w] : g.adj[u]) {
+      if ((*cluster_of)[v] >= 0) conn[(*cluster_of)[v]] += w;
+    }
+    int best = -1;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      if ((*cluster_weight)[c] + g.vwgt[u] > max_weight) continue;
+      // Connectivity minus a light pressure toward even weights.
+      const double score = conn[c] - 1e-3 * (*cluster_weight)[c];
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    if (best < 0) {
+      // Everything at cap (possible with lumpy vertex weights): take the
+      // lightest cluster regardless.
+      best = static_cast<int>(std::min_element(cluster_weight->begin(),
+                                               cluster_weight->end()) -
+                              cluster_weight->begin());
+    }
+    (*cluster_of)[u] = best;
+    (*cluster_weight)[best] += g.vwgt[u];
+  }
+}
+
+}  // namespace
+
+std::vector<int> MultilevelPartitioner::Cluster(const WeightedGraph& graph,
+                                                int k) const {
+  HETGMP_CHECK_GT(k, 0);
+  const int64_t n = graph.num_vertices();
+  if (k == 1) return std::vector<int>(n, 0);
+
+  Rng rng(options_.seed);
+  std::vector<LevelGraph> levels;
+  std::vector<std::vector<int64_t>> maps;  // maps[l]: level l → level l+1
+  levels.push_back(FromWeighted(graph));
+
+  const int64_t target =
+      static_cast<int64_t>(k) * options_.coarsen_target_per_part;
+  while (levels.back().n > target &&
+         static_cast<int>(levels.size()) <= options_.max_levels) {
+    std::vector<int64_t> map;
+    LevelGraph coarse = Coarsen(levels.back(), &rng, &map);
+    // Matching failed to shrink the graph (e.g. edgeless residue): stop.
+    if (coarse.n >= levels.back().n) break;
+    maps.push_back(std::move(map));
+    levels.push_back(std::move(coarse));
+  }
+
+  const double total_weight = static_cast<double>(n);
+  const double max_weight =
+      (1.0 + options_.max_imbalance) * total_weight / k;
+
+  // Partition coarsest level, then project back with refinement.
+  std::vector<int> cluster_of;
+  std::vector<double> cluster_weight;
+  InitialPartition(levels.back(), k, max_weight, &rng, &cluster_of,
+                   &cluster_weight);
+  for (int pass = 0; pass < options_.refine_passes; ++pass) {
+    if (RefinePass(levels.back(), k, max_weight, &cluster_of,
+                   &cluster_weight) == 0) {
+      break;
+    }
+  }
+
+  for (int l = static_cast<int>(levels.size()) - 2; l >= 0; --l) {
+    std::vector<int> fine(levels[l].n);
+    for (int64_t u = 0; u < levels[l].n; ++u) {
+      fine[u] = cluster_of[maps[l][u]];
+    }
+    cluster_of = std::move(fine);
+    cluster_weight.assign(k, 0.0);
+    for (int64_t u = 0; u < levels[l].n; ++u) {
+      cluster_weight[cluster_of[u]] += levels[l].vwgt[u];
+    }
+    for (int pass = 0; pass < options_.refine_passes; ++pass) {
+      if (RefinePass(levels[l], k, max_weight, &cluster_of,
+                     &cluster_weight) == 0) {
+        break;
+      }
+    }
+  }
+  return cluster_of;
+}
+
+double MultilevelPartitioner::CutWeight(const WeightedGraph& graph,
+                                        const std::vector<int>& cluster_of) {
+  double cut = 0.0;
+  for (int64_t u = 0; u < graph.num_vertices(); ++u) {
+    const auto* edges = graph.Neighbors(u);
+    for (int64_t e = 0; e < graph.Degree(u); ++e) {
+      if (cluster_of[u] != cluster_of[edges[e].to]) cut += edges[e].weight;
+    }
+  }
+  return cut / 2.0;
+}
+
+}  // namespace hetgmp

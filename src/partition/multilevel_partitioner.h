@@ -1,0 +1,45 @@
+#ifndef HETGMP_PARTITION_MULTILEVEL_PARTITIONER_H_
+#define HETGMP_PARTITION_MULTILEVEL_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/cooccurrence.h"
+
+namespace hetgmp {
+
+// Multilevel k-way partitioner for weighted undirected graphs, in the
+// METIS algorithm family (Karypis & Kumar '98): heavy-edge-matching
+// coarsening, greedy initial partitioning at the coarsest level, then
+// boundary Kernighan-Lin refinement while uncoarsening.
+//
+// The paper uses METIS to cluster the embedding co-occurrence graph and
+// show the dense diagonal blocks of Figure 3; this is our stand-in (see
+// DESIGN.md §2).
+struct MultilevelOptions {
+  int coarsen_target_per_part = 32;  // stop coarsening near k * this
+  int max_levels = 30;
+  int refine_passes = 8;
+  double max_imbalance = 0.10;  // vertex-weight balance slack
+  uint64_t seed = 23;
+};
+
+class MultilevelPartitioner {
+ public:
+  explicit MultilevelPartitioner(MultilevelOptions options = {})
+      : options_(options) {}
+
+  // Returns a cluster id in [0, k) per vertex.
+  std::vector<int> Cluster(const WeightedGraph& graph, int k) const;
+
+  // Total weight of edges crossing clusters (lower is better).
+  static double CutWeight(const WeightedGraph& graph,
+                          const std::vector<int>& cluster_of);
+
+ private:
+  MultilevelOptions options_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_PARTITION_MULTILEVEL_PARTITIONER_H_

@@ -1,0 +1,40 @@
+#include "partition/partition.h"
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+int64_t Partition::TotalSecondaries() const {
+  int64_t total = 0;
+  for (const auto& s : secondaries) total += static_cast<int64_t>(s.size());
+  return total;
+}
+
+double Partition::ReplicationFactor() const {
+  const int64_t n = num_embeddings();
+  if (n == 0) return 0.0;
+  return 1.0 + static_cast<double>(TotalSecondaries()) /
+                   static_cast<double>(n);
+}
+
+ReplicaIndex::ReplicaIndex(const Partition& partition)
+    : num_parts_(partition.num_parts),
+      num_embeddings_(partition.num_embeddings()),
+      owner_(partition.embedding_owner) {
+  HETGMP_CHECK_EQ(static_cast<int>(partition.secondaries.size()),
+                  num_parts_);
+  const int64_t total_bits =
+      static_cast<int64_t>(num_parts_) * num_embeddings_;
+  bits_.assign((total_bits + 63) / 64, 0);
+  for (int w = 0; w < num_parts_; ++w) {
+    for (FeatureId x : partition.secondaries[w]) {
+      HETGMP_CHECK_NE(owner_[x], w)
+          << " embedding " << x << " is both primary and secondary on "
+          << w;
+      const int64_t bit = Index(w, x);
+      bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+    }
+  }
+}
+
+}  // namespace hetgmp

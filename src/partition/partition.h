@@ -1,0 +1,68 @@
+#ifndef HETGMP_PARTITION_PARTITION_H_
+#define HETGMP_PARTITION_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hetgmp {
+
+// Result of partitioning the bigraph across N workers.
+//
+// Every sample and every embedding has exactly one *primary* owner (the 1D
+// edge-cut result). Workers may additionally hold *secondary* replicas of
+// embeddings they do not own (the 2D vertex-cut result, §5.2): these are
+// the cached hot embeddings kept consistent through bounded asynchrony.
+struct Partition {
+  int num_parts = 0;
+  std::vector<int> sample_owner;               // size num_samples
+  std::vector<int> embedding_owner;            // size num_embeddings
+  std::vector<std::vector<FeatureId>> secondaries;  // per worker
+
+  int64_t num_samples() const {
+    return static_cast<int64_t>(sample_owner.size());
+  }
+  int64_t num_embeddings() const {
+    return static_cast<int64_t>(embedding_owner.size());
+  }
+  int64_t TotalSecondaries() const;
+
+  // Replicas per embedding averaged over all embeddings (1.0 = no
+  // replication).
+  double ReplicationFactor() const;
+};
+
+// O(1) "does worker w hold a replica of embedding x?" lookups, built once
+// from a Partition. Secondary replicas are flagged in a dense worker ×
+// embedding bitmap (num_parts × num_embeddings bits).
+class ReplicaIndex {
+ public:
+  explicit ReplicaIndex(const Partition& partition);
+
+  int PrimaryOwner(FeatureId x) const { return owner_[x]; }
+  bool HasSecondary(int worker, FeatureId x) const {
+    const int64_t bit = Index(worker, x);
+    return (bits_[bit >> 6] >> (bit & 63)) & 1;
+  }
+  // Primary or secondary.
+  bool HasReplica(int worker, FeatureId x) const {
+    return owner_[x] == worker || HasSecondary(worker, x);
+  }
+  int num_parts() const { return num_parts_; }
+  int64_t num_embeddings() const { return num_embeddings_; }
+
+ private:
+  int64_t Index(int worker, FeatureId x) const {
+    return static_cast<int64_t>(worker) * num_embeddings_ + x;
+  }
+
+  int num_parts_;
+  int64_t num_embeddings_;
+  std::vector<int> owner_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_PARTITION_PARTITION_H_

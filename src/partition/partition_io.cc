@@ -1,0 +1,136 @@
+#include "partition/partition_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace hetgmp {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'G', 'M', 'P', 'P', 'T', '0', '1'};
+
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() const { return f_; }
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_;
+};
+
+Status WriteBytes(std::FILE* f, const void* data, size_t bytes) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::Internal("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t bytes) {
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    return Status::InvalidArgument("truncated partition file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WriteVector(std::FILE* f, const std::vector<T>& v) {
+  const uint64_t n = v.size();
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, &n, sizeof(n)));
+  if (n > 0) {
+    HETGMP_RETURN_IF_ERROR(WriteBytes(f, v.data(), n * sizeof(T)));
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadVector(std::FILE* f, std::vector<T>* v) {
+  uint64_t n = 0;
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &n, sizeof(n)));
+  if (n > (uint64_t{1} << 36)) {
+    return Status::InvalidArgument("implausible element count (corrupt?)");
+  }
+  v->resize(n);
+  if (n > 0) {
+    HETGMP_RETURN_IF_ERROR(ReadBytes(f, v->data(), n * sizeof(T)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SavePartition(const Partition& partition, const std::string& path) {
+  File file(path, "wb");
+  if (!file.ok()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, kMagic, sizeof(kMagic)));
+  const int64_t num_parts = partition.num_parts;
+  HETGMP_RETURN_IF_ERROR(WriteBytes(f, &num_parts, sizeof(num_parts)));
+  HETGMP_RETURN_IF_ERROR(WriteVector(f, partition.sample_owner));
+  HETGMP_RETURN_IF_ERROR(WriteVector(f, partition.embedding_owner));
+  for (const auto& s : partition.secondaries) {
+    HETGMP_RETURN_IF_ERROR(WriteVector(f, s));
+  }
+  return Status::OK();
+}
+
+Result<Partition> LoadPartition(const std::string& path) {
+  File file(path, "rb");
+  if (!file.ok()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::FILE* f = file.get();
+  char magic[8];
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a HET-GMP partition file: " + path);
+  }
+  int64_t num_parts = 0;
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &num_parts, sizeof(num_parts)));
+  if (num_parts <= 0 || num_parts > 1 << 20) {
+    return Status::InvalidArgument("implausible partition count");
+  }
+  Partition p;
+  p.num_parts = static_cast<int>(num_parts);
+  HETGMP_RETURN_IF_ERROR(ReadVector(f, &p.sample_owner));
+  HETGMP_RETURN_IF_ERROR(ReadVector(f, &p.embedding_owner));
+  p.secondaries.resize(p.num_parts);
+  for (auto& s : p.secondaries) {
+    HETGMP_RETURN_IF_ERROR(ReadVector(f, &s));
+  }
+  // Structural validation.
+  for (int o : p.sample_owner) {
+    if (o < 0 || o >= p.num_parts) {
+      return Status::InvalidArgument("sample owner out of range");
+    }
+  }
+  for (int o : p.embedding_owner) {
+    if (o < 0 || o >= p.num_parts) {
+      return Status::InvalidArgument("embedding owner out of range");
+    }
+  }
+  const int64_t n_x = p.num_embeddings();
+  for (int w = 0; w < p.num_parts; ++w) {
+    for (FeatureId x : p.secondaries[w]) {
+      if (x < 0 || x >= n_x) {
+        return Status::InvalidArgument("secondary id out of range");
+      }
+      if (p.embedding_owner[x] == w) {
+        return Status::InvalidArgument(
+            "secondary duplicates a local primary");
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,23 @@
+#ifndef HETGMP_PARTITION_PARTITION_IO_H_
+#define HETGMP_PARTITION_PARTITION_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "partition/partition.h"
+
+namespace hetgmp {
+
+// Partition-plan persistence. Production deployments compute the hybrid
+// partition once per dataset snapshot and reuse it across training jobs
+// (Algorithm 1 is deterministic but costs a few passes over the data);
+// these helpers serialize the full plan — owners plus the per-worker
+// secondary sets.
+
+Status SavePartition(const Partition& partition, const std::string& path);
+
+Result<Partition> LoadPartition(const std::string& path);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_PARTITION_PARTITION_IO_H_

@@ -1,0 +1,25 @@
+#ifndef HETGMP_PARTITION_PARTITIONER_H_
+#define HETGMP_PARTITION_PARTITIONER_H_
+
+#include "graph/bigraph.h"
+#include "partition/partition.h"
+
+namespace hetgmp {
+
+// Strategy interface: maps the bigraph onto N workers. Implementations:
+// RandomPartitioner (the HugeCTR/HET-MP baseline placement),
+// BiCutPartitioner (one-pass bipartite baseline), HybridPartitioner
+// (the paper's Algorithm 1).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual Partition Run(const Bigraph& graph, int num_parts) = 0;
+
+  // Human-readable identifier for reports.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_PARTITION_PARTITIONER_H_

@@ -1,0 +1,62 @@
+#include "partition/quality.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stringutil.h"
+
+namespace hetgmp {
+
+PartitionQuality EvaluatePartition(
+    const Bigraph& graph, const Partition& partition,
+    const std::vector<std::vector<double>>& comm_weight) {
+  const int N = partition.num_parts;
+  HETGMP_CHECK_EQ(partition.num_samples(), graph.num_samples());
+  HETGMP_CHECK_EQ(partition.num_embeddings(), graph.num_embeddings());
+
+  ReplicaIndex replicas(partition);
+  PartitionQuality q;
+  q.fetch_matrix.assign(N, std::vector<int64_t>(N, 0));
+
+  for (int64_t s = 0; s < graph.num_samples(); ++s) {
+    const int w = partition.sample_owner[s];
+    const FeatureId* feats = graph.SampleNeighbors(s);
+    for (int f = 0; f < graph.arity(); ++f) {
+      const FeatureId x = feats[f];
+      ++q.total_accesses;
+      const int o = replicas.PrimaryOwner(x);
+      if (replicas.HasReplica(w, x)) {
+        ++q.fetch_matrix[w][w];
+      } else {
+        ++q.remote_accesses;
+        ++q.fetch_matrix[w][o];
+        q.weighted_remote +=
+            comm_weight.empty() ? 1.0 : comm_weight[w][o];
+      }
+    }
+  }
+
+  std::vector<int64_t> samples(N, 0), embeddings(N, 0);
+  for (int o : partition.sample_owner) ++samples[o];
+  for (int o : partition.embedding_owner) ++embeddings[o];
+  q.min_samples = *std::min_element(samples.begin(), samples.end());
+  q.max_samples = *std::max_element(samples.begin(), samples.end());
+  q.min_embeddings = *std::min_element(embeddings.begin(), embeddings.end());
+  q.max_embeddings = *std::max_element(embeddings.begin(), embeddings.end());
+  q.replication_factor = partition.ReplicationFactor();
+  return q;
+}
+
+std::string PartitionQuality::ToString() const {
+  std::ostringstream os;
+  os << "remote=" << remote_accesses << "/" << total_accesses << " ("
+     << Percent(RemoteFraction()) << ")"
+     << " weighted=" << FormatDouble(weighted_remote, 0)
+     << " samples=[" << min_samples << "," << max_samples << "]"
+     << " embeddings=[" << min_embeddings << "," << max_embeddings << "]"
+     << " replication=" << FormatDouble(replication_factor, 3);
+  return os.str();
+}
+
+}  // namespace hetgmp

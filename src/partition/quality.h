@@ -1,0 +1,57 @@
+#ifndef HETGMP_PARTITION_QUALITY_H_
+#define HETGMP_PARTITION_QUALITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/bigraph.h"
+#include "partition/partition.h"
+
+namespace hetgmp {
+
+// Static (pre-training) quality measures of a partition: how many
+// embedding accesses per epoch would be remote, and how balanced the
+// workload is. These are the quantities in Table 3 and Figure 9(b); the
+// engine's runtime counters must agree with them under s=0.
+struct PartitionQuality {
+  // Accesses that find no replica (primary or secondary) on the sample's
+  // worker — each one is a remote embedding fetch per epoch (Table 3's
+  // "Communication" column).
+  int64_t remote_accesses = 0;
+  int64_t total_accesses = 0;
+
+  // remote_accesses weighted by a pairwise cost matrix (hierarchy-aware
+  // variant; identity weights give remote_accesses back).
+  double weighted_remote = 0.0;
+
+  // fetch_matrix[w][o]: accesses by samples on worker w served by the
+  // primary on worker o (the Figure 9(b) heatmap). Local hits are on the
+  // diagonal.
+  std::vector<std::vector<int64_t>> fetch_matrix;
+
+  // Load balance.
+  int64_t min_samples = 0, max_samples = 0;
+  int64_t min_embeddings = 0, max_embeddings = 0;
+  double replication_factor = 1.0;
+
+  double RemoteFraction() const {
+    return total_accesses == 0
+               ? 0.0
+               : static_cast<double>(remote_accesses) /
+                     static_cast<double>(total_accesses);
+  }
+
+  std::string ToString() const;
+};
+
+// `comm_weight` is optional (empty = homogeneous). When a secondary
+// replica serves an access it counts as local (clean-cache assumption; the
+// engine's staleness machinery measures the refresh traffic separately).
+PartitionQuality EvaluatePartition(
+    const Bigraph& graph, const Partition& partition,
+    const std::vector<std::vector<double>>& comm_weight = {});
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_PARTITION_QUALITY_H_

@@ -1,0 +1,29 @@
+#include "partition/random_partitioner.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace hetgmp {
+
+Partition RandomPartitioner::Run(const Bigraph& graph, int num_parts) {
+  HETGMP_CHECK_GT(num_parts, 0);
+  Rng rng(seed_);
+  Partition p;
+  p.num_parts = num_parts;
+  p.sample_owner.resize(graph.num_samples());
+  p.embedding_owner.resize(graph.num_embeddings());
+  p.secondaries.assign(num_parts, {});
+  // Samples: round-robin from a random phase — exactly balanced,
+  // uncorrelated with the graph structure. Embeddings: uniform random,
+  // like hash placement of table shards.
+  const uint64_t phase = rng.NextUint64(num_parts);
+  for (int64_t s = 0; s < graph.num_samples(); ++s) {
+    p.sample_owner[s] = static_cast<int>((s + phase) % num_parts);
+  }
+  for (int64_t x = 0; x < graph.num_embeddings(); ++x) {
+    p.embedding_owner[x] = static_cast<int>(rng.NextUint64(num_parts));
+  }
+  return p;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,27 @@
+#ifndef HETGMP_PARTITION_RANDOM_PARTITIONER_H_
+#define HETGMP_PARTITION_RANDOM_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace hetgmp {
+
+// Uniform random placement of both samples and embeddings, no replication.
+// This is the placement HugeCTR-style model parallelism uses (hash
+// distribution of the embedding table) and the paper's "random" column in
+// Figure 8 / Table 3.
+class RandomPartitioner : public Partitioner {
+ public:
+  explicit RandomPartitioner(uint64_t seed = 7) : seed_(seed) {}
+
+  Partition Run(const Bigraph& graph, int num_parts) override;
+  const char* name() const override { return "random"; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_PARTITION_RANDOM_PARTITIONER_H_

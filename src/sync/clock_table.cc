@@ -1,0 +1,24 @@
+#include "sync/clock_table.h"
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+ClockTable::ClockTable(int num_workers, int64_t num_embeddings)
+    : num_workers_(num_workers), num_embeddings_(num_embeddings) {
+  HETGMP_CHECK_GT(num_workers, 0);
+  HETGMP_CHECK_GE(num_embeddings, 0);
+  const int64_t cells = static_cast<int64_t>(num_workers) * num_embeddings;
+  clocks_ = std::make_unique<std::atomic<uint64_t>[]>(cells);
+  Reset();
+}
+
+void ClockTable::Reset() {
+  const int64_t cells =
+      static_cast<int64_t>(num_workers_) * num_embeddings_;
+  for (int64_t i = 0; i < cells; ++i) {
+    clocks_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hetgmp

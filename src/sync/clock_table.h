@@ -1,0 +1,53 @@
+#ifndef HETGMP_SYNC_CLOCK_TABLE_H_
+#define HETGMP_SYNC_CLOCK_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace hetgmp {
+
+// Per-replica update clocks (§5.3): c_i^k counts the accumulated updates
+// applied to embedding i's replica on worker k. The primary's clock is the
+// entry for the owning worker; secondaries carry the primary clock value
+// they last synchronized with.
+//
+// Thread-safe: clocks are atomics. A worker only writes its own row plus
+// primary rows it owns, but cross-worker reads happen on every staleness
+// check, so all accesses go through atomics.
+class ClockTable {
+ public:
+  ClockTable(int num_workers, int64_t num_embeddings);
+
+  uint64_t Get(int worker, int64_t embedding) const {
+    return clocks_[Index(worker, embedding)].load(std::memory_order_acquire);
+  }
+  void Set(int worker, int64_t embedding, uint64_t value) {
+    clocks_[Index(worker, embedding)].store(value,
+                                            std::memory_order_release);
+  }
+  // Returns the post-increment value.
+  uint64_t Increment(int worker, int64_t embedding, uint64_t delta = 1) {
+    return clocks_[Index(worker, embedding)].fetch_add(
+               delta, std::memory_order_acq_rel) +
+           delta;
+  }
+
+  int num_workers() const { return num_workers_; }
+  int64_t num_embeddings() const { return num_embeddings_; }
+
+  void Reset();
+
+ private:
+  int64_t Index(int worker, int64_t embedding) const {
+    return static_cast<int64_t>(worker) * num_embeddings_ + embedding;
+  }
+
+  int num_workers_;
+  int64_t num_embeddings_;
+  std::unique_ptr<std::atomic<uint64_t>[]> clocks_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_SYNC_CLOCK_TABLE_H_

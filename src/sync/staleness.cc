@@ -1,0 +1,54 @@
+#include "sync/staleness.h"
+
+#include <cmath>
+
+namespace hetgmp {
+
+const char* ConsistencyModeName(ConsistencyMode mode) {
+  switch (mode) {
+    case ConsistencyMode::kBsp:
+      return "BSP";
+    case ConsistencyMode::kAsp:
+      return "ASP";
+    case ConsistencyMode::kSsp:
+      return "SSP";
+    case ConsistencyMode::kGraphBounded:
+      return "graph-bounded";
+  }
+  return "?";
+}
+
+bool IntraEmbeddingFresh(uint64_t secondary_clock, uint64_t primary_clock,
+                         const StalenessBound& bound) {
+  if (bound.unbounded()) return true;
+  // The primary is never behind its secondaries (write-back keeps it
+  // up-to-date), so the gap is one-sided.
+  if (primary_clock <= secondary_clock) return true;
+  return primary_clock - secondary_clock <= bound.s;
+}
+
+double NormalizedClockGap(uint64_t clock_i, double freq_i, uint64_t clock_j,
+                          double freq_j, bool normalize) {
+  double ci = static_cast<double>(clock_i);
+  double cj = static_cast<double>(clock_j);
+  if (normalize && freq_i > 0.0 && freq_j > 0.0) {
+    // Scale the more frequent embedding's clock down (§5.3: with
+    // p_i >= p_j the gap is |c_i * p_j/p_i − c_j|).
+    if (freq_i >= freq_j) {
+      ci *= freq_j / freq_i;
+    } else {
+      cj *= freq_i / freq_j;
+    }
+  }
+  return std::abs(ci - cj);
+}
+
+bool InterEmbeddingFresh(uint64_t clock_i, double freq_i, uint64_t clock_j,
+                         double freq_j, const StalenessBound& bound) {
+  if (bound.unbounded()) return true;
+  return NormalizedClockGap(clock_i, freq_i, clock_j, freq_j,
+                            bound.normalize_by_frequency) <=
+         static_cast<double>(bound.s);
+}
+
+}  // namespace hetgmp

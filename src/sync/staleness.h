@@ -1,0 +1,52 @@
+#ifndef HETGMP_SYNC_STALENESS_H_
+#define HETGMP_SYNC_STALENESS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hetgmp {
+
+// Consistency protocols the engine can run (§3/§5.3).
+enum class ConsistencyMode {
+  kBsp,           // strict barrier per iteration, no stale reads
+  kAsp,           // fully asynchronous; secondaries refresh only on miss
+  kSsp,           // SSP: per-worker iteration-clock bound, no graph view
+  kGraphBounded,  // HET-GMP: intra+inter embedding bounds with clocks
+};
+
+const char* ConsistencyModeName(ConsistencyMode mode);
+
+// Parameters of the graph-based bounded asynchrony.
+struct StalenessBound {
+  // Maximum tolerated clock gap s. kUnbounded disables checks (ASP-like
+  // behaviour on the same code path; Table 2's s=∞ column).
+  static constexpr uint64_t kUnbounded = ~uint64_t{0};
+  uint64_t s = 100;
+
+  // Enables the access-frequency clock normalization of §5.3: before
+  // comparing clocks of two *different* embeddings, the more frequent
+  // one's clock is scaled by p_j/p_i so hot embeddings (whose clocks
+  // advance faster) are not spuriously flagged stale.
+  bool normalize_by_frequency = true;
+
+  bool unbounded() const { return s == kUnbounded; }
+};
+
+// Intra-embedding check (① in Figure 6): is a secondary within s updates
+// of its primary? Clocks compare directly (same embedding, same p).
+bool IntraEmbeddingFresh(uint64_t secondary_clock, uint64_t primary_clock,
+                         const StalenessBound& bound);
+
+// Inter-embedding check (② in Figure 6): are two embeddings gathered for
+// the same sample mutually within s? With normalization and p_i >= p_j the
+// gap is |c_i * p_j / p_i - c_j| (§5.3); without, |c_i - c_j|.
+bool InterEmbeddingFresh(uint64_t clock_i, double freq_i, uint64_t clock_j,
+                         double freq_j, const StalenessBound& bound);
+
+// The normalized gap itself (exposed for tests and diagnostics).
+double NormalizedClockGap(uint64_t clock_i, double freq_i, uint64_t clock_j,
+                          double freq_j, bool normalize);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_SYNC_STALENESS_H_

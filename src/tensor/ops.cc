@@ -1,0 +1,150 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+namespace {
+
+void CheckRank2(const Tensor& t, const char* name) {
+  HETGMP_CHECK_EQ(t.rank(), 2) << " tensor " << name << " must be rank-2";
+}
+
+}  // namespace
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckRank2(a, "a");
+  CheckRank2(b, "b");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  HETGMP_CHECK_EQ(k, b.dim(0));
+  out->Resize({m, n});
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows,
+  // which the compiler auto-vectorizes; good enough for the small towers.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(kk);
+      for (int64_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckRank2(a, "a");
+  CheckRank2(b, "b");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  HETGMP_CHECK_EQ(k, b.dim(1));
+  out->Resize({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
+    }
+  }
+}
+
+void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckRank2(a, "a");
+  CheckRank2(b, "b");
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  HETGMP_CHECK_EQ(k, b.dim(0));
+  out->Resize({m, n});
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.row(kk);
+    const float* brow = b.row(kk);
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out->row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void AddBiasRows(Tensor* x, const Tensor& bias) {
+  CheckRank2(*x, "x");
+  const int64_t n = x->dim(1);
+  HETGMP_CHECK_EQ(bias.size(), n);
+  for (int64_t r = 0; r < x->dim(0); ++r) {
+    float* row = x->row(r);
+    for (int64_t c = 0; c < n; ++c) row[c] += bias.at(c);
+  }
+}
+
+void SumRows(const Tensor& grad, Tensor* bias_grad) {
+  CheckRank2(grad, "grad");
+  const int64_t n = grad.dim(1);
+  bias_grad->Resize({n});
+  for (int64_t r = 0; r < grad.dim(0); ++r) {
+    const float* row = grad.row(r);
+    for (int64_t c = 0; c < n; ++c) bias_grad->at(c) += row[c];
+  }
+}
+
+void ReluForward(const Tensor& x, Tensor* y) {
+  y->Resize(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    y->at(i) = x.at(i) > 0.0f ? x.at(i) : 0.0f;
+  }
+}
+
+void ReluBackward(const Tensor& x, const Tensor& dy, Tensor* dx) {
+  HETGMP_CHECK_EQ(x.size(), dy.size());
+  dx->Resize(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    dx->at(i) = x.at(i) > 0.0f ? dy.at(i) : 0.0f;
+  }
+}
+
+void SigmoidForward(const Tensor& x, Tensor* y) {
+  y->Resize(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    y->at(i) = 1.0f / (1.0f + std::exp(-x.at(i)));
+  }
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor* y) {
+  HETGMP_CHECK_EQ(x.size(), y->size());
+  for (int64_t i = 0; i < x.size(); ++i) y->at(i) += alpha * x.at(i);
+}
+
+void Copy(const Tensor& x, Tensor* y) {
+  y->Resize(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) y->at(i) = x.at(i);
+}
+
+void Scale(Tensor* x, float alpha) {
+  for (int64_t i = 0; i < x->size(); ++i) x->at(i) *= alpha;
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  HETGMP_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a.at(i)) * static_cast<double>(b.at(i));
+  }
+  return acc;
+}
+
+double SquaredNorm(const Tensor& x) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x.at(i)) * static_cast<double>(x.at(i));
+  }
+  return acc;
+}
+
+}  // namespace hetgmp

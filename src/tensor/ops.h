@@ -1,0 +1,50 @@
+#ifndef HETGMP_TENSOR_OPS_H_
+#define HETGMP_TENSOR_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// Dense linear-algebra kernels for the model towers. All functions check
+// shape compatibility with HETGMP_CHECK (shape errors are programmer bugs).
+
+// out = a @ b. a: [m, k], b: [k, n], out: [m, n] (resized as needed).
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out);
+
+// out = a @ b^T. a: [m, k], b: [n, k], out: [m, n].
+void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* out);
+
+// out = a^T @ b. a: [k, m], b: [k, n], out: [m, n].
+void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* out);
+
+// x[r, :] += bias for every row r. bias: [n] or [1, n].
+void AddBiasRows(Tensor* x, const Tensor& bias);
+
+// bias_grad[c] = Σ_r grad[r, c].
+void SumRows(const Tensor& grad, Tensor* bias_grad);
+
+// Elementwise y = max(x, 0); dx = dy * (x > 0).
+void ReluForward(const Tensor& x, Tensor* y);
+void ReluBackward(const Tensor& x, const Tensor& dy, Tensor* dx);
+
+// Elementwise logistic sigmoid.
+void SigmoidForward(const Tensor& x, Tensor* y);
+
+// y += alpha * x (shapes must match).
+void Axpy(float alpha, const Tensor& x, Tensor* y);
+
+// y = x (copy preserving y's identity; shapes must match or y is resized).
+void Copy(const Tensor& x, Tensor* y);
+
+// Scales all elements in place.
+void Scale(Tensor* x, float alpha);
+
+// Dot product of two same-shaped tensors.
+double Dot(const Tensor& a, const Tensor& b);
+
+// Squared L2 norm.
+double SquaredNorm(const Tensor& x);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_TENSOR_OPS_H_

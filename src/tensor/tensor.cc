@@ -1,0 +1,78 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+namespace {
+
+int64_t NumElements(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    HETGMP_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(NumElements(shape_), 0.0f);
+}
+
+Tensor::Tensor(std::vector<int64_t> shape, float fill)
+    : shape_(std::move(shape)) {
+  data_.assign(NumElements(shape_), fill);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  return Tensor(std::move(shape), value);
+}
+
+Tensor Tensor::XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  Tensor t({fan_in, fan_out});
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.at(i) = rng->NextFloat(-limit, limit);
+  }
+  return t;
+}
+
+Tensor Tensor::Gaussian(std::vector<int64_t> shape, float stddev, Rng* rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.at(i) = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Tensor::Resize(std::vector<int64_t> shape) {
+  shape_ = std::move(shape);
+  data_.assign(NumElements(shape_), 0.0f);
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,68 @@
+#ifndef HETGMP_TENSOR_TENSOR_H_
+#define HETGMP_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hetgmp {
+
+// Dense row-major float32 tensor. This is the compute substrate for the
+// dense towers of the CTR models (the paper runs these on cuDNN; we run
+// them on CPU — see DESIGN.md §2). Rank is 1 or 2 in practice.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+  Tensor(std::vector<int64_t> shape, float fill);
+
+  // Copyable (values) and movable.
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  // Xavier/Glorot uniform init for a [fan_in, fan_out] weight matrix.
+  static Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng);
+  // N(0, stddev^2) init.
+  static Tensor Gaussian(std::vector<int64_t> shape, float stddev, Rng* rng);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const { return shape_[i]; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t i) { return data_[i]; }
+  float at(int64_t i) const { return data_[i]; }
+  // 2-D access: row r, column c (row-major).
+  float& at(int64_t r, int64_t c) { return data_[r * shape_[1] + c]; }
+  float at(int64_t r, int64_t c) const { return data_[r * shape_[1] + c]; }
+
+  // Pointer to the start of row r of a rank-2 tensor.
+  float* row(int64_t r) { return data_.data() + r * shape_[1]; }
+  const float* row(int64_t r) const { return data_.data() + r * shape_[1]; }
+
+  void Fill(float value);
+  void Resize(std::vector<int64_t> shape);
+
+  // Total bytes of payload (for communication accounting).
+  uint64_t bytes() const { return data_.size() * sizeof(float); }
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_TENSOR_TENSOR_H_

@@ -1,0 +1,185 @@
+#include "theory/theorem1.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace hetgmp {
+
+namespace {
+
+// Sparse row: the coordinates ("embeddings") sample i touches and their
+// feature values.
+struct SparseRow {
+  std::vector<int> coords;
+  std::vector<double> values;
+};
+
+double RowDot(const SparseRow& row, const std::vector<double>& x) {
+  double acc = 0.0;
+  for (size_t k = 0; k < row.coords.size(); ++k) {
+    acc += row.values[k] * x[row.coords[k]];
+  }
+  return acc;
+}
+
+double Objective(const std::vector<SparseRow>& rows,
+                 const std::vector<double>& y,
+                 const std::vector<double>& x) {
+  double acc = 0.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double r = RowDot(rows[i], x) - y[i];
+    acc += r * r;
+  }
+  return acc / (2.0 * static_cast<double>(rows.size()));
+}
+
+// λ_max((1/n) AᵀA) via power iteration — the gradient Lipschitz constant.
+double EstimateLipschitz(const std::vector<SparseRow>& rows, int dim,
+                         Rng* rng) {
+  std::vector<double> v(dim), av;
+  for (auto& e : v) e = rng->NextGaussian();
+  const double n = static_cast<double>(rows.size());
+  double lambda = 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    av.assign(dim, 0.0);
+    for (const SparseRow& row : rows) {
+      const double d = RowDot(row, v);
+      for (size_t k = 0; k < row.coords.size(); ++k) {
+        av[row.coords[k]] += row.values[k] * d;
+      }
+    }
+    double norm = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      av[j] /= n;
+      norm += av[j] * av[j];
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-30) return 1.0;
+    lambda = norm;
+    for (int j = 0; j < dim; ++j) v[j] = av[j] / norm;
+  }
+  return lambda;
+}
+
+}  // namespace
+
+Theorem1Result RunTheorem1(const Theorem1Config& cfg) {
+  HETGMP_CHECK_GT(cfg.dim, 0);
+  HETGMP_CHECK_GT(cfg.num_samples, 0);
+  HETGMP_CHECK_GT(cfg.num_workers, 0);
+  HETGMP_CHECK_GT(cfg.steps, 0);
+  Rng rng(cfg.seed);
+
+  // Planted consistent system: F_inf = F(x*) = 0 exactly.
+  std::vector<double> x_star(cfg.dim);
+  for (auto& v : x_star) v = rng.NextGaussian();
+  std::vector<SparseRow> rows(cfg.num_samples);
+  std::vector<double> y(cfg.num_samples);
+  for (int i = 0; i < cfg.num_samples; ++i) {
+    rows[i].coords.resize(cfg.coords_per_sample);
+    rows[i].values.resize(cfg.coords_per_sample);
+    for (int k = 0; k < cfg.coords_per_sample; ++k) {
+      rows[i].coords[k] = static_cast<int>(rng.NextUint64(cfg.dim));
+      rows[i].values[k] = rng.NextGaussian();
+    }
+    y[i] = RowDot(rows[i], x_star);
+  }
+
+  Theorem1Result result;
+  result.lipschitz = EstimateLipschitz(rows, cfg.dim, &rng);
+  const double p = static_cast<double>(cfg.num_workers);
+  const double s = static_cast<double>(cfg.staleness);
+  result.step_size =
+      cfg.step_size > 0.0
+          ? cfg.step_size
+          : 0.9 / (result.lipschitz * (1.0 + 2.0 * std::sqrt(p * s)));
+  const double eta = result.step_size;
+
+  // Bounded-delay SGD: history ring of the last s+1 iterates; the gradient
+  // at step t reads x(t − d), d ∈ [0, s].
+  const int64_t hist = static_cast<int64_t>(cfg.staleness) + 1;
+  std::vector<std::vector<double>> history(
+      hist, std::vector<double>(cfg.dim, 0.0));  // x(0) = 0
+  std::vector<double> x(cfg.dim, 0.0);
+  std::vector<double> x_sum(cfg.dim, 0.0);
+
+  result.step_norms.reserve(cfg.steps);
+  std::vector<double> grad(cfg.dim);
+  int64_t next_gap_step = 8;
+  for (int64_t t = 0; t < cfg.steps; ++t) {
+    const int64_t d = static_cast<int64_t>(
+        rng.NextUint64(std::min<int64_t>(t, hist - 1) + 1));
+    const std::vector<double>& stale_x = history[(t - d) % hist];
+
+    // The theorem's update model: a worker applies a gradient evaluated
+    // at a delayed iterate — the delayed proximal-gradient scheme of [54]
+    // that the proof extends.
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const double residual = RowDot(rows[i], stale_x) - y[i];
+      for (size_t k = 0; k < rows[i].coords.size(); ++k) {
+        grad[rows[i].coords[k]] += residual * rows[i].values[k];
+      }
+    }
+    double step_sq = 0.0;
+    const double inv_n = 1.0 / static_cast<double>(rows.size());
+    for (int j = 0; j < cfg.dim; ++j) {
+      const double g = grad[j] * inv_n;
+      x[j] -= eta * g;
+      step_sq += eta * g * eta * g;
+    }
+    result.step_norms.push_back(std::sqrt(step_sq));
+
+    history[(t + 1) % hist] = x;
+    for (int j = 0; j < cfg.dim; ++j) x_sum[j] += x[j];
+
+    if (t + 1 == next_gap_step || t + 1 == cfg.steps) {
+      std::vector<double> mean(cfg.dim);
+      for (int j = 0; j < cfg.dim; ++j) {
+        mean[j] = x_sum[j] / static_cast<double>(t + 1);
+      }
+      result.avg_iterate_gap.push_back(Objective(rows, y, mean));
+      result.gap_steps.push_back(t + 1);
+      next_gap_step = next_gap_step * 3 / 2 + 1;
+    }
+  }
+
+  result.final_objective = Objective(rows, y, x);
+  for (double n : result.step_norms) result.sum_step_norms += n;
+  const int64_t tail_start = cfg.steps * 9 / 10;
+  double tail = 0.0;
+  for (int64_t t = tail_start; t < cfg.steps; ++t) {
+    tail += result.step_norms[t];
+  }
+  result.tail_mass_fraction =
+      result.sum_step_norms > 0 ? tail / result.sum_step_norms : 0.0;
+
+  // Rate fit over the second half of sampled gaps: slope of log(gap)
+  // against log(t). ≤ −1 certifies the O(1/t) bound of Eq. (9).
+  const size_t m = result.gap_steps.size();
+  if (m >= 4) {
+    const size_t start = m / 2;
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    int count = 0;
+    for (size_t k = start; k < m; ++k) {
+      if (result.avg_iterate_gap[k] <= 0) continue;
+      const double lx = std::log(static_cast<double>(result.gap_steps[k]));
+      const double ly = std::log(result.avg_iterate_gap[k]);
+      sx += lx;
+      sy += ly;
+      sxx += lx * lx;
+      sxy += lx * ly;
+      ++count;
+    }
+    if (count >= 3) {
+      result.rate_exponent =
+          (count * sxy - sx * sy) / (count * sxx - sx * sx);
+    }
+  }
+  return result;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/allreduce.h"
+#include "comm/fabric.h"
+#include "comm/topology.h"
+#include "common/random.h"
+
+namespace hetgmp {
+namespace {
+
+// -------------------------------------------------------------- Topology
+
+TEST(TopologyTest, FourGpuNvlinkPreset) {
+  Topology t = Topology::FourGpuNvlink();
+  EXPECT_EQ(t.num_workers(), 4);
+  EXPECT_EQ(t.num_machines(), 1);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a == b) {
+        EXPECT_EQ(t.link(a, b), LinkType::kLocal);
+      } else {
+        EXPECT_EQ(t.link(a, b), LinkType::kNvlink);
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, EightGpuQpiHasTwoSwitchGroups) {
+  Topology t = Topology::EightGpuQpi();
+  EXPECT_EQ(t.num_workers(), 8);
+  EXPECT_EQ(t.link(0, 3), LinkType::kPcie);   // same group
+  EXPECT_EQ(t.link(0, 4), LinkType::kQpi);    // across groups
+  EXPECT_EQ(t.link(7, 4), LinkType::kPcie);
+}
+
+TEST(TopologyTest, ClusterAUsesEthernetAcrossNodes) {
+  Topology t = Topology::ClusterA(16);
+  EXPECT_EQ(t.num_machines(), 2);
+  EXPECT_EQ(t.machine_of(0), 0);
+  EXPECT_EQ(t.machine_of(8), 1);
+  EXPECT_EQ(t.link(0, 8), LinkType::kEth1G);
+  EXPECT_EQ(t.link(0, 1), LinkType::kPcie);
+  EXPECT_EQ(t.link(0, 5), LinkType::kQpi);
+}
+
+TEST(TopologyTest, ClusterBNvlinkIslandsOfFour) {
+  Topology t = Topology::ClusterB(16);
+  EXPECT_EQ(t.num_machines(), 2);
+  EXPECT_EQ(t.link(0, 3), LinkType::kNvlink);
+  EXPECT_EQ(t.link(0, 4), LinkType::kQpi);   // across islands, same node
+  EXPECT_EQ(t.link(0, 8), LinkType::kEth10G);
+}
+
+TEST(TopologyTest, BandwidthOrdering) {
+  // The calibration constants must preserve the hardware ordering.
+  EXPECT_GT(LinkBandwidthBytesPerSec(LinkType::kNvlink),
+            LinkBandwidthBytesPerSec(LinkType::kPcie));
+  EXPECT_GT(LinkBandwidthBytesPerSec(LinkType::kPcie),
+            LinkBandwidthBytesPerSec(LinkType::kQpi));
+  EXPECT_GT(LinkBandwidthBytesPerSec(LinkType::kQpi),
+            LinkBandwidthBytesPerSec(LinkType::kEth10G));
+  EXPECT_GT(LinkBandwidthBytesPerSec(LinkType::kEth10G),
+            LinkBandwidthBytesPerSec(LinkType::kEth1G));
+}
+
+TEST(TopologyTest, CommWeightMatrixNormalized) {
+  Topology t = Topology::ClusterB(16);
+  auto w = t.CommWeightMatrix();
+  double min_offdiag = 1e18;
+  for (int a = 0; a < 16; ++a) {
+    EXPECT_DOUBLE_EQ(w[a][a], 0.0);
+    for (int b = 0; b < 16; ++b) {
+      if (a != b) min_offdiag = std::min(min_offdiag, w[a][b]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(min_offdiag, 1.0);
+  // Ethernet weight must dwarf NVLink weight.
+  EXPECT_GT(w[0][8], 50.0);
+  EXPECT_DOUBLE_EQ(w[0][1], 1.0);
+}
+
+TEST(TopologyTest, UniformWeightMatrix) {
+  Topology t = Topology::EightGpuQpi();
+  auto w = t.UniformWeightMatrix();
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      EXPECT_DOUBLE_EQ(w[a][b], a == b ? 0.0 : 1.0);
+    }
+  }
+}
+
+TEST(TopologyTest, HostBandwidthIsSharedAcrossWorkers) {
+  Topology t4 = Topology::FourGpuPcie();
+  Topology t8 = Topology::EightGpuQpi();
+  // More co-located workers → less host bandwidth each (PS contention).
+  EXPECT_GT(t4.HostBandwidthBytesPerSec(0, 0),
+            t8.HostBandwidthBytesPerSec(0, 0));
+}
+
+TEST(TopologyTest, CrossMachineHostSlower) {
+  Topology t = Topology::ClusterA(16);
+  EXPECT_GT(t.HostBandwidthBytesPerSec(0, 0),
+            t.HostBandwidthBytesPerSec(0, 1));
+  EXPECT_LT(t.HostLatencySec(0, 0), t.HostLatencySec(0, 1) + 1e-9);
+}
+
+// ---------------------------------------------------------------- Fabric
+
+TEST(FabricTest, CountsExactBytes) {
+  Topology topo = Topology::FourGpuNvlink();
+  Fabric fabric(topo);
+  fabric.Transfer(0, 1, 1000, TrafficClass::kEmbedding);
+  fabric.Transfer(0, 1, 500, TrafficClass::kEmbedding);
+  fabric.Transfer(1, 0, 200, TrafficClass::kIndexClock);
+  EXPECT_EQ(fabric.PairBytes(0, 1, TrafficClass::kEmbedding), 1500u);
+  EXPECT_EQ(fabric.PairBytes(1, 0, TrafficClass::kIndexClock), 200u);
+  EXPECT_EQ(fabric.TotalBytes(TrafficClass::kEmbedding), 1500u);
+  EXPECT_EQ(fabric.TotalBytes(), 1700u);
+}
+
+TEST(FabricTest, LocalTransferIsFreeAndUncounted) {
+  Topology topo = Topology::FourGpuNvlink();
+  Fabric fabric(topo);
+  EXPECT_DOUBLE_EQ(fabric.Transfer(2, 2, 1 << 20, TrafficClass::kEmbedding),
+                   0.0);
+  EXPECT_EQ(fabric.TotalBytes(), 0u);
+}
+
+TEST(FabricTest, TimeScalesWithBytes) {
+  Topology topo = Topology::FourGpuPcie();
+  Fabric fabric(topo);
+  const double t1 = fabric.Transfer(0, 1, 1 << 20, TrafficClass::kEmbedding);
+  const double t2 = fabric.Transfer(0, 1, 2 << 20, TrafficClass::kEmbedding);
+  EXPECT_GT(t2, t1);
+  // Doubling payload roughly doubles the bandwidth term.
+  const double lat = topo.LatencySec(0, 1);
+  EXPECT_NEAR((t2 - lat) / (t1 - lat), 2.0, 0.01);
+}
+
+TEST(FabricTest, SlowerLinkTakesLonger) {
+  Topology topo = Topology::ClusterB(16);
+  Fabric fabric(topo);
+  const double nvlink = fabric.Transfer(0, 1, 1 << 20,
+                                        TrafficClass::kEmbedding);
+  const double eth = fabric.Transfer(0, 8, 1 << 20,
+                                     TrafficClass::kEmbedding);
+  EXPECT_GT(eth, nvlink * 10);
+}
+
+TEST(FabricTest, InterMachineNicContention) {
+  // The same Ethernet payload is slower on a machine with more co-located
+  // workers (shared NIC).
+  Topology t16 = Topology::ClusterB(16);   // 8 per machine
+  Topology t4 = Topology::ClusterB(4);
+  // Build a 2-machine 4-worker cluster manually: 2 workers per machine.
+  std::vector<int> machines = {0, 0, 1, 1};
+  std::vector<std::vector<LinkType>> links(
+      4, std::vector<LinkType>(4, LinkType::kEth10G));
+  for (int i = 0; i < 4; ++i) links[i][i] = LinkType::kLocal;
+  links[0][1] = links[1][0] = LinkType::kNvlink;
+  links[2][3] = links[3][2] = LinkType::kNvlink;
+  Topology small("2x2", machines, links);
+  Fabric f16(t16), fsmall(small);
+  const double crowded = f16.Transfer(0, 8, 1 << 20,
+                                      TrafficClass::kEmbedding);
+  const double roomy = fsmall.Transfer(0, 2, 1 << 20,
+                                       TrafficClass::kEmbedding);
+  EXPECT_GT(crowded, roomy * 3);
+}
+
+TEST(FabricTest, ResetClearsCounters) {
+  Topology topo = Topology::FourGpuNvlink();
+  Fabric fabric(topo);
+  fabric.Transfer(0, 1, 100, TrafficClass::kEmbedding);
+  fabric.TransferToHost(0, 0, 100, TrafficClass::kEmbedding);
+  fabric.ResetCounters();
+  EXPECT_EQ(fabric.TotalBytes(), 0u);
+}
+
+TEST(FabricTest, HostTransferCounted) {
+  Topology topo = Topology::EightGpuQpi();
+  Fabric fabric(topo);
+  const double t = fabric.TransferToHost(3, 0, 4096,
+                                         TrafficClass::kEmbedding);
+  EXPECT_GT(t, 0.0);
+  EXPECT_EQ(fabric.TotalBytes(TrafficClass::kEmbedding), 4096u);
+}
+
+TEST(FabricTest, PairMatrixShapeAndContent) {
+  Topology topo = Topology::FourGpuNvlink();
+  Fabric fabric(topo);
+  fabric.Transfer(2, 3, 777, TrafficClass::kEmbedding);
+  auto m = fabric.PairMatrix(TrafficClass::kEmbedding);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_EQ(m[2][3], 777u);
+  EXPECT_EQ(m[3][2], 0u);
+}
+
+TEST(FabricTest, ConcurrentCountingIsExact) {
+  Topology topo = Topology::EightGpuQpi();
+  Fabric fabric(topo);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&fabric, w] {
+      for (int i = 0; i < 1000; ++i) {
+        fabric.Transfer(w, (w + 1) % 8, 8, TrafficClass::kIndexClock);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fabric.TotalBytes(TrafficClass::kIndexClock), 8u * 1000 * 8);
+}
+
+// ------------------------------------------------------------- AllReduce
+
+TEST(AllReduceTest, BytesFormula) {
+  EXPECT_EQ(RingAllReduceBytesPerWorker(1, 1000), 0u);
+  EXPECT_EQ(RingAllReduceBytesPerWorker(4, 1000), 1500u);  // 2*(3/4)*1000
+  EXPECT_EQ(RingAllReduceBytesPerWorker(8, 800), 1400u);
+}
+
+TEST(AllReduceTest, TimeZeroForSingleWorker) {
+  std::vector<int> machines = {0};
+  std::vector<std::vector<LinkType>> links(1, {LinkType::kLocal});
+  Topology solo("solo", machines, links);
+  EXPECT_DOUBLE_EQ(RingAllReduceTime(solo, 1 << 20), 0.0);
+}
+
+TEST(AllReduceTest, SlowestHopDominates) {
+  // A ring through Ethernet must cost more than one through NVLink.
+  const double fast = RingAllReduceTime(Topology::FourGpuNvlink(), 1 << 20);
+  const double slow = RingAllReduceTime(Topology::ClusterB(16), 1 << 20);
+  EXPECT_GT(slow, fast * 5);
+}
+
+TEST(AllReduceTest, AveragesValuesAcrossReplicas) {
+  Topology topo = Topology::FourGpuNvlink();
+  Fabric fabric(topo);
+  std::vector<Tensor> tensors;
+  for (int w = 0; w < 4; ++w) {
+    tensors.push_back(Tensor::Full({3}, static_cast<float>(w)));
+  }
+  std::vector<std::vector<Tensor*>> replicas(4);
+  for (int w = 0; w < 4; ++w) replicas[w] = {&tensors[w]};
+  const double t = RingAllReduceAverage(&fabric, replicas);
+  EXPECT_GT(t, 0.0);
+  for (int w = 0; w < 4; ++w) {
+    for (int64_t i = 0; i < 3; ++i) {
+      EXPECT_FLOAT_EQ(tensors[w].at(i), 1.5f);  // (0+1+2+3)/4
+    }
+  }
+  EXPECT_GT(fabric.TotalBytes(TrafficClass::kAllReduce), 0u);
+}
+
+TEST(AllReduceTest, SingleWorkerAverageIsNoop) {
+  Topology topo("solo", {0}, {{LinkType::kLocal}});
+  Fabric fabric(topo);
+  Tensor t = Tensor::Full({2}, 5.0f);
+  std::vector<std::vector<Tensor*>> replicas = {{&t}};
+  EXPECT_DOUBLE_EQ(RingAllReduceAverage(&fabric, replicas), 0.0);
+  EXPECT_FLOAT_EQ(t.at(0), 5.0f);
+}
+
+TEST(AllReduceTest, MultiTensorPayload) {
+  Topology topo = Topology::FourGpuNvlink();
+  Fabric fabric(topo);
+  std::vector<Tensor> a, b;
+  for (int w = 0; w < 4; ++w) {
+    a.push_back(Tensor::Full({2}, static_cast<float>(w)));
+    b.push_back(Tensor::Full({5}, static_cast<float>(-w)));
+  }
+  std::vector<std::vector<Tensor*>> replicas(4);
+  for (int w = 0; w < 4; ++w) replicas[w] = {&a[w], &b[w]};
+  RingAllReduceAverage(&fabric, replicas);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_FLOAT_EQ(a[w].at(0), 1.5f);
+    EXPECT_FLOAT_EQ(b[w].at(0), -1.5f);
+  }
+}
+
+}  // namespace
+}  // namespace hetgmp

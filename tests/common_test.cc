@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stringutil.h"
+#include "common/threading.h"
+#include "common/zipf.h"
+
+namespace hetgmp {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("num_parts must be > 0");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "num_parts must be > 0");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: num_parts must be > 0");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_TRUE(Status::OK() == Status());
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_TRUE(Status::NotFound("a") == Status::NotFound("a"));
+}
+
+Status FailsWhenNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Wrapper(int v) {
+  HETGMP_RETURN_IF_ERROR(FailsWhenNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Wrapper(1).ok());
+  EXPECT_EQ(Wrapper(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedDrawStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedDrawIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextUint64(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);  // ~5 sigma
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// ------------------------------------------------------------------ Zipf
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 1.2);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < 100; ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  ZipfSampler z(50, 0.9);
+  for (uint64_t k = 1; k < 50; ++k) {
+    EXPECT_GT(z.Pmf(k - 1), z.Pmf(k));
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler z(1000, 0.0);
+  Rng rng(29);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.Sample(&rng)];
+  // No item should be wildly over-represented.
+  for (int c : counts) EXPECT_LT(c, 250);
+}
+
+TEST(ZipfTest, SingleElementSupport) {
+  ZipfSampler z(1, 1.5);
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.Sample(&rng), 0u);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfSampler z(37, 1.05);
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Sample(&rng), 37u);
+}
+
+// Property sweep: empirical frequencies match the analytic pmf across
+// exponents, including the θ=1 special case of the inversion formulas.
+class ZipfPmfMatchTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfPmfMatchTest, EmpiricalMatchesAnalytic) {
+  const double theta = GetParam();
+  constexpr uint64_t kN = 50;
+  constexpr uint64_t kDraws = 200000;
+  ZipfSampler z(kN, theta);
+  Rng rng(41);
+  std::vector<double> freq = EmpiricalZipfFrequencies(z, kDraws, &rng);
+  for (uint64_t k = 0; k < kN; ++k) {
+    const double expected = z.Pmf(k);
+    // 5-sigma binomial tolerance plus a small absolute floor.
+    const double tol =
+        5.0 * std::sqrt(expected * (1 - expected) / kDraws) + 1e-4;
+    EXPECT_NEAR(freq[k], expected, tol) << "theta=" << theta << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfPmfMatchTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.05, 1.2, 1.6,
+                                           2.0));
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  Rng rng(43);
+  ZipfSampler mild(1000, 0.6), heavy(1000, 1.4);
+  auto top10_share = [&](const ZipfSampler& z) {
+    Rng local(43);
+    std::vector<double> f = EmpiricalZipfFrequencies(z, 100000, &local);
+    double s = 0;
+    for (int k = 0; k < 10; ++k) s += f[k];
+    return s;
+  };
+  EXPECT_GT(top10_share(heavy), top10_share(mild) + 0.2);
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_NEAR(h.StdDev(), std::sqrt(1.25), 1e-9);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Gini(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesAreOrderedAndBounded) {
+  Histogram h;
+  Rng rng(47);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.NextDouble() * 100.0);
+  double prev = h.Quantile(0.0);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double q = h.Quantile(p);
+    EXPECT_GE(q, prev);
+    EXPECT_GE(q, h.min());
+    EXPECT_LE(q, h.max());
+    prev = q;
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 10.0);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedAdds) {
+  Histogram a, b, c;
+  Rng rng(53);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble() * 10;
+    a.Add(v);
+    c.Add(v);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 10 + rng.NextDouble() * 10;
+    b.Add(v);
+    c.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), c.count());
+  // Sums differ only by float addition order.
+  EXPECT_NEAR(a.sum(), c.sum(), 1e-9 * std::abs(c.sum()));
+  EXPECT_DOUBLE_EQ(a.min(), c.min());
+  EXPECT_DOUBLE_EQ(a.max(), c.max());
+  EXPECT_NEAR(a.Quantile(0.5), c.Quantile(0.5), 1e-9);
+}
+
+TEST(HistogramTest, GiniOrdersEvenVsSkewed) {
+  Histogram even, skewed;
+  for (int i = 0; i < 1000; ++i) even.Add(5.0);
+  for (int i = 0; i < 999; ++i) skewed.Add(0.01);
+  skewed.Add(10000.0);
+  EXPECT_LT(even.Gini(), 0.1);
+  EXPECT_GT(skewed.Gini(), 0.8);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(3.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+// ------------------------------------------------------------ stringutil
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(uint64_t{3} * 1024 * 1024), "3.0 MiB");
+  EXPECT_EQ(HumanBytes(uint64_t{5} * 1024 * 1024 * 1024), "5.0 GiB");
+}
+
+TEST(StringUtilTest, HumanCount) {
+  EXPECT_EQ(HumanCount(17), "17");
+  EXPECT_EQ(HumanCount(1500), "1.5k");
+  EXPECT_EQ(HumanCount(2.5e6), "2.5M");
+  EXPECT_EQ(HumanCount(1e11), "100.0B");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringUtilTest, JoinInts) {
+  EXPECT_EQ(JoinInts({1, 2, 3}, ","), "1,2,3");
+  EXPECT_EQ(JoinInts({}, ","), "");
+  EXPECT_EQ(JoinInts({7}, ", "), "7");
+}
+
+TEST(StringUtilTest, PadLeft) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+TEST(StringUtilTest, Percent) {
+  EXPECT_EQ(Percent(0.875), "87.5%");
+  EXPECT_EQ(Percent(0.0), "0.0%");
+}
+
+// ------------------------------------------------------------- threading
+
+TEST(BarrierTest, ExactlyOneSerialThreadPerGeneration) {
+  constexpr int kThreads = 8;
+  constexpr int kGenerations = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> serial_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int g = 0; g < kGenerations; ++g) {
+        if (barrier.ArriveAndWait()) {
+          serial_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serial_count.load(), kGenerations);
+}
+
+TEST(BarrierTest, NoThreadPassesEarly) {
+  constexpr int kThreads = 4;
+  Barrier barrier(kThreads);
+  std::atomic<int> stage{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      stage.fetch_add(1);
+      barrier.ArriveAndWait();
+      // Everyone must have arrived before anyone continues.
+      EXPECT_EQ(stage.load(), kThreads);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoWorkReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  std::vector<std::atomic<int>> hits(64);
+  ThreadPool::ParallelFor(4, 64, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool::ParallelFor(4, 0, [&](int64_t) { FAIL(); });
+}
+
+// --------------------------------------------------------------- logging
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(prev);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ HETGMP_CHECK(1 == 2) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(HETGMP_CHECK_OK(Status::Internal("bad")), "Internal");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  HETGMP_CHECK(true);
+  HETGMP_CHECK_EQ(2 + 2, 4);
+  HETGMP_CHECK_LT(1, 2);
+  HETGMP_CHECK_OK(Status::OK());
+}
+
+}  // namespace
+}  // namespace hetgmp

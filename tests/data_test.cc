@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "metrics/auc.h"
+
+namespace hetgmp {
+namespace {
+
+SyntheticCtrConfig SmallConfig() {
+  SyntheticCtrConfig cfg;
+  cfg.name = "small";
+  cfg.num_samples = 2000;
+  cfg.num_fields = 8;
+  cfg.num_features = 600;
+  cfg.num_clusters = 4;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// --------------------------------------------------------------- Dataset
+
+TEST(CtrDatasetTest, CsrInvariants) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  EXPECT_EQ(d.num_samples(), 2000);
+  EXPECT_EQ(d.num_fields(), 8);
+  EXPECT_EQ(d.feature_ids().size(), 2000u * 8u);
+  EXPECT_EQ(static_cast<int>(d.field_offsets().size()), 9);
+  EXPECT_EQ(d.field_offsets().front(), 0);
+  EXPECT_EQ(d.field_offsets().back(), d.num_features());
+}
+
+TEST(CtrDatasetTest, EveryFeatureInItsFieldRange) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  for (int64_t s = 0; s < d.num_samples(); ++s) {
+    const FeatureId* feats = d.sample_features(s);
+    for (int f = 0; f < d.num_fields(); ++f) {
+      EXPECT_GE(feats[f], d.field_offsets()[f]);
+      EXPECT_LT(feats[f], d.field_offsets()[f + 1]);
+    }
+  }
+}
+
+TEST(CtrDatasetTest, LabelsAreBinary) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  int ones = 0;
+  for (float y : d.labels()) {
+    EXPECT_TRUE(y == 0.0f || y == 1.0f);
+    ones += y > 0.5f;
+  }
+  // Neither class should be (almost) empty.
+  EXPECT_GT(ones, d.num_samples() / 20);
+  EXPECT_LT(ones, d.num_samples() * 19 / 20);
+}
+
+TEST(CtrDatasetTest, FieldOfFeatureBinarySearch) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  for (int f = 0; f < d.num_fields(); ++f) {
+    EXPECT_EQ(d.FieldOfFeature(d.field_offsets()[f]), f);
+    EXPECT_EQ(d.FieldOfFeature(d.field_offsets()[f + 1] - 1), f);
+  }
+}
+
+TEST(CtrDatasetTest, SplitTailPartitionsSamples) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  const int64_t before = d.num_samples();
+  const std::vector<FeatureId> all = d.feature_ids();
+  CtrDataset test = d.SplitTail(0.2);
+  EXPECT_EQ(d.num_samples() + test.num_samples(), before);
+  EXPECT_EQ(test.num_samples(), 400);
+  // Feature space and fields are shared.
+  EXPECT_EQ(test.num_features(), d.num_features());
+  EXPECT_EQ(test.num_fields(), d.num_fields());
+  // The tail's features equal the original tail.
+  for (int64_t s = 0; s < test.num_samples(); ++s) {
+    const FeatureId* feats = test.sample_features(s);
+    for (int f = 0; f < test.num_fields(); ++f) {
+      EXPECT_EQ(feats[f],
+                all[(d.num_samples() + s) * d.num_fields() + f]);
+    }
+  }
+}
+
+TEST(CtrDatasetTest, FeatureFrequenciesSumToAccesses) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  std::vector<int64_t> freq = d.FeatureFrequencies();
+  int64_t total = 0;
+  for (int64_t f : freq) total += f;
+  EXPECT_EQ(total, d.num_samples() * d.num_fields());
+}
+
+// ------------------------------------------------------------- Generator
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  CtrDataset a = GenerateSyntheticCtr(SmallConfig());
+  CtrDataset b = GenerateSyntheticCtr(SmallConfig());
+  EXPECT_EQ(a.feature_ids(), b.feature_ids());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  SyntheticCtrConfig cfg = SmallConfig();
+  CtrDataset a = GenerateSyntheticCtr(cfg);
+  cfg.seed = 8;
+  CtrDataset b = GenerateSyntheticCtr(cfg);
+  EXPECT_NE(a.feature_ids(), b.feature_ids());
+}
+
+TEST(SyntheticTest, AccessSkewPresent) {
+  // The Zipf popularity should give the top 1% of features a large share
+  // of accesses — the skewness property of §4.
+  // With 600 features the "top 1%" is just 6 features; they must still
+  // absorb far more than their uniform share (1%).
+  DatasetStats s = ComputeDatasetStats(GenerateSyntheticCtr(SmallConfig()));
+  EXPECT_GT(s.top1pct_share, 0.05);
+  EXPECT_GT(s.gini, 0.4);
+}
+
+TEST(SyntheticTest, HigherThetaMoreSkew) {
+  SyntheticCtrConfig mild = SmallConfig();
+  mild.zipf_theta = 0.6;
+  SyntheticCtrConfig heavy = SmallConfig();
+  heavy.zipf_theta = 1.5;
+  const DatasetStats sm = ComputeDatasetStats(GenerateSyntheticCtr(mild));
+  const DatasetStats sh = ComputeDatasetStats(GenerateSyntheticCtr(heavy));
+  EXPECT_GT(sh.top1pct_share, sm.top1pct_share);
+}
+
+TEST(SyntheticTest, TeacherLogitsScoreAboveChance) {
+  std::vector<float> teacher;
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig(), &teacher);
+  ASSERT_EQ(teacher.size(), static_cast<size_t>(d.num_samples()));
+  const double auc = ComputeAuc(teacher, d.labels());
+  // The teacher is the Bayes-optimal scorer; it must be far above chance.
+  EXPECT_GT(auc, 0.75);
+}
+
+TEST(SyntheticTest, PresetsMatchPaperFieldCounts) {
+  EXPECT_EQ(AvazuLikeConfig().num_fields, 22);
+  EXPECT_EQ(CriteoLikeConfig().num_fields, 26);
+  EXPECT_EQ(CompanyLikeConfig().num_fields, 43);
+  // Table 1 ordering: company has the most features per sample count.
+  EXPECT_GT(CompanyLikeConfig().num_features,
+            CriteoLikeConfig().num_features);
+  EXPECT_GT(CriteoLikeConfig().num_features,
+            AvazuLikeConfig().num_features);
+}
+
+TEST(SyntheticTest, ScaleParameterScalesSizes) {
+  SyntheticCtrConfig half = CriteoLikeConfig(0.5);
+  SyntheticCtrConfig full = CriteoLikeConfig(1.0);
+  EXPECT_EQ(half.num_samples * 2, full.num_samples);
+  EXPECT_EQ(half.num_features * 2, full.num_features);
+}
+
+TEST(SyntheticTest, ClusterAffinityCreatesLocality) {
+  // With high affinity, samples from one cluster reuse a small slice of
+  // each field; with zero affinity they roam the whole field. Compare the
+  // number of distinct features touched by the first 200 samples.
+  SyntheticCtrConfig local = SmallConfig();
+  local.cluster_affinity = 1.0;
+  SyntheticCtrConfig global = SmallConfig();
+  global.cluster_affinity = 0.0;
+  auto distinct = [](const CtrDataset& d) {
+    std::set<FeatureId> seen;
+    for (int64_t s = 0; s < 200; ++s) {
+      for (int f = 0; f < d.num_fields(); ++f) {
+        seen.insert(d.sample_features(s)[f]);
+      }
+    }
+    return seen.size();
+  };
+  EXPECT_LT(distinct(GenerateSyntheticCtr(local)) * 3,
+            distinct(GenerateSyntheticCtr(global)) * 4);
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(DatasetStatsTest, CountsMatchDataset) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  DatasetStats s = ComputeDatasetStats(d);
+  EXPECT_EQ(s.num_samples, d.num_samples());
+  EXPECT_EQ(s.num_features, d.num_features());
+  EXPECT_EQ(s.num_fields, d.num_fields());
+  EXPECT_EQ(s.num_accesses, d.num_samples() * d.num_fields());
+  EXPECT_LE(s.distinct_features, s.num_features);
+  EXPECT_GT(s.distinct_features, 0);
+  EXPECT_GT(s.max_frequency, 0.0);
+  EXPECT_LE(s.max_frequency, 1.0);
+  EXPECT_GE(s.gini, 0.0);
+  EXPECT_LE(s.gini, 1.0);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(DatasetStatsTest, UniformDataHasLowGini) {
+  // A hand-built dataset where every feature is accessed exactly once.
+  const int n = 64;
+  std::vector<int64_t> offsets = {0, n};
+  std::vector<FeatureId> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = i;
+  CtrDataset d("uniform", 1, offsets, ids, std::vector<float>(n, 0.0f));
+  DatasetStats s = ComputeDatasetStats(d);
+  EXPECT_NEAR(s.gini, 0.0, 0.02);
+  EXPECT_NEAR(s.max_frequency, 1.0 / n, 1e-9);
+}
+
+class ScaleSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleSweepTest, GeneratorHandlesScale) {
+  SyntheticCtrConfig cfg = AvazuLikeConfig(GetParam());
+  cfg.num_samples = std::min<int64_t>(cfg.num_samples, 5000);
+  CtrDataset d = GenerateSyntheticCtr(cfg);
+  EXPECT_GT(d.num_samples(), 0);
+  EXPECT_GT(d.num_features(), 0);
+  EXPECT_EQ(d.num_fields(), 22);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleSweepTest,
+                         ::testing::Values(0.05, 0.1, 0.5, 1.0));
+
+}  // namespace
+}  // namespace hetgmp

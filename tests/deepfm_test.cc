@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "models/deepfm.h"
+#include "models/model.h"
+
+namespace hetgmp {
+namespace {
+
+Tensor RandomInput(int64_t batch, int64_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t({batch, dim});
+  for (int64_t i = 0; i < t.size(); ++i) t.at(i) = rng.NextFloat(-1, 1);
+  return t;
+}
+
+double ProbeLoss(const Tensor& out, const Tensor& probe) {
+  double acc = 0;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    acc += static_cast<double>(out.at(i)) * probe.at(i);
+  }
+  return acc;
+}
+
+TEST(DeepFmTest, FmTermMatchesManualComputation) {
+  // 2 fields × dim 2: fm = Σ_d v_{0,d} v_{1,d} (pairwise dot product).
+  Rng rng(1);
+  DeepFmModel model(2, 2, {4}, &rng);
+  // Zero out linear + deep so only the FM term remains.
+  for (Tensor* p : model.DenseParams()) p->Fill(0.0f);
+  Tensor in({1, 4});
+  in.at(0) = 1;  // v0 = (1, 2)
+  in.at(1) = 2;
+  in.at(2) = 3;  // v1 = (3, -1)
+  in.at(3) = -1;
+  Tensor out;
+  model.Forward(in, &out);
+  // fm = 0.5 * [ (1+3)^2 + (2-1)^2 − (1+9) − (4+1) ] = 0.5*(16+1−10−5)=1
+  // which equals v0 · v1 = 3 − 2 = 1.
+  EXPECT_NEAR(out.at(0), 1.0f, 1e-5);
+}
+
+TEST(DeepFmTest, SingleFieldFmTermVanishes) {
+  // With one field there are no pairwise interactions.
+  Rng rng(2);
+  DeepFmModel model(1, 4, {4}, &rng);
+  for (Tensor* p : model.DenseParams()) p->Fill(0.0f);
+  Tensor in = RandomInput(3, 4, 3);
+  Tensor out;
+  model.Forward(in, &out);
+  for (int64_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out.at(i), 0, 1e-5);
+}
+
+TEST(DeepFmTest, GradCheckInputs) {
+  Rng rng(4);
+  DeepFmModel model(3, 4, {6}, &rng);
+  Tensor in = RandomInput(3, 12, 5);
+  Tensor out;
+  model.Forward(in, &out);
+  const Tensor probe = RandomInput(out.dim(0), out.dim(1), 6);
+  model.ZeroGrads();
+  model.Forward(in, &out);
+  Tensor grad_in;
+  model.Backward(probe, &grad_in);
+
+  // Small eps: the FM term is quadratic (central differences exact), so
+  // the only finite-difference error source is ReLU kink crossings in the
+  // deep tower, whose probability shrinks with eps.
+  const float eps = 2e-3f;
+  Rng pick(7);
+  for (int c = 0; c < 24; ++c) {
+    const int64_t i = static_cast<int64_t>(pick.NextUint64(in.size()));
+    Tensor plus = in, minus = in;
+    plus.at(i) += eps;
+    minus.at(i) -= eps;
+    Tensor op, om;
+    model.Forward(plus, &op);
+    const double lp = ProbeLoss(op, probe);
+    model.Forward(minus, &om);
+    const double lm = ProbeLoss(om, probe);
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grad_in.at(i), numeric,
+                4e-2 * std::max(1.0, std::abs(numeric)))
+        << "input " << i;
+  }
+}
+
+TEST(DeepFmTest, FactoryIntegration) {
+  Rng rng(8);
+  auto model = CreateFieldModel(ModelType::kDeepFm, 5, 4, &rng);
+  EXPECT_STREQ(model->name(), "DeepFM");
+  Tensor in = RandomInput(2, 20, 9);
+  Tensor out;
+  model->Forward(in, &out);
+  EXPECT_EQ(out.dim(0), 2);
+  EXPECT_EQ(out.dim(1), 1);
+  EXPECT_GT(model->FlopsPerSample(), 0);
+}
+
+TEST(DeepFmTest, FieldAgnosticFactoryFallsBack) {
+  Rng rng1(10), rng2(10);
+  auto wdl_a = CreateFieldModel(ModelType::kWdl, 4, 5, &rng1);
+  auto wdl_b = CreateModel(ModelType::kWdl, 20, &rng2);
+  EXPECT_EQ(wdl_a->NumDenseParams(), wdl_b->NumDenseParams());
+}
+
+}  // namespace
+}  // namespace hetgmp

@@ -1,0 +1,132 @@
+// Boundary conditions: degenerate sizes, extreme configurations, and the
+// non-CTR workload shape from §2 (knowledge-graph-style samples that
+// touch only two embeddings).
+
+#include <gtest/gtest.h>
+
+#include "comm/topology.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+#include "partition/hybrid_partitioner.h"
+#include "partition/quality.h"
+
+namespace hetgmp {
+namespace {
+
+TEST(EdgeCaseTest, KnowledgeGraphStyleAritalTwoWorkload) {
+  // §2: "in knowledge graph embeddings, a data sample only needs to
+  // access two embeddings for an edge". The bigraph abstraction and the
+  // whole pipeline must handle arity-2 samples.
+  SyntheticCtrConfig cfg;
+  cfg.name = "kg-like";
+  cfg.num_samples = 4000;
+  cfg.num_fields = 2;  // head entity, tail entity
+  cfg.num_features = 500;
+  cfg.num_clusters = 4;
+  cfg.seed = 5;
+  CtrDataset train = GenerateSyntheticCtr(cfg);
+  CtrDataset test = train.SplitTail(0.2);
+  EXPECT_EQ(Bigraph(train).arity(), 2);
+
+  EngineConfig ec;
+  ec.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&ec);
+  ec.batch_size = 64;
+  ec.embedding_dim = 8;
+  ExperimentResult r = RunExperiment(ec, train, test,
+                                     Topology::FourGpuPcie(), 3);
+  EXPECT_GT(r.train.final_auc, 0.55);
+}
+
+TEST(EdgeCaseTest, BatchLargerThanLocalSamples) {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 100;  // far fewer than workers × batch
+  cfg.num_fields = 4;
+  cfg.num_features = 60;
+  cfg.num_clusters = 2;
+  cfg.seed = 6;
+  CtrDataset train = GenerateSyntheticCtr(cfg);
+  CtrDataset test = train.SplitTail(0.2);
+  EngineConfig ec;
+  ec.strategy = Strategy::kHetMp;
+  ApplyStrategyDefaults(&ec);
+  ec.batch_size = 256;  // cyclic oversampling of local data
+  ec.embedding_dim = 4;
+  ExperimentResult r = RunExperiment(ec, train, test,
+                                     Topology::FourGpuNvlink(), 1);
+  EXPECT_GT(r.train.total_iterations, 0);
+}
+
+TEST(EdgeCaseTest, MoreRoundsThanIterations) {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 300;
+  cfg.num_fields = 4;
+  cfg.num_features = 80;
+  cfg.num_clusters = 2;
+  cfg.seed = 7;
+  CtrDataset train = GenerateSyntheticCtr(cfg);
+  CtrDataset test = train.SplitTail(0.2);
+  EngineConfig ec;
+  ec.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&ec);
+  ec.batch_size = 64;
+  ec.embedding_dim = 4;
+  ec.rounds_per_epoch = 64;  // >> iters/epoch; engine must clamp to ≥1
+  ExperimentResult r = RunExperiment(ec, train, test,
+                                     Topology::FourGpuNvlink(), 1);
+  EXPECT_GT(r.train.total_iterations, 0);
+}
+
+TEST(EdgeCaseTest, SingleFieldDataset) {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 1000;
+  cfg.num_fields = 1;
+  cfg.num_features = 64;
+  cfg.num_clusters = 2;
+  cfg.seed = 8;
+  CtrDataset d = GenerateSyntheticCtr(cfg);
+  Bigraph g(d);
+  EXPECT_EQ(g.arity(), 1);
+  // Partitioning a 1-field graph is trivial but must stay valid.
+  HybridPartitionerOptions opt;
+  opt.rounds = 1;
+  Partition p = HybridPartitioner(opt).Run(g, 2);
+  const PartitionQuality q = EvaluatePartition(g, p);
+  EXPECT_EQ(q.total_accesses, 1000);
+}
+
+TEST(EdgeCaseTest, MoreWorkersThanClusters) {
+  // 24 workers over a dataset with 4 latent clusters: partitioner must
+  // still balance and beat random.
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 4800;
+  cfg.num_fields = 6;
+  cfg.num_features = 1200;
+  cfg.num_clusters = 4;
+  cfg.seed = 9;
+  CtrDataset d = GenerateSyntheticCtr(cfg);
+  Bigraph g(d);
+  HybridPartitionerOptions opt;
+  opt.rounds = 2;
+  Partition p = HybridPartitioner(opt).Run(g, 24);
+  const PartitionQuality q = EvaluatePartition(g, p);
+  EXPECT_LT(q.RemoteFraction(), 23.0 / 24.0);
+  EXPECT_GT(q.min_samples, 0);
+}
+
+TEST(EdgeCaseTest, SplitTailTinyFraction) {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 50;
+  cfg.num_fields = 3;
+  cfg.num_features = 30;
+  cfg.num_clusters = 2;
+  cfg.seed = 10;
+  CtrDataset d = GenerateSyntheticCtr(cfg);
+  CtrDataset t = d.SplitTail(0.001);  // rounds up to at least 1 sample
+  EXPECT_GE(t.num_samples(), 1);
+  EXPECT_EQ(d.num_samples() + t.num_samples(), 50);
+}
+
+}  // namespace
+}  // namespace hetgmp

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "embed/embedding_table.h"
+#include "embed/secondary_cache.h"
+
+namespace hetgmp {
+namespace {
+
+// -------------------------------------------------------- EmbeddingTable
+
+TEST(EmbeddingTableTest, InitStddevRespected) {
+  EmbeddingTable t(1000, 16, 0.1f, 42);
+  double sum = 0, sum_sq = 0;
+  const int64_t n = 1000 * 16;
+  for (int64_t x = 0; x < 1000; ++x) {
+    const float* row = t.UnsafeRow(x);
+    for (int c = 0; c < 16; ++c) {
+      sum += row[c];
+      sum_sq += row[c] * row[c];
+    }
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 0.1, 0.01);
+}
+
+TEST(EmbeddingTableTest, DeterministicForSeed) {
+  EmbeddingTable a(100, 8, 0.05f, 7), b(100, 8, 0.05f, 7);
+  for (int64_t x = 0; x < 100; ++x) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_EQ(a.UnsafeRow(x)[c], b.UnsafeRow(x)[c]);
+    }
+  }
+}
+
+TEST(EmbeddingTableTest, ReadRowCopies) {
+  EmbeddingTable t(10, 4, 0.1f, 1);
+  std::vector<float> out(4);
+  t.ReadRow(3, out.data());
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(out[c], t.UnsafeRow(3)[c]);
+}
+
+TEST(EmbeddingTableTest, SgdGradientApplication) {
+  EmbeddingTable t(4, 2, 0.0f, 1, EmbeddingOptimizer::kSgd, /*lr=*/0.5f);
+  const float grad[2] = {1.0f, -2.0f};
+  t.ApplyGradient(0, grad);
+  EXPECT_FLOAT_EQ(t.UnsafeRow(0)[0], -0.5f);
+  EXPECT_FLOAT_EQ(t.UnsafeRow(0)[1], 1.0f);
+  // Other rows untouched.
+  EXPECT_FLOAT_EQ(t.UnsafeRow(1)[0], 0.0f);
+}
+
+TEST(EmbeddingTableTest, AdaGradStepsShrink) {
+  EmbeddingTable t(1, 1, 0.0f, 1, EmbeddingOptimizer::kAdaGrad, 0.1f);
+  const float grad[1] = {1.0f};
+  t.ApplyGradient(0, grad);
+  const float first = -t.UnsafeRow(0)[0];
+  EXPECT_NEAR(first, 0.1f, 1e-4);
+  const float before = t.UnsafeRow(0)[0];
+  t.ApplyGradient(0, grad);
+  const float second = before - t.UnsafeRow(0)[0];
+  EXPECT_LT(second, first);
+}
+
+TEST(EmbeddingTableTest, ConcurrentSgdUpdatesAllLand) {
+  // With SGD (linear updates), concurrent gradient applications to the
+  // same row must sum exactly thanks to the row lock.
+  EmbeddingTable t(1, 4, 0.0f, 1, EmbeddingOptimizer::kSgd, 1.0f);
+  constexpr int kThreads = 8;
+  constexpr int kUpdates = 2000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t] {
+      const float grad[4] = {1, 1, 1, 1};
+      for (int j = 0; j < kUpdates; ++j) t.ApplyGradient(0, grad);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(t.UnsafeRow(0)[c],
+                    -static_cast<float>(kThreads * kUpdates));
+  }
+}
+
+TEST(EmbeddingTableTest, RowBytes) {
+  EmbeddingTable t(10, 16, 0.1f, 1);
+  EXPECT_EQ(t.RowBytes(), 64u);
+}
+
+// -------------------------------------------------------- SecondaryCache
+
+TEST(SecondaryCacheTest, SlotLookup) {
+  SecondaryCache c({7, 3, 42}, 4);
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.Slot(7), 0);
+  EXPECT_EQ(c.Slot(3), 1);
+  EXPECT_EQ(c.Slot(42), 2);
+  EXPECT_EQ(c.Slot(99), -1);
+}
+
+TEST(SecondaryCacheTest, ValuesStartZeroed) {
+  SecondaryCache c({1, 2}, 3);
+  for (int64_t s = 0; s < 2; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(c.Value(s)[i], 0.0f);
+      EXPECT_EQ(c.Pending(s)[i], 0.0f);
+    }
+    EXPECT_EQ(c.pending_count(s), 0);
+    EXPECT_EQ(c.synced_clock(s), 0u);
+  }
+}
+
+TEST(SecondaryCacheTest, PendingAccumulates) {
+  SecondaryCache c({5}, 2);
+  const float g1[2] = {1.0f, 2.0f};
+  const float g2[2] = {0.5f, -1.0f};
+  c.AccumulatePending(0, g1);
+  c.AccumulatePending(0, g2);
+  EXPECT_FLOAT_EQ(c.Pending(0)[0], 1.5f);
+  EXPECT_FLOAT_EQ(c.Pending(0)[1], 1.0f);
+  EXPECT_EQ(c.pending_count(0), 2);
+  c.ClearPending(0);
+  EXPECT_EQ(c.pending_count(0), 0);
+  EXPECT_FLOAT_EQ(c.Pending(0)[0], 0.0f);
+}
+
+TEST(SecondaryCacheTest, SetValueOverwrites) {
+  SecondaryCache c({5}, 2);
+  const float v[2] = {3.0f, 4.0f};
+  c.SetValue(0, v);
+  EXPECT_FLOAT_EQ(c.Value(0)[0], 3.0f);
+  EXPECT_FLOAT_EQ(c.Value(0)[1], 4.0f);
+}
+
+TEST(SecondaryCacheTest, SyncedClock) {
+  SecondaryCache c({5}, 1);
+  c.set_synced_clock(0, 77);
+  EXPECT_EQ(c.synced_clock(0), 77u);
+}
+
+TEST(SecondaryCacheTest, EmptyCache) {
+  SecondaryCache c({}, 8);
+  EXPECT_EQ(c.size(), 0);
+  EXPECT_EQ(c.Slot(0), -1);
+}
+
+TEST(SecondaryCacheDeathTest, DuplicateIdsRejected) {
+  EXPECT_DEATH(SecondaryCache({1, 1}, 2), "duplicate");
+}
+
+}  // namespace
+}  // namespace hetgmp

@@ -1,0 +1,250 @@
+// Engine feature tests: LRU replica policy, SSP cache expiry, straggler
+// injection, and write-back batching.
+
+#include <gtest/gtest.h>
+
+#include "comm/topology.h"
+#include "core/engine.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+
+namespace hetgmp {
+namespace {
+
+SyntheticCtrConfig TinyConfig() {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 3000;
+  cfg.num_fields = 8;
+  cfg.num_features = 600;
+  cfg.num_clusters = 4;
+  cfg.seed = 77;
+  return cfg;
+}
+
+struct Fixtures {
+  Fixtures()
+      : train(GenerateSyntheticCtr(TinyConfig())),
+        test(train.SplitTail(0.2)),
+        topology(Topology::FourGpuPcie()) {}
+  CtrDataset train;
+  CtrDataset test;
+  Topology topology;
+};
+
+EngineConfig BaseConfig(Strategy s) {
+  EngineConfig cfg;
+  cfg.strategy = s;
+  ApplyStrategyDefaults(&cfg);
+  cfg.batch_size = 64;
+  cfg.embedding_dim = 8;
+  cfg.rounds_per_epoch = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------- LRU policy
+
+TEST(LruPolicyTest, TrainsAndReducesTrafficVersusNoCache) {
+  Fixtures f;
+  EngineConfig lru = BaseConfig(Strategy::kHetGmp);
+  lru.replica_policy = ReplicaPolicy::kLruDynamic;
+  lru.lru_capacity_fraction = 0.05;
+  lru.bound.s = 100;
+  EngineConfig none = BaseConfig(Strategy::kHetGmp);
+  none.hybrid_options.secondary_fraction = 0.0;  // no replicas at all
+  ExperimentResult rl = RunExperiment(lru, f.train, f.test, f.topology, 3);
+  ExperimentResult rn = RunExperiment(none, f.train, f.test, f.topology, 3);
+  EXPECT_GT(rl.train.final_auc, 0.62);
+  // Dynamic caching absorbs repeat fetches of hot rows.
+  EXPECT_LT(rl.train.rounds.back().embedding_bytes,
+            rn.train.rounds.back().embedding_bytes);
+}
+
+TEST(LruPolicyTest, StaticVertexCutBeatsLruAtEqualCapacity) {
+  // The design claim behind §5.2: graph-derived replication places
+  // replicas by global co-access structure and should not lose to a
+  // runtime LRU of the same capacity on traffic.
+  Fixtures f;
+  EngineConfig stat = BaseConfig(Strategy::kHetGmp);
+  stat.hybrid_options.secondary_fraction = 0.05;
+  stat.bound.s = 100;
+  EngineConfig lru = stat;
+  lru.replica_policy = ReplicaPolicy::kLruDynamic;
+  lru.lru_capacity_fraction = 0.05;
+  ExperimentResult rs = RunExperiment(stat, f.train, f.test, f.topology, 2);
+  ExperimentResult rl = RunExperiment(lru, f.train, f.test, f.topology, 2);
+  EXPECT_LE(rs.train.rounds.back().embedding_bytes,
+            static_cast<uint64_t>(
+                rl.train.rounds.back().embedding_bytes * 1.25));
+}
+
+TEST(LruPolicyTest, ZeroCapacityDegradesToNoCache) {
+  Fixtures f;
+  EngineConfig lru = BaseConfig(Strategy::kHetGmp);
+  lru.replica_policy = ReplicaPolicy::kLruDynamic;
+  lru.lru_capacity_fraction = 0.0;
+  ExperimentResult r = RunExperiment(lru, f.train, f.test, f.topology, 1);
+  EXPECT_GT(r.train.total_iterations, 0);
+  EXPECT_GT(r.train.rounds.back().remote_fetches, 0);
+}
+
+// ---------------------------------------------------------------- DeepFM
+
+TEST(DeepFmEngineTest, TrainsEndToEnd) {
+  Fixtures f;
+  EngineConfig cfg = BaseConfig(Strategy::kHetGmp);
+  cfg.model = ModelType::kDeepFm;
+  ExperimentResult r = RunExperiment(cfg, f.train, f.test, f.topology, 3);
+  EXPECT_GT(r.train.final_auc, 0.62);
+  EXPECT_NE(r.description.find("DeepFM"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- SSP
+
+TEST(SspTest, CacheExpiryByIterationAge) {
+  Fixtures f;
+  EngineConfig ssp = BaseConfig(Strategy::kHetGmp);
+  ssp.consistency = ConsistencyMode::kSsp;
+  ssp.hybrid_options.secondary_fraction = 0.05;
+  ssp.ssp_slack = 2;
+  EngineConfig loose = ssp;
+  loose.ssp_slack = 1000000;  // effectively never expires
+  ExperimentResult rt = RunExperiment(ssp, f.train, f.test, f.topology, 2);
+  ExperimentResult rl =
+      RunExperiment(loose, f.train, f.test, f.topology, 2);
+  // Tight slack forces periodic refreshes; loose slack none.
+  EXPECT_GT(rt.train.rounds.back().intra_refreshes,
+            rl.train.rounds.back().intra_refreshes);
+  EXPECT_EQ(rl.train.rounds.back().intra_refreshes, 0);
+}
+
+// ------------------------------------------------------------ straggler
+
+TEST(StragglerTest, BspPaysTheSlowWorkerEveryIteration) {
+  Fixtures f;
+  EngineConfig bsp = BaseConfig(Strategy::kHetMp);
+  bsp.device_flops = 1e11;  // make compute matter
+  EngineConfig slow_bsp = bsp;
+  slow_bsp.worker_slowdown = {4.0, 1.0, 1.0, 1.0};
+  EngineConfig bounded = BaseConfig(Strategy::kHetGmp);
+  bounded.device_flops = 1e11;
+  EngineConfig slow_bounded = bounded;
+  slow_bounded.worker_slowdown = {4.0, 1.0, 1.0, 1.0};
+
+  const double t_bsp =
+      RunExperiment(bsp, f.train, f.test, f.topology, 1).train.compute_time;
+  const double t_slow_bsp =
+      RunExperiment(slow_bsp, f.train, f.test, f.topology, 1)
+          .train.compute_time;
+  // Average compute across workers grows by (4+1+1+1)/4 = 1.75x.
+  EXPECT_GT(t_slow_bsp, t_bsp * 1.5);
+
+  // End-to-end (max) time: BSP serializes on the straggler while the
+  // bounded mode only syncs at round boundaries — both see the straggler
+  // in max time, but BSP should see at least as much inflation.
+  const double e_bsp =
+      RunExperiment(slow_bsp, f.train, f.test, f.topology, 1)
+          .train.total_sim_time;
+  const double e_bounded =
+      RunExperiment(slow_bounded, f.train, f.test, f.topology, 1)
+          .train.total_sim_time;
+  EXPECT_GT(e_bsp, 0.0);
+  EXPECT_GT(e_bounded, 0.0);
+}
+
+TEST(StragglerTest, CapacityAwareBalancingShedsLoad) {
+  // §3: the heterogeneity-aware balancer gives the slow device smaller
+  // batches (and proportionally fewer samples), so throughput degrades by
+  // the lost compute share rather than by the slowdown factor.
+  Fixtures f;
+  EngineConfig uniform = BaseConfig(Strategy::kHetGmp);
+  // Compute-dominated regime with a heavy straggler so the balancing
+  // effect is unambiguous.
+  uniform.batch_size = 512;
+  uniform.embedding_dim = 16;
+  uniform.device_flops = 1e11;
+  uniform.worker_slowdown = {8.0, 1.0, 1.0, 1.0};
+  EngineConfig aware = uniform;
+  aware.balance_batch_to_capacity = true;
+  const double t_uniform =
+      RunExperiment(uniform, f.train, f.test, f.topology, 1)
+          .train.Throughput();
+  const double t_aware =
+      RunExperiment(aware, f.train, f.test, f.topology, 1)
+          .train.Throughput();
+  EXPECT_GT(t_aware, t_uniform * 1.5);
+}
+
+TEST(StragglerTest, NoSlowdownVectorIsNeutral) {
+  Fixtures f;
+  EngineConfig a = BaseConfig(Strategy::kHetMp);
+  EngineConfig b = a;
+  b.worker_slowdown = {1.0, 1.0, 1.0, 1.0};
+  const double ta =
+      RunExperiment(a, f.train, f.test, f.topology, 1).train.compute_time;
+  const double tb =
+      RunExperiment(b, f.train, f.test, f.topology, 1).train.compute_time;
+  EXPECT_NEAR(ta, tb, ta * 0.01);
+}
+
+// ----------------------------------------------------- write-back batch
+
+TEST(WriteBackBatchingTest, ReducesTrafficKeepsQuality) {
+  Fixtures f;
+  EngineConfig every = BaseConfig(Strategy::kHetGmp);
+  every.hybrid_options.secondary_fraction = 0.05;
+  every.bound.s = 100;
+  every.write_back_every = 1;
+  EngineConfig batched = every;
+  batched.write_back_every = 4;
+  ExperimentResult re =
+      RunExperiment(every, f.train, f.test, f.topology, 3);
+  ExperimentResult rb =
+      RunExperiment(batched, f.train, f.test, f.topology, 3);
+  EXPECT_LT(rb.train.rounds.back().embedding_bytes,
+            re.train.rounds.back().embedding_bytes);
+  EXPECT_NEAR(rb.train.final_auc, re.train.final_auc, 0.03);
+}
+
+class WriteBackSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WriteBackSweep, RunsCleanlyAndInvariantsHold) {
+  Fixtures f;
+  EngineConfig cfg = BaseConfig(Strategy::kHetGmp);
+  cfg.hybrid_options.secondary_fraction = 0.03;
+  cfg.write_back_every = GetParam();
+  Bigraph graph(f.train);
+  Partition part = BuildPartition(cfg, graph, f.topology);
+  Engine engine(cfg, f.train, f.test, f.topology, part);
+  TrainResult r = engine.Train(1);
+  EXPECT_GT(r.total_iterations, 0);
+  EXPECT_GT(r.final_auc, 0.5);
+  const Status st = engine.ValidateInvariants();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(InvariantTest, HoldsAcrossStrategiesAndPolicies) {
+  Fixtures f;
+  for (Strategy s : {Strategy::kHugeCtr, Strategy::kHetGmp,
+                     Strategy::kParallax}) {
+    for (bool lru : {false, true}) {
+      EngineConfig cfg = BaseConfig(s);
+      if (lru) {
+        cfg.replica_policy = ReplicaPolicy::kLruDynamic;
+        cfg.lru_capacity_fraction = 0.05;
+      }
+      Bigraph graph(f.train);
+      Partition part = BuildPartition(cfg, graph, f.topology);
+      Engine engine(cfg, f.train, f.test, f.topology, part);
+      engine.Train(1);
+      const Status st = engine.ValidateInvariants();
+      EXPECT_TRUE(st.ok())
+          << StrategyName(s) << " lru=" << lru << ": " << st.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, WriteBackSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace hetgmp

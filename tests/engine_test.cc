@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "comm/topology.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+
+namespace hetgmp {
+namespace {
+
+SyntheticCtrConfig TinyConfig() {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 3000;
+  cfg.num_fields = 8;
+  cfg.num_features = 600;
+  cfg.num_clusters = 4;
+  cfg.seed = 91;
+  return cfg;
+}
+
+struct Fixtures {
+  Fixtures()
+      : train(GenerateSyntheticCtr(TinyConfig())),
+        test(train.SplitTail(0.2)),
+        topology(Topology::FourGpuPcie()) {}
+  CtrDataset train;
+  CtrDataset test;
+  Topology topology;
+};
+
+EngineConfig SmallEngineConfig(Strategy s) {
+  EngineConfig cfg;
+  cfg.strategy = s;
+  ApplyStrategyDefaults(&cfg);
+  cfg.batch_size = 64;
+  cfg.embedding_dim = 8;
+  cfg.rounds_per_epoch = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- Config
+
+TEST(EngineConfigTest, StrategyDefaults) {
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHugeCtr;
+  ApplyStrategyDefaults(&cfg);
+  EXPECT_EQ(cfg.placement, PlacementPolicy::kRandom);
+  EXPECT_EQ(cfg.consistency, ConsistencyMode::kBsp);
+  EXPECT_DOUBLE_EQ(cfg.hybrid_options.secondary_fraction, 0.0);
+
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  EXPECT_EQ(cfg.placement, PlacementPolicy::kHybrid);
+  EXPECT_EQ(cfg.consistency, ConsistencyMode::kGraphBounded);
+
+  cfg.strategy = Strategy::kTfPs;
+  ApplyStrategyDefaults(&cfg);
+  EXPECT_EQ(cfg.consistency, ConsistencyMode::kAsp);
+}
+
+TEST(EngineConfigTest, ToStringMentionsStrategy) {
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  cfg.bound.s = 100;
+  EXPECT_NE(cfg.ToString().find("HET-GMP"), std::string::npos);
+  EXPECT_NE(cfg.ToString().find("s=100"), std::string::npos);
+  cfg.bound.s = StalenessBound::kUnbounded;
+  EXPECT_NE(cfg.ToString().find("s=inf"), std::string::npos);
+}
+
+TEST(EngineConfigTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kTfPs), "TF-PS");
+  EXPECT_STREQ(StrategyName(Strategy::kParallax), "Parallax");
+  EXPECT_STREQ(StrategyName(Strategy::kHugeCtr), "HugeCTR");
+  EXPECT_STREQ(StrategyName(Strategy::kHetMp), "HET-MP");
+  EXPECT_STREQ(StrategyName(Strategy::kHetGmp), "HET-GMP");
+}
+
+// -------------------------------------------------------- BuildPartition
+
+TEST(BuildPartitionTest, HybridFillsTopologyWeights) {
+  Fixtures f;
+  Bigraph graph(f.train);
+  EngineConfig cfg = SmallEngineConfig(Strategy::kHetGmp);
+  Partition p = BuildPartition(cfg, graph, f.topology);
+  EXPECT_EQ(p.num_parts, 4);
+  EXPECT_GT(p.TotalSecondaries(), 0);
+}
+
+TEST(BuildPartitionTest, RandomPlacementHasNoSecondaries) {
+  Fixtures f;
+  Bigraph graph(f.train);
+  EngineConfig cfg = SmallEngineConfig(Strategy::kHugeCtr);
+  Partition p = BuildPartition(cfg, graph, f.topology);
+  EXPECT_EQ(p.TotalSecondaries(), 0);
+}
+
+// ---------------------------------------------------------------- Engine
+
+TEST(EngineTest, TrainsAndImprovesAuc) {
+  Fixtures f;
+  EngineConfig cfg = SmallEngineConfig(Strategy::kHetGmp);
+  ExperimentResult r = RunExperiment(cfg, f.train, f.test, f.topology, 4);
+  ASSERT_FALSE(r.train.rounds.empty());
+  EXPECT_GT(r.train.final_auc, 0.62);
+  EXPECT_GT(r.train.final_auc, r.train.rounds.front().auc - 0.02);
+  EXPECT_GT(r.train.total_sim_time, 0.0);
+  EXPECT_GT(r.train.samples_processed, 0);
+}
+
+TEST(EngineTest, AllStrategiesRunToCompletion) {
+  Fixtures f;
+  for (Strategy s : {Strategy::kTfPs, Strategy::kParallax,
+                     Strategy::kHugeCtr, Strategy::kHetMp,
+                     Strategy::kHetGmp}) {
+    EngineConfig cfg = SmallEngineConfig(s);
+    ExperimentResult r = RunExperiment(cfg, f.train, f.test, f.topology, 1);
+    EXPECT_GT(r.train.total_iterations, 0) << StrategyName(s);
+    EXPECT_GT(r.train.final_auc, 0.5) << StrategyName(s);
+  }
+}
+
+TEST(EngineTest, AucTargetStopsEarly) {
+  Fixtures f;
+  EngineConfig cfg = SmallEngineConfig(Strategy::kHetGmp);
+  ExperimentResult r = RunExperiment(cfg, f.train, f.test, f.topology,
+                                     /*max_epochs=*/50,
+                                     /*auc_target=*/0.60);
+  EXPECT_TRUE(r.train.reached_target);
+  // Early stop: far fewer rounds than 50 epochs × 2 rounds.
+  EXPECT_LT(static_cast<int>(r.train.rounds.size()), 100);
+}
+
+TEST(EngineTest, SimTimeBudgetStops) {
+  Fixtures f;
+  EngineConfig cfg = SmallEngineConfig(Strategy::kHetMp);
+  ExperimentResult r = RunExperiment(cfg, f.train, f.test, f.topology,
+                                     /*max_epochs=*/50, /*auc_target=*/-1,
+                                     /*sim_time_budget=*/1e-5);
+  EXPECT_FALSE(r.train.reached_target);
+  EXPECT_LE(static_cast<int>(r.train.rounds.size()), 2);
+}
+
+TEST(EngineTest, CountersAreCumulativeAndConsistent) {
+  Fixtures f;
+  EngineConfig cfg = SmallEngineConfig(Strategy::kHetGmp);
+  ExperimentResult r = RunExperiment(cfg, f.train, f.test, f.topology, 2);
+  uint64_t prev_emb = 0;
+  int64_t prev_iters = 0;
+  double prev_time = 0;
+  for (const RoundStats& rs : r.train.rounds) {
+    EXPECT_GE(rs.embedding_bytes, prev_emb);
+    EXPECT_GE(rs.iterations_done, prev_iters);
+    EXPECT_GE(rs.sim_time, prev_time);
+    prev_emb = rs.embedding_bytes;
+    prev_iters = rs.iterations_done;
+    prev_time = rs.sim_time;
+  }
+  // comm + compute accounting is populated.
+  EXPECT_GT(r.train.comm_time, 0.0);
+  EXPECT_GT(r.train.compute_time, 0.0);
+}
+
+TEST(EngineTest, HetGmpMovesFewerEmbeddingBytesThanHetMp) {
+  Fixtures f;
+  EngineConfig gmp = SmallEngineConfig(Strategy::kHetGmp);
+  gmp.bound.s = 100;
+  EngineConfig mp = SmallEngineConfig(Strategy::kHetMp);
+  ExperimentResult rg = RunExperiment(gmp, f.train, f.test, f.topology, 2);
+  ExperimentResult rm = RunExperiment(mp, f.train, f.test, f.topology, 2);
+  EXPECT_LT(rg.train.rounds.back().embedding_bytes,
+            rm.train.rounds.back().embedding_bytes);
+}
+
+TEST(EngineTest, StalenessZeroRefreshesMoreThanLargeS) {
+  Fixtures f;
+  EngineConfig tight = SmallEngineConfig(Strategy::kHetGmp);
+  tight.bound.s = 0;
+  EngineConfig loose = SmallEngineConfig(Strategy::kHetGmp);
+  loose.bound.s = 10000;
+  ExperimentResult rt = RunExperiment(tight, f.train, f.test, f.topology, 2);
+  ExperimentResult rl = RunExperiment(loose, f.train, f.test, f.topology, 2);
+  EXPECT_GT(rt.train.rounds.back().intra_refreshes,
+            rl.train.rounds.back().intra_refreshes);
+  EXPECT_GE(rt.train.rounds.back().embedding_bytes,
+            rl.train.rounds.back().embedding_bytes);
+}
+
+TEST(EngineTest, UnboundedStalenessNeverRefreshes) {
+  Fixtures f;
+  EngineConfig cfg = SmallEngineConfig(Strategy::kHetGmp);
+  cfg.bound.s = StalenessBound::kUnbounded;
+  ExperimentResult r = RunExperiment(cfg, f.train, f.test, f.topology, 2);
+  EXPECT_EQ(r.train.rounds.back().intra_refreshes, 0);
+  EXPECT_EQ(r.train.rounds.back().inter_refreshes, 0);
+}
+
+TEST(EngineTest, PsStrategiesHaveNoWorkerPairTraffic) {
+  // TF-PS moves embeddings through the host, not worker-to-worker; the
+  // pairwise fetch matrix must stay empty while total bytes grow.
+  Fixtures f;
+  EngineConfig cfg = SmallEngineConfig(Strategy::kTfPs);
+  Bigraph graph(f.train);
+  Partition part = BuildPartition(cfg, graph, f.topology);
+  Engine engine(cfg, f.train, f.test, f.topology, part);
+  TrainResult r = engine.Train(1);
+  EXPECT_GT(engine.fabric().TotalBytes(TrafficClass::kEmbedding), 0u);
+  auto m = engine.fabric().PairMatrix(TrafficClass::kEmbedding);
+  for (const auto& row : m) {
+    for (uint64_t v : row) EXPECT_EQ(v, 0u);
+  }
+}
+
+TEST(EngineTest, SingleWorkerHasNoEmbeddingTraffic) {
+  Fixtures f;
+  std::vector<std::vector<LinkType>> links(1, {LinkType::kLocal});
+  Topology solo("solo", {0}, links);
+  EngineConfig cfg = SmallEngineConfig(Strategy::kHetMp);
+  Bigraph graph(f.train);
+  Partition part = BuildPartition(cfg, graph, solo);
+  Engine engine(cfg, f.train, f.test, solo, part);
+  TrainResult r = engine.Train(1);
+  EXPECT_EQ(engine.fabric().TotalBytes(TrafficClass::kEmbedding), 0u);
+  EXPECT_EQ(engine.fabric().TotalBytes(TrafficClass::kAllReduce), 0u);
+  EXPECT_GT(r.final_auc, 0.55);
+}
+
+TEST(EngineTest, EvaluateAucIsOrdered) {
+  Fixtures f;
+  EngineConfig cfg = SmallEngineConfig(Strategy::kHetGmp);
+  Bigraph graph(f.train);
+  Partition part = BuildPartition(cfg, graph, f.topology);
+  Engine engine(cfg, f.train, f.test, f.topology, part);
+  const double before = engine.EvaluateAuc();
+  engine.Train(3);
+  const double after = engine.EvaluateAuc();
+  EXPECT_NEAR(before, 0.5, 0.08);  // untrained ≈ chance
+  EXPECT_GT(after, before + 0.05);
+}
+
+TEST(EngineTest, SspModeRuns) {
+  Fixtures f;
+  EngineConfig cfg = SmallEngineConfig(Strategy::kHetGmp);
+  cfg.consistency = ConsistencyMode::kSsp;
+  cfg.ssp_slack = 2;
+  ExperimentResult r = RunExperiment(cfg, f.train, f.test, f.topology, 1);
+  EXPECT_GT(r.train.total_iterations, 0);
+}
+
+class StrategySweep : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(StrategySweep, ByteCountersArePopulatedSanely) {
+  Fixtures f;
+  EngineConfig cfg = SmallEngineConfig(GetParam());
+  ExperimentResult r = RunExperiment(cfg, f.train, f.test, f.topology, 1);
+  const RoundStats& last = r.train.rounds.back();
+  EXPECT_GT(last.embedding_bytes, 0u);
+  EXPECT_GT(last.index_clock_bytes, 0u);
+  EXPECT_GT(last.allreduce_bytes, 0u);
+  // Embedding payloads are whole rows: divisible by row bytes.
+  EXPECT_EQ(last.embedding_bytes % (cfg.embedding_dim * sizeof(float)), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, StrategySweep,
+                         ::testing::Values(Strategy::kTfPs,
+                                           Strategy::kParallax,
+                                           Strategy::kHugeCtr,
+                                           Strategy::kHetMp,
+                                           Strategy::kHetGmp));
+
+}  // namespace
+}  // namespace hetgmp

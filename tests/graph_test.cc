@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+#include "graph/cooccurrence.h"
+
+namespace hetgmp {
+namespace {
+
+SyntheticCtrConfig SmallConfig() {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 1500;
+  cfg.num_fields = 6;
+  cfg.num_features = 400;
+  cfg.num_clusters = 4;
+  cfg.seed = 11;
+  return cfg;
+}
+
+// Tiny hand-built dataset: 3 samples, 2 fields, 4 features.
+CtrDataset TinyDataset() {
+  std::vector<int64_t> offsets = {0, 2, 4};
+  // sample 0: features 0, 2; sample 1: features 0, 3; sample 2: 1, 2.
+  std::vector<FeatureId> ids = {0, 2, 0, 3, 1, 2};
+  return CtrDataset("tiny", 2, offsets, ids, {1.0f, 0.0f, 1.0f});
+}
+
+// --------------------------------------------------------------- Bigraph
+
+TEST(BigraphTest, CountsMatchDataset) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  Bigraph g(d);
+  EXPECT_EQ(g.num_samples(), d.num_samples());
+  EXPECT_EQ(g.num_embeddings(), d.num_features());
+  EXPECT_EQ(g.arity(), d.num_fields());
+  EXPECT_EQ(g.num_edges(), d.num_samples() * d.num_fields());
+}
+
+TEST(BigraphTest, TinyAdjacency) {
+  CtrDataset d = TinyDataset();
+  Bigraph g(d);
+  EXPECT_EQ(g.EmbeddingDegree(0), 2);  // samples 0, 1
+  EXPECT_EQ(g.EmbeddingDegree(1), 1);  // sample 2
+  EXPECT_EQ(g.EmbeddingDegree(2), 2);  // samples 0, 2
+  EXPECT_EQ(g.EmbeddingDegree(3), 1);  // sample 1
+  std::set<int64_t> of0(g.EmbeddingNeighbors(0),
+                        g.EmbeddingNeighbors(0) + g.EmbeddingDegree(0));
+  EXPECT_EQ(of0, (std::set<int64_t>{0, 1}));
+}
+
+TEST(BigraphTest, AdjacencyIsInverse) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  Bigraph g(d);
+  // Every (sample → embedding) edge appears as (embedding → sample).
+  for (int64_t s = 0; s < 50; ++s) {
+    const FeatureId* feats = g.SampleNeighbors(s);
+    for (int f = 0; f < g.arity(); ++f) {
+      const FeatureId x = feats[f];
+      bool found = false;
+      const int64_t* samples = g.EmbeddingNeighbors(x);
+      for (int64_t e = 0; e < g.EmbeddingDegree(x) && !found; ++e) {
+        found = samples[e] == s;
+      }
+      EXPECT_TRUE(found) << "sample " << s << " feature " << x;
+    }
+  }
+}
+
+TEST(BigraphTest, DegreesEqualFrequencies) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  Bigraph g(d);
+  const std::vector<int64_t> freq = d.FeatureFrequencies();
+  EXPECT_EQ(g.embedding_degrees(), freq);
+}
+
+TEST(BigraphTest, DegreeOrderingIsDescending) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  Bigraph g(d);
+  const auto order = g.EmbeddingsByDegreeDesc();
+  EXPECT_EQ(order.size(), static_cast<size_t>(g.num_embeddings()));
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(g.EmbeddingDegree(order[i - 1]),
+              g.EmbeddingDegree(order[i]));
+  }
+}
+
+TEST(BigraphTest, AccessFrequenciesSumToOne) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  Bigraph g(d);
+  const auto p = g.AccessFrequencies();
+  const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double v : p) EXPECT_GE(v, 0.0);
+}
+
+// --------------------------------------------------------- WeightedGraph
+
+TEST(WeightedGraphTest, BuildsSymmetricCsr) {
+  std::vector<std::vector<std::pair<int64_t, double>>> adj(3);
+  adj[0] = {{1, 2.0}};
+  adj[1] = {{0, 2.0}, {2, 1.0}};
+  adj[2] = {{1, 1.0}};
+  WeightedGraph g(3, adj);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 3.0);
+  EXPECT_DOUBLE_EQ(g.VertexWeight(1), 3.0);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Neighbors(0)[0].to, 1);
+}
+
+TEST(CooccurrenceTest, TinyGraphWeights) {
+  CtrDataset d = TinyDataset();
+  CooccurrenceOptions opt;
+  WeightedGraph g = BuildCooccurrenceGraph(d, opt);
+  // Pairs: (0,2) from sample 0, (0,3) from sample 1, (1,2) from sample 2.
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 3.0);
+}
+
+TEST(CooccurrenceTest, SymmetricAdjacency) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  WeightedGraph g = BuildCooccurrenceGraph(d);
+  for (int64_t u = 0; u < g.num_vertices(); ++u) {
+    for (int64_t e = 0; e < g.Degree(u); ++e) {
+      const auto& edge = g.Neighbors(u)[e];
+      // Find the reverse edge with equal weight.
+      bool found = false;
+      for (int64_t e2 = 0; e2 < g.Degree(edge.to) && !found; ++e2) {
+        const auto& back = g.Neighbors(edge.to)[e2];
+        found = back.to == u && back.weight == edge.weight;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(CooccurrenceTest, PairCapLimitsWork) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  CooccurrenceOptions few;
+  few.max_pairs_per_sample = 3;
+  CooccurrenceOptions many;
+  many.max_pairs_per_sample = 64;
+  WeightedGraph gf = BuildCooccurrenceGraph(d, few);
+  WeightedGraph gm = BuildCooccurrenceGraph(d, many);
+  EXPECT_LT(gf.total_edge_weight(), gm.total_edge_weight());
+  // 6 fields → at most 15 pairs per sample.
+  EXPECT_DOUBLE_EQ(gm.total_edge_weight(),
+                   static_cast<double>(d.num_samples()) * 15);
+}
+
+TEST(CooccurrenceTest, MinWeightPrunes) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  CooccurrenceOptions strict;
+  strict.min_weight = 5.0;
+  WeightedGraph g = BuildCooccurrenceGraph(d, strict);
+  for (int64_t u = 0; u < g.num_vertices(); ++u) {
+    for (int64_t e = 0; e < g.Degree(u); ++e) {
+      EXPECT_GE(g.Neighbors(u)[e].weight, 5.0);
+    }
+  }
+}
+
+TEST(CooccurrenceTest, WithinClusterFractionBounds) {
+  CtrDataset d = GenerateSyntheticCtr(SmallConfig());
+  WeightedGraph g = BuildCooccurrenceGraph(d);
+  std::vector<int> all_same(g.num_vertices(), 0);
+  EXPECT_DOUBLE_EQ(WithinClusterWeightFraction(g, all_same), 1.0);
+  // Random assignment lands near 1/k.
+  Rng rng(13);
+  std::vector<int> random(g.num_vertices());
+  for (auto& c : random) c = static_cast<int>(rng.NextUint64(4));
+  const double frac = WithinClusterWeightFraction(g, random);
+  EXPECT_NEAR(frac, 0.25, 0.08);
+}
+
+TEST(CooccurrenceTest, GeneratorClustersAreVisible) {
+  // Assign each embedding to its generator slice cluster; the within-
+  // cluster co-occurrence fraction must far exceed the random baseline —
+  // this is the locality observation behind Figure 3.
+  SyntheticCtrConfig cfg = SmallConfig();
+  cfg.cluster_affinity = 0.9;
+  CtrDataset d = GenerateSyntheticCtr(cfg);
+  WeightedGraph g = BuildCooccurrenceGraph(d);
+  std::vector<int> cluster_of(d.num_features());
+  for (int f = 0; f < d.num_fields(); ++f) {
+    const int64_t lo = d.field_offsets()[f];
+    const int64_t hi = d.field_offsets()[f + 1];
+    const int64_t slice = std::max<int64_t>(1, (hi - lo) / cfg.num_clusters);
+    for (int64_t x = lo; x < hi; ++x) {
+      cluster_of[x] = std::min<int>(cfg.num_clusters - 1,
+                                    static_cast<int>((x - lo) / slice));
+    }
+  }
+  const double frac = WithinClusterWeightFraction(g, cluster_of);
+  EXPECT_GT(frac, 2.0 / cfg.num_clusters);
+}
+
+}  // namespace
+}  // namespace hetgmp

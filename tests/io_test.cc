@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/random.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "embed/checkpoint.h"
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/hetgmp_io_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+SyntheticCtrConfig SmallConfig() {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 500;
+  cfg.num_fields = 6;
+  cfg.num_features = 300;
+  cfg.num_clusters = 4;
+  cfg.seed = 33;
+  return cfg;
+}
+
+// --------------------------------------------------------- dataset (bin)
+
+TEST(DatasetIoTest, RoundTrip) {
+  CtrDataset original = GenerateSyntheticCtr(SmallConfig());
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  Result<CtrDataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const CtrDataset& d = loaded.value();
+  EXPECT_EQ(d.name(), original.name());
+  EXPECT_EQ(d.num_fields(), original.num_fields());
+  EXPECT_EQ(d.field_offsets(), original.field_offsets());
+  EXPECT_EQ(d.feature_ids(), original.feature_ids());
+  EXPECT_EQ(d.labels(), original.labels());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFileIsNotFound) {
+  Result<CtrDataset> r = LoadDataset("/nonexistent/path/ds.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, WrongMagicRejected) {
+  const std::string path = TempPath("magic");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "definitely not a dataset";
+  }
+  Result<CtrDataset> r = LoadDataset(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, TruncatedFileRejected) {
+  CtrDataset original = GenerateSyntheticCtr(SmallConfig());
+  const std::string path = TempPath("trunc");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), bytes.size() / 2);
+  }
+  Result<CtrDataset> r = LoadDataset(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadedDatasetIsUsable) {
+  CtrDataset original = GenerateSyntheticCtr(SmallConfig());
+  const std::string path = TempPath("usable");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  Result<CtrDataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().FeatureFrequencies(),
+            original.FeatureFrequencies());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- libsvm
+
+TEST(LibSvmTest, ParsesWellFormedInput) {
+  //  fields: [0,3) and [3,5).
+  const std::string text =
+      "1 0 3\n"
+      "0 2:1 4:1\n"
+      "# comment line\n"
+      "1 1 3\n";
+  Result<CtrDataset> r = ParseLibSvmCtr(text, "svm", 2, {0, 3, 5});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CtrDataset& d = r.value();
+  EXPECT_EQ(d.num_samples(), 3);
+  EXPECT_EQ(d.num_features(), 5);
+  EXPECT_EQ(d.sample_features(0)[0], 0);
+  EXPECT_EQ(d.sample_features(0)[1], 3);
+  EXPECT_EQ(d.sample_features(1)[0], 2);
+  EXPECT_FLOAT_EQ(d.label(1), 0.0f);
+}
+
+TEST(LibSvmTest, RejectsBadLabel) {
+  Result<CtrDataset> r = ParseLibSvmCtr("2 0 3\n", "svm", 2, {0, 3, 5});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(LibSvmTest, RejectsMissingFeature) {
+  Result<CtrDataset> r = ParseLibSvmCtr("1 0\n", "svm", 2, {0, 3, 5});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("expected 2"), std::string::npos);
+}
+
+TEST(LibSvmTest, RejectsOutOfFieldFeature) {
+  // 4 belongs to field 1, not field 0.
+  Result<CtrDataset> r = ParseLibSvmCtr("1 4 3\n", "svm", 2, {0, 3, 5});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("outside field"), std::string::npos);
+}
+
+TEST(LibSvmTest, RejectsTrailingTokens) {
+  Result<CtrDataset> r = ParseLibSvmCtr("1 0 3 9\n", "svm", 2, {0, 3, 5});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(LibSvmTest, RejectsEmptyInput) {
+  Result<CtrDataset> r = ParseLibSvmCtr("# only comments\n", "svm", 2,
+                                        {0, 3, 5});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LibSvmTest, RejectsGarbageFeatureId) {
+  Result<CtrDataset> r = ParseLibSvmCtr("1 abc 3\n", "svm", 2, {0, 3, 5});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("bad feature id"), std::string::npos);
+}
+
+// ---------------------------------------------------------- checkpoint
+
+TEST(CheckpointTest, RoundTrip) {
+  Rng rng(5);
+  EmbeddingTable table(50, 8, 0.1f, 11);
+  Tensor w = Tensor::Gaussian({4, 3}, 1.0f, &rng);
+  Tensor b = Tensor::Gaussian({3}, 1.0f, &rng);
+  const std::string path = TempPath("ckpt");
+  ASSERT_TRUE(SaveCheckpoint(table, {&w, &b}, path).ok());
+
+  EmbeddingTable restored(50, 8, 0.5f, 999);  // different init
+  Tensor w2({4, 3}), b2({3});
+  ASSERT_TRUE(LoadCheckpoint(path, &restored, {&w2, &b2}).ok());
+  for (int64_t x = 0; x < 50; ++x) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_EQ(restored.UnsafeRow(x)[c], table.UnsafeRow(x)[c]);
+    }
+  }
+  for (int64_t i = 0; i < w.size(); ++i) EXPECT_EQ(w2.at(i), w.at(i));
+  for (int64_t i = 0; i < b.size(); ++i) EXPECT_EQ(b2.at(i), b.at(i));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShapeMismatchRejected) {
+  EmbeddingTable table(50, 8, 0.1f, 11);
+  const std::string path = TempPath("ckpt_shape");
+  ASSERT_TRUE(SaveCheckpoint(table, {}, path).ok());
+  EmbeddingTable wrong(50, 16, 0.1f, 11);
+  Status st = LoadCheckpoint(path, &wrong, {});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("shape mismatch"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TensorCountMismatchRejected) {
+  EmbeddingTable table(10, 4, 0.1f, 3);
+  Tensor w({2, 2});
+  const std::string path = TempPath("ckpt_count");
+  ASSERT_TRUE(SaveCheckpoint(table, {&w}, path).ok());
+  Status st = LoadCheckpoint(path, &table, {});
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  EmbeddingTable table(10, 4, 0.1f, 3);
+  EXPECT_EQ(LoadCheckpoint("/no/such/ckpt", &table, {}).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hetgmp

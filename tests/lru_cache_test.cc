@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "embed/lru_cache.h"
+
+namespace hetgmp {
+namespace {
+
+TEST(LruCacheTest, StartsEmpty) {
+  LruEmbeddingCache cache(4, 2);
+  EXPECT_EQ(cache.size(), 4);
+  EXPECT_EQ(cache.occupied(), 0);
+  EXPECT_EQ(cache.Slot(7), -1);
+  EXPECT_EQ(cache.EvictionCandidate(), -1);  // free space left
+}
+
+TEST(LruCacheTest, InsertAndLookup) {
+  LruEmbeddingCache cache(2, 3);
+  const int64_t s1 = cache.Insert(10);
+  const float v[3] = {1, 2, 3};
+  cache.SetValue(s1, v);
+  EXPECT_EQ(cache.Slot(10), s1);
+  EXPECT_EQ(cache.IdAt(s1), 10);
+  EXPECT_FLOAT_EQ(cache.Value(s1)[1], 2.0f);
+  EXPECT_EQ(cache.occupied(), 1);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruEmbeddingCache cache(2, 1);
+  cache.Insert(1);
+  cache.Insert(2);
+  // Touch 1 so 2 becomes LRU.
+  EXPECT_GE(cache.Slot(1), 0);
+  const int64_t victim = cache.EvictionCandidate();
+  EXPECT_EQ(cache.IdAt(victim), 2);
+  cache.Insert(3);  // evicts 2
+  EXPECT_EQ(cache.Slot(2), -1);
+  EXPECT_GE(cache.Slot(1), 0);
+  EXPECT_GE(cache.Slot(3), 0);
+  EXPECT_EQ(cache.occupied(), 2);
+}
+
+TEST(LruCacheTest, InsertResetsSlotState) {
+  LruEmbeddingCache cache(1, 2);
+  const int64_t s = cache.Insert(5);
+  const float v[2] = {9, 9};
+  cache.SetValue(s, v);
+  const float g[2] = {1, 1};
+  cache.AccumulatePending(s, g);
+  cache.set_synced_clock(s, 42);
+  cache.ClearPending(s);  // must flush before eviction
+  const int64_t s2 = cache.Insert(6);
+  EXPECT_EQ(s2, s);  // recycled slot
+  EXPECT_EQ(cache.Slot(5), -1);
+  EXPECT_FLOAT_EQ(cache.Value(s2)[0], 0.0f);
+  EXPECT_EQ(cache.pending_count(s2), 0);
+  EXPECT_EQ(cache.synced_clock(s2), 0u);
+}
+
+TEST(LruCacheTest, PendingAccumulates) {
+  LruEmbeddingCache cache(2, 2);
+  const int64_t s = cache.Insert(3);
+  const float g1[2] = {1, -1};
+  const float g2[2] = {0.5, 0.5};
+  cache.AccumulatePending(s, g1);
+  cache.AccumulatePending(s, g2);
+  EXPECT_FLOAT_EQ(cache.Pending(s)[0], 1.5f);
+  EXPECT_FLOAT_EQ(cache.Pending(s)[1], -0.5f);
+  EXPECT_EQ(cache.pending_count(s), 2);
+}
+
+TEST(LruCacheTest, HitMissCounters) {
+  LruEmbeddingCache cache(2, 1);
+  cache.Slot(1);  // miss
+  cache.Insert(1);
+  cache.Slot(1);  // hit
+  cache.Slot(2);  // miss
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(LruCacheTest, FullChurnKeepsConsistency) {
+  // Heavy insert/evict/touch traffic with invariant checks.
+  LruEmbeddingCache cache(8, 2);
+  for (int round = 0; round < 200; ++round) {
+    const FeatureId x = round % 23;
+    int64_t slot = cache.Slot(x);
+    if (slot < 0) {
+      const int64_t victim = cache.EvictionCandidate();
+      if (victim >= 0) cache.ClearPending(victim);
+      slot = cache.Insert(x);
+    }
+    EXPECT_EQ(cache.IdAt(slot), x);
+    EXPECT_EQ(cache.Slot(x), slot);
+    EXPECT_LE(cache.occupied(), 8);
+  }
+  // All slots consistent: id → slot → id round trips.
+  int64_t occupied = 0;
+  for (int64_t s = 0; s < cache.size(); ++s) {
+    const FeatureId id = cache.IdAt(s);
+    if (id >= 0) {
+      ++occupied;
+      EXPECT_EQ(cache.Slot(id), s);
+    }
+  }
+  EXPECT_EQ(occupied, cache.occupied());
+}
+
+TEST(LruCacheDeathTest, DoubleInsertRejected) {
+  LruEmbeddingCache cache(2, 1);
+  cache.Insert(1);
+  EXPECT_DEATH(cache.Insert(1), "already-cached");
+}
+
+TEST(LruCacheDeathTest, EvictingUnflushedPendingRejected) {
+  LruEmbeddingCache cache(1, 1);
+  const int64_t s = cache.Insert(1);
+  const float g[1] = {1};
+  cache.AccumulatePending(s, g);
+  EXPECT_DEATH(cache.Insert(2), "unflushed");
+}
+
+TEST(LruCacheTest, ZeroCapacity) {
+  LruEmbeddingCache cache(0, 4);
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.Slot(1), -1);
+}
+
+}  // namespace
+}  // namespace hetgmp

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/fabric.h"
+#include "comm/topology.h"
+#include "common/random.h"
+#include "metrics/auc.h"
+#include "metrics/comm_report.h"
+
+namespace hetgmp {
+namespace {
+
+// ------------------------------------------------------------------- AUC
+
+TEST(AucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1f, 0.2f, 0.8f, 0.9f}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(AucTest, PerfectlyWrong) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(AucTest, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.5f, 0.5f, 0.5f, 0.5f}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(AucTest, KnownMixedValue) {
+  // scores: 0.1(neg) 0.4(pos) 0.35(neg) 0.8(pos)
+  // pairs (pos, neg): (0.4,0.1)✓ (0.4,0.35)✓ (0.8,0.1)✓ (0.8,0.35)✓ → 1.0
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1f, 0.4f, 0.35f, 0.8f}, {0, 1, 0, 1}), 1.0);
+  // Swap one: 0.3(pos) < 0.35(neg) → 3/4 correct pairs.
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1f, 0.3f, 0.35f, 0.8f}, {0, 1, 0, 1}),
+                   0.75);
+}
+
+TEST(AucTest, TiesGetHalfCredit) {
+  // One positive and one negative share a score: 0.5 credit for the pair.
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.5f, 0.5f}, {0, 1}), 0.5);
+  // pos at 0.5, negs at 0.5 and 0.3: pairs → 0.5 + 1 = 1.5 / 2.
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.3f, 0.5f, 0.5f}, {0, 0, 1}), 0.75);
+}
+
+TEST(AucTest, DegenerateClassesReturnHalf) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1f, 0.9f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1f, 0.9f}, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeAuc({}, {}), 0.5);
+}
+
+TEST(AucTest, InvariantUnderMonotoneTransform) {
+  Rng rng(1);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 500; ++i) {
+    scores.push_back(rng.NextFloat(-3, 3));
+    labels.push_back(rng.NextBool(0.4) ? 1.0f : 0.0f);
+  }
+  std::vector<float> transformed;
+  for (float s : scores) {
+    transformed.push_back(std::exp(0.5f * s) + 2.0f);
+  }
+  EXPECT_NEAR(ComputeAuc(scores, labels),
+              ComputeAuc(transformed, labels), 1e-12);
+}
+
+TEST(AucTest, MatchesBruteForcePairCount) {
+  Rng rng(2);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 200; ++i) {
+    // Coarse grid to force plenty of ties.
+    scores.push_back(static_cast<float>(rng.NextUint64(10)) / 10.0f);
+    labels.push_back(rng.NextBool(0.5) ? 1.0f : 0.0f);
+  }
+  double wins = 0, pairs = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] < 0.5) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] > 0.5) continue;
+      pairs += 1;
+      if (scores[i] > scores[j]) {
+        wins += 1;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(ComputeAuc(scores, labels), wins / pairs, 1e-9);
+}
+
+// ----------------------------------------------------------- CommReport
+
+TEST(CommReportTest, BreakdownNormalizesPerIteration) {
+  Topology topo = Topology::FourGpuNvlink();
+  Fabric fabric(topo);
+  fabric.Transfer(0, 1, 1000, TrafficClass::kEmbedding);
+  fabric.Transfer(0, 1, 100, TrafficClass::kIndexClock);
+  fabric.Transfer(0, 1, 400, TrafficClass::kAllReduce);
+  CommBreakdown b = SnapshotBreakdown(fabric, 10);
+  EXPECT_DOUBLE_EQ(b.embedding_bytes_per_iter, 100.0);
+  EXPECT_DOUBLE_EQ(b.index_clock_bytes_per_iter, 10.0);
+  EXPECT_DOUBLE_EQ(b.allreduce_bytes_per_iter, 40.0);
+  EXPECT_DOUBLE_EQ(b.total_per_iter(), 150.0);
+  EXPECT_FALSE(b.ToString().empty());
+}
+
+TEST(CommReportTest, HeatmapRendersRows) {
+  std::vector<std::vector<uint64_t>> m = {{0, 100}, {50, 0}};
+  const std::string out = RenderPairHeatmap(m);
+  // Two rows, with shade characters.
+  EXPECT_NE(out.find("w 0"), std::string::npos);
+  EXPECT_NE(out.find("w 1"), std::string::npos);
+  EXPECT_NE(out.find('@'), std::string::npos);  // max cell
+  EXPECT_NE(out.find('.'), std::string::npos);  // zero cell
+}
+
+TEST(CommReportTest, HeatmapAllZeros) {
+  std::vector<std::vector<uint64_t>> m(3, std::vector<uint64_t>(3, 0));
+  const std::string out = RenderPairHeatmap(m);
+  EXPECT_EQ(out.find('@'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetgmp

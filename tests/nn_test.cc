@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "common/random.h"
+#include "nn/activations.h"
+#include "nn/cross_layer.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace hetgmp {
+namespace {
+
+Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) t.at(i) = rng.NextFloat(-1, 1);
+  return t;
+}
+
+// Scalar probe loss L = Σ out_i * r_i for fixed random r, so dL/dout = r.
+double ProbeLoss(const Tensor& out, const Tensor& probe) {
+  double acc = 0;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    acc += static_cast<double>(out.at(i)) * probe.at(i);
+  }
+  return acc;
+}
+
+// Finite-difference check of a layer's input gradient and every parameter
+// gradient. The workhorse correctness test for the whole nn/ module.
+void GradCheck(Layer* layer, const Tensor& input, double tol = 2e-2) {
+  Tensor out;
+  layer->Forward(input, &out);
+  const Tensor probe = RandomTensor(out.shape(), 999);
+
+  layer->ZeroGrads();
+  Tensor grad_in;
+  layer->Forward(input, &out);  // refresh caches
+  layer->Backward(probe, &grad_in);
+  ASSERT_EQ(grad_in.size(), input.size());
+
+  const float eps = 1e-2f;
+  auto loss_at = [&](const Tensor& in) {
+    Tensor o;
+    layer->Forward(in, &o);
+    return ProbeLoss(o, probe);
+  };
+
+  // Input gradient (sampled positions to keep runtime sane).
+  Rng pick(7);
+  const int64_t input_checks = std::min<int64_t>(input.size(), 24);
+  for (int64_t c = 0; c < input_checks; ++c) {
+    const int64_t i = static_cast<int64_t>(pick.NextUint64(input.size()));
+    Tensor plus = input, minus = input;
+    plus.at(i) += eps;
+    minus.at(i) -= eps;
+    const double numeric = (loss_at(plus) - loss_at(minus)) / (2 * eps);
+    EXPECT_NEAR(grad_in.at(i), numeric,
+                tol * std::max(1.0, std::abs(numeric)))
+        << "input grad at " << i;
+  }
+
+  // Parameter gradients. Re-run backward to refresh (forward above
+  // clobbered caches), and sample positions per parameter tensor.
+  layer->ZeroGrads();
+  layer->Forward(input, &out);
+  layer->Backward(probe, &grad_in);
+  auto params = layer->Params();
+  auto grads = layer->Grads();
+  ASSERT_EQ(params.size(), grads.size());
+  for (size_t p = 0; p < params.size(); ++p) {
+    Tensor* param = params[p];
+    const int64_t checks = std::min<int64_t>(param->size(), 12);
+    for (int64_t c = 0; c < checks; ++c) {
+      const int64_t i = static_cast<int64_t>(pick.NextUint64(param->size()));
+      const float saved = param->at(i);
+      param->at(i) = saved + eps;
+      const double lp = loss_at(input);
+      param->at(i) = saved - eps;
+      const double lm = loss_at(input);
+      param->at(i) = saved;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(grads[p]->at(i), numeric,
+                  tol * std::max(1.0, std::abs(numeric)))
+          << "param " << p << " grad at " << i;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Dense
+
+TEST(DenseTest, ForwardMatchesManual) {
+  Rng rng(1);
+  Dense layer(2, 2, &rng);
+  // Overwrite params with known values.
+  layer.Params()[0]->at(0, 0) = 1;
+  layer.Params()[0]->at(0, 1) = 2;
+  layer.Params()[0]->at(1, 0) = 3;
+  layer.Params()[0]->at(1, 1) = 4;
+  layer.Params()[1]->at(0) = 10;
+  layer.Params()[1]->at(1) = 20;
+  Tensor in({1, 2});
+  in.at(0) = 1;
+  in.at(1) = 1;
+  Tensor out;
+  layer.Forward(in, &out);
+  EXPECT_FLOAT_EQ(out.at(0), 1 + 3 + 10);
+  EXPECT_FLOAT_EQ(out.at(1), 2 + 4 + 20);
+}
+
+TEST(DenseTest, GradCheck) {
+  Rng rng(2);
+  Dense layer(5, 3, &rng);
+  GradCheck(&layer, RandomTensor({4, 5}, 11));
+}
+
+TEST(DenseTest, GradientsAccumulateAcrossBackward) {
+  Rng rng(3);
+  Dense layer(3, 2, &rng);
+  Tensor in = RandomTensor({2, 3}, 12);
+  Tensor out, gin;
+  layer.Forward(in, &out);
+  Tensor probe = RandomTensor(out.shape(), 13);
+  layer.ZeroGrads();
+  layer.Backward(probe, &gin);
+  const float once = layer.Grads()[0]->at(0);
+  layer.Forward(in, &out);
+  layer.Backward(probe, &gin);
+  EXPECT_NEAR(layer.Grads()[0]->at(0), 2 * once, 1e-5);
+  layer.ZeroGrads();
+  EXPECT_EQ(layer.Grads()[0]->at(0), 0.0f);
+}
+
+// ------------------------------------------------------------------ Relu
+
+TEST(ReluLayerTest, GradCheck) {
+  Relu layer;
+  // Keep inputs away from the kink at 0 for clean finite differences.
+  Tensor in = RandomTensor({3, 6}, 14);
+  for (int64_t i = 0; i < in.size(); ++i) {
+    if (std::abs(in.at(i)) < 0.1f) in.at(i) = 0.5f;
+  }
+  GradCheck(&layer, in);
+}
+
+// ----------------------------------------------------------------- Cross
+
+TEST(CrossNetworkTest, SingleLayerManual) {
+  Rng rng(4);
+  CrossNetwork cross(2, 1, &rng);
+  // w = [1, 0], b = [0, 0] → out = x0 * x0[0] + x0.
+  cross.Params()[0]->at(0) = 1;
+  cross.Params()[0]->at(1) = 0;
+  cross.Params()[1]->Fill(0);
+  Tensor in({1, 2});
+  in.at(0) = 2;
+  in.at(1) = 3;
+  Tensor out;
+  cross.Forward(in, &out);
+  // s = x·w = 2; out = x0*s + b + x = [2*2+2, 3*2+3] = [6, 9].
+  EXPECT_FLOAT_EQ(out.at(0), 6);
+  EXPECT_FLOAT_EQ(out.at(1), 9);
+}
+
+TEST(CrossNetworkTest, GradCheckOneLayer) {
+  Rng rng(5);
+  CrossNetwork cross(4, 1, &rng);
+  GradCheck(&cross, RandomTensor({3, 4}, 15));
+}
+
+TEST(CrossNetworkTest, GradCheckTwoLayers) {
+  Rng rng(6);
+  CrossNetwork cross(4, 2, &rng);
+  GradCheck(&cross, RandomTensor({2, 4}, 16), /*tol=*/3e-2);
+}
+
+TEST(CrossNetworkTest, ParamsListLayout) {
+  Rng rng(7);
+  CrossNetwork cross(5, 3, &rng);
+  EXPECT_EQ(cross.Params().size(), 6u);  // (w, b) per layer
+  EXPECT_EQ(cross.Grads().size(), 6u);
+  for (Tensor* p : cross.Params()) EXPECT_EQ(p->size(), 5);
+}
+
+// ------------------------------------------------------------------- Mlp
+
+TEST(MlpTest, OutputShape) {
+  Rng rng(8);
+  Mlp mlp(10, {8, 4}, 1, &rng);
+  Tensor in = RandomTensor({6, 10}, 17);
+  Tensor out;
+  mlp.Forward(in, &out);
+  EXPECT_EQ(out.dim(0), 6);
+  EXPECT_EQ(out.dim(1), 1);
+}
+
+TEST(MlpTest, GradCheck) {
+  Rng rng(9);
+  Mlp mlp(6, {5}, 2, &rng);
+  Tensor in = RandomTensor({3, 6}, 18);
+  // Nudge away from ReLU kinks.
+  for (int64_t i = 0; i < in.size(); ++i) in.at(i) *= 2.0f;
+  GradCheck(&mlp, in, /*tol=*/3e-2);
+}
+
+TEST(MlpTest, NoHiddenLayersIsLinear) {
+  Rng rng(10);
+  Mlp mlp(4, {}, 2, &rng);
+  EXPECT_EQ(mlp.num_layers(), 1);
+  GradCheck(&mlp, RandomTensor({2, 4}, 19));
+}
+
+TEST(MlpTest, ParamCount) {
+  Rng rng(11);
+  Mlp mlp(10, {8}, 1, &rng);
+  int64_t total = 0;
+  for (Tensor* p : mlp.Params()) total += p->size();
+  EXPECT_EQ(total, 10 * 8 + 8 + 8 * 1 + 1);
+}
+
+// ------------------------------------------------------------------ Loss
+
+TEST(LossTest, KnownValues) {
+  Tensor logits({2, 1});
+  logits.at(0) = 0.0f;   // p = 0.5
+  logits.at(1) = 0.0f;
+  Tensor grad;
+  const double loss = BceWithLogits(logits, {1.0f, 0.0f}, &grad);
+  EXPECT_NEAR(loss, std::log(2.0), 1e-6);
+  // d/dz = (sigmoid(z) - y) / batch.
+  EXPECT_NEAR(grad.at(0), (0.5 - 1.0) / 2, 1e-6);
+  EXPECT_NEAR(grad.at(1), (0.5 - 0.0) / 2, 1e-6);
+}
+
+TEST(LossTest, StableAtExtremeLogits) {
+  Tensor logits({2, 1});
+  logits.at(0) = 100.0f;
+  logits.at(1) = -100.0f;
+  Tensor grad;
+  const double loss = BceWithLogits(logits, {1.0f, 0.0f}, &grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-6);
+  // Wrong-way extremes give ~|z| loss, still finite.
+  const double bad = BceWithLogits(logits, {0.0f, 1.0f}, &grad);
+  EXPECT_NEAR(bad, 100.0, 1e-3);
+}
+
+TEST(LossTest, GradMatchesFiniteDifference) {
+  Tensor logits({4, 1});
+  Rng rng(20);
+  std::vector<float> labels = {1, 0, 1, 0};
+  for (int64_t i = 0; i < 4; ++i) logits.at(i) = rng.NextFloat(-2, 2);
+  Tensor grad;
+  BceWithLogits(logits, labels, &grad);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < 4; ++i) {
+    Tensor lp = logits, lm = logits;
+    lp.at(i) += eps;
+    lm.at(i) -= eps;
+    const double numeric = (BceWithLogitsLoss(lp, labels) -
+                            BceWithLogitsLoss(lm, labels)) /
+                           (2 * eps);
+    EXPECT_NEAR(grad.at(i), numeric, 1e-4);
+  }
+}
+
+TEST(LossTest, EvalVariantMatches) {
+  Tensor logits({3, 1});
+  logits.at(0) = 0.3f;
+  logits.at(1) = -1.2f;
+  logits.at(2) = 2.0f;
+  std::vector<float> labels = {1, 0, 1};
+  Tensor grad;
+  EXPECT_DOUBLE_EQ(BceWithLogits(logits, labels, &grad),
+                   BceWithLogitsLoss(logits, labels));
+}
+
+// ------------------------------------------------------------- Optimizer
+
+TEST(OptimizerTest, SgdStep) {
+  Tensor p = Tensor::Full({3}, 1.0f);
+  Tensor g = Tensor::Full({3}, 0.5f);
+  SgdOptimizer opt(0.1f);
+  opt.Step({&p}, {&g});
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(p.at(i), 0.95f);
+}
+
+TEST(OptimizerTest, SgdWeightDecay) {
+  Tensor p = Tensor::Full({1}, 2.0f);
+  Tensor g = Tensor::Full({1}, 0.0f);
+  SgdOptimizer opt(0.1f, /*weight_decay=*/0.5f);
+  opt.Step({&p}, {&g});
+  EXPECT_FLOAT_EQ(p.at(0), 2.0f - 0.1f * 0.5f * 2.0f);
+}
+
+TEST(OptimizerTest, AdaGradRowShrinksStepsOverTime) {
+  float row[2] = {0, 0};
+  float accum[2] = {0, 0};
+  float grad[2] = {1, 1};
+  AdaGradUpdateRow(row, grad, accum, 2, 0.1f);
+  const float first_step = -row[0];
+  EXPECT_NEAR(first_step, 0.1f, 1e-4);  // lr * g / sqrt(g^2)
+  const float before = row[0];
+  AdaGradUpdateRow(row, grad, accum, 2, 0.1f);
+  const float second_step = before - row[0];
+  EXPECT_LT(second_step, first_step);
+  EXPECT_NEAR(second_step, 0.1f / std::sqrt(2.0f), 1e-4);
+}
+
+TEST(OptimizerTest, SgdRowUpdate) {
+  float row[3] = {1, 2, 3};
+  float grad[3] = {1, 1, 1};
+  SgdUpdateRow(row, grad, 3, 0.5f);
+  EXPECT_FLOAT_EQ(row[0], 0.5f);
+  EXPECT_FLOAT_EQ(row[1], 1.5f);
+  EXPECT_FLOAT_EQ(row[2], 2.5f);
+}
+
+// Parameterized gradient sweep across layer configurations.
+struct LayerCase {
+  const char* name;
+  std::function<std::unique_ptr<Layer>(Rng*)> make;
+  int64_t input_dim;
+};
+
+class LayerGradSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerGradSweep, GradCheck) {
+  static const LayerCase kCases[] = {
+      {"dense_small",
+       [](Rng* rng) { return std::make_unique<Dense>(3, 2, rng); }, 3},
+      {"dense_wide",
+       [](Rng* rng) { return std::make_unique<Dense>(16, 8, rng); }, 16},
+      {"cross3",
+       [](Rng* rng) { return std::make_unique<CrossNetwork>(6, 3, rng); },
+       6},
+      {"mlp_deep",
+       [](Rng* rng) {
+         return std::make_unique<Mlp>(8, std::vector<int64_t>{6, 4}, 1, rng);
+       },
+       8},
+  };
+  const LayerCase& c = kCases[GetParam()];
+  Rng rng(1000 + GetParam());
+  auto layer = c.make(&rng);
+  Tensor in = RandomTensor({2, c.input_dim}, 2000 + GetParam());
+  for (int64_t i = 0; i < in.size(); ++i) in.at(i) += (in.at(i) >= 0 ? 0.2f : -0.2f);
+  GradCheck(layer.get(), in, /*tol=*/4e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayers, LayerGradSweep, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace hetgmp

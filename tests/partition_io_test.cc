@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+#include "partition/hybrid_partitioner.h"
+#include "partition/partition_io.h"
+
+namespace hetgmp {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/hetgmp_part_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+Partition MakePartition() {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 800;
+  cfg.num_fields = 5;
+  cfg.num_features = 200;
+  cfg.num_clusters = 4;
+  cfg.seed = 19;
+  CtrDataset d = GenerateSyntheticCtr(cfg);
+  Bigraph g(d);
+  HybridPartitionerOptions opt;
+  opt.rounds = 1;
+  return HybridPartitioner(opt).Run(g, 4);
+}
+
+TEST(PartitionIoTest, RoundTrip) {
+  Partition original = MakePartition();
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(SavePartition(original, path).ok());
+  Result<Partition> loaded = LoadPartition(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Partition& p = loaded.value();
+  EXPECT_EQ(p.num_parts, original.num_parts);
+  EXPECT_EQ(p.sample_owner, original.sample_owner);
+  EXPECT_EQ(p.embedding_owner, original.embedding_owner);
+  EXPECT_EQ(p.secondaries, original.secondaries);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, MissingFileIsNotFound) {
+  Result<Partition> r = LoadPartition("/no/such/partition.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PartitionIoTest, GarbageRejected) {
+  const std::string path = TempPath("garbage");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a partition";
+  }
+  Result<Partition> r = LoadPartition(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, TruncationRejected) {
+  Partition original = MakePartition();
+  const std::string path = TempPath("trunc");
+  ASSERT_TRUE(SavePartition(original, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), bytes.size() / 3);
+  }
+  Result<Partition> r = LoadPartition(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIoTest, LoadedPartitionUsableByReplicaIndex) {
+  Partition original = MakePartition();
+  const std::string path = TempPath("usable");
+  ASSERT_TRUE(SavePartition(original, path).ok());
+  Result<Partition> loaded = LoadPartition(path);
+  ASSERT_TRUE(loaded.ok());
+  ReplicaIndex idx(loaded.value());
+  EXPECT_EQ(idx.num_parts(), original.num_parts);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hetgmp

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+#include "partition/bicut_partitioner.h"
+#include "partition/hybrid_partitioner.h"
+#include "partition/quality.h"
+#include "partition/random_partitioner.h"
+
+namespace hetgmp {
+namespace {
+
+SyntheticCtrConfig TestConfig() {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 4000;
+  cfg.num_fields = 10;
+  cfg.num_features = 1200;
+  cfg.num_clusters = 8;
+  cfg.seed = 21;
+  return cfg;
+}
+
+class PartitionFixture : public ::testing::Test {
+ protected:
+  PartitionFixture()
+      : dataset_(GenerateSyntheticCtr(TestConfig())), graph_(dataset_) {}
+
+  CtrDataset dataset_;
+  Bigraph graph_;
+};
+
+void ExpectValidPartition(const Partition& p, const Bigraph& g, int n) {
+  EXPECT_EQ(p.num_parts, n);
+  EXPECT_EQ(p.num_samples(), g.num_samples());
+  EXPECT_EQ(p.num_embeddings(), g.num_embeddings());
+  for (int o : p.sample_owner) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, n);
+  }
+  for (int o : p.embedding_owner) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, n);
+  }
+  ASSERT_EQ(static_cast<int>(p.secondaries.size()), n);
+  for (int w = 0; w < n; ++w) {
+    std::set<FeatureId> seen;
+    for (FeatureId x : p.secondaries[w]) {
+      EXPECT_NE(p.embedding_owner[x], w)
+          << "secondary duplicates local primary";
+      EXPECT_TRUE(seen.insert(x).second) << "duplicate secondary";
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Random
+
+TEST_F(PartitionFixture, RandomIsValidAndBalanced) {
+  Partition p = RandomPartitioner().Run(graph_, 8);
+  ExpectValidPartition(p, graph_, 8);
+  PartitionQuality q = EvaluatePartition(graph_, p);
+  // Round-robin samples: near-perfect balance.
+  EXPECT_LE(q.max_samples - q.min_samples, 1);
+  // Random placement: remote fraction near (N-1)/N.
+  EXPECT_NEAR(q.RemoteFraction(), 7.0 / 8.0, 0.02);
+  EXPECT_DOUBLE_EQ(p.ReplicationFactor(), 1.0);
+}
+
+TEST_F(PartitionFixture, RandomDeterministicForSeed) {
+  Partition a = RandomPartitioner(5).Run(graph_, 4);
+  Partition b = RandomPartitioner(5).Run(graph_, 4);
+  EXPECT_EQ(a.sample_owner, b.sample_owner);
+  EXPECT_EQ(a.embedding_owner, b.embedding_owner);
+}
+
+// ----------------------------------------------------------------- BiCut
+
+TEST_F(PartitionFixture, BiCutBeatsRandomOnLocality) {
+  Partition random = RandomPartitioner().Run(graph_, 8);
+  Partition bicut = BiCutPartitioner().Run(graph_, 8);
+  ExpectValidPartition(bicut, graph_, 8);
+  const auto qr = EvaluatePartition(graph_, random);
+  const auto qb = EvaluatePartition(graph_, bicut);
+  // Table 3: BiCut reduces communication over random, but modestly
+  // (paper: 13.5–18.7%).
+  EXPECT_LT(qb.remote_accesses, qr.remote_accesses);
+  const double reduction =
+      1.0 - static_cast<double>(qb.remote_accesses) / qr.remote_accesses;
+  EXPECT_GT(reduction, 0.05);
+  EXPECT_LT(reduction, 0.5);
+}
+
+TEST_F(PartitionFixture, BiCutRespectsLoadCap) {
+  BiCutPartitioner bicut(/*max_imbalance=*/0.05);
+  Partition p = bicut.Run(graph_, 8);
+  PartitionQuality q = EvaluatePartition(graph_, p);
+  const double cap = 1.05 * graph_.num_samples() / 8.0 + 1;
+  EXPECT_LE(q.max_samples, static_cast<int64_t>(cap) + 1);
+}
+
+// ---------------------------------------------------------------- Hybrid
+
+TEST_F(PartitionFixture, HybridBeatsBiCutAndRandom) {
+  Partition random = RandomPartitioner().Run(graph_, 8);
+  Partition bicut = BiCutPartitioner().Run(graph_, 8);
+  HybridPartitionerOptions opt;
+  opt.rounds = 3;
+  Partition hybrid = HybridPartitioner(opt).Run(graph_, 8);
+  ExpectValidPartition(hybrid, graph_, 8);
+  const auto qr = EvaluatePartition(graph_, random);
+  const auto qb = EvaluatePartition(graph_, bicut);
+  const auto qh = EvaluatePartition(graph_, hybrid);
+  // Table 3 ordering: ours ≪ BiCut < random.
+  EXPECT_LT(qh.remote_accesses, qb.remote_accesses);
+  EXPECT_LT(qb.remote_accesses, qr.remote_accesses);
+  const double reduction =
+      1.0 - static_cast<double>(qh.remote_accesses) / qr.remote_accesses;
+  EXPECT_GT(reduction, 0.35);  // paper: 37.3%+ after one round
+}
+
+TEST_F(PartitionFixture, MoreRoundsDoNotHurt) {
+  auto remote_at = [&](int rounds) {
+    HybridPartitionerOptions opt;
+    opt.rounds = rounds;
+    opt.secondary_fraction = 0.0;
+    Partition p = HybridPartitioner(opt).Run(graph_, 8);
+    return EvaluatePartition(graph_, p).remote_accesses;
+  };
+  const int64_t r1 = remote_at(1);
+  const int64_t r3 = remote_at(3);
+  const int64_t r5 = remote_at(5);
+  // Iteration refines (allowing small non-monotone jitter ≤ 10%).
+  EXPECT_LE(r3, r1 * 1.1);
+  EXPECT_LE(r5, r3 * 1.1);
+  EXPECT_LT(r5, r1);
+}
+
+TEST_F(PartitionFixture, SecondaryBudgetRespected) {
+  HybridPartitionerOptions opt;
+  opt.secondary_fraction = 0.02;
+  Partition p = HybridPartitioner(opt).Run(graph_, 8);
+  const int64_t budget =
+      static_cast<int64_t>(0.02 * graph_.num_embeddings());
+  for (const auto& s : p.secondaries) {
+    EXPECT_LE(static_cast<int64_t>(s.size()), budget);
+  }
+}
+
+TEST_F(PartitionFixture, ZeroSecondaryFractionDisablesReplication) {
+  HybridPartitionerOptions opt;
+  opt.secondary_fraction = 0.0;
+  Partition p = HybridPartitioner(opt).Run(graph_, 8);
+  EXPECT_EQ(p.TotalSecondaries(), 0);
+  EXPECT_DOUBLE_EQ(p.ReplicationFactor(), 1.0);
+}
+
+TEST_F(PartitionFixture, ReplicationReducesRemoteAccesses) {
+  HybridPartitionerOptions none;
+  none.secondary_fraction = 0.0;
+  HybridPartitionerOptions some;
+  some.secondary_fraction = 0.02;
+  const auto qn =
+      EvaluatePartition(graph_, HybridPartitioner(none).Run(graph_, 8));
+  const auto qs =
+      EvaluatePartition(graph_, HybridPartitioner(some).Run(graph_, 8));
+  EXPECT_LT(qs.remote_accesses, qn.remote_accesses);
+}
+
+TEST_F(PartitionFixture, SecondariesTargetHighCountEmbeddings) {
+  // Eq. 6: a worker's secondaries are the embeddings its samples use most
+  // among non-local ones. Verify the chosen set's count(x, i) dominates a
+  // random non-chosen embedding's count.
+  HybridPartitionerOptions opt;
+  opt.secondary_fraction = 0.01;
+  Partition p = HybridPartitioner(opt).Run(graph_, 4);
+  // Recompute count(x, i) from scratch.
+  std::vector<int64_t> cnt(graph_.num_embeddings() * 4, 0);
+  for (int64_t s = 0; s < graph_.num_samples(); ++s) {
+    const int w = p.sample_owner[s];
+    for (int f = 0; f < graph_.arity(); ++f) {
+      ++cnt[graph_.SampleNeighbors(s)[f] * 4 + w];
+    }
+  }
+  for (int w = 0; w < 4; ++w) {
+    if (p.secondaries[w].empty()) continue;
+    int64_t min_chosen = INT64_MAX;
+    std::set<FeatureId> chosen(p.secondaries[w].begin(),
+                               p.secondaries[w].end());
+    for (FeatureId x : p.secondaries[w]) {
+      min_chosen = std::min(min_chosen, cnt[x * 4 + w]);
+    }
+    // Every non-chosen remote embedding has count <= min over chosen.
+    for (int64_t x = 0; x < graph_.num_embeddings(); ++x) {
+      if (p.embedding_owner[x] == w || chosen.count(x)) continue;
+      EXPECT_LE(cnt[x * 4 + w], min_chosen);
+    }
+  }
+}
+
+TEST_F(PartitionFixture, BalanceStaysBounded) {
+  HybridPartitionerOptions opt;
+  Partition p = HybridPartitioner(opt).Run(graph_, 8);
+  PartitionQuality q = EvaluatePartition(graph_, p);
+  const double avg = graph_.num_samples() / 8.0;
+  EXPECT_LT(q.max_samples, avg * 1.6);
+  EXPECT_GT(q.min_samples, avg * 0.4);
+}
+
+TEST_F(PartitionFixture, WeightedVariantPrefersCheapLinks) {
+  // Two "machines" of 2 workers; cross-machine 10x more expensive.
+  std::vector<std::vector<double>> w(4, std::vector<double>(4, 1.0));
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) {
+        w[i][j] = 0;
+      } else if (i / 2 != j / 2) {
+        w[i][j] = 10.0;
+      }
+    }
+  }
+  HybridPartitionerOptions uniform;
+  uniform.secondary_fraction = 0.0;
+  HybridPartitionerOptions weighted = uniform;
+  weighted.comm_weight = w;
+  Partition pu = HybridPartitioner(uniform).Run(graph_, 4);
+  Partition pw = HybridPartitioner(weighted).Run(graph_, 4);
+  const auto qu = EvaluatePartition(graph_, pu, w);
+  const auto qw = EvaluatePartition(graph_, pw, w);
+  // The weighted (hierarchical) run must cost less under the weighted
+  // metric — the Figure 9(a) effect.
+  EXPECT_LT(qw.weighted_remote, qu.weighted_remote);
+}
+
+TEST_F(PartitionFixture, WorkerCapacityShiftsSampleTargets) {
+  // §3's heterogeneity-aware balancing: a worker with half the capacity
+  // should own roughly half the samples of its peers.
+  HybridPartitionerOptions opt;
+  opt.secondary_fraction = 0.0;
+  opt.worker_capacity = {0.5, 1.0, 1.0, 1.0};
+  Partition p = HybridPartitioner(opt).Run(graph_, 4);
+  std::vector<int64_t> counts(4, 0);
+  for (int o : p.sample_owner) ++counts[o];
+  const double expected_slow = graph_.num_samples() * 0.5 / 3.5;
+  EXPECT_NEAR(static_cast<double>(counts[0]), expected_slow,
+              expected_slow * 0.35);
+  for (int w = 1; w < 4; ++w) {
+    EXPECT_GT(counts[w], counts[0]);
+  }
+}
+
+TEST_F(PartitionFixture, UniformCapacityMatchesDefault) {
+  HybridPartitionerOptions with;
+  with.worker_capacity = {1.0, 1.0, 1.0, 1.0};
+  HybridPartitionerOptions without;
+  Partition a = HybridPartitioner(with).Run(graph_, 4);
+  Partition b = HybridPartitioner(without).Run(graph_, 4);
+  EXPECT_EQ(a.sample_owner, b.sample_owner);
+  EXPECT_EQ(a.embedding_owner, b.embedding_owner);
+}
+
+TEST_F(PartitionFixture, DeterministicForSeed) {
+  HybridPartitionerOptions opt;
+  opt.seed = 99;
+  Partition a = HybridPartitioner(opt).Run(graph_, 4);
+  Partition b = HybridPartitioner(opt).Run(graph_, 4);
+  EXPECT_EQ(a.sample_owner, b.sample_owner);
+  EXPECT_EQ(a.embedding_owner, b.embedding_owner);
+  EXPECT_EQ(a.secondaries, b.secondaries);
+}
+
+// ---------------------------------------------------------- ReplicaIndex
+
+TEST_F(PartitionFixture, ReplicaIndexAgreesWithPartition) {
+  HybridPartitionerOptions opt;
+  Partition p = HybridPartitioner(opt).Run(graph_, 4);
+  ReplicaIndex idx(p);
+  for (int64_t x = 0; x < graph_.num_embeddings(); ++x) {
+    EXPECT_EQ(idx.PrimaryOwner(x), p.embedding_owner[x]);
+    EXPECT_TRUE(idx.HasReplica(p.embedding_owner[x], x));
+  }
+  for (int w = 0; w < 4; ++w) {
+    std::set<FeatureId> set(p.secondaries[w].begin(),
+                            p.secondaries[w].end());
+    for (int64_t x = 0; x < graph_.num_embeddings(); ++x) {
+      EXPECT_EQ(idx.HasSecondary(w, x), set.count(x) > 0);
+    }
+  }
+}
+
+// --------------------------------------------------------------- Quality
+
+TEST_F(PartitionFixture, FetchMatrixRowSumsEqualAccesses) {
+  Partition p = RandomPartitioner().Run(graph_, 4);
+  PartitionQuality q = EvaluatePartition(graph_, p);
+  int64_t matrix_total = 0;
+  for (const auto& row : q.fetch_matrix) {
+    for (int64_t v : row) matrix_total += v;
+  }
+  EXPECT_EQ(matrix_total, q.total_accesses);
+  EXPECT_EQ(q.total_accesses, graph_.num_edges());
+  // Off-diagonal total equals remote accesses.
+  int64_t off_diag = 0;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) off_diag += q.fetch_matrix[a][b];
+    }
+  }
+  EXPECT_EQ(off_diag, q.remote_accesses);
+}
+
+TEST_F(PartitionFixture, WeightedRemoteWithIdentityEqualsCount) {
+  Partition p = RandomPartitioner().Run(graph_, 4);
+  PartitionQuality q = EvaluatePartition(graph_, p);
+  EXPECT_DOUBLE_EQ(q.weighted_remote,
+                   static_cast<double>(q.remote_accesses));
+}
+
+// Property sweep: validity across partition counts.
+class PartitionerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionerSweep, AllPartitionersValidAtN) {
+  const int n = GetParam();
+  CtrDataset d = GenerateSyntheticCtr(TestConfig());
+  Bigraph g(d);
+  ExpectValidPartition(RandomPartitioner().Run(g, n), g, n);
+  ExpectValidPartition(BiCutPartitioner().Run(g, n), g, n);
+  HybridPartitionerOptions opt;
+  opt.rounds = 1;
+  ExpectValidPartition(HybridPartitioner(opt).Run(g, n), g, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, PartitionerSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace hetgmp

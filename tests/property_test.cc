@@ -1,0 +1,142 @@
+// Cross-cutting property tests: invariants that must hold for *every*
+// configuration, swept parametrically (seeds, worker counts, presets).
+
+#include <gtest/gtest.h>
+
+#include "comm/allreduce.h"
+#include "comm/topology.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+#include "partition/hybrid_partitioner.h"
+#include "partition/quality.h"
+
+namespace hetgmp {
+namespace {
+
+// ---------------------------------------------------------- topology
+
+class TopologySizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologySizeSweep, PresetsAreWellFormed) {
+  const int n = GetParam();
+  for (const Topology& t : {Topology::ClusterA(n), Topology::ClusterB(n)}) {
+    EXPECT_EQ(t.num_workers(), n);
+    EXPECT_GE(t.num_machines(), 1);
+    for (int a = 0; a < n; ++a) {
+      EXPECT_EQ(t.link(a, a), LinkType::kLocal);
+      for (int b = 0; b < n; ++b) {
+        // Links are symmetric.
+        EXPECT_EQ(t.link(a, b), t.link(b, a));
+        if (a != b) {
+          EXPECT_NE(t.link(a, b), LinkType::kLocal);
+          EXPECT_GT(t.BandwidthBytesPerSec(a, b), 0.0);
+          EXPECT_GE(t.LatencySec(a, b), 0.0);
+        }
+        // Same machine ⇒ never an Ethernet link; different machine ⇒
+        // always Ethernet.
+        const bool cross = t.machine_of(a) != t.machine_of(b);
+        const bool eth = t.link(a, b) == LinkType::kEth1G ||
+                         t.link(a, b) == LinkType::kEth10G;
+        if (a != b) EXPECT_EQ(cross, eth);
+      }
+    }
+    // Weight matrices: zero diagonal, min off-diagonal exactly 1.
+    const auto w = t.CommWeightMatrix();
+    double min_off = 1e18;
+    for (int a = 0; a < n; ++a) {
+      EXPECT_DOUBLE_EQ(w[a][a], 0.0);
+      for (int b = 0; b < n; ++b) {
+        if (a != b) {
+          EXPECT_GE(w[a][b], 1.0);
+          min_off = std::min(min_off, w[a][b]);
+        }
+      }
+    }
+    if (n > 1) EXPECT_DOUBLE_EQ(min_off, 1.0);
+    // Ring AllReduce time is monotone in payload.
+    if (n > 1) {
+      EXPECT_LE(RingAllReduceTime(t, 1 << 10),
+                RingAllReduceTime(t, 1 << 20));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologySizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16, 24));
+
+// --------------------------------------------------------- partitioner
+
+class HybridSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HybridSeedSweep, InvariantsHoldForEverySeed) {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 2000;
+  cfg.num_fields = 8;
+  cfg.num_features = 500;
+  cfg.num_clusters = 4;
+  cfg.seed = 100 + GetParam();
+  CtrDataset d = GenerateSyntheticCtr(cfg);
+  Bigraph g(d);
+  HybridPartitionerOptions opt;
+  opt.rounds = 2;
+  opt.seed = GetParam();
+  Partition p = HybridPartitioner(opt).Run(g, 4);
+
+  // Validity.
+  for (int o : p.sample_owner) {
+    ASSERT_GE(o, 0);
+    ASSERT_LT(o, 4);
+  }
+  for (int o : p.embedding_owner) {
+    ASSERT_GE(o, 0);
+    ASSERT_LT(o, 4);
+  }
+  // Replication bounded by the configured budget.
+  const int64_t budget =
+      static_cast<int64_t>(opt.secondary_fraction * g.num_embeddings());
+  for (const auto& s : p.secondaries) {
+    EXPECT_LE(static_cast<int64_t>(s.size()), budget);
+  }
+  // Quality is always far better than random placement would be.
+  const PartitionQuality q = EvaluatePartition(g, p);
+  EXPECT_LT(q.RemoteFraction(), 0.6);  // random would be ~0.75
+  // Balance never collapses.
+  EXPECT_GT(q.min_samples, 0);
+  EXPECT_LT(q.max_samples, g.num_samples());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ----------------------------------------------------------- generator
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, DatasetAlwaysStructurallyValid) {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 1000;
+  cfg.num_fields = 7;
+  cfg.num_features = 350;
+  cfg.num_clusters = 5;
+  cfg.seed = GetParam();
+  CtrDataset d = GenerateSyntheticCtr(cfg);
+  ASSERT_EQ(d.num_samples(), 1000);
+  for (int64_t s = 0; s < d.num_samples(); ++s) {
+    const FeatureId* feats = d.sample_features(s);
+    for (int f = 0; f < d.num_fields(); ++f) {
+      ASSERT_GE(feats[f], d.field_offsets()[f]);
+      ASSERT_LT(feats[f], d.field_offsets()[f + 1]);
+    }
+  }
+  // Both label classes are present.
+  int ones = 0;
+  for (float y : d.labels()) ones += y > 0.5f;
+  EXPECT_GT(ones, 0);
+  EXPECT_LT(ones, d.num_samples());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1, 7, 42, 1001, 99999));
+
+}  // namespace
+}  // namespace hetgmp

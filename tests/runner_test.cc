@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "comm/topology.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+
+namespace hetgmp {
+namespace {
+
+SyntheticCtrConfig TinyConfig() {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 1500;
+  cfg.num_fields = 6;
+  cfg.num_features = 400;
+  cfg.num_clusters = 4;
+  cfg.seed = 61;
+  return cfg;
+}
+
+TEST(RunnerTest, BuildPartitionRespectsPlacementPolicies) {
+  CtrDataset d = GenerateSyntheticCtr(TinyConfig());
+  Bigraph g(d);
+  Topology topo = Topology::FourGpuNvlink();
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kRandom, PlacementPolicy::kBiCut,
+        PlacementPolicy::kHybrid}) {
+    EngineConfig cfg;
+    cfg.placement = policy;
+    Partition p = BuildPartition(cfg, g, topo);
+    EXPECT_EQ(p.num_parts, 4);
+    EXPECT_EQ(p.num_samples(), g.num_samples());
+    EXPECT_EQ(p.num_embeddings(), g.num_embeddings());
+  }
+}
+
+TEST(RunnerTest, CapacityWeightsDerivedFromSlowdown) {
+  CtrDataset d = GenerateSyntheticCtr(TinyConfig());
+  Bigraph g(d);
+  Topology topo = Topology::FourGpuNvlink();
+  EngineConfig cfg;
+  cfg.placement = PlacementPolicy::kHybrid;
+  cfg.balance_batch_to_capacity = true;
+  cfg.worker_slowdown = {5.0, 1.0, 1.0, 1.0};
+  Partition p = BuildPartition(cfg, g, topo);
+  std::vector<int64_t> counts(4, 0);
+  for (int o : p.sample_owner) ++counts[o];
+  // The slow worker owns the fewest samples.
+  for (int w = 1; w < 4; ++w) EXPECT_LT(counts[0], counts[w]);
+}
+
+TEST(RunnerTest, ExperimentDescriptionNamesEverything) {
+  CtrDataset train = GenerateSyntheticCtr(TinyConfig());
+  CtrDataset test = train.SplitTail(0.2);
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  cfg.batch_size = 64;
+  cfg.embedding_dim = 8;
+  ExperimentResult r = RunExperiment(cfg, train, test,
+                                     Topology::FourGpuNvlink(), 1);
+  EXPECT_NE(r.description.find("HET-GMP"), std::string::npos);
+  EXPECT_NE(r.description.find("synthetic"), std::string::npos);
+  EXPECT_NE(r.description.find("NVLink"), std::string::npos);
+}
+
+TEST(RunnerTest, ConvergenceCurveFormatting) {
+  TrainResult r;
+  RoundStats rs;
+  rs.sim_time = 0.5;
+  rs.auc = 0.75;
+  rs.train_loss = 0.42;
+  r.rounds.push_back(rs);
+  const std::string out = FormatConvergenceCurve(r);
+  EXPECT_NE(out.find("0.5000"), std::string::npos);
+  EXPECT_NE(out.find("0.7500"), std::string::npos);
+  EXPECT_NE(out.find("0.4200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetgmp

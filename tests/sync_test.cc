@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sync/clock_table.h"
+#include "sync/staleness.h"
+
+namespace hetgmp {
+namespace {
+
+// ------------------------------------------------------------ ClockTable
+
+TEST(ClockTableTest, StartsAtZero) {
+  ClockTable t(4, 100);
+  for (int w = 0; w < 4; ++w) {
+    for (int64_t x = 0; x < 100; ++x) {
+      EXPECT_EQ(t.Get(w, x), 0u);
+    }
+  }
+}
+
+TEST(ClockTableTest, SetGetIncrement) {
+  ClockTable t(2, 10);
+  t.Set(1, 5, 42);
+  EXPECT_EQ(t.Get(1, 5), 42u);
+  EXPECT_EQ(t.Increment(1, 5), 43u);
+  EXPECT_EQ(t.Increment(1, 5, 7), 50u);
+  EXPECT_EQ(t.Get(1, 5), 50u);
+  // Other cells untouched.
+  EXPECT_EQ(t.Get(0, 5), 0u);
+  EXPECT_EQ(t.Get(1, 4), 0u);
+}
+
+TEST(ClockTableTest, ResetClears) {
+  ClockTable t(2, 4);
+  t.Increment(0, 0);
+  t.Increment(1, 3, 9);
+  t.Reset();
+  EXPECT_EQ(t.Get(0, 0), 0u);
+  EXPECT_EQ(t.Get(1, 3), 0u);
+}
+
+TEST(ClockTableTest, ConcurrentIncrementsAreExact) {
+  ClockTable t(1, 1);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&t] {
+      for (int j = 0; j < 10000; ++j) t.Increment(0, 0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.Get(0, 0), 80000u);
+}
+
+// ------------------------------------------------------------- Staleness
+
+TEST(StalenessTest, IntraFreshWithinBound) {
+  StalenessBound b;
+  b.s = 10;
+  EXPECT_TRUE(IntraEmbeddingFresh(100, 100, b));  // equal
+  EXPECT_TRUE(IntraEmbeddingFresh(95, 100, b));   // gap 5
+  EXPECT_TRUE(IntraEmbeddingFresh(90, 100, b));   // gap exactly s
+  EXPECT_FALSE(IntraEmbeddingFresh(89, 100, b));  // gap 11
+}
+
+TEST(StalenessTest, IntraPrimaryNeverBehind) {
+  StalenessBound b;
+  b.s = 0;
+  // Secondary "ahead" can only mean the primary clock read raced; treat
+  // as fresh rather than refreshing.
+  EXPECT_TRUE(IntraEmbeddingFresh(101, 100, b));
+}
+
+TEST(StalenessTest, SZeroMeansAnyForeignUpdateIsStale) {
+  StalenessBound b;
+  b.s = 0;
+  EXPECT_TRUE(IntraEmbeddingFresh(100, 100, b));
+  EXPECT_FALSE(IntraEmbeddingFresh(99, 100, b));
+}
+
+TEST(StalenessTest, UnboundedToleratesEverything) {
+  StalenessBound b;
+  b.s = StalenessBound::kUnbounded;
+  EXPECT_TRUE(b.unbounded());
+  EXPECT_TRUE(IntraEmbeddingFresh(0, uint64_t{1} << 60, b));
+  EXPECT_TRUE(InterEmbeddingFresh(0, 0.5, uint64_t{1} << 60, 0.5, b));
+}
+
+TEST(StalenessTest, NormalizedGapScalesHotterClock) {
+  // Paper §5.3: p_i >= p_j → gap = |c_i * p_j/p_i − c_j|. Hot embedding i
+  // with 10x frequency and 10x clock is NOT stale relative to j.
+  EXPECT_NEAR(NormalizedClockGap(1000, 0.1, 100, 0.01, true), 0.0, 1e-9);
+  // Without normalization the same pair looks 900 apart.
+  EXPECT_DOUBLE_EQ(NormalizedClockGap(1000, 0.1, 100, 0.01, false), 900.0);
+}
+
+TEST(StalenessTest, NormalizationIsSymmetric) {
+  EXPECT_NEAR(NormalizedClockGap(1000, 0.1, 100, 0.01, true),
+              NormalizedClockGap(100, 0.01, 1000, 0.1, true), 1e-9);
+}
+
+TEST(StalenessTest, EqualFrequencyReducesToRawGap) {
+  EXPECT_DOUBLE_EQ(NormalizedClockGap(50, 0.2, 80, 0.2, true), 30.0);
+}
+
+TEST(StalenessTest, ZeroFrequencySkipsNormalization) {
+  EXPECT_DOUBLE_EQ(NormalizedClockGap(50, 0.0, 80, 0.1, true), 30.0);
+}
+
+TEST(StalenessTest, InterFreshRespectsBound) {
+  StalenessBound b;
+  b.s = 100;
+  b.normalize_by_frequency = true;
+  EXPECT_TRUE(InterEmbeddingFresh(1000, 0.1, 100, 0.01, b));
+  EXPECT_TRUE(InterEmbeddingFresh(1000, 0.1, 150, 0.01, b));   // gap 50
+  EXPECT_FALSE(InterEmbeddingFresh(1000, 0.1, 250, 0.01, b));  // gap 150
+}
+
+TEST(StalenessTest, InterWithoutNormalization) {
+  StalenessBound b;
+  b.s = 100;
+  b.normalize_by_frequency = false;
+  EXPECT_FALSE(InterEmbeddingFresh(1000, 0.1, 100, 0.01, b));  // raw 900
+  EXPECT_TRUE(InterEmbeddingFresh(150, 0.1, 100, 0.01, b));    // raw 50
+}
+
+TEST(StalenessTest, ModeNames) {
+  EXPECT_STREQ(ConsistencyModeName(ConsistencyMode::kBsp), "BSP");
+  EXPECT_STREQ(ConsistencyModeName(ConsistencyMode::kAsp), "ASP");
+  EXPECT_STREQ(ConsistencyModeName(ConsistencyMode::kSsp), "SSP");
+  EXPECT_STREQ(ConsistencyModeName(ConsistencyMode::kGraphBounded),
+               "graph-bounded");
+}
+
+// Property sweep: for every s, the intra predicate is exactly
+// gap <= s (one-sided).
+class StalenessBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StalenessBoundSweep, IntraPredicateIsExact) {
+  StalenessBound b;
+  b.s = GetParam();
+  for (uint64_t gap : {uint64_t{0}, uint64_t{1}, b.s, b.s + 1, b.s * 2 + 1}) {
+    const uint64_t primary = 1000000 + gap;
+    EXPECT_EQ(IntraEmbeddingFresh(1000000, primary, b), gap <= b.s)
+        << "s=" << b.s << " gap=" << gap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, StalenessBoundSweep,
+                         ::testing::Values(0, 1, 10, 100, 10000));
+
+}  // namespace
+}  // namespace hetgmp

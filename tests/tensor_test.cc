@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+namespace {
+
+// Reference O(n^3) matmul for cross-checking the production kernels.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor out({a.dim(0), b.dim(1)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < b.dim(1); ++j) {
+      float acc = 0;
+      for (int64_t k = 0; k < a.dim(1); ++k) acc += a.at(i, k) * b.at(k, j);
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) t.at(i) = rng.NextFloat(-2, 2);
+  return t;
+}
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t.size(), 12);
+  EXPECT_EQ(t.bytes(), 48u);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FillAndFull) {
+  Tensor t = Tensor::Full({2, 2}, 3.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 3.5f);
+  t.Fill(-1.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), -1.0f);
+}
+
+TEST(TensorTest, RowAccessIsRowMajor) {
+  Tensor t({2, 3});
+  for (int64_t i = 0; i < 6; ++i) t.at(i) = static_cast<float>(i);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.row(1)[2], 5.0f);
+}
+
+TEST(TensorTest, ResizeZeroes) {
+  Tensor t = Tensor::Full({2, 2}, 7.0f);
+  t.Resize({3, 3});
+  EXPECT_EQ(t.size(), 9);
+  for (int64_t i = 0; i < 9; ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, EmptyTensor) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+  Tensor z({0, 5});
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).ShapeString(), "[2, 3]");
+  EXPECT_EQ(Tensor({7}).ShapeString(), "[7]");
+}
+
+TEST(TensorTest, XavierUniformWithinLimit) {
+  Rng rng(1);
+  Tensor t = Tensor::XavierUniform(64, 32, &rng);
+  const float limit = std::sqrt(6.0f / (64 + 32));
+  float max_abs = 0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(t.at(i)));
+  }
+  EXPECT_LE(max_abs, limit);
+  EXPECT_GT(max_abs, limit * 0.5f);  // actually spreads out
+}
+
+TEST(TensorTest, GaussianStddev) {
+  Rng rng(2);
+  Tensor t = Tensor::Gaussian({100, 100}, 0.5f, &rng);
+  double sum = 0, sum_sq = 0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    sum += t.at(i);
+    sum_sq += t.at(i) * t.at(i);
+  }
+  EXPECT_NEAR(sum / t.size(), 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sum_sq / t.size()), 0.5, 0.02);
+}
+
+TEST(OpsTest, MatMulMatchesNaive) {
+  Tensor a = RandomTensor({7, 5}, 3);
+  Tensor b = RandomTensor({5, 9}, 4);
+  Tensor out;
+  MatMul(a, b, &out);
+  Tensor ref = NaiveMatMul(a, b);
+  ASSERT_EQ(out.size(), ref.size());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.at(i), ref.at(i), 1e-4);
+  }
+}
+
+TEST(OpsTest, MatMulTransBMatchesNaive) {
+  Tensor a = RandomTensor({6, 4}, 5);
+  Tensor bt = RandomTensor({8, 4}, 6);  // b^T stored as [n, k]
+  Tensor out;
+  MatMulTransB(a, bt, &out);
+  // Build b = bt^T and compare.
+  Tensor b({4, 8});
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = 0; j < 4; ++j) b.at(j, i) = bt.at(i, j);
+  }
+  Tensor ref = NaiveMatMul(a, b);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.at(i), ref.at(i), 1e-4);
+  }
+}
+
+TEST(OpsTest, MatMulTransAMatchesNaive) {
+  Tensor at = RandomTensor({4, 6}, 7);  // a^T stored as [k, m]
+  Tensor b = RandomTensor({4, 5}, 8);
+  Tensor out;
+  MatMulTransA(at, b, &out);
+  Tensor a({6, 4});
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 6; ++j) a.at(j, i) = at.at(i, j);
+  }
+  Tensor ref = NaiveMatMul(a, b);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.at(i), ref.at(i), 1e-4);
+  }
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Tensor a = RandomTensor({3, 3}, 9);
+  Tensor eye({3, 3});
+  for (int64_t i = 0; i < 3; ++i) eye.at(i, i) = 1.0f;
+  Tensor out;
+  MatMul(a, eye, &out);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(out.at(i), a.at(i));
+}
+
+TEST(OpsTest, AddBiasRows) {
+  Tensor x({2, 3});
+  Tensor bias({3});
+  for (int64_t c = 0; c < 3; ++c) bias.at(c) = static_cast<float>(c + 1);
+  AddBiasRows(&x, bias);
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(x.at(r, c), static_cast<float>(c + 1));
+    }
+  }
+}
+
+TEST(OpsTest, SumRows) {
+  Tensor grad({3, 2});
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    grad.at(i) = static_cast<float>(i);
+  }
+  Tensor out;
+  SumRows(grad, &out);
+  EXPECT_FLOAT_EQ(out.at(0), 0 + 2 + 4);
+  EXPECT_FLOAT_EQ(out.at(1), 1 + 3 + 5);
+}
+
+TEST(OpsTest, ReluForwardBackward) {
+  Tensor x({1, 4});
+  x.at(0) = -1;
+  x.at(1) = 0;
+  x.at(2) = 2;
+  x.at(3) = -0.5;
+  Tensor y;
+  ReluForward(x, &y);
+  EXPECT_EQ(y.at(0), 0);
+  EXPECT_EQ(y.at(1), 0);
+  EXPECT_EQ(y.at(2), 2);
+  EXPECT_EQ(y.at(3), 0);
+  Tensor dy = Tensor::Full({1, 4}, 1.0f);
+  Tensor dx;
+  ReluBackward(x, dy, &dx);
+  EXPECT_EQ(dx.at(0), 0);
+  EXPECT_EQ(dx.at(1), 0);  // derivative at 0 defined as 0
+  EXPECT_EQ(dx.at(2), 1);
+  EXPECT_EQ(dx.at(3), 0);
+}
+
+TEST(OpsTest, SigmoidValues) {
+  Tensor x({3});
+  x.at(0) = 0;
+  x.at(1) = 100;
+  x.at(2) = -100;
+  Tensor y;
+  SigmoidForward(x, &y);
+  EXPECT_FLOAT_EQ(y.at(0), 0.5f);
+  EXPECT_NEAR(y.at(1), 1.0f, 1e-6);
+  EXPECT_NEAR(y.at(2), 0.0f, 1e-6);
+}
+
+TEST(OpsTest, AxpyAndScaleAndCopy) {
+  Tensor x = Tensor::Full({4}, 2.0f);
+  Tensor y = Tensor::Full({4}, 1.0f);
+  Axpy(3.0f, x, &y);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(y.at(i), 7.0f);
+  Scale(&y, 0.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(y.at(i), 3.5f);
+  Tensor z;
+  Copy(y, &z);
+  EXPECT_EQ(z.shape(), y.shape());
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(z.at(i), 3.5f);
+}
+
+TEST(OpsTest, DotAndNorm) {
+  Tensor a({3}), b({3});
+  for (int64_t i = 0; i < 3; ++i) {
+    a.at(i) = static_cast<float>(i + 1);  // 1 2 3
+    b.at(i) = 2.0f;
+  }
+  EXPECT_DOUBLE_EQ(Dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(a), 14.0);
+}
+
+// Property sweep: kernels agree with the naive reference across shapes.
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, AgreesWithNaive) {
+  const auto [m, k, n] = GetParam();
+  Tensor a = RandomTensor({m, k}, 100 + m);
+  Tensor b = RandomTensor({k, n}, 200 + n);
+  Tensor out;
+  MatMul(a, b, &out);
+  Tensor ref = NaiveMatMul(a, b);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    ASSERT_NEAR(out.at(i), ref.at(i), 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 16, 1),
+                      std::make_tuple(16, 1, 16), std::make_tuple(8, 8, 8),
+                      std::make_tuple(33, 17, 5),
+                      std::make_tuple(2, 64, 128)));
+
+}  // namespace
+}  // namespace hetgmp

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "theory/theorem1.h"
+
+namespace hetgmp {
+namespace {
+
+Theorem1Config BaseConfig() {
+  Theorem1Config cfg;
+  cfg.dim = 48;
+  cfg.num_samples = 192;
+  cfg.coords_per_sample = 5;
+  cfg.num_workers = 8;
+  cfg.staleness = 4;
+  cfg.steps = 6000;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Theorem1Test, ConvergesAtTheoremStepSize) {
+  Theorem1Result r = RunTheorem1(BaseConfig());
+  EXPECT_GT(r.lipschitz, 0.0);
+  EXPECT_GT(r.step_size, 0.0);
+  // Objective driven near its minimum (F_inf = 0 by construction).
+  EXPECT_LT(r.final_objective, 1e-3);
+}
+
+TEST(Theorem1Test, StepNormSeriesIsSummable) {
+  // Eq. (7): Σ ||x(t+1) − x(t)|| < ∞ — numerically, the last 10% of steps
+  // contribute a vanishing share of the partial sum.
+  Theorem1Result r = RunTheorem1(BaseConfig());
+  EXPECT_GT(r.sum_step_norms, 0.0);
+  EXPECT_LT(r.tail_mass_fraction, 0.02);
+}
+
+TEST(Theorem1Test, AverageIterateRateIsAtLeastOneOverT) {
+  // Eq. (9): F(mean iterate) − F_inf ≤ O(1/t). The fitted log-log slope
+  // must certify decay at least as fast as 1/t.
+  Theorem1Result r = RunTheorem1(BaseConfig());
+  ASSERT_GE(r.avg_iterate_gap.size(), 4u);
+  EXPECT_LT(r.rate_exponent, -0.9);
+  // And the gap sequence actually decreases end to end.
+  EXPECT_LT(r.avg_iterate_gap.back(), r.avg_iterate_gap.front() * 0.01);
+}
+
+TEST(Theorem1Test, GapSamplesArePositions) {
+  Theorem1Result r = RunTheorem1(BaseConfig());
+  ASSERT_EQ(r.avg_iterate_gap.size(), r.gap_steps.size());
+  for (size_t i = 1; i < r.gap_steps.size(); ++i) {
+    EXPECT_GT(r.gap_steps[i], r.gap_steps[i - 1]);
+  }
+  EXPECT_EQ(r.gap_steps.back(), 6000);
+}
+
+TEST(Theorem1Test, ZeroStalenessAlsoConverges) {
+  Theorem1Config cfg = BaseConfig();
+  cfg.staleness = 0;
+  Theorem1Result r = RunTheorem1(cfg);
+  EXPECT_LT(r.final_objective, 1e-3);
+}
+
+TEST(Theorem1Test, StalenessShrinksTheoremStepSize) {
+  // η_max = 0.9 / (L(1+2√(ps))) decreases in s.
+  Theorem1Config fresh = BaseConfig();
+  fresh.staleness = 0;
+  Theorem1Config stale = BaseConfig();
+  stale.staleness = 16;
+  const Theorem1Result rf = RunTheorem1(fresh);
+  const Theorem1Result rs = RunTheorem1(stale);
+  EXPECT_GT(rf.step_size, rs.step_size * 2);
+}
+
+TEST(Theorem1Test, DeterministicForSeed) {
+  const Theorem1Result a = RunTheorem1(BaseConfig());
+  const Theorem1Result b = RunTheorem1(BaseConfig());
+  EXPECT_EQ(a.final_objective, b.final_objective);
+  EXPECT_EQ(a.sum_step_norms, b.sum_step_norms);
+}
+
+TEST(Theorem1Test, ExplicitStepSizeIsUsed) {
+  Theorem1Config cfg = BaseConfig();
+  cfg.step_size = 1e-4;
+  const Theorem1Result r = RunTheorem1(cfg);
+  EXPECT_DOUBLE_EQ(r.step_size, 1e-4);
+}
+
+// Sweep: convergence holds across the (p, s) grid the theorem covers.
+class Theorem1Sweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(Theorem1Sweep, Converges) {
+  const auto [workers, staleness] = GetParam();
+  Theorem1Config cfg = BaseConfig();
+  cfg.num_workers = workers;
+  cfg.staleness = staleness;
+  Theorem1Result r = RunTheorem1(cfg);
+  EXPECT_LT(r.final_objective, 5e-3)
+      << "p=" << workers << " s=" << staleness;
+  EXPECT_LT(r.tail_mass_fraction, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem1Sweep,
+    ::testing::Combine(::testing::Values(1, 4, 16),
+                       ::testing::Values(uint64_t{0}, uint64_t{2},
+                                         uint64_t{8})));
+
+}  // namespace
+}  // namespace hetgmp
