@@ -27,7 +27,7 @@ int main() {
     ExperimentResult run =
         RunExperiment(cfg, train, test, topology, /*max_epochs=*/3);
     const RoundStats& last = run.train.rounds.back();
-    char s_label[16];
+    char s_label[24];  // fits a full 20-digit uint64 rendering
     if (s == StalenessBound::kUnbounded) {
       std::snprintf(s_label, sizeof(s_label), "inf");
     } else {

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Concurrency-correctness driver: builds and runs the test suite under the
+# configurations that enforce the repo's locking contract.
+#
+#   scripts/check.sh            # all modes: release, tsan, asan-ubsan
+#   scripts/check.sh release    # plain optimized build, -Werror
+#   scripts/check.sh tsan       # ThreadSanitizer
+#   scripts/check.sh asan-ubsan # AddressSanitizer + UBSanitizer
+#
+# Environment:
+#   CXX       compiler to use (default: system default; use clang++ to also
+#             get -Wthread-safety enforcement)
+#   JOBS      parallelism (default: nproc)
+#   BUILD_DIR base directory for build trees (default: <repo>/build-check)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+base="${BUILD_DIR:-${repo_root}/build-check}"
+
+# Sanitized suites only need the tests; skipping benches/examples roughly
+# halves the build. Release keeps everything on so -Werror covers the
+# whole tree.
+run_mode() {
+  local mode="$1"
+  local dir="${base}/${mode}"
+  local -a cmake_args=(-DHETGMP_WERROR=ON)
+  case "${mode}" in
+    release)
+      cmake_args+=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+      ;;
+    tsan)
+      cmake_args+=(-DHETGMP_SANITIZE=thread
+                   -DHETGMP_BUILD_BENCHMARKS=OFF
+                   -DHETGMP_BUILD_EXAMPLES=OFF)
+      ;;
+    asan-ubsan)
+      cmake_args+=("-DHETGMP_SANITIZE=address;undefined"
+                   -DHETGMP_BUILD_BENCHMARKS=OFF
+                   -DHETGMP_BUILD_EXAMPLES=OFF)
+      ;;
+    *)
+      echo "unknown mode: ${mode} (expected release, tsan, or asan-ubsan)" >&2
+      return 2
+      ;;
+  esac
+
+  echo "==== [${mode}] configure"
+  cmake -B "${dir}" -S "${repo_root}" "${cmake_args[@]}"
+  echo "==== [${mode}] build"
+  cmake --build "${dir}" -j "${jobs}"
+  echo "==== [${mode}] ctest"
+  # halt_on_error makes any sanitizer report fail the test that produced
+  # it; second_deadlock_stack improves TSan lock-order reports.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  echo "==== [${mode}] OK"
+}
+
+modes=("$@")
+if [[ ${#modes[@]} -eq 0 ]]; then
+  modes=(release tsan asan-ubsan)
+fi
+for mode in "${modes[@]}"; do
+  run_mode "${mode}"
+done
+echo "All requested modes passed: ${modes[*]}"

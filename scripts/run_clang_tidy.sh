@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over src/ using the compile
+# database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS is ON by
+# default in the top-level CMakeLists).
+#
+#   scripts/run_clang_tidy.sh [build_dir] [-- extra clang-tidy args]
+#
+# build_dir defaults to ./build; it is configured first if no
+# compile_commands.json exists there yet.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  build_dir="$1"
+  shift
+fi
+extra_args=()
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+  extra_args=("$@")
+fi
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy}" >/dev/null 2>&1; then
+  echo "error: ${tidy} not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 1
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "==== configuring ${build_dir} to export compile_commands.json"
+  cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cc' | sort)
+echo "==== clang-tidy over ${#sources[@]} files (db: ${build_dir})"
+
+# run-clang-tidy parallelizes when available; otherwise iterate.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "${tidy}" -p "${build_dir}" \
+    -quiet "${extra_args[@]}" "${sources[@]}"
+else
+  status=0
+  for f in "${sources[@]}"; do
+    "${tidy}" -p "${build_dir}" --quiet "${extra_args[@]}" "${f}" || status=1
+  done
+  exit "${status}"
+fi

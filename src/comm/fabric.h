@@ -27,8 +27,12 @@ const char* TrafficClassName(TrafficClass c);
 // on the modeled link (latency + bytes/bandwidth). The engine adds that
 // time to the issuing worker's simulated clock.
 //
-// Thread-safe: counters are relaxed atomics (read coherently only after
-// workers quiesce, which is how the benches use them).
+// Thread-safe: counters are relaxed atomics. Relaxed is justified here —
+// unlike the ClockTable, nothing ever branches on a counter while workers
+// run: each cell is independently monotonic, no cross-cell invariant is
+// read concurrently, and every aggregate accessor (TotalBytes, PairMatrix,
+// ReportString) is documented to run after workers quiesce, where the
+// thread join / round barrier already provides the ordering.
 class Fabric {
  public:
   explicit Fabric(const Topology& topology);

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace hetgmp {
 
@@ -12,8 +13,10 @@ namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 // Serializes whole lines so concurrent workers do not interleave output.
-std::mutex& OutputMutex() {
-  static std::mutex* mu = new std::mutex;
+// Leaked intentionally: log lines can be emitted from static destructors
+// after a scoped mutex would already be gone.
+Mutex& OutputMutex() {
+  static Mutex* mu = new Mutex;
   return *mu;
 }
 
@@ -57,7 +60,7 @@ LogMessage::~LogMessage() {
       fatal_ || static_cast<int>(level_) >=
                     g_min_level.load(std::memory_order_relaxed);
   if (enabled) {
-    std::lock_guard<std::mutex> lock(OutputMutex());
+    MutexLock lock(OutputMutex());
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

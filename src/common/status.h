@@ -21,7 +21,12 @@ enum class StatusCode {
 // Lightweight status object in the RocksDB/Abseil style. Functions that can
 // fail due to caller input return Status (or Result<T>); programmer errors
 // use CHECK macros from logging.h instead.
-class Status {
+//
+// [[nodiscard]] on the class makes silently dropping any returned Status a
+// compile error under -Werror (the tree builds with unused-result promoted
+// to an error; see scripts/check.sh). Callers that genuinely want to
+// ignore a failure say so explicitly with HETGMP_IGNORE_STATUS.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -47,12 +52,12 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   // Human-readable rendering, e.g. "InvalidArgument: num_parts must be > 0".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_;
@@ -66,13 +71,13 @@ inline bool operator==(const Status& a, const Status& b) {
 // Result<T>: either a value or an error Status. Use value() only after
 // checking ok(); value() on an error aborts via CHECK.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {}  // NOLINT
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& { return value_; }
   T& value() & { return value_; }
@@ -88,6 +93,13 @@ class Result {
   do {                                           \
     ::hetgmp::Status _st = (expr);               \
     if (!_st.ok()) return _st;                   \
+  } while (0)
+
+// Explicitly discards a Status where failure is genuinely acceptable
+// (best-effort cleanup paths). Grep-able, unlike a bare (void) cast.
+#define HETGMP_IGNORE_STATUS(expr) \
+  do {                             \
+    (void)(expr);                  \
   } while (0)
 
 }  // namespace hetgmp

@@ -1,0 +1,171 @@
+#ifndef HETGMP_COMMON_THREAD_ANNOTATIONS_H_
+#define HETGMP_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety analysis support (Abseil-style macro names, see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) plus the small
+// annotated synchronization vocabulary the rest of the library uses:
+//
+//   * Mutex / MutexLock — std::mutex behind a CAPABILITY-annotated wrapper
+//     (libstdc++'s std::mutex carries no capability attributes, so the
+//     analysis can only check locking discipline through a wrapper);
+//   * CondVar — condition variable bound to a Mutex, with REQUIRES-checked
+//     waits;
+//   * SingleOwnerChecker — a debug-build dynamic assertion for structures
+//     whose contract is "one owning thread at a time" rather than a lock
+//     (the engine's per-worker replica stores).
+//
+// Builds under GCC compile the annotations away; scripts/check.sh and CI
+// run the Clang `-Wthread-safety -Werror=thread-safety` configuration that
+// actually enforces them.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#if defined(__clang__) && !defined(SWIG)
+#define HETGMP_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define HETGMP_THREAD_ANNOTATION__(x)
+#endif
+
+// Data members: which mutex guards them.
+#define HETGMP_GUARDED_BY(x) HETGMP_THREAD_ANNOTATION__(guarded_by(x))
+#define HETGMP_PT_GUARDED_BY(x) HETGMP_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Functions: locks that must (not) be held on entry.
+#define HETGMP_REQUIRES(...) \
+  HETGMP_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define HETGMP_REQUIRES_SHARED(...) \
+  HETGMP_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define HETGMP_EXCLUDES(...) \
+  HETGMP_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Functions: locks acquired/released as a side effect.
+#define HETGMP_ACQUIRE(...) \
+  HETGMP_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define HETGMP_RELEASE(...) \
+  HETGMP_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define HETGMP_TRY_ACQUIRE(...) \
+  HETGMP_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// Lock ordering documentation (checked by the analysis when complete).
+#define HETGMP_ACQUIRED_BEFORE(...) \
+  HETGMP_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define HETGMP_ACQUIRED_AFTER(...) \
+  HETGMP_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+// Types: lockable capabilities and RAII scopes over them.
+#define HETGMP_CAPABILITY(x) HETGMP_THREAD_ANNOTATION__(capability(x))
+#define HETGMP_SCOPED_CAPABILITY HETGMP_THREAD_ANNOTATION__(scoped_lockable)
+#define HETGMP_RETURN_CAPABILITY(x) \
+  HETGMP_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch for code whose protection the analysis cannot express
+// (e.g. barrier-phase protocols). Always pairs with a comment saying what
+// the actual synchronization is.
+#define HETGMP_NO_THREAD_SAFETY_ANALYSIS \
+  HETGMP_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace hetgmp {
+
+// std::mutex with capability annotations. Interface mirrors the subset of
+// absl::Mutex the library needs.
+class HETGMP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HETGMP_ACQUIRE() { mu_.lock(); }
+  void Unlock() HETGMP_RELEASE() { mu_.unlock(); }
+  bool TryLock() HETGMP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock over a Mutex, visible to the analysis as a scoped capability.
+class HETGMP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HETGMP_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() HETGMP_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable usable with Mutex. Wait() takes the Mutex explicitly
+// so the analysis can check the caller holds it; predicates stay in the
+// caller as `while (!pred) cv.Wait(mu);` loops, which keeps every guarded
+// read inside an annotated scope (no lambda escapes the analysis).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, waits, and reacquires it before returning.
+  // Spurious wakeups are possible; callers loop on their predicate.
+  void Wait(Mutex& mu) HETGMP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// Debug-build dynamic check for single-owner structures (no mutex to
+// annotate; the contract is exclusive access by one thread at a time, with
+// explicit hand-off points). First Check() after a Reset() binds the
+// calling thread as owner; a Check() from any other thread aborts. Release
+// builds compile to nothing.
+//
+// TSan complements this: the checker catches contract violations even when
+// the accesses happen not to race in a given schedule.
+class SingleOwnerChecker {
+ public:
+#ifndef NDEBUG
+  // Binds on first use; aborts on a second thread. Called from mutating
+  // methods of the checked structure.
+  void Check() const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // unbound
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return;  // we just became the owner
+    }
+    if (expected != self) {
+      // Deliberate hard stop: this is a programming error, exactly like a
+      // failed HETGMP_CHECK (not pulled in here to keep this header free
+      // of the logging dependency).
+      std::abort();
+    }
+  }
+  // Hand-off point: the next Check() may come from a different thread.
+  void Reset() const {
+    owner_.store(std::thread::id{}, std::memory_order_release);
+  }
+
+ private:
+  mutable std::atomic<std::thread::id> owner_{};
+#else
+  void Check() const {}
+  void Reset() const {}
+#endif
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMMON_THREAD_ANNOTATIONS_H_

@@ -12,15 +12,15 @@ Barrier::Barrier(int num_threads) : num_threads_(num_threads) {
 }
 
 bool Barrier::ArriveAndWait() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t gen = generation_;
   if (++waiting_ == num_threads_) {
     waiting_ = 0;
     ++generation_;
-    cv_.notify_all();
+    cv_.NotifyAll();
     return true;
   }
-  cv_.wait(lock, [&] { return generation_ != gen; });
+  while (generation_ == gen) cv_.Wait(mu_);
   return false;
 }
 
@@ -34,42 +34,42 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     HETGMP_CHECK(!shutdown_);
     queue_.push(std::move(fn));
     ++in_flight_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with drained queue
       fn = std::move(queue_.front());
       queue_.pop();
     }
     fn();
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) idle_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

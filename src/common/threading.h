@@ -1,18 +1,23 @@
 #ifndef HETGMP_COMMON_THREADING_H_
 #define HETGMP_COMMON_THREADING_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hetgmp {
 
 // Reusable cyclic barrier for N participants. Used by the engine to
 // implement BSP supersteps and epoch boundaries across simulated workers.
+//
+// Memory model: every participant's writes before ArriveAndWait() happen
+// before every participant's reads after it (all arrivals and departures
+// synchronize through mu_). The engine's round-serial sections rely on
+// exactly this edge to read and reset other workers' statistics.
 class Barrier {
  public:
   explicit Barrier(int num_threads);
@@ -22,17 +27,21 @@ class Barrier {
 
   // Blocks until all participants arrive. Returns true on exactly one
   // participant per generation (the "serial" thread), mirroring
-  // pthread_barrier's PTHREAD_BARRIER_SERIAL_THREAD.
-  bool ArriveAndWait();
+  // pthread_barrier's PTHREAD_BARRIER_SERIAL_THREAD. The serial thread is
+  // the last arriver, so when it returns true every other participant is
+  // either parked in this generation's wait or past it — but note the
+  // others are *released*, not parked, once the serial thread returns;
+  // protocols that need them parked must use a second rendezvous.
+  bool ArriveAndWait() HETGMP_EXCLUDES(mu_);
 
   int num_threads() const { return num_threads_; }
 
  private:
   const int num_threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int waiting_ = 0;
-  uint64_t generation_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  int waiting_ HETGMP_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ HETGMP_GUARDED_BY(mu_) = 0;
 };
 
 // Fixed-size pool executing posted closures. Used for data generation and
@@ -46,10 +55,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn) HETGMP_EXCLUDES(mu_);
 
   // Blocks until all submitted work has completed.
-  void Wait();
+  void Wait() HETGMP_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
@@ -58,15 +67,15 @@ class ThreadPool {
                           const std::function<void(int64_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() HETGMP_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::queue<std::function<void()>> queue_;
-  int64_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::queue<std::function<void()>> queue_ HETGMP_GUARDED_BY(mu_);
+  int64_t in_flight_ HETGMP_GUARDED_BY(mu_) = 0;
+  bool shutdown_ HETGMP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hetgmp

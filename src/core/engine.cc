@@ -72,6 +72,12 @@ struct Engine::WorkerState {
   int64_t inter_refreshes = 0;
   int64_t inter_flags = 0;
 
+  // Per-worker staleness audit (merged into TrainResult::staleness after
+  // the worker threads join — see StalenessAudit in engine.h).
+  uint64_t max_intra_gap = 0;
+  double max_inter_norm_gap = 0.0;
+  int64_t inter_violations = 0;
+
   // SSP mode only: iteration at which each secondary slot was last
   // refreshed (SSP caches expire by worker-iteration age, §3 — no graph
   // view of per-embedding update activity).
@@ -241,16 +247,27 @@ void Engine::ResolveFeature(WorkerState* ws, FeatureId x, float* out) {
     // per-embedding update activity (§3).
     ws->index_bytes[owner] += kIdBytes + kClockBytes;
     bool stale;
+    uint64_t primary_used = 0;
     if (config_.consistency == ConsistencyMode::kSsp) {
       const int64_t it = ws->iter_count.load(std::memory_order_relaxed);
       stale = it - ws->ssp_refresh_iter[slot] > config_.ssp_slack;
     } else {
-      stale = !IntraEmbeddingFresh(cache.synced_clock(slot),
-                                   PrimaryClock(x), config_.bound);
+      primary_used = PrimaryClock(x);
+      stale = !IntraEmbeddingFresh(cache.synced_clock(slot), primary_used,
+                                   config_.bound);
     }
     if (stale) {
       RefreshSecondary(ws, x, slot);
       ++ws->intra_refreshes;
+    }
+    if (config_.consistency != ConsistencyMode::kSsp) {
+      // Audit the intra bound on the value actually consumed, against the
+      // primary clock the decision saw (a refresh resynchronizes to a
+      // clock at least that fresh, so the residual gap is 0).
+      const uint64_t synced = cache.synced_clock(slot);
+      const uint64_t gap =
+          primary_used > synced ? primary_used - synced : 0;
+      if (gap > ws->max_intra_gap) ws->max_intra_gap = gap;
     }
     const float* v = cache.Value(slot);
     for (int c = 0; c < config_.embedding_dim; ++c) out[c] = v[c];
@@ -355,9 +372,15 @@ void Engine::TrainIteration(WorkerState* ws) {
           if (!sec_a && !sec_b) continue;
           const FeatureId xa = ws->unique_feats[ua];
           const FeatureId xb = ws->unique_feats[ub];
-          if (InterEmbeddingFresh(ws->feat_clock[ua], access_freq_[xa],
-                                  ws->feat_clock[ub], access_freq_[xb],
-                                  config_.bound)) {
+          // Inlined InterEmbeddingFresh (the outer condition guarantees a
+          // bounded s) so the accepted gap can feed the staleness audit.
+          const double pair_gap = NormalizedClockGap(
+              ws->feat_clock[ua], access_freq_[xa], ws->feat_clock[ub],
+              access_freq_[xb], config_.bound.normalize_by_frequency);
+          if (pair_gap <= static_cast<double>(config_.bound.s)) {
+            if (pair_gap > ws->max_inter_norm_gap) {
+              ws->max_inter_norm_gap = pair_gap;
+            }
             continue;
           }
           ++ws->inter_flags;
@@ -379,14 +402,26 @@ void Engine::TrainIteration(WorkerState* ws) {
             victim = sec_a ? ua : ub;
           }
           const FeatureId xv = ws->unique_feats[victim];
-          if (PrimaryClock(xv) <= ws->feat_clock[victim]) continue;
-          RefreshSecondary(ws, xv, ws->feat_slot[victim]);
-          ws->feat_clock[victim] =
-              caches_[w]->synced_clock(ws->feat_slot[victim]);
-          const float* v = caches_[w]->Value(ws->feat_slot[victim]);
-          float* row = ws->unique_values.row(victim);
-          for (int c = 0; c < d; ++c) row[c] = v[c];
-          ++ws->inter_refreshes;
+          const uint64_t primary_v = PrimaryClock(xv);
+          if (primary_v > ws->feat_clock[victim]) {
+            RefreshSecondary(ws, xv, ws->feat_slot[victim]);
+            ws->feat_clock[victim] =
+                caches_[w]->synced_clock(ws->feat_slot[victim]);
+            const float* v = caches_[w]->Value(ws->feat_slot[victim]);
+            float* row = ws->unique_values.row(victim);
+            for (int c = 0; c < d; ++c) row[c] = v[c];
+            ++ws->inter_refreshes;
+          }
+          // Audit the §5.3 guarantee for flagged pairs: the sync pass must
+          // leave the pair fresh, or the lagging replica fully caught up
+          // with the primary clock the decision observed (any residual
+          // normalized gap is then frequency asymmetry, not staleness).
+          if (ws->feat_clock[victim] < primary_v &&
+              !InterEmbeddingFresh(ws->feat_clock[ua], access_freq_[xa],
+                                   ws->feat_clock[ub], access_freq_[xb],
+                                   config_.bound)) {
+            ++ws->inter_violations;
+          }
         }
       }
     }
@@ -719,7 +754,12 @@ TrainResult Engine::Train(int max_epochs, double auc_target,
 
   stop_.store(false, std::memory_order_relaxed);
   TrainResult result;
-  std::mutex result_mu;
+  Mutex result_mu;
+
+  // Ownership hand-off: replica stores were last touched by whichever
+  // thread constructed the engine or ran the previous Train; from here
+  // each store belongs to its worker thread.
+  for (auto& cache : caches_) cache->ResetOwner();
 
   auto worker_main = [&](int w) {
     WorkerState* ws = workers_[w].get();
@@ -781,7 +821,7 @@ TrainResult Engine::Train(int max_epochs, double auc_target,
             fabric_->TotalBytes(TrafficClass::kIndexClock);
         rs.allreduce_bytes = fabric_->TotalBytes(TrafficClass::kAllReduce);
         {
-          std::lock_guard<std::mutex> lock(result_mu);
+          MutexLock lock(result_mu);
           result.rounds.push_back(rs);
         }
         bool stop = false;
@@ -804,6 +844,10 @@ TrainResult Engine::Train(int max_epochs, double auc_target,
   for (int w = 0; w < N; ++w) threads.emplace_back(worker_main, w);
   for (auto& t : threads) t.join();
 
+  // Hand ownership back to the calling thread (tests and checkpointing
+  // touch the stores after training).
+  for (auto& cache : caches_) cache->ResetOwner();
+
   result.final_auc = result.rounds.empty() ? 0.5 : result.rounds.back().auc;
   double compute = 0.0, comm = 0.0;
   for (int p = 0; p < N; ++p) {
@@ -813,6 +857,11 @@ TrainResult Engine::Train(int max_epochs, double auc_target,
     comm += workers_[p]->comm_time;
     result.total_iterations += workers_[p]->iter_count.load();
     result.samples_processed += workers_[p]->samples_done;
+    result.staleness.max_intra_gap =
+        std::max(result.staleness.max_intra_gap, workers_[p]->max_intra_gap);
+    result.staleness.max_inter_norm_gap = std::max(
+        result.staleness.max_inter_norm_gap, workers_[p]->max_inter_norm_gap);
+    result.staleness.inter_violations += workers_[p]->inter_violations;
   }
   result.compute_time = compute / N;
   result.comm_time = comm / N;

@@ -45,8 +45,27 @@ struct RoundStats {
   int64_t inter_flags = 0;
 };
 
+// Runtime audit of the §5.3 staleness guarantees, aggregated over every
+// Read the engine performed (tracked per worker, merged after the worker
+// threads join). This is the invariant the concurrency tooling protects:
+// a data race on the clock tables or caches shows up here as a bound
+// violation long before it corrupts training metrics.
+struct StalenessAudit {
+  // Largest primary-minus-secondary clock gap of any value consumed by a
+  // Read (post-refresh). Never exceeds bound.s in kGraphBounded mode.
+  uint64_t max_intra_gap = 0;
+  // Largest normalized inter-embedding gap among pairs the check accepted
+  // as fresh. Never exceeds bound.s in kGraphBounded mode.
+  double max_inter_norm_gap = 0.0;
+  // Pairs flagged stale that the inter-sync pass left neither fresh nor
+  // fully synchronized with the observed primary clock. Always 0 unless
+  // the refresh protocol is broken.
+  int64_t inter_violations = 0;
+};
+
 struct TrainResult {
   std::vector<RoundStats> rounds;
+  StalenessAudit staleness;
   double final_auc = 0.5;
   double total_sim_time = 0.0;       // simulated seconds
   double compute_time = 0.0;         // simulated seconds in dense compute
@@ -133,10 +152,21 @@ class Engine {
   std::vector<std::unique_ptr<EmbeddingModel>> models_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
 
+  // Locking/synchronization discipline (see DESIGN.md "Locking
+  // hierarchy"): shared state is reached three ways —
+  //  * atomics (stop_, ClockTable cells, Fabric counters, iter_count);
+  //  * the EmbeddingTable's striped row mutexes;
+  //  * barrier phases: the round/iter barrier serial sections may touch
+  //    any worker's state because every other worker is between its own
+  //    last pre-barrier write and first post-barrier read, and Barrier
+  //    orders those accesses (see Barrier's memory-model comment).
+  // Barrier-phase protection is invisible to Clang's thread-safety
+  // analysis, so barrier-guarded members carry comments, not annotations.
   Barrier round_barrier_;
   Barrier iter_barrier_;
   // Scratch for BSP straggler alignment; written only inside the
-  // iter_barrier_ serial section while all other workers are parked.
+  // iter_barrier_ serial section, read by all workers strictly between
+  // the second and third iter_barrier_ rendezvous of the same iteration.
   double bsp_shared_max_time_ = 0.0;
   std::atomic<bool> stop_{false};
 

@@ -25,13 +25,13 @@ EmbeddingTable::EmbeddingTable(int64_t num_embeddings, int dim,
 }
 
 void EmbeddingTable::ReadRow(int64_t x, float* out) const {
-  std::lock_guard<std::mutex> lock(RowMutex(x));
+  MutexLock lock(RowMutex(x));
   const float* row = values_.data() + x * dim_;
   for (int c = 0; c < dim_; ++c) out[c] = row[c];
 }
 
 void EmbeddingTable::ApplyGradient(int64_t x, const float* grad) {
-  std::lock_guard<std::mutex> lock(RowMutex(x));
+  MutexLock lock(RowMutex(x));
   float* row = values_.data() + x * dim_;
   if (optimizer_ == EmbeddingOptimizer::kAdaGrad) {
     AdaGradUpdateRow(row, grad, accum_.data() + x * dim_, dim_, lr_);

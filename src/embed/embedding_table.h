@@ -2,10 +2,10 @@
 #define HETGMP_EMBED_EMBEDDING_TABLE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
 
 namespace hetgmp {
 
@@ -20,7 +20,12 @@ enum class EmbeddingOptimizer { kSgd, kAdaGrad };
 // engine's fabric accounting — see core/engine.cc).
 //
 // Thread-safety: row updates and reads take a striped lock so concurrent
-// write-backs from different workers never interleave within a row.
+// write-backs from different workers never interleave within a row. The
+// stripe set cannot be expressed as a single GUARDED_BY capability (which
+// stripe protects a row depends on x), so values_/accum_ carry no
+// annotation; the locking contract is: every access to row x goes through
+// MutexLock(RowMutex(x)) except the Unsafe* accessors, which require
+// externally quiesced workers.
 class EmbeddingTable {
  public:
   EmbeddingTable(int64_t num_embeddings, int dim, float init_stddev,
@@ -51,7 +56,7 @@ class EmbeddingTable {
   }
 
  private:
-  std::mutex& RowMutex(int64_t x) const {
+  Mutex& RowMutex(int64_t x) const {
     return mutexes_[static_cast<size_t>(x) % kMutexStripes];
   }
 
@@ -63,7 +68,7 @@ class EmbeddingTable {
   float lr_;
   std::vector<float> values_;
   std::vector<float> accum_;  // AdaGrad accumulators (empty for SGD)
-  mutable std::vector<std::mutex> mutexes_;
+  mutable std::vector<Mutex> mutexes_;
 };
 
 }  // namespace hetgmp

@@ -50,6 +50,7 @@ void LruEmbeddingCache::MoveToFront(int64_t slot) {
 }
 
 int64_t LruEmbeddingCache::Slot(FeatureId x) {
+  owner_checker_.Check();  // lookups mutate recency and hit counters
   const auto it = slot_of_.find(x);
   if (it == slot_of_.end()) {
     ++misses_;
@@ -66,6 +67,7 @@ int64_t LruEmbeddingCache::EvictionCandidate() const {
 }
 
 int64_t LruEmbeddingCache::Insert(FeatureId x) {
+  owner_checker_.Check();
   HETGMP_CHECK_GT(capacity_, 0);
   HETGMP_CHECK(slot_of_.find(x) == slot_of_.end())
       << " inserting already-cached embedding " << x;
@@ -96,18 +98,21 @@ int64_t LruEmbeddingCache::Insert(FeatureId x) {
 }
 
 void LruEmbeddingCache::AccumulatePending(int64_t slot, const float* grad) {
+  owner_checker_.Check();
   float* p = Pending(slot);
   for (int c = 0; c < dim_; ++c) p[c] += grad[c];
   ++pending_count_[slot];
 }
 
 void LruEmbeddingCache::ClearPending(int64_t slot) {
+  owner_checker_.Check();
   float* p = Pending(slot);
   for (int c = 0; c < dim_; ++c) p[c] = 0.0f;
   pending_count_[slot] = 0;
 }
 
 void LruEmbeddingCache::SetValue(int64_t slot, const float* value) {
+  owner_checker_.Check();
   float* v = Value(slot);
   for (int c = 0; c < dim_; ++c) v[c] = value[c];
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/thread_annotations.h"
 #include "data/dataset.h"
 
 namespace hetgmp {
@@ -16,10 +17,21 @@ namespace hetgmp {
 //  * LruEmbeddingCache — dynamic LRU membership (the cache-enabled
 //    architecture of HET, the paper's predecessor system [34]).
 //
-// Single-owner: only the owning worker thread touches its store.
+// Single-owner: only the owning worker thread touches its store. There is
+// deliberately no mutex — exclusivity is the contract, enforced in debug
+// builds by `owner_checker_` (mutating implementations call
+// owner_checker_.Check(); the engine calls ResetOwner() at the hand-off
+// points where the store legally changes threads: before spawning workers
+// and after joining them).
 class ReplicaStore {
  public:
   virtual ~ReplicaStore() = default;
+
+  // Declares an ownership hand-off: the next mutating call may come from a
+  // different thread than previous ones. Only valid between the old
+  // owner's last access and the new owner's first (i.e. with the store
+  // quiesced) — calling it concurrently with accesses defeats the check.
+  void ResetOwner() { owner_checker_.Reset(); }
 
   virtual int dim() const = 0;
   // Number of slots (capacity for dynamic stores).
@@ -42,6 +54,9 @@ class ReplicaStore {
   uint64_t RowBytes() const {
     return static_cast<uint64_t>(dim()) * sizeof(float);
   }
+
+ protected:
+  SingleOwnerChecker owner_checker_;
 };
 
 }  // namespace hetgmp

@@ -21,18 +21,21 @@ SecondaryCache::SecondaryCache(const std::vector<FeatureId>& embedding_ids,
 }
 
 void SecondaryCache::AccumulatePending(int64_t slot, const float* grad) {
+  owner_checker_.Check();
   float* p = Pending(slot);
   for (int c = 0; c < dim_; ++c) p[c] += grad[c];
   ++pending_count_[slot];
 }
 
 void SecondaryCache::ClearPending(int64_t slot) {
+  owner_checker_.Check();
   float* p = Pending(slot);
   for (int c = 0; c < dim_; ++c) p[c] = 0.0f;
   pending_count_[slot] = 0;
 }
 
 void SecondaryCache::SetValue(int64_t slot, const float* value) {
+  owner_checker_.Check();
   float* v = Value(slot);
   for (int c = 0; c < dim_; ++c) v[c] = value[c];
 }

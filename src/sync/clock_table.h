@@ -15,6 +15,26 @@ namespace hetgmp {
 // Thread-safe: clocks are atomics. A worker only writes its own row plus
 // primary rows it owns, but cross-worker reads happen on every staleness
 // check, so all accesses go through atomics.
+//
+// Memory-order policy. Clock cells are not the synchronization point for
+// the embedding payload — row data is ordered by the EmbeddingTable's
+// striped row mutexes, which every primary read/update takes. The clocks
+// therefore only need to keep the *staleness metadata* itself coherent:
+//
+//  * Increment is acq_rel: a primary increment publishes after the mutex-
+//    protected row update it describes, so any reader that observes clock
+//    value c and then takes the row mutex sees at least the c-th update's
+//    payload (mutex ordering), and never observes the clock running behind
+//    a value it already proved synchronized (the ValidateInvariants
+//    "replica ahead of primary" check relies on this).
+//  * Get/Set are acquire/release for the same one-sided guarantee between
+//    a secondary's synced-clock publication and foreign staleness checks.
+//
+// Relaxed ordering here would still produce valid byte counts and would
+// rarely misbehave on x86, but it would let a staleness check pair a fresh
+// clock with a stale decision on weakly-ordered hardware — exactly the
+// silent Theorem-1 violation the sanitizer/annotation tooling exists to
+// prevent. Keep acquire/release unless a profile shows the clock ops hot.
 class ClockTable {
  public:
   ClockTable(int num_workers, int64_t num_embeddings);

@@ -385,6 +385,52 @@ TEST(BarrierTest, NoThreadPassesEarly) {
   for (auto& t : threads) t.join();
 }
 
+// Regression for the serial-thread contract under contention: hammer the
+// barrier from N threads for many generations and require (a) exactly one
+// serial thread per generation, (b) the serial election is observed
+// *within* the generation it belongs to — i.e. between two consecutive
+// arrivals of any thread, the global serial count advances by exactly
+// one. Run under TSan (scripts/check.sh tsan) this also proves every
+// participant's pre-barrier writes are visible to the serial thread,
+// which is what the engine's round-serial statistics harvesting relies
+// on.
+TEST(BarrierTest, SerialThreadContractUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kGenerations = 2000;
+  Barrier barrier(kThreads);
+  std::atomic<int64_t> serial_count{0};
+  // One cell per thread, written by its owner before every arrival and
+  // summed by that generation's serial thread. The sums must match
+  // exactly: kThreads * generation. Any missed happens-before edge
+  // through the barrier shows up as a torn or stale sum (and as a TSan
+  // report).
+  struct alignas(64) Cell {
+    int64_t value = 0;
+  };
+  std::vector<Cell> cells(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int g = 1; g <= kGenerations; ++g) {
+        cells[t].value = g;  // plain write: the barrier must order it
+        if (barrier.ArriveAndWait()) {
+          serial_count.fetch_add(1, std::memory_order_relaxed);
+          int64_t sum = 0;
+          for (const Cell& c : cells) sum += c.value;  // plain reads
+          EXPECT_EQ(sum, static_cast<int64_t>(kThreads) * g);
+        }
+        // Second rendezvous parks everyone until the serial thread is
+        // done reading, mirroring the engine's round protocol.
+        barrier.ArriveAndWait();
+        EXPECT_EQ(serial_count.load(std::memory_order_relaxed), g);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serial_count.load(), kGenerations);
+}
+
 TEST(ThreadPoolTest, RunsAllSubmittedWork) {
   ThreadPool pool(4);
   std::atomic<int> done{0};

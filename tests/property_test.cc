@@ -37,7 +37,9 @@ TEST_P(TopologySizeSweep, PresetsAreWellFormed) {
         const bool cross = t.machine_of(a) != t.machine_of(b);
         const bool eth = t.link(a, b) == LinkType::kEth1G ||
                          t.link(a, b) == LinkType::kEth10G;
-        if (a != b) EXPECT_EQ(cross, eth);
+        if (a != b) {
+          EXPECT_EQ(cross, eth);
+        }
       }
     }
     // Weight matrices: zero diagonal, min off-diagonal exactly 1.
@@ -52,7 +54,9 @@ TEST_P(TopologySizeSweep, PresetsAreWellFormed) {
         }
       }
     }
-    if (n > 1) EXPECT_DOUBLE_EQ(min_off, 1.0);
+    if (n > 1) {
+      EXPECT_DOUBLE_EQ(min_off, 1.0);
+    }
     // Ring AllReduce time is monotone in payload.
     if (n > 1) {
       EXPECT_LE(RingAllReduceTime(t, 1 << 10),
