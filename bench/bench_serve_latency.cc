@@ -1,0 +1,185 @@
+// Closed-loop serving latency bench: trains a small model, publishes a
+// snapshot through the engine's publish hook, then drives Zipf-skewed
+// lookups from K closed-loop client threads through the request batcher
+// and reports p50/p95/p99 lookup latency plus the per-TrafficClass fabric
+// byte counts (serving traffic appears as the `lookup` class).
+//
+// Sweeps the front-door configuration: direct service calls vs. batched,
+// and hot-cache on vs. off — the serving-side analogue of the paper's
+// replication ablation (the same skew that makes training caches work is
+// what makes the serving tier fast).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "comm/topology.h"
+#include "common/histogram.h"
+#include "common/zipf.h"
+#include "core/runner.h"
+#include "graph/bigraph.h"
+#include "metrics/comm_report.h"
+#include "serve/batcher.h"
+#include "serve/lookup_service.h"
+#include "serve/snapshot_store.h"
+
+using namespace hetgmp;  // NOLINT — bench brevity
+
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kKeysPerRequest = 16;
+constexpr double kZipfTheta = 1.05;
+
+struct LoadResult {
+  Histogram latency_us;
+  double wall_secs = 0.0;
+  int64_t failures = 0;
+};
+
+// Runs the closed-loop load: each client issues `requests_per_client`
+// lookups back-to-back against its round-robin front-end shard.
+template <typename LookupFn>
+LoadResult DriveLoad(int num_shards, int64_t num_features, int dim,
+                     int64_t requests_per_client, LookupFn&& lookup) {
+  const ZipfSampler zipf(static_cast<uint64_t>(num_features), kZipfTheta);
+  std::vector<Histogram> latencies(kClients);
+  std::atomic<int64_t> failures{0};
+  auto client_main = [&](int c) {
+    Rng rng(0xbe7cafeULL + 77ULL * static_cast<uint64_t>(c));
+    std::vector<FeatureId> keys(kKeysPerRequest);
+    std::vector<float> out(static_cast<size_t>(kKeysPerRequest) * dim);
+    const int shard = c % num_shards;
+    for (int64_t r = 0; r < requests_per_client; ++r) {
+      for (int k = 0; k < kKeysPerRequest; ++k) {
+        keys[k] = static_cast<FeatureId>(zipf.Sample(&rng));
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const Status st = lookup(shard, keys.data(), kKeysPerRequest,
+                               out.data());
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!st.ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      latencies[c].Add(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+  };
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) threads.emplace_back(client_main, c);
+  for (auto& t : threads) t.join();
+  LoadResult result;
+  result.wall_secs = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  for (const Histogram& h : latencies) result.latency_us.Merge(h);
+  result.failures = failures.load();
+  return result;
+}
+
+void PrintRow(const char* config, const LoadResult& r,
+              const LookupStats& stats) {
+  const std::vector<double> ps =
+      r.latency_us.PercentileMany({50.0, 95.0, 99.0});
+  std::printf("%-28s %9.0f %9.1f %9.1f %9.1f %8.3f %8lld\n", config,
+              r.wall_secs > 0
+                  ? static_cast<double>(r.latency_us.count()) / r.wall_secs
+                  : 0.0,
+              ps[0], ps[1], ps[2], stats.LocalFraction(),
+              static_cast<long long>(r.failures));
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Online serving latency (closed-loop, Zipf-skewed lookups)",
+      "north-star extension: train-to-serve path over §5.1/§5.2 "
+      "partition+replicas");
+
+  const double scale = bench::EnvScale(0.05);
+  CtrDataset train = GenerateSyntheticCtr(CriteoLikeConfig(scale));
+  CtrDataset test = train.SplitTail(0.15);
+
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  cfg.embedding_dim = 16;
+  const int workers = 8;
+  const Topology topology = Topology::ClusterA(workers);
+  Bigraph graph(train);
+  Partition partition = BuildPartition(cfg, graph, topology);
+  Engine engine(cfg, train, test, topology, std::move(partition));
+
+  SnapshotStore store;
+  engine.SetPublishHook(
+      [&store](const Engine::PublishContext& ctx) {
+        return store.Publish(ctx.table, ctx.dense_params, ctx.round,
+                             ctx.iterations_done);
+      },
+      /*every_rounds=*/2);
+  std::printf("training (%lld samples, %lld features)...\n",
+              static_cast<long long>(train.num_samples()),
+              static_cast<long long>(train.num_features()));
+  TrainResult tr = engine.Train(/*max_epochs=*/1);
+  std::printf("trained: auc=%.4f snapshots=%lld (latest v%llu)\n\n",
+              tr.final_auc, static_cast<long long>(tr.snapshots_published),
+              static_cast<unsigned long long>(store.version()));
+
+  const int64_t requests_per_client =
+      std::max<int64_t>(200, static_cast<int64_t>(4000 * scale * 20));
+  std::printf("%-28s %9s %9s %9s %9s %8s %8s\n", "config", "qps", "p50us",
+              "p95us", "p99us", "local", "fail");
+
+  // Sweep: hot cache off/on, direct vs. batched front door.
+  struct Sweep {
+    const char* name;
+    int64_t hot_rows;
+    bool batched;
+  };
+  const Sweep sweeps[] = {
+      {"direct, no hot cache", 0, false},
+      {"direct, hot cache 4k", 4096, false},
+      {"batched, no hot cache", 0, true},
+      {"batched, hot cache 4k", 4096, true},
+  };
+  for (const Sweep& s : sweeps) {
+    LookupServiceOptions svc_opts;
+    svc_opts.hot_rows_per_shard = s.hot_rows;
+    LookupService service(&store, engine.partition(),
+                          engine.mutable_fabric(), svc_opts);
+    LoadResult r;
+    if (s.batched) {
+      BatcherOptions b_opts;
+      b_opts.max_batch_keys = 256;
+      b_opts.deadline = std::chrono::microseconds(100);
+      RequestBatcher batcher(&service, b_opts);
+      r = DriveLoad(workers, train.num_features(), cfg.embedding_dim,
+                    requests_per_client,
+                    [&](int shard, const FeatureId* keys, int64_t n,
+                        float* out) {
+                      return batcher.Lookup(shard, keys, n, out);
+                    });
+    } else {
+      r = DriveLoad(workers, train.num_features(), cfg.embedding_dim,
+                    requests_per_client,
+                    [&](int shard, const FeatureId* keys, int64_t n,
+                        float* out) {
+                      return service.LookupBatch(shard, keys, n, out);
+                    });
+    }
+    PrintRow(s.name, r, service.stats());
+  }
+
+  std::printf("\n%s\n", engine.fabric().ReportString().c_str());
+  const CommBreakdown breakdown = SnapshotBreakdown(
+      engine.fabric(), std::max<int64_t>(1, tr.total_iterations));
+  std::printf("%s\n", breakdown.ToString().c_str());
+  return 0;
+}

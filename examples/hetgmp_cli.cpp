@@ -1,25 +1,49 @@
-// hetgmp_cli: run a training experiment from the command line.
+// hetgmp_cli: run a training experiment — or a train-then-serve loop —
+// from the command line.
 //
-//   hetgmp_cli [--dataset avazu|criteo|company] [--scale 0.5]
+//   hetgmp_cli [train] [--dataset avazu|criteo|company] [--scale 0.5]
 //              [--strategy tfps|parallax|hugectr|hetmp|hetgmp]
 //              [--model wdl|dcn|deepfm] [--workers 8] [--cluster a|b]
 //              [--staleness 100|inf] [--epochs 5] [--batch 256]
 //              [--dim 16] [--target-auc 0.78] [--save-dataset path]
 //              [--load-dataset path]
 //
+//   hetgmp_cli serve [--dataset ...] [--scale F] [--workers N]
+//              [--epochs N] [--dim N] [--batch N]
+//              [--lookups N] [--clients K] [--keys-per-request N]
+//              [--zipf-theta F] [--publish-every N] [--snapshot-dir PATH]
+//              [--hot-rows N] [--batch-max-keys N] [--deadline-us N]
+//
+// `serve` trains a model, publishes versioned snapshots through the
+// engine's publish hook, then drives closed-loop Zipf-skewed lookups
+// through the request batcher and reports p50/p95/p99 latency plus
+// per-TrafficClass byte counts. Exits non-zero if any lookup returns a
+// non-OK Status (the CI serve-smoke gate).
+//
 // Prints the convergence curve and a one-line JSON summary (easy to
 // scrape from driver scripts).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "comm/topology.h"
+#include "common/histogram.h"
+#include "common/zipf.h"
 #include "core/runner.h"
 #include "data/io.h"
 #include "data/stats.h"
 #include "data/synthetic.h"
+#include "graph/bigraph.h"
+#include "metrics/comm_report.h"
+#include "serve/batcher.h"
+#include "serve/lookup_service.h"
+#include "serve/snapshot_store.h"
 
 using namespace hetgmp;  // NOLINT — example brevity
 
@@ -39,17 +63,34 @@ struct CliOptions {
   double target_auc = -1.0;
   std::string save_dataset;
   std::string load_dataset;
+
+  // serve-only knobs
+  int64_t lookups = 10000;
+  int clients = 4;
+  int keys_per_request = 16;
+  double zipf_theta = 1.0;
+  int publish_every = 1;
+  std::string snapshot_dir;
+  int64_t hot_rows = 4096;
+  int64_t batch_max_keys = 256;
+  int64_t deadline_us = 200;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--dataset avazu|criteo|company] [--scale F]\n"
-               "          [--strategy tfps|parallax|hugectr|hetmp|hetgmp]\n"
-               "          [--model wdl|dcn|deepfm] [--workers N] [--cluster a|b]\n"
-               "          [--staleness N|inf] [--epochs N] [--batch N]\n"
-               "          [--dim N] [--target-auc F]\n"
-               "          [--save-dataset PATH] [--load-dataset PATH]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [train] [--dataset avazu|criteo|company] [--scale F]\n"
+      "          [--strategy tfps|parallax|hugectr|hetmp|hetgmp]\n"
+      "          [--model wdl|dcn|deepfm] [--workers N] [--cluster a|b]\n"
+      "          [--staleness N|inf] [--epochs N] [--batch N]\n"
+      "          [--dim N] [--target-auc F]\n"
+      "          [--save-dataset PATH] [--load-dataset PATH]\n"
+      "       %s serve [--dataset ...] [--scale F] [--workers N]\n"
+      "          [--epochs N] [--dim N] [--batch N] [--lookups N]\n"
+      "          [--clients K] [--keys-per-request N] [--zipf-theta F]\n"
+      "          [--publish-every N] [--snapshot-dir PATH] [--hot-rows N]\n"
+      "          [--batch-max-keys N] [--deadline-us N]\n",
+      argv0, argv0);
   std::exit(2);
 }
 
@@ -86,6 +127,24 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->save_dataset = next();
     } else if (flag == "--load-dataset") {
       opt->load_dataset = next();
+    } else if (flag == "--lookups") {
+      opt->lookups = std::atoll(next());
+    } else if (flag == "--clients") {
+      opt->clients = std::atoi(next());
+    } else if (flag == "--keys-per-request") {
+      opt->keys_per_request = std::atoi(next());
+    } else if (flag == "--zipf-theta") {
+      opt->zipf_theta = std::atof(next());
+    } else if (flag == "--publish-every") {
+      opt->publish_every = std::atoi(next());
+    } else if (flag == "--snapshot-dir") {
+      opt->snapshot_dir = next();
+    } else if (flag == "--hot-rows") {
+      opt->hot_rows = std::atoll(next());
+    } else if (flag == "--batch-max-keys") {
+      opt->batch_max_keys = std::atoll(next());
+    } else if (flag == "--deadline-us") {
+      opt->deadline_us = std::atoll(next());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -94,36 +153,63 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions opt;
-  if (!ParseArgs(argc, argv, &opt)) Usage(argv[0]);
-
-  // Dataset.
-  CtrDataset train;
+// Builds (or loads) the training dataset the flags describe; exits with a
+// message on failure.
+CtrDataset BuildDataset(const CliOptions& opt) {
   if (!opt.load_dataset.empty()) {
     Result<CtrDataset> loaded = LoadDataset(opt.load_dataset);
     if (!loaded.ok()) {
       std::fprintf(stderr, "load failed: %s\n",
                    loaded.status().ToString().c_str());
-      return 1;
+      std::exit(1);
     }
-    train = std::move(loaded).value();
-  } else {
-    SyntheticCtrConfig data_cfg;
-    if (opt.dataset == "avazu") {
-      data_cfg = AvazuLikeConfig(opt.scale);
-    } else if (opt.dataset == "criteo") {
-      data_cfg = CriteoLikeConfig(opt.scale);
-    } else if (opt.dataset == "company") {
-      data_cfg = CompanyLikeConfig(opt.scale);
-    } else {
-      std::fprintf(stderr, "unknown dataset: %s\n", opt.dataset.c_str());
-      return 1;
-    }
-    train = GenerateSyntheticCtr(data_cfg);
+    return std::move(loaded).value();
   }
+  SyntheticCtrConfig data_cfg;
+  if (opt.dataset == "avazu") {
+    data_cfg = AvazuLikeConfig(opt.scale);
+  } else if (opt.dataset == "criteo") {
+    data_cfg = CriteoLikeConfig(opt.scale);
+  } else if (opt.dataset == "company") {
+    data_cfg = CompanyLikeConfig(opt.scale);
+  } else {
+    std::fprintf(stderr, "unknown dataset: %s\n", opt.dataset.c_str());
+    std::exit(1);
+  }
+  return GenerateSyntheticCtr(data_cfg);
+}
+
+bool FillEngineConfig(const CliOptions& opt, EngineConfig* cfg) {
+  if (opt.strategy == "tfps") {
+    cfg->strategy = Strategy::kTfPs;
+  } else if (opt.strategy == "parallax") {
+    cfg->strategy = Strategy::kParallax;
+  } else if (opt.strategy == "hugectr") {
+    cfg->strategy = Strategy::kHugeCtr;
+  } else if (opt.strategy == "hetmp") {
+    cfg->strategy = Strategy::kHetMp;
+  } else if (opt.strategy == "hetgmp") {
+    cfg->strategy = Strategy::kHetGmp;
+  } else {
+    std::fprintf(stderr, "unknown strategy: %s\n", opt.strategy.c_str());
+    return false;
+  }
+  cfg->model = opt.model == "dcn"
+                   ? ModelType::kDcn
+                   : (opt.model == "deepfm" ? ModelType::kDeepFm
+                                            : ModelType::kWdl);
+  ApplyStrategyDefaults(cfg);
+  cfg->bound.s = opt.staleness == "inf"
+                     ? StalenessBound::kUnbounded
+                     : static_cast<uint64_t>(
+                           std::atoll(opt.staleness.c_str()));
+  cfg->batch_size = opt.batch;
+  cfg->embedding_dim = opt.dim;
+  return true;
+}
+
+int RunTrain(const CliOptions& opt) {
+  CtrDataset train = BuildDataset(opt);
   if (!opt.save_dataset.empty()) {
     const Status st = SaveDataset(train, opt.save_dataset);
     if (!st.ok()) {
@@ -135,33 +221,8 @@ int main(int argc, char** argv) {
   CtrDataset test = train.SplitTail(0.15);
   std::printf("%s\n", ComputeDatasetStats(train).ToString().c_str());
 
-  // Engine config.
   EngineConfig cfg;
-  if (opt.strategy == "tfps") {
-    cfg.strategy = Strategy::kTfPs;
-  } else if (opt.strategy == "parallax") {
-    cfg.strategy = Strategy::kParallax;
-  } else if (opt.strategy == "hugectr") {
-    cfg.strategy = Strategy::kHugeCtr;
-  } else if (opt.strategy == "hetmp") {
-    cfg.strategy = Strategy::kHetMp;
-  } else if (opt.strategy == "hetgmp") {
-    cfg.strategy = Strategy::kHetGmp;
-  } else {
-    std::fprintf(stderr, "unknown strategy: %s\n", opt.strategy.c_str());
-    return 1;
-  }
-  cfg.model = opt.model == "dcn"
-                  ? ModelType::kDcn
-                  : (opt.model == "deepfm" ? ModelType::kDeepFm
-                                           : ModelType::kWdl);
-  ApplyStrategyDefaults(&cfg);
-  cfg.bound.s = opt.staleness == "inf"
-                    ? StalenessBound::kUnbounded
-                    : static_cast<uint64_t>(std::atoll(
-                          opt.staleness.c_str()));
-  cfg.batch_size = opt.batch;
-  cfg.embedding_dim = opt.dim;
+  if (!FillEngineConfig(opt, &cfg)) return 1;
 
   const Topology topology = opt.cluster == "b"
                                 ? Topology::ClusterB(opt.workers)
@@ -179,4 +240,157 @@ int main(int argc, char** argv) {
       opt.workers, r.train.final_auc, r.train.total_sim_time,
       r.train.Throughput(), r.train.reached_target ? "true" : "false");
   return 0;
+}
+
+// Train, publish versioned snapshots, then serve Zipf lookups closed-loop
+// through the batcher. Any non-OK lookup makes the exit code non-zero.
+int RunServe(const CliOptions& opt) {
+  CtrDataset train = BuildDataset(opt);
+  CtrDataset test = train.SplitTail(0.15);
+  std::printf("%s\n", ComputeDatasetStats(train).ToString().c_str());
+
+  EngineConfig cfg;
+  if (!FillEngineConfig(opt, &cfg)) return 1;
+
+  const Topology topology = opt.cluster == "b"
+                                ? Topology::ClusterB(opt.workers)
+                                : Topology::ClusterA(opt.workers);
+  Bigraph graph(train);
+  Partition partition = BuildPartition(cfg, graph, topology);
+  Engine engine(cfg, train, test, topology, std::move(partition));
+
+  SnapshotStoreOptions store_opts;
+  store_opts.dir = opt.snapshot_dir;
+  SnapshotStore store(store_opts);
+  engine.SetPublishHook(
+      [&store](const Engine::PublishContext& ctx) {
+        return store.Publish(ctx.table, ctx.dense_params, ctx.round,
+                             ctx.iterations_done);
+      },
+      opt.publish_every);
+
+  std::printf("== train ==\n");
+  TrainResult tr = engine.Train(opt.epochs, opt.target_auc);
+  std::printf("final_auc=%.4f snapshots_published=%lld failures=%lld\n",
+              tr.final_auc, static_cast<long long>(tr.snapshots_published),
+              static_cast<long long>(tr.publish_failures));
+  if (store.version() == 0 || tr.publish_failures > 0) {
+    std::fprintf(stderr, "snapshot publication failed\n");
+    return 1;
+  }
+
+  std::printf("== serve ==\n");
+  LookupServiceOptions svc_opts;
+  svc_opts.hot_rows_per_shard = opt.hot_rows;
+  LookupService service(&store, engine.partition(), engine.mutable_fabric(),
+                        svc_opts);
+  BatcherOptions batch_opts;
+  batch_opts.max_batch_keys = opt.batch_max_keys;
+  batch_opts.deadline = std::chrono::microseconds(opt.deadline_us);
+  RequestBatcher batcher(&service, batch_opts);
+
+  const int clients = std::max(1, opt.clients);
+  const int keys_per_request = std::max(1, opt.keys_per_request);
+  const int64_t requests_total =
+      std::max<int64_t>(1, opt.lookups / keys_per_request);
+  const ZipfSampler zipf(
+      static_cast<uint64_t>(train.num_features()), opt.zipf_theta);
+
+  std::vector<Histogram> latencies(clients);
+  std::atomic<int64_t> failures{0};
+  std::string first_error;
+  Mutex error_mu;
+
+  auto client_main = [&](int c) {
+    Rng rng(0x5eedULL + 1315423911ULL * static_cast<uint64_t>(c));
+    std::vector<FeatureId> keys(keys_per_request);
+    std::vector<float> out(static_cast<size_t>(keys_per_request) * opt.dim);
+    const int64_t my_requests =
+        requests_total / clients + (c < requests_total % clients ? 1 : 0);
+    const int shard = c % engine.num_workers();
+    for (int64_t r = 0; r < my_requests; ++r) {
+      for (int k = 0; k < keys_per_request; ++k) {
+        keys[k] = static_cast<FeatureId>(zipf.Sample(&rng));
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const Status st =
+          batcher.Lookup(shard, keys.data(), keys_per_request, out.data());
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!st.ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        MutexLock lock(error_mu);
+        if (first_error.empty()) first_error = st.ToString();
+        continue;
+      }
+      latencies[c].Add(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto serve_start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) threads.emplace_back(client_main, c);
+  for (auto& t : threads) t.join();
+  const double serve_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serve_start)
+          .count();
+
+  Histogram all;
+  for (const Histogram& h : latencies) all.Merge(h);
+  std::printf("%s\n",
+              RenderLatencyPercentiles("lookup_latency", all).c_str());
+  std::printf("%s\n", service.stats().ToString().c_str());
+  std::printf("%s\n", engine.fabric().ReportString().c_str());
+  const BatcherStats bs = batcher.stats();
+  std::printf(
+      "batcher: dispatches=%lld full=%lld deadline=%lld "
+      "max_queue_wait=%.1fus\n",
+      static_cast<long long>(bs.dispatches),
+      static_cast<long long>(bs.full_flushes),
+      static_cast<long long>(bs.deadline_flushes), bs.max_queue_wait_us);
+
+  const std::vector<double> ps = all.PercentileMany({50.0, 95.0, 99.0});
+  std::printf(
+      "\n{\"mode\":\"serve\",\"dataset\":\"%s\",\"workers\":%d,"
+      "\"final_auc\":%.4f,\"snapshot_version\":%llu,"
+      "\"lookups\":%lld,\"qps\":%.0f,"
+      "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,"
+      "\"lookup_bytes\":%llu,\"failures\":%lld}\n",
+      train.name().c_str(), opt.workers, tr.final_auc,
+      static_cast<unsigned long long>(store.version()),
+      static_cast<long long>(service.stats().requests),
+      serve_secs > 0 ? static_cast<double>(all.count()) / serve_secs : 0.0,
+      ps[0], ps[1], ps[2],
+      static_cast<unsigned long long>(
+          engine.fabric().TotalBytes(TrafficClass::kLookup)),
+      static_cast<long long>(failures.load()));
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "lookup failures: %lld (first: %s)\n",
+                 static_cast<long long>(failures.load()),
+                 first_error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool serve_mode = false;
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string cmd = argv[1];
+    if (cmd == "serve") {
+      serve_mode = true;
+    } else if (cmd != "train") {
+      std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+      Usage(argv[0]);
+    }
+    --argc;
+    ++argv;
+  }
+  CliOptions opt;
+  if (!ParseArgs(argc, argv, &opt)) Usage(argv[0]);
+  return serve_mode ? RunServe(opt) : RunTrain(opt);
 }

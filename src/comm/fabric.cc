@@ -15,6 +15,8 @@ const char* TrafficClassName(TrafficClass c) {
       return "index+clock";
     case TrafficClass::kAllReduce:
       return "allreduce";
+    case TrafficClass::kLookup:
+      return "lookup";
     default:
       return "?";
   }

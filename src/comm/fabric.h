@@ -11,12 +11,16 @@
 
 namespace hetgmp {
 
-// Traffic categories matching the Figure 8 breakdown.
+// Traffic categories matching the Figure 8 breakdown, plus the online
+// serving class (src/serve) so inference traffic is accounted on the same
+// fabric — and shows up in comm_report — without polluting the training
+// categories the paper plots.
 enum class TrafficClass {
   kEmbedding = 0,   // embedding values and their gradients
   kIndexClock = 1,  // sparse indexes + clock metadata
   kAllReduce = 2,   // dense-parameter synchronization
-  kNumClasses = 3,
+  kLookup = 3,      // online serving: lookup requests + returned rows
+  kNumClasses = 4,
 };
 
 const char* TrafficClassName(TrafficClass c);

@@ -97,6 +97,14 @@ double Histogram::Quantile(double p) const {
   return max_;
 }
 
+std::vector<double> Histogram::PercentileMany(
+    const std::vector<double>& percents) const {
+  std::vector<double> out;
+  out.reserve(percents.size());
+  for (double p : percents) out.push_back(Percentile(p));
+  return out;
+}
+
 double Histogram::Gini() const {
   // Gini from bucket midpoints: G = Σ Σ |x_i - x_j| f_i f_j / (2 μ).
   if (count_ == 0 || sum_ <= 0.0) return 0.0;
@@ -121,8 +129,8 @@ double Histogram::Gini() const {
 std::string Histogram::ToString() const {
   std::ostringstream os;
   os << "count=" << count_ << " mean=" << Mean() << " stddev=" << StdDev()
-     << " min=" << min_ << " p50=" << Quantile(0.5)
-     << " p99=" << Quantile(0.99) << " max=" << max_;
+     << " min=" << min_ << " p50=" << P50() << " p99=" << P99()
+     << " max=" << max_;
   return os.str();
 }
 

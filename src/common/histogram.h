@@ -28,6 +28,20 @@ class Histogram {
   // Approximate p-quantile, p in [0, 1].
   double Quantile(double p) const;
 
+  // Latency-reporting conveniences (p in percent for PercentileMany, so
+  // P50() == Percentile(50) == Quantile(0.5)). An empty histogram reports
+  // 0 for every percentile.
+  double Percentile(double percent) const { return Quantile(percent / 100.0); }
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  // Evaluates several percentiles (in percent, each in [0, 100]) in one
+  // call, returned in the caller's order. The bucket array is tiny, so
+  // this simply reuses Quantile per entry; the point is the call-site
+  // ergonomics, not a faster scan.
+  std::vector<double> PercentileMany(const std::vector<double>& percents) const;
+
   // Gini coefficient of positive added values; 0 = perfectly even,
   // → 1 = maximally skewed. Approximated from buckets.
   double Gini() const;

@@ -19,6 +19,7 @@
 // actually enforces them.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
@@ -116,6 +117,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller's scope still owns the mutex
+  }
+
+  // Timed variant: waits at most `timeout`. Returns false if the wait
+  // ended by timeout (spurious wakeups return true; callers loop on their
+  // predicate and recompute the remaining budget either way).
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      HETGMP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lock, timeout);
+    lock.release();  // the caller's scope still owns the mutex
+    return st == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -743,6 +743,11 @@ double Engine::EvaluateAuc() {
   return ComputeAuc(scores, test_.labels());
 }
 
+void Engine::SetPublishHook(PublishHook hook, int every_rounds) {
+  publish_hook_ = std::move(hook);
+  publish_every_rounds_ = every_rounds;
+}
+
 TrainResult Engine::Train(int max_epochs, double auc_target,
                           double sim_time_budget) {
   HETGMP_CHECK_GT(max_epochs, 0);
@@ -833,6 +838,24 @@ TrainResult Engine::Train(int max_epochs, double auc_target,
           stop = true;
         }
         if (round == total_rounds - 1) stop = true;
+        // Snapshot publication: every k-th round plus the final round, in
+        // the serial section (all other workers are parked at the round
+        // barrier, so the unsafe table reads in the hook are quiesced).
+        if (publish_hook_ != nullptr && publish_every_rounds_ > 0 &&
+            ((round + 1) % publish_every_rounds_ == 0 || stop)) {
+          const std::vector<Tensor*> dense = models_[0]->DenseParams();
+          const PublishContext ctx{*table_, dense, round, rs.iterations_done,
+                                   rs.sim_time};
+          const Status pub = publish_hook_(ctx);
+          MutexLock lock(result_mu);
+          if (pub.ok()) {
+            ++result.snapshots_published;
+          } else {
+            ++result.publish_failures;
+            HETGMP_LOG(Warning) << "snapshot publish failed at round " << round
+                                << ": " << pub.ToString();
+          }
+        }
         if (stop) stop_.store(true, std::memory_order_release);
       }
       round_barrier_.ArriveAndWait();

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,6 +67,10 @@ struct StalenessAudit {
 struct TrainResult {
   std::vector<RoundStats> rounds;
   StalenessAudit staleness;
+  // Snapshot publications performed through the publish hook (serving
+  // path); failures count hook invocations that returned a non-OK Status.
+  int64_t snapshots_published = 0;
+  int64_t publish_failures = 0;
   double final_auc = 0.5;
   double total_sim_time = 0.0;       // simulated seconds
   double compute_time = 0.0;         // simulated seconds in dense compute
@@ -101,6 +106,28 @@ class Engine {
   TrainResult Train(int max_epochs, double auc_target = -1.0,
                     double sim_time_budget = -1.0);
 
+  // --- Snapshot publication (online serving, src/serve) ---
+  //
+  // State handed to the publish hook. The table and dense parameters are
+  // safe to read through the unsafe accessors for the duration of the
+  // call: the hook runs in the round-serial barrier section, where every
+  // other worker is parked at the round barrier (the same window
+  // EvaluateAuc uses).
+  struct PublishContext {
+    const EmbeddingTable& table;
+    const std::vector<Tensor*>& dense_params;  // worker 0's dense model
+    int round = 0;                 // 0-based round just completed
+    int64_t iterations_done = 0;   // global iteration count so far
+    double sim_time = 0.0;
+  };
+  using PublishHook = std::function<Status(const PublishContext&)>;
+
+  // Registers `hook` to run after every `every_rounds`-th round and after
+  // the final round of Train (so the last snapshot always reflects the
+  // finished model). Pass a null hook to detach. Not thread-safe against
+  // a concurrent Train — set it up before training starts.
+  void SetPublishHook(PublishHook hook, int every_rounds = 1);
+
   // Test AUC with the current primary table + worker 0's dense model.
   double EvaluateAuc();
 
@@ -113,6 +140,10 @@ class Engine {
   Status ValidateInvariants() const;
 
   const Fabric& fabric() const { return *fabric_; }
+  // Serving shares the training fabric so lookup traffic lands in the
+  // same comm_report (TrafficClass::kLookup keeps it separable).
+  Fabric* mutable_fabric() { return fabric_.get(); }
+  const EmbeddingTable& table() const { return *table_; }
   const Partition& partition() const { return partition_; }
   const EngineConfig& config() const { return config_; }
   int num_workers() const { return topology_.num_workers(); }
@@ -169,6 +200,12 @@ class Engine {
   // the second and third iter_barrier_ rendezvous of the same iteration.
   double bsp_shared_max_time_ = 0.0;
   std::atomic<bool> stop_{false};
+
+  // Publish hook state; written before Train spawns workers, read only in
+  // the round-serial barrier section (barrier-phase protection, like
+  // bsp_shared_max_time_ above).
+  PublishHook publish_hook_;
+  int publish_every_rounds_ = 0;
 
   // Per-epoch iteration budget per worker.
   int64_t iters_per_epoch_ = 0;

@@ -8,19 +8,27 @@ namespace hetgmp {
 
 namespace {
 
-constexpr char kMagic[8] = {'H', 'G', 'M', 'P', 'C', 'K', '0', '1'};
+// Format 02 adds the footer sentinel (torn-write detection); 01 files
+// predate it and are rejected as unrecognized.
+constexpr char kMagic[8] = {'H', 'G', 'M', 'P', 'C', 'K', '0', '2'};
+constexpr char kFooter[8] = {'H', 'G', 'M', 'P', 'E', 'N', 'D', '2'};
 
 class File {
  public:
   File(const std::string& path, const char* mode)
       : f_(std::fopen(path.c_str(), mode)) {}
-  ~File() {
-    if (f_ != nullptr) std::fclose(f_);
-  }
+  ~File() { Close(); }
   File(const File&) = delete;
   File& operator=(const File&) = delete;
   std::FILE* get() const { return f_; }
   bool ok() const { return f_ != nullptr; }
+  // Explicit close (flushes); returns false on flush/close failure.
+  bool Close() {
+    if (f_ == nullptr) return true;
+    const bool closed_ok = std::fclose(f_) == 0;
+    f_ = nullptr;
+    return closed_ok;
+  }
 
  private:
   std::FILE* f_;
@@ -40,16 +48,60 @@ Status ReadBytes(std::FILE* f, void* data, size_t bytes) {
   return Status::OK();
 }
 
-}  // namespace
-
-Status SaveCheckpoint(const EmbeddingTable& table,
-                      const std::vector<Tensor*>& dense_params,
-                      const std::string& path) {
-  File file(path, "wb");
-  if (!file.ok()) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
+Status ReadHeader(std::FILE* f, const std::string& path, int64_t* rows,
+                  int64_t* dim) {
+  char magic[8];
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a HET-GMP checkpoint: " + path);
   }
-  std::FILE* f = file.get();
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, rows, sizeof(*rows)));
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, dim, sizeof(*dim)));
+  if (*rows < 0 || *dim <= 0) {
+    return Status::InvalidArgument(
+        "corrupt checkpoint header: rows=" + std::to_string(*rows) +
+        " dim=" + std::to_string(*dim));
+  }
+  return Status::OK();
+}
+
+// The footer must be the last bytes of the file: present AND followed by
+// EOF. A torn write that truncated mid-payload lacks it; a short read that
+// stopped early (e.g. a dense-count mismatch masked by garbage) leaves
+// trailing bytes after it.
+Status VerifyFooter(std::FILE* f, const std::string& path) {
+  char footer[8];
+  if (std::fread(footer, 1, sizeof(footer), f) != sizeof(footer) ||
+      std::memcmp(footer, kFooter, sizeof(kFooter)) != 0) {
+    return Status::InvalidArgument(
+        "torn or truncated checkpoint (missing footer): " + path);
+  }
+  if (std::fgetc(f) != EOF) {
+    return Status::InvalidArgument("trailing bytes after checkpoint footer: " +
+                                   path);
+  }
+  return Status::OK();
+}
+
+// Skips the dense-parameter section (self-describing: count, then
+// size-prefixed tensors).
+Status SkipDenseSection(std::FILE* f) {
+  uint64_t num_tensors = 0;
+  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &num_tensors, sizeof(num_tensors)));
+  for (uint64_t t = 0; t < num_tensors; ++t) {
+    int64_t size = 0;
+    HETGMP_RETURN_IF_ERROR(ReadBytes(f, &size, sizeof(size)));
+    if (size < 0) return Status::InvalidArgument("corrupt dense tensor size");
+    if (std::fseek(f, static_cast<long>(size * sizeof(float)), SEEK_CUR) !=
+        0) {
+      return Status::InvalidArgument("truncated checkpoint");
+    }
+  }
+  return Status::OK();
+}
+
+Status WritePayload(std::FILE* f, const EmbeddingTable& table,
+                    const std::vector<Tensor*>& dense_params) {
   HETGMP_RETURN_IF_ERROR(WriteBytes(f, kMagic, sizeof(kMagic)));
   const int64_t rows = table.num_embeddings();
   const int64_t dim = table.dim();
@@ -64,10 +116,35 @@ Status SaveCheckpoint(const EmbeddingTable& table,
   for (const Tensor* t : dense_params) {
     const int64_t size = t->size();
     HETGMP_RETURN_IF_ERROR(WriteBytes(f, &size, sizeof(size)));
-    HETGMP_RETURN_IF_ERROR(
-        WriteBytes(f, t->data(), size * sizeof(float)));
+    HETGMP_RETURN_IF_ERROR(WriteBytes(f, t->data(), size * sizeof(float)));
   }
-  return Status::OK();
+  return WriteBytes(f, kFooter, sizeof(kFooter));
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const EmbeddingTable& table,
+                      const std::vector<Tensor*>& dense_params,
+                      const std::string& path) {
+  // Write-to-temp + rename: readers of `path` never observe a partial
+  // file, and a crash mid-write leaves the previous checkpoint intact.
+  const std::string tmp = path + ".tmp";
+  Status st;
+  {
+    File file(tmp, "wb");
+    if (!file.ok()) {
+      return Status::InvalidArgument("cannot open for writing: " + tmp);
+    }
+    st = WritePayload(file.get(), table, dense_params);
+    if (st.ok() && !file.Close()) {
+      st = Status::Internal("flush failed: " + tmp);
+    }
+  }
+  if (st.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  if (!st.ok()) std::remove(tmp.c_str());
+  return st;
 }
 
 Status LoadCheckpoint(const std::string& path, EmbeddingTable* table,
@@ -77,18 +154,12 @@ Status LoadCheckpoint(const std::string& path, EmbeddingTable* table,
     return Status::NotFound("cannot open: " + path);
   }
   std::FILE* f = file.get();
-  char magic[8];
-  HETGMP_RETURN_IF_ERROR(ReadBytes(f, magic, sizeof(magic)));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a HET-GMP checkpoint: " + path);
-  }
   int64_t rows = 0, dim = 0;
-  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &rows, sizeof(rows)));
-  HETGMP_RETURN_IF_ERROR(ReadBytes(f, &dim, sizeof(dim)));
+  HETGMP_RETURN_IF_ERROR(ReadHeader(f, path, &rows, &dim));
   if (rows != table->num_embeddings() || dim != table->dim()) {
     return Status::InvalidArgument(
-        "checkpoint shape mismatch: file has " + std::to_string(rows) +
-        "x" + std::to_string(dim) + ", table is " +
+        "checkpoint shape mismatch: file has " + std::to_string(rows) + "x" +
+        std::to_string(dim) + ", table is " +
         std::to_string(table->num_embeddings()) + "x" +
         std::to_string(table->dim()));
   }
@@ -107,10 +178,29 @@ Status LoadCheckpoint(const std::string& path, EmbeddingTable* table,
     if (size != t->size()) {
       return Status::InvalidArgument("dense tensor size mismatch");
     }
-    HETGMP_RETURN_IF_ERROR(
-        ReadBytes(f, t->data(), size * sizeof(float)));
+    HETGMP_RETURN_IF_ERROR(ReadBytes(f, t->data(), size * sizeof(float)));
   }
-  return Status::OK();
+  return VerifyFooter(f, path);
+}
+
+Result<CheckpointEmbeddings> LoadCheckpointEmbeddings(
+    const std::string& path) {
+  File file(path, "rb");
+  if (!file.ok()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::FILE* f = file.get();
+  CheckpointEmbeddings out;
+  int64_t rows = 0, dim = 0;
+  HETGMP_RETURN_IF_ERROR(ReadHeader(f, path, &rows, &dim));
+  out.rows = rows;
+  out.dim = static_cast<int>(dim);
+  out.values.resize(static_cast<size_t>(rows * dim));
+  HETGMP_RETURN_IF_ERROR(
+      ReadBytes(f, out.values.data(), out.values.size() * sizeof(float)));
+  HETGMP_RETURN_IF_ERROR(SkipDenseSection(f));
+  HETGMP_RETURN_IF_ERROR(VerifyFooter(f, path));
+  return out;
 }
 
 }  // namespace hetgmp

@@ -1,6 +1,7 @@
 #ifndef HETGMP_EMBED_CHECKPOINT_H_
 #define HETGMP_EMBED_CHECKPOINT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,13 @@ namespace hetgmp {
 // tensors, in one binary file. Long CTR training jobs checkpoint the
 // embedding state because regenerating it is the expensive part.
 //
+// Crash safety: the file is written to "<path>.tmp" and atomically
+// renamed into place, so a crash mid-save leaves either the previous
+// checkpoint or none — never a torn file under `path`. The payload is
+// additionally terminated by a footer sentinel; loading rejects any file
+// that ends early (a torn write from a non-atomic producer) even when
+// the header shapes happen to match.
+//
 // Only call with quiesced workers (the table is read through the unsafe
 // row accessors).
 
@@ -25,6 +33,20 @@ Status SaveCheckpoint(const EmbeddingTable& table,
 // mismatches are InvalidArgument.
 Status LoadCheckpoint(const std::string& path, EmbeddingTable* table,
                       const std::vector<Tensor*>& dense_params);
+
+// The embedding-table section of a checkpoint, self-describing (the
+// caller does not need to know the shape up front). This is the serving
+// loader: an inference process restores published rows without
+// constructing the dense model the file was saved with.
+struct CheckpointEmbeddings {
+  int64_t rows = 0;
+  int dim = 0;
+  std::vector<float> values;  // rows * dim, row-major
+};
+
+// Reads only the embedding rows; the dense section is skipped, but the
+// footer is still verified so torn files are rejected.
+Result<CheckpointEmbeddings> LoadCheckpointEmbeddings(const std::string& path);
 
 }  // namespace hetgmp
 

@@ -18,6 +18,8 @@ CommBreakdown SnapshotBreakdown(const Fabric& fabric, int64_t iterations) {
       static_cast<double>(fabric.TotalBytes(TrafficClass::kIndexClock)) * inv;
   b.allreduce_bytes_per_iter =
       static_cast<double>(fabric.TotalBytes(TrafficClass::kAllReduce)) * inv;
+  b.lookup_bytes_per_iter =
+      static_cast<double>(fabric.TotalBytes(TrafficClass::kLookup)) * inv;
   return b;
 }
 
@@ -28,6 +30,22 @@ std::string CommBreakdown::ToString() const {
      << HumanBytes(uint64_t(index_clock_bytes_per_iter))
      << "/iter allreduce=" << HumanBytes(uint64_t(allreduce_bytes_per_iter))
      << "/iter";
+  if (lookup_bytes_per_iter > 0.0) {
+    os << " lookup=" << HumanBytes(uint64_t(lookup_bytes_per_iter)) << "/iter";
+  }
+  return os.str();
+}
+
+std::string RenderLatencyPercentiles(const std::string& label,
+                                     const Histogram& latencies_us) {
+  const std::vector<double> ps =
+      latencies_us.PercentileMany({50.0, 95.0, 99.0});
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << label << ": n=" << latencies_us.count() << " p50=" << ps[0]
+     << "us p95=" << ps[1] << "us p99=" << ps[2]
+     << "us max=" << latencies_us.max() << "us";
   return os.str();
 }
 

@@ -6,19 +6,24 @@
 #include <vector>
 
 #include "comm/fabric.h"
+#include "common/histogram.h"
 
 namespace hetgmp {
 
 // Snapshot of fabric counters, normalized per iteration — the quantity
-// Figure 8 plots (three stacked categories per configuration).
+// Figure 8 plots (three stacked training categories per configuration).
+// The lookup category is the online-serving traffic (TrafficClass::kLookup);
+// it is zero for pure training runs and only rendered when present, so the
+// Figure 8 output is unchanged.
 struct CommBreakdown {
   double embedding_bytes_per_iter = 0.0;
   double index_clock_bytes_per_iter = 0.0;
   double allreduce_bytes_per_iter = 0.0;
+  double lookup_bytes_per_iter = 0.0;
 
   double total_per_iter() const {
     return embedding_bytes_per_iter + index_clock_bytes_per_iter +
-           allreduce_bytes_per_iter;
+           allreduce_bytes_per_iter + lookup_bytes_per_iter;
   }
   std::string ToString() const;
 };
@@ -30,6 +35,14 @@ CommBreakdown SnapshotBreakdown(const Fabric& fabric, int64_t iterations);
 // shade characters.
 std::string RenderPairHeatmap(
     const std::vector<std::vector<uint64_t>>& matrix);
+
+// One-line p50/p95/p99 summary of a latency histogram, e.g.
+//   "lookup: n=1000 p50=12.3us p95=40.1us p99=88.0us max=102.5us"
+// Values are interpreted as microseconds. Used by the serving latency
+// bench and the serve smoke path; empty histograms render n=0 with zero
+// percentiles rather than failing.
+std::string RenderLatencyPercentiles(const std::string& label,
+                                     const Histogram& latencies_us);
 
 }  // namespace hetgmp
 

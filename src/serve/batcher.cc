@@ -1,0 +1,104 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+RequestBatcher::RequestBatcher(LookupService* service, BatcherOptions options)
+    : service_(service), options_(options) {
+  HETGMP_CHECK_GT(options_.max_batch_keys, 0);
+  HETGMP_CHECK_GT(options_.deadline.count(), 0);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+RequestBatcher::~RequestBatcher() { Shutdown(); }
+
+void RequestBatcher::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+    work_cv_.NotifyAll();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Status RequestBatcher::Lookup(int shard, const FeatureId* keys, int64_t n,
+                              float* out) {
+  if (n <= 0) return Status::InvalidArgument("empty lookup batch");
+  Request req;
+  req.shard = shard;
+  req.keys = keys;
+  req.n = n;
+  req.out = out;
+  req.enqueued = std::chrono::steady_clock::now();
+
+  MutexLock lock(mu_);
+  if (shutdown_) return Status::FailedPrecondition("batcher is shut down");
+  pending_.push_back(&req);
+  pending_keys_ += n;
+  ++stats_.requests;
+  stats_.keys += n;
+  work_cv_.NotifyOne();
+  while (!req.done) done_cv_.Wait(mu_);
+  return req.status;
+}
+
+void RequestBatcher::DispatcherLoop() {
+  for (;;) {
+    std::deque<Request*> batch;
+    bool deadline_hit = false;
+    {
+      MutexLock lock(mu_);
+      while (!shutdown_ && pending_.empty()) work_cv_.Wait(mu_);
+      if (pending_.empty()) break;  // shutdown with nothing left to drain
+      // Micro-batching window: hold for more work until either the batch
+      // is full or the *oldest* request has waited the deadline. The wait
+      // budget is recomputed every wakeup, so late arrivals cannot extend
+      // an earlier request's deadline.
+      while (!shutdown_ && pending_keys_ < options_.max_batch_keys) {
+        const auto age =
+            std::chrono::steady_clock::now() - pending_.front()->enqueued;
+        if (age >= options_.deadline) break;
+        work_cv_.WaitFor(mu_, options_.deadline - age);
+      }
+      deadline_hit = pending_keys_ < options_.max_batch_keys;
+      batch.swap(pending_);
+      pending_keys_ = 0;
+    }
+    Flush(&batch, deadline_hit);
+  }
+}
+
+void RequestBatcher::Flush(std::deque<Request*>* batch, bool deadline_hit) {
+  const auto dispatch_start = std::chrono::steady_clock::now();
+  // Service execution happens outside the batcher lock so new submissions
+  // keep queueing while this batch is in flight. The status write is safe
+  // unlocked: the client only reads it after observing done under mu_.
+  for (Request* r : *batch) {
+    r->status = service_->LookupBatch(r->shard, r->keys, r->n, r->out);
+  }
+  MutexLock lock(mu_);
+  ++stats_.dispatches;
+  if (deadline_hit) {
+    ++stats_.deadline_flushes;
+  } else {
+    ++stats_.full_flushes;
+  }
+  for (Request* r : *batch) {
+    const double wait_us =
+        std::chrono::duration<double, std::micro>(dispatch_start - r->enqueued)
+            .count();
+    stats_.max_queue_wait_us = std::max(stats_.max_queue_wait_us, wait_us);
+    r->done = true;
+  }
+  done_cv_.NotifyAll();
+}
+
+BatcherStats RequestBatcher::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,92 @@
+#ifndef HETGMP_SERVE_BATCHER_H_
+#define HETGMP_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "serve/lookup_service.h"
+
+namespace hetgmp {
+
+struct BatcherOptions {
+  // Dispatch as soon as this many keys are pending (across requests).
+  int64_t max_batch_keys = 256;
+  // Micro-batching deadline: the longest any request may wait in the
+  // queue for co-batching before the dispatcher flushes regardless of
+  // batch size.
+  std::chrono::microseconds deadline{200};
+};
+
+struct BatcherStats {
+  int64_t requests = 0;
+  int64_t keys = 0;
+  int64_t dispatches = 0;        // service calls issued
+  int64_t full_flushes = 0;      // flushed because max_batch_keys reached
+  int64_t deadline_flushes = 0;  // flushed because the deadline expired
+  double max_queue_wait_us = 0.0;  // longest submit→dispatch wait observed
+};
+
+// Micro-batching front door for the lookup service: clients submit key
+// batches and block until resolved; a single dispatcher thread coalesces
+// concurrently submitted requests and drains them through
+// LookupService::LookupBatch. A flush happens when the pending key count
+// reaches max_batch_keys or when the oldest pending request has waited
+// `deadline` — so under light load a request pays at most the deadline in
+// queueing latency, and under heavy load batches fill before it expires.
+class RequestBatcher {
+ public:
+  RequestBatcher(LookupService* service, BatcherOptions options = {});
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  // Blocking lookup of `n` keys arriving at front-end shard `shard` into
+  // out[0 .. n*dim). Returns the service's status for this request.
+  Status Lookup(int shard, const FeatureId* keys, int64_t n, float* out)
+      HETGMP_EXCLUDES(mu_);
+
+  // Stops the dispatcher after draining pending requests. Called by the
+  // destructor; safe to call twice.
+  void Shutdown() HETGMP_EXCLUDES(mu_);
+
+  BatcherStats stats() const HETGMP_EXCLUDES(mu_);
+
+ private:
+  struct Request {
+    int shard = 0;
+    const FeatureId* keys = nullptr;
+    int64_t n = 0;
+    float* out = nullptr;
+    std::chrono::steady_clock::time_point enqueued;
+    Status status;
+    bool done = false;
+  };
+
+  void DispatcherLoop() HETGMP_EXCLUDES(mu_);
+  // Drains every pending request through the service. `deadline_hit`
+  // attributes the flush reason in the stats.
+  void Flush(std::deque<Request*>* batch, bool deadline_hit)
+      HETGMP_EXCLUDES(mu_);
+
+  LookupService* const service_;
+  const BatcherOptions options_;
+
+  mutable Mutex mu_;
+  CondVar work_cv_;   // dispatcher waits: work arrived / shutdown
+  CondVar done_cv_;   // clients wait: their request completed
+  std::deque<Request*> pending_ HETGMP_GUARDED_BY(mu_);
+  int64_t pending_keys_ HETGMP_GUARDED_BY(mu_) = 0;
+  bool shutdown_ HETGMP_GUARDED_BY(mu_) = false;
+  BatcherStats stats_ HETGMP_GUARDED_BY(mu_);
+
+  std::thread dispatcher_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_SERVE_BATCHER_H_

@@ -1,0 +1,182 @@
+#include "serve/lookup_service.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+HotRowCache::HotRowCache(int64_t capacity, int dim)
+    : dim_(dim),
+      capacity_(capacity),
+      id_of_(capacity, -1),
+      version_of_(capacity, 0),
+      prev_(capacity, -1),
+      next_(capacity, -1),
+      values_(capacity * dim, 0.0f) {
+  HETGMP_CHECK_GE(capacity, 0);
+  HETGMP_CHECK_GT(dim, 0);
+}
+
+void HotRowCache::MoveToFront(int64_t slot) {
+  if (head_ == slot) return;
+  // Unlink.
+  if (prev_[slot] >= 0) next_[prev_[slot]] = next_[slot];
+  if (next_[slot] >= 0) prev_[next_[slot]] = prev_[slot];
+  if (tail_ == slot) tail_ = prev_[slot];
+  // Link at head.
+  prev_[slot] = -1;
+  next_[slot] = head_;
+  if (head_ >= 0) prev_[head_] = slot;
+  head_ = slot;
+  if (tail_ < 0) tail_ = slot;
+}
+
+bool HotRowCache::Get(FeatureId x, uint64_t version, float* out) {
+  const auto it = slot_of_.find(x);
+  if (it == slot_of_.end()) return false;
+  const int64_t slot = it->second;
+  if (version_of_[slot] != version) return false;  // superseded snapshot
+  const float* row = values_.data() + slot * dim_;
+  std::copy(row, row + dim_, out);
+  MoveToFront(slot);
+  return true;
+}
+
+void HotRowCache::Put(FeatureId x, uint64_t version, const float* row) {
+  if (capacity_ == 0) return;
+  int64_t slot;
+  const auto it = slot_of_.find(x);
+  if (it != slot_of_.end()) {
+    slot = it->second;
+  } else if (occupied() < capacity_) {
+    slot = occupied();  // slots fill in order before any eviction
+    slot_of_[x] = slot;
+    id_of_[slot] = x;
+  } else {
+    slot = tail_;  // evict least recently used
+    slot_of_.erase(id_of_[slot]);
+    slot_of_[x] = slot;
+    id_of_[slot] = x;
+  }
+  version_of_[slot] = version;
+  std::copy(row, row + dim_, values_.data() + slot * dim_);
+  MoveToFront(slot);
+}
+
+std::string LookupStats::ToString() const {
+  std::ostringstream os;
+  os << "lookups=" << requests << " local_primary=" << local_primary
+     << " secondary=" << secondary_hits << " hot_cache=" << hot_hits
+     << " remote=" << remote << " local_fraction=" << LocalFraction()
+     << " sim_comm_time=" << sim_comm_time << "s";
+  return os.str();
+}
+
+LookupService::LookupService(const SnapshotStore* store,
+                             const Partition& partition, Fabric* fabric,
+                             LookupServiceOptions options)
+    : store_(store),
+      partition_(partition),
+      replicas_(partition),
+      fabric_(fabric),
+      options_(options),
+      num_shards_(partition.num_parts) {
+  HETGMP_CHECK_GT(num_shards_, 0);
+  shards_.reserve(num_shards_);
+  for (int s = 0; s < num_shards_; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+int LookupService::dim() const {
+  const auto snap = store_->Acquire();
+  return snap == nullptr ? 0 : snap->dim();
+}
+
+Status LookupService::LookupBatch(int shard, const FeatureId* keys, int64_t n,
+                                  float* out) {
+  if (shard < 0 || shard >= num_shards_) {
+    return Status::InvalidArgument("bad shard: " + std::to_string(shard));
+  }
+  const std::shared_ptr<const EmbeddingSnapshot> snap = store_->Acquire();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no snapshot published yet");
+  }
+  // The snapshot the whole batch is served from; every row below reads
+  // this object, so a concurrent publish cannot mix versions mid-batch.
+  const uint64_t version = snap->meta().version;
+  const int dim = snap->dim();
+
+  // Validate up front so failures produce no partial output.
+  for (int64_t i = 0; i < n; ++i) {
+    if (keys[i] < 0 || keys[i] >= snap->rows() ||
+        keys[i] >= partition_.num_embeddings()) {
+      return Status::OutOfRange("key out of range: " +
+                                std::to_string(keys[i]));
+    }
+  }
+
+  Shard& sh = *shards_[shard];
+  MutexLock lock(sh.mu);
+  if (sh.hot == nullptr && options_.hot_rows_per_shard > 0) {
+    sh.hot = std::make_unique<HotRowCache>(options_.hot_rows_per_shard, dim);
+  }
+  sh.stats.requests += n;
+  for (int64_t i = 0; i < n; ++i) {
+    const FeatureId x = keys[i];
+    float* dst = out + i * dim;
+    const int owner = partition_.embedding_owner[x];
+    if (owner == shard) {
+      std::copy(snap->Row(x), snap->Row(x) + dim, dst);
+      ++sh.stats.local_primary;
+      continue;
+    }
+    if (options_.use_secondary_replicas && replicas_.HasSecondary(shard, x)) {
+      std::copy(snap->Row(x), snap->Row(x) + dim, dst);
+      ++sh.stats.secondary_hits;
+      continue;
+    }
+    if (sh.hot != nullptr && sh.hot->Get(x, version, dst)) {
+      ++sh.stats.hot_hits;
+      continue;
+    }
+    // Miss: route to the owner shard — request out, row back — charged to
+    // the serving traffic class.
+    if (fabric_ != nullptr) {
+      sh.stats.sim_comm_time += fabric_->Transfer(
+          shard, owner, options_.request_bytes, TrafficClass::kLookup);
+      sh.stats.sim_comm_time += fabric_->Transfer(owner, shard,
+                                                  snap->RowBytes(),
+                                                  TrafficClass::kLookup);
+    }
+    std::copy(snap->Row(x), snap->Row(x) + dim, dst);
+    if (sh.hot != nullptr) sh.hot->Put(x, version, dst);
+    ++sh.stats.remote;
+  }
+  return Status::OK();
+}
+
+LookupStats LookupService::stats() const {
+  LookupStats total;
+  for (const auto& sh : shards_) {
+    MutexLock lock(sh->mu);
+    total.requests += sh->stats.requests;
+    total.local_primary += sh->stats.local_primary;
+    total.secondary_hits += sh->stats.secondary_hits;
+    total.hot_hits += sh->stats.hot_hits;
+    total.remote += sh->stats.remote;
+    total.sim_comm_time += sh->stats.sim_comm_time;
+  }
+  return total;
+}
+
+void LookupService::ResetStats() {
+  for (const auto& sh : shards_) {
+    MutexLock lock(sh->mu);
+    sh->stats = LookupStats();
+  }
+}
+
+}  // namespace hetgmp

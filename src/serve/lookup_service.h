@@ -1,0 +1,141 @@
+#ifndef HETGMP_SERVE_LOOKUP_SERVICE_H_
+#define HETGMP_SERVE_LOOKUP_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/fabric.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "partition/partition.h"
+#include "serve/snapshot_store.h"
+
+namespace hetgmp {
+
+// Version-tagged LRU over embedding rows, used as each serving shard's
+// hot-row cache. Same recency-list technique as embed/lru_cache, minus the
+// training machinery (pending gradients, clocks) and minus the
+// single-owner contract: serving shards are hit by many client threads, so
+// this cache is externally locked by its shard's mutex instead.
+// (LruEmbeddingCache's SingleOwnerChecker enforces exactly the opposite
+// contract, which is why it is not reused here.)
+class HotRowCache {
+ public:
+  HotRowCache(int64_t capacity, int dim);
+
+  // Copies the cached row for `x` into out[0..dim) and refreshes recency,
+  // but only if it was cached at `version` (stale versions miss: serving
+  // must never mix rows from different snapshots in one response).
+  bool Get(FeatureId x, uint64_t version, float* out);
+
+  // Inserts/overwrites the row for `x` at `version`, evicting the LRU
+  // entry when full. No-op at capacity 0.
+  void Put(FeatureId x, uint64_t version, const float* row);
+
+  int64_t capacity() const { return capacity_; }
+  int64_t occupied() const { return static_cast<int64_t>(slot_of_.size()); }
+
+ private:
+  void MoveToFront(int64_t slot);
+
+  const int dim_;
+  const int64_t capacity_;
+  std::unordered_map<FeatureId, int64_t> slot_of_;
+  std::vector<FeatureId> id_of_;
+  std::vector<uint64_t> version_of_;
+  std::vector<int64_t> prev_, next_;  // recency list over slots
+  int64_t head_ = -1;                 // most recent
+  int64_t tail_ = -1;                 // least recent
+  std::vector<float> values_;
+};
+
+struct LookupServiceOptions {
+  // Hot-row cache capacity per shard, in rows (0 disables the cache).
+  int64_t hot_rows_per_shard = 4096;
+  // Serve from the training partition's secondary-replica membership: a
+  // shard holding a vertex-cut secondary of x answers locally instead of
+  // routing to the owner (§5.2's replication reused at inference time).
+  bool use_secondary_replicas = true;
+  // Request metadata charged per remote lookup (key + routing header).
+  uint64_t request_bytes = 16;
+};
+
+// Aggregated serving counters (across all shards).
+struct LookupStats {
+  int64_t requests = 0;        // keys looked up
+  int64_t local_primary = 0;   // owner shard == front-end shard
+  int64_t secondary_hits = 0;  // served from vertex-cut secondary replica
+  int64_t hot_hits = 0;        // served from the shard's hot-row cache
+  int64_t remote = 0;          // routed to the owner shard via the fabric
+  double sim_comm_time = 0.0;  // modeled seconds spent on remote lookups
+
+  double LocalFraction() const {
+    return requests > 0
+               ? static_cast<double>(requests - remote) / requests
+               : 0.0;
+  }
+  std::string ToString() const;
+};
+
+// The online lookup tier. Shard s mirrors training worker s: it is the
+// serving home of every embedding the partitioner assigned to worker s,
+// and it inherits worker s's secondary-replica membership. A lookup
+// arriving at front-end shard s resolves, in order: primary ownership →
+// secondary replica → hot-row cache → remote fetch from the owner shard
+// (charged to the fabric as TrafficClass::kLookup, so serving traffic is
+// visible in comm_report next to the training classes).
+//
+// All row data comes from the store's current immutable snapshot, so
+// lookups are trivially consistent under concurrent publishes: a response
+// is always served from exactly one version.
+//
+// Thread-safe: any thread may call Lookup/LookupBatch for any shard.
+// Per-shard mutexes guard the hot cache and counters.
+class LookupService {
+ public:
+  // `store`, `partition`, and `fabric` must outlive the service. `fabric`
+  // may be null (no traffic accounting — e.g. single-shard unit tests).
+  LookupService(const SnapshotStore* store, const Partition& partition,
+                Fabric* fabric, LookupServiceOptions options = {});
+
+  LookupService(const LookupService&) = delete;
+  LookupService& operator=(const LookupService&) = delete;
+
+  // Resolves `n` keys arriving at front-end shard `shard` into
+  // out[0 .. n*dim). Fails without partial output on the first invalid
+  // key; FailedPrecondition when no snapshot has been published yet.
+  Status LookupBatch(int shard, const FeatureId* keys, int64_t n, float* out);
+
+  Status Lookup(int shard, FeatureId key, float* out) {
+    return LookupBatch(shard, &key, 1, out);
+  }
+
+  int num_shards() const { return num_shards_; }
+  // Embedding dimension of the current snapshot (0 before first publish).
+  int dim() const;
+
+  LookupStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Shard {
+    Mutex mu;
+    std::unique_ptr<HotRowCache> hot HETGMP_GUARDED_BY(mu);
+    LookupStats stats HETGMP_GUARDED_BY(mu);
+  };
+
+  const SnapshotStore* const store_;
+  const Partition& partition_;
+  const ReplicaIndex replicas_;
+  Fabric* const fabric_;
+  const LookupServiceOptions options_;
+  const int num_shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_SERVE_LOOKUP_SERVICE_H_

@@ -1,0 +1,93 @@
+#include "serve/snapshot_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+#include "embed/checkpoint.h"
+
+namespace hetgmp {
+
+EmbeddingSnapshot::EmbeddingSnapshot(SnapshotMeta meta,
+                                     std::vector<float> values)
+    : meta_(meta), values_(std::move(values)) {
+  HETGMP_CHECK_EQ(static_cast<int64_t>(values_.size()),
+                  meta_.rows * meta_.dim);
+}
+
+SnapshotStore::SnapshotStore(SnapshotStoreOptions options)
+    : options_(std::move(options)) {}
+
+std::string SnapshotStore::SnapshotPath(uint64_t version) const {
+  return options_.dir + "/snapshot-" + std::to_string(version) + ".ckpt";
+}
+
+void SnapshotStore::Install(std::shared_ptr<const EmbeddingSnapshot> snap) {
+  const uint64_t v = snap->meta().version;
+  // Double-buffer flip: install into the inactive slot (contending only
+  // with stragglers still copying the *previous* snapshot out of it), then
+  // make it active. The release store on active_ publishes the snapshot
+  // contents; readers acquire through active_ / version_.
+  const uint32_t inactive = 1u - active_.load(std::memory_order_relaxed);
+  {
+    MutexLock slot_lock(slots_[inactive].mu);
+    slots_[inactive].snap = std::move(snap);
+  }
+  active_.store(inactive, std::memory_order_release);
+  version_.store(v, std::memory_order_release);
+}
+
+Status SnapshotStore::Publish(const EmbeddingTable& table,
+                              const std::vector<Tensor*>& dense_params,
+                              int round, int64_t iterations) {
+  MutexLock lock(publish_mu_);
+  SnapshotMeta meta;
+  meta.version = version_.load(std::memory_order_relaxed) + 1;
+  meta.rows = table.num_embeddings();
+  meta.dim = table.dim();
+  meta.round = round;
+  meta.iterations = iterations;
+
+  std::vector<float> values(static_cast<size_t>(meta.rows) * meta.dim);
+  for (int64_t x = 0; x < meta.rows; ++x) {
+    const float* row = table.UnsafeRow(x);
+    std::copy(row, row + meta.dim, values.data() + x * meta.dim);
+  }
+
+  if (!options_.dir.empty()) {
+    HETGMP_RETURN_IF_ERROR(
+        SaveCheckpoint(table, dense_params, SnapshotPath(meta.version)));
+    if (!options_.keep_history && meta.version > 1) {
+      // Best-effort prune of the superseded file; the newest snapshot is
+      // already durable, so a failure here only wastes disk.
+      std::remove(SnapshotPath(meta.version - 1).c_str());
+    }
+  }
+
+  Install(std::make_shared<const EmbeddingSnapshot>(meta, std::move(values)));
+  return Status::OK();
+}
+
+Status SnapshotStore::PublishFromCheckpoint(const std::string& path) {
+  MutexLock lock(publish_mu_);
+  Result<CheckpointEmbeddings> loaded = LoadCheckpointEmbeddings(path);
+  if (!loaded.ok()) return loaded.status();
+  CheckpointEmbeddings ck = std::move(loaded).value();
+
+  SnapshotMeta meta;
+  meta.version = version_.load(std::memory_order_relaxed) + 1;
+  meta.rows = ck.rows;
+  meta.dim = ck.dim;
+  Install(std::make_shared<const EmbeddingSnapshot>(meta,
+                                                    std::move(ck.values)));
+  return Status::OK();
+}
+
+std::shared_ptr<const EmbeddingSnapshot> SnapshotStore::Acquire() const {
+  const uint32_t a = active_.load(std::memory_order_acquire);
+  MutexLock slot_lock(slots_[a].mu);
+  return slots_[a].snap;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,129 @@
+#ifndef HETGMP_SERVE_SNAPSHOT_STORE_H_
+#define HETGMP_SERVE_SNAPSHOT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "embed/embedding_table.h"
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// Identity of one published embedding snapshot.
+struct SnapshotMeta {
+  uint64_t version = 0;      // 1-based, strictly increasing per store
+  int64_t rows = 0;
+  int dim = 0;
+  int round = -1;            // training round it was published from (-1 if
+                             // restored from disk)
+  int64_t iterations = 0;    // global iteration count at publish time
+};
+
+// An immutable, fully materialized copy of the embedding table at one
+// version. Readers hold it via shared_ptr, so a snapshot stays valid for
+// as long as any in-flight lookup references it, regardless of how many
+// newer versions have been published since.
+class EmbeddingSnapshot {
+ public:
+  EmbeddingSnapshot(SnapshotMeta meta, std::vector<float> values);
+
+  const SnapshotMeta& meta() const { return meta_; }
+  int64_t rows() const { return meta_.rows; }
+  int dim() const { return meta_.dim; }
+
+  // Row x, valid for the snapshot's lifetime. Bounds are the caller's
+  // responsibility (the lookup service validates keys first).
+  const float* Row(int64_t x) const {
+    return values_.data() + x * meta_.dim;
+  }
+
+  uint64_t RowBytes() const {
+    return static_cast<uint64_t>(meta_.dim) * sizeof(float);
+  }
+
+ private:
+  SnapshotMeta meta_;
+  std::vector<float> values_;
+};
+
+struct SnapshotStoreOptions {
+  // When non-empty, every publish also writes a durable checkpoint
+  // "snapshot-<version>.ckpt" into this directory (via the crash-safe
+  // embed/checkpoint path), so a serving process can restore it later.
+  std::string dir;
+  // Keep superseded snapshot files on disk; default prunes to the latest.
+  bool keep_history = false;
+};
+
+// The versioned hand-off point between training and serving.
+//
+// Concurrency: publishes and reads may overlap freely. The store is
+// double-buffered — the publisher materializes the new snapshot into the
+// inactive slot and then flips the active-slot index with a single atomic
+// store, so readers never observe a partially built snapshot and never
+// contend with a publisher installing one. A reader that loaded the old
+// index mid-flip still gets a complete (merely older) snapshot, and
+// refcounting keeps it alive until the last reader drops it.
+//
+// Each slot's shared_ptr is guarded by a per-slot mutex held only for the
+// pointer copy; the atomic publication point is the active-index flip.
+// (std::atomic<std::shared_ptr> would make readers wait-free, but
+// libstdc++'s implementation in GCC ≤ 12.2 unlocks its embedded spinlock
+// with relaxed ordering — GCC PR106275 — which ThreadSanitizer rightly
+// reports as a race, so the hand-off uses mutexes the analyzer can see.)
+//
+// Publishing is expected to be single-threaded (the engine's round-serial
+// section); a mutex serializes publishers anyway so misuse cannot corrupt
+// version ordering.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(SnapshotStoreOptions options = {});
+
+  // Publishes version N+1 copied from `table`. Requires quiesced writers
+  // of `table` for the duration of the call (the engine publish hook
+  // guarantees this). `dense_params` ride along into the durable
+  // checkpoint so a restored serving process and a restored trainer read
+  // the same file format.
+  Status Publish(const EmbeddingTable& table,
+                 const std::vector<Tensor*>& dense_params, int round = -1,
+                 int64_t iterations = 0) HETGMP_EXCLUDES(publish_mu_);
+
+  // Restores the embedding section of a checkpoint file as the next
+  // version (serve-from-disk startup).
+  Status PublishFromCheckpoint(const std::string& path)
+      HETGMP_EXCLUDES(publish_mu_);
+
+  // Latest published snapshot, or nullptr before the first publish.
+  // Wait-free with respect to publishers.
+  std::shared_ptr<const EmbeddingSnapshot> Acquire() const;
+
+  // Version of the latest published snapshot (0 = none yet).
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  // Durable file path for a version (meaningful only with options.dir).
+  std::string SnapshotPath(uint64_t version) const;
+
+ private:
+  struct Slot {
+    mutable Mutex mu;
+    std::shared_ptr<const EmbeddingSnapshot> snap HETGMP_GUARDED_BY(mu);
+  };
+
+  void Install(std::shared_ptr<const EmbeddingSnapshot> snap)
+      HETGMP_REQUIRES(publish_mu_);
+
+  const SnapshotStoreOptions options_;
+  Mutex publish_mu_;
+  std::atomic<uint64_t> version_{0};
+  std::atomic<uint32_t> active_{0};
+  Slot slots_[2];
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_SERVE_SNAPSHOT_STORE_H_

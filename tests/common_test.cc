@@ -310,6 +310,52 @@ TEST(HistogramTest, ClearResets) {
   EXPECT_EQ(h.sum(), 0.0);
 }
 
+TEST(HistogramTest, PercentilesOnEmptyHistogramAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.P50(), 0.0);
+  EXPECT_EQ(h.P95(), 0.0);
+  EXPECT_EQ(h.P99(), 0.0);
+  const std::vector<double> ps = h.PercentileMany({50.0, 95.0, 99.0});
+  ASSERT_EQ(ps.size(), 3u);
+  for (double p : ps) EXPECT_EQ(p, 0.0);
+  EXPECT_TRUE(h.PercentileMany({}).empty());
+}
+
+TEST(HistogramTest, PercentilesWithSingleBucket) {
+  // All samples land in one bucket: every percentile must return a value
+  // from that bucket's range, and identical values must give identical
+  // percentiles end to end.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(42.0);
+  const std::vector<double> ps = h.PercentileMany({50.0, 95.0, 99.0});
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_DOUBLE_EQ(ps[0], ps[1]);
+  EXPECT_DOUBLE_EQ(ps[1], ps[2]);
+  EXPECT_GE(ps[0], h.min());
+  EXPECT_LE(ps[0], h.max());
+  // A true single-sample histogram behaves the same.
+  Histogram one;
+  one.Add(7.0);
+  EXPECT_GE(one.P50(), one.min());
+  EXPECT_LE(one.P99(), one.max());
+}
+
+TEST(HistogramTest, PercentileAccessorsMatchQuantile) {
+  Histogram h;
+  Rng rng(61);
+  for (int i = 0; i < 5000; ++i) h.Add(rng.NextDouble() * 1000.0);
+  EXPECT_DOUBLE_EQ(h.P50(), h.Quantile(0.50));
+  EXPECT_DOUBLE_EQ(h.P95(), h.Quantile(0.95));
+  EXPECT_DOUBLE_EQ(h.P99(), h.Quantile(0.99));
+  EXPECT_DOUBLE_EQ(h.Percentile(95.0), h.Quantile(0.95));
+  const std::vector<double> ps = h.PercentileMany({50.0, 95.0, 99.0});
+  EXPECT_DOUBLE_EQ(ps[0], h.P50());
+  EXPECT_DOUBLE_EQ(ps[1], h.P95());
+  EXPECT_DOUBLE_EQ(ps[2], h.P99());
+  EXPECT_LE(ps[0], ps[1]);
+  EXPECT_LE(ps[1], ps[2]);
+}
+
 // ------------------------------------------------------------ stringutil
 
 TEST(StringUtilTest, HumanBytes) {

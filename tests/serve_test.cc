@@ -1,0 +1,544 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/topology.h"
+#include "core/engine.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+#include "embed/checkpoint.h"
+#include "embed/embedding_table.h"
+#include "graph/bigraph.h"
+#include "serve/batcher.h"
+#include "serve/lookup_service.h"
+#include "serve/snapshot_store.h"
+
+namespace hetgmp {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/hetgmp_serve_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+// Fills every row of `table` with the scalar `v` (distinct per publish, so
+// readers can detect torn snapshots: a consistent snapshot has one value
+// everywhere).
+void FillTable(EmbeddingTable* table, float v) {
+  for (int64_t x = 0; x < table->num_embeddings(); ++x) {
+    float* row = table->UnsafeMutableRow(x);
+    for (int d = 0; d < table->dim(); ++d) row[d] = v;
+  }
+}
+
+// Fills row x of `table` with x * scale + d (unique per cell).
+void FillTableUnique(EmbeddingTable* table, float scale) {
+  for (int64_t x = 0; x < table->num_embeddings(); ++x) {
+    float* row = table->UnsafeMutableRow(x);
+    for (int d = 0; d < table->dim(); ++d) {
+      row[d] = static_cast<float>(x) * scale + static_cast<float>(d);
+    }
+  }
+}
+
+// Two-shard toy layout: embeddings 0-2 owned by shard 0, 3-5 by shard 1;
+// shard 0 additionally holds a vertex-cut secondary of embedding 3.
+Partition TinyPartition() {
+  Partition p;
+  p.num_parts = 2;
+  p.embedding_owner = {0, 0, 0, 1, 1, 1};
+  p.secondaries = {{3}, {}};
+  return p;
+}
+
+// ------------------------------------------------------ SnapshotStore
+
+TEST(SnapshotStoreTest, EmptyBeforeFirstPublish) {
+  SnapshotStore store;
+  EXPECT_EQ(store.Acquire(), nullptr);
+  EXPECT_EQ(store.version(), 0u);
+}
+
+TEST(SnapshotStoreTest, PublishAndAcquire) {
+  EmbeddingTable table(10, 4, 0.0f, 1);
+  FillTableUnique(&table, 100.0f);
+  SnapshotStore store;
+  ASSERT_TRUE(store.Publish(table, {}, /*round=*/3, /*iterations=*/77).ok());
+  EXPECT_EQ(store.version(), 1u);
+
+  auto snap = store.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->meta().version, 1u);
+  EXPECT_EQ(snap->meta().round, 3);
+  EXPECT_EQ(snap->meta().iterations, 77);
+  EXPECT_EQ(snap->rows(), 10);
+  EXPECT_EQ(snap->dim(), 4);
+  for (int64_t x = 0; x < 10; ++x) {
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_FLOAT_EQ(snap->Row(x)[d], table.UnsafeRow(x)[d]);
+    }
+  }
+}
+
+TEST(SnapshotStoreTest, OldSnapshotSurvivesNewPublishes) {
+  EmbeddingTable table(4, 2, 0.0f, 1);
+  FillTable(&table, 1.0f);
+  SnapshotStore store;
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  auto v1 = store.Acquire();
+
+  FillTable(&table, 2.0f);
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  FillTable(&table, 3.0f);
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+
+  // The v1 handle still reads v1 data even though the double buffer has
+  // cycled past it twice.
+  EXPECT_EQ(v1->meta().version, 1u);
+  EXPECT_FLOAT_EQ(v1->Row(0)[0], 1.0f);
+  EXPECT_EQ(store.Acquire()->meta().version, 3u);
+  EXPECT_FLOAT_EQ(store.Acquire()->Row(0)[0], 3.0f);
+}
+
+TEST(SnapshotStoreTest, DurablePublishPrunesSupersededFiles) {
+  const std::string dir = ::testing::TempDir();
+  SnapshotStoreOptions opts;
+  opts.dir = dir;
+  SnapshotStore store(opts);
+
+  EmbeddingTable table(6, 3, 0.0f, 1);
+  FillTable(&table, 4.0f);
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  FillTable(&table, 5.0f);
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+
+  // v2 durable and readable; v1 pruned.
+  Result<CheckpointEmbeddings> v2 =
+      LoadCheckpointEmbeddings(store.SnapshotPath(2));
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v2.value().rows, 6);
+  EXPECT_EQ(v2.value().dim, 3);
+  EXPECT_FLOAT_EQ(v2.value().values[0], 5.0f);
+  EXPECT_EQ(LoadCheckpointEmbeddings(store.SnapshotPath(1)).status().code(),
+            StatusCode::kNotFound);
+  std::remove(store.SnapshotPath(2).c_str());
+}
+
+TEST(SnapshotStoreTest, PublishFromCheckpointRestoresRows) {
+  EmbeddingTable table(8, 2, 0.0f, 1);
+  FillTableUnique(&table, 10.0f);
+  Tensor dense({3});
+  dense.at(0) = 1.0f;
+  const std::string path = TempPath("restore");
+  ASSERT_TRUE(SaveCheckpoint(table, {&dense}, path).ok());
+
+  SnapshotStore store;
+  ASSERT_TRUE(store.PublishFromCheckpoint(path).ok());
+  auto snap = store.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->meta().version, 1u);
+  EXPECT_EQ(snap->rows(), 8);
+  for (int64_t x = 0; x < 8; ++x) {
+    EXPECT_FLOAT_EQ(snap->Row(x)[1], static_cast<float>(x) * 10.0f + 1.0f);
+  }
+  std::remove(path.c_str());
+}
+
+// The TSan-targeted hammer: 8 readers continuously acquire and fully scan
+// the current snapshot while 1 publisher republishes as fast as it can.
+// Every snapshot is filled with a single distinct value, so any torn copy,
+// use-after-free, or mixed-version read shows up as a value mismatch (and
+// any locking bug shows up under TSan).
+TEST(SnapshotSwapHammerTest, ConcurrentReadersAndPublisher) {
+  constexpr int kReaders = 8;
+  constexpr int kReadsPerReader = 300;
+  constexpr int64_t kRows = 64;
+  constexpr int kDim = 8;
+
+  EmbeddingTable table(kRows, kDim, 0.0f, 1);
+  SnapshotStore store;
+  std::atomic<bool> readers_done{false};
+  std::atomic<int64_t> inconsistencies{0};
+
+  // The publisher runs for as long as the readers do, so every reader scan
+  // races against live flips. (Version values stay far below 2^24, so the
+  // float(version) fill is exact.)
+  std::thread publisher([&] {
+    uint64_t v = 0;
+    while (!readers_done.load(std::memory_order_acquire)) {
+      ++v;
+      FillTable(&table, static_cast<float>(v));
+      ASSERT_TRUE(store.Publish(table, {}).ok());
+    }
+  });
+
+  auto reader_main = [&] {
+    uint64_t last_version = 0;
+    int completed = 0;
+    while (completed < kReadsPerReader) {
+      auto snap = store.Acquire();
+      if (snap == nullptr) continue;
+      const uint64_t v = snap->meta().version;
+      if (v < last_version) inconsistencies.fetch_add(1);
+      last_version = v;
+      const float expected = static_cast<float>(v);
+      for (int64_t x = 0; x < snap->rows(); ++x) {
+        const float* row = snap->Row(x);
+        for (int d = 0; d < snap->dim(); ++d) {
+          if (row[d] != expected) inconsistencies.fetch_add(1);
+        }
+      }
+      ++completed;
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) readers.emplace_back(reader_main);
+  for (auto& t : readers) t.join();
+  readers_done.store(true, std::memory_order_release);
+  publisher.join();
+
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_GT(store.version(), 0u);
+}
+
+// ------------------------------------------------------ LookupService
+
+TEST(LookupServiceTest, FailsBeforeFirstPublish) {
+  SnapshotStore store;
+  Partition partition = TinyPartition();
+  LookupService service(&store, partition, nullptr);
+  float out[4];
+  EXPECT_EQ(service.Lookup(0, 0, out).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.dim(), 0);
+}
+
+TEST(LookupServiceTest, RoutingTiersAndFabricAccounting) {
+  EmbeddingTable table(6, 4, 0.0f, 1);
+  FillTableUnique(&table, 100.0f);
+  SnapshotStore store;
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+
+  Partition partition = TinyPartition();
+  const Topology topology = Topology::ClusterA(2);
+  Fabric fabric(topology);
+  LookupServiceOptions opts;
+  opts.request_bytes = 16;
+  LookupService service(&store, partition, &fabric, opts);
+  EXPECT_EQ(service.dim(), 4);
+
+  float out[4];
+  // Primary-owned on the front-end shard: no fabric traffic.
+  ASSERT_TRUE(service.Lookup(0, 1, out).ok());
+  EXPECT_FLOAT_EQ(out[0], 100.0f);
+  EXPECT_FLOAT_EQ(out[3], 103.0f);
+  EXPECT_EQ(fabric.TotalBytes(TrafficClass::kLookup), 0u);
+
+  // Secondary replica on shard 0: still local.
+  ASSERT_TRUE(service.Lookup(0, 3, out).ok());
+  EXPECT_FLOAT_EQ(out[0], 300.0f);
+  EXPECT_EQ(fabric.TotalBytes(TrafficClass::kLookup), 0u);
+
+  // Neither primary nor secondary: routed to owner shard 1 — request out
+  // plus the returned row, both charged to kLookup.
+  ASSERT_TRUE(service.Lookup(0, 4, out).ok());
+  EXPECT_FLOAT_EQ(out[0], 400.0f);
+  const uint64_t row_bytes = 4 * sizeof(float);
+  EXPECT_EQ(fabric.TotalBytes(TrafficClass::kLookup), 16u + row_bytes);
+
+  // Same key again: served from the hot-row cache, no new traffic.
+  ASSERT_TRUE(service.Lookup(0, 4, out).ok());
+  EXPECT_FLOAT_EQ(out[0], 400.0f);
+  EXPECT_EQ(fabric.TotalBytes(TrafficClass::kLookup), 16u + row_bytes);
+
+  const LookupStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 4);
+  EXPECT_EQ(stats.local_primary, 1);
+  EXPECT_EQ(stats.secondary_hits, 1);
+  EXPECT_EQ(stats.remote, 1);
+  EXPECT_EQ(stats.hot_hits, 1);
+  // Training classes untouched by serving.
+  EXPECT_EQ(fabric.TotalBytes(TrafficClass::kEmbedding), 0u);
+}
+
+TEST(LookupServiceTest, HotCacheInvalidatedByNewVersion) {
+  EmbeddingTable table(6, 4, 0.0f, 1);
+  FillTable(&table, 1.0f);
+  SnapshotStore store;
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+
+  Partition partition = TinyPartition();
+  const Topology topology = Topology::ClusterA(2);
+  Fabric fabric(topology);
+  LookupService service(&store, partition, &fabric);
+
+  float out[4];
+  ASSERT_TRUE(service.Lookup(0, 4, out).ok());  // remote, fills hot cache
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  const uint64_t after_v1 = fabric.TotalBytes(TrafficClass::kLookup);
+
+  FillTable(&table, 2.0f);
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+
+  // The cached row belongs to v1; serving it for v2 would mix versions, so
+  // the service refetches and returns the new value.
+  ASSERT_TRUE(service.Lookup(0, 4, out).ok());
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_GT(fabric.TotalBytes(TrafficClass::kLookup), after_v1);
+  EXPECT_EQ(service.stats().hot_hits, 0);
+}
+
+TEST(LookupServiceTest, RejectsBadShardAndKeys) {
+  EmbeddingTable table(6, 4, 0.0f, 1);
+  SnapshotStore store;
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  Partition partition = TinyPartition();
+  LookupService service(&store, partition, nullptr);
+
+  float out[8];
+  EXPECT_EQ(service.Lookup(-1, 0, out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.Lookup(2, 0, out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.Lookup(0, -1, out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(service.Lookup(0, 6, out).code(), StatusCode::kOutOfRange);
+  // Batch with one bad key fails whole (no partial output contract).
+  const FeatureId keys[2] = {0, 99};
+  EXPECT_EQ(service.LookupBatch(0, keys, 2, out).code(),
+            StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------------ RequestBatcher
+
+TEST(BatcherTest, FullBatchFlushesImmediately) {
+  EmbeddingTable table(6, 4, 0.0f, 1);
+  FillTableUnique(&table, 100.0f);
+  SnapshotStore store;
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  Partition partition = TinyPartition();
+  LookupService service(&store, partition, nullptr);
+
+  BatcherOptions opts;
+  opts.max_batch_keys = 4;
+  opts.deadline = std::chrono::seconds(30);  // deadline must not be needed
+  RequestBatcher batcher(&service, opts);
+
+  const FeatureId keys[4] = {0, 1, 4, 5};
+  float out[16];
+  ASSERT_TRUE(batcher.Lookup(0, keys, 4, out).ok());
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[4], 100.0f);
+  EXPECT_FLOAT_EQ(out[8], 400.0f);
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.keys, 4);
+  EXPECT_GE(stats.full_flushes, 1);
+}
+
+TEST(BatcherTest, DeadlineFlushesPartialBatch) {
+  EmbeddingTable table(6, 4, 0.0f, 1);
+  SnapshotStore store;
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  Partition partition = TinyPartition();
+  LookupService service(&store, partition, nullptr);
+
+  BatcherOptions opts;
+  opts.max_batch_keys = 1 << 20;  // never fills; only the deadline flushes
+  opts.deadline = std::chrono::milliseconds(2);
+  RequestBatcher batcher(&service, opts);
+
+  const FeatureId key = 2;
+  float out[4];
+  ASSERT_TRUE(batcher.Lookup(0, &key, 1, out).ok());
+  const BatcherStats stats = batcher.stats();
+  EXPECT_GE(stats.deadline_flushes, 1);
+  EXPECT_EQ(stats.full_flushes, 0);
+}
+
+// The deadline contract: no request waits in the queue longer than the
+// micro-batching deadline plus scheduling noise. The generous slack keeps
+// the bound meaningful (a batcher that held requests until the batch
+// filled would wait essentially forever here) without flaking on loaded
+// CI machines.
+TEST(BatcherTest, NoRequestWaitsPastDeadline) {
+  EmbeddingTable table(64, 4, 0.0f, 1);
+  SnapshotStore store;
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  Partition partition;
+  partition.num_parts = 2;
+  partition.embedding_owner.assign(64, 0);
+  for (int64_t x = 32; x < 64; ++x) partition.embedding_owner[x] = 1;
+  partition.secondaries = {{}, {}};
+  LookupService service(&store, partition, nullptr);
+
+  BatcherOptions opts;
+  opts.max_batch_keys = 1 << 20;  // deadline is the only flush trigger
+  opts.deadline = std::chrono::milliseconds(5);
+  RequestBatcher batcher(&service, opts);
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 20;
+  std::atomic<int> failures{0};
+  auto client_main = [&](int t) {
+    float out[4];
+    for (int r = 0; r < kRequestsPerThread; ++r) {
+      const FeatureId key = (t * kRequestsPerThread + r) % 64;
+      if (!batcher.Lookup(t % 2, &key, 1, out).ok()) failures.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(client_main, t);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, kThreads * kRequestsPerThread);
+  // 5ms deadline + 400ms scheduling slack.
+  EXPECT_LT(stats.max_queue_wait_us, 5000.0 + 400000.0);
+}
+
+TEST(BatcherTest, ConcurrentClientsGetCorrectRows) {
+  EmbeddingTable table(32, 4, 0.0f, 1);
+  FillTableUnique(&table, 1000.0f);
+  SnapshotStore store;
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  Partition partition;
+  partition.num_parts = 2;
+  partition.embedding_owner.assign(32, 0);
+  for (int64_t x = 16; x < 32; ++x) partition.embedding_owner[x] = 1;
+  partition.secondaries = {{}, {}};
+  LookupService service(&store, partition, nullptr);
+
+  BatcherOptions opts;
+  opts.max_batch_keys = 8;
+  opts.deadline = std::chrono::microseconds(200);
+  RequestBatcher batcher(&service, opts);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  auto client_main = [&](int t) {
+    FeatureId keys[2];
+    float out[8];
+    for (int r = 0; r < 40; ++r) {
+      keys[0] = (t + r) % 32;
+      keys[1] = (t * 7 + r * 3) % 32;
+      if (!batcher.Lookup(t % 2, keys, 2, out).ok()) {
+        mismatches.fetch_add(1);
+        continue;
+      }
+      for (int i = 0; i < 2; ++i) {
+        for (int d = 0; d < 4; ++d) {
+          const float want =
+              static_cast<float>(keys[i]) * 1000.0f + static_cast<float>(d);
+          if (out[i * 4 + d] != want) mismatches.fetch_add(1);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(client_main, t);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  batcher.Shutdown();
+  float out[4];
+  const FeatureId key = 0;
+  EXPECT_EQ(batcher.Lookup(0, &key, 1, out).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------- Engine publish integration
+
+TEST(EnginePublishHookTest, PublishesOnCadenceAndAtFinalRound) {
+  SyntheticCtrConfig data_cfg;
+  data_cfg.num_samples = 600;
+  data_cfg.num_fields = 5;
+  data_cfg.num_features = 200;
+  data_cfg.num_clusters = 4;
+  data_cfg.seed = 9;
+  CtrDataset train = GenerateSyntheticCtr(data_cfg);
+  CtrDataset test = train.SplitTail(0.2);
+
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  cfg.embedding_dim = 8;
+  cfg.batch_size = 32;
+  cfg.rounds_per_epoch = 4;
+
+  const Topology topology = Topology::ClusterA(2);
+  Bigraph graph(train);
+  Partition partition = BuildPartition(cfg, graph, topology);
+  Engine engine(cfg, train, test, topology, std::move(partition));
+
+  SnapshotStore store;
+  engine.SetPublishHook(
+      [&store](const Engine::PublishContext& ctx) {
+        return store.Publish(ctx.table, ctx.dense_params, ctx.round,
+                             ctx.iterations_done);
+      },
+      /*every_rounds=*/2);
+
+  TrainResult result = engine.Train(/*max_epochs=*/1);
+  // 4 rounds, publish at rounds 2 and 4 (the final round is round 4).
+  EXPECT_EQ(result.snapshots_published, 2);
+  EXPECT_EQ(result.publish_failures, 0);
+  EXPECT_EQ(store.version(), 2u);
+
+  // The latest snapshot is the final table state.
+  auto snap = store.Acquire();
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->rows(), engine.table().num_embeddings());
+  for (int64_t x = 0; x < snap->rows(); x += 17) {
+    for (int d = 0; d < snap->dim(); ++d) {
+      EXPECT_FLOAT_EQ(snap->Row(x)[d], engine.table().UnsafeRow(x)[d]);
+    }
+  }
+
+  // And the serving tier can answer out of it end to end.
+  LookupService service(&store, engine.partition(), engine.mutable_fabric());
+  std::vector<float> out(8);
+  ASSERT_TRUE(service.Lookup(0, 5, out.data()).ok());
+  EXPECT_FLOAT_EQ(out[0], snap->Row(5)[0]);
+}
+
+TEST(EnginePublishHookTest, HookFailuresAreCountedNotFatal) {
+  SyntheticCtrConfig data_cfg;
+  data_cfg.num_samples = 300;
+  data_cfg.num_fields = 4;
+  data_cfg.num_features = 100;
+  data_cfg.num_clusters = 2;
+  data_cfg.seed = 10;
+  CtrDataset train = GenerateSyntheticCtr(data_cfg);
+  CtrDataset test = train.SplitTail(0.2);
+
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  cfg.embedding_dim = 4;
+  cfg.batch_size = 32;
+  cfg.rounds_per_epoch = 2;
+
+  const Topology topology = Topology::ClusterA(2);
+  Bigraph graph(train);
+  Partition partition = BuildPartition(cfg, graph, topology);
+  Engine engine(cfg, train, test, topology, std::move(partition));
+
+  engine.SetPublishHook(
+      [](const Engine::PublishContext&) {
+        return Status::Internal("disk full");
+      },
+      /*every_rounds=*/1);
+  TrainResult result = engine.Train(/*max_epochs=*/1);
+  EXPECT_EQ(result.snapshots_published, 0);
+  EXPECT_EQ(result.publish_failures, 2);
+  EXPECT_GT(result.total_iterations, 0);
+}
+
+}  // namespace
+}  // namespace hetgmp
