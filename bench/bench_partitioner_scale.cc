@@ -1,0 +1,153 @@
+// Partitioner scaling: sequential vs block-parallel hybrid passes.
+//
+// Sweeps dataset size × partition count × thread count on synthetic CTR
+// graphs (the 1M-edge point is the ISSUE 4 acceptance config: ≥4×
+// speedup at 8 threads with edge-cut quality within 5% of sequential).
+// Besides the human-readable table, every cell emits a one-line
+// machine-readable summary on stdout prefixed with "BENCH_JSON ", using
+// the BENCH_partitioner.json schema:
+//
+//   {"bench":"partitioner_scale","dataset":"...","samples":N,"edges":N,
+//    "parts":N,"threads":N,"rounds":N,"wall_ms":F,"remote":N,
+//    "remote_vs_seq":F,"speedup_vs_seq":F}
+//
+// HETGMP_BENCH_SCALE scales the graph; HETGMP_BENCH_JSON=<path> appends
+// the same lines to a file for CI harvesting.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/bigraph.h"
+#include "partition/hybrid_partitioner.h"
+#include "partition/quality.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+namespace {
+
+constexpr int kRounds = 2;
+
+struct Cell {
+  int threads = 1;
+  double wall_ms = 0.0;
+  int64_t remote = 0;
+};
+
+Cell RunCell(const Bigraph& graph, int parts, int threads) {
+  HybridPartitionerOptions opt;
+  opt.rounds = kRounds;
+  opt.num_threads = threads;
+  Cell cell;
+  cell.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  Partition p = HybridPartitioner(opt).Run(graph, parts);
+  cell.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  cell.remote = EvaluatePartition(graph, p).remote_accesses;
+  return cell;
+}
+
+void EmitJson(FILE* json_file, const std::string& dataset,
+              const Bigraph& graph, int parts, const Cell& cell,
+              const Cell& seq) {
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"partitioner_scale\",\"dataset\":\"%s\","
+      "\"samples\":%lld,\"edges\":%lld,\"parts\":%d,\"threads\":%d,"
+      "\"rounds\":%d,\"wall_ms\":%.1f,\"remote\":%lld,"
+      "\"remote_vs_seq\":%.4f,\"speedup_vs_seq\":%.2f}",
+      dataset.c_str(), static_cast<long long>(graph.num_samples()),
+      static_cast<long long>(graph.num_edges()), parts, cell.threads,
+      kRounds, cell.wall_ms, static_cast<long long>(cell.remote),
+      static_cast<double>(cell.remote) / static_cast<double>(seq.remote),
+      seq.wall_ms / cell.wall_ms);
+  std::printf("BENCH_JSON %s\n", line);
+  if (json_file != nullptr) std::fprintf(json_file, "%s\n", line);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Hybrid partitioner scaling (sequential vs parallel)",
+              "ISSUE 4 acceptance: >=4x at 8 threads, quality within 5%");
+  const double scale = EnvScale(1.0);
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency: %u\n", cores);
+  FILE* json_file = nullptr;
+  if (const char* path = std::getenv("HETGMP_BENCH_JSON")) {
+    json_file = std::fopen(path, "w");
+  }
+
+  // 250k- and 1M-edge graphs (arity 10): partitioning cost scales with
+  // edges × partitions, so both the memory story (sparse counts) and the
+  // thread story show up here.
+  struct GraphCfg {
+    const char* name;
+    int64_t samples;
+    int64_t features;
+  };
+  const std::vector<GraphCfg> graphs = {
+      {"250k-edge", static_cast<int64_t>(25000 * scale),
+       static_cast<int64_t>(6000 * scale)},
+      {"1M-edge", static_cast<int64_t>(100000 * scale),
+       static_cast<int64_t>(20000 * scale)},
+  };
+
+  bool speedup_ok = true, quality_ok = true;
+  for (const GraphCfg& gc : graphs) {
+    SyntheticCtrConfig cfg;
+    cfg.name = gc.name;
+    cfg.num_samples = gc.samples;
+    cfg.num_fields = 10;
+    cfg.num_features = gc.features;
+    cfg.num_clusters = 16;
+    cfg.seed = 77;
+    CtrDataset data = GenerateSyntheticCtr(cfg);
+    Bigraph graph(data);
+    std::printf("\n--- %s (%lld samples, %lld edges) ---\n", gc.name,
+                static_cast<long long>(graph.num_samples()),
+                static_cast<long long>(graph.num_edges()));
+    std::printf("%6s %8s %12s %12s %10s %12s\n", "parts", "threads",
+                "wall(ms)", "speedup", "remote", "vs seq");
+    for (int parts : {8, 32}) {
+      Cell seq;
+      for (int threads : {1, 2, 4, 8}) {
+        const Cell cell = RunCell(graph, parts, threads);
+        if (threads == 1) seq = cell;
+        const double ratio = static_cast<double>(cell.remote) /
+                             static_cast<double>(seq.remote);
+        std::printf("%6d %8d %12.1f %11.2fx %10lld %11.4f\n", parts,
+                    cell.threads, cell.wall_ms, seq.wall_ms / cell.wall_ms,
+                    static_cast<long long>(cell.remote), ratio);
+        EmitJson(json_file, gc.name, graph, parts, cell, seq);
+        if (std::string(gc.name) == "1M-edge" && threads == 8) {
+          if (seq.wall_ms / cell.wall_ms < 4.0) speedup_ok = false;
+          if (ratio > 1.05) quality_ok = false;
+        }
+      }
+    }
+  }
+  // The speedup criterion needs >= 8 physical cores to be measurable;
+  // on smaller machines report n/a rather than a misleading FAIL. The
+  // quality criterion is hardware-independent but defined on the actual
+  // 1M-edge graph: HETGMP_BENCH_SCALE < 1 shrinks it to a different
+  // (noisier) workload, so a scaled-down run reports n/a as well.
+  const char* speedup_msg =
+      cores >= 8 ? (speedup_ok ? "PASS" : "FAIL") : "n/a (needs >=8 cores)";
+  const char* quality_msg = scale >= 1.0
+                                ? (quality_ok ? "PASS" : "FAIL")
+                                : "n/a (scaled-down run)";
+  std::printf(
+      "\nacceptance: 1M-edge @ 8 threads speedup >= 4x: %s; quality within "
+      "5%% of sequential: %s\n",
+      speedup_msg, quality_msg);
+  if (json_file != nullptr) std::fclose(json_file);
+  return 0;
+}

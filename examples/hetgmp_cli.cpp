@@ -345,11 +345,12 @@ int RunServe(const CliOptions& opt) {
   std::printf("%s\n", engine.fabric().ReportString().c_str());
   const BatcherStats bs = batcher.stats();
   std::printf(
-      "batcher: dispatches=%lld full=%lld deadline=%lld "
+      "batcher: dispatches=%lld full=%lld deadline=%lld shutdown=%lld "
       "max_queue_wait=%.1fus\n",
       static_cast<long long>(bs.dispatches),
       static_cast<long long>(bs.full_flushes),
-      static_cast<long long>(bs.deadline_flushes), bs.max_queue_wait_us);
+      static_cast<long long>(bs.deadline_flushes),
+      static_cast<long long>(bs.shutdown_flushes), bs.max_queue_wait_us);
 
   const std::vector<double> ps = all.PercentileMany({50.0, 95.0, 99.0});
   std::printf(

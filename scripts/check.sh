@@ -6,6 +6,12 @@
 #   scripts/check.sh release    # plain optimized build, -Werror
 #   scripts/check.sh tsan       # ThreadSanitizer
 #   scripts/check.sh asan-ubsan # AddressSanitizer + UBSanitizer
+#   scripts/check.sh partitioner-smoke
+#                               # parallel-partitioner gate: the partition
+#                               # and bookkeeping tests under TSan, then
+#                               # the scaling bench on a tiny graph with
+#                               # JSON output (quality parity + race
+#                               # freedom in one mode)
 #
 # Environment:
 #   CXX       compiler to use (default: system default; use clang++ to also
@@ -40,7 +46,8 @@ run_mode() {
                    -DHETGMP_BUILD_EXAMPLES=OFF)
       ;;
     *)
-      echo "unknown mode: ${mode} (expected release, tsan, or asan-ubsan)" >&2
+      echo "unknown mode: ${mode} (expected release, tsan, asan-ubsan," \
+           "or partitioner-smoke)" >&2
       return 2
       ;;
   esac
@@ -59,11 +66,49 @@ run_mode() {
   echo "==== [${mode}] OK"
 }
 
+# Focused gate for the block-parallel hybrid partitioner: its tests (the
+# parity harness, the determinism/validity fixtures, and the bookkeeping
+# property sweep) under TSan — certifying the propose/commit phases
+# race-free — plus a release build of the scaling bench on a tiny graph,
+# harvesting the one-line JSON summaries for CI artifacts.
+run_partitioner_smoke() {
+  local tsan_dir="${base}/tsan"
+  local rel_dir="${base}/release-bench"
+  local filter='ParallelHybridTest|ParallelFixture|HybridSeedSweep|StateBookkeepingSweep|PartitionTest'
+
+  echo "==== [partitioner-smoke] configure + build (tsan)"
+  cmake -B "${tsan_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DHETGMP_SANITIZE=thread -DHETGMP_BUILD_BENCHMARKS=OFF \
+    -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${tsan_dir}" -j "${jobs}" --target \
+    partition_parallel_test partition_test property_test
+  echo "==== [partitioner-smoke] partition tests under TSan"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
+      -R "${filter}"
+
+  echo "==== [partitioner-smoke] configure + build (release bench)"
+  cmake -B "${rel_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${rel_dir}" -j "${jobs}" --target bench_partitioner_scale
+  echo "==== [partitioner-smoke] scaling bench (tiny graph)"
+  HETGMP_BENCH_SCALE="${HETGMP_BENCH_SCALE:-0.05}" \
+  HETGMP_BENCH_JSON="${rel_dir}/BENCH_partitioner.json" \
+    "${rel_dir}/bench/bench_partitioner_scale"
+  echo "==== [partitioner-smoke] JSON summary at" \
+       "${rel_dir}/BENCH_partitioner.json"
+  echo "==== [partitioner-smoke] OK"
+}
+
 modes=("$@")
 if [[ ${#modes[@]} -eq 0 ]]; then
   modes=(release tsan asan-ubsan)
 fi
 for mode in "${modes[@]}"; do
-  run_mode "${mode}"
+  if [[ "${mode}" == "partitioner-smoke" ]]; then
+    run_partitioner_smoke
+  else
+    run_mode "${mode}"
+  fi
 done
 echo "All requested modes passed: ${modes[*]}"

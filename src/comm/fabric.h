@@ -49,8 +49,9 @@ class Fabric {
   double Transfer(int src, int dst, uint64_t bytes, TrafficClass cls);
 
   // GPU worker ↔ CPU host of `host_machine` (parameter-server path).
-  // Counted under `cls` in the worker's row with dst = src (host traffic
-  // has no peer worker; the pair matrix tracks worker-to-worker traffic).
+  // Tallied in a separate per-class host counter, NOT in the pair
+  // matrix: host traffic has no peer worker, so PairBytes/PairMatrix
+  // exclude it entirely, while TotalBytes includes it exactly once.
   double TransferToHost(int worker, int host_machine, uint64_t bytes,
                         TrafficClass cls);
 

@@ -74,6 +74,26 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::RunChunks(
+    int64_t n, int num_chunks,
+    const std::function<void(int, int64_t, int64_t)>& fn) {
+  if (n <= 0 || num_chunks <= 0) return;
+  num_chunks = static_cast<int>(std::min<int64_t>(num_chunks, n));
+  if (num_chunks == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  const int64_t per = n / num_chunks;
+  const int64_t extra = n % num_chunks;
+  int64_t begin = 0;
+  for (int c = 0; c < num_chunks; ++c) {
+    const int64_t end = begin + per + (c < extra ? 1 : 0);
+    Submit([&fn, c, begin, end] { fn(c, begin, end); });
+    begin = end;
+  }
+  Wait();
+}
+
 void ThreadPool::ParallelFor(int num_threads, int64_t n,
                              const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;

@@ -66,6 +66,20 @@ class ThreadPool {
   static void ParallelFor(int num_threads, int64_t n,
                           const std::function<void(int64_t)>& fn);
 
+  // Splits [0, n) into num_chunks contiguous ranges and runs
+  // fn(chunk, begin, end) for each on this pool, then waits for all of
+  // them. Unlike the static ParallelFor above this reuses the pool's
+  // threads, so callers issuing many small phases (the parallel
+  // partitioner dispatches two per vertex block) do not pay thread
+  // creation per phase. The chunk index is stable for a given (n,
+  // num_chunks) regardless of which pool thread runs the chunk, so
+  // callers can use it to address per-chunk scratch buffers and merge
+  // them deterministically. Wait()'s mutex handoff orders every chunk's
+  // writes before RunChunks returns.
+  void RunChunks(int64_t n, int num_chunks,
+                 const std::function<void(int, int64_t, int64_t)>& fn)
+      HETGMP_EXCLUDES(mu_);
+
  private:
   void WorkerLoop() HETGMP_EXCLUDES(mu_);
 

@@ -76,10 +76,17 @@ int64_t LruEmbeddingCache::Insert(FeatureId x) {
     slot = free_slots_.back();
     free_slots_.pop_back();
   } else {
+    // Walk from the LRU tail toward the head for a clean victim: the
+    // tail may carry an unflushed pending gradient (the caller flushed
+    // EvictionCandidate, but a concurrent Accumulate against a different
+    // entry's refresh can leave a dirty entry at the tail). Evicting a
+    // dirty slot would silently drop its gradient, so skip past dirty
+    // entries and only fail if *every* slot is dirty.
     slot = tail_;
-    HETGMP_CHECK_GE(slot, 0);
-    HETGMP_CHECK_EQ(pending_count_[slot], 0)
-        << " evicting slot with unflushed pending gradient";
+    while (slot != -1 && pending_count_[slot] != 0) slot = prev_[slot];
+    HETGMP_CHECK_GE(slot, 0)
+        << " all " << capacity_
+        << " slots hold unflushed pending gradients; flush before Insert";
     slot_of_.erase(id_of_[slot]);
     Unlink(slot);
   }

@@ -36,8 +36,10 @@ class LruEmbeddingCache : public ReplicaStore {
   // pending gradient, then calls Insert.
   int64_t EvictionCandidate() const;
 
-  // Inserts x (must not be present), evicting the LRU entry if full; that
-  // entry's pending gradient must already be flushed (checked). Returns
+  // Inserts x (must not be present), evicting the least recently used
+  // *clean* entry if full: slots with unflushed pending gradients are
+  // skipped (evicting one would drop the gradient), walking from the
+  // tail toward the head. Fails only if every slot is dirty. Returns
   // the slot now holding x, with value/pending zeroed and clock 0.
   int64_t Insert(FeatureId x);
 

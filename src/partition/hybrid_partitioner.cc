@@ -3,158 +3,422 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
+#include <thread>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/threading.h"
+#include "partition/hybrid_state.h"
 
 namespace hetgmp {
 
 namespace {
 
-// Mutable state for Algorithm 1: per-partition tallies plus the count(x, i)
-// matrix from Eq. 3 ("the number of times embedding x is used by the data
-// samples in the i-th partition"), maintained incrementally across vertex
-// moves.
-class PartitionState {
- public:
-  PartitionState(const Bigraph& graph, int num_parts,
-                 const std::vector<std::vector<double>>& weight)
-      : graph_(graph),
-        n_(num_parts),
-        weight_(weight),
-        cnt_(graph.num_embeddings() * num_parts, 0),
-        sample_count_(num_parts, 0),
-        emb_count_(num_parts, 0),
-        comm_cost_(num_parts, 0.0) {}
-
-  void InitFrom(const Partition& p) {
-    sample_owner_ = p.sample_owner;
-    emb_owner_ = p.embedding_owner;
-    for (int64_t s = 0; s < graph_.num_samples(); ++s) {
-      ++sample_count_[sample_owner_[s]];
-      const FeatureId* feats = graph_.SampleNeighbors(s);
-      for (int f = 0; f < graph_.arity(); ++f) {
-        ++cnt_[feats[f] * n_ + sample_owner_[s]];
-      }
-    }
-    for (int64_t x = 0; x < graph_.num_embeddings(); ++x) {
-      ++emb_count_[emb_owner_[x]];
-    }
-    RecomputeCommCosts();
-  }
-
-  // δ_c(G_i) (Eq. 3) with bandwidth weights: partitions pay weight(i, owner)
-  // for every access to a non-local embedding.
-  void RecomputeCommCosts() {
-    std::fill(comm_cost_.begin(), comm_cost_.end(), 0.0);
-    for (int64_t x = 0; x < graph_.num_embeddings(); ++x) {
-      const int owner = emb_owner_[x];
-      for (int i = 0; i < n_; ++i) {
-        if (i == owner) continue;
-        comm_cost_[i] += cnt_[x * n_ + i] * weight_[i][owner];
-      }
-    }
-  }
-
-  int sample_owner(int64_t s) const { return sample_owner_[s]; }
-  int emb_owner(int64_t x) const { return emb_owner_[x]; }
-  int64_t cnt(int64_t x, int i) const { return cnt_[x * n_ + i]; }
-  int64_t sample_count(int i) const { return sample_count_[i]; }
-  int64_t emb_count(int i) const { return emb_count_[i]; }
-  double comm_cost(int i) const { return comm_cost_[i]; }
-  double AvgCommCost() const {
-    return std::accumulate(comm_cost_.begin(), comm_cost_.end(), 0.0) / n_;
-  }
-
-  void DetachSample(int64_t s) {
-    const int a = sample_owner_[s];
-    --sample_count_[a];
-    const FeatureId* feats = graph_.SampleNeighbors(s);
-    for (int f = 0; f < graph_.arity(); ++f) {
-      const FeatureId x = feats[f];
-      --cnt_[x * n_ + a];
-      const int o = emb_owner_[x];
-      if (o != a) comm_cost_[a] -= weight_[a][o];
-    }
-    sample_owner_[s] = -1;
-  }
-
-  void AttachSample(int64_t s, int b) {
-    sample_owner_[s] = b;
-    ++sample_count_[b];
-    const FeatureId* feats = graph_.SampleNeighbors(s);
-    for (int f = 0; f < graph_.arity(); ++f) {
-      const FeatureId x = feats[f];
-      ++cnt_[x * n_ + b];
-      const int o = emb_owner_[x];
-      if (o != b) comm_cost_[b] += weight_[b][o];
-    }
-  }
-
-  // Cost that all partitions together would pay for embedding x if it were
-  // owned by j: Σ_{i≠j} count(x, i) · weight(i, j).
-  double EmbeddingCommIfOwnedBy(int64_t x, int j) const {
-    double cost = 0.0;
-    for (int i = 0; i < n_; ++i) {
-      if (i == j) continue;
-      const int64_t c = cnt_[x * n_ + i];
-      if (c != 0) cost += static_cast<double>(c) * weight_[i][j];
-    }
-    return cost;
-  }
-
-  void DetachEmbedding(int64_t x) {
-    const int a = emb_owner_[x];
-    --emb_count_[a];
-    // Other partitions were paying for x; stop charging them while x is in
-    // flight (AttachEmbedding re-charges for the new owner).
-    for (int i = 0; i < n_; ++i) {
-      if (i == a) continue;
-      const int64_t c = cnt_[x * n_ + i];
-      if (c != 0) comm_cost_[i] -= static_cast<double>(c) * weight_[i][a];
-    }
-    emb_owner_[x] = -1;
-  }
-
-  void AttachEmbedding(int64_t x, int b) {
-    emb_owner_[x] = b;
-    ++emb_count_[b];
-    for (int i = 0; i < n_; ++i) {
-      if (i == b) continue;
-      const int64_t c = cnt_[x * n_ + i];
-      if (c != 0) comm_cost_[i] += static_cast<double>(c) * weight_[i][b];
-    }
-  }
-
-  // Marginal comm a sample adds to partition j: the weighted count of its
-  // embeddings that are remote from j.
-  double SampleCommCost(int64_t s, int j) const {
-    double cost = 0.0;
-    const FeatureId* feats = graph_.SampleNeighbors(s);
-    for (int f = 0; f < graph_.arity(); ++f) {
-      const int o = emb_owner_[feats[f]];
-      if (o != j && o >= 0) cost += weight_[j][o];
-    }
-    return cost;
-  }
-
- private:
-  const Bigraph& graph_;
-  const int n_;
-  const std::vector<std::vector<double>>& weight_;
-  std::vector<int32_t> cnt_;
-  std::vector<int> sample_owner_;
-  std::vector<int> emb_owner_;
-  std::vector<int64_t> sample_count_;
-  std::vector<int64_t> emb_count_;
-  std::vector<double> comm_cost_;
-};
-
 std::vector<std::vector<double>> HomogeneousWeights(int n) {
   std::vector<std::vector<double>> w(n, std::vector<double>(n, 1.0));
   for (int i = 0; i < n; ++i) w[i][i] = 0.0;
   return w;
+}
+
+// Score ingredients shared by both 1D passes (Eq. 3/4/5; see the header
+// comment for the sign convention).
+struct ScoreParams {
+  const HybridPartitionerOptions* opt;
+  std::vector<double> target_samples;
+  double avg_embs;
+  double balance_scale;
+};
+
+// Exact candidate scores for a *detached* vertex against the live state
+// (Eq. 3/4/5). Shared by the sequential round's full argmin and the
+// parallel pass's validate-at-commit step.
+double ScoreDetachedSample(const PartitionState& state, const ScoreParams& sp,
+                           int64_t s, int j, double avg_comm) {
+  const HybridPartitionerOptions& opt = *sp.opt;
+  const double delta_c = state.SampleCommCost(s, j);
+  const double delta_xi =
+      (state.sample_count(j) + 1 - sp.target_samples[j]) /
+      sp.target_samples[j];
+  const double delta_x = (state.emb_count(j) - sp.avg_embs) / sp.avg_embs;
+  const double delta_d =
+      (state.comm_cost(j) - avg_comm) / std::max(avg_comm, 1.0);
+  return delta_c + sp.balance_scale * (opt.alpha * delta_xi +
+                                       opt.beta * delta_x +
+                                       opt.gamma * delta_d);
+}
+
+double ScoreDetachedEmbedding(const PartitionState& state,
+                              const ScoreParams& sp, int64_t x, int j,
+                              double avg_comm) {
+  const HybridPartitionerOptions& opt = *sp.opt;
+  const double delta_c = state.EmbeddingCommIfOwnedBy(x, j);
+  const double delta_xi =
+      (state.sample_count(j) - sp.target_samples[j]) / sp.target_samples[j];
+  const double delta_x =
+      (state.emb_count(j) + 1 - sp.avg_embs) / sp.avg_embs;
+  const double delta_d =
+      (state.comm_cost(j) - avg_comm) / std::max(avg_comm, 1.0);
+  return delta_c + sp.balance_scale * (opt.alpha * delta_xi +
+                                       opt.beta * delta_x +
+                                       opt.gamma * delta_d);
+}
+
+// ---- Sequential 1D round: the exact Algorithm 1 greedy, every vertex
+// scored against fully up-to-date state. This is the semantics baseline
+// the parallel pass is measured against.
+void SequentialRound(PartitionState& state, const std::vector<int64_t>& order,
+                     int64_t n_s, const ScoreParams& sp) {
+  const int N = state.num_parts();
+  for (int64_t v : order) {
+    if (v < n_s) {
+      const int64_t s = v;
+      state.DetachSample(s);
+      int best = 0;
+      double best_score = std::numeric_limits<double>::infinity();
+      const double avg_comm = state.AvgCommCost();
+      for (int j = 0; j < N; ++j) {
+        const double score = ScoreDetachedSample(state, sp, s, j, avg_comm);
+        if (score < best_score) {
+          best_score = score;
+          best = j;
+        }
+      }
+      state.AttachSample(s, best);
+    } else {
+      const int64_t x = v - n_s;
+      state.DetachEmbedding(x);
+      int best = 0;
+      double best_score = std::numeric_limits<double>::infinity();
+      const double avg_comm = state.AvgCommCost();
+      for (int j = 0; j < N; ++j) {
+        const double score = ScoreDetachedEmbedding(state, sp, x, j, avg_comm);
+        if (score < best_score) {
+          best_score = score;
+          best = j;
+        }
+      }
+      state.AttachEmbedding(x, best);
+    }
+  }
+}
+
+// ---- Parallel 1D round: block-synchronous propose/validate-commit.
+//
+// The shuffled visit order is cut into blocks. Within a block the state
+// is frozen: chunks of vertices are scored in parallel against a snapshot
+// of the per-partition aggregates plus each chunk's own running deltas
+// (so a chunk sees its earlier decisions, which damps pile-on onto
+// whatever partition the snapshot showed as underloaded). Scoring only
+// *proposes* moves; at the block boundary the proposals are committed
+// serially in chunk order, each re-validated against the live exact
+// state (detach, score {stay, proposed target}, attach the winner via
+// the exact detach/attach ops). Proposals that are no longer
+// improvements — e.g. several chunks piling onto the same partition, or
+// neighbors whose moves interact — are rejected, so every applied move
+// is a genuine greedy improvement exactly as in the sequential pass,
+// and counts, the count table and comm_cost stay exact throughout.
+//
+// The serial commit touches only proposers (a shrinking minority after
+// round 1) and scores just two candidates per proposal, so its cost is
+// ~1/num_parts of the parallel scoring work. Residual comm_cost error is
+// pure FP reassociation from long incremental accumulation;
+// RecomputeCommCosts (optional periodic + at round end) erases it.
+
+struct Move {
+  int64_t v;  // order encoding: sample s, or n_s + embedding x
+  int32_t to;
+};
+
+struct ChunkScratch {
+  std::vector<Move> moves;  // proposals, validated serially at commit
+  std::vector<int64_t> d_scount, d_ecount;
+  std::vector<double> d_comm;
+  std::vector<double> cost;      // per-candidate comm costs for one vertex
+  std::vector<double> comm_adj;  // detach-adjusted comm snapshot
+};
+
+class ParallelRoundDriver {
+ public:
+  ParallelRoundDriver(PartitionState& state, const std::vector<int64_t>& order,
+                      int64_t n_s, const ScoreParams& sp, ThreadPool* pool,
+                      int64_t block_size, int recompute_blocks)
+      : state_(state),
+        order_(order),
+        n_s_(n_s),
+        sp_(sp),
+        pool_(pool),
+        num_chunks_(pool->num_threads()),
+        block_size_(block_size),
+        recompute_blocks_(recompute_blocks),
+        n_(state.num_parts()),
+        snap_scount_(n_),
+        snap_ecount_(n_),
+        snap_comm_(n_),
+        scratch_(num_chunks_) {
+    for (ChunkScratch& cs : scratch_) {
+      cs.d_scount.assign(n_, 0);
+      cs.d_ecount.assign(n_, 0);
+      cs.d_comm.assign(n_, 0.0);
+      cs.cost.assign(n_, 0.0);
+      cs.comm_adj.assign(n_, 0.0);
+    }
+  }
+
+  void RunRound() {
+    const int64_t total = static_cast<int64_t>(order_.size());
+    int since_recompute = 0;
+    for (int64_t begin = 0; begin < total; begin += block_size_) {
+      const int64_t end = std::min(total, begin + block_size_);
+      RunBlock(begin, end);
+      if (recompute_blocks_ > 0 && ++since_recompute >= recompute_blocks_) {
+        state_.RecomputeCommCosts(pool_);
+        since_recompute = 0;
+      }
+    }
+    state_.RecomputeCommCosts(pool_);
+  }
+
+ private:
+  void RunBlock(int64_t blk_begin, int64_t blk_end) {
+    for (int j = 0; j < n_; ++j) {
+      snap_scount_[j] = state_.sample_count(j);
+      snap_ecount_[j] = state_.emb_count(j);
+      snap_comm_[j] = state_.comm_cost(j);
+    }
+    for (ChunkScratch& cs : scratch_) {
+      cs.moves.clear();
+      std::fill(cs.d_scount.begin(), cs.d_scount.end(), 0);
+      std::fill(cs.d_ecount.begin(), cs.d_ecount.end(), 0);
+      std::fill(cs.d_comm.begin(), cs.d_comm.end(), 0.0);
+    }
+
+    // Phase A: score against the frozen state, recording proposals. The
+    // pool's Wait() inside RunChunks is the barrier that orders these
+    // reads before the commit's writes.
+    pool_->RunChunks(blk_end - blk_begin, num_chunks_,
+                     [&](int chunk, int64_t b, int64_t e) {
+                       ScoreChunk(chunk, blk_begin + b, blk_begin + e);
+                     });
+
+    // Commit: serial, in chunk order (deterministic). Each proposal is
+    // re-validated against the live state — earlier commits in this very
+    // block are visible — and applied through the exact detach/attach
+    // ops, so every applied move is a genuine improvement at commit
+    // time. A proposal whose target stopped being an improvement
+    // (pile-on, interacting neighbors) is re-routed with a full exact
+    // argmin rather than dropped: rejections are the minority, and
+    // re-routing keeps the consolidation rate close to the sequential
+    // pass instead of stranding the vertex until the next round.
+    for (const ChunkScratch& cs : scratch_) {
+      for (const Move& m : cs.moves) {
+        if (m.v < n_s_) {
+          const int64_t s = m.v;
+          const int a = state_.sample_owner(s);
+          state_.DetachSample(s);
+          const double avg_comm = state_.AvgCommCost();
+          const double stay = ScoreDetachedSample(state_, sp_, s, a, avg_comm);
+          const double move =
+              ScoreDetachedSample(state_, sp_, s, m.to, avg_comm);
+          int dest = m.to;
+          if (!(move < stay)) {
+            dest = a;
+            double best_score = stay;
+            for (int j = 0; j < n_; ++j) {
+              const double score =
+                  ScoreDetachedSample(state_, sp_, s, j, avg_comm);
+              if (score < best_score) {
+                best_score = score;
+                dest = j;
+              }
+            }
+          }
+          state_.AttachSample(s, dest);
+        } else {
+          const int64_t x = m.v - n_s_;
+          const int a = state_.emb_owner(x);
+          state_.DetachEmbedding(x);
+          const double avg_comm = state_.AvgCommCost();
+          const double stay =
+              ScoreDetachedEmbedding(state_, sp_, x, a, avg_comm);
+          const double move =
+              ScoreDetachedEmbedding(state_, sp_, x, m.to, avg_comm);
+          int dest = m.to;
+          if (!(move < stay)) {
+            dest = a;
+            double best_score = stay;
+            for (int j = 0; j < n_; ++j) {
+              const double score =
+                  ScoreDetachedEmbedding(state_, sp_, x, j, avg_comm);
+              if (score < best_score) {
+                best_score = score;
+                dest = j;
+              }
+            }
+          }
+          state_.AttachEmbedding(x, dest);
+        }
+      }
+    }
+  }
+
+  void ScoreChunk(int chunk, int64_t begin, int64_t end) {
+    ChunkScratch& cs = scratch_[chunk];
+    const HybridPartitionerOptions& opt = *sp_.opt;
+    const std::vector<std::vector<double>>& w = state_.weight();
+    for (int64_t idx = begin; idx < end; ++idx) {
+      const int64_t v = order_[idx];
+      if (v < n_s_) {
+        const int64_t s = v;
+        const int a = state_.sample_owner(s);
+        for (int j = 0; j < n_; ++j) cs.cost[j] = state_.SampleCommCost(s, j);
+        // Aggregates as this chunk sees them: snapshot + its own deltas,
+        // with s detached from its current owner (mirrors the sequential
+        // detach-then-score).
+        double avg_comm = 0.0;
+        for (int j = 0; j < n_; ++j) avg_comm += snap_comm_[j] + cs.d_comm[j];
+        avg_comm = (avg_comm - cs.cost[a]) / n_;
+        int best = 0;
+        double best_score = std::numeric_limits<double>::infinity();
+        double stay_score = std::numeric_limits<double>::infinity();
+        for (int j = 0; j < n_; ++j) {
+          const double scount =
+              static_cast<double>(snap_scount_[j] + cs.d_scount[j] -
+                                  (j == a ? 1 : 0) + 1);
+          const double delta_xi =
+              (scount - sp_.target_samples[j]) / sp_.target_samples[j];
+          const double delta_x =
+              (static_cast<double>(snap_ecount_[j] + cs.d_ecount[j]) -
+               sp_.avg_embs) /
+              sp_.avg_embs;
+          const double comm_j =
+              snap_comm_[j] + cs.d_comm[j] - (j == a ? cs.cost[a] : 0.0);
+          const double delta_d =
+              (comm_j - avg_comm) / std::max(avg_comm, 1.0);
+          const double score =
+              cs.cost[j] + sp_.balance_scale * (opt.alpha * delta_xi +
+                                                opt.beta * delta_x +
+                                                opt.gamma * delta_d);
+          if (j == a) stay_score = score;
+          if (score < best_score) {
+            best_score = score;
+            best = j;
+          }
+        }
+        // Move only on strict improvement: under a stale snapshot a tie
+        // is churn, not progress (the sequential pass sees fresh state,
+        // so its lowest-j tie-break is harmless there).
+        if (best != a && best_score < stay_score) {
+          cs.moves.push_back({v, static_cast<int32_t>(best)});
+          --cs.d_scount[a];
+          ++cs.d_scount[best];
+          cs.d_comm[a] -= cs.cost[a];
+          cs.d_comm[best] += cs.cost[best];
+        }
+      } else {
+        const int64_t x = v - n_s_;
+        const int a = state_.emb_owner(x);
+        const SparseCountTable::Entry* row = state_.counts().Row(x);
+        const int32_t len = state_.counts().RowSize(x);
+        // comm as seen with x detached from a (sequential detach-then-
+        // score): partitions stop paying for x while it is in flight.
+        for (int j = 0; j < n_; ++j) {
+          cs.comm_adj[j] = snap_comm_[j] + cs.d_comm[j];
+        }
+        for (int32_t k = 0; k < len; ++k) {
+          const int i = row[k].part;
+          if (i != a) {
+            cs.comm_adj[i] -=
+                static_cast<double>(row[k].count) * w[i][a];
+          }
+        }
+        double avg_comm = 0.0;
+        for (int j = 0; j < n_; ++j) avg_comm += cs.comm_adj[j];
+        avg_comm /= n_;
+        int best = 0;
+        double best_score = std::numeric_limits<double>::infinity();
+        double stay_score = std::numeric_limits<double>::infinity();
+        for (int j = 0; j < n_; ++j) {
+          double delta_c = 0.0;
+          for (int32_t k = 0; k < len; ++k) {
+            const int i = row[k].part;
+            if (i == j) continue;
+            delta_c += static_cast<double>(row[k].count) * w[i][j];
+          }
+          cs.cost[j] = delta_c;
+          const double delta_xi =
+              (static_cast<double>(snap_scount_[j] + cs.d_scount[j]) -
+               sp_.target_samples[j]) /
+              sp_.target_samples[j];
+          const double delta_x =
+              (static_cast<double>(snap_ecount_[j] + cs.d_ecount[j] -
+                                   (j == a ? 1 : 0) + 1) -
+               sp_.avg_embs) /
+              sp_.avg_embs;
+          const double delta_d =
+              (cs.comm_adj[j] - avg_comm) / std::max(avg_comm, 1.0);
+          const double score =
+              delta_c + sp_.balance_scale * (opt.alpha * delta_xi +
+                                             opt.beta * delta_x +
+                                             opt.gamma * delta_d);
+          if (j == a) stay_score = score;
+          if (score < best_score) {
+            best_score = score;
+            best = j;
+          }
+        }
+        if (best != a && best_score < stay_score) {
+          cs.moves.push_back({v, static_cast<int32_t>(best)});
+          --cs.d_ecount[a];
+          ++cs.d_ecount[best];
+          for (int32_t k = 0; k < len; ++k) {
+            const int i = row[k].part;
+            const double c = static_cast<double>(row[k].count);
+            if (i != a) cs.d_comm[i] -= c * w[i][a];
+            if (i != best) cs.d_comm[i] += c * w[i][best];
+          }
+        }
+      }
+    }
+  }
+
+  PartitionState& state_;
+  const std::vector<int64_t>& order_;
+  const int64_t n_s_;
+  const ScoreParams& sp_;
+  ThreadPool* pool_;
+  const int num_chunks_;
+  const int64_t block_size_;
+  const int recompute_blocks_;
+  const int n_;
+  std::vector<int64_t> snap_scount_, snap_ecount_;
+  std::vector<double> snap_comm_;
+  std::vector<ChunkScratch> scratch_;
+};
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+int64_t ResolveBlockSize(int64_t requested, int64_t total_vertices,
+                         int threads) {
+  if (requested > 0) return requested;
+  // Balance snapshot staleness (≤ block_size stale decisions) against
+  // barrier overhead (two pool dispatches per block). Measurements on
+  // 1M-edge graphs (bench_partitioner_scale) put the quality knee near
+  // 512 vertices per block: beyond that the stale balance feedback costs
+  // several percent of edge-cut quality in later rounds (where the
+  // sequential baseline refines aggressively). On small graphs the
+  // formula shrinks blocks toward the sequential limit — barrier
+  // overhead is negligible there in absolute terms, and a block spanning
+  // a large fraction of all vertices drifts from the sequential
+  // trajectory; the floor of 32 only avoids degenerate 1-vertex
+  // dispatches.
+  const int64_t auto_size = total_vertices / (32 * threads);
+  return std::clamp<int64_t>(auto_size, 32, 512);
 }
 
 }  // namespace
@@ -194,7 +458,9 @@ Partition HybridPartitioner::Run(const Bigraph& graph, int num_parts) {
   // entirely). See the header comment for the sign convention.
   // Per-partition sample targets: proportional to compute capacity when
   // given, else uniform. Embedding targets stay uniform (memory-bound).
-  std::vector<double> target_samples(N, static_cast<double>(n_s) / N);
+  ScoreParams sp;
+  sp.opt = &options_;
+  sp.target_samples.assign(N, static_cast<double>(n_s) / N);
   if (!options_.worker_capacity.empty()) {
     HETGMP_CHECK_EQ(static_cast<int>(options_.worker_capacity.size()), N);
     double total_cap = 0.0;
@@ -203,12 +469,12 @@ Partition HybridPartitioner::Run(const Bigraph& graph, int num_parts) {
       total_cap += c;
     }
     for (int j = 0; j < N; ++j) {
-      target_samples[j] =
+      sp.target_samples[j] =
           static_cast<double>(n_s) * options_.worker_capacity[j] /
           total_cap;
     }
   }
-  const double avg_embs = static_cast<double>(n_x) / N;
+  sp.avg_embs = static_cast<double>(n_x) / N;
   double weight_sum = 0.0;
   for (int i = 0; i < N; ++i) {
     for (int j = 0; j < N; ++j) {
@@ -217,7 +483,7 @@ Partition HybridPartitioner::Run(const Bigraph& graph, int num_parts) {
   }
   const double avg_weight =
       N > 1 ? weight_sum / (static_cast<double>(N) * (N - 1)) : 1.0;
-  const double balance_scale =
+  sp.balance_scale =
       static_cast<double>(graph.arity()) * std::max(1.0, avg_weight);
 
   // Visit order: all vertices, embeddings interleaved with samples,
@@ -228,58 +494,22 @@ Partition HybridPartitioner::Run(const Bigraph& graph, int num_parts) {
     std::swap(order[i], order[rng.NextUint64(i + 1)]);
   }
 
-  for (int round = 0; round < options_.rounds; ++round) {
-    // ---- Step 1: 1D edge-cut pass (lines 3-5) ----
-    for (int64_t v : order) {
-      if (v < n_s) {
-        const int64_t s = v;
-        state.DetachSample(s);
-        int best = 0;
-        double best_score = std::numeric_limits<double>::infinity();
-        const double avg_comm = state.AvgCommCost();
-        for (int j = 0; j < N; ++j) {
-          const double delta_c = state.SampleCommCost(s, j);
-          const double delta_xi =
-              (state.sample_count(j) + 1 - target_samples[j]) / target_samples[j];
-          const double delta_x =
-              (state.emb_count(j) - avg_embs) / avg_embs;
-          const double delta_d =
-              (state.comm_cost(j) - avg_comm) / std::max(avg_comm, 1.0);
-          const double score =
-              delta_c + balance_scale * (options_.alpha * delta_xi +
-                                         options_.beta * delta_x +
-                                         options_.gamma * delta_d);
-          if (score < best_score) {
-            best_score = score;
-            best = j;
-          }
-        }
-        state.AttachSample(s, best);
-      } else {
-        const int64_t x = v - n_s;
-        state.DetachEmbedding(x);
-        int best = 0;
-        double best_score = std::numeric_limits<double>::infinity();
-        const double avg_comm = state.AvgCommCost();
-        for (int j = 0; j < N; ++j) {
-          const double delta_c = state.EmbeddingCommIfOwnedBy(x, j);
-          const double delta_xi =
-              (state.sample_count(j) - target_samples[j]) / target_samples[j];
-          const double delta_x =
-              (state.emb_count(j) + 1 - avg_embs) / avg_embs;
-          const double delta_d =
-              (state.comm_cost(j) - avg_comm) / std::max(avg_comm, 1.0);
-          const double score =
-              delta_c + balance_scale * (options_.alpha * delta_xi +
-                                         options_.beta * delta_x +
-                                         options_.gamma * delta_d);
-          if (score < best_score) {
-            best_score = score;
-            best = j;
-          }
-        }
-        state.AttachEmbedding(x, best);
-      }
+  const int threads = ResolveThreads(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  if (pool == nullptr) {
+    for (int round = 0; round < options_.rounds; ++round) {
+      // ---- Step 1: 1D edge-cut pass (lines 3-5) ----
+      SequentialRound(state, order, n_s, sp);
+    }
+  } else {
+    const int64_t block_size = ResolveBlockSize(
+        options_.block_size, static_cast<int64_t>(order.size()), threads);
+    ParallelRoundDriver driver(state, order, n_s, sp, pool.get(), block_size,
+                               options_.recompute_blocks);
+    for (int round = 0; round < options_.rounds; ++round) {
+      driver.RunRound();
     }
   }
 
@@ -293,12 +523,13 @@ Partition HybridPartitioner::Run(const Bigraph& graph, int num_parts) {
   // For each partition, rank remote embeddings by count(x, i); since the
   // denominator of Eq. 6 is identical for all candidates of a given
   // partition, ranking by the numerator realizes argmax δ_p exactly.
+  // Partitions are independent (each writes only its own secondaries
+  // list), so the ranking fans out across the pool.
   const int64_t budget = static_cast<int64_t>(
       options_.secondary_fraction * static_cast<double>(n_x));
   if (budget > 0) {
-    std::vector<std::pair<int64_t, FeatureId>> candidates;
-    for (int i = 0; i < N; ++i) {
-      candidates.clear();
+    auto rank_partition = [&](int i) {
+      std::vector<std::pair<int64_t, FeatureId>> candidates;
       for (int64_t x = 0; x < n_x; ++x) {
         if (state.emb_owner(x) == i) continue;
         const int64_t c = state.cnt(x, i);
@@ -313,6 +544,13 @@ Partition HybridPartitioner::Run(const Bigraph& graph, int num_parts) {
       for (int64_t k = 0; k < take; ++k) {
         part.secondaries[i].push_back(candidates[k].second);
       }
+    };
+    if (pool == nullptr) {
+      for (int i = 0; i < N; ++i) rank_partition(i);
+    } else {
+      pool->RunChunks(N, threads, [&](int /*chunk*/, int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) rank_partition(static_cast<int>(i));
+      });
     }
   }
   return part;

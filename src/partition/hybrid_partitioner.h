@@ -38,6 +38,31 @@ struct HybridPartitionerOptions {
   std::vector<double> worker_capacity;
 
   uint64_t seed = 17;
+
+  // --- Parallel execution ---
+  // Threads for the 1D rounds and the 2D candidate ranking. 1 runs the
+  // exact sequential algorithm; 0 uses hardware concurrency. The parallel
+  // pass scores shuffled vertex blocks against a frozen snapshot of the
+  // per-partition aggregates to *propose* moves, then commits proposals
+  // serially at each block boundary, re-validated against the live exact
+  // state. Its result differs from the sequential one (proposals are
+  // candidate-filtered by the stale snapshot) but is deterministic for
+  // fixed options and stays within a few percent on edge-cut quality
+  // (see tests/partition_parallel_test.cc and
+  // bench/bench_partitioner_scale.cc).
+  int num_threads = 1;
+
+  // Vertices per parallel block. Smaller blocks mean fresher balance
+  // feedback but more barriers. 0 = auto (scales with graph size and
+  // thread count).
+  int64_t block_size = 0;
+
+  // The parallel pass commits moves through the exact detach/attach ops,
+  // so its per-partition comm-cost tallies are exact up to FP
+  // reassociation from long incremental accumulation; an exact O(edges)
+  // recomputation every this many blocks erases even that. <= 0 (the
+  // default) recomputes only at round boundaries.
+  int recompute_blocks = 0;
 };
 
 // Algorithm 1: T rounds of (1D edge-cut greedy vertex reassignment)

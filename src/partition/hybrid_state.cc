@@ -1,0 +1,212 @@
+#include "partition/hybrid_state.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/threading.h"
+
+namespace hetgmp {
+
+SparseCountTable::SparseCountTable(const Bigraph& graph, int num_parts) {
+  const int64_t n_x = graph.num_embeddings();
+  offsets_.resize(n_x + 1);
+  len_.assign(n_x, 0);
+  const std::vector<int64_t>& degrees = graph.embedding_degrees();
+  int64_t total = 0;
+  for (int64_t x = 0; x < n_x; ++x) {
+    offsets_[x] = total;
+    total += std::min<int64_t>(degrees[x], num_parts);
+  }
+  offsets_[n_x] = total;
+  arena_.assign(total, Entry{0, 0});
+}
+
+int64_t SparseCountTable::Count(FeatureId x, int part) const {
+  const Entry* row = Row(x);
+  const int32_t len = len_[x];
+  for (int32_t k = 0; k < len; ++k) {
+    if (row[k].part == part) return row[k].count;
+  }
+  return 0;
+}
+
+void SparseCountTable::Inc(FeatureId x, int part) {
+  Entry* row = arena_.data() + offsets_[x];
+  const int32_t len = len_[x];
+  for (int32_t k = 0; k < len; ++k) {
+    if (row[k].part == part) {
+      ++row[k].count;
+      return;
+    }
+  }
+  // A row can never need more than min(degree, N) distinct partitions; a
+  // violation means the caller applied increments before the matching
+  // decrements (or corrupted bookkeeping).
+  HETGMP_CHECK_LT(offsets_[x] + len, offsets_[x + 1])
+      << " count row overflow for embedding " << x;
+  row[len] = Entry{part, 1};
+  ++len_[x];
+}
+
+void SparseCountTable::Dec(FeatureId x, int part) {
+  Entry* row = arena_.data() + offsets_[x];
+  const int32_t len = len_[x];
+  for (int32_t k = 0; k < len; ++k) {
+    if (row[k].part == part) {
+      HETGMP_CHECK_GT(row[k].count, 0);
+      if (--row[k].count == 0) {
+        row[k] = row[len - 1];
+        --len_[x];
+      }
+      return;
+    }
+  }
+  HETGMP_CHECK(false) << " decrementing absent count(" << x << ", " << part
+                      << ")";
+}
+
+PartitionState::PartitionState(const Bigraph& graph, int num_parts,
+                               const std::vector<std::vector<double>>& weight)
+    : graph_(graph),
+      n_(num_parts),
+      weight_(weight),
+      counts_(graph, num_parts),
+      sample_count_(num_parts, 0),
+      emb_count_(num_parts, 0),
+      comm_cost_(num_parts, 0.0) {}
+
+void PartitionState::InitFrom(const Partition& p) {
+  sample_owner_ = p.sample_owner;
+  emb_owner_ = p.embedding_owner;
+  for (int64_t s = 0; s < graph_.num_samples(); ++s) {
+    ++sample_count_[sample_owner_[s]];
+    const FeatureId* feats = graph_.SampleNeighbors(s);
+    for (int f = 0; f < graph_.arity(); ++f) {
+      counts_.Inc(feats[f], sample_owner_[s]);
+    }
+  }
+  for (int64_t x = 0; x < graph_.num_embeddings(); ++x) {
+    ++emb_count_[emb_owner_[x]];
+  }
+  RecomputeCommCosts();
+}
+
+void PartitionState::RecomputeCommCosts(ThreadPool* pool) {
+  const int64_t n_x = graph_.num_embeddings();
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    std::fill(comm_cost_.begin(), comm_cost_.end(), 0.0);
+    for (int64_t x = 0; x < n_x; ++x) {
+      const int owner = emb_owner_[x];
+      const SparseCountTable::Entry* row = counts_.Row(x);
+      const int32_t len = counts_.RowSize(x);
+      for (int32_t k = 0; k < len; ++k) {
+        const int i = row[k].part;
+        if (i == owner) continue;
+        comm_cost_[i] +=
+            static_cast<double>(row[k].count) * weight_[i][owner];
+      }
+    }
+    return;
+  }
+  const int chunks = pool->num_threads();
+  std::vector<std::vector<double>> partial(
+      chunks, std::vector<double>(n_, 0.0));
+  pool->RunChunks(n_x, chunks, [&](int chunk, int64_t begin, int64_t end) {
+    std::vector<double>& acc = partial[chunk];
+    for (int64_t x = begin; x < end; ++x) {
+      const int owner = emb_owner_[x];
+      const SparseCountTable::Entry* row = counts_.Row(x);
+      const int32_t len = counts_.RowSize(x);
+      for (int32_t k = 0; k < len; ++k) {
+        const int i = row[k].part;
+        if (i == owner) continue;
+        acc[i] += static_cast<double>(row[k].count) * weight_[i][owner];
+      }
+    }
+  });
+  std::fill(comm_cost_.begin(), comm_cost_.end(), 0.0);
+  for (int c = 0; c < chunks; ++c) {
+    for (int i = 0; i < n_; ++i) comm_cost_[i] += partial[c][i];
+  }
+}
+
+double PartitionState::AvgCommCost() const {
+  return std::accumulate(comm_cost_.begin(), comm_cost_.end(), 0.0) / n_;
+}
+
+void PartitionState::DetachSample(int64_t s) {
+  const int a = sample_owner_[s];
+  --sample_count_[a];
+  const FeatureId* feats = graph_.SampleNeighbors(s);
+  for (int f = 0; f < graph_.arity(); ++f) {
+    const FeatureId x = feats[f];
+    counts_.Dec(x, a);
+    const int o = emb_owner_[x];
+    if (o != a) comm_cost_[a] -= weight_[a][o];
+  }
+  sample_owner_[s] = -1;
+}
+
+void PartitionState::AttachSample(int64_t s, int b) {
+  sample_owner_[s] = b;
+  ++sample_count_[b];
+  const FeatureId* feats = graph_.SampleNeighbors(s);
+  for (int f = 0; f < graph_.arity(); ++f) {
+    const FeatureId x = feats[f];
+    counts_.Inc(x, b);
+    const int o = emb_owner_[x];
+    if (o != b) comm_cost_[b] += weight_[b][o];
+  }
+}
+
+void PartitionState::DetachEmbedding(int64_t x) {
+  const int a = emb_owner_[x];
+  --emb_count_[a];
+  // Other partitions were paying for x; stop charging them while x is in
+  // flight (AttachEmbedding re-charges for the new owner).
+  const SparseCountTable::Entry* row = counts_.Row(x);
+  const int32_t len = counts_.RowSize(x);
+  for (int32_t k = 0; k < len; ++k) {
+    const int i = row[k].part;
+    if (i == a) continue;
+    comm_cost_[i] -= static_cast<double>(row[k].count) * weight_[i][a];
+  }
+  emb_owner_[x] = -1;
+}
+
+void PartitionState::AttachEmbedding(int64_t x, int b) {
+  emb_owner_[x] = b;
+  ++emb_count_[b];
+  const SparseCountTable::Entry* row = counts_.Row(x);
+  const int32_t len = counts_.RowSize(x);
+  for (int32_t k = 0; k < len; ++k) {
+    const int i = row[k].part;
+    if (i == b) continue;
+    comm_cost_[i] += static_cast<double>(row[k].count) * weight_[i][b];
+  }
+}
+
+double PartitionState::EmbeddingCommIfOwnedBy(int64_t x, int j) const {
+  double cost = 0.0;
+  const SparseCountTable::Entry* row = counts_.Row(x);
+  const int32_t len = counts_.RowSize(x);
+  for (int32_t k = 0; k < len; ++k) {
+    const int i = row[k].part;
+    if (i == j) continue;
+    cost += static_cast<double>(row[k].count) * weight_[i][j];
+  }
+  return cost;
+}
+
+double PartitionState::SampleCommCost(int64_t s, int j) const {
+  double cost = 0.0;
+  const FeatureId* feats = graph_.SampleNeighbors(s);
+  for (int f = 0; f < graph_.arity(); ++f) {
+    const int o = emb_owner_[feats[f]];
+    if (o != j && o >= 0) cost += weight_[j][o];
+  }
+  return cost;
+}
+
+}  // namespace hetgmp

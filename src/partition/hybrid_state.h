@@ -1,0 +1,130 @@
+#ifndef HETGMP_PARTITION_HYBRID_STATE_H_
+#define HETGMP_PARTITION_HYBRID_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bigraph.h"
+#include "partition/partition.h"
+
+namespace hetgmp {
+
+class ThreadPool;
+
+// Sparse count(x, i) table from Eq. 3 ("the number of times embedding x is
+// used by the data samples in the i-th partition").
+//
+// The dense num_embeddings × num_parts matrix this replaces is multi-GB at
+// paper scale (Criteo ~33M embeddings × 64 partitions); the counts it holds
+// are bounded by each embedding's degree, so almost all cells are zero.
+// Rows live in one CSR-style arena: embedding x gets capacity
+// min(degree(x), num_parts) entries — an embedding with d adjacent samples
+// can have nonzero counts in at most d partitions — making total memory
+// O(edges) instead of O(V × N), and in practice far below the edge count
+// because hot embeddings cap at N entries.
+//
+// Counts are int64_t: the dense predecessor stored int32_t, which a single
+// embedding accessed >2^31 times (plausible at billions of samples) would
+// silently overflow. A count is bounded by num_edges, which the Bigraph
+// already represents as int64_t, so widening removes the overflow class
+// entirely; Inc() additionally CHECKs the row-capacity invariant so
+// bookkeeping bugs surface instead of corrupting memory.
+class SparseCountTable {
+ public:
+  struct Entry {
+    int32_t part;
+    int64_t count;
+  };
+
+  SparseCountTable(const Bigraph& graph, int num_parts);
+
+  // Nonzero entries of row x, in unspecified order.
+  const Entry* Row(FeatureId x) const { return arena_.data() + offsets_[x]; }
+  int32_t RowSize(FeatureId x) const { return len_[x]; }
+
+  int64_t Count(FeatureId x, int part) const;
+  void Inc(FeatureId x, int part);
+  // Decrements; removes the entry when it reaches zero (keeping rows
+  // short). CHECKs that the entry exists and is positive.
+  void Dec(FeatureId x, int part);
+
+  // Arena entries allocated (the O(edges) bound).
+  int64_t capacity_entries() const {
+    return static_cast<int64_t>(arena_.size());
+  }
+
+ private:
+  std::vector<int64_t> offsets_;  // size num_embeddings + 1
+  std::vector<int32_t> len_;      // live entries per row
+  std::vector<Entry> arena_;
+};
+
+// Mutable state for Algorithm 1: per-partition tallies plus the sparse
+// count(x, i) table, maintained incrementally across vertex moves.
+//
+// Two usage modes share this class:
+//  * the sequential pass calls Detach*/Attach* per vertex, keeping every
+//    tally exact at all times (the original semantics);
+//  * the parallel pass freezes the state for a block, scores against it
+//    read-only to propose moves, then commits them serially through the
+//    same exact Detach*/Attach* ops — so every tally stays exact there
+//    too, up to FP reassociation in comm_cost_ that RecomputeCommCosts()
+//    erases.
+//
+// Exposed in a header (rather than hidden in hybrid_partitioner.cc) so the
+// bookkeeping property tests can drive detach/attach rounds directly and
+// compare against a from-scratch dense recount.
+class PartitionState {
+ public:
+  PartitionState(const Bigraph& graph, int num_parts,
+                 const std::vector<std::vector<double>>& weight);
+
+  void InitFrom(const Partition& p);
+
+  // δ_c(G_i) (Eq. 3) with bandwidth weights: partitions pay
+  // weight(i, owner) for every access to a non-local embedding. The
+  // optional pool parallelizes the O(nnz) sweep over embeddings.
+  void RecomputeCommCosts(ThreadPool* pool = nullptr);
+
+  int sample_owner(int64_t s) const { return sample_owner_[s]; }
+  int emb_owner(int64_t x) const { return emb_owner_[x]; }
+  int64_t cnt(int64_t x, int i) const { return counts_.Count(x, i); }
+  const SparseCountTable& counts() const { return counts_; }
+  int64_t sample_count(int i) const { return sample_count_[i]; }
+  int64_t emb_count(int i) const { return emb_count_[i]; }
+  double comm_cost(int i) const { return comm_cost_[i]; }
+  double AvgCommCost() const;
+  int num_parts() const { return n_; }
+  const Bigraph& graph() const { return graph_; }
+  const std::vector<std::vector<double>>& weight() const { return weight_; }
+
+  // --- Exact incremental ops (sequential pass + property tests) ---
+  void DetachSample(int64_t s);
+  void AttachSample(int64_t s, int b);
+  void DetachEmbedding(int64_t x);
+  void AttachEmbedding(int64_t x, int b);
+
+  // Cost that all partitions together would pay for embedding x if it
+  // were owned by j: Σ_{i≠j} count(x, i) · weight(i, j). O(row) via the
+  // sparse table.
+  double EmbeddingCommIfOwnedBy(int64_t x, int j) const;
+
+  // Marginal comm a sample adds to partition j: the weighted count of its
+  // embeddings that are remote from j.
+  double SampleCommCost(int64_t s, int j) const;
+
+ private:
+  const Bigraph& graph_;
+  const int n_;
+  const std::vector<std::vector<double>>& weight_;
+  SparseCountTable counts_;
+  std::vector<int> sample_owner_;
+  std::vector<int> emb_owner_;
+  std::vector<int64_t> sample_count_;
+  std::vector<int64_t> emb_count_;
+  std::vector<double> comm_cost_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_PARTITION_HYBRID_STATE_H_

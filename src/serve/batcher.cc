@@ -48,7 +48,7 @@ Status RequestBatcher::Lookup(int shard, const FeatureId* keys, int64_t n,
 void RequestBatcher::DispatcherLoop() {
   for (;;) {
     std::deque<Request*> batch;
-    bool deadline_hit = false;
+    FlushReason reason = FlushReason::kFull;
     {
       MutexLock lock(mu_);
       while (!shutdown_ && pending_.empty()) work_cv_.Wait(mu_);
@@ -63,15 +63,25 @@ void RequestBatcher::DispatcherLoop() {
         if (age >= options_.deadline) break;
         work_cv_.WaitFor(mu_, options_.deadline - age);
       }
-      deadline_hit = pending_keys_ < options_.max_batch_keys;
+      if (pending_keys_ >= options_.max_batch_keys) {
+        reason = FlushReason::kFull;
+      } else if (std::chrono::steady_clock::now() -
+                     pending_.front()->enqueued >=
+                 options_.deadline) {
+        reason = FlushReason::kDeadline;
+      } else {
+        // Shutdown interrupted the window with a partial batch whose
+        // requests had not yet aged out.
+        reason = FlushReason::kShutdown;
+      }
       batch.swap(pending_);
       pending_keys_ = 0;
     }
-    Flush(&batch, deadline_hit);
+    Flush(&batch, reason);
   }
 }
 
-void RequestBatcher::Flush(std::deque<Request*>* batch, bool deadline_hit) {
+void RequestBatcher::Flush(std::deque<Request*>* batch, FlushReason reason) {
   const auto dispatch_start = std::chrono::steady_clock::now();
   // Service execution happens outside the batcher lock so new submissions
   // keep queueing while this batch is in flight. The status write is safe
@@ -81,10 +91,16 @@ void RequestBatcher::Flush(std::deque<Request*>* batch, bool deadline_hit) {
   }
   MutexLock lock(mu_);
   ++stats_.dispatches;
-  if (deadline_hit) {
-    ++stats_.deadline_flushes;
-  } else {
-    ++stats_.full_flushes;
+  switch (reason) {
+    case FlushReason::kFull:
+      ++stats_.full_flushes;
+      break;
+    case FlushReason::kDeadline:
+      ++stats_.deadline_flushes;
+      break;
+    case FlushReason::kShutdown:
+      ++stats_.shutdown_flushes;
+      break;
   }
   for (Request* r : *batch) {
     const double wait_us =

@@ -27,6 +27,7 @@ struct BatcherStats {
   int64_t dispatches = 0;        // service calls issued
   int64_t full_flushes = 0;      // flushed because max_batch_keys reached
   int64_t deadline_flushes = 0;  // flushed because the deadline expired
+  int64_t shutdown_flushes = 0;  // partial batches drained at shutdown
   double max_queue_wait_us = 0.0;  // longest submit→dispatch wait observed
 };
 
@@ -67,10 +68,15 @@ class RequestBatcher {
     bool done = false;
   };
 
+  // Why a batch left the queue, attributed in the stats. A partial batch
+  // drained because Shutdown interrupted the micro-batching window is
+  // kShutdown, not kDeadline: its requests never waited out the deadline,
+  // so counting it there would skew latency-tuning signals.
+  enum class FlushReason { kFull, kDeadline, kShutdown };
+
   void DispatcherLoop() HETGMP_EXCLUDES(mu_);
-  // Drains every pending request through the service. `deadline_hit`
-  // attributes the flush reason in the stats.
-  void Flush(std::deque<Request*>* batch, bool deadline_hit)
+  // Drains every pending request through the service.
+  void Flush(std::deque<Request*>* batch, FlushReason reason)
       HETGMP_EXCLUDES(mu_);
 
   LookupService* const service_;

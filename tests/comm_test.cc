@@ -188,6 +188,27 @@ TEST(FabricTest, HostTransferCounted) {
   EXPECT_EQ(fabric.TotalBytes(TrafficClass::kEmbedding), 4096u);
 }
 
+TEST(FabricTest, HostTrafficExcludedFromPairMatrixButInTotals) {
+  // Host (parameter-server) traffic lives in a separate per-class
+  // counter: the pair matrix stays pure worker-to-worker, totals include
+  // host bytes exactly once (no double counting via a synthetic
+  // diagonal entry).
+  Topology topo = Topology::FourGpuNvlink();
+  Fabric fabric(topo);
+  fabric.Transfer(0, 1, 1000, TrafficClass::kEmbedding);
+  fabric.TransferToHost(2, 0, 500, TrafficClass::kEmbedding);
+
+  const auto m = fabric.PairMatrix(TrafficClass::kEmbedding);
+  uint64_t matrix_sum = 0;
+  for (const auto& row : m) {
+    for (uint64_t b : row) matrix_sum += b;
+  }
+  EXPECT_EQ(matrix_sum, 1000u);  // host bytes absent from the matrix
+  EXPECT_EQ(fabric.PairBytes(2, 2, TrafficClass::kEmbedding), 0u);
+  EXPECT_EQ(fabric.TotalBytes(TrafficClass::kEmbedding), 1500u);
+  EXPECT_EQ(fabric.TotalBytes(), 1500u);
+}
+
 TEST(FabricTest, PairMatrixShapeAndContent) {
   Topology topo = Topology::FourGpuNvlink();
   Fabric fabric(topo);

@@ -121,6 +121,36 @@ TEST(LruCacheDeathTest, EvictingUnflushedPendingRejected) {
   EXPECT_DEATH(cache.Insert(2), "unflushed");
 }
 
+TEST(LruCacheTest, DirtyTailSkippedOnInsert) {
+  // A dirty entry at the LRU tail must not crash (or be evicted by)
+  // Insert: the walk skips it and evicts the next-least-recent clean
+  // entry instead, preserving the unflushed gradient.
+  LruEmbeddingCache cache(2, 1);
+  const int64_t s1 = cache.Insert(1);
+  cache.Insert(2);  // recency: 2 (head), 1 (tail)
+  const float g[1] = {3};
+  // Dirty the tail directly — Slot(1) would refresh its recency.
+  cache.AccumulatePending(s1, g);
+  const int64_t s3 = cache.Insert(3);  // must evict 2, not the dirty 1
+  EXPECT_EQ(cache.Slot(2), -1);
+  EXPECT_EQ(cache.Slot(1), s1);
+  EXPECT_EQ(cache.pending_count(s1), 1);
+  EXPECT_FLOAT_EQ(cache.Pending(s1)[0], 3.0f);
+  EXPECT_GE(s3, 0);
+  EXPECT_NE(s3, s1);
+}
+
+TEST(LruCacheDeathTest, AllDirtyInsertRejected) {
+  // Only when *every* slot holds an unflushed gradient does Insert fail.
+  LruEmbeddingCache cache(2, 1);
+  const int64_t s1 = cache.Insert(1);
+  const int64_t s2 = cache.Insert(2);
+  const float g[1] = {1};
+  cache.AccumulatePending(s1, g);
+  cache.AccumulatePending(s2, g);
+  EXPECT_DEATH(cache.Insert(3), "unflushed");
+}
+
 TEST(LruCacheTest, ZeroCapacity) {
   LruEmbeddingCache cache(0, 4);
   EXPECT_EQ(cache.size(), 0);

@@ -5,9 +5,11 @@
 
 #include "comm/allreduce.h"
 #include "comm/topology.h"
+#include "common/random.h"
 #include "data/synthetic.h"
 #include "graph/bigraph.h"
 #include "partition/hybrid_partitioner.h"
+#include "partition/hybrid_state.h"
 #include "partition/quality.h"
 
 namespace hetgmp {
@@ -111,6 +113,105 @@ TEST_P(HybridSeedSweep, InvariantsHoldForEverySeed) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HybridSeedSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------------------------------- state bookkeeping
+
+// The incremental detach/attach bookkeeping (per-partition tallies,
+// sparse count table, comm costs) must exactly match a from-scratch
+// recomputation after arbitrarily many moves — this is the invariant
+// both partitioner passes rely on.
+class StateBookkeepingSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StateBookkeepingSweep, IncrementalMatchesRecompute) {
+  const uint64_t seed = GetParam();
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 1500;
+  cfg.num_fields = 6;
+  cfg.num_features = 400;
+  cfg.num_clusters = 4;
+  cfg.seed = 300 + seed;
+  CtrDataset d = GenerateSyntheticCtr(cfg);
+  Bigraph g(d);
+  const int N = 5;
+
+  // Heterogeneous weights so comm-cost errors cannot hide behind
+  // symmetric cancellation.
+  std::vector<std::vector<double>> w(N, std::vector<double>(N, 0.0));
+  for (int i = 0; i < N; ++i) {
+    for (int j = 0; j < N; ++j) {
+      if (i != j) w[i][j] = 1.0 + ((i * 7 + j * 3) % 5);
+    }
+  }
+
+  Rng rng(seed);
+  Partition init;
+  init.num_parts = N;
+  init.sample_owner.resize(g.num_samples());
+  init.embedding_owner.resize(g.num_embeddings());
+  init.secondaries.assign(N, {});
+  for (auto& o : init.sample_owner) o = static_cast<int>(rng.NextUint64(N));
+  for (auto& o : init.embedding_owner) {
+    o = static_cast<int>(rng.NextUint64(N));
+  }
+
+  PartitionState state(g, N, w);
+  state.InitFrom(init);
+
+  // A full random round: every vertex detached and re-attached to a
+  // random partition (samples and embeddings interleaved).
+  for (int64_t s = 0; s < g.num_samples(); ++s) {
+    state.DetachSample(s);
+    state.AttachSample(s, static_cast<int>(rng.NextUint64(N)));
+    if (s < g.num_embeddings()) {
+      state.DetachEmbedding(s);
+      state.AttachEmbedding(s, static_cast<int>(rng.NextUint64(N)));
+    }
+  }
+
+  // Tallies vs direct recount.
+  std::vector<int64_t> scount(N, 0), ecount(N, 0);
+  std::vector<std::vector<int64_t>> dense(
+      g.num_embeddings(), std::vector<int64_t>(N, 0));
+  for (int64_t s = 0; s < g.num_samples(); ++s) {
+    const int a = state.sample_owner(s);
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, N);
+    ++scount[a];
+    const FeatureId* feats = g.SampleNeighbors(s);
+    for (int f = 0; f < g.arity(); ++f) ++dense[feats[f]][a];
+  }
+  for (int64_t x = 0; x < g.num_embeddings(); ++x) {
+    ++ecount[state.emb_owner(x)];
+  }
+  for (int i = 0; i < N; ++i) {
+    EXPECT_EQ(state.sample_count(i), scount[i]) << "partition " << i;
+    EXPECT_EQ(state.emb_count(i), ecount[i]) << "partition " << i;
+  }
+  for (int64_t x = 0; x < g.num_embeddings(); ++x) {
+    int32_t nonzero = 0;
+    for (int i = 0; i < N; ++i) {
+      EXPECT_EQ(state.cnt(x, i), dense[x][i])
+          << "count(" << x << ", " << i << ")";
+      nonzero += dense[x][i] > 0;
+    }
+    // Swap-remove on zero keeps rows exactly as long as their support.
+    EXPECT_EQ(state.counts().RowSize(x), nonzero) << "row " << x;
+  }
+
+  // Incrementally maintained comm costs vs from-scratch recompute:
+  // identical up to FP reassociation.
+  std::vector<double> incremental(N);
+  for (int i = 0; i < N; ++i) incremental[i] = state.comm_cost(i);
+  state.RecomputeCommCosts();
+  for (int i = 0; i < N; ++i) {
+    EXPECT_NEAR(incremental[i], state.comm_cost(i),
+                1e-6 * std::max(1.0, state.comm_cost(i)))
+        << "partition " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateBookkeepingSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
 
 // ----------------------------------------------------------- generator
 

@@ -358,6 +358,41 @@ TEST(BatcherTest, DeadlineFlushesPartialBatch) {
   const BatcherStats stats = batcher.stats();
   EXPECT_GE(stats.deadline_flushes, 1);
   EXPECT_EQ(stats.full_flushes, 0);
+  EXPECT_EQ(stats.shutdown_flushes, 0);
+}
+
+TEST(BatcherTest, ShutdownDrainCountedSeparately) {
+  // A partial batch drained because Shutdown interrupted the
+  // micro-batching window is not a deadline flush: its requests never
+  // waited out the deadline, so counting it there would misattribute
+  // shutdown noise to the latency-tuning signal.
+  EmbeddingTable table(6, 4, 0.0f, 1);
+  SnapshotStore store;
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  Partition partition = TinyPartition();
+  LookupService service(&store, partition, nullptr);
+
+  BatcherOptions opts;
+  opts.max_batch_keys = 1 << 20;          // never fills
+  opts.deadline = std::chrono::seconds(30);  // never expires in-test
+  RequestBatcher batcher(&service, opts);
+
+  const FeatureId key = 2;
+  std::thread client([&] {
+    float client_out[4];
+    (void)batcher.Lookup(0, &key, 1, client_out);
+  });
+  // Wait until the request is enqueued (the dispatcher is then parked in
+  // the 30s micro-batching window) before shutting down.
+  while (batcher.stats().requests < 1) std::this_thread::yield();
+  batcher.Shutdown();
+  client.join();
+
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.shutdown_flushes, 1);
+  EXPECT_EQ(stats.deadline_flushes, 0);
+  EXPECT_EQ(stats.full_flushes, 0);
+  EXPECT_EQ(stats.dispatches, 1);
 }
 
 // The deadline contract: no request waits in the queue longer than the
