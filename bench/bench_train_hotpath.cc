@@ -1,0 +1,199 @@
+// Training hot-path wall-clock: reference (pre-batch-plan) engine vs the
+// planned engine (batch index plan + deduped inter-embedding sync +
+// parallel round-serial section), on 8 simulated workers over Zipf
+// synthetic CTR workloads.
+//
+// Unlike the table/figure benches this measures *real* wall-clock
+// iterations/sec of the threaded engine, with the per-stage breakdown
+// (gather / inter-sync / dense / scatter / flush) from
+// TrainResult::stage_secs. Every configuration emits a one-line
+// machine-readable summary on stdout prefixed with "BENCH_JSON ":
+//
+//   {"bench":"train_hotpath","dataset":"...","workers":N,"batch":N,
+//    "fields":N,"hotpath":"reference|planned","epochs":N,"wall_s":F,
+//    "iters":N,"iters_per_sec":F,"gather_s":F,"inter_s":F,"dense_s":F,
+//    "scatter_s":F,"flush_s":F,"speedup_vs_ref":F}
+//
+// HETGMP_BENCH_SCALE scales the datasets; HETGMP_BENCH_JSON=<path>
+// appends the same lines to a file for CI harvesting.
+//
+// Acceptance (ISSUE 5): planned >= 1.5x reference iterations/sec on the
+// 8-worker company-like workload, with the golden-trajectory tests
+// proving the two paths bit-identical.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "comm/topology.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+namespace {
+
+constexpr int kEpochs = 2;
+// Eight engine threads time-slice the host, so single runs jitter by
+// 10-20%; each configuration reports its best of kReps runs (the run
+// with the least scheduler interference is the closest measure of the
+// actual CPU work).
+constexpr int kReps = 3;
+
+struct RunStats {
+  double wall_s = 0.0;
+  int64_t iters = 0;
+  double iters_per_sec = 0.0;
+  HotpathStageSeconds stages;
+};
+
+RunStats RunOnce(const EngineConfig& cfg, const CtrDataset& train,
+                 const CtrDataset& test, const Topology& topology,
+                 const Bigraph& graph) {
+  Partition part = BuildPartition(cfg, graph, topology);
+  Engine engine(cfg, train, test, topology, part);
+  const auto start = std::chrono::steady_clock::now();
+  const TrainResult r = engine.Train(kEpochs);
+  RunStats stats;
+  stats.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  stats.iters = r.total_iterations;
+  stats.iters_per_sec =
+      stats.wall_s > 0 ? static_cast<double>(stats.iters) / stats.wall_s
+                       : 0.0;
+  stats.stages = r.stage_secs;
+  return stats;
+}
+
+RunStats RunBest(const EngineConfig& cfg, const CtrDataset& train,
+                 const CtrDataset& test, const Topology& topology,
+                 const Bigraph& graph) {
+  RunStats best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    RunStats s = RunOnce(cfg, train, test, topology, graph);
+    if (rep == 0 || s.iters_per_sec > best.iters_per_sec) best = s;
+  }
+  return best;
+}
+
+void EmitJson(FILE* json_file, const std::string& dataset, int workers,
+              const EngineConfig& cfg, int fields, const char* hotpath,
+              const RunStats& s, const RunStats& ref) {
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"train_hotpath\",\"dataset\":\"%s\",\"workers\":%d,"
+      "\"batch\":%d,\"fields\":%d,\"hotpath\":\"%s\",\"epochs\":%d,"
+      "\"wall_s\":%.3f,\"iters\":%lld,\"iters_per_sec\":%.1f,"
+      "\"gather_s\":%.3f,\"inter_s\":%.3f,\"dense_s\":%.3f,"
+      "\"scatter_s\":%.3f,\"flush_s\":%.3f,\"speedup_vs_ref\":%.2f}",
+      dataset.c_str(), workers, cfg.batch_size, fields, hotpath, kEpochs,
+      s.wall_s, static_cast<long long>(s.iters), s.iters_per_sec,
+      s.stages.gather, s.stages.inter_sync, s.stages.dense,
+      s.stages.scatter, s.stages.flush,
+      ref.iters_per_sec > 0 ? s.iters_per_sec / ref.iters_per_sec : 0.0);
+  std::printf("BENCH_JSON %s\n", line);
+  if (json_file != nullptr) std::fprintf(json_file, "%s\n", line);
+}
+
+void PrintRow(const char* hotpath, const RunStats& s, const RunStats& ref) {
+  std::printf("%-10s %8.3f %8lld %10.1f %9.2fx | %7.3f %7.3f %7.3f %7.3f %7.3f\n",
+              hotpath, s.wall_s, static_cast<long long>(s.iters),
+              s.iters_per_sec,
+              ref.iters_per_sec > 0 ? s.iters_per_sec / ref.iters_per_sec
+                                    : 0.0,
+              s.stages.gather, s.stages.inter_sync, s.stages.dense,
+              s.stages.scatter, s.stages.flush);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Training hot-path wall-clock: reference vs batch-plan engine",
+              "ISSUE 5 acceptance: planned >= 1.5x reference iters/sec "
+              "(8 workers, company-like)");
+  const double scale = EnvScale(1.0);
+  FILE* json_file = nullptr;
+  if (const char* path = std::getenv("HETGMP_BENCH_JSON")) {
+    json_file = std::fopen(path, "w");
+  }
+
+  const Topology topology = Topology::EightGpuQpi();
+  const int workers = topology.num_workers();
+
+  // Two Zipf workloads: the company-like graph (43 fields, the widest of
+  // the paper's Table 1 datasets and the heaviest O(F^2) inter-embedding
+  // pass) is the acceptance config; the avazu-like graph (22 fields)
+  // shows the narrow-field end.
+  const std::vector<SyntheticCtrConfig> datasets = {
+      CompanyLikeConfig(scale), AvazuLikeConfig(scale)};
+
+  bool speedup_ok = true;
+  for (const SyntheticCtrConfig& dc : datasets) {
+    const CtrDataset full = GenerateSyntheticCtr(dc);
+    CtrDataset train = full;
+    const CtrDataset test = train.SplitTail(0.1);
+    const Bigraph graph(train);
+
+    EngineConfig cfg;
+    cfg.strategy = Strategy::kHetGmp;
+    ApplyStrategyDefaults(&cfg);
+    cfg.batch_size = 256;
+    cfg.embedding_dim = 16;
+    cfg.rounds_per_epoch = 2;
+    // Tight bound keeps the inter-embedding pass busy (flags and
+    // refreshes on the Zipf head, whose features are secondaries nearly
+    // everywhere); frequency normalization as in §5.3. Placement stays
+    // at the strategy default so the workload is the out-of-the-box
+    // HET-GMP configuration.
+    cfg.bound.s = 1;
+
+    std::printf("\n--- %s (%lld samples, %d fields, %lld features, %d "
+                "workers, batch %d) ---\n",
+                dc.name.c_str(), static_cast<long long>(train.num_samples()),
+                train.num_fields(),
+                static_cast<long long>(train.num_features()), workers,
+                cfg.batch_size);
+    std::printf("%-10s %8s %8s %10s %10s | %7s %7s %7s %7s %7s\n", "hotpath",
+                "wall(s)", "iters", "iters/s", "speedup", "gather",
+                "inter", "dense", "scatter", "flush");
+
+    EngineConfig ref_cfg = cfg;
+    ref_cfg.reference_hotpath = true;
+    const RunStats ref = RunBest(ref_cfg, train, test, topology, graph);
+    PrintRow("reference", ref, ref);
+    EmitJson(json_file, dc.name, workers, cfg, train.num_fields(),
+             "reference", ref, ref);
+
+    EngineConfig opt_cfg = cfg;
+    opt_cfg.reference_hotpath = false;
+    const RunStats opt = RunBest(opt_cfg, train, test, topology, graph);
+    PrintRow("planned", opt, ref);
+    EmitJson(json_file, dc.name, workers, cfg, train.num_fields(),
+             "planned", opt, ref);
+
+    if (dc.name == datasets.front().name &&
+        opt.iters_per_sec < 1.5 * ref.iters_per_sec) {
+      speedup_ok = false;
+    }
+  }
+
+  // The speedup comes from CPU-work reduction (plan reuse + pair dedup),
+  // so it does not need many cores — but a scaled-down dataset changes
+  // the unique-feature and co-access profile the criterion is defined
+  // on, so such runs report n/a rather than a misleading verdict.
+  const char* msg = scale >= 1.0 ? (speedup_ok ? "PASS" : "FAIL")
+                                 : "n/a (scaled-down run)";
+  std::printf("\nacceptance: planned >= 1.5x reference iters/sec "
+              "(8 workers, company-like): %s\n",
+              msg);
+  if (json_file != nullptr) std::fclose(json_file);
+  return 0;
+}

@@ -12,6 +12,13 @@
 #                               # the scaling bench on a tiny graph with
 #                               # JSON output (quality parity + race
 #                               # freedom in one mode)
+#   scripts/check.sh hotpath-smoke
+#                               # training hot-path gate: the engine and
+#                               # golden-trajectory tests under TSan
+#                               # (planned path race-free and bit-equal
+#                               # to the reference), then the wall-clock
+#                               # bench on scaled-down workloads with
+#                               # JSON output
 #
 # Environment:
 #   CXX       compiler to use (default: system default; use clang++ to also
@@ -47,7 +54,7 @@ run_mode() {
       ;;
     *)
       echo "unknown mode: ${mode} (expected release, tsan, asan-ubsan," \
-           "or partitioner-smoke)" >&2
+           "partitioner-smoke, or hotpath-smoke)" >&2
       return 2
       ;;
   esac
@@ -100,6 +107,43 @@ run_partitioner_smoke() {
   echo "==== [partitioner-smoke] OK"
 }
 
+# Focused gate for the batch-plan training hot path: the engine suite and
+# the golden-trajectory tests under TSan — certifying the planned
+# iteration (plan build, screened inter-embedding pass, parallel
+# round-serial section) race-free and bit-equal to the reference — plus a
+# release build of the wall-clock bench on scaled-down workloads,
+# harvesting the one-line JSON summaries for CI artifacts. (The 1.5x
+# acceptance verdict only prints on full-scale runs; the smoke bench
+# reports n/a by design.)
+run_hotpath_smoke() {
+  local tsan_dir="${base}/tsan"
+  local rel_dir="${base}/release-bench"
+  local filter='HotpathGoldenTest|EngineTest|EngineConfigTest'
+
+  echo "==== [hotpath-smoke] configure + build (tsan)"
+  cmake -B "${tsan_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DHETGMP_SANITIZE=thread -DHETGMP_BUILD_BENCHMARKS=OFF \
+    -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${tsan_dir}" -j "${jobs}" --target \
+    engine_test hotpath_golden_test
+  echo "==== [hotpath-smoke] engine + golden tests under TSan"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
+      -R "${filter}"
+
+  echo "==== [hotpath-smoke] configure + build (release bench)"
+  cmake -B "${rel_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${rel_dir}" -j "${jobs}" --target bench_train_hotpath
+  echo "==== [hotpath-smoke] wall-clock bench (scaled-down workloads)"
+  HETGMP_BENCH_SCALE="${HETGMP_BENCH_SCALE:-0.1}" \
+  HETGMP_BENCH_JSON="${rel_dir}/BENCH_train_hotpath.json" \
+    "${rel_dir}/bench/bench_train_hotpath"
+  echo "==== [hotpath-smoke] JSON summary at" \
+       "${rel_dir}/BENCH_train_hotpath.json"
+  echo "==== [hotpath-smoke] OK"
+}
+
 modes=("$@")
 if [[ ${#modes[@]} -eq 0 ]]; then
   modes=(release tsan asan-ubsan)
@@ -107,6 +151,8 @@ fi
 for mode in "${modes[@]}"; do
   if [[ "${mode}" == "partitioner-smoke" ]]; then
     run_partitioner_smoke
+  elif [[ "${mode}" == "hotpath-smoke" ]]; then
+    run_hotpath_smoke
   else
     run_mode "${mode}"
   fi

@@ -71,6 +71,16 @@ class Voidify {
     HETGMP_CHECK(_st.ok()) << _st.ToString();                               \
   } while (0)
 
+// Debug-only assertion: enforced in debug builds, compiled away (but still
+// type-checked) under NDEBUG. Use on hot paths where the check would cost
+// real time per element (e.g. the engine's batch-plan bounds checks).
+#ifdef NDEBUG
+#define HETGMP_DCHECK(cond) \
+  while (false) HETGMP_CHECK(cond)
+#else
+#define HETGMP_DCHECK(cond) HETGMP_CHECK(cond)
+#endif
+
 #define HETGMP_CHECK_EQ(a, b) HETGMP_CHECK((a) == (b))
 #define HETGMP_CHECK_NE(a, b) HETGMP_CHECK((a) != (b))
 #define HETGMP_CHECK_LT(a, b) HETGMP_CHECK((a) < (b))

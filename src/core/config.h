@@ -47,7 +47,15 @@ struct EngineConfig {
   ModelType model = ModelType::kWdl;
 
   int embedding_dim = 16;
-  int batch_size = 512;  // per worker
+  // Per-worker batch size. Epoch accounting is *nominal*: one epoch is
+  // ceil(num_samples / (num_workers * batch_size)) iterations per worker —
+  // the iteration budget of a global pass at this batch size — even when
+  // balance_batch_to_capacity shrinks a slow worker's actual per-iteration
+  // batch. Capacity scaling changes how much work an iteration does, never
+  // how many iterations an epoch has (all workers must agree on the round
+  // schedule to meet at the same barriers). Locked in by
+  // EpochSemanticsTest.
+  int batch_size = 512;
   float dense_lr = 0.05f;
   float embed_lr = 0.05f;
   EmbeddingOptimizer embed_optimizer = EmbeddingOptimizer::kAdaGrad;
@@ -93,8 +101,36 @@ struct EngineConfig {
   // computation too): when true, each worker's per-iteration batch is
   // scaled by 1/worker_slowdown[w] and the hybrid partitioner targets
   // capacity-proportional sample counts, so slow devices do less work per
-  // step instead of stalling everyone.
+  // step instead of stalling everyone. Epoch length is unaffected — see
+  // the batch_size comment above for the nominal-epoch contract.
   bool balance_batch_to_capacity = false;
+
+  // --- Training hot-path execution (see DESIGN.md §5e) ---
+
+  // Runs the pre-batch-plan implementation of the training iteration
+  // (per-element hash-map indexing, per-sample O(B·F²) inter-embedding
+  // scan) and a fully serial round-serial section. Semantically identical
+  // to the default planned hot path — the golden-trajectory tests assert
+  // bit-identical metrics — but slower; kept as the measured baseline for
+  // bench_train_hotpath.
+  bool reference_hotpath = false;
+
+  // Runs the worker schedule round-robin on the calling thread instead of
+  // on one OS thread per worker: within each iteration workers execute in
+  // id order, so training is exactly reproducible run-to-run (threaded
+  // execution interleaves cross-worker primary updates and clock reads
+  // nondeterministically). Simulated time and byte accounting are
+  // unchanged. Used by the golden-trajectory equivalence tests.
+  bool deterministic = false;
+
+  // Threads for the round-serial section's parallel work (AUC evaluation
+  // chunks, fused dense re-average) while the workers are parked at the
+  // round barrier. 0 = min(num_workers, hardware concurrency); 1 runs the
+  // section serially. Ignored (always serial) under reference_hotpath.
+  // Results are bit-identical for any value: evaluation scores are
+  // row-independent and the re-average keeps the per-element worker
+  // summation order.
+  int serial_section_threads = 0;
 
   // Barrier/evaluation cadence: each epoch is split into this many rounds;
   // every round ends with a light global barrier where the runner may

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "metrics/auc.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "tensor/ops.h"
 
 namespace hetgmp {
 
@@ -22,8 +24,41 @@ enum FeatKind : uint8_t {
   kHostFetch = 3,     // parameter-server path (CPU host)
 };
 
+// Rounding allowance for the step-3b screen (see DESIGN.md §5e): the
+// screen value min(fi,fj)·|ci/fi − cj/fj| equals the §5.3 gap
+// |ci·fj/fi − cj| in real arithmetic, and the few double roundings on
+// either route differ by at most ~|clock|·2⁻⁵⁰ — below 1e-6 for any
+// clock this simulator can reach. An occurrence whose padded screen
+// value stays under both the bound and the running max-gap audit is a
+// no-op for every counter the full check maintains.
+constexpr double kScreenSlack = 1e-6;
+
 constexpr uint64_t kIdBytes = 8;     // sparse index entry
 constexpr uint64_t kClockBytes = 8;  // clock metadata entry
+
+// splitmix64 finalizer: cheap, and avalanches the near-sequential feature
+// ids that dominate the synthetic workloads.
+inline uint64_t HashId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Accumulates wall-clock time between stage boundaries of one iteration.
+class StageClock {
+ public:
+  StageClock() : last_(std::chrono::steady_clock::now()) {}
+  double Lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    return sec;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point last_;
+};
 
 }  // namespace
 
@@ -42,6 +77,7 @@ struct Engine::WorkerState {
   std::vector<int64_t> batch_samples;
   std::vector<float> batch_labels;
   std::vector<FeatureId> unique_feats;
+  // Reference hot path only: the node-based map the batch plan replaces.
   std::unordered_map<FeatureId, int32_t> feat_index;
   std::vector<uint8_t> feat_kind;
   std::vector<int64_t> feat_slot;
@@ -49,6 +85,41 @@ struct Engine::WorkerState {
   Tensor unique_values;
   Tensor unique_grads;
   Tensor emb_in, demb_in, logits, dlogits;
+
+  // --- Planned hot-path scratch (all reused across iterations) ---
+
+  // Flat [B×F] table: plan[b*F + f] is the unique index of sample b's
+  // field-f feature. Built once per iteration; steps 3b/4/6 read it
+  // instead of re-hashing.
+  std::vector<int32_t> plan;
+  // Open-addressed FeatureId → unique-index scratch map (linear probing,
+  // load ≤ 0.5). Slots are empty unless their stamp equals the current
+  // generation, so per-iteration reset is a counter bump, not a clear.
+  std::vector<FeatureId> map_keys;
+  std::vector<int32_t> map_vals;
+  std::vector<uint32_t> map_stamp;
+  uint32_t map_gen = 0;
+  uint64_t map_mask = 0;
+
+  // Step-3b screen state, hoisted per unique element so the O(B·F²)
+  // occurrence scan touches two small arrays instead of re-dividing (and
+  // in the pre-plan path, re-hashing) per pair. For fi >= fj > 0 the
+  // §5.3 gap |ci·fj/fi − cj| equals min(fi,fj)·|ci/fi − cj/fj| in real
+  // arithmetic, so min-freq times the difference of these per-element
+  // normalized clocks — plus a rounding allowance — upper-bounds the
+  // gap the full check would compute. ExecPairCheck refreshes update the
+  // entries in place.
+  std::vector<double> norm_clock;  // feat_clock / access_freq (0 if no freq)
+  std::vector<double> raw_clock;   // double(feat_clock)
+  std::vector<double> freq;        // access_freq as double
+
+  // Wall-clock stage timers (seconds), merged into
+  // TrainResult::stage_secs by FinalizeResult.
+  double stage_gather = 0.0;
+  double stage_inter = 0.0;
+  double stage_dense = 0.0;
+  double stage_scatter = 0.0;
+  double stage_flush = 0.0;
 
   // Per-iteration communication tallies, flushed into the fabric once per
   // peer per iteration (the batched message protocol of §6).
@@ -84,6 +155,26 @@ struct Engine::WorkerState {
   std::vector<int64_t> ssp_refresh_iter;
 
   std::unique_ptr<SgdOptimizer> dense_opt;
+
+  void EnsureMapCapacity(int64_t max_entries) {
+    uint64_t cap = 64;
+    const uint64_t need = static_cast<uint64_t>(max_entries) * 2;
+    while (cap < need) cap <<= 1;
+    if (map_keys.size() >= cap) return;
+    map_keys.assign(cap, 0);
+    map_vals.assign(cap, 0);
+    map_stamp.assign(cap, 0);
+    map_mask = cap - 1;
+    map_gen = 0;
+  }
+
+  void BumpMapGen() {
+    if (++map_gen == 0) {  // stamp wrap: clear once every 2^32 iterations
+      std::fill(map_stamp.begin(), map_stamp.end(), 0u);
+      map_gen = 1;
+    }
+  }
+
 };
 
 Engine::Engine(const EngineConfig& config, const CtrDataset& train,
@@ -172,6 +263,15 @@ Engine::Engine(const EngineConfig& config, const CtrDataset& train,
       1, (train_.num_samples() + static_cast<int64_t>(N) * config_.batch_size -
           1) /
              (static_cast<int64_t>(N) * config_.batch_size));
+
+  int pool_threads = config_.serial_section_threads;
+  if (pool_threads <= 0) {
+    pool_threads = std::min<int>(
+        N, std::max(1u, std::thread::hardware_concurrency()));
+  }
+  if (!config_.reference_hotpath && N > 1 && pool_threads > 1) {
+    serial_pool_ = std::make_unique<ThreadPool>(pool_threads);
+  }
 }
 
 Engine::~Engine() = default;
@@ -210,6 +310,19 @@ void Engine::FlushSecondary(WorkerState* ws, FeatureId x, int64_t slot) {
   cache.ClearPending(slot);
   ws->push_bytes[owner] += table_->RowBytes();
   ws->index_bytes[owner] += kIdBytes;
+}
+
+bool Engine::BatchContains(const WorkerState* ws, FeatureId x) const {
+  if (config_.reference_hotpath) {
+    return ws->feat_index.find(x) != ws->feat_index.end();
+  }
+  if (ws->map_mask == 0) return false;
+  uint64_t slot = HashId(static_cast<uint64_t>(x)) & ws->map_mask;
+  while (ws->map_stamp[slot] == ws->map_gen) {
+    if (ws->map_keys[slot] == x) return true;
+    slot = (slot + 1) & ws->map_mask;
+  }
+  return false;
 }
 
 void Engine::ResolveFeature(WorkerState* ws, FeatureId x, float* out) {
@@ -290,8 +403,7 @@ void Engine::ResolveFeature(WorkerState* ws, FeatureId x, float* out) {
   if (lru != nullptr && lru->size() > 0) {
     const int64_t victim = lru->EvictionCandidate();
     const FeatureId victim_id = victim >= 0 ? lru->IdAt(victim) : -1;
-    if (victim_id < 0 || ws->feat_index.find(victim_id) ==
-                             ws->feat_index.end()) {
+    if (victim_id < 0 || !BatchContains(ws, victim_id)) {
       if (victim_id >= 0) FlushSecondary(ws, victim_id, victim);
       const int64_t new_slot = lru->Insert(x);
       lru->SetValue(new_slot, out);
@@ -314,11 +426,339 @@ void Engine::ResolveFeature(WorkerState* ws, FeatureId x, float* out) {
   ws->feat_clock.push_back(PrimaryClock(x));
 }
 
+int64_t Engine::BuildBatchPlan(WorkerState* ws) {
+  const int F = train_.num_fields();
+  const int64_t B = static_cast<int64_t>(ws->batch_samples.size());
+  ws->plan.resize(B * F);
+  ws->unique_feats.clear();
+  ws->EnsureMapCapacity(B * F);
+  ws->BumpMapGen();
+  const uint32_t gen = ws->map_gen;
+  const uint64_t mask = ws->map_mask;
+  int32_t next = 0;
+  int32_t* plan = ws->plan.data();
+  for (int64_t b = 0; b < B; ++b) {
+    const FeatureId* feats = train_.sample_features(ws->batch_samples[b]);
+    for (int f = 0; f < F; ++f) {
+      const FeatureId x = feats[f];
+      uint64_t slot = HashId(static_cast<uint64_t>(x)) & mask;
+      while (ws->map_stamp[slot] == gen && ws->map_keys[slot] != x) {
+        slot = (slot + 1) & mask;
+      }
+      int32_t idx;
+      if (ws->map_stamp[slot] == gen) {
+        idx = ws->map_vals[slot];
+      } else {
+        // First occurrence: unique_feats keeps first-occurrence order, so
+        // gather order — and with it LRU admission/traffic — matches the
+        // reference hot path exactly.
+        ws->map_stamp[slot] = gen;
+        ws->map_keys[slot] = x;
+        ws->map_vals[slot] = next;
+        ws->unique_feats.push_back(x);
+        idx = next;
+        ++next;
+      }
+      plan[b * F + f] = idx;
+    }
+  }
+#ifndef NDEBUG
+  for (int64_t i = 0; i < B * F; ++i) {
+    HETGMP_DCHECK(plan[i] >= 0 && plan[i] < next);
+  }
+#endif
+  return next;
+}
+
+void Engine::ExecPairCheck(WorkerState* ws, int32_t ua, int32_t ub) {
+  // Exactly one reference occurrence of the ordered pair (ua, ub): gap
+  // test, flag, victim selection by this occurrence's orientation (the
+  // na == nb tie-break picks the earlier field), refresh, audit.
+  const FeatureId xa = ws->unique_feats[ua];
+  const FeatureId xb = ws->unique_feats[ub];
+  const double pair_gap = NormalizedClockGap(
+      ws->feat_clock[ua], access_freq_[xa], ws->feat_clock[ub],
+      access_freq_[xb], config_.bound.normalize_by_frequency);
+  if (pair_gap <= static_cast<double>(config_.bound.s)) {
+    if (pair_gap > ws->max_inter_norm_gap) {
+      ws->max_inter_norm_gap = pair_gap;
+    }
+    return;
+  }
+  ++ws->inter_flags;
+  // Refresh the stale secondary (the one with the smaller normalized
+  // clock); if both are secondary, refresh the laggard. A refresh only
+  // helps if the replica actually lags its primary (lag 0 replicas cannot
+  // be made fresher — re-fetching them would thrash without changing the
+  // pair's clocks).
+  const bool sec_a = ws->feat_kind[ua] == kSecondary;
+  const bool sec_b = ws->feat_kind[ub] == kSecondary;
+  const double na = access_freq_[xa] > 0
+                        ? ws->feat_clock[ua] / access_freq_[xa]
+                        : 0.0;
+  const double nb = access_freq_[xb] > 0
+                        ? ws->feat_clock[ub] / access_freq_[xb]
+                        : 0.0;
+  int32_t victim;
+  if (sec_a && sec_b) {
+    victim = na <= nb ? ua : ub;
+  } else {
+    victim = sec_a ? ua : ub;
+  }
+  const FeatureId xv = ws->unique_feats[victim];
+  const uint64_t primary_v = PrimaryClock(xv);
+  if (primary_v > ws->feat_clock[victim]) {
+    RefreshSecondary(ws, xv, ws->feat_slot[victim]);
+    ws->feat_clock[victim] =
+        caches_[ws->id]->synced_clock(ws->feat_slot[victim]);
+    CopyRow(ws->unique_values.row(victim),
+            caches_[ws->id]->Value(ws->feat_slot[victim]),
+            config_.embedding_dim);
+    ++ws->inter_refreshes;
+    // Keep the screen's hoisted clocks in step with the refresh.
+    if (!ws->raw_clock.empty()) {
+      const double fv = ws->freq[victim];
+      const double cv = static_cast<double>(ws->feat_clock[victim]);
+      ws->raw_clock[victim] = cv;
+      ws->norm_clock[victim] = fv > 0.0 ? cv / fv : 0.0;
+    }
+  }
+  // Audit the §5.3 guarantee for flagged pairs: the sync pass must leave
+  // the pair fresh, or the lagging replica fully caught up with the
+  // primary clock the decision observed (any residual normalized gap is
+  // then frequency asymmetry, not staleness).
+  if (ws->feat_clock[victim] < primary_v &&
+      !InterEmbeddingFresh(ws->feat_clock[ua], access_freq_[xa],
+                           ws->feat_clock[ub], access_freq_[xb],
+                           config_.bound)) {
+    ++ws->inter_violations;
+  }
+}
+
 void Engine::TrainIteration(WorkerState* ws) {
+  if (config_.reference_hotpath) {
+    TrainIterationReference(ws);
+  } else {
+    TrainIterationPlanned(ws);
+  }
+}
+
+void Engine::TrainIterationPlanned(WorkerState* ws) {
   const int w = ws->id;
   const int F = train_.num_fields();
   const int d = config_.embedding_dim;
   const int64_t B = ws->batch_size;
+  StageClock stage;
+
+  // ---- 1. Select the batch (cyclic over local samples). ----
+  ws->batch_samples.clear();
+  ws->batch_labels.clear();
+  const int64_t local = static_cast<int64_t>(ws->local_samples.size());
+  for (int64_t b = 0; b < B; ++b) {
+    const int64_t s = ws->local_samples[ws->cursor % local];
+    ++ws->cursor;
+    ws->batch_samples.push_back(s);
+    ws->batch_labels.push_back(train_.label(s));
+  }
+
+  // ---- 2. Batch plan: one [B×F] → unique-index table for the whole
+  // iteration (steps 3b, 4 and 6 consume it; nothing re-hashes). ----
+  ws->feat_kind.clear();
+  ws->feat_slot.clear();
+  ws->feat_clock.clear();
+  const int64_t U = BuildBatchPlan(ws);
+
+  // ---- 3. Gather (Read op) with staleness checks. ----
+  ws->unique_values.ResizeUninit(U, d);  // every row written by Resolve
+  for (int64_t u = 0; u < U; ++u) {
+    ResolveFeature(ws, ws->unique_feats[u], ws->unique_values.row(u));
+  }
+  ws->stage_gather += stage.Lap();
+
+  // ---- 3b. Inter-embedding synchronization (② in Figure 6), screened:
+  // the occurrence scan is unchanged, but each occurrence first compares
+  // a per-element hoisted bound against min(s, running max gap). An
+  // occurrence under that bound is provably a no-op of the full check
+  // (fresh, and folding its gap cannot move the max), so only stale or
+  // near-max pairs execute the per-occurrence math — which stays exactly
+  // the reference's, refresh interleaving included. ----
+  if (config_.consistency == ConsistencyMode::kGraphBounded &&
+      !config_.bound.unbounded() && caches_[w]->size() > 0) {
+    const bool normalize = config_.bound.normalize_by_frequency;
+    ws->norm_clock.resize(static_cast<size_t>(U));
+    ws->raw_clock.resize(static_cast<size_t>(U));
+    ws->freq.resize(static_cast<size_t>(U));
+    for (int64_t u = 0; u < U; ++u) {
+      const double f = access_freq_[ws->unique_feats[u]];
+      const double c = static_cast<double>(ws->feat_clock[u]);
+      ws->freq[u] = f;
+      ws->raw_clock[u] = c;
+      ws->norm_clock[u] = f > 0.0 ? c / f : 0.0;
+    }
+    const double s_bound = static_cast<double>(config_.bound.s);
+    const int32_t* plan = ws->plan.data();
+    const double* norm = ws->norm_clock.data();
+    const double* raw = ws->raw_clock.data();
+    const double* freq = ws->freq.data();
+    const uint8_t* kind = ws->feat_kind.data();
+    // Per-row contiguous copies of the screen inputs, so the O(F^2) scans
+    // read the stack instead of gathering through the plan; rval holds
+    // the normalized (or raw) clock the per-pair screen compares.
+    std::vector<double> rval(static_cast<size_t>(F));
+    std::vector<double> rfreq(static_cast<size_t>(F));
+    std::vector<uint8_t> rkind(static_cast<size_t>(F));
+    for (int64_t b = 0; b < B; ++b) {
+      const int32_t* prow = plan + b * F;
+      bool nonpos_freq = false;
+      double maxv = -1.0, minv = 0.0;
+      for (int f = 0; f < F; ++f) {
+        const int32_t u = prow[f];
+        const double v = normalize ? norm[u] : raw[u];
+        rval[f] = v;
+        rfreq[f] = freq[u];
+        rkind[f] = kind[u];
+        if (freq[u] <= 0.0) nonpos_freq = true;
+        if (f == 0) {
+          maxv = minv = v;
+        } else {
+          if (v > maxv) maxv = v;
+          if (v < minv) minv = v;
+        }
+      }
+      double thresh = s_bound < ws->max_inter_norm_gap
+                          ? s_bound
+                          : ws->max_inter_norm_gap;
+      // Elements with a mix of normalized and raw partners (freq <= 0
+      // under normalization) fall through to the per-pair screen; in
+      // practice every batch feature has freq >= 1.
+      const bool element_screen = !(normalize && nonpos_freq);
+      for (int a = 0; a < F; ++a) {
+        if (element_screen) {
+          // Whole-element screen: every pair bound involving a is at most
+          // f_a * spread_a + slack (f_min <= f_a and |n_a - n_b| <= the
+          // row spread around a), so one comparison can retire all F-a-1
+          // pairs at once.
+          const double hi = maxv - rval[a];
+          const double lo = rval[a] - minv;
+          const double spread = hi > lo ? hi : lo;
+          const double qa =
+              normalize ? rfreq[a] * spread + kScreenSlack : spread;
+          if (qa <= thresh) continue;
+        }
+        const int32_t ua = prow[a];
+        const bool sec_a = rkind[a] == kSecondary;
+        for (int b2 = a + 1; b2 < F; ++b2) {
+          const int32_t ub = prow[b2];
+          if (ua == ub) continue;
+          // Only a secondary can be refreshed; primaries are never stale.
+          if (!sec_a && rkind[b2] != kSecondary) continue;
+          double bound;
+          const double fa = rfreq[a], fb = rfreq[b2];
+          if (normalize && fa > 0.0 && fb > 0.0) {
+            const double diff = rval[a] - rval[b2];
+            const double fmin = fa < fb ? fa : fb;
+            bound = fmin * (diff < 0 ? -diff : diff) + kScreenSlack;
+          } else {
+            // Raw-clock gap: integer-valued doubles, exact either route.
+            const double diff = raw[ua] - raw[ub];
+            bound = diff < 0 ? -diff : diff;
+          }
+          if (bound <= thresh) continue;
+          const int64_t refreshes_before = ws->inter_refreshes;
+          ExecPairCheck(ws, ua, ub);
+          // The check may have grown the running max gap (cheap: just
+          // re-derive the threshold). Only a refresh moves a clock; when
+          // one happened, re-sync every cached copy (either element can
+          // recur later in the row) and widen the spread so later
+          // screens stay exact.
+          thresh = s_bound < ws->max_inter_norm_gap
+                       ? s_bound
+                       : ws->max_inter_norm_gap;
+          if (ws->inter_refreshes != refreshes_before) {
+            const double va = normalize ? norm[ua] : raw[ua];
+            const double vb = normalize ? norm[ub] : raw[ub];
+            for (int f = 0; f < F; ++f) {
+              if (prow[f] == ua) rval[f] = va;
+              if (prow[f] == ub) rval[f] = vb;
+            }
+            if (va > maxv) maxv = va;
+            if (va < minv) minv = va;
+            if (vb > maxv) maxv = vb;
+            if (vb < minv) minv = vb;
+          }
+        }
+      }
+    }
+  }
+  ws->stage_inter += stage.Lap();
+
+  // ---- 4. Assemble the embedding block [B, F*d] via the plan. ----
+  ws->emb_in.ResizeUninit(B, static_cast<int64_t>(F) * d);
+  {
+    const int32_t* plan = ws->plan.data();
+    for (int64_t b = 0; b < B; ++b) {
+      const int32_t* prow = plan + b * F;
+      float* row = ws->emb_in.row(b);
+      for (int f = 0; f < F; ++f) {
+        CopyRow(row + static_cast<int64_t>(f) * d,
+                ws->unique_values.row(prow[f]), d);
+      }
+    }
+  }
+  ws->stage_gather += stage.Lap();
+
+  // ---- 5. Dense forward/backward. ----
+  EmbeddingModel& model = *models_[w];
+  model.Forward(ws->emb_in, &ws->logits);
+  const double loss =
+      BceWithLogits(ws->logits, ws->batch_labels, &ws->dlogits);
+  model.Backward(ws->dlogits, &ws->demb_in);
+  ws->loss_sum += loss;
+  ++ws->loss_count;
+  double compute_sec =
+      static_cast<double>(B) *
+      static_cast<double>(model.FlopsPerSample()) / config_.device_flops;
+  if (static_cast<size_t>(w) < config_.worker_slowdown.size()) {
+    compute_sec *= config_.worker_slowdown[w];
+  }
+  ws->compute_time += compute_sec;
+  ws->sim_time += compute_sec;
+  ws->stage_dense += stage.Lap();
+
+  // ---- 6. Scatter embedding gradients (Update op) via the plan. ----
+  ws->unique_grads.Resize(U, d);  // zero-filled accumulator
+  {
+    const int32_t* plan = ws->plan.data();
+    for (int64_t b = 0; b < B; ++b) {
+      const int32_t* prow = plan + b * F;
+      const float* grow = ws->demb_in.row(b);
+      for (int f = 0; f < F; ++f) {
+        AccumulateRow(ws->unique_grads.row(prow[f]),
+                      grow + static_cast<int64_t>(f) * d, d);
+      }
+    }
+  }
+  ScatterGradients(ws);
+  ws->stage_scatter += stage.Lap();
+
+  // ---- 7./8. Write-back + batched fabric charges. ----
+  FlushStaggered(ws);
+  ChargePendingTransfers(ws);
+  ws->stage_flush += stage.Lap();
+
+  ws->samples_done += B;
+  ws->iter_count.fetch_add(1, std::memory_order_release);
+}
+
+// The pre-batch-plan implementation, kept verbatim as the measured
+// baseline for bench_train_hotpath and the golden-trajectory tests
+// (EngineConfig::reference_hotpath). Do not optimize this path.
+void Engine::TrainIterationReference(WorkerState* ws) {
+  const int w = ws->id;
+  const int F = train_.num_fields();
+  const int d = config_.embedding_dim;
+  const int64_t B = ws->batch_size;
+  StageClock stage;
 
   // ---- 1. Select the batch (cyclic over local samples). ----
   ws->batch_samples.clear();
@@ -355,6 +795,7 @@ void Engine::TrainIteration(WorkerState* ws) {
   for (int64_t u = 0; u < U; ++u) {
     ResolveFeature(ws, ws->unique_feats[u], ws->unique_values.row(u));
   }
+  ws->stage_gather += stage.Lap();
 
   // ---- 3b. Inter-embedding synchronization (② in Figure 6). ----
   if (config_.consistency == ConsistencyMode::kGraphBounded &&
@@ -426,6 +867,7 @@ void Engine::TrainIteration(WorkerState* ws) {
       }
     }
   }
+  ws->stage_inter += stage.Lap();
 
   // ---- 4. Assemble the embedding block [B, F*d]. ----
   ws->emb_in.Resize({B, static_cast<int64_t>(F) * d});
@@ -438,6 +880,7 @@ void Engine::TrainIteration(WorkerState* ws) {
       for (int c = 0; c < d; ++c) row[f * d + c] = v[c];
     }
   }
+  ws->stage_gather += stage.Lap();
 
   // ---- 5. Dense forward/backward. ----
   EmbeddingModel& model = *models_[w];
@@ -455,6 +898,7 @@ void Engine::TrainIteration(WorkerState* ws) {
   }
   ws->compute_time += compute_sec;
   ws->sim_time += compute_sec;
+  ws->stage_dense += stage.Lap();
 
   // ---- 6. Scatter embedding gradients (Update op). ----
   ws->unique_grads.Resize({U, d});
@@ -467,6 +911,22 @@ void Engine::TrainIteration(WorkerState* ws) {
       for (int c = 0; c < d; ++c) g[c] += grow[f * d + c];
     }
   }
+  ScatterGradients(ws);
+  ws->stage_scatter += stage.Lap();
+
+  // ---- 7./8. Write-back + batched fabric charges. ----
+  FlushStaggered(ws);
+  ChargePendingTransfers(ws);
+  ws->stage_flush += stage.Lap();
+
+  ws->samples_done += B;
+  ws->iter_count.fetch_add(1, std::memory_order_release);
+}
+
+void Engine::ScatterGradients(WorkerState* ws) {
+  const int w = ws->id;
+  const int d = config_.embedding_dim;
+  const int64_t U = static_cast<int64_t>(ws->unique_feats.size());
   for (int64_t u = 0; u < U; ++u) {
     const FeatureId x = ws->unique_feats[u];
     const float* grad = ws->unique_grads.row(u);
@@ -500,11 +960,14 @@ void Engine::TrainIteration(WorkerState* ws) {
       }
     }
   }
+}
 
-  // ---- 7. Write back pending secondary updates ("local reduction then
-  // write to primaries", §6). With write_back_every > 1, flushes are
-  // staggered across iterations by slot; RunWorkerRound force-flushes the
-  // remainder at round barriers.
+// Step 7: write back pending secondary updates ("local reduction then
+// write to primaries", §6). With write_back_every > 1, flushes are
+// staggered across iterations by slot; ForceFlushRound covers the
+// remainder at round barriers.
+void Engine::FlushStaggered(WorkerState* ws) {
+  const int64_t U = static_cast<int64_t>(ws->unique_feats.size());
   const int64_t wbe = std::max(1, config_.write_back_every);
   const int64_t iter_now = ws->iter_count.load(std::memory_order_relaxed);
   for (int64_t u = 0; u < U; ++u) {
@@ -513,12 +976,17 @@ void Engine::TrainIteration(WorkerState* ws) {
       FlushSecondary(ws, ws->unique_feats[u], ws->feat_slot[u]);
     }
   }
+}
 
-  // ---- 8. Charge batched per-peer transfers. ----
+void Engine::ForceFlushRound(WorkerState* ws) {
+  ReplicaStore& cache = *caches_[ws->id];
+  for (int64_t slot = 0; slot < cache.size(); ++slot) {
+    const FeatureId id = cache.IdAt(slot);
+    if (id >= 0 && cache.pending_count(slot) > 0) {
+      FlushSecondary(ws, id, slot);
+    }
+  }
   ChargePendingTransfers(ws);
-
-  ws->samples_done += B;
-  ws->iter_count.fetch_add(1, std::memory_order_release);
 }
 
 // Flushes the per-iteration byte tallies into the fabric (one batched
@@ -589,6 +1057,68 @@ void Engine::SyncDense(WorkerState* ws) {
   ws->sim_time += comm_sec;
 }
 
+void Engine::AverageDenseReplicas(bool grads) {
+  const int N = topology_.num_workers();
+  if (N <= 1) return;
+  std::vector<std::vector<Tensor*>> all(N);
+  for (int p = 0; p < N; ++p) {
+    all[p] = grads ? models_[p]->DenseGrads() : models_[p]->DenseParams();
+  }
+  const size_t num_tensors = all[0].size();
+  const float inv = 1.0f / static_cast<float>(N);
+
+  if (config_.reference_hotpath) {
+    // Reference: three separate passes (sum into replica 0, scale,
+    // broadcast), as the pre-plan engine did.
+    for (size_t t = 0; t < num_tensors; ++t) {
+      Tensor* first = all[0][t];
+      for (int p = 1; p < N; ++p) {
+        Tensor* other = all[p][t];
+        for (int64_t i = 0; i < first->size(); ++i) {
+          first->at(i) += other->at(i);
+        }
+      }
+      for (int64_t i = 0; i < first->size(); ++i) first->at(i) *= inv;
+      for (int p = 1; p < N; ++p) {
+        Tensor* other = all[p][t];
+        for (int64_t i = 0; i < first->size(); ++i) {
+          other->at(i) = first->at(i);
+        }
+      }
+    }
+    return;
+  }
+
+  // Fused sum+scale+broadcast: one pass, one store per replica element.
+  // Bit-identical to the reference — element i accumulates replicas in
+  // ascending worker order in float (matching the reference's += into
+  // replica 0), scales once, then broadcasts. Elements are independent,
+  // so chunking across serial_pool_ preserves every result bit.
+  std::vector<float*> rows(N);
+  for (size_t t = 0; t < num_tensors; ++t) {
+    const int64_t size = all[0][t]->size();
+    if (size == 0) continue;
+    for (int p = 0; p < N; ++p) rows[p] = all[p][t]->data();
+    auto fuse = [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        float acc = rows[0][i];
+        for (int p = 1; p < N; ++p) acc += rows[p][i];
+        acc *= inv;
+        for (int p = 0; p < N; ++p) rows[p][i] = acc;
+      }
+    };
+    if (serial_pool_ != nullptr && size >= 4096) {
+      serial_pool_->RunChunks(
+          size, serial_pool_->num_threads(),
+          [&](int /*chunk*/, int64_t begin, int64_t end) {
+            fuse(begin, end);
+          });
+    } else {
+      fuse(0, size);
+    }
+  }
+}
+
 void Engine::RunWorkerRound(WorkerState* ws, int64_t iters) {
   const bool bsp = config_.consistency == ConsistencyMode::kBsp;
   const int N = topology_.num_workers();
@@ -618,24 +1148,7 @@ void Engine::RunWorkerRound(WorkerState* ws, int64_t iters) {
       // Exact BSP: average dense gradients across replicas and align
       // simulated clocks to the straggler, every iteration.
       if (iter_barrier_.ArriveAndWait()) {
-        const size_t num_tensors = models_[0]->DenseGrads().size();
-        for (size_t t = 0; t < num_tensors; ++t) {
-          Tensor* first = models_[0]->DenseGrads()[t];
-          for (int p = 1; p < N; ++p) {
-            Tensor* other = models_[p]->DenseGrads()[t];
-            for (int64_t i = 0; i < first->size(); ++i) {
-              first->at(i) += other->at(i);
-            }
-          }
-          const float inv = 1.0f / static_cast<float>(N);
-          for (int64_t i = 0; i < first->size(); ++i) first->at(i) *= inv;
-          for (int p = 1; p < N; ++p) {
-            Tensor* other = models_[p]->DenseGrads()[t];
-            for (int64_t i = 0; i < first->size(); ++i) {
-              other->at(i) = first->at(i);
-            }
-          }
-        }
+        AverageDenseReplicas(/*grads=*/true);
         bsp_shared_max_time_ = 0.0;
         for (int p = 0; p < N; ++p) {
           bsp_shared_max_time_ =
@@ -661,14 +1174,7 @@ void Engine::RunWorkerRound(WorkerState* ws, int64_t iters) {
   // primaries are complete for evaluation (per-iteration flushing leaves
   // nothing pending when write_back_every == 1).
   if (config_.write_back_every > 1) {
-    ReplicaStore& cache = *caches_[ws->id];
-    for (int64_t slot = 0; slot < cache.size(); ++slot) {
-      const FeatureId id = cache.IdAt(slot);
-      if (id >= 0 && cache.pending_count(slot) > 0) {
-        FlushSecondary(ws, id, slot);
-      }
-    }
-    ChargePendingTransfers(ws);
+    ForceFlushRound(ws);
   }
 }
 
@@ -719,6 +1225,43 @@ double Engine::EvaluateAuc() {
   const int64_t n = test_.num_samples();
   if (n == 0) return 0.5;
   constexpr int64_t kChunk = 2048;
+  const int N = topology_.num_workers();
+
+  if (serial_pool_ != nullptr && n >= 2 * kChunk) {
+    // Parallel evaluation across the serial pool. Every per-row score is
+    // computed by exactly the same per-row math as the serial path (the
+    // dense forward is row-independent), and the model replicas are
+    // bit-identical whenever this runs (same-seed init; re-averaged at
+    // every round boundary before evaluation), so chunk c may use
+    // replica c without changing a single bit of the result.
+    const int num_chunks =
+        std::min(serial_pool_->num_threads(), N);
+    std::vector<float> scores(n);
+    serial_pool_->RunChunks(
+        n, num_chunks, [&](int chunk, int64_t begin, int64_t end) {
+          Tensor emb_in;
+          Tensor logits;
+          EmbeddingModel& model = *models_[chunk];
+          for (int64_t start = begin; start < end; start += kChunk) {
+            const int64_t len = std::min(kChunk, end - start);
+            emb_in.Resize({len, static_cast<int64_t>(F) * d});
+            for (int64_t i = 0; i < len; ++i) {
+              const FeatureId* feats = test_.sample_features(start + i);
+              float* row = emb_in.row(i);
+              for (int f = 0; f < F; ++f) {
+                CopyRow(row + static_cast<int64_t>(f) * d,
+                        table_->UnsafeRow(feats[f]), d);
+              }
+            }
+            model.Forward(emb_in, &logits);
+            for (int64_t i = 0; i < len; ++i) {
+              scores[start + i] = logits.at(i);
+            }
+          }
+        });
+    return ComputeAuc(scores, test_.labels());
+  }
+
   std::vector<float> scores;
   scores.reserve(n);
   Tensor emb_in;
@@ -748,6 +1291,145 @@ void Engine::SetPublishHook(PublishHook hook, int every_rounds) {
   publish_every_rounds_ = every_rounds;
 }
 
+bool Engine::RoundSerialSection(int round, int total_rounds,
+                                double auc_target, double sim_time_budget,
+                                TrainResult* result, Mutex* result_mu) {
+  const int N = topology_.num_workers();
+  if (config_.consistency != ConsistencyMode::kBsp && N > 1) {
+    // Asynchronous modes: re-average the dense replicas (local-SGD
+    // style; per-iteration sync cost was already charged).
+    AverageDenseReplicas(/*grads=*/false);
+  }
+  double max_time = 0.0;
+  for (int p = 0; p < N; ++p) {
+    max_time = std::max(max_time, workers_[p]->sim_time);
+  }
+  for (int p = 0; p < N; ++p) workers_[p]->sim_time = max_time;
+
+  RoundStats rs;
+  rs.round = round;
+  rs.sim_time = max_time;
+  rs.auc = EvaluateAuc();
+  double loss_sum = 0.0;
+  int64_t loss_count = 0;
+  for (int p = 0; p < N; ++p) {
+    rs.iterations_done += workers_[p]->iter_count.load();
+    rs.remote_fetches += workers_[p]->remote_fetches;
+    rs.intra_refreshes += workers_[p]->intra_refreshes;
+    rs.inter_refreshes += workers_[p]->inter_refreshes;
+    rs.inter_flags += workers_[p]->inter_flags;
+    loss_sum += workers_[p]->loss_sum;
+    loss_count += workers_[p]->loss_count;
+    workers_[p]->loss_sum = 0.0;
+    workers_[p]->loss_count = 0;
+  }
+  rs.train_loss = loss_count > 0 ? loss_sum / loss_count : 0.0;
+  rs.embedding_bytes = fabric_->TotalBytes(TrafficClass::kEmbedding);
+  rs.index_clock_bytes =
+      fabric_->TotalBytes(TrafficClass::kIndexClock);
+  rs.allreduce_bytes = fabric_->TotalBytes(TrafficClass::kAllReduce);
+  {
+    MutexLock lock(*result_mu);
+    result->rounds.push_back(rs);
+  }
+  bool stop = false;
+  if (auc_target > 0 && rs.auc >= auc_target) {
+    result->reached_target = true;
+    stop = true;
+  }
+  if (sim_time_budget > 0 && rs.sim_time >= sim_time_budget) {
+    stop = true;
+  }
+  if (round == total_rounds - 1) stop = true;
+  // Snapshot publication: every k-th round plus the final round, in
+  // the serial section (all other workers are parked at the round
+  // barrier, so the unsafe table reads in the hook are quiesced).
+  if (publish_hook_ != nullptr && publish_every_rounds_ > 0 &&
+      ((round + 1) % publish_every_rounds_ == 0 || stop)) {
+    const std::vector<Tensor*> dense = models_[0]->DenseParams();
+    const PublishContext ctx{*table_, dense, round, rs.iterations_done,
+                             rs.sim_time};
+    const Status pub = publish_hook_(ctx);
+    MutexLock lock(*result_mu);
+    if (pub.ok()) {
+      ++result->snapshots_published;
+    } else {
+      ++result->publish_failures;
+      HETGMP_LOG(Warning) << "snapshot publish failed at round " << round
+                          << ": " << pub.ToString();
+    }
+  }
+  if (stop) stop_.store(true, std::memory_order_release);
+  return stop;
+}
+
+void Engine::TrainRoundRobin(int total_rounds, int64_t iters_per_round,
+                             double auc_target, double sim_time_budget,
+                             TrainResult* result, Mutex* result_mu) {
+  const int N = topology_.num_workers();
+  const bool bsp = config_.consistency == ConsistencyMode::kBsp;
+  // Note on SSP: the threaded driver throttles fast workers against the
+  // slowest one's iteration count. Under this schedule workers advance in
+  // lockstep (never more than one iteration apart), so the slack bound
+  // can never be exceeded and the spin-wait is skipped rather than
+  // polled.
+  for (int round = 0; round < total_rounds; ++round) {
+    if (stop_.load(std::memory_order_acquire)) break;
+    for (int64_t it = 0; it < iters_per_round; ++it) {
+      for (int w = 0; w < N; ++w) {
+        TrainIteration(workers_[w].get());
+        SyncDense(workers_[w].get());
+      }
+      if (bsp && N > 1) {
+        AverageDenseReplicas(/*grads=*/true);
+        double max_time = 0.0;
+        for (int p = 0; p < N; ++p) {
+          max_time = std::max(max_time, workers_[p]->sim_time);
+        }
+        for (int p = 0; p < N; ++p) workers_[p]->sim_time = max_time;
+      }
+      for (int w = 0; w < N; ++w) {
+        workers_[w]->dense_opt->Step(models_[w]->DenseParams(),
+                                     models_[w]->DenseGrads());
+        models_[w]->ZeroGrads();
+      }
+    }
+    if (config_.write_back_every > 1) {
+      for (int w = 0; w < N; ++w) ForceFlushRound(workers_[w].get());
+    }
+    RoundSerialSection(round, total_rounds, auc_target, sim_time_budget,
+                       result, result_mu);
+  }
+}
+
+void Engine::FinalizeResult(TrainResult* result) {
+  const int N = topology_.num_workers();
+  result->final_auc =
+      result->rounds.empty() ? 0.5 : result->rounds.back().auc;
+  double compute = 0.0, comm = 0.0;
+  for (int p = 0; p < N; ++p) {
+    result->total_sim_time =
+        std::max(result->total_sim_time, workers_[p]->sim_time);
+    compute += workers_[p]->compute_time;
+    comm += workers_[p]->comm_time;
+    result->total_iterations += workers_[p]->iter_count.load();
+    result->samples_processed += workers_[p]->samples_done;
+    result->staleness.max_intra_gap = std::max(
+        result->staleness.max_intra_gap, workers_[p]->max_intra_gap);
+    result->staleness.max_inter_norm_gap =
+        std::max(result->staleness.max_inter_norm_gap,
+                 workers_[p]->max_inter_norm_gap);
+    result->staleness.inter_violations += workers_[p]->inter_violations;
+    result->stage_secs.gather += workers_[p]->stage_gather;
+    result->stage_secs.inter_sync += workers_[p]->stage_inter;
+    result->stage_secs.dense += workers_[p]->stage_dense;
+    result->stage_secs.scatter += workers_[p]->stage_scatter;
+    result->stage_secs.flush += workers_[p]->stage_flush;
+  }
+  result->compute_time = compute / N;
+  result->comm_time = comm / N;
+}
+
 TrainResult Engine::Train(int max_epochs, double auc_target,
                           double sim_time_budget) {
   HETGMP_CHECK_GT(max_epochs, 0);
@@ -763,131 +1445,38 @@ TrainResult Engine::Train(int max_epochs, double auc_target,
 
   // Ownership hand-off: replica stores were last touched by whichever
   // thread constructed the engine or ran the previous Train; from here
-  // each store belongs to its worker thread.
+  // each store belongs to its worker thread (or the round-robin driver).
   for (auto& cache : caches_) cache->ResetOwner();
 
-  auto worker_main = [&](int w) {
-    WorkerState* ws = workers_[w].get();
-    for (int round = 0; round < total_rounds; ++round) {
-      if (stop_.load(std::memory_order_acquire)) break;
-      RunWorkerRound(ws, iters_per_round);
-      if (round_barrier_.ArriveAndWait()) {
-        // ---- Serial round-end section (exactly one thread). ----
-        if (config_.consistency != ConsistencyMode::kBsp && N > 1) {
-          // Asynchronous modes: re-average the dense replicas (local-SGD
-          // style; per-iteration sync cost was already charged).
-          const size_t num_tensors = models_[0]->DenseParams().size();
-          for (size_t t = 0; t < num_tensors; ++t) {
-            Tensor* first = models_[0]->DenseParams()[t];
-            for (int p = 1; p < N; ++p) {
-              Tensor* other = models_[p]->DenseParams()[t];
-              for (int64_t i = 0; i < first->size(); ++i) {
-                first->at(i) += other->at(i);
-              }
-            }
-            const float inv = 1.0f / static_cast<float>(N);
-            for (int64_t i = 0; i < first->size(); ++i) {
-              first->at(i) *= inv;
-            }
-            for (int p = 1; p < N; ++p) {
-              Tensor* other = models_[p]->DenseParams()[t];
-              for (int64_t i = 0; i < first->size(); ++i) {
-                other->at(i) = first->at(i);
-              }
-            }
-          }
+  if (config_.deterministic) {
+    TrainRoundRobin(total_rounds, iters_per_round, auc_target,
+                    sim_time_budget, &result, &result_mu);
+  } else {
+    auto worker_main = [&](int w) {
+      WorkerState* ws = workers_[w].get();
+      for (int round = 0; round < total_rounds; ++round) {
+        if (stop_.load(std::memory_order_acquire)) break;
+        RunWorkerRound(ws, iters_per_round);
+        if (round_barrier_.ArriveAndWait()) {
+          // ---- Serial round-end section (exactly one thread). ----
+          RoundSerialSection(round, total_rounds, auc_target,
+                             sim_time_budget, &result, &result_mu);
         }
-        double max_time = 0.0;
-        for (int p = 0; p < N; ++p) {
-          max_time = std::max(max_time, workers_[p]->sim_time);
-        }
-        for (int p = 0; p < N; ++p) workers_[p]->sim_time = max_time;
-
-        RoundStats rs;
-        rs.round = round;
-        rs.sim_time = max_time;
-        rs.auc = EvaluateAuc();
-        double loss_sum = 0.0;
-        int64_t loss_count = 0;
-        for (int p = 0; p < N; ++p) {
-          rs.iterations_done += workers_[p]->iter_count.load();
-          rs.remote_fetches += workers_[p]->remote_fetches;
-          rs.intra_refreshes += workers_[p]->intra_refreshes;
-          rs.inter_refreshes += workers_[p]->inter_refreshes;
-          rs.inter_flags += workers_[p]->inter_flags;
-          loss_sum += workers_[p]->loss_sum;
-          loss_count += workers_[p]->loss_count;
-          workers_[p]->loss_sum = 0.0;
-          workers_[p]->loss_count = 0;
-        }
-        rs.train_loss = loss_count > 0 ? loss_sum / loss_count : 0.0;
-        rs.embedding_bytes = fabric_->TotalBytes(TrafficClass::kEmbedding);
-        rs.index_clock_bytes =
-            fabric_->TotalBytes(TrafficClass::kIndexClock);
-        rs.allreduce_bytes = fabric_->TotalBytes(TrafficClass::kAllReduce);
-        {
-          MutexLock lock(result_mu);
-          result.rounds.push_back(rs);
-        }
-        bool stop = false;
-        if (auc_target > 0 && rs.auc >= auc_target) {
-          result.reached_target = true;
-          stop = true;
-        }
-        if (sim_time_budget > 0 && rs.sim_time >= sim_time_budget) {
-          stop = true;
-        }
-        if (round == total_rounds - 1) stop = true;
-        // Snapshot publication: every k-th round plus the final round, in
-        // the serial section (all other workers are parked at the round
-        // barrier, so the unsafe table reads in the hook are quiesced).
-        if (publish_hook_ != nullptr && publish_every_rounds_ > 0 &&
-            ((round + 1) % publish_every_rounds_ == 0 || stop)) {
-          const std::vector<Tensor*> dense = models_[0]->DenseParams();
-          const PublishContext ctx{*table_, dense, round, rs.iterations_done,
-                                   rs.sim_time};
-          const Status pub = publish_hook_(ctx);
-          MutexLock lock(result_mu);
-          if (pub.ok()) {
-            ++result.snapshots_published;
-          } else {
-            ++result.publish_failures;
-            HETGMP_LOG(Warning) << "snapshot publish failed at round " << round
-                                << ": " << pub.ToString();
-          }
-        }
-        if (stop) stop_.store(true, std::memory_order_release);
+        round_barrier_.ArriveAndWait();
       }
-      round_barrier_.ArriveAndWait();
-    }
-  };
+    };
 
-  std::vector<std::thread> threads;
-  threads.reserve(N);
-  for (int w = 0; w < N; ++w) threads.emplace_back(worker_main, w);
-  for (auto& t : threads) t.join();
+    std::vector<std::thread> threads;
+    threads.reserve(N);
+    for (int w = 0; w < N; ++w) threads.emplace_back(worker_main, w);
+    for (auto& t : threads) t.join();
+  }
 
   // Hand ownership back to the calling thread (tests and checkpointing
   // touch the stores after training).
   for (auto& cache : caches_) cache->ResetOwner();
 
-  result.final_auc = result.rounds.empty() ? 0.5 : result.rounds.back().auc;
-  double compute = 0.0, comm = 0.0;
-  for (int p = 0; p < N; ++p) {
-    result.total_sim_time =
-        std::max(result.total_sim_time, workers_[p]->sim_time);
-    compute += workers_[p]->compute_time;
-    comm += workers_[p]->comm_time;
-    result.total_iterations += workers_[p]->iter_count.load();
-    result.samples_processed += workers_[p]->samples_done;
-    result.staleness.max_intra_gap =
-        std::max(result.staleness.max_intra_gap, workers_[p]->max_intra_gap);
-    result.staleness.max_inter_norm_gap = std::max(
-        result.staleness.max_inter_norm_gap, workers_[p]->max_inter_norm_gap);
-    result.staleness.inter_violations += workers_[p]->inter_violations;
-  }
-  result.compute_time = compute / N;
-  result.comm_time = comm / N;
+  FinalizeResult(&result);
   return result;
 }
 

@@ -33,7 +33,10 @@ struct RoundStats {
   int64_t iterations_done = 0;      // global iteration count so far
   double sim_time = 0.0;            // max worker simulated time so far
   double auc = 0.5;                 // test AUC at this point
-  double train_loss = 0.0;          // mean BCE over the round (worker 0)
+  // Mean BCE over the round, aggregated across every worker's iterations
+  // (each worker contributes its per-batch loss sum and batch count; the
+  // serial section merges and resets them at the round barrier).
+  double train_loss = 0.0;
   uint64_t embedding_bytes = 0;     // cumulative fabric counters
   uint64_t index_clock_bytes = 0;
   uint64_t allreduce_bytes = 0;
@@ -64,9 +67,25 @@ struct StalenessAudit {
   int64_t inter_violations = 0;
 };
 
+// Wall-clock seconds spent in each training-iteration stage, summed over
+// all workers (so on a multi-core host the sum can exceed elapsed time).
+// Filled by Train for both the planned and the reference hot path;
+// bench_train_hotpath prints the breakdown per configuration.
+struct HotpathStageSeconds {
+  double gather = 0.0;      // batch select + index plan + Read op + assemble
+  double inter_sync = 0.0;  // inter-embedding pair checks (② in Figure 6)
+  double dense = 0.0;       // dense forward/backward + loss
+  double scatter = 0.0;     // gradient accumulate + Update op
+  double flush = 0.0;       // write-back + fabric charging
+  double Total() const {
+    return gather + inter_sync + dense + scatter + flush;
+  }
+};
+
 struct TrainResult {
   std::vector<RoundStats> rounds;
   StalenessAudit staleness;
+  HotpathStageSeconds stage_secs;
   // Snapshot publications performed through the publish hook (serving
   // path); failures count hook invocations that returned a non-OK Status.
   int64_t snapshots_published = 0;
@@ -151,16 +170,68 @@ class Engine {
  private:
   struct WorkerState;
 
+  // Dispatches to the planned hot path, or to the frozen pre-plan
+  // reference implementation when config_.reference_hotpath is set. The
+  // two are semantically identical (golden-trajectory tests compare their
+  // metrics bit-for-bit under config_.deterministic).
   void TrainIteration(WorkerState* ws);
+  void TrainIterationReference(WorkerState* ws);
+  void TrainIterationPlanned(WorkerState* ws);
+
+  // Planned hot path: fills ws->plan (flat [B×F] → unique-index table) and
+  // ws->unique_feats in first-occurrence order via the generation-stamped
+  // open-addressed scratch map. Returns the unique count U.
+  int64_t BuildBatchPlan(WorkerState* ws);
+  // Runs the full inter-embedding check for one ordered co-accessed pair
+  // (reference occurrence semantics: gap test, flag, victim refresh,
+  // audit); the planned path only calls it for occurrences the hoisted
+  // screen could not prove to be no-ops (see DESIGN.md §5e).
+  void ExecPairCheck(WorkerState* ws, int32_t ua, int32_t ub);
+  // True iff `x` is a unique feature of the batch currently being
+  // resolved (LRU admission must not evict a feature this batch uses).
+  bool BatchContains(const WorkerState* ws, FeatureId x) const;
+
   // Resolves one unique feature of the current batch into `out` (dim
   // floats), charging communication as needed.
   void ResolveFeature(WorkerState* ws, FeatureId x, float* out);
   void RefreshSecondary(WorkerState* ws, FeatureId x, int64_t slot);
   void FlushSecondary(WorkerState* ws, FeatureId x, int64_t slot);
   void ChargePendingTransfers(WorkerState* ws);
+  // Applies the batch's per-unique-feature gradients through the Update
+  // op switch (primary / secondary / remote / host paths).
   void ScatterGradients(WorkerState* ws);
+  // Step-7 staggered write-back of pending secondary updates.
+  void FlushStaggered(WorkerState* ws);
+  // Round-boundary force-flush of every pending write-back (only needed
+  // when write_back_every > 1), including the fabric charge.
+  void ForceFlushRound(WorkerState* ws);
   void SyncDense(WorkerState* ws);
   void RunWorkerRound(WorkerState* ws, int64_t iters);
+
+  // Averages the dense replicas element-wise across workers and copies
+  // the mean back to every replica; `grads` selects DenseGrads (BSP
+  // per-iteration sync) vs DenseParams (async round-boundary re-average).
+  // The planned implementation fuses sum+scale+broadcast into one pass
+  // and may chunk it on serial_pool_; both are bit-identical to the
+  // reference triple-loop because the per-element accumulation order is
+  // preserved. Caller must hold barrier-phase protection.
+  void AverageDenseReplicas(bool grads);
+  // The round-end serial section (dense re-average, AUC eval, stats
+  // collection, publish hook, stop decision). Returns true when training
+  // should stop. Runs under barrier-phase protection in threaded mode and
+  // directly on the driver thread in deterministic mode.
+  bool RoundSerialSection(int round, int total_rounds, double auc_target,
+                          double sim_time_budget, TrainResult* result,
+                          Mutex* result_mu);
+  // Deterministic driver: executes the whole schedule round-robin on the
+  // calling thread (worker 0, 1, …, N-1 within each iteration) instead of
+  // spawning one OS thread per worker. See EngineConfig::deterministic.
+  void TrainRoundRobin(int total_rounds, int64_t iters_per_round,
+                       double auc_target, double sim_time_budget,
+                       TrainResult* result, Mutex* result_mu);
+  // Merges per-worker totals (times, counters, staleness audit, stage
+  // timers) into `result` after the schedule finishes.
+  void FinalizeResult(TrainResult* result);
 
   uint64_t PrimaryClock(FeatureId x) const {
     return clocks_->Get(partition_.embedding_owner[x], x);
@@ -182,6 +253,13 @@ class Engine {
   std::vector<LruEmbeddingCache*> lru_caches_;
   std::vector<std::unique_ptr<EmbeddingModel>> models_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  // Pool for the round-serial section's parallel work (AUC chunks, fused
+  // dense re-average). Null when the section runs serially (reference
+  // hot path, single worker, or serial_section_threads == 1). Only ever
+  // driven from a barrier serial section or the deterministic driver, so
+  // at most one thread submits work at a time.
+  std::unique_ptr<ThreadPool> serial_pool_;
 
   // Locking/synchronization discipline (see DESIGN.md "Locking
   // hierarchy"): shared state is reached three ways —

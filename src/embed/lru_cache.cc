@@ -1,6 +1,7 @@
 #include "embed/lru_cache.h"
 
 #include "common/logging.h"
+#include "tensor/ops.h"
 
 namespace hetgmp {
 
@@ -106,8 +107,7 @@ int64_t LruEmbeddingCache::Insert(FeatureId x) {
 
 void LruEmbeddingCache::AccumulatePending(int64_t slot, const float* grad) {
   owner_checker_.Check();
-  float* p = Pending(slot);
-  for (int c = 0; c < dim_; ++c) p[c] += grad[c];
+  AccumulateRow(Pending(slot), grad, dim_);
   ++pending_count_[slot];
 }
 
@@ -120,8 +120,7 @@ void LruEmbeddingCache::ClearPending(int64_t slot) {
 
 void LruEmbeddingCache::SetValue(int64_t slot, const float* value) {
   owner_checker_.Check();
-  float* v = Value(slot);
-  for (int c = 0; c < dim_; ++c) v[c] = value[c];
+  CopyRow(Value(slot), value, dim_);
 }
 
 }  // namespace hetgmp

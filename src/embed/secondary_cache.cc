@@ -1,6 +1,7 @@
 #include "embed/secondary_cache.h"
 
 #include "common/logging.h"
+#include "tensor/ops.h"
 
 namespace hetgmp {
 
@@ -22,8 +23,7 @@ SecondaryCache::SecondaryCache(const std::vector<FeatureId>& embedding_ids,
 
 void SecondaryCache::AccumulatePending(int64_t slot, const float* grad) {
   owner_checker_.Check();
-  float* p = Pending(slot);
-  for (int c = 0; c < dim_; ++c) p[c] += grad[c];
+  AccumulateRow(Pending(slot), grad, dim_);
   ++pending_count_[slot];
 }
 
@@ -36,8 +36,7 @@ void SecondaryCache::ClearPending(int64_t slot) {
 
 void SecondaryCache::SetValue(int64_t slot, const float* value) {
   owner_checker_.Check();
-  float* v = Value(slot);
-  for (int c = 0; c < dim_; ++c) v[c] = value[c];
+  CopyRow(Value(slot), value, dim_);
 }
 
 }  // namespace hetgmp

@@ -12,7 +12,7 @@ WdlModel::WdlModel(int64_t input_dim, std::vector<int64_t> hidden_dims,
 void WdlModel::Forward(const Tensor& emb_in, Tensor* logits) {
   wide_.Forward(emb_in, &wide_out_);
   deep_.Forward(emb_in, &deep_out_);
-  logits->Resize(wide_out_.shape());
+  logits->ResizeUninit(wide_out_.shape());
   for (int64_t i = 0; i < logits->size(); ++i) {
     logits->at(i) = wide_out_.at(i) + deep_out_.at(i);
   }
@@ -21,9 +21,12 @@ void WdlModel::Forward(const Tensor& emb_in, Tensor* logits) {
 void WdlModel::Backward(const Tensor& dlogits, Tensor* demb_in) {
   wide_.Backward(dlogits, &wide_grad_in_);
   deep_.Backward(dlogits, &deep_grad_in_);
-  demb_in->Resize(wide_grad_in_.shape());
+  demb_in->ResizeUninit(wide_grad_in_.shape());
+  const float* __restrict wg = wide_grad_in_.data();
+  const float* __restrict dg = deep_grad_in_.data();
+  float* __restrict out = demb_in->data();
   for (int64_t i = 0; i < demb_in->size(); ++i) {
-    demb_in->at(i) = wide_grad_in_.at(i) + deep_grad_in_.at(i);
+    out[i] = wg[i] + dg[i];
   }
 }
 

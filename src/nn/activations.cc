@@ -5,12 +5,12 @@
 namespace hetgmp {
 
 void Relu::Forward(const Tensor& in, Tensor* out) {
-  cached_in_ = in;
+  cached_in_ = &in;
   ReluForward(in, out);
 }
 
 void Relu::Backward(const Tensor& grad_out, Tensor* grad_in) {
-  ReluBackward(cached_in_, grad_out, grad_in);
+  ReluBackward(*cached_in_, grad_out, grad_in);
 }
 
 }  // namespace hetgmp

@@ -17,7 +17,9 @@ class Relu : public Layer {
   std::vector<Tensor*> Grads() override { return {}; }
 
  private:
-  Tensor cached_in_;
+  // Borrowed: the input must stay alive and unmodified until Backward
+  // returns (same contract as Dense::cached_in_).
+  const Tensor* cached_in_ = nullptr;
 };
 
 }  // namespace hetgmp

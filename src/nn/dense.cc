@@ -13,7 +13,7 @@ Dense::Dense(int64_t in_dim, int64_t out_dim, Rng* rng)
 
 void Dense::Forward(const Tensor& in, Tensor* out) {
   HETGMP_CHECK_EQ(in.dim(1), weight_.dim(0));
-  cached_in_ = in;
+  cached_in_ = &in;
   MatMul(in, weight_, out);
   AddBiasRows(out, bias_);
 }
@@ -21,7 +21,8 @@ void Dense::Forward(const Tensor& in, Tensor* out) {
 void Dense::Backward(const Tensor& grad_out, Tensor* grad_in) {
   HETGMP_CHECK_EQ(grad_out.dim(1), weight_.dim(1));
   // dW += in^T @ grad_out; db += column sums; grad_in = grad_out @ W^T.
-  MatMulTransA(cached_in_, grad_out, &scratch_);
+  HETGMP_CHECK(cached_in_ != nullptr);
+  MatMulTransA(*cached_in_, grad_out, &scratch_);
   Axpy(1.0f, scratch_, &weight_grad_);
   SumRows(grad_out, &scratch_);
   Axpy(1.0f, scratch_, &bias_grad_);

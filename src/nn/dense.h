@@ -28,7 +28,10 @@ class Dense : public Layer {
   Tensor bias_;
   Tensor weight_grad_;
   Tensor bias_grad_;
-  Tensor cached_in_;
+  // Forward's input, borrowed for the backward pass. Callers must keep
+  // the input tensor alive and unmodified until Backward returns (every
+  // model holds layer inputs in members or the engine's batch block).
+  const Tensor* cached_in_ = nullptr;
   Tensor scratch_;
 };
 

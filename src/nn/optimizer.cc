@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/ops.h"
 
 namespace hetgmp {
 
@@ -28,9 +29,7 @@ void AdaGradUpdateRow(float* row, const float* grad, float* accum,
 }
 
 void SgdUpdateRow(float* row, const float* grad, int64_t dim, float lr) {
-  for (int64_t c = 0; c < dim; ++c) {
-    row[c] -= lr * grad[c];
-  }
+  AxpyRow(row, grad, -lr, dim);
 }
 
 }  // namespace hetgmp

@@ -1,6 +1,8 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -14,26 +16,139 @@ void CheckRank2(const Tensor& t, const char* name) {
 
 }  // namespace
 
+// All three matmuls keep one invariant: every output element accumulates
+// its k terms in ascending-k order, with a term skipped exactly when the
+// naive form skipped it. The register tile only batches *different*
+// outputs, so results are bit-identical to the naive loops at any block
+// size or vector width (no fast-math anywhere).
+
+namespace {
+
+// Register-tiled micro-kernel shared by the three matmuls: each 4-row
+// block of A and 16-column tile of the output accumulates over k
+// entirely in registers (the naive form reloads and stores the output
+// row on every k step, which is what made it memory-bound). A is [m,k]
+// with row stride lda, B is [k,n] with row stride ldb, O is [m,n] with
+// row stride ldo and must be zero on entry. SkipZeros preserves the
+// naive form's `a == 0` skip per contribution (dropping a +0.0 term is
+// not a no-op for a negative-zero accumulator, so the flag must match
+// the semantics of the loop being replaced).
+//
+// The accumulators are GNU vector-extension values so they live in SIMD
+// registers instead of spilling as stack arrays; element j of the tile
+// only ever combines with element j, so per-output accumulation order is
+// untouched.
+
+// Loads/stores stay inline __builtin_memcpy (never a Vec16 function
+// parameter or return): passing 64-byte vectors across call boundaries
+// trips -Wpsabi on builds without 512-bit ISA flags.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float Vec16 __attribute__((vector_size(64)));
+#endif
+
+template <bool SkipZeros>
+void TiledMatMul(const float* __restrict A, int64_t lda,
+                 const float* __restrict B, int64_t ldb, int64_t m,
+                 int64_t n, int64_t k, float* __restrict O, int64_t ldo) {
+  constexpr int64_t JT = 16;
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* __restrict a0 = A + (i + 0) * lda;
+    const float* __restrict a1 = A + (i + 1) * lda;
+    const float* __restrict a2 = A + (i + 2) * lda;
+    const float* __restrict a3 = A + (i + 3) * lda;
+    float* __restrict o0 = O + (i + 0) * ldo;
+    float* __restrict o1 = O + (i + 1) * ldo;
+    float* __restrict o2 = O + (i + 2) * ldo;
+    float* __restrict o3 = O + (i + 3) * ldo;
+    int64_t jt = 0;
+#if defined(__GNUC__) || defined(__clang__)
+    for (; jt + JT <= n; jt += JT) {
+      Vec16 c0 = {0.0f}, c1 = {0.0f}, c2 = {0.0f}, c3 = {0.0f};
+      const float* __restrict bp = B + jt;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        Vec16 bv;
+        __builtin_memcpy(&bv, bp + kk * ldb, sizeof(bv));
+        const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+        if (!SkipZeros || v0 != 0.0f) c0 += v0 * bv;
+        if (!SkipZeros || v1 != 0.0f) c1 += v1 * bv;
+        if (!SkipZeros || v2 != 0.0f) c2 += v2 * bv;
+        if (!SkipZeros || v3 != 0.0f) c3 += v3 * bv;
+      }
+      __builtin_memcpy(o0 + jt, &c0, sizeof(c0));
+      __builtin_memcpy(o1 + jt, &c1, sizeof(c1));
+      __builtin_memcpy(o2 + jt, &c2, sizeof(c2));
+      __builtin_memcpy(o3 + jt, &c3, sizeof(c3));
+    }
+#endif
+    for (; jt < n; jt += JT) {  // column tail (and non-GNU fallback)
+      const int64_t jw = n - jt < JT ? n - jt : JT;
+      float c0[JT] = {0.0f}, c1[JT] = {0.0f};
+      float c2[JT] = {0.0f}, c3[JT] = {0.0f};
+      const float* __restrict bp = B + jt;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float* __restrict brow = bp + kk * ldb;
+        const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+        if (!SkipZeros || v0 != 0.0f) {
+          for (int64_t j = 0; j < jw; ++j) c0[j] += v0 * brow[j];
+        }
+        if (!SkipZeros || v1 != 0.0f) {
+          for (int64_t j = 0; j < jw; ++j) c1[j] += v1 * brow[j];
+        }
+        if (!SkipZeros || v2 != 0.0f) {
+          for (int64_t j = 0; j < jw; ++j) c2[j] += v2 * brow[j];
+        }
+        if (!SkipZeros || v3 != 0.0f) {
+          for (int64_t j = 0; j < jw; ++j) c3[j] += v3 * brow[j];
+        }
+      }
+      for (int64_t j = 0; j < jw; ++j) {
+        o0[jt + j] = c0[j];
+        o1[jt + j] = c1[j];
+        o2[jt + j] = c2[j];
+        o3[jt + j] = c3[j];
+      }
+    }
+  }
+  // Row tail: the in-place form over the zeroed output (same order).
+  for (; i < m; ++i) {
+    const float* __restrict arow = A + i * lda;
+    float* __restrict orow = O + i * ldo;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (SkipZeros && av == 0.0f) continue;
+      const float* __restrict brow = B + kk * ldb;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
   CheckRank2(a, "a");
   CheckRank2(b, "b");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   HETGMP_CHECK_EQ(k, b.dim(0));
-  out->Resize({m, n});
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows,
-  // which the compiler auto-vectorizes; good enough for the small towers.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(kk);
-      for (int64_t j = 0; j < n; ++j) {
-        orow[j] += av * brow[j];
+  out->Resize(m, n);
+  if (n == 1) {
+    // Degenerate tower head (wide/combine layers): contiguous dot per
+    // row, same skip-and-accumulate order as the general form.
+    const float* __restrict bp = b.data();
+    float* __restrict op = out->data();
+    for (int64_t i = 0; i < m; ++i) {
+      const float* __restrict arow = a.row(i);
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        acc += av * bp[kk];
       }
+      op[i] = acc;
     }
+    return;
   }
+  TiledMatMul<true>(a.data(), k, b.data(), n, m, n, k, out->data(), n);
 }
 
 void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* out) {
@@ -41,17 +156,17 @@ void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* out) {
   CheckRank2(b, "b");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   HETGMP_CHECK_EQ(k, b.dim(1));
-  out->Resize({m, n});
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      orow[j] = acc;
-    }
+  out->Resize(m, n);
+  // Repack b [n,k] as [k,n] once so the hot loop is the shared tiled
+  // kernel. No skip on zero here: the naive dot-product form never
+  // skipped.
+  thread_local std::vector<float> bt;
+  bt.resize(static_cast<size_t>(k) * static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    const float* brow = b.row(j);
+    for (int64_t kk = 0; kk < k; ++kk) bt[kk * n + j] = brow[kk];
   }
+  TiledMatMul<false>(a.data(), k, bt.data(), n, m, n, k, out->data(), n);
 }
 
 void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* out) {
@@ -59,43 +174,61 @@ void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* out) {
   CheckRank2(b, "b");
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   HETGMP_CHECK_EQ(k, b.dim(0));
-  out->Resize({m, n});
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.row(kk);
-    const float* brow = b.row(kk);
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out->row(i);
-      for (int64_t j = 0; j < n; ++j) {
-        orow[j] += av * brow[j];
+  out->Resize(m, n);
+  if (n == 1) {
+    // Tower-head weight gradient: out[:,0] = A^T b. Walking k outermost
+    // keeps A's rows contiguous (no repack) while every output element
+    // still accumulates in ascending-k order with the naive zero skip.
+    float* __restrict op = out->data();  // zeroed by Resize
+    const float* __restrict bp = b.data();
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float bk = bp[kk];
+      const float* __restrict arow = a.row(kk);
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av != 0.0f) op[i] += av * bk;
       }
     }
+    return;
   }
+  // Repack a [k,m] as [m,k] (reads stay L1-resident: for each output row
+  // the source column walks a fixed 16KB-ish stripe) so the hot loop is
+  // the shared tiled kernel. The zero skip keys off the same a values as
+  // the naive form.
+  thread_local std::vector<float> at;
+  at.resize(static_cast<size_t>(m) * static_cast<size_t>(k));
+  const float* __restrict ap = a.data();
+  for (int64_t i = 0; i < m; ++i) {
+    float* __restrict arow = at.data() + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) arow[kk] = ap[kk * m + i];
+  }
+  TiledMatMul<true>(at.data(), k, b.data(), n, m, n, k, out->data(), n);
 }
 
 void AddBiasRows(Tensor* x, const Tensor& bias) {
   CheckRank2(*x, "x");
   const int64_t n = x->dim(1);
   HETGMP_CHECK_EQ(bias.size(), n);
+  const float* __restrict b = bias.data();
   for (int64_t r = 0; r < x->dim(0); ++r) {
-    float* row = x->row(r);
-    for (int64_t c = 0; c < n; ++c) row[c] += bias.at(c);
+    float* __restrict row = x->row(r);
+    for (int64_t c = 0; c < n; ++c) row[c] += b[c];
   }
 }
 
 void SumRows(const Tensor& grad, Tensor* bias_grad) {
   CheckRank2(grad, "grad");
   const int64_t n = grad.dim(1);
-  bias_grad->Resize({n});
+  bias_grad->Resize(n);
+  float* __restrict acc = bias_grad->data();
   for (int64_t r = 0; r < grad.dim(0); ++r) {
-    const float* row = grad.row(r);
-    for (int64_t c = 0; c < n; ++c) bias_grad->at(c) += row[c];
+    const float* __restrict row = grad.row(r);
+    for (int64_t c = 0; c < n; ++c) acc[c] += row[c];
   }
 }
 
 void ReluForward(const Tensor& x, Tensor* y) {
-  y->Resize(x.shape());
+  y->ResizeUninit(x.shape());
   for (int64_t i = 0; i < x.size(); ++i) {
     y->at(i) = x.at(i) > 0.0f ? x.at(i) : 0.0f;
   }
@@ -103,14 +236,14 @@ void ReluForward(const Tensor& x, Tensor* y) {
 
 void ReluBackward(const Tensor& x, const Tensor& dy, Tensor* dx) {
   HETGMP_CHECK_EQ(x.size(), dy.size());
-  dx->Resize(x.shape());
+  dx->ResizeUninit(x.shape());
   for (int64_t i = 0; i < x.size(); ++i) {
     dx->at(i) = x.at(i) > 0.0f ? dy.at(i) : 0.0f;
   }
 }
 
 void SigmoidForward(const Tensor& x, Tensor* y) {
-  y->Resize(x.shape());
+  y->ResizeUninit(x.shape());
   for (int64_t i = 0; i < x.size(); ++i) {
     y->at(i) = 1.0f / (1.0f + std::exp(-x.at(i)));
   }
@@ -122,7 +255,7 @@ void Axpy(float alpha, const Tensor& x, Tensor* y) {
 }
 
 void Copy(const Tensor& x, Tensor* y) {
-  y->Resize(x.shape());
+  y->ResizeUninit(x.shape());
   for (int64_t i = 0; i < x.size(); ++i) y->at(i) = x.at(i);
 }
 

@@ -45,6 +45,33 @@ double Dot(const Tensor& a, const Tensor& b);
 // Squared L2 norm.
 double SquaredNorm(const Tensor& x);
 
+// --- Raw row kernels ---
+//
+// Contiguous float-row primitives shared by the engine's gather/assemble/
+// scatter hot path, the replica stores, and the row optimizers. They take
+// raw pointers because the hot path addresses rows inside larger arenas
+// (embedding tables, batch blocks) where a Tensor wrapper per row would
+// cost more than the copy itself. Defined inline: typical rows are an
+// embedding_dim of 8-64 floats, where a cross-TU call would cost as much
+// as the loop.
+
+// dst[0..n) = src[0..n) (memmove-safe only for non-overlapping rows).
+inline void CopyRow(float* dst, const float* src, int64_t n) {
+  __builtin_memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
+}
+
+// dst[0..n) += src[0..n).
+inline void AccumulateRow(float* __restrict dst, const float* __restrict src,
+                          int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+// dst[0..n) += alpha * src[0..n).
+inline void AxpyRow(float* __restrict dst, const float* __restrict src,
+                    float alpha, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
 }  // namespace hetgmp
 
 #endif  // HETGMP_TENSOR_OPS_H_

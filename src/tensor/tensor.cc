@@ -64,6 +64,16 @@ void Tensor::Resize(std::vector<int64_t> shape) {
   data_.assign(NumElements(shape_), 0.0f);
 }
 
+void Tensor::ResizeDims(const int64_t* dims, size_t rank, bool zero) {
+  shape_.assign(dims, dims + rank);
+  const int64_t n = NumElements(shape_);
+  if (zero) {
+    data_.assign(static_cast<size_t>(n), 0.0f);
+  } else {
+    data_.resize(static_cast<size_t>(n));
+  }
+}
+
 std::string Tensor::ShapeString() const {
   std::ostringstream os;
   os << "[";

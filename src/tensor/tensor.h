@@ -53,12 +53,34 @@ class Tensor {
   void Fill(float value);
   void Resize(std::vector<int64_t> shape);
 
+  // Allocation-free hot-path variants: the rank-1/rank-2 overloads write
+  // the dims straight into the existing shape vector (no temporary
+  // std::vector per call), and reuse the data buffer when the element
+  // count is unchanged. Resize zero-fills like the vector overload; the
+  // Uninit forms leave the payload unspecified and are only for buffers
+  // every element of which is overwritten before being read.
+  void Resize(int64_t d0) { ResizeDims(&d0, 1, /*zero=*/true); }
+  void Resize(int64_t d0, int64_t d1) {
+    const int64_t dims[2] = {d0, d1};
+    ResizeDims(dims, 2, /*zero=*/true);
+  }
+  void ResizeUninit(int64_t d0) { ResizeDims(&d0, 1, /*zero=*/false); }
+  void ResizeUninit(int64_t d0, int64_t d1) {
+    const int64_t dims[2] = {d0, d1};
+    ResizeDims(dims, 2, /*zero=*/false);
+  }
+  void ResizeUninit(const std::vector<int64_t>& shape) {
+    ResizeDims(shape.data(), shape.size(), /*zero=*/false);
+  }
+
   // Total bytes of payload (for communication accounting).
   uint64_t bytes() const { return data_.size() * sizeof(float); }
 
   std::string ShapeString() const;
 
  private:
+  void ResizeDims(const int64_t* dims, size_t rank, bool zero);
+
   std::vector<int64_t> shape_;
   std::vector<float> data_;
 };

@@ -186,6 +186,50 @@ TEST(StragglerTest, NoSlowdownVectorIsNeutral) {
   EXPECT_NEAR(ta, tb, ta * 0.01);
 }
 
+// -------------------------------------------------------- epoch budget
+
+// Locks in the nominal-epoch contract documented at
+// EngineConfig::batch_size: one epoch is
+// ceil(num_samples / (num_workers * batch_size)) iterations per worker —
+// the iteration budget of a global pass at the *configured* batch size —
+// and capacity-aware balancing changes per-iteration work, never the
+// iteration count (all workers must agree on the round schedule).
+TEST(EpochSemanticsTest, IterationBudgetIsNominalGlobalPass) {
+  Fixtures f;  // 3000 train samples → 2400 after the 0.2 test split
+  EngineConfig cfg = BaseConfig(Strategy::kHetGmp);
+  cfg.deterministic = true;  // schedule-stable iteration counts
+  const int N = f.topology.num_workers();
+  const int64_t train_samples = f.train.num_samples();
+  // ceil(2400 / (4 * 64)) = 10 iterations per worker per epoch; 2 rounds
+  // of 5 each.
+  const int64_t iters_per_epoch =
+      (train_samples + static_cast<int64_t>(N) * cfg.batch_size - 1) /
+      (static_cast<int64_t>(N) * cfg.batch_size);
+  const int64_t iters_per_round =
+      (iters_per_epoch + cfg.rounds_per_epoch - 1) / cfg.rounds_per_epoch;
+  const int64_t expected_total =
+      static_cast<int64_t>(N) * cfg.rounds_per_epoch * iters_per_round;
+
+  ExperimentResult r = RunExperiment(cfg, f.train, f.test, f.topology, 1);
+  EXPECT_EQ(r.train.total_iterations, expected_total);
+  EXPECT_EQ(r.train.samples_processed,
+            expected_total * cfg.batch_size);
+
+  // Capacity balancing shrinks slow workers' batches but must not change
+  // the iteration budget: same schedule, less work per slow iteration.
+  EngineConfig aware = cfg;
+  aware.balance_batch_to_capacity = true;
+  aware.worker_slowdown = {4.0, 2.0, 1.0, 1.0};
+  ExperimentResult ra = RunExperiment(aware, f.train, f.test, f.topology, 1);
+  EXPECT_EQ(ra.train.total_iterations, expected_total);
+  // Per-worker batches: 64/4=16, 64/2=32, 64, 64 → 176 samples per global
+  // iteration instead of 256.
+  const int64_t per_iter_samples = 16 + 32 + 64 + 64;
+  EXPECT_EQ(ra.train.samples_processed,
+            cfg.rounds_per_epoch * iters_per_round * per_iter_samples);
+  EXPECT_LT(ra.train.samples_processed, r.train.samples_processed);
+}
+
 // ----------------------------------------------------- write-back batch
 
 TEST(WriteBackBatchingTest, ReducesTrafficKeepsQuality) {

@@ -1,0 +1,230 @@
+// Golden-trajectory equivalence for the training hot path.
+//
+// The planned iteration (batch index plan + deduped inter-embedding sync
+// + fused/parallel round-serial section) must be *semantically identical*
+// to the pre-plan reference implementation, not merely close: under the
+// deterministic round-robin driver both hot paths execute the exact same
+// worker schedule, so every metric — per-round loss, AUC, fabric byte
+// counters, refresh/flag counts, staleness audit — must match to the last
+// bit. Any FP reordering or dropped/duplicated check shows up here as an
+// exact-compare failure.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "comm/topology.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+
+namespace hetgmp {
+namespace {
+
+SyntheticCtrConfig TinyConfig() {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 3000;
+  cfg.num_fields = 8;
+  cfg.num_features = 600;
+  cfg.num_clusters = 4;
+  cfg.seed = 91;
+  return cfg;
+}
+
+struct Fixtures {
+  Fixtures()
+      : train(GenerateSyntheticCtr(TinyConfig())),
+        test(train.SplitTail(0.2)),
+        topology(Topology::FourGpuPcie()) {}
+  CtrDataset train;
+  CtrDataset test;
+  Topology topology;
+};
+
+EngineConfig GoldenConfig(ConsistencyMode mode, ReplicaPolicy policy) {
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  cfg.consistency = mode;
+  cfg.replica_policy = policy;
+  if (policy == ReplicaPolicy::kLruDynamic) {
+    cfg.lru_capacity_fraction = 0.05;
+  }
+  cfg.batch_size = 64;
+  cfg.embedding_dim = 8;
+  cfg.rounds_per_epoch = 2;
+  // A tight bound keeps the inter-embedding pass busy (flags, refreshes,
+  // screen near-misses) instead of vacuously fresh.
+  cfg.bound.s = 1;
+  cfg.deterministic = true;
+  return cfg;
+}
+
+TrainResult RunOnce(EngineConfig cfg, const Fixtures& f, int epochs) {
+  Bigraph graph(f.train);
+  Partition part = BuildPartition(cfg, graph, f.topology);
+  Engine engine(cfg, f.train, f.test, f.topology, part);
+  return engine.Train(epochs);
+}
+
+// Exact (bitwise for the integer counters, == for the floats) comparison
+// of everything the engine reports.
+void ExpectIdenticalTrajectories(const TrainResult& ref,
+                                 const TrainResult& opt,
+                                 const std::string& label) {
+  ASSERT_EQ(ref.rounds.size(), opt.rounds.size()) << label;
+  for (size_t i = 0; i < ref.rounds.size(); ++i) {
+    SCOPED_TRACE(label + " round " + std::to_string(i));
+    const RoundStats& a = ref.rounds[i];
+    const RoundStats& b = opt.rounds[i];
+    EXPECT_EQ(a.iterations_done, b.iterations_done);
+    EXPECT_EQ(a.train_loss, b.train_loss);
+    EXPECT_EQ(a.auc, b.auc);
+    EXPECT_EQ(a.sim_time, b.sim_time);
+    EXPECT_EQ(a.embedding_bytes, b.embedding_bytes);
+    EXPECT_EQ(a.index_clock_bytes, b.index_clock_bytes);
+    EXPECT_EQ(a.allreduce_bytes, b.allreduce_bytes);
+    EXPECT_EQ(a.remote_fetches, b.remote_fetches);
+    EXPECT_EQ(a.intra_refreshes, b.intra_refreshes);
+    EXPECT_EQ(a.inter_refreshes, b.inter_refreshes);
+    EXPECT_EQ(a.inter_flags, b.inter_flags);
+  }
+  EXPECT_EQ(ref.final_auc, opt.final_auc) << label;
+  EXPECT_EQ(ref.total_sim_time, opt.total_sim_time) << label;
+  EXPECT_EQ(ref.total_iterations, opt.total_iterations) << label;
+  EXPECT_EQ(ref.samples_processed, opt.samples_processed) << label;
+  EXPECT_EQ(ref.staleness.max_intra_gap, opt.staleness.max_intra_gap)
+      << label;
+  EXPECT_EQ(ref.staleness.max_inter_norm_gap,
+            opt.staleness.max_inter_norm_gap)
+      << label;
+  EXPECT_EQ(ref.staleness.inter_violations, 0) << label;
+  EXPECT_EQ(opt.staleness.inter_violations, 0) << label;
+}
+
+struct GoldenCase {
+  ConsistencyMode mode;
+  ReplicaPolicy policy;
+  const char* name;
+};
+
+class HotpathGoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(HotpathGoldenTest, PlannedMatchesReferenceExactly) {
+  const GoldenCase gc = GetParam();
+  Fixtures f;
+  EngineConfig cfg = GoldenConfig(gc.mode, gc.policy);
+
+  EngineConfig ref_cfg = cfg;
+  ref_cfg.reference_hotpath = true;
+  const TrainResult ref = RunOnce(ref_cfg, f, 2);
+
+  EngineConfig opt_cfg = cfg;
+  opt_cfg.reference_hotpath = false;
+  const TrainResult opt = RunOnce(opt_cfg, f, 2);
+
+  // Guard against a vacuous pass: the graph-bounded cases must actually
+  // exercise the deduped inter-embedding pass.
+  if (gc.mode == ConsistencyMode::kGraphBounded) {
+    EXPECT_GT(opt.rounds.back().inter_flags, 0) << gc.name;
+    EXPECT_GT(opt.rounds.back().inter_refreshes, 0) << gc.name;
+  }
+  ExpectIdenticalTrajectories(ref, opt, gc.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndPolicies, HotpathGoldenTest,
+    ::testing::Values(
+        GoldenCase{ConsistencyMode::kGraphBounded,
+                   ReplicaPolicy::kStaticVertexCut, "graph-static"},
+        GoldenCase{ConsistencyMode::kGraphBounded,
+                   ReplicaPolicy::kLruDynamic, "graph-lru"},
+        GoldenCase{ConsistencyMode::kSsp, ReplicaPolicy::kStaticVertexCut,
+                   "ssp-static"},
+        GoldenCase{ConsistencyMode::kSsp, ReplicaPolicy::kLruDynamic,
+                   "ssp-lru"},
+        GoldenCase{ConsistencyMode::kBsp, ReplicaPolicy::kStaticVertexCut,
+                   "bsp-static"},
+        GoldenCase{ConsistencyMode::kBsp, ReplicaPolicy::kLruDynamic,
+                   "bsp-lru"}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      std::string n = info.param.name;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+// Write-back batching stresses the parts of the planned path that differ
+// most from per-iteration flushing: pending gradients surviving across
+// iterations (which makes 3b refreshes flush-then-fetch) plus the
+// round-boundary force flush.
+TEST(HotpathGoldenTest, WriteBackBatchingMatchesReferenceExactly) {
+  Fixtures f;
+  EngineConfig cfg = GoldenConfig(ConsistencyMode::kGraphBounded,
+                                  ReplicaPolicy::kStaticVertexCut);
+  cfg.write_back_every = 4;
+
+  EngineConfig ref_cfg = cfg;
+  ref_cfg.reference_hotpath = true;
+  const TrainResult ref = RunOnce(ref_cfg, f, 2);
+
+  EngineConfig opt_cfg = cfg;
+  opt_cfg.reference_hotpath = false;
+  const TrainResult opt = RunOnce(opt_cfg, f, 2);
+
+  ExpectIdenticalTrajectories(ref, opt, "write-back-4");
+}
+
+// The serial-section parallelism (AUC chunks on distinct bit-identical
+// replicas, chunked fused dense re-average) must not change a single bit
+// relative to running the same planned engine serially.
+TEST(HotpathGoldenTest, SerialSectionThreadCountIsBitInvariant) {
+  Fixtures f;
+  EngineConfig cfg = GoldenConfig(ConsistencyMode::kGraphBounded,
+                                  ReplicaPolicy::kStaticVertexCut);
+
+  EngineConfig serial_cfg = cfg;
+  serial_cfg.serial_section_threads = 1;
+  const TrainResult serial = RunOnce(serial_cfg, f, 2);
+
+  EngineConfig pooled_cfg = cfg;
+  pooled_cfg.serial_section_threads = 4;
+  const TrainResult pooled = RunOnce(pooled_cfg, f, 2);
+
+  ExpectIdenticalTrajectories(serial, pooled, "serial-vs-pooled");
+}
+
+// The deterministic driver is actually deterministic: two runs from
+// identical configs reproduce each other exactly.
+TEST(HotpathGoldenTest, DeterministicDriverIsReproducible) {
+  Fixtures f;
+  const EngineConfig cfg = GoldenConfig(ConsistencyMode::kGraphBounded,
+                                        ReplicaPolicy::kStaticVertexCut);
+  const TrainResult a = RunOnce(cfg, f, 2);
+  const TrainResult b = RunOnce(cfg, f, 2);
+  ExpectIdenticalTrajectories(a, b, "run-vs-rerun");
+}
+
+// Stage timers are populated for both hot paths (the bench's per-stage
+// breakdown depends on them).
+TEST(HotpathGoldenTest, StageTimersArePopulated) {
+  Fixtures f;
+  for (const bool reference : {false, true}) {
+    EngineConfig cfg = GoldenConfig(ConsistencyMode::kGraphBounded,
+                                    ReplicaPolicy::kStaticVertexCut);
+    cfg.reference_hotpath = reference;
+    const TrainResult r = RunOnce(cfg, f, 1);
+    EXPECT_GT(r.stage_secs.gather, 0.0) << "reference=" << reference;
+    EXPECT_GT(r.stage_secs.inter_sync, 0.0) << "reference=" << reference;
+    EXPECT_GT(r.stage_secs.dense, 0.0) << "reference=" << reference;
+    EXPECT_GT(r.stage_secs.scatter, 0.0) << "reference=" << reference;
+    EXPECT_GT(r.stage_secs.flush, 0.0) << "reference=" << reference;
+    EXPECT_GT(r.stage_secs.Total(), 0.0) << "reference=" << reference;
+  }
+}
+
+}  // namespace
+}  // namespace hetgmp
