@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_clock_norm"
+  "../bench/bench_ablation_clock_norm.pdb"
+  "CMakeFiles/bench_ablation_clock_norm.dir/bench_ablation_clock_norm.cc.o"
+  "CMakeFiles/bench_ablation_clock_norm.dir/bench_ablation_clock_norm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clock_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_replication"
+  "../bench/bench_ablation_replication.pdb"
+  "CMakeFiles/bench_ablation_replication.dir/bench_ablation_replication.cc.o"
+  "CMakeFiles/bench_ablation_replication.dir/bench_ablation_replication.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

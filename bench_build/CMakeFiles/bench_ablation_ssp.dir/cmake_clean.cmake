@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ssp"
+  "../bench/bench_ablation_ssp.pdb"
+  "CMakeFiles/bench_ablation_ssp.dir/bench_ablation_ssp.cc.o"
+  "CMakeFiles/bench_ablation_ssp.dir/bench_ablation_ssp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

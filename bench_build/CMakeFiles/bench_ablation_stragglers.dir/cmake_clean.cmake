@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_stragglers"
+  "../bench/bench_ablation_stragglers.pdb"
+  "CMakeFiles/bench_ablation_stragglers.dir/bench_ablation_stragglers.cc.o"
+  "CMakeFiles/bench_ablation_stragglers.dir/bench_ablation_stragglers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

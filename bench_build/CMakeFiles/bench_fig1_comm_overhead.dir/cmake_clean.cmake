@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_comm_overhead"
+  "../bench/bench_fig1_comm_overhead.pdb"
+  "CMakeFiles/bench_fig1_comm_overhead.dir/bench_fig1_comm_overhead.cc.o"
+  "CMakeFiles/bench_fig1_comm_overhead.dir/bench_fig1_comm_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_comm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

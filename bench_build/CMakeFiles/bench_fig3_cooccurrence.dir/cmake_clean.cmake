@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_cooccurrence"
+  "../bench/bench_fig3_cooccurrence.pdb"
+  "CMakeFiles/bench_fig3_cooccurrence.dir/bench_fig3_cooccurrence.cc.o"
+  "CMakeFiles/bench_fig3_cooccurrence.dir/bench_fig3_cooccurrence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cooccurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_convergence"
+  "../bench/bench_fig7_convergence.pdb"
+  "CMakeFiles/bench_fig7_convergence.dir/bench_fig7_convergence.cc.o"
+  "CMakeFiles/bench_fig7_convergence.dir/bench_fig7_convergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_hierarchy"
+  "../bench/bench_fig9_hierarchy.pdb"
+  "CMakeFiles/bench_fig9_hierarchy.dir/bench_fig9_hierarchy.cc.o"
+  "CMakeFiles/bench_fig9_hierarchy.dir/bench_fig9_hierarchy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

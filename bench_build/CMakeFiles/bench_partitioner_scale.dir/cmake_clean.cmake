@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_partitioner_scale"
+  "../bench/bench_partitioner_scale.pdb"
+  "CMakeFiles/bench_partitioner_scale.dir/bench_partitioner_scale.cc.o"
+  "CMakeFiles/bench_partitioner_scale.dir/bench_partitioner_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioner_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_serve_latency"
+  "../bench/bench_serve_latency.pdb"
+  "CMakeFiles/bench_serve_latency.dir/bench_serve_latency.cc.o"
+  "CMakeFiles/bench_serve_latency.dir/bench_serve_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

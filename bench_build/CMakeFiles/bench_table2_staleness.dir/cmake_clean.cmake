@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_staleness"
+  "../bench/bench_table2_staleness.pdb"
+  "CMakeFiles/bench_table2_staleness.dir/bench_table2_staleness.cc.o"
+  "CMakeFiles/bench_table2_staleness.dir/bench_table2_staleness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_partitioners"
+  "../bench/bench_table3_partitioners.pdb"
+  "CMakeFiles/bench_table3_partitioners.dir/bench_table3_partitioners.cc.o"
+  "CMakeFiles/bench_table3_partitioners.dir/bench_table3_partitioners.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

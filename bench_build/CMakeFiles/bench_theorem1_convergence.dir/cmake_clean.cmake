@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem1_convergence"
+  "../bench/bench_theorem1_convergence.pdb"
+  "CMakeFiles/bench_theorem1_convergence.dir/bench_theorem1_convergence.cc.o"
+  "CMakeFiles/bench_theorem1_convergence.dir/bench_theorem1_convergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

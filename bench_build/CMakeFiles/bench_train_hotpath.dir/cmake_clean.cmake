@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_train_hotpath"
+  "../bench/bench_train_hotpath.pdb"
+  "CMakeFiles/bench_train_hotpath.dir/bench_train_hotpath.cc.o"
+  "CMakeFiles/bench_train_hotpath.dir/bench_train_hotpath.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_train_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

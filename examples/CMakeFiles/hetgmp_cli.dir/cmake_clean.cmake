@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_cli.dir/hetgmp_cli.cpp.o"
+  "CMakeFiles/hetgmp_cli.dir/hetgmp_cli.cpp.o.d"
+  "hetgmp_cli"
+  "hetgmp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

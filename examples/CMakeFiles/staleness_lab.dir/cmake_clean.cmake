@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleness_lab.dir/staleness_lab.cpp.o"
+  "CMakeFiles/staleness_lab.dir/staleness_lab.cpp.o.d"
+  "staleness_lab"
+  "staleness_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleness_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

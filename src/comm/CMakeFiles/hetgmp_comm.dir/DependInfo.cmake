@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/allreduce.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/allreduce.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/allreduce.cc.o.d"
+  "/root/repo/src/comm/fabric.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/fabric.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/fabric.cc.o.d"
+  "/root/repo/src/comm/topology.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/topology.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/tensor/CMakeFiles/hetgmp_tensor.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/hetgmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

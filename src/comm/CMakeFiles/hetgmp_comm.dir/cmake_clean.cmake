@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_comm.dir/allreduce.cc.o"
+  "CMakeFiles/hetgmp_comm.dir/allreduce.cc.o.d"
+  "CMakeFiles/hetgmp_comm.dir/fabric.cc.o"
+  "CMakeFiles/hetgmp_comm.dir/fabric.cc.o.d"
+  "CMakeFiles/hetgmp_comm.dir/topology.cc.o"
+  "CMakeFiles/hetgmp_comm.dir/topology.cc.o.d"
+  "libhetgmp_comm.a"
+  "libhetgmp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/hetgmp_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/hetgmp_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/hetgmp_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/hetgmp_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/common/CMakeFiles/hetgmp_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/hetgmp_common.dir/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/hetgmp_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/hetgmp_common.dir/status.cc.o.d"
+  "/root/repo/src/common/stringutil.cc" "src/common/CMakeFiles/hetgmp_common.dir/stringutil.cc.o" "gcc" "src/common/CMakeFiles/hetgmp_common.dir/stringutil.cc.o.d"
+  "/root/repo/src/common/threading.cc" "src/common/CMakeFiles/hetgmp_common.dir/threading.cc.o" "gcc" "src/common/CMakeFiles/hetgmp_common.dir/threading.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/common/CMakeFiles/hetgmp_common.dir/zipf.cc.o" "gcc" "src/common/CMakeFiles/hetgmp_common.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_common.dir/histogram.cc.o"
+  "CMakeFiles/hetgmp_common.dir/histogram.cc.o.d"
+  "CMakeFiles/hetgmp_common.dir/logging.cc.o"
+  "CMakeFiles/hetgmp_common.dir/logging.cc.o.d"
+  "CMakeFiles/hetgmp_common.dir/random.cc.o"
+  "CMakeFiles/hetgmp_common.dir/random.cc.o.d"
+  "CMakeFiles/hetgmp_common.dir/status.cc.o"
+  "CMakeFiles/hetgmp_common.dir/status.cc.o.d"
+  "CMakeFiles/hetgmp_common.dir/stringutil.cc.o"
+  "CMakeFiles/hetgmp_common.dir/stringutil.cc.o.d"
+  "CMakeFiles/hetgmp_common.dir/threading.cc.o"
+  "CMakeFiles/hetgmp_common.dir/threading.cc.o.d"
+  "CMakeFiles/hetgmp_common.dir/zipf.cc.o"
+  "CMakeFiles/hetgmp_common.dir/zipf.cc.o.d"
+  "libhetgmp_common.a"
+  "libhetgmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_core.dir/config.cc.o"
+  "CMakeFiles/hetgmp_core.dir/config.cc.o.d"
+  "CMakeFiles/hetgmp_core.dir/engine.cc.o"
+  "CMakeFiles/hetgmp_core.dir/engine.cc.o.d"
+  "CMakeFiles/hetgmp_core.dir/runner.cc.o"
+  "CMakeFiles/hetgmp_core.dir/runner.cc.o.d"
+  "libhetgmp_core.a"
+  "libhetgmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

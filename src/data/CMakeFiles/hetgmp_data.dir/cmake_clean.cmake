@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_data.dir/dataset.cc.o"
+  "CMakeFiles/hetgmp_data.dir/dataset.cc.o.d"
+  "CMakeFiles/hetgmp_data.dir/io.cc.o"
+  "CMakeFiles/hetgmp_data.dir/io.cc.o.d"
+  "CMakeFiles/hetgmp_data.dir/stats.cc.o"
+  "CMakeFiles/hetgmp_data.dir/stats.cc.o.d"
+  "CMakeFiles/hetgmp_data.dir/synthetic.cc.o"
+  "CMakeFiles/hetgmp_data.dir/synthetic.cc.o.d"
+  "libhetgmp_data.a"
+  "libhetgmp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

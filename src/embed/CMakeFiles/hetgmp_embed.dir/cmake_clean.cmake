@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_embed.dir/checkpoint.cc.o"
+  "CMakeFiles/hetgmp_embed.dir/checkpoint.cc.o.d"
+  "CMakeFiles/hetgmp_embed.dir/embedding_table.cc.o"
+  "CMakeFiles/hetgmp_embed.dir/embedding_table.cc.o.d"
+  "CMakeFiles/hetgmp_embed.dir/lru_cache.cc.o"
+  "CMakeFiles/hetgmp_embed.dir/lru_cache.cc.o.d"
+  "CMakeFiles/hetgmp_embed.dir/secondary_cache.cc.o"
+  "CMakeFiles/hetgmp_embed.dir/secondary_cache.cc.o.d"
+  "libhetgmp_embed.a"
+  "libhetgmp_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

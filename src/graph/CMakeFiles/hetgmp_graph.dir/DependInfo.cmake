@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bigraph.cc" "src/graph/CMakeFiles/hetgmp_graph.dir/bigraph.cc.o" "gcc" "src/graph/CMakeFiles/hetgmp_graph.dir/bigraph.cc.o.d"
+  "/root/repo/src/graph/cooccurrence.cc" "src/graph/CMakeFiles/hetgmp_graph.dir/cooccurrence.cc.o" "gcc" "src/graph/CMakeFiles/hetgmp_graph.dir/cooccurrence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/data/CMakeFiles/hetgmp_data.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/hetgmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_graph.dir/bigraph.cc.o"
+  "CMakeFiles/hetgmp_graph.dir/bigraph.cc.o.d"
+  "CMakeFiles/hetgmp_graph.dir/cooccurrence.cc.o"
+  "CMakeFiles/hetgmp_graph.dir/cooccurrence.cc.o.d"
+  "libhetgmp_graph.a"
+  "libhetgmp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/auc.cc" "src/metrics/CMakeFiles/hetgmp_metrics.dir/auc.cc.o" "gcc" "src/metrics/CMakeFiles/hetgmp_metrics.dir/auc.cc.o.d"
+  "/root/repo/src/metrics/comm_report.cc" "src/metrics/CMakeFiles/hetgmp_metrics.dir/comm_report.cc.o" "gcc" "src/metrics/CMakeFiles/hetgmp_metrics.dir/comm_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/comm/CMakeFiles/hetgmp_comm.dir/DependInfo.cmake"
+  "/root/repo/src/tensor/CMakeFiles/hetgmp_tensor.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/hetgmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

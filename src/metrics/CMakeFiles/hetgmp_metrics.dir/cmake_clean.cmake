@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_metrics.dir/auc.cc.o"
+  "CMakeFiles/hetgmp_metrics.dir/auc.cc.o.d"
+  "CMakeFiles/hetgmp_metrics.dir/comm_report.cc.o"
+  "CMakeFiles/hetgmp_metrics.dir/comm_report.cc.o.d"
+  "libhetgmp_metrics.a"
+  "libhetgmp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

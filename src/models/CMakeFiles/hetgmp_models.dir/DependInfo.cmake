@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/dcn.cc" "src/models/CMakeFiles/hetgmp_models.dir/dcn.cc.o" "gcc" "src/models/CMakeFiles/hetgmp_models.dir/dcn.cc.o.d"
+  "/root/repo/src/models/deepfm.cc" "src/models/CMakeFiles/hetgmp_models.dir/deepfm.cc.o" "gcc" "src/models/CMakeFiles/hetgmp_models.dir/deepfm.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/models/CMakeFiles/hetgmp_models.dir/model.cc.o" "gcc" "src/models/CMakeFiles/hetgmp_models.dir/model.cc.o.d"
+  "/root/repo/src/models/wdl.cc" "src/models/CMakeFiles/hetgmp_models.dir/wdl.cc.o" "gcc" "src/models/CMakeFiles/hetgmp_models.dir/wdl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/nn/CMakeFiles/hetgmp_nn.dir/DependInfo.cmake"
+  "/root/repo/src/tensor/CMakeFiles/hetgmp_tensor.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/hetgmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_models.dir/dcn.cc.o"
+  "CMakeFiles/hetgmp_models.dir/dcn.cc.o.d"
+  "CMakeFiles/hetgmp_models.dir/deepfm.cc.o"
+  "CMakeFiles/hetgmp_models.dir/deepfm.cc.o.d"
+  "CMakeFiles/hetgmp_models.dir/model.cc.o"
+  "CMakeFiles/hetgmp_models.dir/model.cc.o.d"
+  "CMakeFiles/hetgmp_models.dir/wdl.cc.o"
+  "CMakeFiles/hetgmp_models.dir/wdl.cc.o.d"
+  "libhetgmp_models.a"
+  "libhetgmp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/hetgmp_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/hetgmp_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/cross_layer.cc" "src/nn/CMakeFiles/hetgmp_nn.dir/cross_layer.cc.o" "gcc" "src/nn/CMakeFiles/hetgmp_nn.dir/cross_layer.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/hetgmp_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/hetgmp_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/hetgmp_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/hetgmp_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/hetgmp_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/hetgmp_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/hetgmp_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/hetgmp_nn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/tensor/CMakeFiles/hetgmp_tensor.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/hetgmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

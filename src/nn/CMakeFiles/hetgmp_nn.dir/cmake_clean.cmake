@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_nn.dir/activations.cc.o"
+  "CMakeFiles/hetgmp_nn.dir/activations.cc.o.d"
+  "CMakeFiles/hetgmp_nn.dir/cross_layer.cc.o"
+  "CMakeFiles/hetgmp_nn.dir/cross_layer.cc.o.d"
+  "CMakeFiles/hetgmp_nn.dir/dense.cc.o"
+  "CMakeFiles/hetgmp_nn.dir/dense.cc.o.d"
+  "CMakeFiles/hetgmp_nn.dir/loss.cc.o"
+  "CMakeFiles/hetgmp_nn.dir/loss.cc.o.d"
+  "CMakeFiles/hetgmp_nn.dir/mlp.cc.o"
+  "CMakeFiles/hetgmp_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/hetgmp_nn.dir/optimizer.cc.o"
+  "CMakeFiles/hetgmp_nn.dir/optimizer.cc.o.d"
+  "libhetgmp_nn.a"
+  "libhetgmp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

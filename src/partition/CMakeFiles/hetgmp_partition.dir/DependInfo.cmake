@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/bicut_partitioner.cc" "src/partition/CMakeFiles/hetgmp_partition.dir/bicut_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/hetgmp_partition.dir/bicut_partitioner.cc.o.d"
+  "/root/repo/src/partition/hybrid_partitioner.cc" "src/partition/CMakeFiles/hetgmp_partition.dir/hybrid_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/hetgmp_partition.dir/hybrid_partitioner.cc.o.d"
+  "/root/repo/src/partition/hybrid_state.cc" "src/partition/CMakeFiles/hetgmp_partition.dir/hybrid_state.cc.o" "gcc" "src/partition/CMakeFiles/hetgmp_partition.dir/hybrid_state.cc.o.d"
+  "/root/repo/src/partition/multilevel_partitioner.cc" "src/partition/CMakeFiles/hetgmp_partition.dir/multilevel_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/hetgmp_partition.dir/multilevel_partitioner.cc.o.d"
+  "/root/repo/src/partition/partition.cc" "src/partition/CMakeFiles/hetgmp_partition.dir/partition.cc.o" "gcc" "src/partition/CMakeFiles/hetgmp_partition.dir/partition.cc.o.d"
+  "/root/repo/src/partition/partition_io.cc" "src/partition/CMakeFiles/hetgmp_partition.dir/partition_io.cc.o" "gcc" "src/partition/CMakeFiles/hetgmp_partition.dir/partition_io.cc.o.d"
+  "/root/repo/src/partition/quality.cc" "src/partition/CMakeFiles/hetgmp_partition.dir/quality.cc.o" "gcc" "src/partition/CMakeFiles/hetgmp_partition.dir/quality.cc.o.d"
+  "/root/repo/src/partition/random_partitioner.cc" "src/partition/CMakeFiles/hetgmp_partition.dir/random_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/hetgmp_partition.dir/random_partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/graph/CMakeFiles/hetgmp_graph.dir/DependInfo.cmake"
+  "/root/repo/src/data/CMakeFiles/hetgmp_data.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/hetgmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

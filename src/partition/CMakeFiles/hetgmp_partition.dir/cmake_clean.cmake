@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_partition.dir/bicut_partitioner.cc.o"
+  "CMakeFiles/hetgmp_partition.dir/bicut_partitioner.cc.o.d"
+  "CMakeFiles/hetgmp_partition.dir/hybrid_partitioner.cc.o"
+  "CMakeFiles/hetgmp_partition.dir/hybrid_partitioner.cc.o.d"
+  "CMakeFiles/hetgmp_partition.dir/hybrid_state.cc.o"
+  "CMakeFiles/hetgmp_partition.dir/hybrid_state.cc.o.d"
+  "CMakeFiles/hetgmp_partition.dir/multilevel_partitioner.cc.o"
+  "CMakeFiles/hetgmp_partition.dir/multilevel_partitioner.cc.o.d"
+  "CMakeFiles/hetgmp_partition.dir/partition.cc.o"
+  "CMakeFiles/hetgmp_partition.dir/partition.cc.o.d"
+  "CMakeFiles/hetgmp_partition.dir/partition_io.cc.o"
+  "CMakeFiles/hetgmp_partition.dir/partition_io.cc.o.d"
+  "CMakeFiles/hetgmp_partition.dir/quality.cc.o"
+  "CMakeFiles/hetgmp_partition.dir/quality.cc.o.d"
+  "CMakeFiles/hetgmp_partition.dir/random_partitioner.cc.o"
+  "CMakeFiles/hetgmp_partition.dir/random_partitioner.cc.o.d"
+  "libhetgmp_partition.a"
+  "libhetgmp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_serve.dir/batcher.cc.o"
+  "CMakeFiles/hetgmp_serve.dir/batcher.cc.o.d"
+  "CMakeFiles/hetgmp_serve.dir/lookup_service.cc.o"
+  "CMakeFiles/hetgmp_serve.dir/lookup_service.cc.o.d"
+  "CMakeFiles/hetgmp_serve.dir/snapshot_store.cc.o"
+  "CMakeFiles/hetgmp_serve.dir/snapshot_store.cc.o.d"
+  "libhetgmp_serve.a"
+  "libhetgmp_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_sync.dir/clock_table.cc.o"
+  "CMakeFiles/hetgmp_sync.dir/clock_table.cc.o.d"
+  "CMakeFiles/hetgmp_sync.dir/staleness.cc.o"
+  "CMakeFiles/hetgmp_sync.dir/staleness.cc.o.d"
+  "libhetgmp_sync.a"
+  "libhetgmp_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

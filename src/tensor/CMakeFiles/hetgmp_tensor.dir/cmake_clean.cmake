@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_tensor.dir/ops.cc.o"
+  "CMakeFiles/hetgmp_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/hetgmp_tensor.dir/tensor.cc.o"
+  "CMakeFiles/hetgmp_tensor.dir/tensor.cc.o.d"
+  "libhetgmp_tensor.a"
+  "libhetgmp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

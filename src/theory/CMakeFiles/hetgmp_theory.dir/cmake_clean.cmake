@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_theory.dir/theorem1.cc.o"
+  "CMakeFiles/hetgmp_theory.dir/theorem1.cc.o.d"
+  "libhetgmp_theory.a"
+  "libhetgmp_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

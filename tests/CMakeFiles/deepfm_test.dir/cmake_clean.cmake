@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepfm_test.dir/deepfm_test.cc.o"
+  "CMakeFiles/deepfm_test.dir/deepfm_test.cc.o.d"
+  "deepfm_test"
+  "deepfm_test.pdb"
+  "deepfm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepfm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_io_test.dir/partition_io_test.cc.o"
+  "CMakeFiles/partition_io_test.dir/partition_io_test.cc.o.d"
+  "partition_io_test"
+  "partition_io_test.pdb"
+  "partition_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

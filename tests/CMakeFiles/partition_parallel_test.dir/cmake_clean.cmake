@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_parallel_test.dir/partition_parallel_test.cc.o"
+  "CMakeFiles/partition_parallel_test.dir/partition_parallel_test.cc.o.d"
+  "partition_parallel_test"
+  "partition_parallel_test.pdb"
+  "partition_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleness_invariant_test.dir/staleness_invariant_test.cc.o"
+  "CMakeFiles/staleness_invariant_test.dir/staleness_invariant_test.cc.o.d"
+  "staleness_invariant_test"
+  "staleness_invariant_test.pdb"
+  "staleness_invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleness_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

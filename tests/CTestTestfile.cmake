@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/common_test[1]_include.cmake")
+include("/root/repo/tests/tensor_test[1]_include.cmake")
+include("/root/repo/tests/nn_test[1]_include.cmake")
+include("/root/repo/tests/data_test[1]_include.cmake")
+include("/root/repo/tests/graph_test[1]_include.cmake")
+include("/root/repo/tests/partition_test[1]_include.cmake")
+include("/root/repo/tests/partition_parallel_test[1]_include.cmake")
+include("/root/repo/tests/multilevel_test[1]_include.cmake")
+include("/root/repo/tests/comm_test[1]_include.cmake")
+include("/root/repo/tests/sync_test[1]_include.cmake")
+include("/root/repo/tests/embed_test[1]_include.cmake")
+include("/root/repo/tests/models_test[1]_include.cmake")
+include("/root/repo/tests/metrics_test[1]_include.cmake")
+include("/root/repo/tests/engine_test[1]_include.cmake")
+include("/root/repo/tests/engine_features_test[1]_include.cmake")
+include("/root/repo/tests/hotpath_golden_test[1]_include.cmake")
+include("/root/repo/tests/integration_test[1]_include.cmake")
+include("/root/repo/tests/theory_test[1]_include.cmake")
+include("/root/repo/tests/io_test[1]_include.cmake")
+include("/root/repo/tests/lru_cache_test[1]_include.cmake")
+include("/root/repo/tests/runner_test[1]_include.cmake")
+include("/root/repo/tests/deepfm_test[1]_include.cmake")
+include("/root/repo/tests/partition_io_test[1]_include.cmake")
+include("/root/repo/tests/property_test[1]_include.cmake")
+include("/root/repo/tests/staleness_invariant_test[1]_include.cmake")
+include("/root/repo/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/tests/serve_test[1]_include.cmake")
