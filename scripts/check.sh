@@ -19,6 +19,16 @@
 #                               # to the reference), then the wall-clock
 #                               # bench on scaled-down workloads with
 #                               # JSON output
+#   scripts/check.sh lint       # hetgmp_lint (R1-R5 project contracts)
+#                               # over the compile database + all of
+#                               # src/; findings JSON artifact at
+#                               # $HETGMP_LINT_JSON (default:
+#                               # <build>/LINT_findings.json)
+#   scripts/check.sh lockrank   # optimized build with runtime lock-rank
+#                               # enforcement forced on
+#                               # (-DHETGMP_LOCK_RANK=ON): any mutex
+#                               # acquired out of rank order aborts the
+#                               # test that did it
 #
 # Environment:
 #   CXX       compiler to use (default: system default; use clang++ to also
@@ -52,9 +62,15 @@ run_mode() {
                    -DHETGMP_BUILD_BENCHMARKS=OFF
                    -DHETGMP_BUILD_EXAMPLES=OFF)
       ;;
+    lockrank)
+      cmake_args+=(-DCMAKE_BUILD_TYPE=RelWithDebInfo
+                   -DHETGMP_LOCK_RANK=ON
+                   -DHETGMP_BUILD_BENCHMARKS=OFF
+                   -DHETGMP_BUILD_EXAMPLES=OFF)
+      ;;
     *)
       echo "unknown mode: ${mode} (expected release, tsan, asan-ubsan," \
-           "partitioner-smoke, or hotpath-smoke)" >&2
+           "lint, lockrank, partitioner-smoke, or hotpath-smoke)" >&2
       return 2
       ;;
   esac
@@ -144,6 +160,27 @@ run_hotpath_smoke() {
   echo "==== [hotpath-smoke] OK"
 }
 
+# Project-contract lint gate: builds tools/hetgmp_lint and runs it over
+# the compile database plus every header under src/. Fails on any
+# finding; always writes the machine-readable findings artifact (empty
+# array when clean) for CI upload.
+run_lint() {
+  local dir="${base}/lint"
+  local json="${HETGMP_LINT_JSON:-${dir}/LINT_findings.json}"
+
+  echo "==== [lint] configure + build hetgmp_lint"
+  cmake -B "${dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHETGMP_WERROR=ON -DHETGMP_BUILD_TESTS=OFF \
+    -DHETGMP_BUILD_BENCHMARKS=OFF -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${dir}" -j "${jobs}" --target hetgmp_lint
+  echo "==== [lint] hetgmp_lint over compile database + src/ headers"
+  "${dir}/tools/hetgmp_lint/hetgmp_lint" \
+    --compdb "${dir}/compile_commands.json" \
+    --src "${repo_root}/src" --json "${json}"
+  echo "==== [lint] findings artifact at ${json}"
+  echo "==== [lint] OK"
+}
+
 modes=("$@")
 if [[ ${#modes[@]} -eq 0 ]]; then
   modes=(release tsan asan-ubsan)
@@ -153,6 +190,8 @@ for mode in "${modes[@]}"; do
     run_partitioner_smoke
   elif [[ "${mode}" == "hotpath-smoke" ]]; then
     run_hotpath_smoke
+  elif [[ "${mode}" == "lint" ]]; then
+    run_lint
   else
     run_mode "${mode}"
   fi

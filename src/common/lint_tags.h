@@ -1,0 +1,34 @@
+#ifndef HETGMP_COMMON_LINT_TAGS_H_
+#define HETGMP_COMMON_LINT_TAGS_H_
+
+// Function tags consumed by tools/hetgmp_lint (the project-contract static
+// analyzer; see DESIGN.md §5b for the rule catalogue). The tags sit before
+// the return type of a function definition:
+//
+//   HETGMP_HOT_PATH void Engine::TrainIterationPlanned(WorkerState* ws) {
+//
+// HETGMP_HOT_PATH — rule R4: the body may not introduce per-call-lifetime
+// allocations (new / make_unique / make_shared / malloc-family, or local
+// declarations of allocating containers). Amortized growth of reused
+// member scratch (ws->buf.resize(...) after warmup) is allowed; a
+// genuinely required allocation carries `// lint: allow_alloc(reason)`.
+// Under GCC/Clang the tag doubles as __attribute__((hot)) so the compiler
+// also treats the function as hot for inlining/layout decisions.
+//
+// HETGMP_BIT_STABLE — rule R5: the body is part of a bit-stable section
+// (the PR 4/5 golden-trajectory guarantees) and may not introduce
+// reassociating reductions (std::reduce / std::transform_reduce /
+// std::execution policies, OpenMP reductions) or iteration over unordered
+// containers feeding FP accumulation. Waiver: `// lint: allow_reassoc(reason)`
+// or `// lint: allow_unordered(reason)`.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HETGMP_HOT_PATH __attribute__((hot))
+#else
+#define HETGMP_HOT_PATH
+#endif
+
+// Pure lint marker; expands to nothing.
+#define HETGMP_BIT_STABLE
+
+#endif  // HETGMP_COMMON_LINT_TAGS_H_

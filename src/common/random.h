@@ -31,7 +31,7 @@ class Rng {
   double NextGaussian();
 
   // Bernoulli draw.
-  bool NextBool(double p_true);
+  [[nodiscard]] bool NextBool(double p_true);
 
   // Splits off an independent generator (for per-worker streams).
   Rng Split();

@@ -12,7 +12,13 @@
 //     waits;
 //   * SingleOwnerChecker — a debug-build dynamic assertion for structures
 //     whose contract is "one owning thread at a time" rather than a lock
-//     (the engine's per-worker replica stores).
+//     (the engine's per-worker replica stores);
+//   * lock_rank — the numeric acquisition-order table from DESIGN.md §5b.
+//     A ranked Mutex records its rank in the per-thread held-rank set on
+//     Lock() and aborts on inversion (acquiring a rank <= any held rank),
+//     so the prose "acquisition order" paragraph is executable. Checks are
+//     live whenever NDEBUG is undefined (sanitized builds) or the build
+//     defines HETGMP_LOCK_RANK_CHECKS (cmake -DHETGMP_LOCK_RANK=ON).
 //
 // Builds under GCC compile the annotations away; scripts/check.sh and CI
 // run the Clang `-Wthread-safety -Werror=thread-safety` configuration that
@@ -21,6 +27,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
@@ -69,23 +76,151 @@
 #define HETGMP_NO_THREAD_SAFETY_ANALYSIS \
   HETGMP_THREAD_ANNOTATION__(no_thread_safety_analysis)
 
+// Runtime lock-rank checking is live in any build where NDEBUG is off
+// (sanitized builds leave it undefined on purpose) and can be forced into
+// optimized builds with -DHETGMP_LOCK_RANK=ON (scripts/check.sh lockrank).
+#if defined(HETGMP_LOCK_RANK_CHECKS) || !defined(NDEBUG)
+#define HETGMP_LOCK_RANK_ENABLED 1
+#endif
+
 namespace hetgmp {
 
+// The numeric lock-rank table from DESIGN.md §5b. Ranks are acquired in
+// strictly increasing order per thread: taking a mutex whose rank is <=
+// any rank already held aborts (debug builds) and is flagged statically
+// by tools/hetgmp_lint (rule R1). Equal ranks also abort, which is what
+// enforces "never two EmbeddingTable stripe locks at once". kNone opts a
+// mutex out entirely — reserved for locks that must be acquirable from
+// anywhere (the logging output mutex, which CHECK-failure paths take
+// under arbitrary locks).
+//
+// tools/hetgmp_lint mirrors this table (tests/lint_test.cc cross-checks
+// the two); when adding a rank, update DESIGN.md §5b and the linter's
+// table in tools/hetgmp_lint/rules.cc.
+namespace lock_rank {
+inline constexpr int kNone = 0;             // exempt (logging)
+inline constexpr int kBatcher = 10;         // RequestBatcher::mu_
+inline constexpr int kSnapshotPublish = 20; // SnapshotStore::publish_mu_
+inline constexpr int kSnapshotSlot = 30;    // SnapshotStore::Slot::mu
+inline constexpr int kServeShard = 40;      // LookupService::Shard::mu
+inline constexpr int kEngineMerge = 50;     // Engine::Train result merge
+inline constexpr int kEmbedStripe = 60;     // EmbeddingTable::RowMutex
+inline constexpr int kLeaf = 100;           // Barrier/ThreadPool internals
+}  // namespace lock_rank
+
+#ifdef HETGMP_LOCK_RANK_ENABLED
+namespace lock_rank_detail {
+// Per-thread multiset of held ranks, fixed-capacity so the tracker never
+// allocates (it runs inside every Lock/Unlock, including the allocator's
+// own locks would be fine — but keep it trivially reentrant anyway).
+struct HeldRanks {
+  static constexpr int kMax = 64;
+  int ranks[kMax];
+  int count = 0;
+};
+
+inline HeldRanks& Held() {
+  thread_local HeldRanks held;
+  return held;
+}
+
+// Called BEFORE blocking on the mutex, so an inversion aborts with a
+// report instead of deadlocking silently.
+inline void CheckAcquire(int rank) {
+  if (rank == lock_rank::kNone) return;
+  const HeldRanks& held = Held();
+  for (int i = 0; i < held.count; ++i) {
+    if (held.ranks[i] >= rank) {
+      std::fprintf(
+          stderr,
+          "lock-rank inversion: acquiring a rank-%d mutex while holding a "
+          "rank-%d mutex; ranks must be acquired in strictly increasing "
+          "order (DESIGN.md §5b, tools/hetgmp_lint rule R1)\n",
+          rank, held.ranks[i]);
+      std::abort();
+    }
+  }
+}
+
+inline void Push(int rank) {
+  if (rank == lock_rank::kNone) return;
+  HeldRanks& held = Held();
+  if (held.count >= HeldRanks::kMax) {
+    std::fprintf(stderr,
+                 "lock-rank tracker overflow: more than %d ranked mutexes "
+                 "held by one thread\n",
+                 HeldRanks::kMax);
+    std::abort();
+  }
+  held.ranks[held.count++] = rank;
+}
+
+inline void Pop(int rank) {
+  if (rank == lock_rank::kNone) return;
+  HeldRanks& held = Held();
+  for (int i = held.count - 1; i >= 0; --i) {
+    if (held.ranks[i] == rank) {
+      held.ranks[i] = held.ranks[--held.count];
+      return;
+    }
+  }
+  // Unlock of a rank we never recorded: a SetRank between Lock and Unlock
+  // (misuse) — fail loudly rather than corrupt the tracker.
+  std::fprintf(stderr, "lock-rank tracker: unlock of unheld rank %d\n", rank);
+  std::abort();
+}
+}  // namespace lock_rank_detail
+#endif  // HETGMP_LOCK_RANK_ENABLED
+
 // std::mutex with capability annotations. Interface mirrors the subset of
-// absl::Mutex the library needs.
+// absl::Mutex the library needs, plus an optional lock rank (see
+// lock_rank above) checked dynamically in debug builds.
 class HETGMP_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  // Rank is a contract, not state: set it at construction (or immediately
+  // after, for container-resident mutexes) and never while locked.
+  explicit Mutex(int rank) { SetRank(rank); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#ifdef HETGMP_LOCK_RANK_ENABLED
+  void SetRank(int rank) { rank_ = rank; }
+  int rank() const { return rank_; }
+
+  void Lock() HETGMP_ACQUIRE() {
+    lock_rank_detail::CheckAcquire(rank_);
+    mu_.lock();
+    lock_rank_detail::Push(rank_);
+  }
+  void Unlock() HETGMP_RELEASE() {
+    lock_rank_detail::Pop(rank_);
+    mu_.unlock();
+  }
+  // TryLock cannot deadlock, so rank order is recorded but not enforced:
+  // a failed speculative acquisition in any order is legal.
+  [[nodiscard]] bool TryLock() HETGMP_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_rank_detail::Push(rank_);
+    return true;
+  }
+#else
+  void SetRank(int rank) { (void)rank; }
+  int rank() const { return lock_rank::kNone; }
+
   void Lock() HETGMP_ACQUIRE() { mu_.lock(); }
   void Unlock() HETGMP_RELEASE() { mu_.unlock(); }
-  bool TryLock() HETGMP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  [[nodiscard]] bool TryLock() HETGMP_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+#endif
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#ifdef HETGMP_LOCK_RANK_ENABLED
+  int rank_ = lock_rank::kNone;
+#endif
 };
 
 // RAII lock over a Mutex, visible to the analysis as a scoped capability.
@@ -123,7 +258,8 @@ class CondVar {
   // ended by timeout (spurious wakeups return true; callers loop on their
   // predicate and recompute the remaining budget either way).
   template <class Rep, class Period>
-  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+  [[nodiscard]] bool WaitFor(Mutex& mu,
+                             const std::chrono::duration<Rep, Period>& timeout)
       HETGMP_REQUIRES(mu) {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     const std::cv_status st = cv_.wait_for(lock, timeout);

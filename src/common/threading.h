@@ -38,7 +38,7 @@ class Barrier {
 
  private:
   const int num_threads_;
-  Mutex mu_;
+  Mutex mu_{lock_rank::kLeaf};
   CondVar cv_;
   int waiting_ HETGMP_GUARDED_BY(mu_) = 0;
   uint64_t generation_ HETGMP_GUARDED_BY(mu_) = 0;
@@ -83,8 +83,10 @@ class ThreadPool {
  private:
   void WorkerLoop() HETGMP_EXCLUDES(mu_);
 
+  // lint: unguarded(filled in the constructor, joined in the destructor;
+  // never touched while worker threads run)
   std::vector<std::thread> threads_;
-  Mutex mu_;
+  Mutex mu_{lock_rank::kLeaf};
   CondVar work_cv_;
   CondVar idle_cv_;
   std::queue<std::function<void()>> queue_ HETGMP_GUARDED_BY(mu_);

@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/lint_tags.h"
 #include "common/logging.h"
 #include "metrics/auc.h"
 #include "nn/loss.h"
@@ -112,6 +113,13 @@ struct Engine::WorkerState {
   std::vector<double> norm_clock;  // feat_clock / access_freq (0 if no freq)
   std::vector<double> raw_clock;   // double(feat_clock)
   std::vector<double> freq;        // access_freq as double
+  // Per-row contiguous copies of the screen inputs (length F), so the
+  // O(F²) scans read dense arrays instead of gathering through the plan.
+  // Members (not step-3b locals) so the hot path stays allocation-free
+  // after warmup (lint rule R4).
+  std::vector<double> row_val;
+  std::vector<double> row_freq;
+  std::vector<uint8_t> row_kind;
 
   // Wall-clock stage timers (seconds), merged into
   // TrainResult::stage_secs by FinalizeResult.
@@ -325,7 +333,8 @@ bool Engine::BatchContains(const WorkerState* ws, FeatureId x) const {
   return false;
 }
 
-void Engine::ResolveFeature(WorkerState* ws, FeatureId x, float* out) {
+HETGMP_HOT_PATH void Engine::ResolveFeature(WorkerState* ws, FeatureId x,
+                                           float* out) {
   const int w = ws->id;
   const bool ps_path = config_.strategy == Strategy::kTfPs ||
                        config_.strategy == Strategy::kParallax;
@@ -426,7 +435,7 @@ void Engine::ResolveFeature(WorkerState* ws, FeatureId x, float* out) {
   ws->feat_clock.push_back(PrimaryClock(x));
 }
 
-int64_t Engine::BuildBatchPlan(WorkerState* ws) {
+HETGMP_HOT_PATH int64_t Engine::BuildBatchPlan(WorkerState* ws) {
   const int F = train_.num_fields();
   const int64_t B = static_cast<int64_t>(ws->batch_samples.size());
   ws->plan.resize(B * F);
@@ -535,7 +544,7 @@ void Engine::ExecPairCheck(WorkerState* ws, int32_t ua, int32_t ub) {
   }
 }
 
-void Engine::TrainIteration(WorkerState* ws) {
+HETGMP_HOT_PATH void Engine::TrainIteration(WorkerState* ws) {
   if (config_.reference_hotpath) {
     TrainIterationReference(ws);
   } else {
@@ -543,7 +552,8 @@ void Engine::TrainIteration(WorkerState* ws) {
   }
 }
 
-void Engine::TrainIterationPlanned(WorkerState* ws) {
+HETGMP_HOT_PATH HETGMP_BIT_STABLE void Engine::TrainIterationPlanned(
+    WorkerState* ws) {
   const int w = ws->id;
   const int F = train_.num_fields();
   const int d = config_.embedding_dim;
@@ -601,12 +611,16 @@ void Engine::TrainIterationPlanned(WorkerState* ws) {
     const double* raw = ws->raw_clock.data();
     const double* freq = ws->freq.data();
     const uint8_t* kind = ws->feat_kind.data();
-    // Per-row contiguous copies of the screen inputs, so the O(F^2) scans
-    // read the stack instead of gathering through the plan; rval holds
-    // the normalized (or raw) clock the per-pair screen compares.
-    std::vector<double> rval(static_cast<size_t>(F));
-    std::vector<double> rfreq(static_cast<size_t>(F));
-    std::vector<uint8_t> rkind(static_cast<size_t>(F));
+    // Per-row contiguous copies of the screen inputs (reused WorkerState
+    // scratch — see row_val's comment), so the O(F^2) scans read dense
+    // arrays instead of gathering through the plan; rval holds the
+    // normalized (or raw) clock the per-pair screen compares.
+    ws->row_val.resize(static_cast<size_t>(F));
+    ws->row_freq.resize(static_cast<size_t>(F));
+    ws->row_kind.resize(static_cast<size_t>(F));
+    double* const rval = ws->row_val.data();
+    double* const rfreq = ws->row_freq.data();
+    uint8_t* const rkind = ws->row_kind.data();
     for (int64_t b = 0; b < B; ++b) {
       const int32_t* prow = plan + b * F;
       bool nonpos_freq = false;
@@ -923,7 +937,7 @@ void Engine::TrainIterationReference(WorkerState* ws) {
   ws->iter_count.fetch_add(1, std::memory_order_release);
 }
 
-void Engine::ScatterGradients(WorkerState* ws) {
+HETGMP_HOT_PATH void Engine::ScatterGradients(WorkerState* ws) {
   const int w = ws->id;
   const int d = config_.embedding_dim;
   const int64_t U = static_cast<int64_t>(ws->unique_feats.size());
@@ -966,7 +980,7 @@ void Engine::ScatterGradients(WorkerState* ws) {
 // write to primaries", §6). With write_back_every > 1, flushes are
 // staggered across iterations by slot; ForceFlushRound covers the
 // remainder at round barriers.
-void Engine::FlushStaggered(WorkerState* ws) {
+HETGMP_HOT_PATH void Engine::FlushStaggered(WorkerState* ws) {
   const int64_t U = static_cast<int64_t>(ws->unique_feats.size());
   const int64_t wbe = std::max(1, config_.write_back_every);
   const int64_t iter_now = ws->iter_count.load(std::memory_order_relaxed);
@@ -991,7 +1005,7 @@ void Engine::ForceFlushRound(WorkerState* ws) {
 
 // Flushes the per-iteration byte tallies into the fabric (one batched
 // message per peer per direction) and charges the issuing worker's clock.
-void Engine::ChargePendingTransfers(WorkerState* ws) {
+HETGMP_HOT_PATH void Engine::ChargePendingTransfers(WorkerState* ws) {
   const int w = ws->id;
   double comm_sec = 0.0;
   const int N = topology_.num_workers();
@@ -1057,7 +1071,7 @@ void Engine::SyncDense(WorkerState* ws) {
   ws->sim_time += comm_sec;
 }
 
-void Engine::AverageDenseReplicas(bool grads) {
+HETGMP_BIT_STABLE void Engine::AverageDenseReplicas(bool grads) {
   const int N = topology_.num_workers();
   if (N <= 1) return;
   std::vector<std::vector<Tensor*>> all(N);
@@ -1219,7 +1233,7 @@ Status Engine::ValidateInvariants() const {
   return Status::OK();
 }
 
-double Engine::EvaluateAuc() {
+HETGMP_BIT_STABLE double Engine::EvaluateAuc() {
   const int F = train_.num_fields();
   const int d = config_.embedding_dim;
   const int64_t n = test_.num_samples();
@@ -1441,7 +1455,7 @@ TrainResult Engine::Train(int max_epochs, double auc_target,
 
   stop_.store(false, std::memory_order_relaxed);
   TrainResult result;
-  Mutex result_mu;
+  Mutex result_mu{lock_rank::kEngineMerge};
 
   // Ownership hand-off: replica stores were last touched by whichever
   // thread constructed the engine or ran the previous Train; from here

@@ -189,7 +189,7 @@ class Engine {
   void ExecPairCheck(WorkerState* ws, int32_t ua, int32_t ub);
   // True iff `x` is a unique feature of the batch currently being
   // resolved (LRU admission must not evict a feature this batch uses).
-  bool BatchContains(const WorkerState* ws, FeatureId x) const;
+  [[nodiscard]] bool BatchContains(const WorkerState* ws, FeatureId x) const;
 
   // Resolves one unique feature of the current batch into `out` (dim
   // floats), charging communication as needed.

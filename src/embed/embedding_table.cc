@@ -14,6 +14,10 @@ EmbeddingTable::EmbeddingTable(int64_t num_embeddings, int dim,
       lr_(lr),
       mutexes_(kMutexStripes) {
   HETGMP_CHECK_GT(dim, 0);
+  // Stripes share one rank: the runtime lock-rank checker aborts on a
+  // second equal-rank acquisition, which is exactly the "never two stripe
+  // locks at once" contract (DESIGN.md §5b).
+  for (Mutex& mu : mutexes_) mu.SetRank(lock_rank::kEmbedStripe);
   values_.resize(num_embeddings * dim);
   Rng rng(seed);
   for (auto& v : values_) {

@@ -56,19 +56,23 @@ class EmbeddingTable {
   }
 
  private:
+  // lint: rank(kEmbedStripe)
   Mutex& RowMutex(int64_t x) const {
     return mutexes_[static_cast<size_t>(x) % kMutexStripes];
   }
 
   static constexpr size_t kMutexStripes = 1024;
 
-  int64_t num_embeddings_;
-  int dim_;
-  EmbeddingOptimizer optimizer_;
-  float lr_;
+  const int64_t num_embeddings_;
+  const int dim_;
+  const EmbeddingOptimizer optimizer_;
+  const float lr_;
+  // lint: unguarded(striped by RowMutex(x): every row access holds the
+  // row's stripe; Unsafe* accessors require externally quiesced workers)
   std::vector<float> values_;
+  // lint: unguarded(striped by RowMutex(x), same contract as values_)
   std::vector<float> accum_;  // AdaGrad accumulators (empty for SGD)
-  mutable std::vector<Mutex> mutexes_;
+  mutable std::vector<Mutex> mutexes_;  // lint: rank(kEmbedStripe)
 };
 
 }  // namespace hetgmp

@@ -41,12 +41,12 @@ class ReplicaIndex {
   explicit ReplicaIndex(const Partition& partition);
 
   int PrimaryOwner(FeatureId x) const { return owner_[x]; }
-  bool HasSecondary(int worker, FeatureId x) const {
+  [[nodiscard]] bool HasSecondary(int worker, FeatureId x) const {
     const int64_t bit = Index(worker, x);
     return (bits_[bit >> 6] >> (bit & 63)) & 1;
   }
   // Primary or secondary.
-  bool HasReplica(int worker, FeatureId x) const {
+  [[nodiscard]] bool HasReplica(int worker, FeatureId x) const {
     return owner_[x] == worker || HasSecondary(worker, x);
   }
   int num_parts() const { return num_parts_; }

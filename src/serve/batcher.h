@@ -82,7 +82,7 @@ class RequestBatcher {
   LookupService* const service_;
   const BatcherOptions options_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kBatcher};
   CondVar work_cv_;   // dispatcher waits: work arrived / shutdown
   CondVar done_cv_;   // clients wait: their request completed
   std::deque<Request*> pending_ HETGMP_GUARDED_BY(mu_);
@@ -90,6 +90,8 @@ class RequestBatcher {
   bool shutdown_ HETGMP_GUARDED_BY(mu_) = false;
   BatcherStats stats_ HETGMP_GUARDED_BY(mu_);
 
+  // lint: unguarded(started in the constructor, joined exactly once in
+  // Shutdown after shutdown_ is set; never accessed concurrently)
   std::thread dispatcher_;
 };
 

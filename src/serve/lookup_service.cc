@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/lint_tags.h"
 #include "common/logging.h"
 
 namespace hetgmp {
@@ -33,7 +34,8 @@ void HotRowCache::MoveToFront(int64_t slot) {
   if (tail_ < 0) tail_ = slot;
 }
 
-bool HotRowCache::Get(FeatureId x, uint64_t version, float* out) {
+HETGMP_HOT_PATH bool HotRowCache::Get(FeatureId x, uint64_t version,
+                                      float* out) {
   const auto it = slot_of_.find(x);
   if (it == slot_of_.end()) return false;
   const int64_t slot = it->second;
@@ -95,8 +97,9 @@ int LookupService::dim() const {
   return snap == nullptr ? 0 : snap->dim();
 }
 
-Status LookupService::LookupBatch(int shard, const FeatureId* keys, int64_t n,
-                                  float* out) {
+HETGMP_HOT_PATH Status LookupService::LookupBatch(int shard,
+                                                  const FeatureId* keys,
+                                                  int64_t n, float* out) {
   if (shard < 0 || shard >= num_shards_) {
     return Status::InvalidArgument("bad shard: " + std::to_string(shard));
   }
@@ -121,6 +124,8 @@ Status LookupService::LookupBatch(int shard, const FeatureId* keys, int64_t n,
   Shard& sh = *shards_[shard];
   MutexLock lock(sh.mu);
   if (sh.hot == nullptr && options_.hot_rows_per_shard > 0) {
+    // lint: allow_alloc(one-time lazy cache construction on first lookup;
+    // the dim is only known once a snapshot exists)
     sh.hot = std::make_unique<HotRowCache>(options_.hot_rows_per_shard, dim);
   }
   sh.stats.requests += n;

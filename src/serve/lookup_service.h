@@ -29,7 +29,9 @@ class HotRowCache {
   // Copies the cached row for `x` into out[0..dim) and refreshes recency,
   // but only if it was cached at `version` (stale versions miss: serving
   // must never mix rows from different snapshots in one response).
-  bool Get(FeatureId x, uint64_t version, float* out);
+  // [[nodiscard]]: on a miss, out is unwritten — ignoring the result
+  // serves uninitialized memory.
+  [[nodiscard]] bool Get(FeatureId x, uint64_t version, float* out);
 
   // Inserts/overwrites the row for `x` at `version`, evicting the LRU
   // entry when full. No-op at capacity 0.
@@ -122,7 +124,7 @@ class LookupService {
 
  private:
   struct Shard {
-    Mutex mu;
+    Mutex mu{lock_rank::kServeShard};
     std::unique_ptr<HotRowCache> hot HETGMP_GUARDED_BY(mu);
     LookupStats stats HETGMP_GUARDED_BY(mu);
   };

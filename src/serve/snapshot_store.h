@@ -110,7 +110,7 @@ class SnapshotStore {
 
  private:
   struct Slot {
-    mutable Mutex mu;
+    mutable Mutex mu{lock_rank::kSnapshotSlot};
     std::shared_ptr<const EmbeddingSnapshot> snap HETGMP_GUARDED_BY(mu);
   };
 
@@ -118,9 +118,11 @@ class SnapshotStore {
       HETGMP_REQUIRES(publish_mu_);
 
   const SnapshotStoreOptions options_;
-  Mutex publish_mu_;
+  Mutex publish_mu_{lock_rank::kSnapshotPublish};
   std::atomic<uint64_t> version_{0};
   std::atomic<uint32_t> active_{0};
+  // lint: unguarded(fixed-size array; each Slot self-guards via its mu,
+  // and the active-slot index is the atomic above)
   Slot slots_[2];
 };
 

@@ -34,14 +34,16 @@ struct StalenessBound {
 
 // Intra-embedding check (① in Figure 6): is a secondary within s updates
 // of its primary? Clocks compare directly (same embedding, same p).
-bool IntraEmbeddingFresh(uint64_t secondary_clock, uint64_t primary_clock,
-                         const StalenessBound& bound);
+[[nodiscard]] bool IntraEmbeddingFresh(uint64_t secondary_clock,
+                                       uint64_t primary_clock,
+                                       const StalenessBound& bound);
 
 // Inter-embedding check (② in Figure 6): are two embeddings gathered for
 // the same sample mutually within s? With normalization and p_i >= p_j the
 // gap is |c_i * p_j / p_i - c_j| (§5.3); without, |c_i - c_j|.
-bool InterEmbeddingFresh(uint64_t clock_i, double freq_i, uint64_t clock_j,
-                         double freq_j, const StalenessBound& bound);
+[[nodiscard]] bool InterEmbeddingFresh(uint64_t clock_i, double freq_i,
+                                       uint64_t clock_j, double freq_j,
+                                       const StalenessBound& bound);
 
 // The normalized gap itself (exposed for tests and diagnostics).
 double NormalizedClockGap(uint64_t clock_i, double freq_i, uint64_t clock_j,

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/lint_tags.h"
 #include "common/logging.h"
 
 namespace hetgmp {
@@ -125,7 +126,8 @@ void TiledMatMul(const float* __restrict A, int64_t lda,
 
 }  // namespace
 
-void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
+HETGMP_HOT_PATH HETGMP_BIT_STABLE void MatMul(const Tensor& a,
+                                              const Tensor& b, Tensor* out) {
   CheckRank2(a, "a");
   CheckRank2(b, "b");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
@@ -151,7 +153,8 @@ void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
   TiledMatMul<true>(a.data(), k, b.data(), n, m, n, k, out->data(), n);
 }
 
-void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* out) {
+HETGMP_HOT_PATH HETGMP_BIT_STABLE void MatMulTransB(
+    const Tensor& a, const Tensor& b, Tensor* out) {
   CheckRank2(a, "a");
   CheckRank2(b, "b");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
@@ -169,7 +172,8 @@ void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* out) {
   TiledMatMul<false>(a.data(), k, bt.data(), n, m, n, k, out->data(), n);
 }
 
-void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* out) {
+HETGMP_HOT_PATH HETGMP_BIT_STABLE void MatMulTransA(
+    const Tensor& a, const Tensor& b, Tensor* out) {
   CheckRank2(a, "a");
   CheckRank2(b, "b");
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);

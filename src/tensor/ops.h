@@ -1,6 +1,7 @@
 #ifndef HETGMP_TENSOR_OPS_H_
 #define HETGMP_TENSOR_OPS_H_
 
+#include "common/lint_tags.h"
 #include "tensor/tensor.h"
 
 namespace hetgmp {
@@ -56,19 +57,22 @@ double SquaredNorm(const Tensor& x);
 // as the loop.
 
 // dst[0..n) = src[0..n) (memmove-safe only for non-overlapping rows).
-inline void CopyRow(float* dst, const float* src, int64_t n) {
+HETGMP_HOT_PATH HETGMP_BIT_STABLE inline void CopyRow(float* dst,
+                                                      const float* src,
+                                                      int64_t n) {
   __builtin_memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
 }
 
 // dst[0..n) += src[0..n).
-inline void AccumulateRow(float* __restrict dst, const float* __restrict src,
-                          int64_t n) {
+HETGMP_HOT_PATH HETGMP_BIT_STABLE inline void AccumulateRow(
+    float* __restrict dst, const float* __restrict src, int64_t n) {
   for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
 // dst[0..n) += alpha * src[0..n).
-inline void AxpyRow(float* __restrict dst, const float* __restrict src,
-                    float alpha, int64_t n) {
+HETGMP_HOT_PATH HETGMP_BIT_STABLE inline void AxpyRow(
+    float* __restrict dst, const float* __restrict src, float alpha,
+    int64_t n) {
   for (int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
 }
 

@@ -1,0 +1,31 @@
+// Lint fixture: R1 lock-rank violations. Never compiled — only fed to
+// hetgmp_lint by lint_test.cc, which asserts each seeded violation is
+// flagged.
+
+#include "common/thread_annotations.h"
+
+namespace hetgmp {
+
+class WrongOrder {
+ public:
+  // Rank inversion: kServeShard (40) is acquired first, then kBatcher
+  // (10) — ranks must strictly increase inward.
+  void Inverted() {
+    MutexLock outer(&shard_mu_);
+    MutexLock inner(&batch_mu_);  // R1: 10 under 40
+  }
+
+  // A leaf mutex is held across another acquisition: leaves must be
+  // innermost.
+  void UnderLeaf() {
+    MutexLock leaf(&pool_mu_);
+    MutexLock any(&batch_mu_);  // R1: anything under a leaf
+  }
+
+ private:
+  Mutex batch_mu_{lock_rank::kBatcher};
+  Mutex shard_mu_{lock_rank::kServeShard};
+  Mutex pool_mu_{lock_rank::kLeaf};
+};
+
+}  // namespace hetgmp

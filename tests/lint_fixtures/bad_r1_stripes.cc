@@ -1,0 +1,15 @@
+// Lint fixture: R1 — two EmbeddingTable stripe locks in one scope.
+// Equal-rank stripe mutexes must never nest: with 64 stripes, two rows
+// can hash to the same stripe and self-deadlock.
+
+#include "common/thread_annotations.h"
+#include "embed/embedding_table.h"
+
+namespace hetgmp {
+
+void SwapRows(EmbeddingTable* table, int64_t a, int64_t b) {
+  MutexLock la(&table->RowMutex(a));
+  MutexLock lb(&table->RowMutex(b));  // R1: second stripe in scope
+}
+
+}  // namespace hetgmp

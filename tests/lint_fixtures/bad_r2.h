@@ -1,0 +1,21 @@
+// Lint fixture: R2 — a mutex-owning class with an unannotated mutable
+// field and no `// lint: unguarded(reason)` waiver.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace hetgmp {
+
+class Counters {
+ public:
+  void Bump();
+
+ private:
+  Mutex mu_{lock_rank::kBatcher};
+  int64_t hits_ HETGMP_GUARDED_BY(mu_) = 0;
+  std::vector<int64_t> history_;  // R2: mutable, unguarded, unwaived
+};
+
+}  // namespace hetgmp

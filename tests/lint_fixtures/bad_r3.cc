@@ -1,0 +1,13 @@
+// Lint fixture: R3 — Fabric byte-moving calls that never charge a
+// TrafficClass, so the bytes vanish from the traffic ledger.
+
+#include "comm/fabric.h"
+
+namespace hetgmp {
+
+void MoveUncharged(comm::Fabric* fabric, int dst, int src, int64_t bytes) {
+  fabric->Transfer(dst, src, bytes);            // R3: no TrafficClass
+  fabric->TransferToHost(dst, bytes, nullptr);  // R3: no TrafficClass
+}
+
+}  // namespace hetgmp

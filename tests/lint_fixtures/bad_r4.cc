@@ -1,0 +1,21 @@
+// Lint fixture: R4 — allocations inside a HETGMP_HOT_PATH function.
+
+#include <memory>
+#include <vector>
+
+#include "common/lint_tags.h"
+
+namespace hetgmp {
+
+HETGMP_HOT_PATH void GatherRows(const float* src, float* dst, int64_t n) {
+  std::vector<float> scratch(static_cast<size_t>(n));  // R4: sized local
+  auto owner = std::make_unique<float[]>(n);           // R4: make_unique
+  float* raw = new float[n];                           // R4: new
+  (void)src;
+  (void)dst;
+  (void)raw;
+  (void)owner;
+  (void)scratch;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,22 @@
+// Lint fixture: R5 — bit-determinism hazards inside a HETGMP_BIT_STABLE
+// function: a reassociating reduction, and FP accumulation driven by
+// unordered-container iteration order.
+
+#include <numeric>
+#include <unordered_map>
+
+#include "common/lint_tags.h"
+
+namespace hetgmp {
+
+HETGMP_BIT_STABLE double SumLoss(
+    const std::unordered_map<int, double>& per_worker, const double* v,
+    int64_t n) {
+  double total = std::reduce(v, v + n);  // R5: reassociating reduction
+  for (const auto& [id, loss] : per_worker) {  // R5: unordered iteration
+    total += loss;
+  }
+  return total;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,59 @@
+// Lint fixture: the compliant twin of the bad_* files — every rule's
+// pattern done right (correct rank order, annotations or waivers, charged
+// transfers, allocation-free hot path, order-independent accumulation).
+// lint_test.cc asserts this file produces zero findings.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/fabric.h"
+#include "common/lint_tags.h"
+#include "common/thread_annotations.h"
+#include "embed/embedding_table.h"
+
+namespace hetgmp {
+
+class GoodCounters {
+ public:
+  void Bump() {
+    MutexLock batch(&batch_mu_);
+    MutexLock shard(&shard_mu_);  // 10 then 40: strictly increasing
+    ++hits_;
+  }
+
+ private:
+  Mutex batch_mu_{lock_rank::kBatcher};
+  Mutex shard_mu_{lock_rank::kServeShard};
+  int64_t hits_ HETGMP_GUARDED_BY(batch_mu_) = 0;
+  // lint: unguarded(written once at construction, read-only afterwards)
+  std::vector<int64_t> bins_;
+};
+
+void UpdateRow(EmbeddingTable* table, int64_t row) {
+  MutexLock stripe(&table->RowMutex(row));  // one stripe at a time
+  (void)row;
+}
+
+void MoveCharged(comm::Fabric* fabric, int dst, int src, int64_t bytes) {
+  fabric->Transfer(dst, src, bytes, comm::TrafficClass::kEmbedding);
+}
+
+struct Scratch {
+  std::vector<float> buf;
+};
+
+HETGMP_HOT_PATH void GatherRows(Scratch* s, const float* src, int64_t n) {
+  s->buf.resize(static_cast<size_t>(n));  // amortized member scratch: ok
+  std::vector<float>& buf = s->buf;       // reference binding: ok
+  std::vector<float> empty;               // default-constructed: ok
+  for (int64_t i = 0; i < n; ++i) buf[static_cast<size_t>(i)] = src[i];
+  (void)empty;
+}
+
+HETGMP_BIT_STABLE double SumLoss(const std::vector<double>& per_worker) {
+  double total = 0.0;
+  for (double loss : per_worker) total += loss;  // ordered container: ok
+  return total;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,165 @@
+// Tests for tools/hetgmp_lint: every seeded fixture violation R1–R5 is
+// flagged, the compliant fixture and the real tree lint clean, and the
+// linter's rank table cannot drift from lock_rank in
+// src/common/thread_annotations.h.
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver.h"
+#include "gtest/gtest.h"
+#include "model.h"
+#include "rules.h"
+
+namespace hetgmp::lint {
+namespace {
+
+#ifndef HETGMP_SOURCE_DIR
+#error "build must define HETGMP_SOURCE_DIR"
+#endif
+
+std::string SourcePath(const std::string& rel) {
+  return std::string(HETGMP_SOURCE_DIR) + "/" + rel;
+}
+
+std::vector<Finding> LintFixture(const std::string& name) {
+  return LintFiles({SourcePath("tests/lint_fixtures/" + name)});
+}
+
+std::vector<std::string> RulesOf(const std::vector<Finding>& fs) {
+  std::vector<std::string> rules;
+  rules.reserve(fs.size());
+  for (const Finding& f : fs) rules.push_back(f.rule);
+  return rules;
+}
+
+TEST(LintFixtures, R1RankInversionAndLeafFlagged) {
+  std::vector<Finding> fs = LintFixture("bad_r1_rank.cc");
+  ASSERT_EQ(fs.size(), 2u) << FindingsToJson(fs);
+  EXPECT_EQ(fs[0].rule, "R1");
+  EXPECT_EQ(fs[1].rule, "R1");
+  EXPECT_NE(fs[0].message.find("inversion"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("leaf"), std::string::npos);
+}
+
+TEST(LintFixtures, R1DoubleStripeFlagged) {
+  std::vector<Finding> fs = LintFixture("bad_r1_stripes.cc");
+  ASSERT_EQ(fs.size(), 1u) << FindingsToJson(fs);
+  EXPECT_EQ(fs[0].rule, "R1");
+  EXPECT_NE(fs[0].message.find("stripe"), std::string::npos);
+}
+
+TEST(LintFixtures, R2UnguardedFieldFlagged) {
+  std::vector<Finding> fs = LintFixture("bad_r2.h");
+  ASSERT_EQ(fs.size(), 1u) << FindingsToJson(fs);
+  EXPECT_EQ(fs[0].rule, "R2");
+  EXPECT_NE(fs[0].message.find("history_"), std::string::npos);
+}
+
+TEST(LintFixtures, R3UnchargedTransfersFlagged) {
+  std::vector<Finding> fs = LintFixture("bad_r3.cc");
+  EXPECT_EQ(RulesOf(fs), (std::vector<std::string>{"R3", "R3"}))
+      << FindingsToJson(fs);
+}
+
+TEST(LintFixtures, R4HotPathAllocationsFlagged) {
+  std::vector<Finding> fs = LintFixture("bad_r4.cc");
+  EXPECT_EQ(RulesOf(fs), (std::vector<std::string>{"R4", "R4", "R4"}))
+      << FindingsToJson(fs);
+}
+
+TEST(LintFixtures, R5BitStableHazardsFlagged) {
+  std::vector<Finding> fs = LintFixture("bad_r5.cc");
+  ASSERT_EQ(fs.size(), 2u) << FindingsToJson(fs);
+  EXPECT_NE(fs[0].message.find("reduce"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("unordered"), std::string::npos);
+}
+
+TEST(LintFixtures, GoodFixtureIsClean) {
+  std::vector<Finding> fs = LintFixture("good.cc");
+  EXPECT_TRUE(fs.empty()) << FindingsToJson(fs);
+}
+
+// The contract the CI lint job enforces: the real tree has no findings.
+// Linting src/ directly (every header and translation unit) is the
+// compiler-free equivalent of --compdb + --src.
+TEST(LintTree, RealTreeLintsClean) {
+  std::vector<std::string> files = CollectSources(SourcePath("src"));
+  ASSERT_GT(files.size(), 50u) << "source walk looks wrong";
+  std::vector<Finding> fs = LintFiles(std::move(files));
+  EXPECT_TRUE(fs.empty()) << FindingsToJson(fs);
+}
+
+// The linter mirrors lock_rank so it can reason about ranks without a
+// compiler; parse the real header and require an exact match, so adding
+// or renumbering a rank without updating the linter fails here.
+TEST(LintRankTable, MatchesThreadAnnotationsHeader) {
+  std::ifstream in(SourcePath("src/common/thread_annotations.h"));
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string src = ss.str();
+
+  const size_t ns = src.find("namespace lock_rank");
+  ASSERT_NE(ns, std::string::npos);
+  const size_t ns_end = src.find("}  // namespace lock_rank", ns);
+  ASSERT_NE(ns_end, std::string::npos);
+
+  std::map<std::string, int> parsed;
+  const std::regex decl(R"(inline constexpr int (k\w+) = (\d+);)");
+  auto begin = std::sregex_iterator(src.begin() + ns, src.begin() + ns_end,
+                                    decl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    parsed[(*it)[1].str()] = std::stoi((*it)[2].str());
+  }
+  EXPECT_EQ(parsed, RankTable());
+}
+
+TEST(LintModel, WaiverRequiresReasonAndSpansWrappedComments) {
+  const char* src =
+      "struct S {\n"
+      "  int a_;  // lint: unguarded(set once in ctor)\n"
+      "  // lint: unguarded(wrapped across two comment\n"
+      "  // lines but still one waiver)\n"
+      "  int b_;\n"
+      "  int c_;  // lint: unguarded()\n"
+      "};\n";
+  FileModel m = BuildModel(Lex("inline.h", src));
+  EXPECT_TRUE(m.HasWaiver(2, "unguarded"));
+  EXPECT_TRUE(m.HasWaiver(5, "unguarded"));
+  EXPECT_FALSE(m.HasWaiver(6, "unguarded")) << "empty reason must not count";
+  EXPECT_FALSE(m.HasWaiver(2, "allow_alloc"));
+}
+
+TEST(LintDriver, CompileCommandsParsing) {
+#ifndef HETGMP_BINARY_DIR
+  GTEST_SKIP() << "no binary dir configured";
+#else
+  const std::string compdb =
+      std::string(HETGMP_BINARY_DIR) + "/compile_commands.json";
+  std::ifstream probe(compdb);
+  if (!probe.good()) GTEST_SKIP() << "no compile database in this build";
+  std::vector<std::string> files = FilesFromCompileCommands(compdb);
+  EXPECT_FALSE(files.empty());
+  for (const std::string& f : files) {
+    EXPECT_NE(f.find(".c"), std::string::npos) << f;
+  }
+#endif
+}
+
+TEST(LintDriver, JsonOutputEscapes) {
+  std::vector<Finding> fs = {
+      {"R4", "a\"b.cc", 7, "uses \"new\"\n"},
+  };
+  const std::string json = FindingsToJson(fs);
+  EXPECT_NE(json.find("\\\"new\\\"\\n"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetgmp::lint

@@ -1,0 +1,206 @@
+#include "driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "lexer.h"
+#include "model.h"
+
+namespace hetgmp::lint {
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Reads one JSON string starting at src[i] == '"'; returns the unescaped
+// value and leaves i one past the closing quote.
+std::string ReadJsonString(const std::string& src, size_t* i) {
+  std::string out;
+  size_t p = *i + 1;
+  while (p < src.size() && src[p] != '"') {
+    if (src[p] == '\\' && p + 1 < src.size()) {
+      const char c = src[p + 1];
+      if (c == 'n') {
+        out += '\n';
+      } else if (c == 't') {
+        out += '\t';
+      } else {
+        out += c;  // \" \\ \/ — keep the escaped char
+      }
+      p += 2;
+      continue;
+    }
+    out += src[p++];
+  }
+  *i = p < src.size() ? p + 1 : p;
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool IsSourceExt(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+std::vector<std::string> FilesFromCompileCommands(const std::string& path) {
+  std::string src;
+  std::vector<std::string> files;
+  if (!ReadFile(path, &src)) return files;
+  // The database is an array of objects with flat string fields; walking
+  // key/value pairs is enough — no nesting beyond one object level.
+  std::string directory, file;
+  auto flush = [&]() {
+    if (file.empty()) return;
+    std::filesystem::path p(file);
+    if (p.is_relative() && !directory.empty()) {
+      p = std::filesystem::path(directory) / p;
+    }
+    files.push_back(p.lexically_normal().string());
+    file.clear();
+  };
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '}') {
+      flush();
+      continue;
+    }
+    if (src[i] != '"') continue;
+    std::string key = ReadJsonString(src, &i);
+    // Expect `: "value"` next for the keys we care about.
+    while (i < src.size() && (src[i] == ' ' || src[i] == ':' ||
+                              src[i] == '\n' || src[i] == '\t')) {
+      ++i;
+    }
+    if (i >= src.size() || src[i] != '"') continue;
+    std::string value = ReadJsonString(src, &i);
+    --i;  // loop increment
+    if (key == "directory") directory = value;
+    if (key == "file") file = value;
+  }
+  flush();
+  return files;
+}
+
+namespace {
+
+std::vector<std::string> Walk(const std::string& dir, bool headers_only) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(dir, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const std::filesystem::path& p = it->path();
+    if (!IsSourceExt(p)) continue;
+    if (headers_only && p.extension().string()[1] != 'h') continue;
+    out.push_back(p.lexically_normal().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> CollectHeaders(const std::string& dir) {
+  return Walk(dir, /*headers_only=*/true);
+}
+
+std::vector<std::string> CollectSources(const std::string& dir) {
+  return Walk(dir, /*headers_only=*/false);
+}
+
+std::vector<Finding> LintFiles(std::vector<std::string> paths) {
+  // Canonicalize so the same file reached via the compile database
+  // (absolute) and --src (relative) dedupes; report relative to the
+  // working directory when possible (shorter, stable across machines).
+  const std::string cwd =
+      std::filesystem::current_path().lexically_normal().string() + "/";
+  for (std::string& p : paths) {
+    std::error_code ec;
+    std::filesystem::path canon = std::filesystem::weakly_canonical(p, ec);
+    if (ec) continue;
+    std::string s = canon.string();
+    if (s.rfind(cwd, 0) == 0) s = s.substr(cwd.size());
+    p = std::move(s);
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<Finding> findings;
+  std::vector<FileModel> models;
+  models.reserve(paths.size());
+  Registry reg;
+  for (const std::string& path : paths) {
+    std::string src;
+    if (!ReadFile(path, &src)) {
+      findings.push_back({"IO", path, 0, "cannot read file"});
+      continue;
+    }
+    models.push_back(BuildModel(Lex(path, src)));
+    reg.Add(models.back());
+  }
+  for (const FileModel& m : models) {
+    RunRules(m, reg, &findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "  {\"rule\": \"" + JsonEscape(f.rule) + "\", \"file\": \"" +
+           JsonEscape(f.path) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"message\": \"" + JsonEscape(f.message) + "\"}";
+    if (i + 1 < findings.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace hetgmp::lint

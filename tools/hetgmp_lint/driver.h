@@ -1,0 +1,35 @@
+#ifndef HETGMP_TOOLS_LINT_DRIVER_H_
+#define HETGMP_TOOLS_LINT_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace hetgmp::lint {
+
+// Source files named by a compile_commands.json (the "file" entry of each
+// command, resolved against its "directory" when relative). Minimal JSON
+// handling: exactly the subset CMake emits.
+std::vector<std::string> FilesFromCompileCommands(const std::string& path);
+
+// All .h files under `dir`, recursively (compile databases list only
+// translation units; the contracts live mostly in headers).
+std::vector<std::string> CollectHeaders(const std::string& dir);
+
+// All .h/.cc files under `dir`, recursively — the compiler-free
+// equivalent of compdb + headers, used by lint_test's clean-tree check.
+std::vector<std::string> CollectSources(const std::string& dir);
+
+// Lints `paths` (deduplicated): builds every file's model, merges the
+// cross-file registry, then runs R1–R5 per file. Files that cannot be
+// read produce a pseudo-finding with rule "IO".
+std::vector<Finding> LintFiles(std::vector<std::string> paths);
+
+// Serializes findings as a JSON array (stable field order) for the CI
+// artifact written by `scripts/check.sh lint`.
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+}  // namespace hetgmp::lint
+
+#endif  // HETGMP_TOOLS_LINT_DRIVER_H_

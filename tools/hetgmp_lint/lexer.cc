@@ -1,0 +1,157 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace hetgmp::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& path, const std::string& src) {
+  LexedFile out;
+  out.path = path;
+  const size_t n = src.size();
+  size_t i = 0;
+  int line = 1;
+
+  auto push_comment = [&out](int at_line, const std::string& text) {
+    out.comments.push_back({at_line, text});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor line: keep #pragma (R5 looks for omp), swallow the
+    // rest. Handles line continuations.
+    if (c == '#') {
+      const int start_line = line;
+      std::string text;
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          text += ' ';
+          continue;
+        }
+        if (src[i] == '\n') break;
+        text += src[i];
+        ++i;
+      }
+      if (text.rfind("#pragma", 0) == 0) {
+        out.tokens.push_back({TokKind::kPragma, text, start_line});
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      i += 2;
+      std::string text;
+      while (i < n && src[i] != '\n') text += src[i++];
+      push_comment(line, text);
+      continue;
+    }
+    // Block comment: attribute content to every line it spans.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      std::string text;
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          push_comment(line, text);
+          text.clear();
+          ++line;
+        } else {
+          text += src[i];
+        }
+        ++i;
+      }
+      push_comment(line, text);
+      if (i < n) i += 2;  // closing */
+      continue;
+    }
+    // String/char literals (contents dropped). Raw strings: R"delim(...)delim".
+    if (c == '"' || c == '\'') {
+      const int start_line = line;
+      // Raw string?
+      const bool raw = c == '"' && !out.tokens.empty() &&
+                       out.tokens.back().kind == TokKind::kIdent &&
+                       (out.tokens.back().text == "R" ||
+                        (out.tokens.back().text.size() >= 2 &&
+                         out.tokens.back().text.back() == 'R'));
+      if (raw) {
+        out.tokens.pop_back();  // the R prefix is part of the literal
+        ++i;                    // past "
+        std::string delim;
+        while (i < n && src[i] != '(') delim += src[i++];
+        const std::string close = ")" + delim + "\"";
+        size_t end = src.find(close, i);
+        if (end == std::string::npos) end = n;
+        for (size_t j = i; j < end && j < n; ++j) {
+          if (src[j] == '\n') ++line;
+        }
+        i = (end == n) ? n : end + close.size();
+        out.tokens.push_back({TokKind::kString, "", start_line});
+        continue;
+      }
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;  // unterminated; keep line count sane
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.tokens.push_back({TokKind::kString, "", start_line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < n && IsIdentChar(src[i])) text += src[i++];
+      out.tokens.push_back({TokKind::kIdent, text, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      // Loose: consume [0-9a-zA-Z_.']* plus exponent signs — fine for
+      // pattern matching, which never inspects number values.
+      while (i < n &&
+             (IsIdentChar(src[i]) || src[i] == '.' || src[i] == '\'' ||
+              ((src[i] == '+' || src[i] == '-') && i > 0 &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        text += src[i++];
+      }
+      out.tokens.push_back({TokKind::kNumber, text, line});
+      continue;
+    }
+    // :: as a single token simplifies qualified-name matching.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace hetgmp::lint

@@ -1,0 +1,49 @@
+#ifndef HETGMP_TOOLS_LINT_LEXER_H_
+#define HETGMP_TOOLS_LINT_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetgmp::lint {
+
+// A deliberately small C++ lexer: enough token structure for the
+// pattern-level rules in rules.cc, nothing more. No preprocessing happens
+// (macros are matched by name, which is exactly what the contract tags
+// HETGMP_HOT_PATH / HETGMP_GUARDED_BY / MutexLock need); string literals
+// and comments are fully consumed so their contents can never fake a
+// token match.
+enum class TokKind : uint8_t {
+  kIdent,    // identifiers and keywords
+  kNumber,   // integer/float literals (loosely lexed)
+  kString,   // "..." or '...' (content dropped; raw strings supported)
+  kPunct,    // single punctuation character, or :: as one token
+  kPragma,   // a whole `#pragma ...` line (text = full line)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+// Line-anchored comment, kept out of the token stream. Both // and /* */
+// comments are recorded; a block comment is attributed to each line it
+// spans so waiver lookups by line work across wrapped comments.
+struct CommentLine {
+  int line;
+  std::string text;  // comment text without the // or /* */ framing
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<CommentLine> comments;  // sorted by line
+};
+
+// Lexes `source`. Never fails: unrecognized bytes become kPunct tokens.
+LexedFile Lex(const std::string& path, const std::string& source);
+
+}  // namespace hetgmp::lint
+
+#endif  // HETGMP_TOOLS_LINT_LEXER_H_

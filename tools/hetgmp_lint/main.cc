@@ -1,0 +1,98 @@
+// hetgmp_lint: project-contract static analyzer.
+//
+// Enforces the concurrency and performance contracts DESIGN.md §5b
+// documents, over the whole tree, with no compiler dependency:
+//
+//   R1  lock-rank order at MutexLock sites
+//   R2  HETGMP_GUARDED_BY coverage of mutable fields in mutex-owning
+//       classes (waiver: `// lint: unguarded(reason)`)
+//   R3  comm::Fabric byte-moving calls must charge a TrafficClass
+//   R4  no allocation in HETGMP_HOT_PATH functions
+//       (waiver: `// lint: allow_alloc(reason)`)
+//   R5  no reassociating reductions or unordered-container iteration in
+//       HETGMP_BIT_STABLE functions (waivers: allow_reassoc /
+//       allow_unordered)
+//
+// Usage:
+//   hetgmp_lint [--compdb compile_commands.json] [--src DIR]...
+//               [--json OUT.json] [FILE]...
+//
+// Findings go to stdout as `path:line: [Rn] message`; exit status is 1
+// when any finding exists. --json (or the HETGMP_LINT_JSON environment
+// variable) additionally writes a machine-readable artifact for CI.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver.h"
+
+int main(int argc, char** argv) {
+  using namespace hetgmp::lint;
+  std::vector<std::string> paths;
+  std::string json_out;
+  if (const char* env = std::getenv("HETGMP_LINT_JSON")) json_out = env;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hetgmp_lint: %s requires a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--compdb") {
+      std::vector<std::string> files = FilesFromCompileCommands(next());
+      if (files.empty()) {
+        std::fprintf(stderr,
+                     "hetgmp_lint: no entries read from compile database\n");
+        return 2;
+      }
+      paths.insert(paths.end(), files.begin(), files.end());
+    } else if (arg == "--src") {
+      std::vector<std::string> hdrs = CollectHeaders(next());
+      paths.insert(paths.end(), hdrs.begin(), hdrs.end());
+    } else if (arg == "--json") {
+      json_out = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: hetgmp_lint [--compdb compile_commands.json] "
+                   "[--src DIR]... [--json OUT.json] [FILE]...\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "hetgmp_lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "hetgmp_lint: no input files (see --help)\n");
+    return 2;
+  }
+
+  const size_t num_inputs = paths.size();
+  std::vector<Finding> findings = LintFiles(std::move(paths));
+
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "hetgmp_lint: cannot write %s\n",
+                   json_out.c_str());
+      return 2;
+    }
+    out << FindingsToJson(findings);
+  }
+  std::fprintf(stderr, "hetgmp_lint: %zu files, %zu finding%s\n", num_inputs,
+               findings.size(), findings.size() == 1 ? "" : "s");
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,533 @@
+#include "model.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hetgmp::lint {
+
+namespace {
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+// Index of the token matching the open bracket at `open` (which must be
+// one of ( [ { ), or tokens.size() when unbalanced.
+size_t MatchBracket(const std::vector<Token>& toks, size_t open) {
+  const std::string& o = toks[open].text;
+  const char* close = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == o) {
+      ++depth;
+    } else if (toks[i].text == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+const std::set<std::string>& TrailingQualifiers() {
+  static const std::set<std::string> kQuals = {
+      "const", "noexcept", "override", "final", "mutable", "volatile"};
+  return kQuals;
+}
+
+bool IsAnnotationMacro(const std::string& name) {
+  return name.rfind("HETGMP_", 0) == 0;
+}
+
+// Statement head classification for an opening `{`.
+enum class BraceKind { kNamespace, kClass, kFunction, kOther };
+
+struct HeadInfo {
+  BraceKind kind = BraceKind::kOther;
+  std::string name;       // class/function name
+  std::string qualifier;  // Foo in Foo::Bar( for functions
+  bool hot_path = false;
+  bool bit_stable = false;
+  int name_line = 0;
+};
+
+HeadInfo ClassifyHead(const std::vector<Token>& toks, size_t begin,
+                      size_t end /*index of the { */) {
+  HeadInfo info;
+  if (begin >= end) return info;
+
+  // Skip leading access specifiers ("public :" etc.) left over from the
+  // statement accumulator.
+  while (begin + 1 < end &&
+         (IsIdent(toks[begin], "public") || IsIdent(toks[begin], "private") ||
+          IsIdent(toks[begin], "protected")) &&
+         IsPunct(toks[begin + 1], ":")) {
+    begin += 2;
+  }
+  if (begin >= end) return info;
+
+  if (IsIdent(toks[begin], "namespace")) {
+    info.kind = BraceKind::kNamespace;
+    if (begin + 1 < end && toks[begin + 1].kind == TokKind::kIdent) {
+      info.name = toks[begin + 1].text;
+    }
+    return info;
+  }
+
+  // `class X ... {` / `struct X ... {`. `enum class` is not a scope we
+  // care about; `class` must be the head's first keyword (a field of
+  // class type never starts its own brace statement at class scope —
+  // brace-init braces are preceded by the member name, handled below).
+  if (IsIdent(toks[begin], "class") || IsIdent(toks[begin], "struct")) {
+    // Cut at a base-clause `:` (single colon; `::` is one token).
+    size_t cut = end;
+    int angle = 0;
+    for (size_t i = begin + 1; i < end; ++i) {
+      if (toks[i].kind != TokKind::kPunct) continue;
+      if (toks[i].text == "<") ++angle;
+      if (toks[i].text == ">") --angle;
+      if (toks[i].text == ":" && angle == 0) {
+        cut = i;
+        break;
+      }
+    }
+    // Name = last identifier before the cut, skipping `final` and
+    // attribute-macro arguments.
+    for (size_t i = cut; i-- > begin + 1;) {
+      if (toks[i].kind == TokKind::kIdent && toks[i].text != "final" &&
+          !IsAnnotationMacro(toks[i].text)) {
+        // Skip idents inside macro parens: HETGMP_CAPABILITY("mutex").
+        bool in_parens = false;
+        for (size_t j = begin + 1; j < i; ++j) {
+          if (IsPunct(toks[j], "(")) {
+            size_t close = MatchBracket(toks, j);
+            if (i < close) {
+              in_parens = true;
+              break;
+            }
+            j = close;
+          }
+        }
+        if (in_parens) continue;
+        info.kind = BraceKind::kClass;
+        info.name = toks[i].text;
+        info.name_line = toks[i].line;
+        return info;
+      }
+    }
+    return info;
+  }
+
+  if (IsIdent(toks[begin], "enum") || IsIdent(toks[begin], "extern")) {
+    return info;  // kOther
+  }
+
+  // Function definition: the head, after stripping trailing qualifiers,
+  // annotation-macro calls, member-initializer lists, and `-> type`
+  // returns, ends with the `)` of a parameter list whose preceding
+  // identifier is the function name.
+  size_t last = end;  // one past the last head token considered
+  while (last > begin) {
+    const Token& t = toks[last - 1];
+    if (t.kind == TokKind::kIdent && TrailingQualifiers().count(t.text)) {
+      --last;
+      continue;
+    }
+    break;
+  }
+  if (last == begin || !IsPunct(toks[last - 1], ")")) {
+    // Constructor member-init lists (`Foo() : a_(x), b_{y} {`) end with
+    // `)` or `}` of the last initializer; detect via a top-level `:`
+    // after a `)` and re-anchor on the parameter list before it.
+    size_t colon = end;
+    int nest = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (toks[i].kind != TokKind::kPunct) continue;
+      const std::string& p = toks[i].text;
+      if (p == "(" || p == "[") {
+        i = MatchBracket(toks, i);
+        continue;
+      }
+      if (p == ":" && nest == 0 && i > begin && IsPunct(toks[i - 1], ")")) {
+        colon = i;
+        break;
+      }
+    }
+    if (colon == end) return info;  // kOther (brace init, array, ...)
+    // This `{` is the ctor body only if the initializers after the colon
+    // are complete — they end with `)` or `}`. Otherwise it is the brace
+    // init of one member (`: mu_{kLeaf}`), which the caller skips.
+    if (colon + 1 >= end ||
+        !(IsPunct(toks[end - 1], ")") || IsPunct(toks[end - 1], "}"))) {
+      return info;
+    }
+    last = colon;  // now ends with the param-list `)`
+  }
+
+  // Walk back over annotation-macro calls: `) HETGMP_EXCLUDES ( mu_ )`.
+  while (true) {
+    if (last == begin || !IsPunct(toks[last - 1], ")")) break;
+    // Find the `(` matching this `)` by scanning backwards.
+    int depth = 0;
+    size_t open = begin;
+    bool found = false;
+    for (size_t i = last; i-- > begin;) {
+      if (toks[i].kind != TokKind::kPunct) continue;
+      if (toks[i].text == ")") ++depth;
+      if (toks[i].text == "(") {
+        if (--depth == 0) {
+          open = i;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found || open == begin) return info;
+    const Token& before = toks[open - 1];
+    if (before.kind == TokKind::kIdent && IsAnnotationMacro(before.text)) {
+      last = open - 1;  // strip and keep walking back
+      // Strip qualifiers between the macro and the param list too.
+      while (last > begin && toks[last - 1].kind == TokKind::kIdent &&
+             TrailingQualifiers().count(toks[last - 1].text)) {
+        --last;
+      }
+      continue;
+    }
+    // `before` is the function name candidate.
+    if (before.kind != TokKind::kIdent) return info;
+    static const std::set<std::string> kControl = {
+        "if", "for", "while", "switch", "catch", "return", "sizeof",
+        "alignof", "decltype", "else", "do", "new", "delete"};
+    if (kControl.count(before.text)) return info;
+    info.kind = BraceKind::kFunction;
+    info.name = before.text;
+    info.name_line = before.line;
+    if (open >= begin + 3 && IsPunct(toks[open - 2], "::") &&
+        toks[open - 3].kind == TokKind::kIdent) {
+      info.qualifier = toks[open - 3].text;
+    }
+    for (size_t i = begin; i < open; ++i) {
+      if (IsIdent(toks[i], "HETGMP_HOT_PATH")) info.hot_path = true;
+      if (IsIdent(toks[i], "HETGMP_BIT_STABLE")) info.bit_stable = true;
+    }
+    return info;
+  }
+  return info;
+}
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(FileModel* model) : m_(model) {}
+
+  void Run() { ScanRange(0, m_->lex.tokens.size(), /*in_class=*/nullptr); }
+
+ private:
+  // Scans [begin, end); `in_class` is the ClassInfo being populated when
+  // this range is a class body, null otherwise.
+  void ScanRange(size_t begin, size_t end, ClassInfo* in_class) {
+    const std::vector<Token>& toks = m_->lex.tokens;
+    size_t stmt = begin;
+    for (size_t i = begin; i < end; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == ";") {
+        if (in_class != nullptr && i > stmt) {
+          ParseFieldStatement(stmt, i, in_class);
+        }
+        stmt = i + 1;
+        continue;
+      }
+      if (t.text == "(" || t.text == "[") {
+        // Keep bracketed runs opaque so a `{` inside a lambda argument or
+        // attribute never triggers scope classification.
+        size_t close = MatchBracket(toks, i);
+        if (close >= end) return;  // unbalanced; bail on this range
+        i = close;
+        continue;
+      }
+      if (t.text != "{") continue;
+
+      size_t close = MatchBracket(toks, i);
+      if (close >= end) return;
+
+      HeadInfo head = ClassifyHead(toks, stmt, i);
+      switch (head.kind) {
+        case BraceKind::kNamespace:
+          ScanRange(i + 1, close, nullptr);
+          i = close;
+          stmt = close + 1;
+          break;
+        case BraceKind::kClass: {
+          ClassInfo cls;
+          cls.name = head.name;
+          cls.qualified = in_class == nullptr
+                              ? head.name
+                              : in_class->qualified + "::" + head.name;
+          cls.line = head.name_line;
+          ScanRange(i + 1, close, &cls);
+          m_->classes.push_back(std::move(cls));
+          // The statement restarts after the class body; a field
+          // statement must not see the body's tokens.
+          i = close;
+          stmt = close + 1;
+          break;
+        }
+        case BraceKind::kFunction: {
+          FunctionInfo fn;
+          fn.name = head.name;
+          fn.enclosing = !head.qualifier.empty()
+                             ? head.qualifier
+                             : (in_class != nullptr ? in_class->name : "");
+          fn.line = head.name_line;
+          fn.body_begin = i;
+          fn.body_end = close + 1;
+          fn.hot_path = head.hot_path;
+          fn.bit_stable = head.bit_stable;
+          m_->functions.push_back(std::move(fn));
+          i = close;
+          stmt = close + 1;
+          break;
+        }
+        case BraceKind::kOther:
+          // Brace init / enum body / array literal: opaque, but the
+          // enclosing statement continues so a field's initializer tokens
+          // stay inside its statement range.
+          i = close;
+          break;
+      }
+    }
+  }
+
+  void ParseFieldStatement(size_t begin, size_t end, ClassInfo* cls) {
+    const std::vector<Token>& toks = m_->lex.tokens;
+    // Strip leading access specifiers.
+    while (begin + 1 < end &&
+           (IsIdent(toks[begin], "public") ||
+            IsIdent(toks[begin], "private") ||
+            IsIdent(toks[begin], "protected")) &&
+           IsPunct(toks[begin + 1], ":")) {
+      begin += 2;
+    }
+    if (begin >= end) return;
+    static const std::set<std::string> kSkipLead = {
+        "using", "typedef", "friend", "static_assert", "template", "enum",
+        "class", "struct", "operator"};
+    if (toks[begin].kind == TokKind::kIdent &&
+        kSkipLead.count(toks[begin].text)) {
+      return;
+    }
+    // `= default` / `= delete` special members slip through as
+    // `)`-terminated statements; anything containing `operator` too.
+    for (size_t i = begin; i < end; ++i) {
+      if (IsIdent(toks[i], "operator")) return;
+    }
+
+    // Find the declarator end: the first top-level `=` or `{` (the `{`
+    // of a brace init was consumed opaquely, so it is still in range).
+    size_t decl_end = end;
+    for (size_t i = begin; i < end; ++i) {
+      if (toks[i].kind != TokKind::kPunct) continue;
+      const std::string& p = toks[i].text;
+      if (p == "(" || p == "[") {
+        i = MatchBracket(toks, i);
+        continue;
+      }
+      if (p == "<") {
+        // Balance template args so `=` inside them (defaulted template
+        // params don't occur in fields, but cheap to guard) is skipped.
+        int angle = 1;
+        size_t j = i + 1;
+        for (; j < end && angle > 0; ++j) {
+          if (toks[j].kind == TokKind::kPunct) {
+            if (toks[j].text == "<") ++angle;
+            if (toks[j].text == ">") --angle;
+          }
+        }
+        i = j - 1;
+        continue;
+      }
+      if (p == "=" || p == "{") {
+        decl_end = i;
+        break;
+      }
+    }
+
+    // Strip trailing annotation macro calls and array extents from the
+    // declarator; detect guardedness along the way.
+    Field f;
+    size_t last = decl_end;
+    while (last > begin) {
+      const Token& t = toks[last - 1];
+      if (t.kind == TokKind::kPunct && (t.text == ")" || t.text == "]")) {
+        // Scan back to the matching open bracket.
+        const char* open_c = t.text == ")" ? "(" : "[";
+        int depth = 0;
+        size_t open = begin;
+        bool found = false;
+        for (size_t i = last; i-- > begin;) {
+          if (toks[i].kind != TokKind::kPunct) continue;
+          if (toks[i].text == t.text) ++depth;
+          if (toks[i].text == open_c && --depth == 0) {
+            open = i;
+            found = true;
+            break;
+          }
+        }
+        if (!found) return;
+        if (t.text == "]") {
+          last = open;  // array extent
+          continue;
+        }
+        if (open > begin && toks[open - 1].kind == TokKind::kIdent &&
+            IsAnnotationMacro(toks[open - 1].text)) {
+          if (toks[open - 1].text == "HETGMP_GUARDED_BY" ||
+              toks[open - 1].text == "HETGMP_PT_GUARDED_BY") {
+            f.guarded = true;
+          }
+          last = open - 1;
+          continue;
+        }
+        return;  // `Type Name(args)` at class scope = method declaration
+      }
+      break;
+    }
+    if (last == begin || toks[last - 1].kind != TokKind::kIdent) return;
+    static const std::set<std::string> kNotAName = {
+        "const", "noexcept", "override", "final", "public", "private",
+        "protected", "default", "delete", "void"};
+    if (kNotAName.count(toks[last - 1].text)) return;
+
+    f.name = toks[last - 1].text;
+    f.line = toks[last - 1].line;
+
+    bool is_static = false, is_const = false, is_ref = false;
+    int angle = 0;
+    for (size_t i = begin; i + 1 < last; ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "<") ++angle;
+        if (t.text == ">") --angle;
+        if (t.text == "&" && angle == 0) is_ref = true;
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) continue;
+      if (angle == 0) {
+        if (t.text == "static") is_static = true;
+        if (t.text == "constexpr") is_static = is_const = true;
+        if (t.text == "const") is_const = true;
+      }
+      if (!f.type_tokens.empty()) f.type_tokens += ' ';
+      f.type_tokens += t.text;
+      if (t.text == "Mutex") f.is_mutex = true;
+      if (t.text == "atomic") f.is_atomic = true;
+    }
+    if (f.type_tokens.empty()) return;  // e.g. a stray label
+    // Self-synchronizing / immutable kinds that R2 does not require a
+    // guard for: mutexes themselves, condition variables, atomics.
+    const bool is_condvar =
+        f.type_tokens.find("CondVar") != std::string::npos ||
+        f.type_tokens.find("condition_variable") != std::string::npos;
+    f.is_mutable_state =
+        !is_static && !is_const && !is_ref && !f.is_mutex && !f.is_atomic &&
+        !is_condvar;
+
+    if (f.is_mutex) {
+      // Rank from the initializer: `lock_rank :: kX` anywhere in the
+      // statement (the brace-init tokens are inside [begin, end)).
+      for (size_t i = begin; i + 2 < end; ++i) {
+        if (IsIdent(toks[i], "lock_rank") && IsPunct(toks[i + 1], "::") &&
+            toks[i + 2].kind == TokKind::kIdent) {
+          f.rank = toks[i + 2].text;
+          break;
+        }
+      }
+    }
+    cls->fields.push_back(std::move(f));
+  }
+
+  FileModel* m_;
+};
+
+}  // namespace
+
+std::string FileModel::CommentsAt(int line) const {
+  // Token-bearing lines, for deciding whether a comment line is
+  // comment-only (safe to walk up through).
+  std::unordered_set<int> code_lines;
+  for (const Token& t : lex.tokens) code_lines.insert(t.line);
+  std::unordered_map<int, std::string> by_line;
+  for (const CommentLine& c : lex.comments) {
+    std::string& s = by_line[c.line];
+    if (!s.empty()) s += ' ';
+    s += c.text;
+  }
+  std::string out;
+  int first = line;
+  while (first - 1 >= 1 && by_line.count(first - 1) &&
+         !code_lines.count(first - 1)) {
+    --first;
+  }
+  for (int l = first; l <= line; ++l) {
+    auto it = by_line.find(l);
+    if (it == by_line.end()) continue;
+    if (!out.empty()) out += ' ';
+    out += it->second;
+  }
+  return out;
+}
+
+bool FileModel::HasWaiver(int line, const std::string& directive) const {
+  const std::string block = CommentsAt(line);
+  const std::string needle = "lint:";
+  size_t pos = 0;
+  while ((pos = block.find(needle, pos)) != std::string::npos) {
+    size_t p = pos + needle.size();
+    while (p < block.size() && block[p] == ' ') ++p;
+    if (block.compare(p, directive.size(), directive) == 0) {
+      p += directive.size();
+      if (p < block.size() && block[p] == '(') {
+        // Require a non-empty reason.
+        size_t q = p + 1;
+        while (q < block.size() && block[q] == ' ') ++q;
+        if (q < block.size() && block[q] != ')') return true;
+      }
+    }
+    pos += needle.size();
+  }
+  return false;
+}
+
+const ClassInfo* FileModel::FindClass(const std::string& name) const {
+  for (const ClassInfo& c : classes) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+FileModel BuildModel(LexedFile lexed) {
+  FileModel m;
+  m.lex = std::move(lexed);
+  ModelBuilder(&m).Run();
+  // Resolve `// lint: rank(kX)` comment ranks for mutex members that have
+  // no initializer rank (e.g. std::vector<Mutex> ranked via SetRank).
+  for (ClassInfo& cls : m.classes) {
+    for (Field& f : cls.fields) {
+      if (!f.is_mutex || !f.rank.empty()) continue;
+      const std::string block = m.CommentsAt(f.line);
+      const size_t pos = block.find("lint: rank(");
+      if (pos == std::string::npos) continue;
+      const size_t open = block.find('(', pos);
+      const size_t close = block.find(')', open);
+      if (open != std::string::npos && close != std::string::npos) {
+        f.rank = block.substr(open + 1, close - open - 1);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace hetgmp::lint

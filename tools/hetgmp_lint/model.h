@@ -1,0 +1,80 @@
+#ifndef HETGMP_TOOLS_LINT_MODEL_H_
+#define HETGMP_TOOLS_LINT_MODEL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace hetgmp::lint {
+
+// Lightweight declaration model built from the token stream: which classes
+// exist, which fields they declare (and whether those fields are guarded),
+// which Mutex members carry which lock rank, and where function bodies
+// start and end. This is not a parser — it tracks brace depth and a few
+// keyword patterns, which is enough for project files written in the
+// repo's (clang-format enforced) style.
+
+// A data member of a class/struct.
+struct Field {
+  std::string name;
+  std::string type_tokens;  // space-joined declaration tokens before name
+  int line = 0;
+  bool is_mutable_state = false;  // non-const, non-static, non-reference
+  bool guarded = false;           // HETGMP_GUARDED_BY / HETGMP_PT_GUARDED_BY
+  bool is_mutex = false;          // type mentions Mutex (hetgmp::Mutex)
+  bool is_atomic = false;         // std::atomic<...> — self-synchronizing
+  // For is_mutex fields: rank from the initializer (lock_rank::kX) or a
+  // `// lint: rank(kX)` comment; empty when unranked.
+  std::string rank;
+};
+
+struct ClassInfo {
+  std::string name;        // unqualified
+  std::string qualified;   // Outer::Inner for nested classes
+  int line = 0;
+  std::vector<Field> fields;
+  bool HasMutexMember() const {
+    for (const Field& f : fields) {
+      if (f.is_mutex) return true;
+    }
+    return false;
+  }
+};
+
+// A function definition (has a body in this file).
+struct FunctionInfo {
+  std::string name;            // unqualified
+  std::string enclosing;       // class name from Foo::Bar( or nesting; "" free
+  int line = 0;                // line of the name token
+  size_t body_begin = 0;       // token index of the opening {
+  size_t body_end = 0;         // token index one past the closing }
+  bool hot_path = false;       // HETGMP_HOT_PATH appears in the declaration
+  bool bit_stable = false;     // HETGMP_BIT_STABLE appears in the declaration
+};
+
+struct FileModel {
+  LexedFile lex;
+  std::vector<ClassInfo> classes;
+  std::vector<FunctionInfo> functions;
+
+  // Comment text for `line`, or the contiguous run of comment-only lines
+  // ending directly above it, concatenated. Empty when none.
+  std::string CommentsAt(int line) const;
+
+  // True when a `// lint: directive(...)` waiver applies at `line` (the
+  // decl's own line or the contiguous comment block above it). The
+  // directive must have a non-empty reason.
+  bool HasWaiver(int line, const std::string& directive) const;
+
+  const ClassInfo* FindClass(const std::string& name) const;
+};
+
+// Builds the model. Tolerant: anything it cannot classify is skipped.
+FileModel BuildModel(LexedFile lexed);
+
+}  // namespace hetgmp::lint
+
+#endif  // HETGMP_TOOLS_LINT_MODEL_H_

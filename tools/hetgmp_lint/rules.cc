@@ -1,0 +1,474 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace hetgmp::lint {
+
+namespace {
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+size_t MatchBracket(const std::vector<Token>& toks, size_t open) {
+  const std::string& o = toks[open].text;
+  const char* close = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == o) {
+      ++depth;
+    } else if (toks[i].text == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+// Skips a balanced `<...>` starting at toks[i] == "<"; returns the index
+// one past the closing `>`.
+size_t SkipAngles(const std::vector<Token>& toks, size_t i) {
+  int angle = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "<") ++angle;
+    if (toks[i].text == ">") {
+      if (--angle == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+void Add(std::vector<Finding>* out, const char* rule, const FileModel& m,
+         int line, std::string message) {
+  out->push_back({rule, m.lex.path, line, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// R1: lock-rank order at MutexLock sites.
+
+struct HeldLock {
+  std::string rank_name;  // empty = unranked
+  int rank = -1;          // -1 = unranked
+  bool is_stripe = false;
+  int line = 0;
+  int depth = 0;  // brace depth at acquisition; released when scope closes
+};
+
+void CheckR1(const FileModel& m, const Registry& reg, const FunctionInfo& fn,
+             std::vector<Finding>* out) {
+  const std::vector<Token>& toks = m.lex.tokens;
+  const auto& table = RankTable();
+
+  // Local ranked mutexes: `Mutex name{lock_rank::kX};` declared in the
+  // body (e.g. the engine's per-Train result_mu).
+  std::map<std::string, std::string> local_ranks;
+  for (size_t i = fn.body_begin; i + 5 < fn.body_end; ++i) {
+    if (IsIdent(toks[i], "Mutex") && toks[i + 1].kind == TokKind::kIdent &&
+        IsPunct(toks[i + 2], "{") && IsIdent(toks[i + 3], "lock_rank") &&
+        IsPunct(toks[i + 4], "::") && toks[i + 5].kind == TokKind::kIdent) {
+      local_ranks[toks[i + 1].text] = toks[i + 5].text;
+    }
+  }
+
+  std::vector<HeldLock> held;
+  int depth = 0;
+  for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") ++depth;
+      if (t.text == "}") {
+        --depth;
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [depth](const HeldLock& h) {
+                                    return h.depth > depth;
+                                  }),
+                   held.end());
+      }
+      continue;
+    }
+    if (!IsIdent(t, "MutexLock")) continue;
+    // `MutexLock guard(&mu);` or `MutexLock guard{&mu};`.
+    size_t j = i + 1;
+    if (j < fn.body_end && toks[j].kind == TokKind::kIdent) ++j;
+    if (j >= fn.body_end ||
+        !(IsPunct(toks[j], "(") || IsPunct(toks[j], "{"))) {
+      continue;  // a declaration mention, not an acquisition
+    }
+    const size_t close = MatchBracket(toks, j);
+    if (close >= fn.body_end) continue;
+
+    HeldLock lk;
+    lk.line = t.line;
+    lk.depth = depth;
+    for (size_t k = j + 1; k < close; ++k) {
+      if (toks[k].kind != TokKind::kIdent) continue;
+      if (toks[k].text == "RowMutex") {
+        lk.is_stripe = true;
+        lk.rank_name = "kEmbedStripe";
+        break;
+      }
+      auto local = local_ranks.find(toks[k].text);
+      std::string rank = local != local_ranks.end()
+                             ? local->second
+                             : reg.MutexRank(fn.enclosing, toks[k].text);
+      if (!rank.empty()) {
+        lk.rank_name = rank;
+        break;
+      }
+    }
+    if (!lk.rank_name.empty()) {
+      auto it = table.find(lk.rank_name);
+      lk.rank = it != table.end() ? it->second : -1;
+      if (lk.rank == table.at("kEmbedStripe")) lk.is_stripe = true;
+    }
+
+    for (const HeldLock& h : held) {
+      if (h.rank == table.at("kLeaf")) {
+        Add(out, "R1", m, t.line,
+            "MutexLock while a leaf-rank mutex (Barrier/ThreadPool) is "
+            "held; leaf mutexes must be innermost (outer lock at line " +
+                std::to_string(h.line) + ")");
+        break;
+      }
+      if (lk.is_stripe && h.is_stripe) {
+        Add(out, "R1", m, t.line,
+            "second EmbeddingTable stripe lock in one scope (first at "
+            "line " +
+                std::to_string(h.line) +
+                "); stripe locks are equal-rank and must never nest");
+        break;
+      }
+      if (h.is_stripe && lk.rank >= 0 && lk.rank != table.at("kLeaf")) {
+        Add(out, "R1", m, t.line,
+            "non-leaf mutex (" + lk.rank_name +
+                ") acquired while a stripe lock is held (stripe at line " +
+                std::to_string(h.line) + ")");
+        break;
+      }
+      if (h.is_stripe && lk.rank < 0) {
+        Add(out, "R1", m, t.line,
+            "mutex of unknown rank acquired while a stripe lock is held "
+            "(stripe at line " +
+                std::to_string(h.line) +
+                "); only leaf mutexes may nest under a stripe");
+        break;
+      }
+      if (lk.rank >= 0 && h.rank >= 0 && lk.rank <= h.rank) {
+        Add(out, "R1", m, t.line,
+            "lock-rank inversion: acquiring " + lk.rank_name + " (" +
+                std::to_string(lk.rank) + ") while holding " + h.rank_name +
+                " (" + std::to_string(h.rank) +
+                ", line " + std::to_string(h.line) +
+                "); ranks must strictly increase inward");
+        break;
+      }
+    }
+    held.push_back(lk);
+    i = close;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2: annotation coverage.
+
+void CheckR2(const FileModel& m, std::vector<Finding>* out) {
+  for (const ClassInfo& cls : m.classes) {
+    if (!cls.HasMutexMember()) continue;
+    for (const Field& f : cls.fields) {
+      if (!f.is_mutable_state || f.guarded) continue;
+      if (m.HasWaiver(f.line, "unguarded")) continue;
+      Add(out, "R2", m, f.line,
+          "mutable field '" + f.name + "' of mutex-owning class '" +
+              cls.qualified +
+              "' is neither HETGMP_GUARDED_BY nor waived with "
+              "`// lint: unguarded(reason)`");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: Fabric traffic accounting.
+
+void CheckR3(const FileModel& m, std::vector<Finding>* out) {
+  const std::vector<Token>& toks = m.lex.tokens;
+  // Identifiers declared with type TrafficClass anywhere in the file
+  // (locals, params) count as charging the call they appear in.
+  std::unordered_set<std::string> tc_names;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "TrafficClass")) continue;
+    size_t j = i + 1;
+    while (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+           (toks[j].text == "&" || toks[j].text == "*")) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      tc_names.insert(toks[j].text);
+    }
+  }
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent ||
+        (t.text != "Transfer" && t.text != "TransferToHost")) {
+      continue;
+    }
+    if (!IsPunct(toks[i + 1], "(")) continue;
+    const size_t close = MatchBracket(toks, i + 1);
+    bool charged = false;
+    for (size_t k = i + 2; k < close; ++k) {
+      if (toks[k].kind != TokKind::kIdent) continue;
+      if (toks[k].text == "TrafficClass" || tc_names.count(toks[k].text)) {
+        charged = true;
+        break;
+      }
+    }
+    if (!charged) {
+      Add(out, "R3", m, t.line,
+          "comm::Fabric::" + t.text +
+              " call moves bytes without charging a TrafficClass; every "
+              "byte of traffic must be attributed to a class");
+    }
+    i = close;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: hot-path allocation ban.
+
+const std::set<std::string>& AllocatingContainers() {
+  static const std::set<std::string> kContainers = {
+      "vector", "string",        "basic_string",  "deque",
+      "list",   "map",           "set",           "multimap",
+      "multiset", "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kContainers;
+}
+
+void CheckR4(const FileModel& m, const FunctionInfo& fn,
+             std::vector<Finding>* out) {
+  const std::vector<Token>& toks = m.lex.tokens;
+  static const std::set<std::string> kBannedCalls = {
+      "make_unique", "make_shared", "malloc",       "calloc",
+      "realloc",     "strdup",      "aligned_alloc"};
+  for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "new") {
+      if (!m.HasWaiver(t.line, "allow_alloc")) {
+        Add(out, "R4", m, t.line,
+            "new-expression in HETGMP_HOT_PATH function '" + fn.name +
+                "'; hot paths must reuse preallocated scratch "
+                "(waive with `// lint: allow_alloc(reason)`)");
+      }
+      continue;
+    }
+    if (kBannedCalls.count(t.text)) {
+      if (!m.HasWaiver(t.line, "allow_alloc")) {
+        Add(out, "R4", m, t.line,
+            "allocating call '" + t.text + "' in HETGMP_HOT_PATH function '" +
+                fn.name +
+                "' (waive with `// lint: allow_alloc(reason)`)");
+      }
+      continue;
+    }
+    // `std::vector<T> v(n);` / `std::string s = ...;` locals and
+    // temporaries. Default-constructed (empty) locals are fine — they
+    // allocate nothing until used, and member scratch uses resize which
+    // is amortized by design.
+    if (t.text == "std" && i + 2 < fn.body_end &&
+        IsPunct(toks[i + 1], "::") &&
+        toks[i + 2].kind == TokKind::kIdent &&
+        AllocatingContainers().count(toks[i + 2].text)) {
+      size_t j = i + 3;
+      if (j < fn.body_end && IsPunct(toks[j], "<")) {
+        j = SkipAngles(toks, j);
+      }
+      if (j >= fn.body_end) continue;
+      // Reference/pointer bindings and nested-type uses don't allocate.
+      if (toks[j].kind == TokKind::kPunct &&
+          (toks[j].text == "&" || toks[j].text == "*" ||
+           toks[j].text == "::")) {
+        continue;
+      }
+      bool allocates = false;
+      if (toks[j].kind == TokKind::kIdent && j + 1 < fn.body_end) {
+        const Token& after = toks[j + 1];
+        if (IsPunct(after, "=")) allocates = true;
+        if ((IsPunct(after, "(") || IsPunct(after, "{")) &&
+            MatchBracket(toks, j + 1) > j + 2) {
+          allocates = true;  // non-empty constructor args
+        }
+      } else if (IsPunct(toks[j], "(") || IsPunct(toks[j], "{")) {
+        if (MatchBracket(toks, j) > j + 1) allocates = true;  // temporary
+      }
+      if (allocates && !m.HasWaiver(t.line, "allow_alloc")) {
+        Add(out, "R4", m, t.line,
+            "local std::" + toks[i + 2].text +
+                " constructed with contents in HETGMP_HOT_PATH function '" +
+                fn.name +
+                "'; hoist to reused member scratch or waive with "
+                "`// lint: allow_alloc(reason)`");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5: bit-determinism.
+
+void CheckR5(const FileModel& m, const Registry& reg, const FunctionInfo& fn,
+             std::vector<Finding>* out) {
+  const std::vector<Token>& toks = m.lex.tokens;
+  // Identifiers with unordered container types: fields across all files
+  // (the registry) plus declarations in this file.
+  std::unordered_set<std::string> unordered_ids;
+  for (const auto& [name, cls] : reg.classes) {
+    for (const Field& f : cls.fields) {
+      if (f.type_tokens.find("unordered_") != std::string::npos) {
+        unordered_ids.insert(f.name);
+      }
+    }
+  }
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        toks[i].text.rfind("unordered_", 0) != 0) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (j < toks.size() && IsPunct(toks[j], "<")) j = SkipAngles(toks, j);
+    while (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+           (toks[j].text == "&" || toks[j].text == "*")) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      unordered_ids.insert(toks[j].text);
+    }
+  }
+
+  for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPragma) {
+      if (t.text.find("omp") != std::string::npos &&
+          !m.HasWaiver(t.line, "allow_reassoc")) {
+        Add(out, "R5", m, t.line,
+            "OpenMP pragma in HETGMP_BIT_STABLE function '" + fn.name +
+                "'; parallel reductions reassociate floating-point sums");
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "reduce" || t.text == "transform_reduce" ||
+        t.text == "execution") {
+      if (!m.HasWaiver(t.line, "allow_reassoc")) {
+        Add(out, "R5", m, t.line,
+            "'" + t.text + "' in HETGMP_BIT_STABLE function '" + fn.name +
+                "'; unordered/parallel reductions are not bit-stable "
+                "(waive with `// lint: allow_reassoc(reason)`)");
+      }
+      continue;
+    }
+    if (t.text == "for" && i + 1 < fn.body_end && IsPunct(toks[i + 1], "(")) {
+      const size_t close = MatchBracket(toks, i + 1);
+      if (close >= fn.body_end) continue;
+      // Range-for: a single top-level `:`.
+      size_t colon = close;
+      for (size_t k = i + 2; k < close; ++k) {
+        if (toks[k].kind == TokKind::kPunct && toks[k].text == "(") {
+          k = MatchBracket(toks, k);
+          continue;
+        }
+        if (IsPunct(toks[k], ":")) {
+          colon = k;
+          break;
+        }
+      }
+      if (colon == close) continue;
+      for (size_t k = colon + 1; k < close; ++k) {
+        if (toks[k].kind == TokKind::kIdent &&
+            unordered_ids.count(toks[k].text)) {
+          if (!m.HasWaiver(t.line, "allow_unordered")) {
+            Add(out, "R5", m, t.line,
+                "range-for over unordered container '" + toks[k].text +
+                    "' in HETGMP_BIT_STABLE function '" + fn.name +
+                    "'; iteration order is hash-dependent and must not "
+                    "feed FP accumulation "
+                    "(waive with `// lint: allow_unordered(reason)`)");
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::map<std::string, int>& RankTable() {
+  // Mirror of lock_rank in src/common/thread_annotations.h. lint_test.cc
+  // parses that header and asserts the two tables are identical.
+  static const std::map<std::string, int> kRanks = {
+      {"kNone", 0},         {"kBatcher", 10},     {"kSnapshotPublish", 20},
+      {"kSnapshotSlot", 30}, {"kServeShard", 40}, {"kEngineMerge", 50},
+      {"kEmbedStripe", 60},  {"kLeaf", 100},
+  };
+  return kRanks;
+}
+
+void Registry::Add(const FileModel& m) {
+  for (const ClassInfo& cls : m.classes) {
+    classes[cls.qualified] = cls;
+  }
+}
+
+std::string Registry::MutexRank(const std::string& enclosing,
+                                const std::string& field) const {
+  auto rank_in = [&field](const ClassInfo& cls) -> std::string {
+    for (const Field& f : cls.fields) {
+      if (f.is_mutex && f.name == field) return f.rank;
+    }
+    return "";
+  };
+  if (!enclosing.empty()) {
+    if (auto it = classes.find(enclosing); it != classes.end()) {
+      std::string r = rank_in(it->second);
+      if (!r.empty()) return r;
+    }
+    // Classes nested inside `enclosing` (e.g. LookupService::Shard).
+    const std::string prefix = enclosing + "::";
+    for (const auto& [name, cls] : classes) {
+      if (name.rfind(prefix, 0) != 0 &&
+          name.find("::" + prefix) == std::string::npos) {
+        continue;
+      }
+      std::string r = rank_in(cls);
+      if (!r.empty()) return r;
+    }
+  }
+  // Unique global match as a fallback (free functions, helpers).
+  std::string found;
+  for (const auto& [name, cls] : classes) {
+    std::string r = rank_in(cls);
+    if (r.empty()) continue;
+    if (!found.empty() && found != r) return "";  // ambiguous
+    found = r;
+  }
+  return found;
+}
+
+void RunRules(const FileModel& m, const Registry& reg,
+              std::vector<Finding>* findings) {
+  CheckR2(m, findings);
+  CheckR3(m, findings);
+  for (const FunctionInfo& fn : m.functions) {
+    CheckR1(m, reg, fn, findings);
+    if (fn.hot_path) CheckR4(m, fn, findings);
+    if (fn.bit_stable) CheckR5(m, reg, fn, findings);
+  }
+}
+
+}  // namespace hetgmp::lint

@@ -1,0 +1,54 @@
+#ifndef HETGMP_TOOLS_LINT_RULES_H_
+#define HETGMP_TOOLS_LINT_RULES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace hetgmp::lint {
+
+struct Finding {
+  std::string rule;  // "R1".."R5"
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+// The numeric lock-rank table. Mirrors lock_rank in
+// src/common/thread_annotations.h; tests/lint_test.cc cross-checks the two
+// so they cannot drift silently.
+const std::map<std::string, int>& RankTable();
+
+// Global view across all linted files: class registry (for resolving a
+// mutex mentioned in one translation unit but declared in a header) plus
+// identifiers with unordered container types (for R5).
+struct Registry {
+  // qualified class name -> info (last definition wins; identical for
+  // headers included from several TUs).
+  std::map<std::string, ClassInfo> classes;
+
+  void Add(const FileModel& m);
+
+  // Rank name (e.g. "kServeShard") of the mutex field `field` looked up
+  // from the perspective of `enclosing` (the class whose method is being
+  // scanned): tries `enclosing` itself, then classes nested inside it.
+  // Empty string when the field is unknown or unranked.
+  std::string MutexRank(const std::string& enclosing,
+                        const std::string& field) const;
+};
+
+// Runs R1–R5 over one file model, appending findings.
+//   R1  lock-rank order at MutexLock sites
+//   R2  annotation coverage of mutable fields in mutex-owning classes
+//   R3  comm::Fabric byte-moving calls must charge a TrafficClass
+//   R4  no allocation in HETGMP_HOT_PATH functions
+//   R5  no reassociating reductions / unordered iteration in
+//       HETGMP_BIT_STABLE functions
+void RunRules(const FileModel& m, const Registry& reg,
+              std::vector<Finding>* findings);
+
+}  // namespace hetgmp::lint
+
+#endif  // HETGMP_TOOLS_LINT_RULES_H_
