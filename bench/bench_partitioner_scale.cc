@@ -53,23 +53,25 @@ Cell RunCell(const Bigraph& graph, int parts, int threads) {
   return cell;
 }
 
-void EmitJson(FILE* json_file, const std::string& dataset,
+void EmitJson(BenchJsonSink* sink, const std::string& dataset,
               const Bigraph& graph, int parts, const Cell& cell,
               const Cell& seq) {
-  char line[512];
-  std::snprintf(
-      line, sizeof(line),
-      "{\"bench\":\"partitioner_scale\",\"dataset\":\"%s\","
-      "\"samples\":%lld,\"edges\":%lld,\"parts\":%d,\"threads\":%d,"
-      "\"rounds\":%d,\"wall_ms\":%.1f,\"remote\":%lld,"
-      "\"remote_vs_seq\":%.4f,\"speedup_vs_seq\":%.2f}",
-      dataset.c_str(), static_cast<long long>(graph.num_samples()),
-      static_cast<long long>(graph.num_edges()), parts, cell.threads,
-      kRounds, cell.wall_ms, static_cast<long long>(cell.remote),
-      static_cast<double>(cell.remote) / static_cast<double>(seq.remote),
-      seq.wall_ms / cell.wall_ms);
-  std::printf("BENCH_JSON %s\n", line);
-  if (json_file != nullptr) std::fprintf(json_file, "%s\n", line);
+  sink->Emit(
+      JsonLine()
+          .Str("bench", "partitioner_scale")
+          .Str("dataset", dataset)
+          .Int("samples", graph.num_samples())
+          .Int("edges", graph.num_edges())
+          .Int("parts", parts)
+          .Int("threads", cell.threads)
+          .Int("rounds", kRounds)
+          .Num("wall_ms", cell.wall_ms, 1)
+          .Int("remote", cell.remote)
+          .Num("remote_vs_seq",
+               static_cast<double>(cell.remote) /
+                   static_cast<double>(seq.remote),
+               4)
+          .Num("speedup_vs_seq", seq.wall_ms / cell.wall_ms, 2));
 }
 
 }  // namespace
@@ -80,10 +82,7 @@ int main() {
   const double scale = EnvScale(1.0);
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("hardware_concurrency: %u\n", cores);
-  FILE* json_file = nullptr;
-  if (const char* path = std::getenv("HETGMP_BENCH_JSON")) {
-    json_file = std::fopen(path, "w");
-  }
+  BenchJsonSink sink;
 
   // 250k- and 1M-edge graphs (arity 10): partitioning cost scales with
   // edges × partitions, so both the memory story (sparse counts) and the
@@ -126,7 +125,7 @@ int main() {
         std::printf("%6d %8d %12.1f %11.2fx %10lld %11.4f\n", parts,
                     cell.threads, cell.wall_ms, seq.wall_ms / cell.wall_ms,
                     static_cast<long long>(cell.remote), ratio);
-        EmitJson(json_file, gc.name, graph, parts, cell, seq);
+        EmitJson(&sink, gc.name, graph, parts, cell, seq);
         if (std::string(gc.name) == "1M-edge" && threads == 8) {
           if (seq.wall_ms / cell.wall_ms < 4.0) speedup_ok = false;
           if (ratio > 1.05) quality_ok = false;
@@ -148,6 +147,5 @@ int main() {
       "\nacceptance: 1M-edge @ 8 threads speedup >= 4x: %s; quality within "
       "5%% of sequential: %s\n",
       speedup_msg, quality_msg);
-  if (json_file != nullptr) std::fclose(json_file);
   return 0;
 }

@@ -1,0 +1,205 @@
+// Tiered embedding storage: fully-resident arena vs the hot/warm/cold
+// hierarchy (ISSUE 7), training a synthetic table ~10x the hot-tier
+// budget on the 8-worker threaded engine.
+//
+// Three configurations per dataset:
+//   resident          — tiered store off (the seed arena path)
+//   tiered+prefetch   — hierarchy on, plan-driven async promotion
+//   tiered (sync)     — hierarchy on, every fault taken synchronously
+//
+// Besides the human-readable table, each run emits one "BENCH_JSON "
+// line (mirrored to $HETGMP_BENCH_JSON):
+//
+//   {"bench":"store_tiering","dataset":"...","workers":N,"mode":"...",
+//    "features":N,"hot_rows":N,"warm_rows":N,"epochs":N,"wall_s":F,
+//    "iters":N,"iters_per_sec":F,"hot_hit_rate":F,"warm_hits":N,
+//    "cold_reads":N,"spills":N,"hot_overflow":N,"stall_s":F,
+//    "pin_coverage":F,"prefetch_batches":N,"prefetch_dropped":N,
+//    "promoted":N,"slowdown_vs_resident":F}
+//
+// Acceptance (ISSUE 7): tiered+prefetch trains the >=10x-budget table to
+// completion within 2x the fully-resident wall clock.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "comm/topology.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+namespace {
+
+constexpr int kEpochs = 2;
+// Threaded wall-clock jitters run to run; report the best of kReps.
+constexpr int kReps = 2;
+
+struct RunStats {
+  double wall_s = 0.0;
+  int64_t iters = 0;
+  TrainResult result;
+};
+
+RunStats RunOnce(const EngineConfig& cfg, const CtrDataset& train,
+                 const CtrDataset& test, const Topology& topology,
+                 const Bigraph& graph) {
+  Partition part = BuildPartition(cfg, graph, topology);
+  Engine engine(cfg, train, test, topology, part);
+  const auto start = std::chrono::steady_clock::now();
+  RunStats stats;
+  stats.result = engine.Train(kEpochs);
+  stats.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  stats.iters = stats.result.total_iterations;
+  return stats;
+}
+
+RunStats RunBest(const EngineConfig& cfg, const CtrDataset& train,
+                 const CtrDataset& test, const Topology& topology,
+                 const Bigraph& graph) {
+  RunStats best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    RunStats s = RunOnce(cfg, train, test, topology, graph);
+    if (rep == 0 || s.wall_s < best.wall_s) best = s;
+  }
+  return best;
+}
+
+void EmitJson(BenchJsonSink* sink, const std::string& dataset, int workers,
+              const char* mode, int64_t features, int64_t hot_rows,
+              int64_t warm_rows, const RunStats& s, const RunStats& resident) {
+  const TieredStoreStats& t = s.result.tiers;
+  sink->Emit(
+      JsonLine()
+          .Str("bench", "store_tiering")
+          .Str("dataset", dataset)
+          .Int("workers", workers)
+          .Str("mode", mode)
+          .Int("features", features)
+          .Int("hot_rows", hot_rows)
+          .Int("warm_rows", warm_rows)
+          .Int("epochs", kEpochs)
+          .Num("wall_s", s.wall_s)
+          .Int("iters", s.iters)
+          .Num("iters_per_sec",
+               s.wall_s > 0 ? static_cast<double>(s.iters) / s.wall_s : 0.0,
+               1)
+          .Num("hot_hit_rate", t.hot.HitRate(), 4)
+          .Int("warm_hits", t.warm.hits)
+          .Int("cold_reads", t.cold.hits)
+          .Int("spills", t.cold.writebacks)
+          .Int("hot_overflow", t.hot_overflow)
+          .Num("stall_s", t.stall_secs)
+          .Num("pin_coverage", t.PinCoverage(), 4)
+          .Int("prefetch_batches", t.prefetch_batches)
+          .Int("prefetch_dropped", t.prefetch_dropped)
+          .Int("promoted", t.prefetch_promoted)
+          .Num("slowdown_vs_resident",
+               resident.wall_s > 0 ? s.wall_s / resident.wall_s : 0.0, 2));
+}
+
+void PrintRow(const char* mode, const RunStats& s, const RunStats& resident) {
+  const TieredStoreStats& t = s.result.tiers;
+  std::printf("%-16s %8.3f %9.2fx %10.4f %10.4f %9lld %8lld %8.3f\n", mode,
+              s.wall_s,
+              resident.wall_s > 0 ? s.wall_s / resident.wall_s : 0.0,
+              t.hot.HitRate(), t.PinCoverage(),
+              static_cast<long long>(t.cold.hits),
+              static_cast<long long>(t.cold.writebacks), t.stall_secs);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Tiered embedding storage: resident arena vs hot/warm/cold",
+              "ISSUE 7 acceptance: tiered+prefetch <= 2x resident wall "
+              "clock on a >=10x-budget table");
+  const double scale = EnvScale(1.0);
+  BenchJsonSink sink;
+
+  const Topology topology = Topology::EightGpuQpi();
+  const int workers = topology.num_workers();
+
+  // Criteo-like Zipf workload: the widest feature table of the Table 1
+  // analogues, so the default budgets (hot = features/10, warm =
+  // features/5) leave 70% of rows cold-only and the prefetch pipeline
+  // has real work on every batch.
+  const std::vector<SyntheticCtrConfig> datasets = {CriteoLikeConfig(scale)};
+
+  bool slowdown_ok = true;
+  for (const SyntheticCtrConfig& dc : datasets) {
+    const CtrDataset full = GenerateSyntheticCtr(dc);
+    CtrDataset train = full;
+    const CtrDataset test = train.SplitTail(0.1);
+    const Bigraph graph(train);
+    const int64_t features = train.num_features();
+    const int64_t hot_rows = std::max<int64_t>(1, features / 10);
+    const int64_t warm_rows = std::max<int64_t>(1, features / 5);
+
+    EngineConfig cfg;
+    cfg.strategy = Strategy::kHetGmp;
+    ApplyStrategyDefaults(&cfg);
+    cfg.batch_size = 256;
+    cfg.embedding_dim = 16;
+    cfg.rounds_per_epoch = 2;
+    cfg.bound.s = 1;
+
+    std::printf("\n--- %s (%lld samples, %lld features; hot %lld, warm %lld "
+                "-> %.1fx over budget; %d workers) ---\n",
+                dc.name.c_str(), static_cast<long long>(train.num_samples()),
+                static_cast<long long>(features),
+                static_cast<long long>(hot_rows),
+                static_cast<long long>(warm_rows),
+                static_cast<double>(features) / static_cast<double>(hot_rows),
+                workers);
+    std::printf("%-16s %8s %10s %10s %10s %9s %8s %8s\n", "mode", "wall(s)",
+                "vs res", "hot_hit", "coverage", "cold_rd", "spills",
+                "stall(s)");
+
+    const RunStats resident = RunBest(cfg, train, test, topology, graph);
+    PrintRow("resident", resident, resident);
+    EmitJson(&sink, dc.name, workers, "resident", features, hot_rows,
+             warm_rows, resident, resident);
+
+    EngineConfig tiered_cfg = cfg;
+    tiered_cfg.tiered_store.enabled = true;
+    tiered_cfg.tiered_store.prefetch = true;
+    const RunStats tiered = RunBest(tiered_cfg, train, test, topology, graph);
+    PrintRow("tiered+prefetch", tiered, resident);
+    EmitJson(&sink, dc.name, workers, "tiered_prefetch", features, hot_rows,
+             warm_rows, tiered, resident);
+
+    EngineConfig sync_cfg = cfg;
+    sync_cfg.tiered_store.enabled = true;
+    sync_cfg.tiered_store.prefetch = false;
+    const RunStats sync = RunBest(sync_cfg, train, test, topology, graph);
+    PrintRow("tiered (sync)", sync, resident);
+    EmitJson(&sink, dc.name, workers, "tiered_sync", features, hot_rows,
+             warm_rows, sync, resident);
+
+    if (resident.wall_s > 0 && tiered.wall_s > 2.0 * resident.wall_s) {
+      slowdown_ok = false;
+    }
+    if (tiered.iters != resident.iters) slowdown_ok = false;
+  }
+
+  // Wall-clock ratios on a scaled-down table measure a different
+  // hot/cold mix than the criterion is defined on, so such runs report
+  // n/a rather than a misleading verdict.
+  const char* msg = scale >= 1.0 ? (slowdown_ok ? "PASS" : "FAIL")
+                                 : "n/a (scaled-down run)";
+  std::printf("\nacceptance: tiered+prefetch trains the >=10x-budget table "
+              "to completion within 2x resident wall clock: %s\n",
+              msg);
+  return 0;
+}

@@ -83,24 +83,30 @@ RunStats RunBest(const EngineConfig& cfg, const CtrDataset& train,
   return best;
 }
 
-void EmitJson(FILE* json_file, const std::string& dataset, int workers,
+void EmitJson(BenchJsonSink* sink, const std::string& dataset, int workers,
               const EngineConfig& cfg, int fields, const char* hotpath,
               const RunStats& s, const RunStats& ref) {
-  char line[512];
-  std::snprintf(
-      line, sizeof(line),
-      "{\"bench\":\"train_hotpath\",\"dataset\":\"%s\",\"workers\":%d,"
-      "\"batch\":%d,\"fields\":%d,\"hotpath\":\"%s\",\"epochs\":%d,"
-      "\"wall_s\":%.3f,\"iters\":%lld,\"iters_per_sec\":%.1f,"
-      "\"gather_s\":%.3f,\"inter_s\":%.3f,\"dense_s\":%.3f,"
-      "\"scatter_s\":%.3f,\"flush_s\":%.3f,\"speedup_vs_ref\":%.2f}",
-      dataset.c_str(), workers, cfg.batch_size, fields, hotpath, kEpochs,
-      s.wall_s, static_cast<long long>(s.iters), s.iters_per_sec,
-      s.stages.gather, s.stages.inter_sync, s.stages.dense,
-      s.stages.scatter, s.stages.flush,
-      ref.iters_per_sec > 0 ? s.iters_per_sec / ref.iters_per_sec : 0.0);
-  std::printf("BENCH_JSON %s\n", line);
-  if (json_file != nullptr) std::fprintf(json_file, "%s\n", line);
+  sink->Emit(JsonLine()
+                 .Str("bench", "train_hotpath")
+                 .Str("dataset", dataset)
+                 .Int("workers", workers)
+                 .Int("batch", cfg.batch_size)
+                 .Int("fields", fields)
+                 .Str("hotpath", hotpath)
+                 .Int("epochs", kEpochs)
+                 .Num("wall_s", s.wall_s)
+                 .Int("iters", s.iters)
+                 .Num("iters_per_sec", s.iters_per_sec, 1)
+                 .Num("gather_s", s.stages.gather)
+                 .Num("inter_s", s.stages.inter_sync)
+                 .Num("dense_s", s.stages.dense)
+                 .Num("scatter_s", s.stages.scatter)
+                 .Num("flush_s", s.stages.flush)
+                 .Num("speedup_vs_ref",
+                      ref.iters_per_sec > 0
+                          ? s.iters_per_sec / ref.iters_per_sec
+                          : 0.0,
+                      2));
 }
 
 void PrintRow(const char* hotpath, const RunStats& s, const RunStats& ref) {
@@ -120,10 +126,7 @@ int main() {
               "ISSUE 5 acceptance: planned >= 1.5x reference iters/sec "
               "(8 workers, company-like)");
   const double scale = EnvScale(1.0);
-  FILE* json_file = nullptr;
-  if (const char* path = std::getenv("HETGMP_BENCH_JSON")) {
-    json_file = std::fopen(path, "w");
-  }
+  BenchJsonSink sink;
 
   const Topology topology = Topology::EightGpuQpi();
   const int workers = topology.num_workers();
@@ -169,14 +172,14 @@ int main() {
     ref_cfg.reference_hotpath = true;
     const RunStats ref = RunBest(ref_cfg, train, test, topology, graph);
     PrintRow("reference", ref, ref);
-    EmitJson(json_file, dc.name, workers, cfg, train.num_fields(),
+    EmitJson(&sink, dc.name, workers, cfg, train.num_fields(),
              "reference", ref, ref);
 
     EngineConfig opt_cfg = cfg;
     opt_cfg.reference_hotpath = false;
     const RunStats opt = RunBest(opt_cfg, train, test, topology, graph);
     PrintRow("planned", opt, ref);
-    EmitJson(json_file, dc.name, workers, cfg, train.num_fields(),
+    EmitJson(&sink, dc.name, workers, cfg, train.num_fields(),
              "planned", opt, ref);
 
     if (dc.name == datasets.front().name &&
@@ -194,6 +197,5 @@ int main() {
   std::printf("\nacceptance: planned >= 1.5x reference iters/sec "
               "(8 workers, company-like): %s\n",
               msg);
-  if (json_file != nullptr) std::fclose(json_file);
   return 0;
 }

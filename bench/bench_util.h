@@ -6,6 +6,11 @@
 // Every bench honours HETGMP_BENCH_SCALE (a float multiplier on dataset
 // sizes, default 1.0 of the bench's own choice) so the suite can be run
 // quickly on small machines: HETGMP_BENCH_SCALE=0.25 ./bench_fig7_...
+//
+// Machine-readable output: benches emit one JSON object per measured
+// configuration via BenchJsonSink — printed to stdout prefixed with
+// "BENCH_JSON " (grep-able from driver scripts) and mirrored to the file
+// named by HETGMP_BENCH_JSON when set (the CI artifact path).
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +21,65 @@
 #include "data/synthetic.h"
 
 namespace hetgmp::bench {
+
+// Builds one flat JSON object incrementally; keys are emitted in call
+// order. No escaping: bench keys/values are identifier-like literals.
+class JsonLine {
+ public:
+  JsonLine& Str(const char* key, const std::string& v) {
+    return Raw(key, "\"" + v + "\"");
+  }
+  JsonLine& Int(const char* key, long long v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonLine& Num(const char* key, double v, int decimals = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return Raw(key, buf);
+  }
+  JsonLine& Bool(const char* key, bool v) {
+    return Raw(key, v ? "true" : "false");
+  }
+  std::string Done() const { return out_ + "}"; }
+
+ private:
+  JsonLine& Raw(const char* key, const std::string& value) {
+    out_ += out_.size() == 1 ? "\"" : ",\"";
+    out_ += key;
+    out_ += "\":";
+    out_ += value;
+    return *this;
+  }
+  std::string out_ = "{";
+};
+
+// Stdout + optional $HETGMP_BENCH_JSON file sink for the one-line
+// summaries. Construct once per bench main().
+class BenchJsonSink {
+ public:
+  BenchJsonSink() {
+    if (const char* path = std::getenv("HETGMP_BENCH_JSON")) {
+      file_ = std::fopen(path, "w");
+    }
+  }
+  ~BenchJsonSink() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  BenchJsonSink(const BenchJsonSink&) = delete;
+  BenchJsonSink& operator=(const BenchJsonSink&) = delete;
+
+  void Emit(const std::string& line) {
+    std::printf("BENCH_JSON %s\n", line.c_str());
+    if (file_ != nullptr) {
+      std::fprintf(file_, "%s\n", line.c_str());
+      std::fflush(file_);
+    }
+  }
+  void Emit(const JsonLine& json) { Emit(json.Done()); }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
 
 inline double EnvScale(double default_scale) {
   const char* s = std::getenv("HETGMP_BENCH_SCALE");

@@ -44,6 +44,7 @@
 #include "serve/batcher.h"
 #include "serve/lookup_service.h"
 #include "serve/snapshot_store.h"
+#include "store/tiered_store.h"
 
 using namespace hetgmp;  // NOLINT — example brevity
 
@@ -63,6 +64,12 @@ struct CliOptions {
   double target_auc = -1.0;
   std::string save_dataset;
   std::string load_dataset;
+
+  // Tiered embedding storage (hot/warm/cold hierarchy, DESIGN.md §5f).
+  bool tiered = false;
+  int64_t tiered_hot = 0;   // 0 = num_features/10
+  int64_t tiered_warm = 0;  // 0 = num_features/5
+  bool tiered_prefetch = true;
 
   // serve-only knobs
   int64_t lookups = 10000;
@@ -85,6 +92,8 @@ struct CliOptions {
       "          [--staleness N|inf] [--epochs N] [--batch N]\n"
       "          [--dim N] [--target-auc F]\n"
       "          [--save-dataset PATH] [--load-dataset PATH]\n"
+      "          [--tiered] [--tiered-hot N] [--tiered-warm N]\n"
+      "          [--no-prefetch]\n"
       "       %s serve [--dataset ...] [--scale F] [--workers N]\n"
       "          [--epochs N] [--dim N] [--batch N] [--lookups N]\n"
       "          [--clients K] [--keys-per-request N] [--zipf-theta F]\n"
@@ -127,6 +136,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->save_dataset = next();
     } else if (flag == "--load-dataset") {
       opt->load_dataset = next();
+    } else if (flag == "--tiered") {
+      opt->tiered = true;
+    } else if (flag == "--tiered-hot") {
+      opt->tiered_hot = std::atoll(next());
+    } else if (flag == "--tiered-warm") {
+      opt->tiered_warm = std::atoll(next());
+    } else if (flag == "--no-prefetch") {
+      opt->tiered_prefetch = false;
     } else if (flag == "--lookups") {
       opt->lookups = std::atoll(next());
     } else if (flag == "--clients") {
@@ -205,7 +222,45 @@ bool FillEngineConfig(const CliOptions& opt, EngineConfig* cfg) {
                            std::atoll(opt.staleness.c_str()));
   cfg->batch_size = opt.batch;
   cfg->embedding_dim = opt.dim;
+  cfg->tiered_store.enabled = opt.tiered;
+  cfg->tiered_store.hot_rows = opt.tiered_hot;
+  cfg->tiered_store.warm_rows = opt.tiered_warm;
+  cfg->tiered_store.prefetch = opt.tiered_prefetch;
   return true;
+}
+
+// One-line replica-cache / tier-hierarchy summaries after training (only
+// for configurations that produce them).
+void PrintStorageSummary(const TrainResult& r) {
+  if (r.replica_cache.lookups() > 0) {
+    std::printf(
+        "lru_cache: hits=%lld misses=%lld hit_rate=%.3f writebacks=%lld "
+        "evictions=%lld\n",
+        static_cast<long long>(r.replica_cache.hits),
+        static_cast<long long>(r.replica_cache.misses),
+        r.replica_cache.HitRate(),
+        static_cast<long long>(r.replica_cache.writebacks),
+        static_cast<long long>(r.replica_cache.demotions));
+  }
+  if (r.tiered) {
+    const TieredStoreStats& t = r.tiers;
+    std::printf(
+        "tiers: hot_hit_rate=%.3f warm_hits=%lld cold_reads=%lld "
+        "spills=%lld overflow=%lld stall=%.3fs pin_coverage=%.3f\n",
+        t.hot.HitRate(), static_cast<long long>(t.warm.hits),
+        static_cast<long long>(t.cold.hits),
+        static_cast<long long>(t.cold.writebacks),
+        static_cast<long long>(t.hot_overflow), t.stall_secs,
+        t.PinCoverage());
+    std::printf(
+        "prefetch: batches=%lld dropped=%lld features=%lld promoted=%lld "
+        "already_resident=%lld\n",
+        static_cast<long long>(t.prefetch_batches),
+        static_cast<long long>(t.prefetch_dropped),
+        static_cast<long long>(t.prefetch_features),
+        static_cast<long long>(t.prefetch_promoted),
+        static_cast<long long>(t.prefetch_already_resident));
+  }
 }
 
 int RunTrain(const CliOptions& opt) {
@@ -232,6 +287,7 @@ int RunTrain(const CliOptions& opt) {
                                      opt.epochs, opt.target_auc);
   std::printf("\n== %s ==\n%s", r.description.c_str(),
               FormatConvergenceCurve(r.train).c_str());
+  PrintStorageSummary(r.train);
   std::printf(
       "\n{\"strategy\":\"%s\",\"model\":\"%s\",\"dataset\":\"%s\","
       "\"workers\":%d,\"final_auc\":%.4f,\"sim_time\":%.6f,"
@@ -264,6 +320,14 @@ int RunServe(const CliOptions& opt) {
   SnapshotStore store(store_opts);
   engine.SetPublishHook(
       [&store](const Engine::PublishContext& ctx) {
+        if (ctx.tiers != nullptr) {
+          // Demoted rows are dead in the arena; read through the tiers.
+          TieredEmbeddingStore* tiers = ctx.tiers;
+          return store.PublishRows(
+              ctx.table.num_embeddings(), ctx.table.dim(),
+              [tiers](int64_t x, float* out) { tiers->PeekRow(x, out); },
+              ctx.dense_params, ctx.round, ctx.iterations_done);
+        }
         return store.Publish(ctx.table, ctx.dense_params, ctx.round,
                              ctx.iterations_done);
       },
@@ -274,6 +338,7 @@ int RunServe(const CliOptions& opt) {
   std::printf("final_auc=%.4f snapshots_published=%lld failures=%lld\n",
               tr.final_auc, static_cast<long long>(tr.snapshots_published),
               static_cast<long long>(tr.publish_failures));
+  PrintStorageSummary(tr);
   if (store.version() == 0 || tr.publish_failures > 0) {
     std::fprintf(stderr, "snapshot publication failed\n");
     return 1;

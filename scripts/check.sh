@@ -19,6 +19,12 @@
 #                               # to the reference), then the wall-clock
 #                               # bench on scaled-down workloads with
 #                               # JSON output
+#   scripts/check.sh storage-smoke
+#                               # tiered-store gate: the store tests
+#                               # (cold-tier format, migration hammer,
+#                               # tiered-vs-resident bit-equality) under
+#                               # TSan, then the tiering bench on a tiny
+#                               # table with JSON output
 #   scripts/check.sh lint       # hetgmp_lint (R1-R5 project contracts)
 #                               # over the compile database + all of
 #                               # src/; findings JSON artifact at
@@ -70,7 +76,8 @@ run_mode() {
       ;;
     *)
       echo "unknown mode: ${mode} (expected release, tsan, asan-ubsan," \
-           "lint, lockrank, partitioner-smoke, or hotpath-smoke)" >&2
+           "lint, lockrank, partitioner-smoke, hotpath-smoke, or" \
+           "storage-smoke)" >&2
       return 2
       ;;
   esac
@@ -160,6 +167,41 @@ run_hotpath_smoke() {
   echo "==== [hotpath-smoke] OK"
 }
 
+# Focused gate for the tiered embedding store: the store suite (cold-tier
+# file format, promote/demote hammer, prefetch pipeline, and the
+# tiered-vs-resident bit-equality trajectory test) under TSan —
+# certifying the stripe/cold/prefetch locking race-free — plus a release
+# build of the tiering bench on a tiny table, harvesting the one-line
+# JSON summaries for CI artifacts. (The <=2x acceptance verdict only
+# prints on full-scale runs; the smoke bench reports n/a by design.)
+run_storage_smoke() {
+  local tsan_dir="${base}/tsan"
+  local rel_dir="${base}/release-bench"
+  local filter='ColdTierTest|TieredStoreTest|PrefetchPipelineTest|TieredEngineTest'
+
+  echo "==== [storage-smoke] configure + build (tsan)"
+  cmake -B "${tsan_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DHETGMP_SANITIZE=thread -DHETGMP_BUILD_BENCHMARKS=OFF \
+    -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${tsan_dir}" -j "${jobs}" --target store_test
+  echo "==== [storage-smoke] store tests under TSan"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
+      -R "${filter}"
+
+  echo "==== [storage-smoke] configure + build (release bench)"
+  cmake -B "${rel_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${rel_dir}" -j "${jobs}" --target bench_store_tiering
+  echo "==== [storage-smoke] tiering bench (tiny table)"
+  HETGMP_BENCH_SCALE="${HETGMP_BENCH_SCALE:-0.1}" \
+  HETGMP_BENCH_JSON="${rel_dir}/BENCH_store_tiering.json" \
+    "${rel_dir}/bench/bench_store_tiering"
+  echo "==== [storage-smoke] JSON summary at" \
+       "${rel_dir}/BENCH_store_tiering.json"
+  echo "==== [storage-smoke] OK"
+}
+
 # Project-contract lint gate: builds tools/hetgmp_lint and runs it over
 # the compile database plus every header under src/. Fails on any
 # finding; always writes the machine-readable findings artifact (empty
@@ -190,6 +232,8 @@ for mode in "${modes[@]}"; do
     run_partitioner_smoke
   elif [[ "${mode}" == "hotpath-smoke" ]]; then
     run_hotpath_smoke
+  elif [[ "${mode}" == "storage-smoke" ]]; then
+    run_storage_smoke
   elif [[ "${mode}" == "lint" ]]; then
     run_lint
   else

@@ -100,10 +100,13 @@ namespace hetgmp {
 namespace lock_rank {
 inline constexpr int kNone = 0;             // exempt (logging)
 inline constexpr int kBatcher = 10;         // RequestBatcher::mu_
+inline constexpr int kStorePrefetch = 15;   // PrefetchPipeline::mu_
 inline constexpr int kSnapshotPublish = 20; // SnapshotStore::publish_mu_
 inline constexpr int kSnapshotSlot = 30;    // SnapshotStore::Slot::mu
 inline constexpr int kServeShard = 40;      // LookupService::Shard::mu
 inline constexpr int kEngineMerge = 50;     // Engine::Train result merge
+inline constexpr int kStoreWarm = 52;       // TieredEmbeddingStore stripe
+inline constexpr int kStoreCold = 54;       // ColdTierFile::mu_
 inline constexpr int kEmbedStripe = 60;     // EmbeddingTable::RowMutex
 inline constexpr int kLeaf = 100;           // Barrier/ThreadPool internals
 }  // namespace lock_rank

@@ -53,6 +53,11 @@ std::string EngineConfig::ToString() const {
       os << " s=" << bound.s;
     }
   }
+  if (tiered_store.enabled) {
+    os << " tiered(hot=" << tiered_store.hot_rows
+       << " warm=" << tiered_store.warm_rows
+       << " prefetch=" << (tiered_store.prefetch ? "on" : "off") << ")";
+  }
   return os.str();
 }
 

@@ -132,6 +132,24 @@ struct EngineConfig {
   // summation order.
   int serial_section_threads = 0;
 
+  // --- Tiered embedding storage (src/store, DESIGN.md §5f) ---
+
+  // Hot/warm/cold storage hierarchy under the embedding table. Off by
+  // default: the flat fully-resident arena, bit-identical to the seed
+  // behavior. Requires the planned hot path (not reference_hotpath).
+  struct TieredStoreConfig {
+    bool enabled = false;
+    // Row budgets; 0 = num_features/10 (hot) and num_features/5 (warm).
+    int64_t hot_rows = 0;
+    int64_t warm_rows = 0;
+    int stripes = 64;
+    // Async plan-driven promotion of the next iteration's batch.
+    bool prefetch = true;
+    // Cold-tier spill file; empty = process-private unlinked temp file.
+    std::string cold_path;
+  };
+  TieredStoreConfig tiered_store;
+
   // Barrier/evaluation cadence: each epoch is split into this many rounds;
   // every round ends with a light global barrier where the runner may
   // evaluate AUC and asynchronous modes re-average dense parameters.

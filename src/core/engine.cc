@@ -11,6 +11,8 @@
 #include "metrics/auc.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "store/prefetch.h"
+#include "store/tiered_store.h"
 #include "tensor/ops.h"
 
 namespace hetgmp {
@@ -162,6 +164,11 @@ struct Engine::WorkerState {
   // view of per-embedding update activity).
   std::vector<int64_t> ssp_refresh_iter;
 
+  // Tiered mode: flat (duplicated) feature ids of the *next* batch,
+  // handed to the PrefetchPipeline each iteration. Member scratch so the
+  // hot path stays allocation-free after warmup (lint rule R4).
+  std::vector<FeatureId> prefetch_ids;
+
   std::unique_ptr<SgdOptimizer> dense_opt;
 
   void EnsureMapCapacity(int64_t max_entries) {
@@ -280,16 +287,85 @@ Engine::Engine(const EngineConfig& config, const CtrDataset& train,
   if (!config_.reference_hotpath && N > 1 && pool_threads > 1) {
     serial_pool_ = std::make_unique<ThreadPool>(pool_threads);
   }
+
+  if (config_.tiered_store.enabled) {
+    // The hierarchy relies on the batch-plan pin protocol; the frozen
+    // reference hot path reads the arena directly and must stay exactly
+    // as the seed measured it.
+    HETGMP_CHECK(!config_.reference_hotpath);
+    const int64_t n = train_.num_features();
+    TieredStoreOptions topts;
+    topts.hot_rows = config_.tiered_store.hot_rows > 0
+                         ? config_.tiered_store.hot_rows
+                         : std::max<int64_t>(1, n / 10);
+    topts.warm_rows = config_.tiered_store.warm_rows > 0
+                          ? config_.tiered_store.warm_rows
+                          : std::max<int64_t>(1, n / 5);
+    topts.stripes = config_.tiered_store.stripes;
+    topts.cold_path = config_.tiered_store.cold_path;
+    // Built after the secondary caches seeded from the (still fully
+    // resident) arena; Create demotes the cold tail immediately.
+    auto store =
+        TieredEmbeddingStore::Create(table_.get(), access_freq_, topts);
+    HETGMP_CHECK(store.ok());
+    tier_store_ = std::move(store.value());
+    if (config_.tiered_store.prefetch) {
+      prefetch_ = std::make_unique<PrefetchPipeline>(tier_store_.get(), N);
+    }
+  }
 }
 
+// Out of line for the unique_ptr<TieredEmbeddingStore/PrefetchPipeline>
+// members (forward-declared in the header); member order destroys the
+// pipeline before the store it promotes into.
 Engine::~Engine() = default;
+
+void Engine::PrimaryReadRow(FeatureId x, float* out) {
+  if (tier_store_ != nullptr) {
+    tier_store_->ReadRow(x, out);
+  } else {
+    table_->ReadRow(x, out);
+  }
+}
+
+void Engine::PrimaryApplyGradient(FeatureId x, const float* grad) {
+  if (tier_store_ != nullptr) {
+    tier_store_->ApplyGradient(x, grad);
+  } else {
+    table_->ApplyGradient(x, grad);
+  }
+}
+
+void Engine::PeekPrimaryRow(FeatureId x, float* out) {
+  if (tier_store_ != nullptr) {
+    tier_store_->PeekRow(x, out);
+  } else {
+    CopyRow(out, table_->UnsafeRow(x), config_.embedding_dim);
+  }
+}
+
+void Engine::SubmitNextBatchPrefetch(WorkerState* ws) {
+  // Stage 1 already advanced the cyclic cursor past the current batch,
+  // so the upcoming window starts at `cursor` — exactly the samples the
+  // next TrainIteration will select.
+  const int64_t local = static_cast<int64_t>(ws->local_samples.size());
+  const int F = train_.num_fields();
+  ws->prefetch_ids.clear();
+  for (int64_t b = 0; b < ws->batch_size; ++b) {
+    const int64_t s = ws->local_samples[(ws->cursor + b) % local];
+    const FeatureId* feats = train_.sample_features(s);
+    for (int f = 0; f < F; ++f) ws->prefetch_ids.push_back(feats[f]);
+  }
+  prefetch_->Submit(ws->id, ws->prefetch_ids.data(),
+                    static_cast<int64_t>(ws->prefetch_ids.size()));
+}
 
 void Engine::RefreshSecondary(WorkerState* ws, FeatureId x, int64_t slot) {
   // Pending local updates must reach the primary before the cached value
   // is overwritten, or they would be lost.
   FlushSecondary(ws, x, slot);
   ReplicaStore& cache = *caches_[ws->id];
-  table_->ReadRow(x, cache.Value(slot));
+  PrimaryReadRow(x, cache.Value(slot));
   const uint64_t clock = PrimaryClock(x);
   cache.set_synced_clock(slot, clock);
   clocks_->Set(ws->id, x, clock);
@@ -306,7 +382,7 @@ void Engine::FlushSecondary(WorkerState* ws, FeatureId x, int64_t slot) {
   ReplicaStore& cache = *caches_[ws->id];
   const int64_t count = cache.pending_count(slot);
   if (count == 0) return;
-  table_->ApplyGradient(x, cache.Pending(slot));
+  PrimaryApplyGradient(x, cache.Pending(slot));
   const int owner = partition_.embedding_owner[x];
   // One flush = one update event on the primary clock ("local reduction
   // then write to primaries", §6 — the reduced write-back is the unit of
@@ -339,7 +415,7 @@ HETGMP_HOT_PATH void Engine::ResolveFeature(WorkerState* ws, FeatureId x,
   const bool ps_path = config_.strategy == Strategy::kTfPs ||
                        config_.strategy == Strategy::kParallax;
   if (ps_path) {
-    table_->ReadRow(x, out);
+    PrimaryReadRow(x, out);
     const int host = static_cast<int>(x % topology_.num_machines());
     ws->host_fetch_bytes[host] += table_->RowBytes();
     ws->host_index_bytes[host] += kIdBytes;
@@ -352,7 +428,7 @@ HETGMP_HOT_PATH void Engine::ResolveFeature(WorkerState* ws, FeatureId x,
 
   const int owner = partition_.embedding_owner[x];
   if (owner == w) {
-    table_->ReadRow(x, out);
+    PrimaryReadRow(x, out);
     ws->feat_kind.push_back(kLocalPrimary);
     ws->feat_slot.push_back(-1);
     ws->feat_clock.push_back(PrimaryClock(x));
@@ -400,7 +476,7 @@ HETGMP_HOT_PATH void Engine::ResolveFeature(WorkerState* ws, FeatureId x,
   }
 
   // No replica: fetch the primary row for this batch.
-  table_->ReadRow(x, out);
+  PrimaryReadRow(x, out);
   ws->fetch_bytes[owner] += table_->RowBytes();
   ws->index_bytes[owner] += kIdBytes;
   ++ws->remote_fetches;
@@ -577,6 +653,15 @@ HETGMP_HOT_PATH HETGMP_BIT_STABLE void Engine::TrainIterationPlanned(
   ws->feat_slot.clear();
   ws->feat_clock.clear();
   const int64_t U = BuildBatchPlan(ws);
+
+  if (tier_store_ != nullptr) {
+    // Hold the batch's working set resident for the whole iteration (the
+    // arena math below runs only on pinned rows), then hand the *next*
+    // batch's features to the prefetcher so its promotions overlap this
+    // iteration's compute.
+    tier_store_->PinBatch(ws->unique_feats.data(), U);
+    if (prefetch_ != nullptr) SubmitNextBatchPrefetch(ws);
+  }
 
   // ---- 3. Gather (Read op) with staleness checks. ----
   ws->unique_values.ResizeUninit(U, d);  // every row written by Resolve
@@ -758,6 +843,9 @@ HETGMP_HOT_PATH HETGMP_BIT_STABLE void Engine::TrainIterationPlanned(
   // ---- 7./8. Write-back + batched fabric charges. ----
   FlushStaggered(ws);
   ChargePendingTransfers(ws);
+  if (tier_store_ != nullptr) {
+    tier_store_->UnpinBatch(ws->unique_feats.data(), U);
+  }
   ws->stage_flush += stage.Lap();
 
   ws->samples_done += B;
@@ -946,7 +1034,7 @@ HETGMP_HOT_PATH void Engine::ScatterGradients(WorkerState* ws) {
     const float* grad = ws->unique_grads.row(u);
     switch (ws->feat_kind[u]) {
       case kLocalPrimary:
-        table_->ApplyGradient(x, grad);
+        PrimaryApplyGradient(x, grad);
         clocks_->Increment(w, x);
         break;
       case kSecondary: {
@@ -959,14 +1047,14 @@ HETGMP_HOT_PATH void Engine::ScatterGradients(WorkerState* ws) {
       }
       case kRemoteFetch: {
         const int owner = partition_.embedding_owner[x];
-        table_->ApplyGradient(x, grad);
+        PrimaryApplyGradient(x, grad);
         clocks_->Increment(owner, x);
         ws->push_bytes[owner] += table_->RowBytes();
         ws->index_bytes[owner] += kIdBytes;
         break;
       }
       case kHostFetch: {
-        table_->ApplyGradient(x, grad);
+        PrimaryApplyGradient(x, grad);
         const int host = static_cast<int>(x % topology_.num_machines());
         ws->host_push_bytes[host] += table_->RowBytes();
         ws->host_index_bytes[host] += kIdBytes;
@@ -1263,8 +1351,8 @@ HETGMP_BIT_STABLE double Engine::EvaluateAuc() {
               const FeatureId* feats = test_.sample_features(start + i);
               float* row = emb_in.row(i);
               for (int f = 0; f < F; ++f) {
-                CopyRow(row + static_cast<int64_t>(f) * d,
-                        table_->UnsafeRow(feats[f]), d);
+                PeekPrimaryRow(feats[f],
+                               row + static_cast<int64_t>(f) * d);
               }
             }
             model.Forward(emb_in, &logits);
@@ -1288,8 +1376,12 @@ HETGMP_BIT_STABLE double Engine::EvaluateAuc() {
       const FeatureId* feats = test_.sample_features(start + i);
       float* row = emb_in.row(i);
       for (int f = 0; f < F; ++f) {
-        const float* v = table_->UnsafeRow(feats[f]);
-        for (int c = 0; c < d; ++c) row[f * d + c] = v[c];
+        if (tier_store_ != nullptr) {
+          PeekPrimaryRow(feats[f], row + static_cast<int64_t>(f) * d);
+        } else {
+          const float* v = table_->UnsafeRow(feats[f]);
+          for (int c = 0; c < d; ++c) row[f * d + c] = v[c];
+        }
       }
     }
     model.Forward(emb_in, &logits);
@@ -1362,7 +1454,7 @@ bool Engine::RoundSerialSection(int round, int total_rounds,
       ((round + 1) % publish_every_rounds_ == 0 || stop)) {
     const std::vector<Tensor*> dense = models_[0]->DenseParams();
     const PublishContext ctx{*table_, dense, round, rs.iterations_done,
-                             rs.sim_time};
+                             rs.sim_time, tier_store_.get()};
     const Status pub = publish_hook_(ctx);
     MutexLock lock(*result_mu);
     if (pub.ok()) {
@@ -1442,6 +1534,20 @@ void Engine::FinalizeResult(TrainResult* result) {
   }
   result->compute_time = compute / N;
   result->comm_time = comm / N;
+  for (int w = 0; w < N; ++w) {
+    if (lru_caches_[w] != nullptr) {
+      result->replica_cache.Merge(lru_caches_[w]->counters());
+    }
+  }
+  if (tier_store_ != nullptr) {
+    result->tiered = true;
+    result->tiers = tier_store_->Stats();
+    if (prefetch_ != nullptr) {
+      const PrefetchPipeline::Stats ps = prefetch_->stats();
+      result->tiers.prefetch_batches = ps.batches;
+      result->tiers.prefetch_dropped = ps.dropped;
+    }
+  }
 }
 
 TrainResult Engine::Train(int max_epochs, double auc_target,
@@ -1489,6 +1595,10 @@ TrainResult Engine::Train(int max_epochs, double auc_target,
   // Hand ownership back to the calling thread (tests and checkpointing
   // touch the stores after training).
   for (auto& cache : caches_) cache->ResetOwner();
+
+  // Let in-flight promotions land before the stats snapshot (and before
+  // callers start peeking rows for checkpointing).
+  if (prefetch_ != nullptr) prefetch_->Quiesce();
 
   FinalizeResult(&result);
   return result;

@@ -15,10 +15,12 @@
 #include "common/threading.h"
 #include "core/config.h"
 #include "data/dataset.h"
+#include "embed/cache_counters.h"
 #include "embed/embedding_table.h"
 #include "embed/lru_cache.h"
 #include "embed/replica_store.h"
 #include "embed/secondary_cache.h"
+#include "store/tier_stats.h"
 #include "graph/bigraph.h"
 #include "models/model.h"
 #include "partition/partition.h"
@@ -26,6 +28,9 @@
 #include "tensor/tensor.h"
 
 namespace hetgmp {
+
+class TieredEmbeddingStore;
+class PrefetchPipeline;
 
 // Metrics recorded at every round barrier.
 struct RoundStats {
@@ -98,6 +103,14 @@ struct TrainResult {
   int64_t samples_processed = 0;
   bool reached_target = false;
 
+  // Aggregated LruEmbeddingCache counters across workers (non-zero only
+  // under ReplicaPolicy::kLruDynamic).
+  CacheCounters replica_cache;
+  // Tiered-store breakdown; `tiered` is false (and the stats zero) when
+  // the hierarchy is disabled.
+  bool tiered = false;
+  TieredStoreStats tiers;
+
   double Throughput() const {        // samples / simulated second
     return total_sim_time > 0 ? samples_processed / total_sim_time : 0.0;
   }
@@ -138,6 +151,10 @@ class Engine {
     int round = 0;                 // 0-based round just completed
     int64_t iterations_done = 0;   // global iteration count so far
     double sim_time = 0.0;
+    // Non-null when the tiered store is enabled: rows outside the hot
+    // tier are NOT valid in `table` (demoted bytes are dead) — publish
+    // by reading through tiers->PeekRow instead of table.UnsafeRow.
+    TieredEmbeddingStore* tiers = nullptr;
   };
   using PublishHook = std::function<Status(const PublishContext&)>;
 
@@ -166,6 +183,8 @@ class Engine {
   const Partition& partition() const { return partition_; }
   const EngineConfig& config() const { return config_; }
   int num_workers() const { return topology_.num_workers(); }
+  // Null unless config.tiered_store.enabled.
+  TieredEmbeddingStore* tiered_store() { return tier_store_.get(); }
 
  private:
   struct WorkerState;
@@ -190,6 +209,18 @@ class Engine {
   // True iff `x` is a unique feature of the batch currently being
   // resolved (LRU admission must not evict a feature this batch uses).
   [[nodiscard]] bool BatchContains(const WorkerState* ws, FeatureId x) const;
+
+  // Primary-table access routed through the tiered store when enabled
+  // (pin → arena op → unpin; in-batch rows are already pinned so the
+  // extra pin just nests) and straight at the arena otherwise.
+  void PrimaryReadRow(FeatureId x, float* out);
+  void PrimaryApplyGradient(FeatureId x, const float* grad);
+  // Read-only row fetch for evaluation/publishing: tier read-through
+  // without residency changes when tiered, UnsafeRow copy otherwise.
+  void PeekPrimaryRow(FeatureId x, float* out);
+  // Snoops worker ws's next batch (the cyclic cursor's upcoming window)
+  // and hands its feature ids to the prefetch pipeline.
+  void SubmitNextBatchPrefetch(WorkerState* ws);
 
   // Resolves one unique feature of the current batch into `out` (dim
   // floats), charging communication as needed.
@@ -246,6 +277,11 @@ class Engine {
   std::vector<double> access_freq_;
 
   std::unique_ptr<EmbeddingTable> table_;
+  // Hot/warm/cold hierarchy over table_ plus its plan-driven prefetcher;
+  // null when config_.tiered_store.enabled is false (the seed-identical
+  // fully-resident path).
+  std::unique_ptr<TieredEmbeddingStore> tier_store_;
+  std::unique_ptr<PrefetchPipeline> prefetch_;
   std::unique_ptr<ClockTable> clocks_;
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<ReplicaStore>> caches_;

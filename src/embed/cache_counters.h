@@ -1,0 +1,36 @@
+#ifndef HETGMP_EMBED_CACHE_COUNTERS_H_
+#define HETGMP_EMBED_CACHE_COUNTERS_H_
+
+#include <cstdint>
+
+namespace hetgmp {
+
+// Hit/miss/movement counters shared by every row cache and storage tier
+// (LruEmbeddingCache, the tiered store's hot/warm/cold tiers), so the
+// CLI summary and the tiering bench report one schema regardless of
+// which layer produced the numbers.
+struct CacheCounters {
+  int64_t hits = 0;        // lookups served by this tier/cache
+  int64_t misses = 0;      // lookups that had to go deeper
+  int64_t writebacks = 0;  // dirty entries flushed to the backing store
+  int64_t promotions = 0;  // rows brought into this tier
+  int64_t demotions = 0;   // rows pushed out of this tier
+
+  void Merge(const CacheCounters& o) {
+    hits += o.hits;
+    misses += o.misses;
+    writebacks += o.writebacks;
+    promotions += o.promotions;
+    demotions += o.demotions;
+  }
+
+  [[nodiscard]] int64_t lookups() const { return hits + misses; }
+  [[nodiscard]] double HitRate() const {
+    const int64_t n = lookups();
+    return n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_EMBED_CACHE_COUNTERS_H_

@@ -100,16 +100,16 @@ Status SkipDenseSection(std::FILE* f) {
   return Status::OK();
 }
 
-Status WritePayload(std::FILE* f, const EmbeddingTable& table,
+// `row(x)` yields the dim-float row x; shared by the live-table and
+// materialized-buffer savers.
+template <typename RowFn>
+Status WritePayload(std::FILE* f, int64_t rows, int64_t dim, RowFn&& row,
                     const std::vector<Tensor*>& dense_params) {
   HETGMP_RETURN_IF_ERROR(WriteBytes(f, kMagic, sizeof(kMagic)));
-  const int64_t rows = table.num_embeddings();
-  const int64_t dim = table.dim();
   HETGMP_RETURN_IF_ERROR(WriteBytes(f, &rows, sizeof(rows)));
   HETGMP_RETURN_IF_ERROR(WriteBytes(f, &dim, sizeof(dim)));
   for (int64_t x = 0; x < rows; ++x) {
-    HETGMP_RETURN_IF_ERROR(
-        WriteBytes(f, table.UnsafeRow(x), dim * sizeof(float)));
+    HETGMP_RETURN_IF_ERROR(WriteBytes(f, row(x), dim * sizeof(float)));
   }
   const uint64_t num_tensors = dense_params.size();
   HETGMP_RETURN_IF_ERROR(WriteBytes(f, &num_tensors, sizeof(num_tensors)));
@@ -121,13 +121,12 @@ Status WritePayload(std::FILE* f, const EmbeddingTable& table,
   return WriteBytes(f, kFooter, sizeof(kFooter));
 }
 
-}  // namespace
-
-Status SaveCheckpoint(const EmbeddingTable& table,
+// Write-to-temp + rename: readers of `path` never observe a partial
+// file, and a crash mid-write leaves the previous checkpoint intact.
+template <typename RowFn>
+Status SaveAtomically(int64_t rows, int64_t dim, RowFn&& row,
                       const std::vector<Tensor*>& dense_params,
                       const std::string& path) {
-  // Write-to-temp + rename: readers of `path` never observe a partial
-  // file, and a crash mid-write leaves the previous checkpoint intact.
   const std::string tmp = path + ".tmp";
   Status st;
   {
@@ -135,7 +134,7 @@ Status SaveCheckpoint(const EmbeddingTable& table,
     if (!file.ok()) {
       return Status::InvalidArgument("cannot open for writing: " + tmp);
     }
-    st = WritePayload(file.get(), table, dense_params);
+    st = WritePayload(file.get(), rows, dim, row, dense_params);
     if (st.ok() && !file.Close()) {
       st = Status::Internal("flush failed: " + tmp);
     }
@@ -145,6 +144,24 @@ Status SaveCheckpoint(const EmbeddingTable& table,
   }
   if (!st.ok()) std::remove(tmp.c_str());
   return st;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const EmbeddingTable& table,
+                      const std::vector<Tensor*>& dense_params,
+                      const std::string& path) {
+  return SaveAtomically(
+      table.num_embeddings(), table.dim(),
+      [&table](int64_t x) { return table.UnsafeRow(x); }, dense_params, path);
+}
+
+Status SaveCheckpointRows(int64_t rows, int dim, const float* values,
+                          const std::vector<Tensor*>& dense_params,
+                          const std::string& path) {
+  return SaveAtomically(
+      rows, dim, [values, dim](int64_t x) { return values + x * dim; },
+      dense_params, path);
 }
 
 Status LoadCheckpoint(const std::string& path, EmbeddingTable* table,

@@ -29,6 +29,14 @@ Status SaveCheckpoint(const EmbeddingTable& table,
                       const std::vector<Tensor*>& dense_params,
                       const std::string& path);
 
+// Same format, but the embedding rows come from a flat row-major buffer
+// (`values` is rows*dim floats) instead of a live table. Used by the
+// serve publish path when the training table is tiered: the publisher
+// materializes rows through the store first and checkpoints the copy.
+Status SaveCheckpointRows(int64_t rows, int dim, const float* values,
+                          const std::vector<Tensor*>& dense_params,
+                          const std::string& path);
+
 // Restores into an existing table/params of identical shape; shape
 // mismatches are InvalidArgument.
 Status LoadCheckpoint(const std::string& path, EmbeddingTable* table,

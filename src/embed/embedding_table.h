@@ -51,6 +51,18 @@ class EmbeddingTable {
   }
   float* UnsafeMutableRow(int64_t x) { return values_.data() + x * dim_; }
 
+  // Optimizer state for row x (nullptr when the optimizer keeps none,
+  // i.e. SGD). Same quiesce contract as UnsafeRow; the tiered store
+  // additionally uses these for rows it has made private by pinning
+  // (store/tiered_store.h), where no other thread can touch the row.
+  bool has_accum() const { return !accum_.empty(); }
+  const float* UnsafeAccumRow(int64_t x) const {
+    return accum_.empty() ? nullptr : accum_.data() + x * dim_;
+  }
+  float* UnsafeMutableAccumRow(int64_t x) {
+    return accum_.empty() ? nullptr : accum_.data() + x * dim_;
+  }
+
   uint64_t RowBytes() const {
     return static_cast<uint64_t>(dim_) * sizeof(float);
   }

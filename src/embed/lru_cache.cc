@@ -54,10 +54,10 @@ int64_t LruEmbeddingCache::Slot(FeatureId x) {
   owner_checker_.Check();  // lookups mutate recency and hit counters
   const auto it = slot_of_.find(x);
   if (it == slot_of_.end()) {
-    ++misses_;
+    ++counters_.misses;
     return -1;
   }
-  ++hits_;
+  ++counters_.hits;
   MoveToFront(it->second);
   return it->second;
 }
@@ -90,7 +90,9 @@ int64_t LruEmbeddingCache::Insert(FeatureId x) {
         << " slots hold unflushed pending gradients; flush before Insert";
     slot_of_.erase(id_of_[slot]);
     Unlink(slot);
+    ++counters_.demotions;
   }
+  ++counters_.promotions;
   id_of_[slot] = x;
   slot_of_.emplace(x, slot);
   LinkFront(slot);
@@ -113,6 +115,7 @@ void LruEmbeddingCache::AccumulatePending(int64_t slot, const float* grad) {
 
 void LruEmbeddingCache::ClearPending(int64_t slot) {
   owner_checker_.Check();
+  if (pending_count_[slot] > 0) ++counters_.writebacks;
   float* p = Pending(slot);
   for (int c = 0; c < dim_; ++c) p[c] = 0.0f;
   pending_count_[slot] = 0;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "embed/cache_counters.h"
 #include "embed/replica_store.h"
 
 namespace hetgmp {
@@ -61,9 +62,12 @@ class LruEmbeddingCache : public ReplicaStore {
   void ClearPending(int64_t slot) override;
   void SetValue(int64_t slot, const float* value) override;
 
-  // Hit-rate instrumentation.
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  // Hit-rate instrumentation (CacheCounters is the shared schema with the
+  // tiered store; promotions = inserts, demotions = evictions, writebacks
+  // = pending-gradient flushes through ClearPending).
+  int64_t hits() const { return counters_.hits; }
+  int64_t misses() const { return counters_.misses; }
+  const CacheCounters& counters() const { return counters_; }
 
  private:
   void MoveToFront(int64_t slot);
@@ -82,8 +86,7 @@ class LruEmbeddingCache : public ReplicaStore {
   std::vector<float> pending_;
   std::vector<int64_t> pending_count_;
   std::vector<uint64_t> synced_clock_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  CacheCounters counters_;
 };
 
 }  // namespace hetgmp

@@ -41,23 +41,37 @@ void SnapshotStore::Install(std::shared_ptr<const EmbeddingSnapshot> snap) {
 Status SnapshotStore::Publish(const EmbeddingTable& table,
                               const std::vector<Tensor*>& dense_params,
                               int round, int64_t iterations) {
+  const int dim = table.dim();
+  return PublishRows(
+      table.num_embeddings(), dim,
+      [&table, dim](int64_t x, float* out) {
+        const float* row = table.UnsafeRow(x);
+        std::copy(row, row + dim, out);
+      },
+      dense_params, round, iterations);
+}
+
+Status SnapshotStore::PublishRows(int64_t rows, int dim,
+                                  const RowReader& read_row,
+                                  const std::vector<Tensor*>& dense_params,
+                                  int round, int64_t iterations) {
   MutexLock lock(publish_mu_);
   SnapshotMeta meta;
   meta.version = version_.load(std::memory_order_relaxed) + 1;
-  meta.rows = table.num_embeddings();
-  meta.dim = table.dim();
+  meta.rows = rows;
+  meta.dim = dim;
   meta.round = round;
   meta.iterations = iterations;
 
-  std::vector<float> values(static_cast<size_t>(meta.rows) * meta.dim);
-  for (int64_t x = 0; x < meta.rows; ++x) {
-    const float* row = table.UnsafeRow(x);
-    std::copy(row, row + meta.dim, values.data() + x * meta.dim);
+  std::vector<float> values(static_cast<size_t>(rows) * dim);
+  for (int64_t x = 0; x < rows; ++x) {
+    read_row(x, values.data() + x * dim);
   }
 
   if (!options_.dir.empty()) {
-    HETGMP_RETURN_IF_ERROR(
-        SaveCheckpoint(table, dense_params, SnapshotPath(meta.version)));
+    HETGMP_RETURN_IF_ERROR(SaveCheckpointRows(rows, dim, values.data(),
+                                              dense_params,
+                                              SnapshotPath(meta.version)));
     if (!options_.keep_history && meta.version > 1) {
       // Best-effort prune of the superseded file; the newest snapshot is
       // already durable, so a failure here only wastes disk.

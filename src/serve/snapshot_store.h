@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,6 +93,18 @@ class SnapshotStore {
   Status Publish(const EmbeddingTable& table,
                  const std::vector<Tensor*>& dense_params, int round = -1,
                  int64_t iterations = 0) HETGMP_EXCLUDES(publish_mu_);
+
+  // Same contract, but each row is materialized by `read_row(x, out)`
+  // (out receives dim floats). This is the tiered-training publish path:
+  // rows demoted out of the hot tier are not valid in the arena, so the
+  // publisher reads through TieredEmbeddingStore::PeekRow instead of the
+  // table's unsafe accessors. The durable checkpoint is written from the
+  // materialized copy (SaveCheckpointRows), byte-identical in format.
+  using RowReader = std::function<void(int64_t, float*)>;
+  Status PublishRows(int64_t rows, int dim, const RowReader& read_row,
+                     const std::vector<Tensor*>& dense_params,
+                     int round = -1, int64_t iterations = 0)
+      HETGMP_EXCLUDES(publish_mu_);
 
   // Restores the embedding section of a checkpoint file as the next
   // version (serve-from-disk startup).

@@ -1,0 +1,252 @@
+#include "store/cold_tier.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace hetgmp {
+
+namespace {
+
+constexpr char kColdMagic[8] = {'H', 'G', 'M', 'P', 'C', 'T', '0', '1'};
+// Shared footer sentinel with the HGMPCK02 checkpoints: same torn-file
+// detection contract (present AND last byte of the file).
+constexpr char kColdFooter[8] = {'H', 'G', 'M', 'P', 'E', 'N', 'D', '2'};
+
+constexpr uint64_t kHeaderBytes = sizeof(kColdMagic) + 2 * sizeof(int64_t);
+
+uint64_t DirectoryBytes(int64_t capacity) {
+  return static_cast<uint64_t>(capacity) * sizeof(int64_t);
+}
+
+uint64_t PayloadBytes(int64_t capacity, int dim) {
+  return static_cast<uint64_t>(capacity) * 2u * static_cast<uint64_t>(dim) *
+         sizeof(float);
+}
+
+uint64_t FileBytes(int64_t capacity, int dim) {
+  return kHeaderBytes + DirectoryBytes(capacity) + PayloadBytes(capacity, dim) +
+         sizeof(kColdFooter);
+}
+
+Status PWriteAll(int fd, const void* data, size_t bytes, uint64_t offset) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::pwrite(fd, p, bytes, static_cast<off_t>(offset));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Internal("cold tier: short write");
+    }
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    bytes -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ColdTierFile::ColdTierFile(std::string path, int fd, char* map,
+                           uint64_t map_bytes, int64_t capacity, int dim)
+    : path_(std::move(path)),
+      fd_(fd),
+      capacity_(capacity),
+      dim_(dim),
+      map_bytes_(map_bytes),
+      map_(map) {}
+
+ColdTierFile::~ColdTierFile() {
+  ::munmap(map_, map_bytes_);
+  ::close(fd_);
+}
+
+int64_t* ColdTierFile::Directory() const {
+  return reinterpret_cast<int64_t*>(map_ + kHeaderBytes);
+}
+
+float* ColdTierFile::Record(int64_t row) const {
+  return reinterpret_cast<float*>(map_ + kHeaderBytes +
+                                  DirectoryBytes(capacity_)) +
+         static_cast<uint64_t>(row) * 2u * static_cast<uint64_t>(dim_);
+}
+
+Result<std::unique_ptr<ColdTierFile>> ColdTierFile::Create(
+    const std::string& path, int64_t capacity, int dim) {
+  HETGMP_CHECK_GT(capacity, 0);
+  HETGMP_CHECK_GT(dim, 0);
+  const uint64_t bytes = FileBytes(capacity, dim);
+  // Build under a temp name, extend sparsely (the zero-filled directory
+  // reads as all-empty thanks to the id+1 encoding), stamp header and
+  // footer, then atomically rename into place.
+  const std::string tmp = path + ".tmp";
+  const int wfd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (wfd < 0) {
+    return Status::InvalidArgument("cold tier: cannot create " + tmp);
+  }
+  Status st = Status::OK();
+  if (::ftruncate(wfd, static_cast<off_t>(bytes)) != 0) {
+    st = Status::Internal("cold tier: cannot size " + tmp);
+  }
+  if (st.ok()) st = PWriteAll(wfd, kColdMagic, sizeof(kColdMagic), 0);
+  if (st.ok()) {
+    st = PWriteAll(wfd, &capacity, sizeof(capacity), sizeof(kColdMagic));
+  }
+  if (st.ok()) {
+    const int64_t dim64 = dim;
+    st = PWriteAll(wfd, &dim64, sizeof(dim64),
+                   sizeof(kColdMagic) + sizeof(capacity));
+  }
+  if (st.ok()) {
+    st = PWriteAll(wfd, kColdFooter, sizeof(kColdFooter),
+                   bytes - sizeof(kColdFooter));
+  }
+  if (st.ok() && ::fsync(wfd) != 0) {
+    st = Status::Internal("cold tier: fsync failed for " + tmp);
+  }
+  ::close(wfd);
+  if (st.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::Internal("cold tier: rename failed: " + tmp + " -> " + path);
+  }
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  return Open(path);
+}
+
+Result<std::unique_ptr<ColdTierFile>> ColdTierFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::NotFound("cold tier: cannot open " + path);
+  }
+  struct stat sb;
+  if (::fstat(fd, &sb) != 0) {
+    ::close(fd);
+    return Status::Internal("cold tier: stat failed for " + path);
+  }
+  const uint64_t size = static_cast<uint64_t>(sb.st_size);
+  if (size < kHeaderBytes + sizeof(kColdFooter)) {
+    ::close(fd);
+    return Status::InvalidArgument("cold tier: truncated file " + path);
+  }
+  char header[kHeaderBytes];
+  {
+    size_t got = 0;
+    while (got < sizeof(header)) {
+      const ssize_t n = ::pread(fd, header + got, sizeof(header) - got,
+                                static_cast<off_t>(got));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        ::close(fd);
+        return Status::InvalidArgument("cold tier: unreadable header " + path);
+      }
+      got += static_cast<size_t>(n);
+    }
+  }
+  if (std::memcmp(header, kColdMagic, sizeof(kColdMagic)) != 0) {
+    ::close(fd);
+    return Status::InvalidArgument("not a HET-GMP cold tier file: " + path);
+  }
+  int64_t capacity = 0, dim64 = 0;
+  std::memcpy(&capacity, header + sizeof(kColdMagic), sizeof(capacity));
+  std::memcpy(&dim64, header + sizeof(kColdMagic) + sizeof(capacity),
+              sizeof(dim64));
+  if (capacity <= 0 || dim64 <= 0 || dim64 > (1 << 20)) {
+    ::close(fd);
+    return Status::InvalidArgument("cold tier: corrupt header in " + path);
+  }
+  const int dim = static_cast<int>(dim64);
+  // Exact-size check: a torn extension or a grown file both disagree with
+  // the header-derived length.
+  if (size != FileBytes(capacity, dim)) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "cold tier: torn or truncated file (size mismatch): " + path);
+  }
+  char* map =
+      static_cast<char*>(::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                                MAP_SHARED, fd, 0));
+  if (map == MAP_FAILED) {
+    ::close(fd);
+    return Status::Internal("cold tier: mmap failed for " + path);
+  }
+  if (std::memcmp(map + size - sizeof(kColdFooter), kColdFooter,
+                  sizeof(kColdFooter)) != 0) {
+    ::munmap(map, size);
+    ::close(fd);
+    return Status::InvalidArgument(
+        "cold tier: torn or truncated file (missing footer): " + path);
+  }
+  auto file = std::unique_ptr<ColdTierFile>(
+      new ColdTierFile(path, fd, map, size, capacity, dim));
+  // Recover the allocation watermark: records are appended densely, so
+  // the used prefix is exactly the non-empty directory prefix.
+  int64_t used = 0;
+  const int64_t* dir = file->Directory();
+  while (used < capacity && dir[used] != 0) ++used;
+  file->rows_used_.store(used, std::memory_order_relaxed);
+  return file;
+}
+
+int64_t ColdTierFile::rows_used() const {
+  return rows_used_.load(std::memory_order_relaxed);
+}
+
+int64_t ColdTierFile::Append(FeatureId x, const float* value,
+                             const float* accum) {
+  int64_t row;
+  {
+    MutexLock lock(mu_);
+    row = rows_used_.load(std::memory_order_relaxed);
+    HETGMP_CHECK_LT(row, capacity_)
+        << " cold tier full appending feature " << x;
+    Directory()[row] = x + 1;  // 0 = empty, so ids are stored shifted
+    rows_used_.store(row + 1, std::memory_order_release);
+  }
+  WriteRow(row, value, accum);
+  return row;
+}
+
+void ColdTierFile::WriteRow(int64_t row, const float* value,
+                            const float* accum) {
+  HETGMP_CHECK_GE(row, 0);
+  HETGMP_CHECK_LT(row, rows_used_.load(std::memory_order_acquire));
+  float* rec = Record(row);
+  std::memcpy(rec, value, static_cast<size_t>(dim_) * sizeof(float));
+  if (accum != nullptr) {
+    std::memcpy(rec + dim_, accum, static_cast<size_t>(dim_) * sizeof(float));
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ColdTierFile::ReadRow(int64_t row, float* value, float* accum) const {
+  HETGMP_CHECK_GE(row, 0);
+  HETGMP_CHECK_LT(row, rows_used_.load(std::memory_order_acquire));
+  const float* rec = Record(row);
+  if (value != nullptr) {
+    std::memcpy(value, rec, static_cast<size_t>(dim_) * sizeof(float));
+  }
+  if (accum != nullptr) {
+    std::memcpy(accum, rec + dim_, static_cast<size_t>(dim_) * sizeof(float));
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+FeatureId ColdTierFile::IdAt(int64_t row) const {
+  HETGMP_CHECK_GE(row, 0);
+  HETGMP_CHECK_LT(row, rows_used_.load(std::memory_order_acquire));
+  return Directory()[row] - 1;
+}
+
+void ColdTierFile::Unlink() { std::remove(path_.c_str()); }
+
+}  // namespace hetgmp

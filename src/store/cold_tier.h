@@ -1,0 +1,116 @@
+#ifndef HETGMP_STORE_COLD_TIER_H_
+#define HETGMP_STORE_COLD_TIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "data/dataset.h"
+
+namespace hetgmp {
+
+// The on-disk cold tier of the TieredEmbeddingStore: an mmap'd file of
+// fixed-size records (value row + optimizer-state row) with a compact
+// row-directory mapping each record to the FeatureId it holds. Rows are
+// appended on first demotion and reused forever after — a feature's cold
+// record is its permanent home slot, so re-demotion is an in-place
+// overwrite and the directory only grows.
+//
+// File layout (little-endian, host float representation — the same
+// single-machine assumption the HGMPCK02 checkpoints make):
+//
+//   [0..8)    magic "HGMPCT01"
+//   [8..16)   int64 capacity (record count the file was sized for)
+//   [16..24)  int64 dim
+//   directory capacity * int64 — FeatureId+1 of each record, 0 = empty.
+//             (Shifted by one so a sparse file's zero-fill reads as
+//             "unallocated"; Create() can then ftruncate instead of
+//             writing gigabytes of -1s.)
+//   payload   capacity * 2*dim floats — value row then accum row.
+//   footer    "HGMPEND2" (the checkpoint footer sentinel): present AND
+//             last means the file was fully extended before any record
+//             was trusted; Open() rejects torn/truncated files whose
+//             size or tail disagrees with the header.
+//
+// Crash safety mirrors embed/checkpoint.cc: Create() builds the file
+// under "<path>.tmp" and renames it into place, so `path` never names a
+// half-initialized file.
+//
+// Thread-safety: `mu_` (rank kStoreCold, taken while the caller holds a
+// warm-stripe lock — 52 < 54 keeps the rank order legal) serializes the
+// directory and allocation state. Record payloads are NOT under mu_:
+// each record belongs to exactly one feature and the caller's per-feature
+// stripe lock already serializes all access to it, so concurrent IO on
+// different records is lock-free on disjoint mmap bytes.
+class ColdTierFile {
+ public:
+  // Creates a fresh file sized for `capacity` records and maps it.
+  static Result<std::unique_ptr<ColdTierFile>> Create(const std::string& path,
+                                                      int64_t capacity,
+                                                      int dim);
+  // Maps an existing file, validating magic, exact size, and footer.
+  static Result<std::unique_ptr<ColdTierFile>> Open(const std::string& path);
+
+  ~ColdTierFile();
+  ColdTierFile(const ColdTierFile&) = delete;
+  ColdTierFile& operator=(const ColdTierFile&) = delete;
+
+  int64_t capacity() const { return capacity_; }
+  int dim() const { return dim_; }
+  const std::string& path() const { return path_; }
+  int64_t rows_used() const;
+
+  // Allocates the next record for feature x and writes it. Aborts if the
+  // file is full (the store sizes capacity = num_features, so this is a
+  // programming error, not an IO condition).
+  int64_t Append(FeatureId x, const float* value, const float* accum);
+
+  // Overwrites record `row` (a prior Append result for the same feature).
+  // `accum` may be null when the optimizer keeps no state.
+  void WriteRow(int64_t row, const float* value, const float* accum);
+
+  // Copies record `row` out; either destination may be null to skip it.
+  void ReadRow(int64_t row, float* value, float* accum) const;
+
+  // FeatureId the record was appended for (directory lookup).
+  FeatureId IdAt(int64_t row) const;
+
+  // Unlinks the backing file while keeping the mapping alive — the
+  // engine-internal "anonymous spill" mode, where the cold tier should
+  // not outlive the process.
+  void Unlink();
+
+  // IO counters for the stats rollup (relaxed; reads take no lock).
+  int64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  int64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+
+ private:
+  ColdTierFile(std::string path, int fd, char* map, uint64_t map_bytes,
+               int64_t capacity, int dim);
+
+  int64_t* Directory() const;
+  float* Record(int64_t row) const;
+
+  const std::string path_;
+  const int fd_;
+  const int64_t capacity_;
+  const int dim_;
+  const uint64_t map_bytes_;
+  // lint: unguarded(set once at construction; record payload bytes are
+  // striped by the caller's warm-stripe lock, directory words by mu_)
+  char* const map_;
+
+  // Serializes allocation (directory appends). Published row count is an
+  // atomic so bounds checks on the read/write path stay lock-free.
+  mutable Mutex mu_{lock_rank::kStoreCold};
+  std::atomic<int64_t> rows_used_{0};
+  mutable std::atomic<int64_t> reads_{0};
+  std::atomic<int64_t> writes_{0};
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_STORE_COLD_TIER_H_

@@ -1,0 +1,97 @@
+#include "store/prefetch.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+PrefetchPipeline::PrefetchPipeline(TieredEmbeddingStore* store,
+                                   int num_workers)
+    : store_(store) {
+  HETGMP_CHECK(store != nullptr);
+  HETGMP_CHECK_GT(num_workers, 0);
+  {
+    MutexLock lock(mu_);
+    slots_.resize(static_cast<size_t>(num_workers));
+  }
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+PrefetchPipeline::~PrefetchPipeline() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.NotifyAll();
+  thread_.join();
+}
+
+void PrefetchPipeline::Submit(int worker, const FeatureId* feats, int64_t n) {
+  {
+    MutexLock lock(mu_);
+    Slot& slot = slots_[static_cast<size_t>(worker)];
+    if (slot.full) {
+      // The worker lapped the pipeline: its previous request is for a
+      // batch that is about to train anyway — replace, don't queue.
+      ++dropped_;
+    } else {
+      ++in_flight_;
+    }
+    slot.feats.assign(feats, feats + n);
+    slot.full = true;
+  }
+  work_cv_.NotifyOne();
+}
+
+void PrefetchPipeline::Quiesce() {
+  MutexLock lock(mu_);
+  while (in_flight_ > 0) idle_cv_.Wait(mu_);
+}
+
+PrefetchPipeline::Stats PrefetchPipeline::stats() {
+  MutexLock lock(mu_);
+  return Stats{batches_, dropped_};
+}
+
+void PrefetchPipeline::ThreadMain() {
+  // Reused across batches: the request copy (so the slot frees up while
+  // we work) and the sort-dedup happen outside mu_.
+  std::vector<FeatureId> current;
+  size_t next = 0;
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      size_t pick = slots_.size();
+      for (;;) {
+        for (size_t i = 0; i < slots_.size(); ++i) {
+          const size_t w = (next + i) % slots_.size();
+          if (slots_[w].full) {
+            pick = w;
+            break;
+          }
+        }
+        if (pick != slots_.size() || stop_) break;
+        work_cv_.Wait(mu_);
+      }
+      if (pick == slots_.size()) return;  // stop_ with nothing queued
+      next = (pick + 1) % slots_.size();
+      current.swap(slots_[pick].feats);
+      slots_[pick].full = false;
+      ++batches_;
+      // in_flight_ stays elevated until the batch is fully promoted, so
+      // Quiesce means "processed", not "dequeued".
+    }
+    std::sort(current.begin(), current.end());
+    current.erase(std::unique(current.begin(), current.end()), current.end());
+    for (const FeatureId x : current) store_->Prefetch(x);
+    current.clear();
+    {
+      MutexLock lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.NotifyAll();
+    }
+  }
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,75 @@
+#ifndef HETGMP_STORE_PREFETCH_H_
+#define HETGMP_STORE_PREFETCH_H_
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "data/dataset.h"
+#include "store/tiered_store.h"
+
+namespace hetgmp {
+
+// Plan-driven asynchronous promotion: while iteration t trains, each
+// worker submits the feature list of its iteration-t+1 batch (snooped
+// from the engine's cyclic batch cursor — the same ids BuildBatchPlan
+// will dedup next iteration) and a single background thread promotes
+// them cold→warm→hot through TieredEmbeddingStore::Prefetch. When the
+// pipeline loses the race, the pin-time synchronous fault path is the
+// correctness backstop; this thread only moves work off the trainers.
+//
+// Buffering is one slot per worker (double-buffered against the batch
+// being trained): a worker that laps the pipeline overwrites its own
+// stale request — prefetching a batch that already started is pure
+// waste — and the overwrite is counted as `dropped`.
+//
+// Lock order: mu_ has rank kStorePrefetch (15); both Submit (trainer
+// side, holding nothing) and the pipeline thread release it before
+// touching the store's kStoreWarm (52) stripes.
+class PrefetchPipeline {
+ public:
+  PrefetchPipeline(TieredEmbeddingStore* store, int num_workers);
+  ~PrefetchPipeline();
+  PrefetchPipeline(const PrefetchPipeline&) = delete;
+  PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
+
+  // Replaces worker `w`'s pending request with `feats` (duplicates fine;
+  // the pipeline dedups before touching the store).
+  void Submit(int worker, const FeatureId* feats, int64_t n);
+
+  // Blocks until every submitted request has been fully processed.
+  void Quiesce();
+
+  struct Stats {
+    int64_t batches = 0;  // requests processed
+    int64_t dropped = 0;  // requests overwritten before processing
+  };
+  Stats stats();
+
+ private:
+  void ThreadMain();
+
+  TieredEmbeddingStore* const store_;
+
+  Mutex mu_{lock_rank::kStorePrefetch};
+  CondVar work_cv_;  // signaled on submit and shutdown
+  CondVar idle_cv_;  // signaled when in_flight_ drains to zero
+  struct Slot {
+    std::vector<FeatureId> feats;
+    bool full = false;
+  };
+  std::vector<Slot> slots_ HETGMP_GUARDED_BY(mu_);
+  bool stop_ HETGMP_GUARDED_BY(mu_) = false;
+  int in_flight_ HETGMP_GUARDED_BY(mu_) = 0;  // full slots + batch in work
+  int64_t batches_ HETGMP_GUARDED_BY(mu_) = 0;
+  int64_t dropped_ HETGMP_GUARDED_BY(mu_) = 0;
+
+  // lint: unguarded(started last in the constructor, joined in the
+  // destructor; never reassigned in between)
+  std::thread thread_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_STORE_PREFETCH_H_

@@ -1,0 +1,59 @@
+#ifndef HETGMP_STORE_TIER_STATS_H_
+#define HETGMP_STORE_TIER_STATS_H_
+
+#include <cstdint>
+
+#include "embed/cache_counters.h"
+
+namespace hetgmp {
+
+// Aggregated instrumentation for the hot/warm/cold hierarchy, reported
+// through TrainResult and the tiering bench. Uses the same CacheCounters
+// schema as LruEmbeddingCache so all row-movement numbers read alike:
+//
+//   hot.hits/misses    — pins that found the row resident vs faulted
+//   warm.hits          — faults served from the warm host tier
+//   warm.promotions    — rows moved into warm (hot demotions + cold hits)
+//   warm.demotions     — rows pushed out of warm (to cold)
+//   cold.hits          — faults/promotes that had to read disk
+//   cold.writebacks    — rows spilled to the cold file
+struct TieredStoreStats {
+  CacheCounters hot;
+  CacheCounters warm;
+  CacheCounters cold;
+
+  // Pins admitted over the hot budget because every victim was pinned
+  // (the batch's working set exceeded the budget; the tier runs
+  // temporarily oversized rather than deadlock).
+  int64_t hot_overflow = 0;
+
+  // Wall-clock seconds spent in synchronous faults on the training
+  // threads (prefetch lost the race or is disabled). Never folded into
+  // the simulated time model — trajectories stay bit-identical.
+  double stall_secs = 0.0;
+
+  // Prefetch pipeline: batches submitted/overwritten before processing,
+  // features examined, and how they resolved off-thread.
+  int64_t prefetch_batches = 0;
+  int64_t prefetch_dropped = 0;
+  int64_t prefetch_features = 0;
+  int64_t prefetch_promoted = 0;
+  int64_t prefetch_already_resident = 0;
+
+  // Residency at pin time: of `pin_requests` pinned features,
+  // `pin_resident` were already hot (prefetch coverage when the
+  // pipeline is on).
+  int64_t pin_requests = 0;
+  int64_t pin_resident = 0;
+
+  [[nodiscard]] double PinCoverage() const {
+    return pin_requests > 0
+               ? static_cast<double>(pin_resident) /
+                     static_cast<double>(pin_requests)
+               : 0.0;
+  }
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_STORE_TIER_STATS_H_

@@ -1,0 +1,435 @@
+#include "store/tiered_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace hetgmp {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TieredEmbeddingStore::TieredEmbeddingStore(EmbeddingTable* table,
+                                           std::unique_ptr<ColdTierFile> cold,
+                                           const TieredStoreOptions& opts)
+    : table_(table),
+      cold_(std::move(cold)),
+      dim_(table->dim()),
+      row_stride_(table->has_accum() ? 2 * table->dim() : table->dim()),
+      hot_budget_(opts.hot_rows),
+      warm_budget_(opts.warm_rows),
+      hot_cap_((opts.hot_rows + opts.stripes - 1) / opts.stripes),
+      warm_cap_(std::max<int64_t>(
+          1, (opts.warm_rows + opts.stripes - 1) / opts.stripes)),
+      entries_(static_cast<size_t>(table->num_embeddings())),
+      stripes_(static_cast<size_t>(opts.stripes)) {
+  for (Stripe& st : stripes_) {
+    MutexLock lock(st.mu);
+    st.warm_data.assign(
+        static_cast<size_t>(warm_cap_) * static_cast<size_t>(row_stride_),
+        0.0f);
+    st.free_warm.reserve(static_cast<size_t>(warm_cap_));
+    for (int64_t s = warm_cap_ - 1; s >= 0; --s) {
+      st.free_warm.push_back(static_cast<int32_t>(s));
+    }
+    st.hot.reserve(static_cast<size_t>(hot_cap_) + 1);
+  }
+}
+
+Result<std::unique_ptr<TieredEmbeddingStore>> TieredEmbeddingStore::Create(
+    EmbeddingTable* table, const std::vector<double>& access_freq,
+    const TieredStoreOptions& opts) {
+  HETGMP_CHECK(table != nullptr);
+  HETGMP_CHECK_GT(opts.hot_rows, 0);
+  HETGMP_CHECK_GT(opts.warm_rows, 0);
+  HETGMP_CHECK_GT(opts.stripes, 0);
+
+  std::string path = opts.cold_path;
+  const bool anonymous = path.empty();
+  if (anonymous) {
+    // Process-private spill file: unlinked immediately after creation so
+    // it cannot outlive (or collide with) anything.
+    static std::atomic<int> seq{0};
+    path = "/tmp/hetgmp_cold_" + std::to_string(::getpid()) + "_" +
+           std::to_string(seq.fetch_add(1)) + ".bin";
+  }
+  auto cold =
+      ColdTierFile::Create(path, table->num_embeddings(), table->dim());
+  if (!cold.ok()) return cold.status();
+
+  auto store = std::unique_ptr<TieredEmbeddingStore>(new TieredEmbeddingStore(
+      table, std::move(cold.value()), opts));
+  if (anonymous) store->cold_->Unlink();
+
+  // Initial placement by access-frequency rank: hottest features stay in
+  // the arena, the next band goes warm, the tail spills to disk. Initial
+  // movements are not counted in the steady-state tier counters.
+  const int64_t n = table->num_embeddings();
+  std::vector<FeatureId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&access_freq](FeatureId a, FeatureId b) {
+                     const double fa =
+                         a < static_cast<FeatureId>(access_freq.size())
+                             ? access_freq[static_cast<size_t>(a)]
+                             : 0.0;
+                     const double fb =
+                         b < static_cast<FeatureId>(access_freq.size())
+                             ? access_freq[static_cast<size_t>(b)]
+                             : 0.0;
+                     return fa > fb;
+                   });
+  for (const FeatureId x : order) {
+    Stripe& st = store->StripeOf(x);
+    MutexLock lock(st.mu);
+    Entry& e = store->entries_[static_cast<size_t>(x)];
+    if (static_cast<int64_t>(st.hot.size()) < store->hot_cap_) {
+      e.state = TierState::kHot;
+      e.pos = static_cast<int32_t>(st.hot.size());
+      st.hot.push_back(x);
+    } else if (!st.free_warm.empty()) {
+      const int32_t slot = st.free_warm.back();
+      st.free_warm.pop_back();
+      CopyRow(store->WarmValue(st, slot), table->UnsafeRow(x),
+              store->dim_);
+      if (table->has_accum()) {
+        CopyRow(store->WarmAccum(st, slot), table->UnsafeAccumRow(x),
+                store->dim_);
+      }
+      store->PoisonArenaRow(x);
+      e.state = TierState::kWarm;
+      e.warm_slot = slot;
+      e.pos = static_cast<int32_t>(st.warm.size());
+      st.warm.push_back(x);
+    } else {
+      e.cold_row =
+          store->cold_->Append(x, table->UnsafeRow(x), table->UnsafeAccumRow(x));
+      store->PoisonArenaRow(x);
+      e.state = TierState::kCold;
+    }
+  }
+  return store;
+}
+
+float* TieredEmbeddingStore::WarmValue(Stripe& st, int32_t slot) {
+  return st.warm_data.data() +
+         static_cast<size_t>(slot) * static_cast<size_t>(row_stride_);
+}
+
+float* TieredEmbeddingStore::WarmAccum(Stripe& st, int32_t slot) {
+  return WarmValue(st, slot) + dim_;
+}
+
+void TieredEmbeddingStore::PoisonArenaRow(FeatureId x) {
+#ifndef NDEBUG
+  // A stale read of a demoted row trips immediately instead of silently
+  // training on dead bytes.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  float* v = table_->UnsafeMutableRow(x);
+  for (int c = 0; c < dim_; ++c) v[c] = nan;
+  if (float* a = table_->UnsafeMutableAccumRow(x)) {
+    for (int c = 0; c < dim_; ++c) a[c] = nan;
+  }
+#else
+  (void)x;
+#endif
+}
+
+bool TieredEmbeddingStore::MakeHotRoomLocked(Stripe& st) {
+  while (static_cast<int64_t>(st.hot.size()) >= hot_cap_) {
+    const size_t n = st.hot.size();
+    size_t victim = n;
+    // Second-chance clock: 2n steps clear every reference bit at least
+    // once, so ending empty-handed means every candidate is pinned.
+    for (size_t step = 0; step < 2 * n; ++step) {
+      const size_t i = st.hot_hand % n;
+      Entry& cand = entries_[static_cast<size_t>(st.hot[i])];
+      if (cand.pins > 0) {
+        ++st.hot_hand;
+        continue;
+      }
+      if (cand.ref != 0) {
+        cand.ref = 0;
+        ++st.hot_hand;
+        continue;
+      }
+      victim = i;
+      break;
+    }
+    if (victim == n) return false;
+    DemoteHotLocked(st, victim);
+  }
+  return true;
+}
+
+void TieredEmbeddingStore::DemoteHotLocked(Stripe& st, size_t ring_idx) {
+  const FeatureId victim = st.hot[ring_idx];
+  Entry& e = entries_[static_cast<size_t>(victim)];
+  HETGMP_DCHECK(e.pins == 0);
+  st.hot[ring_idx] = st.hot.back();
+  entries_[static_cast<size_t>(st.hot[ring_idx])].pos =
+      static_cast<int32_t>(ring_idx);
+  st.hot.pop_back();
+  st.hot_hand = ring_idx;
+
+  const int32_t slot = TakeWarmSlotLocked(st);
+  CopyRow(WarmValue(st, slot), table_->UnsafeRow(victim), dim_);
+  if (table_->has_accum()) {
+    CopyRow(WarmAccum(st, slot), table_->UnsafeAccumRow(victim), dim_);
+  }
+  PoisonArenaRow(victim);
+  e.state = TierState::kWarm;
+  e.warm_slot = slot;
+  e.pos = static_cast<int32_t>(st.warm.size());
+  e.ref = 1;
+  st.warm.push_back(victim);
+  ++st.hot_c.demotions;
+  ++st.warm_c.promotions;
+}
+
+int32_t TieredEmbeddingStore::TakeWarmSlotLocked(Stripe& st) {
+  if (!st.free_warm.empty()) {
+    const int32_t slot = st.free_warm.back();
+    st.free_warm.pop_back();
+    return slot;
+  }
+  // Warm is full: spill a warm victim to the cold file (warm rows are
+  // never pinned — pinning faults a row hot first — so this always
+  // finds a victim within the 2n clock sweep).
+  const size_t n = st.warm.size();
+  HETGMP_CHECK_GT(n, 0u);
+  size_t victim = n;
+  for (size_t step = 0; step < 2 * n + 1; ++step) {
+    const size_t i = st.warm_hand % n;
+    Entry& cand = entries_[static_cast<size_t>(st.warm[i])];
+    if (cand.ref != 0) {
+      cand.ref = 0;
+      ++st.warm_hand;
+      continue;
+    }
+    victim = i;
+    break;
+  }
+  HETGMP_CHECK_LT(victim, n);
+  const FeatureId w = st.warm[victim];
+  Entry& we = entries_[static_cast<size_t>(w)];
+  const float* val = WarmValue(st, we.warm_slot);
+  const float* acc = table_->has_accum() ? WarmAccum(st, we.warm_slot) : nullptr;
+  if (we.cold_row >= 0) {
+    cold_->WriteRow(we.cold_row, val, acc);
+  } else {
+    we.cold_row = cold_->Append(w, val, acc);
+  }
+  const int32_t slot = we.warm_slot;
+  we.state = TierState::kCold;
+  we.warm_slot = -1;
+  we.pos = -1;
+  st.warm[victim] = st.warm.back();
+  entries_[static_cast<size_t>(st.warm[victim])].pos =
+      static_cast<int32_t>(victim);
+  st.warm.pop_back();
+  st.warm_hand = victim;
+  ++st.warm_c.demotions;
+  ++st.cold_c.writebacks;
+  return slot;
+}
+
+void TieredEmbeddingStore::PromoteLocked(Stripe& st, FeatureId x, Entry& e) {
+  if (e.state == TierState::kWarm) {
+    ++st.warm_c.hits;
+    CopyRow(table_->UnsafeMutableRow(x), WarmValue(st, e.warm_slot), dim_);
+    if (table_->has_accum()) {
+      CopyRow(table_->UnsafeMutableAccumRow(x), WarmAccum(st, e.warm_slot),
+              dim_);
+    }
+    st.free_warm.push_back(e.warm_slot);
+    const size_t i = static_cast<size_t>(e.pos);
+    st.warm[i] = st.warm.back();
+    entries_[static_cast<size_t>(st.warm[i])].pos = static_cast<int32_t>(i);
+    st.warm.pop_back();
+    if (st.warm_hand > i) st.warm_hand = i;
+  } else {
+    HETGMP_DCHECK(e.state == TierState::kCold);
+    ++st.warm_c.misses;
+    ++st.cold_c.hits;
+    cold_->ReadRow(e.cold_row, table_->UnsafeMutableRow(x),
+                   table_->UnsafeMutableAccumRow(x));
+  }
+  e.state = TierState::kHot;
+  e.warm_slot = -1;
+  e.ref = 1;
+  e.pos = static_cast<int32_t>(st.hot.size());
+  st.hot.push_back(x);
+  ++st.hot_c.promotions;
+}
+
+void TieredEmbeddingStore::PromoteColdToWarmLocked(Stripe& st, FeatureId x,
+                                                   Entry& e) {
+  HETGMP_DCHECK(e.state == TierState::kCold);
+  const int32_t slot = TakeWarmSlotLocked(st);
+  cold_->ReadRow(e.cold_row, WarmValue(st, slot),
+                 table_->has_accum() ? WarmAccum(st, slot) : nullptr);
+  ++st.cold_c.hits;
+  e.state = TierState::kWarm;
+  e.warm_slot = slot;
+  e.pos = static_cast<int32_t>(st.warm.size());
+  e.ref = 1;
+  st.warm.push_back(x);
+  ++st.warm_c.promotions;
+}
+
+bool TieredEmbeddingStore::PinLocked(Stripe& st, FeatureId x) {
+  Entry& e = entries_[static_cast<size_t>(x)];
+  const bool resident = e.state == TierState::kHot;
+  if (resident) {
+    ++st.hot_c.hits;
+  } else {
+    // Synchronous fault: prefetch lost the race (or is off). Wall-clock
+    // accounted as stall; never folded into simulated time.
+    ++st.hot_c.misses;
+    const int64_t t0 = NowNs();
+    if (!MakeHotRoomLocked(st)) ++st.overflow;
+    PromoteLocked(st, x, e);
+    stall_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  }
+  ++e.pins;
+  e.ref = 1;
+  return resident;
+}
+
+void TieredEmbeddingStore::Pin(FeatureId x) {
+  Stripe& st = StripeOf(x);
+  MutexLock lock(st.mu);
+  PinLocked(st, x);
+}
+
+void TieredEmbeddingStore::Unpin(FeatureId x) {
+  Stripe& st = StripeOf(x);
+  MutexLock lock(st.mu);
+  Entry& e = entries_[static_cast<size_t>(x)];
+  HETGMP_DCHECK(e.pins > 0);
+  --e.pins;
+}
+
+void TieredEmbeddingStore::PinBatch(const FeatureId* xs, int64_t n) {
+  int64_t resident = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    Stripe& st = StripeOf(xs[i]);
+    MutexLock lock(st.mu);
+    if (PinLocked(st, xs[i])) ++resident;
+  }
+  pin_requests_.fetch_add(n, std::memory_order_relaxed);
+  pin_resident_.fetch_add(resident, std::memory_order_relaxed);
+}
+
+void TieredEmbeddingStore::UnpinBatch(const FeatureId* xs, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) Unpin(xs[i]);
+}
+
+void TieredEmbeddingStore::ReadRow(FeatureId x, float* out) {
+  Pin(x);
+  table_->ReadRow(x, out);
+  Unpin(x);
+}
+
+void TieredEmbeddingStore::ApplyGradient(FeatureId x, const float* grad) {
+  Pin(x);
+  table_->ApplyGradient(x, grad);
+  Unpin(x);
+}
+
+void TieredEmbeddingStore::PeekRow(FeatureId x, float* out) {
+  Stripe& st = StripeOf(x);
+  MutexLock lock(st.mu);
+  const Entry& e = entries_[static_cast<size_t>(x)];
+  switch (e.state) {
+    case TierState::kHot:
+      table_->ReadRow(x, out);  // RowMutex (60) nests inside stripe (52)
+      break;
+    case TierState::kWarm:
+      CopyRow(out, WarmValue(st, e.warm_slot), dim_);
+      break;
+    case TierState::kCold:
+      cold_->ReadRow(e.cold_row, out, nullptr);
+      break;
+  }
+}
+
+void TieredEmbeddingStore::Prefetch(FeatureId x) {
+  Stripe& st = StripeOf(x);
+  MutexLock lock(st.mu);
+  Entry& e = entries_[static_cast<size_t>(x)];
+  ++st.prefetch_features;
+  if (e.state == TierState::kHot) {
+    e.ref = 1;
+    ++st.prefetch_resident;
+    return;
+  }
+  if (MakeHotRoomLocked(st)) {
+    PromoteLocked(st, x, e);
+    ++st.prefetch_promoted;
+  } else if (e.state == TierState::kCold) {
+    // Every hot victim is pinned: settle for warm so the synchronous
+    // fault at pin time is a memcpy, not a disk read.
+    PromoteColdToWarmLocked(st, x, e);
+    ++st.prefetch_promoted;
+  }
+}
+
+TierState TieredEmbeddingStore::StateOf(FeatureId x) {
+  Stripe& st = StripeOf(x);
+  MutexLock lock(st.mu);
+  return entries_[static_cast<size_t>(x)].state;
+}
+
+int64_t TieredEmbeddingStore::ResidentRows() {
+  int64_t total = 0;
+  for (Stripe& st : stripes_) {
+    MutexLock lock(st.mu);
+    total += static_cast<int64_t>(st.hot.size());
+  }
+  return total;
+}
+
+int64_t TieredEmbeddingStore::WarmRows() {
+  int64_t total = 0;
+  for (Stripe& st : stripes_) {
+    MutexLock lock(st.mu);
+    total += static_cast<int64_t>(st.warm.size());
+  }
+  return total;
+}
+
+TieredStoreStats TieredEmbeddingStore::Stats() {
+  TieredStoreStats out;
+  for (Stripe& st : stripes_) {
+    MutexLock lock(st.mu);
+    out.hot.Merge(st.hot_c);
+    out.warm.Merge(st.warm_c);
+    out.cold.Merge(st.cold_c);
+    out.hot_overflow += st.overflow;
+    out.prefetch_features += st.prefetch_features;
+    out.prefetch_promoted += st.prefetch_promoted;
+    out.prefetch_already_resident += st.prefetch_resident;
+  }
+  out.stall_secs =
+      static_cast<double>(stall_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  out.pin_requests = pin_requests_.load(std::memory_order_relaxed);
+  out.pin_resident = pin_resident_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,176 @@
+#ifndef HETGMP_STORE_TIERED_STORE_H_
+#define HETGMP_STORE_TIERED_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "data/dataset.h"
+#include "embed/embedding_table.h"
+#include "store/cold_tier.h"
+#include "store/tier_stats.h"
+
+namespace hetgmp {
+
+// Which tier currently holds a feature's authoritative row.
+enum class TierState : uint8_t { kHot = 0, kWarm = 1, kCold = 2 };
+
+struct TieredStoreOptions {
+  int64_t hot_rows = 0;   // resident (EmbeddingTable arena) budget, rows
+  int64_t warm_rows = 0;  // bounded shared host tier budget, rows
+  int stripes = 64;
+  // Cold-tier file path; empty = a generated temp file unlinked right
+  // after creation (the spill must not outlive the process).
+  std::string cold_path;
+};
+
+// Three-tier storage hierarchy over the flat EmbeddingTable arena (the
+// MixCache/HET cache-enabled design from PAPERS.md): hot rows live in the
+// arena exactly where the engine's math expects them, warm rows in a
+// striped bounded host tier, cold rows in the mmap'd ColdTierFile. The
+// arena stays allocated at full size (this models the *device* tier of
+// the real system — the point is bounding how many rows are live there,
+// and the budget discipline is what the bench measures); rows outside
+// the hot set are demoted out and their arena bytes are dead (poisoned
+// in debug builds so a stale read trips immediately).
+//
+// Access protocol: a row may only be touched in the arena while the
+// feature is PINNED. Pin() faults the row hot synchronously (the
+// miss-stall path, wall-clock accounted); Unpin() makes it demotable
+// again. The engine pins a batch's unique features for the whole
+// iteration, so all existing RowMutex-striped math is unchanged. The
+// PrefetchPipeline calls Prefetch() off-thread to win the fault race.
+//
+// Migrations copy value AND optimizer-state bytes exactly, so a
+// deterministic run with tiering on reproduces the fully-resident
+// trajectory bit for bit (tests/store_test.cc asserts this).
+//
+// Thread-safety: per-feature metadata and tier membership are striped;
+// stripe mutexes carry lock_rank::kStoreWarm (52), nesting legally into
+// ColdTierFile::mu_ (54) and the arena's RowMutex stripes (60).
+class TieredEmbeddingStore {
+ public:
+  // `access_freq[x]` ranks features for initial placement: the top
+  // hot-budget features stay resident, the next warm-budget go warm,
+  // the tail spills cold. Fails if the cold file cannot be created.
+  static Result<std::unique_ptr<TieredEmbeddingStore>> Create(
+      EmbeddingTable* table, const std::vector<double>& access_freq,
+      const TieredStoreOptions& opts);
+
+  TieredEmbeddingStore(const TieredEmbeddingStore&) = delete;
+  TieredEmbeddingStore& operator=(const TieredEmbeddingStore&) = delete;
+
+  // Faults x hot if needed and holds it resident until Unpin. Pins nest.
+  void Pin(FeatureId x);
+  void Unpin(FeatureId x);
+  void PinBatch(const FeatureId* xs, int64_t n);
+  void UnpinBatch(const FeatureId* xs, int64_t n);
+
+  // Pinned read/update wrappers for rows not covered by a batch pin
+  // (LRU victim flushes, out-of-batch refreshes): pin, do the arena op
+  // under its RowMutex, unpin.
+  void ReadRow(FeatureId x, float* out);
+  void ApplyGradient(FeatureId x, const float* grad);
+
+  // Read-through without changing residency — evaluation and snapshot
+  // publishing. Safe concurrently with training (tier membership is read
+  // under the stripe lock; a hot row is read through the RowMutex).
+  void PeekRow(FeatureId x, float* out);
+
+  // Off-thread promotion (the PrefetchPipeline): promotes x cold→warm→hot
+  // without ever over-running the hot budget — if every victim is pinned
+  // it settles for warm, and the synchronous fault finishes the job.
+  void Prefetch(FeatureId x);
+
+  TierState StateOf(FeatureId x);
+  int64_t ResidentRows();  // current hot-tier occupancy across stripes
+  int64_t WarmRows();
+
+  TieredStoreStats Stats();
+
+  int64_t hot_budget() const { return hot_budget_; }
+  int64_t warm_budget() const { return warm_budget_; }
+  EmbeddingTable* table() const { return table_; }
+  const ColdTierFile* cold_file() const { return cold_.get(); }
+
+ private:
+  // Per-feature tier metadata. Guarded by the owning stripe's mutex (the
+  // stripe of x), which a single GUARDED_BY cannot express — same
+  // contract style as EmbeddingTable::values_.
+  struct Entry {
+    TierState state = TierState::kHot;
+    uint8_t ref = 0;       // clock reference bit
+    int32_t pins = 0;      // >0 ⇒ hot and not demotable
+    int32_t warm_slot = -1;
+    int32_t pos = -1;      // index in the stripe's hot/warm ring (by state)
+    int64_t cold_row = -1; // permanent cold record, -1 until first spill
+  };
+
+  struct Stripe {
+    Mutex mu{lock_rank::kStoreWarm};
+    std::vector<FeatureId> hot HETGMP_GUARDED_BY(mu);   // clock ring
+    std::vector<FeatureId> warm HETGMP_GUARDED_BY(mu);  // clock ring
+    size_t hot_hand HETGMP_GUARDED_BY(mu) = 0;
+    size_t warm_hand HETGMP_GUARDED_BY(mu) = 0;
+    std::vector<int32_t> free_warm HETGMP_GUARDED_BY(mu);
+    std::vector<float> warm_data HETGMP_GUARDED_BY(mu);  // slots * stride
+    CacheCounters hot_c HETGMP_GUARDED_BY(mu);
+    CacheCounters warm_c HETGMP_GUARDED_BY(mu);
+    CacheCounters cold_c HETGMP_GUARDED_BY(mu);
+    int64_t overflow HETGMP_GUARDED_BY(mu) = 0;
+    int64_t prefetch_features HETGMP_GUARDED_BY(mu) = 0;
+    int64_t prefetch_promoted HETGMP_GUARDED_BY(mu) = 0;
+    int64_t prefetch_resident HETGMP_GUARDED_BY(mu) = 0;
+  };
+
+  TieredEmbeddingStore(EmbeddingTable* table,
+                       std::unique_ptr<ColdTierFile> cold,
+                       const TieredStoreOptions& opts);
+
+  Stripe& StripeOf(FeatureId x) {
+    return stripes_[static_cast<size_t>(x) % stripes_.size()];
+  }
+  float* WarmValue(Stripe& st, int32_t slot) HETGMP_REQUIRES(st.mu);
+  float* WarmAccum(Stripe& st, int32_t slot) HETGMP_REQUIRES(st.mu);
+  // Debug builds fill a demoted row's arena bytes with NaN.
+  void PoisonArenaRow(FeatureId x);
+
+  // True if x was already hot; otherwise faults it in (stall-accounted).
+  bool PinLocked(Stripe& st, FeatureId x) HETGMP_REQUIRES(st.mu);
+  // Evicts hot victims until the stripe is under budget; false when every
+  // candidate is pinned (caller decides: overflow or settle for warm).
+  bool MakeHotRoomLocked(Stripe& st) HETGMP_REQUIRES(st.mu);
+  // warm/cold → arena; assumes hot room has been accounted for.
+  void PromoteLocked(Stripe& st, FeatureId x, Entry& e)
+      HETGMP_REQUIRES(st.mu);
+  void DemoteHotLocked(Stripe& st, size_t ring_idx) HETGMP_REQUIRES(st.mu);
+  // Frees (or steals) a warm slot, spilling a warm victim to cold.
+  int32_t TakeWarmSlotLocked(Stripe& st) HETGMP_REQUIRES(st.mu);
+  void PromoteColdToWarmLocked(Stripe& st, FeatureId x, Entry& e)
+      HETGMP_REQUIRES(st.mu);
+
+  EmbeddingTable* const table_;
+  std::unique_ptr<ColdTierFile> cold_;
+  const int dim_;
+  const int row_stride_;  // dim, or 2*dim when the optimizer keeps state
+  const int64_t hot_budget_;
+  const int64_t warm_budget_;
+  const int64_t hot_cap_;   // per-stripe
+  const int64_t warm_cap_;  // per-stripe
+  // lint: unguarded(striped by the stripe mutex of x: entries_[x] is only
+  // touched under StripeOf(x).mu; the vector itself is sized once)
+  std::vector<Entry> entries_;
+  std::vector<Stripe> stripes_;
+
+  std::atomic<int64_t> stall_ns_{0};
+  std::atomic<int64_t> pin_requests_{0};
+  std::atomic<int64_t> pin_resident_{0};
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_STORE_TIERED_STORE_H_

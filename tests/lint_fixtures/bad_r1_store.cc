@@ -1,0 +1,33 @@
+// Lint fixture: R1 violations against the ISSUE 7 storage ranks
+// (kStorePrefetch=15, kStoreWarm=52, kStoreCold=54). Never compiled —
+// only fed to hetgmp_lint by lint_test.cc.
+
+#include "common/thread_annotations.h"
+
+namespace hetgmp {
+
+class WrongStoreOrder {
+ public:
+  // The legal nesting is warm stripe (52) -> cold directory (54), the
+  // order TieredEmbeddingStore spills under. Acquiring the cold mutex
+  // first inverts it.
+  void ColdUnderWarmInverted() {
+    MutexLock outer(&cold_mu_);
+    MutexLock inner(&warm_mu_);  // R1: 52 under 54
+  }
+
+  // The prefetch pipeline's slot mutex (15) must be released before the
+  // store's stripes are touched; holding it across a warm acquisition is
+  // legal rank-wise, but taking it back INSIDE a stripe is not.
+  void PrefetchUnderWarmInverted() {
+    MutexLock stripe(&warm_mu_);
+    MutexLock slot(&prefetch_mu_);  // R1: 15 under 52
+  }
+
+ private:
+  Mutex prefetch_mu_{lock_rank::kStorePrefetch};
+  Mutex warm_mu_{lock_rank::kStoreWarm};
+  Mutex cold_mu_{lock_rank::kStoreCold};
+};
+
+}  // namespace hetgmp

@@ -47,6 +47,18 @@ TEST(LintFixtures, R1RankInversionAndLeafFlagged) {
   EXPECT_NE(fs[1].message.find("leaf"), std::string::npos);
 }
 
+// The ISSUE 7 storage ranks (prefetch 15 / warm 52 / cold 54) are real
+// entries in the rank table, not special cases: inversions among them
+// are flagged like any other.
+TEST(LintFixtures, R1StoreRankInversionsFlagged) {
+  std::vector<Finding> fs = LintFixture("bad_r1_store.cc");
+  ASSERT_EQ(fs.size(), 2u) << FindingsToJson(fs);
+  EXPECT_EQ(fs[0].rule, "R1");
+  EXPECT_EQ(fs[1].rule, "R1");
+  EXPECT_NE(fs[0].message.find("inversion"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("inversion"), std::string::npos);
+}
+
 TEST(LintFixtures, R1DoubleStripeFlagged) {
   std::vector<Finding> fs = LintFixture("bad_r1_stripes.cc");
   ASSERT_EQ(fs.size(), 1u) << FindingsToJson(fs);

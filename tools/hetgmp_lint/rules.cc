@@ -412,8 +412,9 @@ const std::map<std::string, int>& RankTable() {
   // Mirror of lock_rank in src/common/thread_annotations.h. lint_test.cc
   // parses that header and asserts the two tables are identical.
   static const std::map<std::string, int> kRanks = {
-      {"kNone", 0},         {"kBatcher", 10},     {"kSnapshotPublish", 20},
-      {"kSnapshotSlot", 30}, {"kServeShard", 40}, {"kEngineMerge", 50},
+      {"kNone", 0},          {"kBatcher", 10},    {"kStorePrefetch", 15},
+      {"kSnapshotPublish", 20}, {"kSnapshotSlot", 30}, {"kServeShard", 40},
+      {"kEngineMerge", 50},  {"kStoreWarm", 52},  {"kStoreCold", 54},
       {"kEmbedStripe", 60},  {"kLeaf", 100},
   };
   return kRanks;
