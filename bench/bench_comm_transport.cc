@@ -1,0 +1,154 @@
+// Transport backend microbench (ISSUE 8): framed ping-pong cost and ring
+// AllReduce throughput for the in-proc mailbox backend vs the socket
+// backend (socketpair, in-process threads — the serialization and
+// framing cost without scheduler noise from real process worlds).
+//
+// Each configuration emits one "BENCH_JSON " line (mirrored to
+// $HETGMP_BENCH_JSON):
+//
+//   {"bench":"comm_transport","mode":"pingpong","backend":"...",
+//    "payload_bytes":N,"iters":N,"us_per_roundtrip":F}
+//   {"bench":"comm_transport","mode":"allreduce","backend":"...",
+//    "world":N,"floats":N,"reps":N,"wall_s":F,"mb_per_s":F}
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "comm/protocol.h"
+#include "comm/socket_transport.h"
+#include "comm/transport.h"
+#include "common/logging.h"
+#include "tensor/tensor.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+
+namespace {
+
+struct World {
+  std::unique_ptr<InProcTransportGroup> group;
+  std::vector<std::unique_ptr<SocketFabric>> socks;
+  std::vector<Transport*> ep;
+};
+
+World MakeWorld(const std::string& backend, int n) {
+  World w;
+  TransportOptions opts;
+  opts.recv_timeout_ms = 60000;
+  if (backend == "inproc") {
+    w.group = std::make_unique<InProcTransportGroup>(n, nullptr, opts);
+    for (int r = 0; r < n; ++r) w.ep.push_back(w.group->endpoint(r));
+  } else {
+    Result<std::vector<std::vector<int>>> mesh =
+        SocketFabric::CreateLocalMesh(n);
+    HETGMP_CHECK(mesh.ok());
+    for (int r = 0; r < n; ++r) {
+      w.socks.push_back(SocketFabric::FromFds(r, n, mesh.value()[r], opts));
+      w.ep.push_back(w.socks.back().get());
+    }
+  }
+  return w;
+}
+
+double NowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void BenchPingPong(BenchJsonSink& sink, const std::string& backend,
+                   size_t payload_bytes, int iters) {
+  World w = MakeWorld(backend, 2);
+  std::vector<uint8_t> payload(payload_bytes, 0x5A);
+  std::vector<uint8_t> recv_buf;
+  const double t0 = NowS();
+  for (int i = 0; i < iters; ++i) {
+    const uint32_t tag = static_cast<uint32_t>(i);
+    HETGMP_CHECK_OK(w.ep[0]->Send(1, TrafficClass::kEmbedding, tag,
+                                  payload.data(), payload.size()));
+    HETGMP_CHECK_OK(
+        w.ep[1]->Recv(0, TrafficClass::kEmbedding, tag, &recv_buf));
+    HETGMP_CHECK_OK(w.ep[1]->Send(0, TrafficClass::kEmbedding, tag,
+                                  recv_buf.data(), recv_buf.size()));
+    HETGMP_CHECK_OK(
+        w.ep[0]->Recv(1, TrafficClass::kEmbedding, tag, &recv_buf));
+  }
+  const double wall = NowS() - t0;
+  std::printf("  %-8s payload %8zu B: %8.2f us/roundtrip\n",
+              backend.c_str(), payload_bytes, wall / iters * 1e6);
+  sink.Emit(JsonLine()
+                .Str("bench", "comm_transport")
+                .Str("mode", "pingpong")
+                .Str("backend", backend)
+                .Int("payload_bytes", static_cast<long long>(payload_bytes))
+                .Int("iters", iters)
+                .Num("us_per_roundtrip", wall / iters * 1e6));
+}
+
+void BenchAllReduce(BenchJsonSink& sink, const std::string& backend,
+                    int world, int64_t floats, int reps) {
+  World w = MakeWorld(backend, world);
+  std::vector<Tensor> tensors;
+  tensors.reserve(world);
+  for (int r = 0; r < world; ++r) {
+    tensors.emplace_back(std::vector<int64_t>{floats}, 1.0f * (r + 1));
+  }
+  const double t0 = NowS();
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<std::thread> threads;
+    for (int r = 1; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<Tensor*> mine = {&tensors[r]};
+        HETGMP_CHECK_OK(TransportAllReduceAverage(w.ep[r], mine));
+      });
+    }
+    std::vector<Tensor*> mine = {&tensors[0]};
+    HETGMP_CHECK_OK(TransportAllReduceAverage(w.ep[0], mine));
+    for (auto& t : threads) t.join();
+  }
+  const double wall = NowS() - t0;
+  // Bytes each rank moves per AllReduce: 2(N-1)/N of its payload.
+  const double mb = static_cast<double>(reps) * 2.0 * (world - 1) / world *
+                    static_cast<double>(floats) * 4.0 / 1e6;
+  std::printf("  %-8s world %d, %8lld floats: %8.1f MB/s per rank\n",
+              backend.c_str(), world, static_cast<long long>(floats),
+              mb / wall);
+  sink.Emit(JsonLine()
+                .Str("bench", "comm_transport")
+                .Str("mode", "allreduce")
+                .Str("backend", backend)
+                .Int("world", world)
+                .Int("floats", static_cast<long long>(floats))
+                .Int("reps", reps)
+                .Num("wall_s", wall, 4)
+                .Num("mb_per_s", mb / wall, 1));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Transport backend microbench: framing + AllReduce",
+              "ISSUE 8 (multi-process Fabric backend), DESIGN.md 5g");
+  const double scale = EnvScale(1.0);
+  BenchJsonSink sink;
+
+  std::printf("ping-pong (one round trip = 2 Send + 2 Recv):\n");
+  const int pp_iters = std::max(1, static_cast<int>(2000 * scale));
+  for (const auto& backend : {std::string("inproc"), std::string("socket")}) {
+    BenchPingPong(sink, backend, 64, pp_iters);
+    BenchPingPong(sink, backend, 64 * 1024, pp_iters / 4 + 1);
+  }
+
+  std::printf("ring AllReduce-average (4 ranks, threads):\n");
+  const int64_t floats = static_cast<int64_t>(1 << 20) *
+                         std::max(1, static_cast<int>(scale));
+  for (const auto& backend : {std::string("inproc"), std::string("socket")}) {
+    BenchAllReduce(sink, backend, 4, floats, 3);
+  }
+  return 0;
+}

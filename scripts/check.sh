@@ -25,6 +25,16 @@
 #                               # tiered-vs-resident bit-equality) under
 #                               # TSan, then the tiering bench on a tiny
 #                               # table with JSON output
+#   scripts/check.sh comm-smoke
+#                               # transport gate: the backend-parameterized
+#                               # conformance suite, the fault-injection
+#                               # property suite, and the Fabric
+#                               # accounting tests under TSan, then a
+#                               # release build running the real
+#                               # multi-process socket tests (fork driver
+#                               # + TCP rendezvous + injected fault, which
+#                               # TSan skips) and the transport bench with
+#                               # JSON output
 #   scripts/check.sh lint       # hetgmp_lint (R1-R5 project contracts)
 #                               # over the compile database + all of
 #                               # src/; findings JSON artifact at
@@ -76,8 +86,8 @@ run_mode() {
       ;;
     *)
       echo "unknown mode: ${mode} (expected release, tsan, asan-ubsan," \
-           "lint, lockrank, partitioner-smoke, hotpath-smoke, or" \
-           "storage-smoke)" >&2
+           "lint, lockrank, partitioner-smoke, hotpath-smoke," \
+           "storage-smoke, or comm-smoke)" >&2
       return 2
       ;;
   esac
@@ -202,6 +212,51 @@ run_storage_smoke() {
   echo "==== [storage-smoke] OK"
 }
 
+# Focused gate for the multi-process transport (DESIGN.md §5g): the
+# backend-parameterized conformance suite, the fault-injection property
+# suite, and the existing Fabric accounting tests under TSan — the
+# thread-visible surface (in-proc mailboxes, socket mesh driven from
+# threads) must be race-free — then a release build running the same two
+# suites *with* the pieces TSan skips (fork-based multi-process worlds,
+# TCP rendezvous with an injected-fault schedule, death tests) and the
+# transport bench, harvesting the one-line JSON summaries for CI
+# artifacts.
+run_comm_smoke() {
+  local tsan_dir="${base}/tsan"
+  local rel_dir="${base}/release-bench"
+  local filter='TransportConformance|TransportAccountingParity|SocketTransportTest|MultiProcSocketTest|RendezvousTest|WireTest|WireDeathTest|SocketFaultTest|ProtocolFaultTest|FaultScheduleTest|FabricTest'
+
+  echo "==== [comm-smoke] configure + build (tsan)"
+  cmake -B "${tsan_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DHETGMP_SANITIZE=thread -DHETGMP_BUILD_BENCHMARKS=OFF \
+    -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${tsan_dir}" -j "${jobs}" --target \
+    comm_transport_test comm_fault_test comm_test
+  echo "==== [comm-smoke] transport + fault + fabric tests under TSan"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
+      --no-tests=error -R "${filter}"
+
+  echo "==== [comm-smoke] configure + build (release: multi-process + bench)"
+  cmake -B "${rel_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${rel_dir}" -j "${jobs}" --target \
+    comm_transport_test comm_fault_test bench_comm_transport
+  echo "==== [comm-smoke] multi-process socket tests (fork driver," \
+       "rendezvous, injected fault)"
+  # Same suites as above (ctest registers gtest suite names, not binary
+  # names); this run includes the fork/rendezvous/death pieces TSan skips.
+  ctest --test-dir "${rel_dir}" --output-on-failure -j "${jobs}" \
+    --no-tests=error -R "${filter}"
+  echo "==== [comm-smoke] transport bench"
+  HETGMP_BENCH_SCALE="${HETGMP_BENCH_SCALE:-0.2}" \
+  HETGMP_BENCH_JSON="${rel_dir}/BENCH_comm_transport.json" \
+    "${rel_dir}/bench/bench_comm_transport"
+  echo "==== [comm-smoke] JSON summary at" \
+       "${rel_dir}/BENCH_comm_transport.json"
+  echo "==== [comm-smoke] OK"
+}
+
 # Project-contract lint gate: builds tools/hetgmp_lint and runs it over
 # the compile database plus every header under src/. Fails on any
 # finding; always writes the machine-readable findings artifact (empty
@@ -234,6 +289,8 @@ for mode in "${modes[@]}"; do
     run_hotpath_smoke
   elif [[ "${mode}" == "storage-smoke" ]]; then
     run_storage_smoke
+  elif [[ "${mode}" == "comm-smoke" ]]; then
+    run_comm_smoke
   elif [[ "${mode}" == "lint" ]]; then
     run_lint
   else

@@ -1,0 +1,114 @@
+#include "comm/fault_transport.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+namespace {
+
+std::string Describe(const char* what, int dst, TrafficClass cls,
+                     uint32_t tag, size_t len) {
+  std::ostringstream os;
+  os << what << " dst=" << dst << " cls=" << TrafficClassName(cls)
+     << " tag=" << tag << " len=" << len;
+  return os.str();
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(Transport* inner, FaultOptions options)
+    : inner_(inner), options_(options), rng_(options.seed) {
+  HETGMP_CHECK(inner != nullptr);
+  HETGMP_CHECK_GT(options.max_delay_sends, 0);
+}
+
+Status FaultyTransport::Send(int dst, TrafficClass cls, uint32_t tag,
+                             const void* data, size_t len) {
+  // Validate even for frames about to be dropped: a bad peer rank is the
+  // caller's bug regardless of the schedule.
+  HETGMP_RETURN_IF_ERROR(ValidatePeer(*inner_, dst, "Send"));
+
+  // Decisions are drawn in a fixed order so a schedule is a pure function
+  // of (seed, call sequence).
+  const bool drop = rng_.NextBool(options_.drop_prob);
+  const bool truncate = rng_.NextBool(options_.truncate_prob);
+  const bool duplicate = rng_.NextBool(options_.duplicate_prob);
+  const bool delay = rng_.NextBool(options_.delay_prob);
+
+  Status st;
+  if (drop) {
+    injected_.push_back(Describe("drop", dst, cls, tag, len));
+  } else {
+    size_t send_len = len;
+    if (truncate && len > 0) {
+      send_len = static_cast<size_t>(rng_.NextUint64(len));
+      injected_.push_back(Describe("truncate", dst, cls, tag, send_len));
+    }
+    if (delay) {
+      Held h;
+      h.dst = dst;
+      h.cls = cls;
+      h.tag = tag;
+      const auto* bytes = static_cast<const uint8_t*>(data);
+      h.payload.assign(bytes, bytes + send_len);
+      h.sends_left =
+          1 + static_cast<int>(rng_.NextUint64(
+                  static_cast<uint64_t>(options_.max_delay_sends)));
+      injected_.push_back(Describe("delay", dst, cls, tag, send_len));
+      held_.push_back(std::move(h));
+    } else {
+      st = inner_->Send(dst, cls, tag, data, send_len);
+      if (st.ok() && duplicate) {
+        injected_.push_back(Describe("duplicate", dst, cls, tag, send_len));
+        st = inner_->Send(dst, cls, tag, data, send_len);
+      }
+    }
+  }
+
+  const Status aged = AgeAndRelease();
+  return st.ok() ? aged : st;
+}
+
+Status FaultyTransport::Recv(int src, TrafficClass cls, uint32_t tag,
+                             std::vector<uint8_t>* payload) {
+  return inner_->Recv(src, cls, tag, payload);
+}
+
+Status FaultyTransport::AgeAndRelease() {
+  Status first_error;
+  size_t kept = 0;
+  for (size_t i = 0; i < held_.size(); ++i) {
+    Held& h = held_[i];
+    if (--h.sends_left <= 0) {
+      const Status st =
+          inner_->Send(h.dst, h.cls, h.tag, h.payload.data(),
+                       h.payload.size());
+      if (!st.ok() && first_error.ok()) first_error = st;
+    } else {
+      if (kept != i) held_[kept] = std::move(h);
+      ++kept;
+    }
+  }
+  held_.resize(kept);
+  return first_error;
+}
+
+size_t FaultyTransport::ReleaseDelayed() {
+  const size_t n = held_.size();
+  Status first_error;
+  for (Held& h : held_) {
+    const Status st = inner_->Send(h.dst, h.cls, h.tag, h.payload.data(),
+                                   h.payload.size());
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  held_.clear();
+  // Release is best-effort by design: a dead peer at drain time is the
+  // receiver's kUnavailable/kDeadlineExceeded to report.
+  HETGMP_IGNORE_STATUS(first_error);
+  return n;
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,100 @@
+#ifndef HETGMP_COMM_FAULT_TRANSPORT_H_
+#define HETGMP_COMM_FAULT_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/transport.h"
+#include "common/random.h"
+
+namespace hetgmp {
+
+// Deterministic seeded fault injection for any Transport backend
+// (DESIGN.md §5g fault matrix). The wrapper perturbs the *send* side —
+// the one place both backends look identical — so one schedule drives
+// the in-proc mailboxes and the socket stream the same way:
+//
+//   drop       frame silently vanishes (receiver sees kDeadlineExceeded)
+//   truncate   only a prefix of the payload is sent; the frame itself is
+//              well-formed, so corruption surfaces where it should: in
+//              the typed protocol decoder, as a Status
+//   duplicate  frame delivered twice (stale duplicate must be ignorable)
+//   delay      frame held back across 1..max_delay_sends later Sends,
+//              then released — reordering across tags
+//
+// All randomness comes from one Rng seeded by `seed`, so a schedule is a
+// pure function of (seed, call sequence): a failing seed replays exactly.
+// The property under test (tests/comm_fault_test.cc): any schedule ends
+// in success or a propagated Status within the recv deadline — never a
+// hang, never a CHECK abort on the receive side.
+struct FaultOptions {
+  uint64_t seed = 1;
+  double drop_prob = 0.0;
+  double truncate_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double delay_prob = 0.0;
+  // Upper bound on how many subsequent Sends a delayed frame may wait.
+  int max_delay_sends = 3;
+};
+
+class FaultyTransport : public Transport {
+ public:
+  // `inner` must outlive the wrapper. Single-caller contract is inherited
+  // from Transport (the held-frame queue is unsynchronized on purpose).
+  FaultyTransport(Transport* inner, FaultOptions options);
+
+  const char* backend_name() const override {
+    return inner_->backend_name();
+  }
+  int rank() const override { return inner_->rank(); }
+  int world_size() const override { return inner_->world_size(); }
+
+  Status Send(int dst, TrafficClass cls, uint32_t tag, const void* data,
+              size_t len) override;
+  Status Recv(int src, TrafficClass cls, uint32_t tag,
+              std::vector<uint8_t>* payload) override;
+  // Flush drains the inner backend only; frames the wrapper is holding
+  // back stay held (that is the fault being injected).
+  Status Flush() override { return inner_->Flush(); }
+
+  // Tallies delegate to the inner backend: they report what actually
+  // moved, which is the point of the accounting.
+  uint64_t SentPayloadBytes(int dst, TrafficClass cls) const override {
+    return inner_->SentPayloadBytes(dst, cls);
+  }
+  uint64_t ReceivedPayloadBytes(int src, TrafficClass cls) const override {
+    return inner_->ReceivedPayloadBytes(src, cls);
+  }
+
+  // Releases every still-held delayed frame in FIFO order; returns how
+  // many were flushed. Call at end-of-schedule when the scenario should
+  // converge rather than time out on a frame nobody will ever age out.
+  size_t ReleaseDelayed();
+
+  // Human-readable log of every fault injected so far, in order —
+  // failing property-test seeds print this for replay triage.
+  const std::vector<std::string>& injected() const { return injected_; }
+
+ private:
+  struct Held {
+    int dst;
+    TrafficClass cls;
+    uint32_t tag;
+    std::vector<uint8_t> payload;
+    int sends_left;  // released once this reaches zero
+  };
+
+  // Ages held frames by one Send and flushes the due ones.
+  Status AgeAndRelease();
+
+  Transport* const inner_;
+  const FaultOptions options_;
+  Rng rng_;
+  std::vector<Held> held_;
+  std::vector<std::string> injected_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMM_FAULT_TRANSPORT_H_

@@ -1,0 +1,293 @@
+#include "comm/protocol.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+namespace {
+
+// Message kinds (first payload byte); the transport frame already carries
+// the traffic class, the kind byte catches class/decoder mismatches.
+constexpr uint8_t kKindIndexClock = 1;
+constexpr uint8_t kKindEmbeddingBlock = 2;
+
+constexpr size_t kIndexClockHeader = 16;     // kind+pad(4) count(4) clock(8)
+constexpr size_t kEmbeddingBlockHeader = 12; // kind+pad(4) count(4) dim(4)
+
+void PutU32(uint32_t v, std::vector<uint8_t>* buf) {
+  buf->push_back(static_cast<uint8_t>(v));
+  buf->push_back(static_cast<uint8_t>(v >> 8));
+  buf->push_back(static_cast<uint8_t>(v >> 16));
+  buf->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* buf) {
+  PutU32(static_cast<uint32_t>(v), buf);
+  PutU32(static_cast<uint32_t>(v >> 32), buf);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+void PutF32(float v, std::vector<uint8_t>* buf) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits, buf);
+}
+
+float GetF32(const uint8_t* p) {
+  const uint32_t bits = GetU32(p);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Status Malformed(const char* what, const char* why) {
+  return Status::InvalidArgument(std::string("decode ") + what + ": " + why +
+                                 " (truncated or corrupt message)");
+}
+
+}  // namespace
+
+uint64_t IndexClockWireBytes(size_t num_ids) {
+  return kIndexClockHeader + num_ids * kIdBytes;
+}
+
+uint64_t EmbeddingBlockWireBytes(size_t num_ids, int32_t dim) {
+  return kEmbeddingBlockHeader +
+         num_ids * (kIdBytes + 4 * static_cast<uint64_t>(dim));
+}
+
+std::vector<uint8_t> EncodeIndexClock(const IndexClockMsg& msg) {
+  HETGMP_CHECK_LE(msg.ids.size(), UINT32_MAX);
+  std::vector<uint8_t> buf;
+  buf.reserve(IndexClockWireBytes(msg.ids.size()));
+  buf.push_back(kKindIndexClock);
+  buf.insert(buf.end(), 3, 0);  // pad
+  PutU32(static_cast<uint32_t>(msg.ids.size()), &buf);
+  PutU64(msg.clock, &buf);
+  for (FeatureId id : msg.ids) PutU64(static_cast<uint64_t>(id), &buf);
+  return buf;
+}
+
+Status DecodeIndexClock(const uint8_t* data, size_t len, IndexClockMsg* out) {
+  if (len < kIndexClockHeader) return Malformed("IndexClock", "short header");
+  if (data[0] != kKindIndexClock) {
+    return Malformed("IndexClock", "wrong kind byte");
+  }
+  const uint32_t count = GetU32(data + 4);
+  if (len != IndexClockWireBytes(count)) {
+    return Malformed("IndexClock", "length does not match id count");
+  }
+  out->clock = GetU64(data + 8);
+  out->ids.resize(count);
+  const uint8_t* p = data + kIndexClockHeader;
+  for (uint32_t i = 0; i < count; ++i, p += 8) {
+    out->ids[i] = static_cast<FeatureId>(GetU64(p));
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeEmbeddingBlock(const EmbeddingBlockMsg& msg) {
+  HETGMP_CHECK_GE(msg.dim, 0);
+  HETGMP_CHECK_LE(msg.ids.size(), UINT32_MAX);
+  HETGMP_CHECK_EQ(msg.values.size(),
+                  msg.ids.size() * static_cast<size_t>(msg.dim));
+  std::vector<uint8_t> buf;
+  buf.reserve(EmbeddingBlockWireBytes(msg.ids.size(), msg.dim));
+  buf.push_back(kKindEmbeddingBlock);
+  buf.insert(buf.end(), 3, 0);  // pad
+  PutU32(static_cast<uint32_t>(msg.ids.size()), &buf);
+  PutU32(static_cast<uint32_t>(msg.dim), &buf);
+  for (FeatureId id : msg.ids) PutU64(static_cast<uint64_t>(id), &buf);
+  for (float v : msg.values) PutF32(v, &buf);
+  return buf;
+}
+
+Status DecodeEmbeddingBlock(const uint8_t* data, size_t len,
+                            EmbeddingBlockMsg* out) {
+  if (len < kEmbeddingBlockHeader) {
+    return Malformed("EmbeddingBlock", "short header");
+  }
+  if (data[0] != kKindEmbeddingBlock) {
+    return Malformed("EmbeddingBlock", "wrong kind byte");
+  }
+  const uint32_t count = GetU32(data + 4);
+  const uint32_t dim = GetU32(data + 8);
+  if (dim > static_cast<uint32_t>(INT32_MAX)) {
+    return Malformed("EmbeddingBlock", "dim out of range");
+  }
+  if (len != EmbeddingBlockWireBytes(count, static_cast<int32_t>(dim))) {
+    return Malformed("EmbeddingBlock", "length does not match count*dim");
+  }
+  out->dim = static_cast<int32_t>(dim);
+  out->ids.resize(count);
+  const uint8_t* p = data + kEmbeddingBlockHeader;
+  for (uint32_t i = 0; i < count; ++i, p += 8) {
+    out->ids[i] = static_cast<FeatureId>(GetU64(p));
+  }
+  const size_t nvals = static_cast<size_t>(count) * dim;
+  out->values.resize(nvals);
+  for (size_t i = 0; i < nvals; ++i, p += 4) out->values[i] = GetF32(p);
+  return Status::OK();
+}
+
+Status SendIndexClock(Transport* t, int dst, uint32_t tag,
+                      const IndexClockMsg& msg) {
+  const std::vector<uint8_t> buf = EncodeIndexClock(msg);
+  return t->Send(dst, TrafficClass::kIndexClock, tag, buf.data(), buf.size());
+}
+
+Status RecvIndexClock(Transport* t, int src, uint32_t tag,
+                      IndexClockMsg* out) {
+  std::vector<uint8_t> buf;
+  HETGMP_RETURN_IF_ERROR(t->Recv(src, TrafficClass::kIndexClock, tag, &buf));
+  return DecodeIndexClock(buf.data(), buf.size(), out);
+}
+
+Status SendEmbeddingBlock(Transport* t, int dst, uint32_t tag,
+                          const EmbeddingBlockMsg& msg) {
+  const std::vector<uint8_t> buf = EncodeEmbeddingBlock(msg);
+  return t->Send(dst, TrafficClass::kEmbedding, tag, buf.data(), buf.size());
+}
+
+Status RecvEmbeddingBlock(Transport* t, int src, uint32_t tag,
+                          EmbeddingBlockMsg* out) {
+  std::vector<uint8_t> buf;
+  HETGMP_RETURN_IF_ERROR(t->Recv(src, TrafficClass::kEmbedding, tag, &buf));
+  return DecodeEmbeddingBlock(buf.data(), buf.size(), out);
+}
+
+Status ExchangeIndexClockThenEmbeddings(Transport* t, int peer,
+                                        uint32_t round,
+                                        const IndexClockMsg& my_index,
+                                        const EmbeddingBlockMsg& my_block,
+                                        IndexClockMsg* peer_index,
+                                        EmbeddingBlockMsg* peer_block) {
+  // Both sends complete before either receive so the symmetric call
+  // cannot deadlock (Send is buffered on every backend).
+  HETGMP_RETURN_IF_ERROR(SendIndexClock(t, peer, round, my_index));
+  HETGMP_RETURN_IF_ERROR(SendEmbeddingBlock(t, peer, round, my_block));
+  HETGMP_RETURN_IF_ERROR(RecvIndexClock(t, peer, round, peer_index));
+  HETGMP_RETURN_IF_ERROR(RecvEmbeddingBlock(t, peer, round, peer_block));
+  // Our receives completing proves nothing about our *sends*: on a
+  // buffered backend part of them may still be queued while the peer is
+  // blocked waiting. Drain before returning so a rank that goes quiet
+  // after the exchange cannot starve its peer.
+  return t->Flush();
+}
+
+Status TransportAllReduceAverage(Transport* t,
+                                 const std::vector<Tensor*>& tensors) {
+  const int n = t->world_size();
+  const int r = t->rank();
+  int64_t total = 0;
+  for (const Tensor* tensor : tensors) {
+    HETGMP_CHECK(tensor != nullptr);
+    total += tensor->size();
+  }
+  if (n == 1 || total == 0) return Status::OK();
+
+  // Flatten: the ring works on one contiguous buffer split into n chunks.
+  std::vector<float> flat(static_cast<size_t>(total));
+  {
+    int64_t off = 0;
+    for (const Tensor* tensor : tensors) {
+      std::memcpy(flat.data() + off, tensor->data(),
+                  static_cast<size_t>(tensor->size()) * sizeof(float));
+      off += tensor->size();
+    }
+  }
+
+  const auto lo = [&](int c) { return static_cast<int64_t>(c) * total / n; };
+  const int next = (r + 1) % n;
+  const int prev = (r - 1 + n) % n;
+  std::vector<uint8_t> buf;
+  std::vector<float> scratch;
+
+  const auto recv_chunk = [&](uint32_t tag, int chunk,
+                              const float** vals) -> Status {
+    HETGMP_RETURN_IF_ERROR(t->Recv(prev, TrafficClass::kAllReduce, tag, &buf));
+    const int64_t count = lo(chunk + 1) - lo(chunk);
+    if (buf.size() != static_cast<size_t>(count) * sizeof(float)) {
+      return Status::Internal("allreduce: chunk " + std::to_string(chunk) +
+                              " arrived with " + std::to_string(buf.size()) +
+                              " bytes, want " +
+                              std::to_string(count * sizeof(float)));
+    }
+    scratch.resize(static_cast<size_t>(count));
+    std::memcpy(scratch.data(), buf.data(), buf.size());
+    *vals = scratch.data();
+    return Status::OK();
+  };
+
+  // Reduce-scatter: after step s, the chunk received in that step holds
+  // the partial sum of s+2 ranks; after n-1 steps rank r owns the full
+  // sum of chunk (r+1) mod n.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_chunk = (r - s % n + n) % n;
+    const int recv_c = (r - s - 1 + 2 * n) % n;
+    HETGMP_RETURN_IF_ERROR(t->Send(
+        next, TrafficClass::kAllReduce, static_cast<uint32_t>(s),
+        flat.data() + lo(send_chunk),
+        static_cast<size_t>(lo(send_chunk + 1) - lo(send_chunk)) *
+            sizeof(float)));
+    const float* vals = nullptr;
+    HETGMP_RETURN_IF_ERROR(
+        recv_chunk(static_cast<uint32_t>(s), recv_c, &vals));
+    float* dst = flat.data() + lo(recv_c);
+    const int64_t count = lo(recv_c + 1) - lo(recv_c);
+    for (int64_t i = 0; i < count; ++i) dst[i] += vals[i];
+  }
+
+  // Scale the owned chunk: downstream ranks receive averages directly.
+  {
+    const int own = (r + 1) % n;
+    const float inv = 1.0f / static_cast<float>(n);
+    for (int64_t i = lo(own); i < lo(own + 1); ++i) flat[i] *= inv;
+  }
+
+  // Allgather: circulate completed chunks; tags offset by 1000 to stay
+  // disjoint from the reduce-scatter tag range.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_chunk = (r + 1 - s + 2 * n) % n;
+    const int recv_c = (r - s + 2 * n) % n;
+    HETGMP_RETURN_IF_ERROR(t->Send(
+        next, TrafficClass::kAllReduce, static_cast<uint32_t>(1000 + s),
+        flat.data() + lo(send_chunk),
+        static_cast<size_t>(lo(send_chunk + 1) - lo(send_chunk)) *
+            sizeof(float)));
+    const float* vals = nullptr;
+    HETGMP_RETURN_IF_ERROR(
+        recv_chunk(static_cast<uint32_t>(1000 + s), recv_c, &vals));
+    std::memcpy(flat.data() + lo(recv_c), vals,
+                static_cast<size_t>(lo(recv_c + 1) - lo(recv_c)) *
+                    sizeof(float));
+  }
+
+  // Scatter the averaged buffer back into the tensors.
+  {
+    int64_t off = 0;
+    for (Tensor* tensor : tensors) {
+      std::memcpy(tensor->data(), flat.data() + off,
+                  static_cast<size_t>(tensor->size()) * sizeof(float));
+      off += tensor->size();
+    }
+  }
+  // The last allgather Send may still sit in a buffered backend's queue
+  // (the successor's final Recv depends on it, and this rank makes no
+  // further transport calls inside the collective) — drain it.
+  return t->Flush();
+}
+
+}  // namespace hetgmp

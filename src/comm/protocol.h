@@ -1,0 +1,94 @@
+#ifndef HETGMP_COMM_PROTOCOL_H_
+#define HETGMP_COMM_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/transport.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// Typed message layer over Transport (DESIGN.md §5g). The §6 exchange —
+// indices + clock first, embedding payload after — and the dense ring
+// AllReduce are expressed here once, against the Transport interface, so
+// the identical protocol code drives the in-proc and socket backends;
+// tests/comm_transport_test.cc runs one conformance body against both.
+//
+// Accounting constants: one sparse index entry and one clock metadata
+// entry on the wire. These are the simulator's §6 cost-model figures —
+// the engine charges fetch/push traffic as N·kIdBytes (+ kClockBytes per
+// refresh) through Fabric::Transfer — and the typed encodings below use
+// the same 8-byte ids and 8-byte clocks, plus a fixed self-describing
+// message header the cost model deliberately ignores (it is O(1) per
+// message, not per entry).
+inline constexpr uint64_t kIdBytes = 8;     // sparse index entry
+inline constexpr uint64_t kClockBytes = 8;  // clock metadata entry
+
+// Step one of the §6 exchange: which rows the peer should send back, and
+// the sender's sync clock for staleness screening.
+struct IndexClockMsg {
+  std::vector<FeatureId> ids;
+  uint64_t clock = 0;
+};
+
+// Step two: the embedding rows themselves, ids paired with a dense
+// [ids.size() x dim] value block (values.size() == ids.size() * dim).
+struct EmbeddingBlockMsg {
+  int32_t dim = 0;
+  std::vector<FeatureId> ids;
+  std::vector<float> values;
+};
+
+// Encoded payload sizes (message header included). Encodings are
+// little-endian and host-endianness-independent.
+uint64_t IndexClockWireBytes(size_t num_ids);
+uint64_t EmbeddingBlockWireBytes(size_t num_ids, int32_t dim);
+
+// Encode never fails (programmer-error shapes CHECK); Decode returns
+// kInvalidArgument on anything malformed — wrong kind byte, count/length
+// mismatch (which is how a fault-injected truncation surfaces), or an
+// inconsistent values block. Decode never aborts.
+std::vector<uint8_t> EncodeIndexClock(const IndexClockMsg& msg);
+Status DecodeIndexClock(const uint8_t* data, size_t len, IndexClockMsg* out);
+std::vector<uint8_t> EncodeEmbeddingBlock(const EmbeddingBlockMsg& msg);
+Status DecodeEmbeddingBlock(const uint8_t* data, size_t len,
+                            EmbeddingBlockMsg* out);
+
+// Typed send/recv: class kIndexClock for index+clock frames, kEmbedding
+// for row blocks. Tags distinguish concurrent rounds.
+Status SendIndexClock(Transport* t, int dst, uint32_t tag,
+                      const IndexClockMsg& msg);
+Status RecvIndexClock(Transport* t, int src, uint32_t tag,
+                      IndexClockMsg* out);
+Status SendEmbeddingBlock(Transport* t, int dst, uint32_t tag,
+                          const EmbeddingBlockMsg& msg);
+Status RecvEmbeddingBlock(Transport* t, int src, uint32_t tag,
+                          EmbeddingBlockMsg* out);
+
+// One symmetric §6 round with `peer`: both sides send their index+clock,
+// then their embedding block, then receive the peer's two messages. All
+// sends are buffered before any receive, so the same call works on both
+// ends without deadlock. `round` namespaces the tags.
+Status ExchangeIndexClockThenEmbeddings(Transport* t, int peer,
+                                        uint32_t round,
+                                        const IndexClockMsg& my_index,
+                                        const EmbeddingBlockMsg& my_block,
+                                        IndexClockMsg* peer_index,
+                                        EmbeddingBlockMsg* peer_block);
+
+// SPMD ring AllReduce-average over a Transport: every rank calls this
+// with its endpoint and identically-shaped tensor lists; on success each
+// tensor holds the element-wise average across ranks. Reduce-scatter
+// steps use tags [0, n-1), allgather steps tags [1000, 1000+n-1), class
+// kAllReduce; payload bytes per rank match allreduce.h's
+// RingAllReduceBytesPerWorker up to chunk rounding. A world of one is a
+// no-op. Any transport failure propagates as that rank's Status.
+Status TransportAllReduceAverage(Transport* t,
+                                 const std::vector<Tensor*>& tensors);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMM_PROTOCOL_H_

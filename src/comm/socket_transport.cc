@@ -1,0 +1,751 @@
+#include "comm/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string ErrnoText(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+// Blocking full write with short-write/EINTR handling; MSG_NOSIGNAL turns
+// a dead peer into EPIPE instead of a process-killing SIGPIPE.
+Status WriteFully(int fd, const uint8_t* data, size_t len, int peer) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("peer rank " + std::to_string(peer) +
+                                   " died mid-write (" + ErrnoText("send") +
+                                   ")");
+      }
+      return Status::Internal(ErrnoText("send"));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Reads one complete frame from a raw fd (handshake path, before any Conn
+// buffering exists). Deadline is absolute steady-clock ms.
+Status ReadFrameRaw(int fd, int64_t deadline_ms, FrameHeader* hdr,
+                    std::vector<uint8_t>* payload) {
+  uint8_t hbuf[kFrameHeaderBytes];
+  size_t have = 0;
+  auto read_some = [&](uint8_t* out, size_t want, size_t* got) -> Status {
+    const int64_t remaining = deadline_ms - NowMs();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded("handshake read timed out");
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (pr < 0 && errno != EINTR) return Status::Internal(ErrnoText("poll"));
+    if (pr <= 0) return Status::OK();  // retry (timeout re-checked above)
+    const ssize_t n = ::recv(fd, out, want, 0);
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();
+      return Status::Unavailable(ErrnoText("recv"));
+    }
+    if (n == 0) {
+      return Status::Unavailable("peer closed connection during handshake");
+    }
+    *got += static_cast<size_t>(n);
+    return Status::OK();
+  };
+  while (have < kFrameHeaderBytes) {
+    size_t got = have;
+    HETGMP_RETURN_IF_ERROR(read_some(hbuf + have, kFrameHeaderBytes - have,
+                                     &got));
+    have = got;
+  }
+  HETGMP_RETURN_IF_ERROR(DecodeFrameHeader(hbuf, hdr));
+  payload->resize(hdr->payload_len);
+  have = 0;
+  while (have < hdr->payload_len) {
+    size_t got = have;
+    HETGMP_RETURN_IF_ERROR(
+        read_some(payload->data() + have, hdr->payload_len - have, &got));
+    have = got;
+  }
+  if (hdr->payload_len > 0 &&
+      WireCrc32(payload->data(), payload->size()) != hdr->payload_crc) {
+    return Status::Internal("corrupt frame: payload CRC mismatch");
+  }
+  return Status::OK();
+}
+
+Status SendFrameRaw(int fd, const FrameHeader& hdr, const void* payload,
+                    int peer) {
+  std::vector<uint8_t> buf;
+  AppendFrame(hdr, payload, &buf);
+  return WriteFully(fd, buf.data(), buf.size(), peer);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- factory
+
+SocketFabric::SocketFabric(int rank, int world, std::vector<int> fds,
+                           TransportOptions options)
+    : rank_(rank), world_(world), options_(options) {
+  const size_t cells =
+      static_cast<size_t>(world) * static_cast<int>(TrafficClass::kNumClasses);
+  sent_ = std::make_unique<std::atomic<uint64_t>[]>(cells);
+  received_ = std::make_unique<std::atomic<uint64_t>[]>(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    sent_[i].store(0, std::memory_order_relaxed);
+    received_[i].store(0, std::memory_order_relaxed);
+  }
+  conns_.resize(world);
+  for (int p = 0; p < world; ++p) {
+    conns_[p] = std::make_unique<Conn>();
+    MutexLock lock(conns_[p]->mu);
+    conns_[p]->fd = p == rank ? -1 : fds[p];
+  }
+}
+
+std::unique_ptr<SocketFabric> SocketFabric::FromFds(int rank, int world,
+                                                    std::vector<int> fds,
+                                                    TransportOptions options) {
+  HETGMP_CHECK_GT(world, 0);
+  HETGMP_CHECK_GE(rank, 0);
+  HETGMP_CHECK_LT(rank, world);
+  HETGMP_CHECK_EQ(static_cast<int>(fds.size()), world);
+  for (int p = 0; p < world; ++p) {
+    if (p != rank) HETGMP_CHECK_GE(fds[p], 0);
+  }
+  return std::unique_ptr<SocketFabric>(
+      new SocketFabric(rank, world, std::move(fds), options));
+}
+
+SocketFabric::~SocketFabric() {
+  // Best-effort bounded drain before closing: a rank can finish its half
+  // of a symmetric exchange while its last frame to a slower peer is
+  // still in the userspace queue (the peer's Recv completing is what
+  // proves OUR bytes arrived, and peers finish at different times).
+  // close(2) delivers bytes the kernel already accepted, then EOF — only
+  // the userspace remainder would be lost, so push it with a short
+  // deadline and close regardless (a peer that is not reading by then
+  // was not going to).
+  const int64_t drain_deadline_ms = NowMs() + 200;
+  for (int p = 0; p < world_; ++p) {
+    Conn* conn = conns_[p].get();
+    if (conn == nullptr) continue;
+    MutexLock lock(conn->mu);
+    while (conn->fd >= 0 && conn->wpos < conn->wbuf.size()) {
+      HETGMP_IGNORE_STATUS(TryFlushLocked(conn, p));
+      if (conn->fd < 0 || conn->wpos >= conn->wbuf.size()) break;
+      const int64_t remaining = drain_deadline_ms - NowMs();
+      if (remaining <= 0) break;
+      struct pollfd pfd = {conn->fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, static_cast<int>(remaining)) <= 0) break;
+    }
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+}
+
+Result<std::vector<std::vector<int>>> SocketFabric::CreateLocalMesh(
+    int world) {
+  std::vector<std::vector<int>> mesh(world, std::vector<int>(world, -1));
+  for (int i = 0; i < world; ++i) {
+    for (int j = i + 1; j < world; ++j) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        for (auto& row : mesh) {
+          for (int fd : row) {
+            if (fd >= 0) ::close(fd);
+          }
+        }
+        return Status::ResourceExhausted(ErrnoText("socketpair"));
+      }
+      mesh[i][j] = sv[0];
+      mesh[j][i] = sv[1];
+    }
+  }
+  return mesh;
+}
+
+// ------------------------------------------------------------- send/recv
+
+Status SocketFabric::Send(int dst, TrafficClass cls, uint32_t tag,
+                          const void* data, size_t len) {
+  HETGMP_RETURN_IF_ERROR(ValidatePeer(*this, dst, "Send"));
+  // Oversize frames are the sender's bug (chunking is the caller's job) —
+  // CHECK here mirrors EncodeFrameHeader and aborts before any bytes move.
+  HETGMP_CHECK_LE(len, kMaxFramePayload)
+      << "Send payload exceeds kMaxFramePayload; chunk the transfer";
+  Conn* conn = conns_[dst].get();
+  MutexLock lock(conn->mu);
+  if (conn->fd < 0) {
+    return Status::Unavailable("Send: connection to rank " +
+                               std::to_string(dst) + " is closed");
+  }
+  FrameHeader hdr;
+  hdr.src = static_cast<uint16_t>(rank_);
+  hdr.dst = static_cast<uint16_t>(dst);
+  hdr.cls = static_cast<uint8_t>(cls);
+  hdr.type = FrameType::kData;
+  hdr.tag = tag;
+  hdr.payload_len = static_cast<uint32_t>(len);
+  hdr.payload_crc = len > 0 ? WireCrc32(data, len) : 0;
+  AppendFrame(hdr, data, &conn->wbuf);
+  const Status st = TryFlushLocked(conn, dst);
+  if (st.ok()) {
+    // Queued counts as sent: the bytes are committed to the stream and
+    // will drain on later Sends / Recv pumps, so accounting stays
+    // identical to the in-proc backend's at-Send tally.
+    sent_[Cell(dst, cls)].fetch_add(len, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+Status SocketFabric::TryFlushLocked(Conn* conn, int dst) {
+  while (conn->wpos < conn->wbuf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->wbuf.data() + conn->wpos,
+               conn->wbuf.size() - conn->wpos, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::OK();  // kernel buffer full; the rest stays queued
+      }
+      ::close(conn->fd);
+      conn->fd = -1;
+      conn->wbuf.clear();
+      conn->wpos = 0;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("peer rank " + std::to_string(dst) +
+                                   " died mid-write (" + ErrnoText("send") +
+                                   ")");
+      }
+      return Status::Internal(ErrnoText("send"));
+    }
+    conn->wpos += static_cast<size_t>(n);
+  }
+  conn->wbuf.clear();
+  conn->wpos = 0;
+  return Status::OK();
+}
+
+Status SocketFabric::Flush() {
+  const int64_t deadline_ms = NowMs() + options_.recv_timeout_ms;
+  for (int p = 0; p < world_; ++p) {
+    if (p == rank_) continue;
+    Conn* conn = conns_[p].get();
+    MutexLock lock(conn->mu);
+    while (conn->fd >= 0 && conn->wpos < conn->wbuf.size()) {
+      HETGMP_RETURN_IF_ERROR(TryFlushLocked(conn, p));
+      if (conn->fd < 0 || conn->wpos >= conn->wbuf.size()) break;
+      const int64_t remaining = deadline_ms - NowMs();
+      if (remaining <= 0) {
+        return Status::DeadlineExceeded(
+            "Flush: rank " + std::to_string(p) + " is not draining (" +
+            std::to_string(conn->wbuf.size() - conn->wpos) +
+            " bytes still queued)");
+      }
+      struct pollfd pfd = {conn->fd, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (pr < 0 && errno != EINTR) {
+        return Status::Internal(ErrnoText("poll"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SocketFabric::PumpWrites(int src) {
+  for (int p = 0; p < world_; ++p) {
+    if (p == rank_) continue;
+    Conn* conn = conns_[p].get();
+    MutexLock lock(conn->mu);
+    if (conn->fd < 0 || conn->wpos >= conn->wbuf.size()) continue;
+    const Status st = TryFlushLocked(conn, p);
+    if (!st.ok() && p == src) return st;
+  }
+  return Status::OK();
+}
+
+Status SocketFabric::Recv(int src, TrafficClass cls, uint32_t tag,
+                          std::vector<uint8_t>* payload) {
+  HETGMP_RETURN_IF_ERROR(ValidatePeer(*this, src, "Recv"));
+  Conn* conn = conns_[src].get();
+  const int64_t deadline_ms = NowMs() + options_.recv_timeout_ms;
+  for (;;) {
+    {
+      MutexLock lock(conn->mu);
+      HETGMP_RETURN_IF_ERROR(ParseFramesLocked(conn, src));
+      for (auto it = conn->stash.begin(); it != conn->stash.end(); ++it) {
+        if (it->hdr.cls == static_cast<uint8_t>(cls) && it->hdr.tag == tag) {
+          *payload = std::move(it->payload);
+          conn->stash.erase(it);
+          received_[Cell(src, cls)].fetch_add(payload->size(),
+                                              std::memory_order_relaxed);
+          return Status::OK();
+        }
+      }
+      // Stash is dry: a dead link can no longer produce the frame.
+      if (conn->fd < 0) {
+        return Status::Unavailable("Recv: connection to rank " +
+                                   std::to_string(src) +
+                                   " is closed (peer died or the stream "
+                                   "was poisoned)");
+      }
+    }
+
+    // No matching frame buffered. First push our own queued bytes out on
+    // every link — in a symmetric exchange those are exactly what the
+    // peer is waiting for before it can send ours.
+    HETGMP_RETURN_IF_ERROR(PumpWrites(src));
+
+    const int64_t remaining = deadline_ms - NowMs();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded(
+          "Recv: no frame from rank " + std::to_string(src) + " within " +
+          std::to_string(options_.recv_timeout_ms) + "ms");
+    }
+
+    // Sleep until src has bytes for us or any queued write can drain.
+    // (Snapshot fds one lock at a time; the single-caller contract means
+    // nothing closes them while we poll.)
+    std::vector<struct pollfd> pfds;
+    for (int p = 0; p < world_; ++p) {
+      if (p == rank_) continue;
+      Conn* c = conns_[p].get();
+      MutexLock lock(c->mu);
+      if (c->fd < 0) continue;
+      short events = p == src ? POLLIN : 0;
+      if (c->wpos < c->wbuf.size()) events |= POLLOUT;
+      if (events != 0) pfds.push_back({c->fd, events, 0});
+    }
+    const int pr = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                          static_cast<int>(remaining));
+    if (pr < 0 && errno != EINTR) {
+      return Status::Internal(ErrnoText("poll"));
+    }
+
+    MutexLock lock(conn->mu);
+    HETGMP_RETURN_IF_ERROR(ReadAvailableLocked(conn));
+  }
+}
+
+void SocketFabric::PoisonLocked(Conn* conn) {
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  conn->rbuf.clear();
+  conn->rpos = 0;
+  conn->wbuf.clear();
+  conn->wpos = 0;
+}
+
+Status SocketFabric::ParseFramesLocked(Conn* conn, int src) {
+  while (conn->rbuf.size() - conn->rpos >= kFrameHeaderBytes) {
+    FrameHeader hdr;
+    const Status st = DecodeFrameHeader(conn->rbuf.data() + conn->rpos, &hdr);
+    if (!st.ok()) {
+      // A garbled stream cannot be re-framed; poison the connection (and
+      // drop the unparseable remainder) so later calls fail fast with
+      // kUnavailable rather than re-reporting the same garbage.
+      PoisonLocked(conn);
+      return st;
+    }
+    if (conn->rbuf.size() - conn->rpos < kFrameHeaderBytes + hdr.payload_len) {
+      break;  // payload still in flight
+    }
+    const uint8_t* body = conn->rbuf.data() + conn->rpos + kFrameHeaderBytes;
+    if (hdr.payload_len > 0 &&
+        WireCrc32(body, hdr.payload_len) != hdr.payload_crc) {
+      PoisonLocked(conn);
+      return Status::Internal("corrupt frame: payload CRC mismatch from "
+                              "rank " +
+                              std::to_string(src));
+    }
+    if (hdr.src != static_cast<uint16_t>(src) ||
+        hdr.dst != static_cast<uint16_t>(rank_)) {
+      PoisonLocked(conn);
+      return Status::Internal(
+          "corrupt frame: routing mismatch (header says " +
+          std::to_string(hdr.src) + "->" + std::to_string(hdr.dst) +
+          " on the rank-" + std::to_string(src) + " connection)");
+    }
+    conn->rpos += kFrameHeaderBytes + hdr.payload_len;
+    if (hdr.type == FrameType::kData) {
+      Frame f;
+      f.hdr = hdr;
+      f.payload.assign(body, body + hdr.payload_len);
+      conn->stash.push_back(std::move(f));
+    }
+    // Hello frames are handshake-only; one arriving here is a stray
+    // duplicate (e.g. injected) and is dropped, not an error.
+  }
+  if (conn->rpos == conn->rbuf.size()) {
+    conn->rbuf.clear();
+    conn->rpos = 0;
+  } else if (conn->rpos > (1u << 20)) {
+    conn->rbuf.erase(conn->rbuf.begin(),
+                     conn->rbuf.begin() + static_cast<ptrdiff_t>(conn->rpos));
+    conn->rpos = 0;
+  }
+  return Status::OK();
+}
+
+Status SocketFabric::ReadAvailableLocked(Conn* conn) {
+  if (conn->fd < 0) return Status::OK();  // Recv's stash-dry check reports
+  uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+      if (errno == ECONNRESET) {
+        ::close(conn->fd);
+        conn->fd = -1;
+        return Status::OK();  // buffered frames still deliverable
+      }
+      return Status::Internal(ErrnoText("recv"));
+    }
+    if (n == 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+      return Status::OK();  // EOF; drain the stash, then kUnavailable
+    }
+    conn->rbuf.insert(conn->rbuf.end(), chunk, chunk + n);
+    if (n < static_cast<ssize_t>(sizeof(chunk))) return Status::OK();
+  }
+}
+
+uint64_t SocketFabric::SentPayloadBytes(int dst, TrafficClass cls) const {
+  return sent_[Cell(dst, cls)].load(std::memory_order_relaxed);
+}
+
+uint64_t SocketFabric::ReceivedPayloadBytes(int src, TrafficClass cls) const {
+  return received_[Cell(src, cls)].load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------ rendezvous
+
+Status PublishRendezvousFile(const std::string& path,
+                             const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("rendezvous: cannot create " + tmp + " (" +
+                                   ErrnoText("open") + ")");
+  }
+  Status st;
+  size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      st = Status::Internal("rendezvous: " + ErrnoText("write"));
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::Internal("rendezvous: " + ErrnoText("fsync"));
+  }
+  ::close(fd);
+  if (st.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::Internal("rendezvous: rename failed: " + tmp + " -> " + path);
+  }
+  if (!st.ok()) std::remove(tmp.c_str());
+  return st;
+}
+
+namespace {
+constexpr char kRendezvousMagic[] = "hetgmp-rendezvous v1";
+}  // namespace
+
+std::string RenderRendezvousFile(const std::string& session_token, int world,
+                                 int rank, int port) {
+  std::ostringstream os;
+  os << kRendezvousMagic << "\n"
+     << "token " << session_token << "\n"
+     << "world " << world << "\n"
+     << "rank " << rank << "\n"
+     << "port " << port << "\n"
+     << "pid " << ::getpid() << "\n";
+  return os.str();
+}
+
+Status ParseRendezvousFile(const std::string& contents,
+                           const std::string& expect_token, int expect_world,
+                           int expect_rank, int* port_out) {
+  // tmp+rename publication means a visible file is complete; anything that
+  // fails to parse or match is a stale leftover, not a write in progress.
+  auto stale = [](const std::string& why) {
+    return Status::FailedPrecondition("stale rendezvous file: " + why);
+  };
+  std::istringstream is(contents);
+  std::string line;
+  if (!std::getline(is, line) || line != kRendezvousMagic) {
+    return stale("bad or missing magic line");
+  }
+  std::string token;
+  int world = -1, rank = -1, port = -1;
+  long pid = -1;
+  std::string key;
+  while (is >> key) {
+    if (key == "token") {
+      is >> token;
+    } else if (key == "world") {
+      is >> world;
+    } else if (key == "rank") {
+      is >> rank;
+    } else if (key == "port") {
+      is >> port;
+    } else if (key == "pid") {
+      is >> pid;
+    } else {
+      return stale("unknown field '" + key + "'");
+    }
+    if (!is && !is.eof()) return stale("malformed field '" + key + "'");
+  }
+  if (token.empty() || world < 0 || rank < 0 || port <= 0 ||
+      port > 65535) {
+    return stale("incomplete file");
+  }
+  if (token != expect_token) {
+    return stale("session token mismatch (found a leftover from another "
+                 "session)");
+  }
+  if (world != expect_world) {
+    return stale("world size " + std::to_string(world) + " != expected " +
+                 std::to_string(expect_world));
+  }
+  if (rank != expect_rank) {
+    return stale("rank " + std::to_string(rank) + " != expected " +
+                 std::to_string(expect_rank));
+  }
+  *port_out = port;
+  return Status::OK();
+}
+
+namespace {
+
+std::string AddrPath(const std::string& dir, int rank) {
+  return dir + "/hetgmp_rank" + std::to_string(rank) + ".addr";
+}
+
+Result<int> MakeListenSocket(int backlog, int* port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::ResourceExhausted(ErrnoText("socket"));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::ResourceExhausted(ErrnoText("bind"));
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return Status::ResourceExhausted(ErrnoText("listen"));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status::Internal(ErrnoText("getsockname"));
+  }
+  *port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out,
+                     bool* exists) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *exists = false;
+    return Status::OK();
+  }
+  *exists = true;
+  std::ostringstream os;
+  os << in.rdbuf();
+  *out = os.str();
+  return Status::OK();
+}
+
+Status ConnectLoopback(int port, int64_t deadline_ms, int* fd_out) {
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::ResourceExhausted(ErrnoText("socket"));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      *fd_out = fd;
+      return Status::OK();
+    }
+    ::close(fd);
+    if (NowMs() >= deadline_ms) {
+      return Status::DeadlineExceeded("rendezvous: connect to port " +
+                                      std::to_string(port) + " timed out");
+    }
+    // The peer published its file but may not be accepting yet (or its
+    // listener died: the deadline bounds that case).
+    ::usleep(10 * 1000);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SocketFabric>> SocketFabric::RendezvousTcp(
+    const std::string& dir, int rank, int world,
+    const RendezvousOptions& options) {
+  if (world <= 0 || rank < 0 || rank >= world) {
+    return Status::InvalidArgument("rendezvous: rank " +
+                                   std::to_string(rank) + " world " +
+                                   std::to_string(world));
+  }
+  if (options.session_token.empty()) {
+    return Status::InvalidArgument("rendezvous: session_token is required "
+                                   "(it is the stale-file check)");
+  }
+  const int64_t deadline_ms = NowMs() + options.connect_timeout_ms;
+
+  int port = 0;
+  Result<int> listen_fd = MakeListenSocket(world, &port);
+  if (!listen_fd.ok()) return listen_fd.status();
+
+  std::vector<int> fds(world, -1);
+  auto fail = [&](Status st) -> Result<std::unique_ptr<SocketFabric>> {
+    ::close(listen_fd.value());
+    for (int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+    return st;
+  };
+
+  Status pub = PublishRendezvousFile(
+      AddrPath(dir, rank),
+      RenderRendezvousFile(options.session_token, world, rank, port));
+  if (!pub.ok()) return fail(pub);
+
+  // Connect to every lower rank (they accept), validating their address
+  // files; stale files fail fast instead of burning the deadline.
+  for (int peer = 0; peer < rank; ++peer) {
+    int peer_port = 0;
+    for (;;) {
+      std::string contents;
+      bool exists = false;
+      HETGMP_IGNORE_STATUS(ReadWholeFile(AddrPath(dir, peer), &contents,
+                                         &exists));
+      if (exists) {
+        const Status st =
+            ParseRendezvousFile(contents, options.session_token, world, peer,
+                                &peer_port);
+        if (!st.ok()) return fail(st);
+        break;
+      }
+      if (NowMs() >= deadline_ms) {
+        return fail(Status::DeadlineExceeded(
+            "rendezvous: rank " + std::to_string(peer) +
+            " never published its address file"));
+      }
+      ::usleep(10 * 1000);
+    }
+    int fd = -1;
+    const Status st = ConnectLoopback(peer_port, deadline_ms, &fd);
+    if (!st.ok()) return fail(st);
+    FrameHeader hello;
+    hello.src = static_cast<uint16_t>(rank);
+    hello.dst = static_cast<uint16_t>(peer);
+    hello.type = FrameType::kHello;
+    hello.tag = static_cast<uint32_t>(rank);
+    hello.payload_len =
+        static_cast<uint32_t>(options.session_token.size());
+    hello.payload_crc = WireCrc32(options.session_token.data(),
+                                  options.session_token.size());
+    const Status hs = SendFrameRaw(fd, hello, options.session_token.data(),
+                                   peer);
+    if (!hs.ok()) {
+      ::close(fd);
+      return fail(hs);
+    }
+    fds[peer] = fd;
+  }
+
+  // Accept every higher rank; each identifies itself with a hello frame.
+  int pending = world - 1 - rank;
+  while (pending > 0) {
+    const int64_t remaining = deadline_ms - NowMs();
+    if (remaining <= 0) {
+      return fail(Status::DeadlineExceeded(
+          "rendezvous: still waiting for " + std::to_string(pending) +
+          " higher rank(s) to connect"));
+    }
+    struct pollfd pfd = {listen_fd.value(), POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (pr < 0 && errno != EINTR) {
+      return fail(Status::Internal(ErrnoText("poll")));
+    }
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd.value(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return fail(Status::Internal(ErrnoText("accept")));
+    }
+    FrameHeader hdr;
+    std::vector<uint8_t> payload;
+    Status st = ReadFrameRaw(fd, deadline_ms, &hdr, &payload);
+    if (!st.ok()) {
+      ::close(fd);
+      return fail(st);
+    }
+    const int peer = static_cast<int>(hdr.tag);
+    const std::string token(payload.begin(), payload.end());
+    if (hdr.type != FrameType::kHello || peer <= rank || peer >= world ||
+        fds[peer] >= 0 || token != options.session_token) {
+      ::close(fd);
+      return fail(Status::FailedPrecondition(
+          "rendezvous: invalid hello (rank " + std::to_string(peer) +
+          ", token " + (token == options.session_token ? "ok" : "mismatch") +
+          ") — likely a stale or foreign session"));
+    }
+    fds[peer] = fd;
+    --pending;
+  }
+
+  ::close(listen_fd.value());
+  TransportOptions topts;
+  topts.recv_timeout_ms = options.recv_timeout_ms;
+  return FromFds(rank, world, std::move(fds), topts);
+}
+
+}  // namespace hetgmp

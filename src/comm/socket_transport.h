@@ -1,0 +1,188 @@
+#ifndef HETGMP_COMM_SOCKET_TRANSPORT_H_
+#define HETGMP_COMM_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/transport.h"
+#include "comm/wire.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace hetgmp {
+
+// The multi-process Transport backend (DESIGN.md §5g): each rank is a real
+// process (or thread) holding one connected stream socket per peer —
+// socketpair(2) for pre-forked local worlds, loopback TCP via file-based
+// rendezvous for independently launched processes.
+//
+// Framing is wire.h's CRC-checked length-prefixed format. Writes are
+// buffered and never block: Send appends header + payload to a per-
+// connection userspace write queue and flushes opportunistically with
+// MSG_DONTWAIT; whatever the kernel will not take stays queued and is
+// drained by later Sends and by every Recv, which pumps ALL connections'
+// pending writes while it polls. That last part is what makes symmetric
+// SPMD exchanges safe: in a ring step every rank sends then receives, and
+// if Send blocked once payloads outgrew the kernel socket buffers, all
+// ranks would sit in send() waiting for readers that never come. Reads
+// pull whatever the socket has into a per-connection buffer and parse
+// complete frames out of it, so short reads and coalesced frames are both
+// handled. Frames that arrive before their Recv are stashed and matched
+// later (same MPI-style matching as the in-proc backend).
+//
+// Every failure surfaces as a Status: peer death (EOF, ECONNRESET, EPIPE)
+// is kUnavailable, a quiet link past the timeout is kDeadlineExceeded,
+// and a garbled stream (bad magic / CRC mismatch / class out of range) is
+// kInternal. Nothing in the receive path aborts or blocks forever.
+//
+// Accounting matches the in-proc backend: payload bytes per (src, dst,
+// TrafficClass), frame headers excluded.
+
+// Rendezvous configuration for RendezvousTcp. The session token is the
+// freshness check: every rank of one world must pass the same token, and
+// an address file carrying any other token is rejected as stale (a
+// leftover from a dead world in the same directory) instead of being
+// connected to. Publication uses ColdTierFile's tmp+fsync+rename
+// discipline, so a file is either absent or complete — a malformed file
+// can only be stale garbage, never a half-written fresh one, which is
+// what lets validation fail fast.
+struct RendezvousOptions {
+  std::string session_token;
+  int connect_timeout_ms = 10000;
+  int recv_timeout_ms = 5000;
+};
+
+class SocketFabric : public Transport {
+ public:
+  // Adopts pre-connected stream sockets: fds[i] talks to rank i
+  // (fds[rank] ignored, conventionally -1). Closes them on destruction.
+  // Use CreateLocalMesh + fork (tests/multiproc_driver.h) or socketpairs
+  // of your own making.
+  static std::unique_ptr<SocketFabric> FromFds(int rank, int world,
+                                               std::vector<int> fds,
+                                               TransportOptions options = {});
+
+  // Full TCP rendezvous through `dir`: listens on 127.0.0.1, publishes
+  // "<dir>/hetgmp_rank<r>.addr" atomically, connects to every lower rank
+  // and accepts every higher one, validating the session token both in
+  // the address files and in the in-band hello frames. Returns a
+  // connected fabric or a Status (stale/malformed rendezvous file:
+  // kFailedPrecondition; nobody showed up in time: kDeadlineExceeded).
+  static Result<std::unique_ptr<SocketFabric>> RendezvousTcp(
+      const std::string& dir, int rank, int world,
+      const RendezvousOptions& options);
+
+  // world*world fd matrix for a pre-forked local world: mesh[i][j] is
+  // rank i's socket to rank j (-1 on the diagonal), built from
+  // socketpair(2). Caller owns every fd (children close the rows they
+  // don't use; see tests/multiproc_driver.h).
+  static Result<std::vector<std::vector<int>>> CreateLocalMesh(int world);
+
+  ~SocketFabric() override;
+
+  SocketFabric(const SocketFabric&) = delete;
+  SocketFabric& operator=(const SocketFabric&) = delete;
+
+  const char* backend_name() const override { return "socket"; }
+  int rank() const override { return rank_; }
+  int world_size() const override { return world_; }
+
+  Status Send(int dst, TrafficClass cls, uint32_t tag, const void* data,
+              size_t len) override;
+  Status Recv(int src, TrafficClass cls, uint32_t tag,
+              std::vector<uint8_t>* payload) override;
+  // Blocking drain of every pending-write queue (poll POLLOUT, bounded
+  // by recv_timeout_ms). See Transport::Flush for when this is required.
+  Status Flush() override;
+
+  uint64_t SentPayloadBytes(int dst, TrafficClass cls) const override;
+  uint64_t ReceivedPayloadBytes(int src, TrafficClass cls) const override;
+
+ private:
+  struct Frame {
+    FrameHeader hdr;
+    std::vector<uint8_t> payload;
+  };
+
+  // Per-peer connection state. The mutex serializes the (single-threaded
+  // by contract) owner against diagnostic readers and keeps the analysis
+  // honest about what guards what.
+  struct Conn {
+    Mutex mu{lock_rank::kCommConn};
+    int fd HETGMP_GUARDED_BY(mu) = -1;
+    // Pending-write queue: [wpos, wbuf.size()) is not yet in the kernel.
+    std::vector<uint8_t> wbuf HETGMP_GUARDED_BY(mu);
+    size_t wpos HETGMP_GUARDED_BY(mu) = 0;
+    std::vector<uint8_t> rbuf HETGMP_GUARDED_BY(mu);
+    size_t rpos HETGMP_GUARDED_BY(mu) = 0;  // parsed prefix of rbuf
+    std::deque<Frame> stash HETGMP_GUARDED_BY(mu);
+  };
+
+  SocketFabric(int rank, int world, std::vector<int> fds,
+               TransportOptions options);
+
+  // Closes the fd and discards both stream buffers: a garbled stream
+  // cannot be re-framed, so poisoning fails later calls fast with
+  // kUnavailable instead of re-reporting the same garbage.
+  static void PoisonLocked(Conn* conn) HETGMP_REQUIRES(conn->mu);
+  // Non-blocking flush of conn's pending-write queue: writes with
+  // MSG_DONTWAIT until the queue empties or the kernel buffer fills
+  // (EAGAIN, which is OK — the bytes stay queued). A hard write error
+  // poisons the connection.
+  Status TryFlushLocked(Conn* conn, int dst) HETGMP_REQUIRES(conn->mu);
+  // TryFlush on every connection with queued bytes, one lock at a time.
+  // A failure on a third-party link poisons that link and surfaces on the
+  // next operation touching it; only a failure on the `src` link is
+  // returned (it is the one the current Recv depends on).
+  Status PumpWrites(int src);
+  // Parses every complete frame already in rbuf into the stash. A
+  // garbled stream (bad magic / CRC / routing) poisons the connection
+  // and returns kInternal.
+  Status ParseFramesLocked(Conn* conn, int src) HETGMP_REQUIRES(conn->mu);
+  // Drains whatever the socket has right now (MSG_DONTWAIT) into rbuf.
+  // EOF / reset poison the connection but return OK so already-buffered
+  // frames are still delivered; the Recv loop surfaces kUnavailable once
+  // the stash runs dry.
+  Status ReadAvailableLocked(Conn* conn) HETGMP_REQUIRES(conn->mu);
+
+  size_t Cell(int peer, TrafficClass cls) const {
+    return static_cast<size_t>(peer) *
+               static_cast<int>(TrafficClass::kNumClasses) +
+           static_cast<int>(cls);
+  }
+
+  const int rank_;
+  const int world_;
+  const TransportOptions options_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  // Same accounting contract as Fabric's counters: relaxed, monotonic,
+  // aggregated after quiesce.
+  std::unique_ptr<std::atomic<uint64_t>[]> sent_;
+  std::unique_ptr<std::atomic<uint64_t>[]> received_;
+};
+
+// --- Rendezvous-file helpers (exposed for tests) ---
+
+// Atomically publishes `contents` at `path` via tmp + fsync + rename —
+// the ColdTierFile/checkpoint discipline, so readers never observe a
+// partial file.
+Status PublishRendezvousFile(const std::string& path,
+                             const std::string& contents);
+
+// Renders / parses the address-file format. Parse rejects anything that
+// is not a complete, token-matching, geometry-matching file for `rank` in
+// a `world`-rank session as kFailedPrecondition("stale rendezvous
+// file...") — see RendezvousOptions for why malformed implies stale.
+std::string RenderRendezvousFile(const std::string& session_token, int world,
+                                 int rank, int port);
+Status ParseRendezvousFile(const std::string& contents,
+                           const std::string& expect_token, int expect_world,
+                           int expect_rank, int* port_out);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMM_SOCKET_TRANSPORT_H_

@@ -1,0 +1,188 @@
+#include "comm/transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+// wire.cc validates the on-wire class byte against a literal 4 to stay
+// free of a fabric.h dependency; pin the enum here so drift is a compile
+// error next to the transport that relies on it.
+static_assert(static_cast<int>(TrafficClass::kNumClasses) == 4,
+              "update wire.cc's class-range check alongside TrafficClass");
+
+std::string Transport::SentTallyReport() const {
+  std::ostringstream os;
+  const int n = world_size();
+  for (int dst = 0; dst < n; ++dst) {
+    for (int c = 0; c < static_cast<int>(TrafficClass::kNumClasses); ++c) {
+      const uint64_t b = SentPayloadBytes(dst, static_cast<TrafficClass>(c));
+      if (b != 0) {
+        os << rank() << " " << dst << " " << c << " " << b << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+Status ValidatePeer(const Transport& t, int peer, const char* op) {
+  if (peer < 0 || peer >= t.world_size()) {
+    return Status::InvalidArgument(std::string(op) + ": peer rank " +
+                                   std::to_string(peer) + " outside world [0," +
+                                   std::to_string(t.world_size()) + ")");
+  }
+  if (peer == t.rank()) {
+    return Status::InvalidArgument(std::string(op) +
+                                   ": self-transfer is local compute, not "
+                                   "transport traffic (rank " +
+                                   std::to_string(peer) + ")");
+  }
+  return Status::OK();
+}
+
+namespace {
+constexpr int kNumCls = static_cast<int>(TrafficClass::kNumClasses);
+}  // namespace
+
+// Named (not anonymous-namespace) so the friend declaration in
+// transport.h binds; the definition still never leaves this TU.
+class InProcEndpoint : public Transport {
+ public:
+  InProcEndpoint(InProcTransportGroup* group, int rank, int world)
+      : group_(group), rank_(rank), world_(world) {
+    const size_t cells = static_cast<size_t>(world) * kNumCls;
+    sent_ = std::make_unique<std::atomic<uint64_t>[]>(cells);
+    received_ = std::make_unique<std::atomic<uint64_t>[]>(cells);
+    for (size_t i = 0; i < cells; ++i) {
+      sent_[i].store(0, std::memory_order_relaxed);
+      received_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  const char* backend_name() const override { return "inproc"; }
+  int rank() const override { return rank_; }
+  int world_size() const override { return world_; }
+
+  Status Send(int dst, TrafficClass cls, uint32_t tag, const void* data,
+              size_t len) override;
+  Status Recv(int src, TrafficClass cls, uint32_t tag,
+              std::vector<uint8_t>* payload) override;
+
+  uint64_t SentPayloadBytes(int dst, TrafficClass cls) const override {
+    return sent_[Cell(dst, cls)].load(std::memory_order_relaxed);
+  }
+  uint64_t ReceivedPayloadBytes(int src, TrafficClass cls) const override {
+    return received_[Cell(src, cls)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  size_t Cell(int peer, TrafficClass cls) const {
+    return static_cast<size_t>(peer) * kNumCls + static_cast<int>(cls);
+  }
+
+  InProcTransportGroup* const group_;
+  const int rank_;
+  const int world_;
+  // Tallies are relaxed atomics like Fabric's counters: independently
+  // monotonic, aggregated only after the world quiesces.
+  std::unique_ptr<std::atomic<uint64_t>[]> sent_;
+  std::unique_ptr<std::atomic<uint64_t>[]> received_;
+};
+
+Status InProcEndpoint::Send(int dst, TrafficClass cls, uint32_t tag,
+                            const void* data, size_t len) {
+  HETGMP_RETURN_IF_ERROR(ValidatePeer(*this, dst, "Send"));
+  auto* box = group_->box(rank_, dst);
+  {
+    MutexLock lock(box->mu);
+    if (box->closed) {
+      return Status::Unavailable("Send: mailbox to rank " +
+                                 std::to_string(dst) + " is closed");
+    }
+    InProcTransportGroup::InMsg msg;
+    msg.cls = cls;
+    msg.tag = tag;
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    msg.payload.assign(bytes, bytes + len);
+    box->msgs.push_back(std::move(msg));
+  }
+  box->cv.NotifyAll();
+  sent_[Cell(dst, cls)].fetch_add(len, std::memory_order_relaxed);
+  if (group_->fabric_ != nullptr) {
+    group_->fabric_->Transfer(rank_, dst, len, cls);
+  }
+  return Status::OK();
+}
+
+Status InProcEndpoint::Recv(int src, TrafficClass cls, uint32_t tag,
+                            std::vector<uint8_t>* payload) {
+  HETGMP_RETURN_IF_ERROR(ValidatePeer(*this, src, "Recv"));
+  auto* box = group_->box(src, rank_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(group_->options_.recv_timeout_ms);
+  MutexLock lock(box->mu);
+  for (;;) {
+    for (auto it = box->msgs.begin(); it != box->msgs.end(); ++it) {
+      if (it->cls == cls && it->tag == tag) {
+        *payload = std::move(it->payload);
+        box->msgs.erase(it);
+        received_[Cell(src, cls)].fetch_add(payload->size(),
+                                            std::memory_order_relaxed);
+        return Status::OK();
+      }
+    }
+    if (box->closed) {
+      return Status::Unavailable("Recv: rank " + std::to_string(src) +
+                                 " closed its mailbox");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status::DeadlineExceeded(
+          "Recv: no frame from rank " + std::to_string(src) + " class " +
+          TrafficClassName(cls) + " tag " + std::to_string(tag) + " within " +
+          std::to_string(group_->options_.recv_timeout_ms) + "ms");
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    // Timed wait (not Wait) so a dropped frame can never park us forever;
+    // the loop re-checks the deadline on every wakeup, spurious or not.
+    (void)box->cv.WaitFor(box->mu, remaining);
+  }
+}
+
+InProcTransportGroup::InProcTransportGroup(int world, Fabric* fabric,
+                                           TransportOptions options)
+    : world_(world), fabric_(fabric), options_(options) {
+  HETGMP_CHECK_GT(world, 0);
+  if (fabric != nullptr) {
+    HETGMP_CHECK_EQ(fabric->num_workers(), world);
+  }
+  boxes_.resize(static_cast<size_t>(world) * world);
+  for (auto& b : boxes_) b = std::make_unique<Mailbox>();
+  endpoints_.resize(world);
+  for (int r = 0; r < world; ++r) {
+    endpoints_[r] = std::make_unique<InProcEndpoint>(this, r, world);
+  }
+}
+
+InProcTransportGroup::~InProcTransportGroup() {
+  for (auto& b : boxes_) {
+    {
+      MutexLock lock(b->mu);
+      b->closed = true;
+    }
+    b->cv.NotifyAll();
+  }
+}
+
+Transport* InProcTransportGroup::endpoint(int rank) {
+  HETGMP_CHECK_GE(rank, 0);
+  HETGMP_CHECK_LT(rank, world_);
+  return endpoints_[rank].get();
+}
+
+}  // namespace hetgmp

@@ -1,0 +1,150 @@
+#ifndef HETGMP_COMM_TRANSPORT_H_
+#define HETGMP_COMM_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/fabric.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace hetgmp {
+
+// Abstract message transport between `world_size()` ranks (DESIGN.md §5g).
+// Two backends implement it:
+//
+//   * InProcTransportGroup (this header) — the in-process simulator
+//     backend: mailboxes between threads of one process, optionally
+//     charging a Fabric so traffic lands in the same ledger the engine
+//     reports from. The default everywhere; keeps every figure bit-stable.
+//   * SocketFabric (socket_transport.h) — real processes over
+//     socketpair/loopback TCP with CRC-framed buffered serialization.
+//
+// The protocol layer (protocol.h) — the §6 index+clock-then-embedding
+// exchange, gradient push-back, ring AllReduce — is written against this
+// interface only, so the identical protocol code drives both backends;
+// tests/comm_transport_test.cc runs one conformance body against each.
+//
+// Semantics:
+//   * Send is non-blocking from the caller's perspective (buffered); it
+//     fails with kUnavailable if the peer is known dead.
+//   * Recv matches by (src, traffic class, tag) — MPI-style: frames that
+//     arrive before anyone asked for them are stashed and claimed by a
+//     later matching Recv, so tag-disjoint exchanges may interleave
+//     freely. Per (src, class, tag) order is FIFO.
+//   * Recv never blocks past the configured timeout: it returns
+//     kDeadlineExceeded instead of hanging, and kUnavailable when the
+//     peer is gone — fault handling is Status-shaped, never a deadlock.
+//   * Self-send is a programmer error (kInvalidArgument): local traffic
+//     is free compute, exactly like Fabric::Transfer's src == dst rule.
+//
+// Accounting: both backends tally *payload* bytes per (src, dst,
+// TrafficClass) — frame headers are transport overhead and excluded —
+// so per-class tallies are directly comparable across backends (the
+// conformance suite asserts byte-for-byte parity).
+//
+// Thread contract: one endpoint is driven by one rank's thread at a time
+// (like ReplicaStore). Endpoints of the same group/world may run
+// concurrently with each other.
+
+struct TransportOptions {
+  // Upper bound on any single Recv's blocking time.
+  int recv_timeout_ms = 5000;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual const char* backend_name() const = 0;
+  virtual int rank() const = 0;
+  virtual int world_size() const = 0;
+
+  // Queues `len` payload bytes to `dst` under (cls, tag).
+  virtual Status Send(int dst, TrafficClass cls, uint32_t tag,
+                      const void* data, size_t len) = 0;
+
+  // Receives the oldest frame matching (src, cls, tag) into `payload`
+  // (replacing its contents). Blocks up to the recv timeout.
+  virtual Status Recv(int src, TrafficClass cls, uint32_t tag,
+                      std::vector<uint8_t>* payload) = 0;
+
+  // Pushes every queued-but-undelivered byte to the peers, blocking up
+  // to the recv timeout. A buffered backend needs this before a rank
+  // goes quiet: queued bytes otherwise drain only on its later
+  // Send/Recv calls, and a rank that finished its half of a protocol
+  // may never make one (its peer would then starve). The protocol-layer
+  // collectives call it on exit; call it yourself after a trailing raw
+  // Send. No-op on the in-proc backend.
+  virtual Status Flush() { return Status::OK(); }
+
+  // --- Payload-byte tallies (see accounting note above) ---
+  virtual uint64_t SentPayloadBytes(int dst, TrafficClass cls) const = 0;
+  virtual uint64_t ReceivedPayloadBytes(int src, TrafficClass cls) const = 0;
+
+  // Sender-side tally serialized as one "src dst class bytes" line per
+  // non-zero cell, sorted — the cross-backend parity format (each rank
+  // reports the cells it is the source of; a driver concatenates ranks).
+  [[nodiscard]] std::string SentTallyReport() const;
+};
+
+// Bounds-checks shared by every backend; returns OK or kInvalidArgument.
+Status ValidatePeer(const Transport& t, int peer, const char* op);
+
+// ---------------------------------------------------------------------------
+// In-process backend.
+
+// Owns the mailboxes of an N-rank world inside one process. Hand each
+// rank's thread its endpoint(); the group must outlive all use.
+class InProcTransportGroup {
+ public:
+  // `fabric` (optional, must outlive the group) is charged
+  // Transfer(src, dst, payload, cls) for every Send, so in-process
+  // protocol traffic shows up in the simulator's ledger and cost model
+  // exactly like engine traffic.
+  explicit InProcTransportGroup(int world, Fabric* fabric = nullptr,
+                                TransportOptions options = {});
+  ~InProcTransportGroup();
+
+  InProcTransportGroup(const InProcTransportGroup&) = delete;
+  InProcTransportGroup& operator=(const InProcTransportGroup&) = delete;
+
+  Transport* endpoint(int rank);
+  int world_size() const { return world_; }
+
+ private:
+  friend class InProcEndpoint;
+
+  struct InMsg {
+    TrafficClass cls;
+    uint32_t tag;
+    std::vector<uint8_t> payload;
+  };
+
+  // One mailbox per directed (src, dst) pair: per-pair FIFO matches the
+  // socket backend's per-connection stream order.
+  struct Mailbox {
+    Mutex mu{lock_rank::kCommMailbox};
+    CondVar cv;
+    std::deque<InMsg> msgs HETGMP_GUARDED_BY(mu);
+    bool closed HETGMP_GUARDED_BY(mu) = false;
+  };
+
+  Mailbox* box(int src, int dst) {
+    return boxes_[static_cast<size_t>(src) * world_ + dst].get();
+  }
+
+  const int world_;
+  Fabric* const fabric_;
+  const TransportOptions options_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::vector<std::unique_ptr<Transport>> endpoints_;
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMM_TRANSPORT_H_

@@ -1,0 +1,128 @@
+#include "comm/wire.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+
+namespace hetgmp {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+inline void PutU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t WireCrc32(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const Crc32Table& t = Table();
+  for (size_t i = 0; i < len; ++i) {
+    c = t.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void EncodeFrameHeader(const FrameHeader& hdr, uint8_t* out) {
+  HETGMP_CHECK_LE(hdr.payload_len, kMaxFramePayload)
+      << "frame payload exceeds kMaxFramePayload; chunk the transfer";
+  PutU32(out + 0, kFrameMagic);
+  PutU16(out + 4, hdr.src);
+  PutU16(out + 6, hdr.dst);
+  out[8] = hdr.cls;
+  out[9] = static_cast<uint8_t>(hdr.type);
+  PutU16(out + 10, 0);  // reserved
+  PutU32(out + 12, hdr.tag);
+  PutU32(out + 16, hdr.payload_len);
+  PutU32(out + 20, hdr.payload_crc);
+  PutU32(out + 24, WireCrc32(out, 24));
+}
+
+Status DecodeFrameHeader(const uint8_t* in, FrameHeader* out) {
+  if (GetU32(in + 0) != kFrameMagic) {
+    return Status::Internal("corrupt frame header: bad magic");
+  }
+  const uint32_t want_crc = GetU32(in + 24);
+  if (WireCrc32(in, 24) != want_crc) {
+    return Status::Internal("corrupt frame header: header CRC mismatch");
+  }
+  if (GetU16(in + 10) != 0) {
+    return Status::Internal("corrupt frame header: reserved bits set");
+  }
+  FrameHeader hdr;
+  hdr.src = GetU16(in + 4);
+  hdr.dst = GetU16(in + 6);
+  hdr.cls = in[8];
+  if (hdr.cls >= 4) {  // TrafficClass::kNumClasses; kept literal to avoid
+                       // a fabric.h dependency in the wire layer
+    return Status::Internal("corrupt frame header: traffic class " +
+                            std::to_string(hdr.cls) + " out of range");
+  }
+  const uint8_t type = in[9];
+  if (type > static_cast<uint8_t>(FrameType::kHello)) {
+    return Status::Internal("corrupt frame header: unknown frame type " +
+                            std::to_string(type));
+  }
+  hdr.type = static_cast<FrameType>(type);
+  hdr.tag = GetU32(in + 12);
+  hdr.payload_len = GetU32(in + 16);
+  if (hdr.payload_len > kMaxFramePayload) {
+    return Status::Internal("corrupt frame header: payload length " +
+                            std::to_string(hdr.payload_len) +
+                            " exceeds frame cap");
+  }
+  hdr.payload_crc = GetU32(in + 20);
+  *out = hdr;
+  return Status::OK();
+}
+
+void AppendFrame(const FrameHeader& hdr, const void* payload,
+                 std::vector<uint8_t>* buf) {
+  const size_t base = buf->size();
+  buf->resize(base + kFrameHeaderBytes + hdr.payload_len);
+  EncodeFrameHeader(hdr, buf->data() + base);
+  if (hdr.payload_len > 0) {
+    std::memcpy(buf->data() + base + kFrameHeaderBytes, payload,
+                hdr.payload_len);
+  }
+}
+
+}  // namespace hetgmp

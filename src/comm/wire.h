@@ -1,0 +1,86 @@
+#ifndef HETGMP_COMM_WIRE_H_
+#define HETGMP_COMM_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hetgmp {
+
+// Framed serialization for the multi-process transport (DESIGN.md §5g),
+// modeled on buffered network layers like Galois's: every message crosses
+// the socket as one length-prefixed frame whose fixed-size header is
+// CRC-protected independently of the payload. The header CRC lets the
+// receiver reject a garbled or truncated stream *before* trusting the
+// length field (a corrupt length would otherwise make it mis-frame every
+// subsequent byte); the payload CRC catches corruption inside a frame
+// whose header survived.
+//
+// All integers are little-endian on the wire. The layout (28 bytes):
+//
+//   offset  size  field
+//        0     4  magic        "HGMP"
+//        4     2  src          sending rank
+//        6     2  dst          receiving rank
+//        8     1  traffic class (TrafficClass, < kNumClasses)
+//        9     1  frame type   (FrameType)
+//       10     2  reserved     must be zero
+//       12     4  tag          caller-chosen matching tag
+//       16     4  payload_len  bytes following the header
+//       20     4  payload_crc  CRC-32 of the payload bytes
+//       24     4  header_crc   CRC-32 of header bytes [0, 24)
+//
+// Malformed input is a *peer* error, so every decoding path returns a
+// clean Status. Oversize payloads on the *send* side are a programmer
+// error and CHECK-abort (tests/comm_fault_test.cc locks both behaviors
+// in).
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` chains
+// incremental computations: pass a previous return value to continue.
+uint32_t WireCrc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline constexpr uint32_t kFrameMagic = 0x504D4748u;  // "HGMP" little-endian
+inline constexpr size_t kFrameHeaderBytes = 28;
+// Hard cap on a single frame's payload. Large transfers are the caller's
+// job to chunk; the cap bounds receiver buffer growth when a header is
+// adversarially large yet CRC-valid (cannot happen by corruption, but
+// keeps the invariant local).
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+enum class FrameType : uint8_t {
+  kData = 0,   // payload routed to Transport::Recv by (src, class, tag)
+  kHello = 1,  // rendezvous handshake; consumed before Recv ever runs
+};
+
+struct FrameHeader {
+  uint16_t src = 0;
+  uint16_t dst = 0;
+  uint8_t cls = 0;
+  FrameType type = FrameType::kData;
+  uint32_t tag = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+// Serializes `hdr` into `out[0, kFrameHeaderBytes)`, computing both CRCs
+// (payload_crc must already be set by the caller; header_crc is derived).
+// CHECK-aborts if payload_len exceeds kMaxFramePayload — the send side
+// owns its own frames, so an oversize frame is a bug, not input.
+void EncodeFrameHeader(const FrameHeader& hdr, uint8_t* out);
+
+// Parses and validates a header from `in[0, kFrameHeaderBytes)`. Returns
+// a Status (never aborts) on bad magic, header-CRC mismatch, nonzero
+// reserved bits, out-of-range traffic class, or oversize payload_len.
+Status DecodeFrameHeader(const uint8_t* in, FrameHeader* out);
+
+// Appends a complete frame (header + payload) to `buf` — the buffered
+// write path: callers batch one or more frames into a single flat buffer
+// and hand it to the socket in one write.
+void AppendFrame(const FrameHeader& hdr, const void* payload,
+                 std::vector<uint8_t>* buf);
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_COMM_WIRE_H_

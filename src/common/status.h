@@ -16,6 +16,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  // Transport-layer outcomes (src/comm): a peer died / closed the
+  // connection (kUnavailable) or an operation did not finish within its
+  // deadline (kDeadlineExceeded). Both are retryable in principle, unlike
+  // kInternal, which the transport reserves for corrupt frames.
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 // Lightweight status object in the RocksDB/Abseil style. Functions that can
@@ -50,6 +56,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -107,6 +107,8 @@ inline constexpr int kServeShard = 40;      // LookupService::Shard::mu
 inline constexpr int kEngineMerge = 50;     // Engine::Train result merge
 inline constexpr int kStoreWarm = 52;       // TieredEmbeddingStore stripe
 inline constexpr int kStoreCold = 54;       // ColdTierFile::mu_
+inline constexpr int kCommConn = 56;        // SocketFabric::Conn::mu
+inline constexpr int kCommMailbox = 58;     // InProcTransportGroup mailbox
 inline constexpr int kEmbedStripe = 60;     // EmbeddingTable::RowMutex
 inline constexpr int kLeaf = 100;           // Barrier/ThreadPool internals
 }  // namespace lock_rank

@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "comm/protocol.h"
 #include "common/lint_tags.h"
 #include "common/logging.h"
 #include "metrics/auc.h"
@@ -36,8 +37,9 @@ enum FeatKind : uint8_t {
 // no-op for every counter the full check maintains.
 constexpr double kScreenSlack = 1e-6;
 
-constexpr uint64_t kIdBytes = 8;     // sparse index entry
-constexpr uint64_t kClockBytes = 8;  // clock metadata entry
+// The per-entry wire sizes kIdBytes / kClockBytes now live in
+// comm/protocol.h next to the typed encodings that define them; the
+// accounting below charges the same values it always has.
 
 // splitmix64 finalizer: cheap, and avalanches the near-sequential feature
 // ids that dominate the synthetic workloads.

@@ -1,0 +1,479 @@
+// Backend-parameterized transport conformance suite (DESIGN.md §5g): one
+// test body per behavior, run against the in-process mailbox backend and
+// the socket backend, plus fork-based multi-process end-to-end runs of
+// the §6 training exchange over the socket backend.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/allreduce.h"
+#include "comm/fabric.h"
+#include "comm/fault_transport.h"
+#include "comm/protocol.h"
+#include "comm/socket_transport.h"
+#include "comm/transport.h"
+#include "comm/wire.h"
+#include "multiproc_driver.h"
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+namespace {
+
+using testing_multiproc::MultiProcResult;
+using testing_multiproc::RunForkedMeshRanks;
+using testing_multiproc::RunForkedRanks;
+
+enum class Backend { kInProc, kSocket };
+
+const char* BackendName(Backend b) {
+  return b == Backend::kInProc ? "inproc" : "socket";
+}
+
+// An N-rank world of one backend living in a single process (socket
+// ranks ride on socketpairs and are driven by threads).
+struct World {
+  std::unique_ptr<InProcTransportGroup> group;
+  std::vector<std::unique_ptr<SocketFabric>> socks;
+  std::vector<Transport*> ep;
+
+  Transport* operator[](int r) const { return ep[r]; }
+};
+
+World MakeWorld(Backend backend, int n, TransportOptions opts = {},
+                Fabric* fabric = nullptr) {
+  World w;
+  if (backend == Backend::kInProc) {
+    w.group = std::make_unique<InProcTransportGroup>(n, fabric, opts);
+    for (int r = 0; r < n; ++r) w.ep.push_back(w.group->endpoint(r));
+  } else {
+    Result<std::vector<std::vector<int>>> mesh =
+        SocketFabric::CreateLocalMesh(n);
+    EXPECT_TRUE(mesh.ok()) << mesh.status().ToString();
+    for (int r = 0; r < n; ++r) {
+      w.socks.push_back(SocketFabric::FromFds(r, n, mesh.value()[r], opts));
+      w.ep.push_back(w.socks.back().get());
+    }
+  }
+  return w;
+}
+
+class TransportConformanceTest : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformanceTest,
+                         ::testing::Values(Backend::kInProc,
+                                           Backend::kSocket),
+                         [](const auto& info) {
+                           return std::string(BackendName(info.param));
+                         });
+
+TEST_P(TransportConformanceTest, IdentityAndPeerValidation) {
+  World w = MakeWorld(GetParam(), 2);
+  EXPECT_STREQ(w[0]->backend_name(), BackendName(GetParam()));
+  EXPECT_EQ(w[0]->rank(), 0);
+  EXPECT_EQ(w[1]->rank(), 1);
+  EXPECT_EQ(w[0]->world_size(), 2);
+
+  const char byte = 'x';
+  std::vector<uint8_t> payload;
+  EXPECT_EQ(w[0]->Send(0, TrafficClass::kEmbedding, 0, &byte, 1).code(),
+            StatusCode::kInvalidArgument);  // self-send
+  EXPECT_EQ(w[0]->Send(2, TrafficClass::kEmbedding, 0, &byte, 1).code(),
+            StatusCode::kInvalidArgument);  // out of world
+  EXPECT_EQ(w[0]->Recv(-1, TrafficClass::kEmbedding, 0, &payload).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_P(TransportConformanceTest, PerPairSameTagIsFifo) {
+  World w = MakeWorld(GetParam(), 2);
+  for (uint32_t i = 0; i < 10; ++i) {
+    const uint32_t v = 100 + i;
+    ASSERT_TRUE(
+        w[0]->Send(1, TrafficClass::kEmbedding, 7, &v, sizeof(v)).ok());
+  }
+  for (uint32_t i = 0; i < 10; ++i) {
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(w[1]->Recv(0, TrafficClass::kEmbedding, 7, &payload).ok());
+    ASSERT_EQ(payload.size(), sizeof(uint32_t));
+    uint32_t v = 0;
+    std::memcpy(&v, payload.data(), sizeof(v));
+    EXPECT_EQ(v, 100 + i) << "frames reordered within one (src,cls,tag)";
+  }
+}
+
+TEST_P(TransportConformanceTest, TagAndClassMatchingClaimsOutOfOrder) {
+  World w = MakeWorld(GetParam(), 2);
+  const char a = 'a', b = 'b', c = 'c';
+  ASSERT_TRUE(w[0]->Send(1, TrafficClass::kEmbedding, 1, &a, 1).ok());
+  ASSERT_TRUE(w[0]->Send(1, TrafficClass::kEmbedding, 2, &b, 1).ok());
+  ASSERT_TRUE(w[0]->Send(1, TrafficClass::kIndexClock, 1, &c, 1).ok());
+
+  std::vector<uint8_t> payload;
+  // Claim in the reverse of arrival order: MPI-style matching, not FIFO
+  // across tags/classes.
+  ASSERT_TRUE(w[1]->Recv(0, TrafficClass::kIndexClock, 1, &payload).ok());
+  EXPECT_EQ(payload[0], 'c');
+  ASSERT_TRUE(w[1]->Recv(0, TrafficClass::kEmbedding, 2, &payload).ok());
+  EXPECT_EQ(payload[0], 'b');
+  ASSERT_TRUE(w[1]->Recv(0, TrafficClass::kEmbedding, 1, &payload).ok());
+  EXPECT_EQ(payload[0], 'a');
+}
+
+TEST_P(TransportConformanceTest, RecvTimesOutWithDeadlineExceeded) {
+  TransportOptions opts;
+  opts.recv_timeout_ms = 150;
+  World w = MakeWorld(GetParam(), 2, opts);
+  std::vector<uint8_t> payload;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = w[1]->Recv(0, TrafficClass::kEmbedding, 3, &payload);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  EXPECT_GE(elapsed.count(), 100);
+  EXPECT_LT(elapsed.count(), 5000) << "timeout wildly overshot";
+}
+
+TEST_P(TransportConformanceTest, TypedIndexClockRoundTrip) {
+  World w = MakeWorld(GetParam(), 2);
+  IndexClockMsg sent;
+  sent.ids = {3, 1, 4, 1, 5, 92, 65358979LL};
+  sent.clock = 0xDEADBEEFCAFEULL;
+  ASSERT_TRUE(SendIndexClock(w[0], 1, 11, sent).ok());
+  IndexClockMsg got;
+  ASSERT_TRUE(RecvIndexClock(w[1], 0, 11, &got).ok());
+  EXPECT_EQ(got.ids, sent.ids);
+  EXPECT_EQ(got.clock, sent.clock);
+}
+
+TEST_P(TransportConformanceTest, SymmetricIndexClockThenEmbeddingExchange) {
+  World w = MakeWorld(GetParam(), 2);
+  // Each rank's view of the §6 exchange, run concurrently like the
+  // engine's round loop would.
+  auto run_rank = [&](int r, IndexClockMsg* peer_ic,
+                      EmbeddingBlockMsg* peer_eb, Status* st) {
+    IndexClockMsg ic;
+    ic.ids = {10 + r, 20 + r};
+    ic.clock = 5 + static_cast<uint64_t>(r);
+    EmbeddingBlockMsg eb;
+    eb.dim = 2;
+    eb.ids = {100 + r};
+    eb.values = {1.5f * static_cast<float>(r + 1), -2.0f};
+    *st = ExchangeIndexClockThenEmbeddings(w[r], 1 - r, 42, ic, eb, peer_ic,
+                                           peer_eb);
+  };
+  IndexClockMsg ic0, ic1;
+  EmbeddingBlockMsg eb0, eb1;
+  Status st0, st1;
+  std::thread t1([&] { run_rank(1, &ic1, &eb1, &st1); });
+  run_rank(0, &ic0, &eb0, &st0);
+  t1.join();
+  ASSERT_TRUE(st0.ok()) << st0.ToString();
+  ASSERT_TRUE(st1.ok()) << st1.ToString();
+  EXPECT_EQ(ic0.ids, (std::vector<FeatureId>{11, 21}));  // rank0 sees rank1
+  EXPECT_EQ(ic0.clock, 6u);
+  EXPECT_EQ(ic1.ids, (std::vector<FeatureId>{10, 20}));
+  EXPECT_EQ(eb0.ids, (std::vector<FeatureId>{101}));
+  EXPECT_FLOAT_EQ(eb0.values[0], 3.0f);
+  EXPECT_FLOAT_EQ(eb1.values[0], 1.5f);
+}
+
+TEST_P(TransportConformanceTest, RingAllReduceAveragesAcrossRanks) {
+  const int n = 3;
+  const int64_t len = 12;  // divisible by n: chunk rounding exact
+  World w = MakeWorld(GetParam(), n);
+
+  std::vector<Tensor> tensors;
+  tensors.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    Tensor t({len});
+    for (int64_t i = 0; i < len; ++i) {
+      t.data()[i] = static_cast<float>(r * 100 + i);
+    }
+    tensors.push_back(std::move(t));
+  }
+
+  std::vector<Status> st(n);
+  std::vector<std::thread> threads;
+  for (int r = 1; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<Tensor*> mine = {&tensors[r]};
+      st[r] = TransportAllReduceAverage(w[r], mine);
+    });
+  }
+  std::vector<Tensor*> mine = {&tensors[0]};
+  st[0] = TransportAllReduceAverage(w[0], mine);
+  for (auto& t : threads) t.join();
+
+  for (int r = 0; r < n; ++r) {
+    ASSERT_TRUE(st[r].ok()) << "rank " << r << ": " << st[r].ToString();
+  }
+  // avg over r of (r*100 + i) = 100 + i for n = 3.
+  for (int r = 0; r < n; ++r) {
+    for (int64_t i = 0; i < len; ++i) {
+      EXPECT_NEAR(tensors[r].data()[i], 100.0f + static_cast<float>(i),
+                  1e-4)
+          << "rank " << r << " element " << i;
+    }
+  }
+  // Per-rank AllReduce payload bytes match the analytical formula the
+  // simulator charges (allreduce.h), since len divides evenly.
+  const uint64_t expect =
+      RingAllReduceBytesPerWorker(n, static_cast<uint64_t>(len) * 4);
+  for (int r = 0; r < n; ++r) {
+    uint64_t sent = 0;
+    for (int d = 0; d < n; ++d) {
+      sent += w[r]->SentPayloadBytes(d, TrafficClass::kAllReduce);
+    }
+    EXPECT_EQ(sent, expect) << "rank " << r;
+  }
+}
+
+// Scripted traffic used for cross-backend accounting parity.
+void RunAccountingScript(const World& w) {
+  std::vector<uint8_t> buf(1000, 0xAB);
+  ASSERT_TRUE(
+      w[0]->Send(1, TrafficClass::kEmbedding, 1, buf.data(), 1000).ok());
+  ASSERT_TRUE(
+      w[0]->Send(2, TrafficClass::kIndexClock, 2, buf.data(), 500).ok());
+  ASSERT_TRUE(
+      w[1]->Send(2, TrafficClass::kAllReduce, 3, buf.data(), 250).ok());
+  ASSERT_TRUE(w[2]->Send(0, TrafficClass::kLookup, 4, buf.data(), 125).ok());
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(w[1]->Recv(0, TrafficClass::kEmbedding, 1, &payload).ok());
+  ASSERT_TRUE(w[2]->Recv(0, TrafficClass::kIndexClock, 2, &payload).ok());
+  ASSERT_TRUE(w[2]->Recv(1, TrafficClass::kAllReduce, 3, &payload).ok());
+  ASSERT_TRUE(w[0]->Recv(2, TrafficClass::kLookup, 4, &payload).ok());
+}
+
+std::string WorldTallies(const World& w, int n) {
+  std::string all;
+  for (int r = 0; r < n; ++r) all += w[r]->SentTallyReport();
+  return all;
+}
+
+TEST(TransportAccountingParity, TalliesIdenticalAcrossBackends) {
+  World in = MakeWorld(Backend::kInProc, 3);
+  World so = MakeWorld(Backend::kSocket, 3);
+  RunAccountingScript(in);
+  RunAccountingScript(so);
+  const std::string a = WorldTallies(in, 3);
+  const std::string b = WorldTallies(so, 3);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "backends disagree on (src,dst,class) payload bytes";
+  // Receive-side tallies agree with send-side for delivered frames.
+  EXPECT_EQ(in[1]->ReceivedPayloadBytes(0, TrafficClass::kEmbedding),
+            so[1]->ReceivedPayloadBytes(0, TrafficClass::kEmbedding));
+  EXPECT_EQ(so[1]->ReceivedPayloadBytes(0, TrafficClass::kEmbedding), 1000u);
+}
+
+TEST(TransportAccountingParity, InProcChargesTheFabricLedger) {
+  const Topology topo = Topology::ClusterA(3);
+  Fabric fabric(topo);
+  World w;
+  w.group = std::make_unique<InProcTransportGroup>(3, &fabric);
+  for (int r = 0; r < 3; ++r) w.ep.push_back(w.group->endpoint(r));
+  RunAccountingScript(w);
+  // Every Send landed in the simulator's ledger under the same class.
+  EXPECT_EQ(fabric.PairBytes(0, 1, TrafficClass::kEmbedding), 1000u);
+  EXPECT_EQ(fabric.PairBytes(0, 2, TrafficClass::kIndexClock), 500u);
+  EXPECT_EQ(fabric.PairBytes(1, 2, TrafficClass::kAllReduce), 250u);
+  EXPECT_EQ(fabric.PairBytes(2, 0, TrafficClass::kLookup), 125u);
+  EXPECT_EQ(fabric.PairBytes(0, 1, TrafficClass::kEmbedding),
+            w[0]->SentPayloadBytes(1, TrafficClass::kEmbedding));
+}
+
+TEST(SocketTransportTest, PeerDeathSurfacesAsUnavailable) {
+  TransportOptions opts;
+  opts.recv_timeout_ms = 3000;
+  World w = MakeWorld(Backend::kSocket, 2, opts);
+  w.socks[0].reset();  // rank 0 dies: its fds close
+  std::vector<uint8_t> payload;
+  const Status st = w.ep[1]->Recv(0, TrafficClass::kEmbedding, 0, &payload);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process: the fork driver, mesh and TCP-rendezvous variants.
+
+// One §6-shaped training exchange: symmetric index+clock-then-embedding
+// round with the peer, then a dense ring AllReduce. Returns 0 on
+// success; nonzero codes identify the failing stage for the parent.
+int TrainingExchangeBody(int rank, Transport* t, std::string* out) {
+  IndexClockMsg ic;
+  ic.ids = {1000 + rank, 2000 + rank};
+  ic.clock = 7;
+  EmbeddingBlockMsg eb;
+  eb.dim = 4;
+  eb.ids = {500 + rank};
+  eb.values = {0.f, 1.f, 2.f, static_cast<float>(rank)};
+  IndexClockMsg peer_ic;
+  EmbeddingBlockMsg peer_eb;
+  const int peer = 1 - rank;
+  if (!ExchangeIndexClockThenEmbeddings(t, peer, 1, ic, eb, &peer_ic,
+                                        &peer_eb)
+           .ok()) {
+    return 2;
+  }
+  if (peer_ic.ids != std::vector<FeatureId>{1000 + peer, 2000 + peer}) {
+    return 3;
+  }
+  if (peer_eb.values.size() != 4 ||
+      peer_eb.values[3] != static_cast<float>(peer)) {
+    return 4;
+  }
+
+  Tensor dense({8});
+  for (int64_t i = 0; i < 8; ++i) {
+    dense.data()[i] = static_cast<float>(rank * 10 + i);
+  }
+  std::vector<Tensor*> tensors = {&dense};
+  if (!TransportAllReduceAverage(t, tensors).ok()) return 5;
+  for (int64_t i = 0; i < 8; ++i) {
+    // avg over ranks {0,1} of (rank*10 + i) = 5 + i.
+    if (std::abs(dense.data()[i] - (5.0f + static_cast<float>(i))) > 1e-4) {
+      return 6;
+    }
+  }
+  *out = t->SentTallyReport();
+  return 0;
+}
+
+TEST(MultiProcSocketTest, MeshTrainingExchangeEndToEnd) {
+#ifdef HETGMP_TSAN_ENABLED
+  GTEST_SKIP() << "fork-based driver is not TSan-compatible";
+#endif
+  const MultiProcResult result = RunForkedMeshRanks(2, TrainingExchangeBody);
+  ASSERT_TRUE(result.all_exited_cleanly) << result.failure;
+
+  // Cross-backend parity: the identical protocol body over the in-proc
+  // backend must produce byte-for-byte identical sender tallies.
+  World w = MakeWorld(Backend::kInProc, 2);
+  std::string out0, out1;
+  int code1 = -1;
+  std::thread t1(
+      [&] { code1 = TrainingExchangeBody(1, w[1], &out1); });
+  const int code0 = TrainingExchangeBody(0, w[0], &out0);
+  t1.join();
+  ASSERT_EQ(code0, 0);
+  ASSERT_EQ(code1, 0);
+  EXPECT_EQ(result.outputs[0], out0)
+      << "rank 0 tallies diverge between socket processes and in-proc";
+  EXPECT_EQ(result.outputs[1], out1)
+      << "rank 1 tallies diverge between socket processes and in-proc";
+}
+
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "hetgmp_rdzv_XXXXXX";
+  char* got = ::mkdtemp(tmpl.data());
+  EXPECT_NE(got, nullptr);
+  return tmpl;
+}
+
+TEST(MultiProcSocketTest, TcpRendezvousTrainingExchangeWithInjectedFault) {
+#ifdef HETGMP_TSAN_ENABLED
+  GTEST_SKIP() << "fork-based driver is not TSan-compatible";
+#endif
+  const std::string dir = MakeTempDir();
+  const MultiProcResult result = RunForkedRanks(
+      2,
+      [&dir](int rank, std::string* out) -> int {
+        RendezvousOptions opts;
+        opts.session_token = "tcp-e2e";
+        opts.connect_timeout_ms = 15000;
+        opts.recv_timeout_ms = 1200;
+        Result<std::unique_ptr<SocketFabric>> t =
+            SocketFabric::RendezvousTcp(dir, rank, 2, opts);
+        if (!t.ok()) {
+          *out = t.status().ToString();
+          return 10;
+        }
+        const int code = TrainingExchangeBody(rank, t.value().get(), out);
+        if (code != 0) return code;
+
+        // Injected-fault schedule: rank 0 "sends" round-99 index frames
+        // through a drop-everything wrapper; rank 1's matching Recv must
+        // surface a clean kDeadlineExceeded — not a hang, not an abort.
+        if (rank == 0) {
+          FaultOptions fopts;
+          fopts.seed = 99;
+          fopts.drop_prob = 1.0;
+          FaultyTransport faulty(t.value().get(), fopts);
+          IndexClockMsg ic;
+          ic.ids = {1, 2, 3};
+          const Status st = SendIndexClock(&faulty, 1, 99, ic);
+          if (!st.ok()) return 20;
+          if (faulty.injected().empty()) return 21;
+          // Stay alive long enough for the peer's deadline to elapse
+          // (exiting early would turn the drop into peer-death).
+          ::usleep(1500 * 1000);
+        } else {
+          IndexClockMsg ic;
+          const Status st = RecvIndexClock(t.value().get(), 0, 99, &ic);
+          if (st.code() != StatusCode::kDeadlineExceeded) {
+            *out += " fault recv: " + st.ToString();
+            return 22;
+          }
+        }
+        return 0;
+      },
+      30000);
+  ASSERT_TRUE(result.all_exited_cleanly)
+      << result.failure << " rank0: " << result.outputs[0]
+      << " rank1: " << result.outputs[1];
+}
+
+TEST(RendezvousTest, StaleFileIsRejectedFastNotRetried) {
+  const std::string dir = MakeTempDir();
+  // A leftover from a previous (dead) session: same path, other token.
+  ASSERT_TRUE(PublishRendezvousFile(
+                  dir + "/hetgmp_rank0.addr",
+                  RenderRendezvousFile("dead-session", 2, 0, 12345))
+                  .ok());
+  RendezvousOptions opts;
+  opts.session_token = "fresh-session";
+  opts.connect_timeout_ms = 10000;
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<SocketFabric>> r =
+      SocketFabric::RendezvousTcp(dir, 1, 2, opts);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("stale"), std::string::npos);
+  // Fail-fast regression: a stale file must not be polled until the
+  // connect deadline burns down.
+  EXPECT_LT(elapsed.count(), 5000);
+}
+
+TEST(RendezvousTest, PublishIsAtomicAndRoundTrips) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/hetgmp_rank0.addr";
+  const std::string body = RenderRendezvousFile("tok", 4, 0, 4242);
+  ASSERT_TRUE(PublishRendezvousFile(path, body).ok());
+  EXPECT_NE(::access(path.c_str(), F_OK), -1);
+  EXPECT_EQ(::access((path + ".tmp").c_str(), F_OK), -1)
+      << "tmp file left behind after rename";
+
+  int port = 0;
+  ASSERT_TRUE(ParseRendezvousFile(body, "tok", 4, 0, &port).ok());
+  EXPECT_EQ(port, 4242);
+  // Every mismatch dimension is stale, not retryable.
+  EXPECT_EQ(ParseRendezvousFile(body, "other", 4, 0, &port).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ParseRendezvousFile(body, "tok", 8, 0, &port).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ParseRendezvousFile(body, "tok", 4, 1, &port).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ParseRendezvousFile("garbage\n", "tok", 4, 0, &port).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace hetgmp

@@ -1,0 +1,34 @@
+// Lint fixture: R1 violations against the ISSUE 8 transport ranks
+// (kCommConn=56, kCommMailbox=58). Never compiled — only fed to
+// hetgmp_lint by lint_test.cc.
+
+#include "common/thread_annotations.h"
+
+namespace hetgmp {
+
+class WrongTransportOrder {
+ public:
+  // The legal nesting is socket connection (56) -> in-proc mailbox (58):
+  // a hybrid endpoint may park a received frame into a mailbox while its
+  // connection is locked, never the reverse. Taking the connection mutex
+  // inside a mailbox inverts it.
+  void ConnUnderMailboxInverted() {
+    MutexLock outer(&mailbox_mu_);
+    MutexLock inner(&conn_mu_);  // R1: 56 under 58
+  }
+
+  // Transport sits above the cold tier (54): a cold-tier flush may send,
+  // but the transport must never re-enter storage while a connection is
+  // locked.
+  void ColdUnderConnInverted() {
+    MutexLock conn(&conn_mu_);
+    MutexLock cold(&cold_mu_);  // R1: 54 under 56
+  }
+
+ private:
+  Mutex conn_mu_{lock_rank::kCommConn};
+  Mutex mailbox_mu_{lock_rank::kCommMailbox};
+  Mutex cold_mu_{lock_rank::kStoreCold};
+};
+
+}  // namespace hetgmp

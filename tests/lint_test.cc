@@ -59,6 +59,18 @@ TEST(LintFixtures, R1StoreRankInversionsFlagged) {
   EXPECT_NE(fs[1].message.find("inversion"), std::string::npos);
 }
 
+// The ISSUE 8 transport ranks (conn 56 / mailbox 58) follow the same
+// discipline: inversions among them, and against the storage ranks
+// below them, are flagged.
+TEST(LintFixtures, R1TransportRankInversionsFlagged) {
+  std::vector<Finding> fs = LintFixture("bad_r1_transport.cc");
+  ASSERT_EQ(fs.size(), 2u) << FindingsToJson(fs);
+  EXPECT_EQ(fs[0].rule, "R1");
+  EXPECT_EQ(fs[1].rule, "R1");
+  EXPECT_NE(fs[0].message.find("inversion"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("inversion"), std::string::npos);
+}
+
 TEST(LintFixtures, R1DoubleStripeFlagged) {
   std::vector<Finding> fs = LintFixture("bad_r1_stripes.cc");
   ASSERT_EQ(fs.size(), 1u) << FindingsToJson(fs);

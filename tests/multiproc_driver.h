@@ -1,0 +1,248 @@
+#ifndef HETGMP_TESTS_MULTIPROC_DRIVER_H_
+#define HETGMP_TESTS_MULTIPROC_DRIVER_H_
+
+// Fork-based multi-process test driver for the socket transport backend.
+//
+// Each rank of a world runs in its own forked child process; the parent
+// collects one string of output per rank (over a pipe) plus the exit
+// code, with a hard deadline: a hung child is SIGKILLed and reported as
+// a failure rather than hanging the test binary. Children terminate via
+// _exit() so gtest atexit handlers and buffered state never run twice.
+//
+// Not TSan-compatible (sanitizer runtimes do not survive fork of a
+// threaded process); callers GTEST_SKIP under TSan — see
+// HETGMP_TSAN_ENABLED below.
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/socket_transport.h"
+#include "comm/transport.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define HETGMP_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HETGMP_TSAN_ENABLED 1
+#endif
+#endif
+
+namespace hetgmp {
+namespace testing_multiproc {
+
+struct MultiProcResult {
+  bool all_exited_cleanly = false;   // every rank: exited, code 0, in time
+  std::vector<int> exit_codes;       // -1 = killed by driver / signalled
+  std::vector<std::string> outputs;  // what each rank wrote via *out
+  std::string failure;               // human-readable driver diagnosis
+};
+
+namespace detail {
+
+inline int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Forks `world` children running `child_body(rank)` (its return value is
+// the exit code; whatever it writes to the rank's pipe becomes
+// outputs[rank]) and supervises them against the deadline.
+inline MultiProcResult Supervise(
+    int world, int timeout_ms,
+    const std::function<int(int rank, int out_fd)>& child_body,
+    const std::function<void()>& after_fork_parent = {}) {
+  MultiProcResult result;
+  result.exit_codes.assign(world, -1);
+  result.outputs.assign(world, "");
+
+  std::vector<pid_t> pids(world, -1);
+  std::vector<int> pipes(world, -1);
+  for (int r = 0; r < world; ++r) {
+    int pfd[2];
+    if (::pipe(pfd) != 0) {
+      result.failure = "pipe() failed";
+      return result;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      result.failure = "fork() failed";
+      ::close(pfd[0]);
+      ::close(pfd[1]);
+      return result;
+    }
+    if (pid == 0) {
+      // Child: keep only the write end of its own pipe (plus whatever
+      // fds child_body was built over).
+      ::close(pfd[0]);
+      for (int j = 0; j < r; ++j) {
+        if (pipes[j] >= 0) ::close(pipes[j]);
+      }
+      const int code = child_body(r, pfd[1]);
+      ::close(pfd[1]);
+      ::_exit(code);
+    }
+    ::close(pfd[1]);
+    pids[r] = pid;
+    pipes[r] = pfd[0];
+  }
+
+  // Release resources only the children should now own (e.g. the mesh
+  // fds) so peer death shows up as EOF, not a parent-held-open socket.
+  if (after_fork_parent) after_fork_parent();
+
+  // Drain pipes until EOF (child exit closes the write end), then reap.
+  const int64_t deadline = NowMs() + timeout_ms;
+  int open_pipes = world;
+  while (open_pipes > 0 && NowMs() < deadline) {
+    std::vector<struct pollfd> pfds;
+    std::vector<int> ranks;
+    for (int r = 0; r < world; ++r) {
+      if (pipes[r] >= 0) {
+        pfds.push_back({pipes[r], POLLIN, 0});
+        ranks.push_back(r);
+      }
+    }
+    const int pr = ::poll(pfds.data(), pfds.size(),
+                          static_cast<int>(deadline - NowMs()));
+    if (pr <= 0) continue;  // timeout or EINTR; loop re-checks deadline
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP)) == 0) continue;
+      const int r = ranks[i];
+      char buf[4096];
+      const ssize_t n = ::read(pipes[r], buf, sizeof(buf));
+      if (n > 0) {
+        result.outputs[r].append(buf, static_cast<size_t>(n));
+      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        ::close(pipes[r]);
+        pipes[r] = -1;
+        --open_pipes;
+      }
+    }
+  }
+
+  bool clean = true;
+  for (int r = 0; r < world; ++r) {
+    int status = 0;
+    int64_t remaining = deadline - NowMs();
+    pid_t got = ::waitpid(pids[r], &status, WNOHANG);
+    while (got == 0 && remaining > 0) {
+      ::usleep(5 * 1000);
+      remaining = deadline - NowMs();
+      got = ::waitpid(pids[r], &status, WNOHANG);
+    }
+    if (got == 0) {
+      // Hung past the deadline: kill and report, never hang the suite.
+      ::kill(pids[r], SIGKILL);
+      (void)::waitpid(pids[r], &status, 0);
+      result.failure += "rank " + std::to_string(r) +
+                        " hung past the deadline (SIGKILLed); ";
+      clean = false;
+      continue;
+    }
+    if (WIFEXITED(status)) {
+      result.exit_codes[r] = WEXITSTATUS(status);
+      if (result.exit_codes[r] != 0) {
+        result.failure += "rank " + std::to_string(r) + " exited with " +
+                          std::to_string(result.exit_codes[r]) + "; ";
+        clean = false;
+      }
+    } else {
+      result.failure += "rank " + std::to_string(r) +
+                        " died on signal " + std::to_string(WTERMSIG(status)) +
+                        "; ";
+      clean = false;
+    }
+  }
+  for (int r = 0; r < world; ++r) {
+    if (pipes[r] >= 0) ::close(pipes[r]);
+  }
+  result.all_exited_cleanly = clean;
+  return result;
+}
+
+inline void WriteAll(int fd, const std::string& s) {
+  size_t off = 0;
+  while (off < s.size()) {
+    const ssize_t n = ::write(fd, s.data() + off, s.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace detail
+
+// Runs `body(rank, &out)` in `world` forked processes. The body builds
+// its own transport (e.g. via SocketFabric::RendezvousTcp) and returns
+// its exit code; `out` is shipped back to the parent.
+inline MultiProcResult RunForkedRanks(
+    int world, const std::function<int(int rank, std::string* out)>& body,
+    int timeout_ms = 30000) {
+  return detail::Supervise(
+      world, timeout_ms, [&](int rank, int out_fd) -> int {
+        std::string out;
+        const int code = body(rank, &out);
+        detail::WriteAll(out_fd, out);
+        return code;
+      });
+}
+
+// Builds a pre-connected socketpair mesh, forks one process per rank,
+// and hands each child its SocketFabric over the inherited fds — the
+// "pre-forked local world" path of DESIGN.md §5g.
+inline MultiProcResult RunForkedMeshRanks(
+    int world,
+    const std::function<int(int rank, Transport* t, std::string* out)>& body,
+    TransportOptions options = {}, int timeout_ms = 30000) {
+  Result<std::vector<std::vector<int>>> mesh =
+      SocketFabric::CreateLocalMesh(world);
+  if (!mesh.ok()) {
+    MultiProcResult r;
+    r.failure = "CreateLocalMesh: " + mesh.status().ToString();
+    return r;
+  }
+  std::vector<std::vector<int>>& fds = mesh.value();
+  MultiProcResult result = detail::Supervise(
+      world, timeout_ms,
+      [&](int rank, int out_fd) -> int {
+        // Keep only this rank's row; close every other inherited end so
+        // peer death produces EOF instead of a silently held-open fd.
+        for (int i = 0; i < world; ++i) {
+          for (int j = 0; j < world; ++j) {
+            if (i != rank && fds[i][j] >= 0) ::close(fds[i][j]);
+          }
+        }
+        std::unique_ptr<SocketFabric> t =
+            SocketFabric::FromFds(rank, world, fds[rank], options);
+        std::string out;
+        const int code = body(rank, t.get(), &out);
+        detail::WriteAll(out_fd, out);
+        t.reset();
+        return code;
+      },
+      [&fds]() {
+        for (auto& row : fds) {
+          for (int& fd : row) {
+            if (fd >= 0) ::close(fd);
+            fd = -1;
+          }
+        }
+      });
+  return result;
+}
+
+}  // namespace testing_multiproc
+}  // namespace hetgmp
+
+#endif  // HETGMP_TESTS_MULTIPROC_DRIVER_H_

@@ -415,7 +415,8 @@ const std::map<std::string, int>& RankTable() {
       {"kNone", 0},          {"kBatcher", 10},    {"kStorePrefetch", 15},
       {"kSnapshotPublish", 20}, {"kSnapshotSlot", 30}, {"kServeShard", 40},
       {"kEngineMerge", 50},  {"kStoreWarm", 52},  {"kStoreCold", 54},
-      {"kEmbedStripe", 60},  {"kLeaf", 100},
+      {"kCommConn", 56},     {"kCommMailbox", 58}, {"kEmbedStripe", 60},
+      {"kLeaf", 100},
   };
   return kRanks;
 }
