@@ -1,0 +1,243 @@
+// Scale-out bench for Engine-over-Transport (DESIGN.md §5h): full
+// training runs at 1 / 2 / 4 real processes over loopback TCP, against
+// the single-process in-proc mailbox run of the identical workload.
+//
+// For every world size this measures wall clock and ASSERTS — exit code,
+// not just a printed delta — that the bytes which physically crossed the
+// sockets equal the simulator's accounting byte-for-byte:
+//
+//   * each TCP rank's sent-payload tally report is identical to the
+//     corresponding in-proc endpoint's (same cells, same byte counts);
+//   * the summed per-class wire bytes equal the engine's expected wire
+//     bytes, which relate to the simulated Fabric ledger by the closed
+//     forms of comm/protocol.h (ledger + typed message framing);
+//   * no rank saw a payload-verification failure.
+//
+// One "BENCH_JSON " line per (world, backend) configuration:
+//
+//   {"bench":"train_multiproc","world":N,"backend":"inproc|tcp",
+//    "wall_s":F,"index_clock_bytes":N,"embedding_bytes":N,
+//    "allreduce_bytes":N,"ledger_index_clock_bytes":N,
+//    "ledger_embedding_bytes":N,"verify_failures":0,"tally_match":true}
+//
+// Not TSan-compatible (fork-based driver); under TSan only the in-proc
+// configurations run.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "comm/socket_transport.h"
+#include "comm/topology.h"
+#include "comm/transport.h"
+#include "common/logging.h"
+#include "core/engine.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+#include "multiproc_driver.h"
+
+using namespace hetgmp;         // NOLINT
+using namespace hetgmp::bench;  // NOLINT
+using testing_multiproc::MultiProcResult;
+using testing_multiproc::RunForkedRanks;
+
+namespace {
+
+double NowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int kEpochs = 2;
+
+EngineConfig BenchConfig() {
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  cfg.batch_size = 64;
+  cfg.embedding_dim = 8;
+  cfg.rounds_per_epoch = 2;
+  cfg.bound.s = 1;
+  // The SPMD socket mode requires the deterministic schedule; the
+  // in-proc reference uses it too so the two runs are comparable.
+  cfg.deterministic = true;
+  return cfg;
+}
+
+SyntheticCtrConfig BenchData(double scale) {
+  SyntheticCtrConfig d;
+  d.num_samples = static_cast<int64_t>(4000 * scale);
+  d.num_fields = 8;
+  d.num_features = static_cast<int64_t>(800 * scale);
+  d.num_clusters = 4;
+  d.seed = 91;
+  return d;
+}
+
+struct RunOutput {
+  TrainResult result;
+  std::vector<std::string> tallies;  // per rank, SentTallyReport format
+  double wall_s = 0.0;
+  // The simulated ledger's per-class totals — the cost-model prediction
+  // the wire bytes must equal once the typed message framing is added
+  // (relation locked in by tests/engine_transport_test.cc).
+  uint64_t ledger_index_clock = 0;
+  uint64_t ledger_embedding = 0;
+};
+
+// Single-process reference: the in-proc mailbox backend with Fabric
+// charging on. Its per-endpoint tallies are the "simulator's accounting"
+// every TCP rank must reproduce.
+RunOutput RunInProc(const CtrDataset& train, const CtrDataset& test,
+                    const Topology& topo) {
+  EngineConfig cfg = BenchConfig();
+  cfg.transport.enabled = true;
+  Bigraph graph(train);
+  Partition part = BuildPartition(cfg, graph, topo);
+  Engine engine(cfg, train, test, topo, part);
+  RunOutput out;
+  const double t0 = NowS();
+  out.result = engine.Train(kEpochs);
+  out.wall_s = NowS() - t0;
+  for (int r = 0; r < topo.num_workers(); ++r) {
+    out.tallies.push_back(engine.wire_endpoint(r)->SentTallyReport());
+  }
+  out.ledger_index_clock =
+      engine.fabric().TotalBytes(TrafficClass::kIndexClock);
+  out.ledger_embedding = engine.fabric().TotalBytes(TrafficClass::kEmbedding);
+  return out;
+}
+
+std::string MakeRendezvousDir() {
+  std::string tmpl = "/tmp/hetgmp_bench_rdzv_XXXXXX";
+  HETGMP_CHECK(::mkdtemp(tmpl.data()) != nullptr);
+  return tmpl;
+}
+
+int RunWorld(BenchJsonSink& sink, int world, double scale) {
+  const Topology topo = Topology::ClusterA(world);
+  CtrDataset train = GenerateSyntheticCtr(BenchData(scale));
+  const CtrDataset test = train.SplitTail(0.2);
+
+  const RunOutput ref = RunInProc(train, test, topo);
+  const TrainResult::WireStats& w = ref.result.wire;
+  if (w.verify_failures != 0) {
+    std::fprintf(stderr, "world %d: in-proc verify failures %lld\n", world,
+                 static_cast<long long>(w.verify_failures));
+    return 1;
+  }
+  JsonLine inproc;
+  inproc.Str("bench", "train_multiproc")
+      .Int("world", world)
+      .Str("backend", "inproc")
+      .Num("wall_s", ref.wall_s, 4)
+      .Int("index_clock_bytes",
+           static_cast<long long>(w.expected_index_clock_bytes))
+      .Int("embedding_bytes",
+           static_cast<long long>(w.expected_embedding_bytes))
+      .Int("allreduce_bytes",
+           static_cast<long long>(w.expected_allreduce_bytes))
+      .Int("ledger_index_clock_bytes",
+           static_cast<long long>(ref.ledger_index_clock))
+      .Int("ledger_embedding_bytes",
+           static_cast<long long>(ref.ledger_embedding))
+      .Int("verify_failures", w.verify_failures)
+      .Bool("tally_match", true);
+  sink.Emit(inproc);
+
+#ifdef HETGMP_TSAN_ENABLED
+  std::printf("world %d: skipping TCP processes under TSan\n", world);
+  return 0;
+#else
+  const std::string dir = MakeRendezvousDir();
+  const double t0 = NowS();
+  const MultiProcResult mp = RunForkedRanks(
+      world,
+      [&dir, &train, &test, &topo, world](int rank, std::string* out) -> int {
+        RendezvousOptions ropts;
+        ropts.session_token = "bench-train-multiproc";
+        ropts.connect_timeout_ms = 60000;
+        ropts.recv_timeout_ms = 60000;
+        Result<std::unique_ptr<SocketFabric>> fab =
+            SocketFabric::RendezvousTcp(dir, rank, world, ropts);
+        if (!fab.ok()) {
+          *out = fab.status().ToString();
+          return 10;
+        }
+        EngineConfig cfg = BenchConfig();
+        cfg.transport.enabled = true;
+        cfg.transport.backend =
+            EngineConfig::TransportConfig::Backend::kSocket;
+        cfg.transport.socket = fab.value().get();
+        Bigraph graph(train);
+        Partition part = BuildPartition(cfg, graph, topo);
+        Engine engine(cfg, train, test, topo, part);
+        const TrainResult r = engine.Train(kEpochs);
+        if (r.wire.verify_failures != 0) return 11;
+        *out = fab.value()->SentTallyReport();
+        return 0;
+      },
+      300000);
+  const double tcp_wall = NowS() - t0;
+  if (!mp.all_exited_cleanly) {
+    std::fprintf(stderr, "world %d TCP run failed: %s\n", world,
+                 mp.failure.c_str());
+    return 1;
+  }
+
+  // Byte-for-byte: each rank's wire tally equals the in-proc endpoint's.
+  bool tally_match = true;
+  for (int r = 0; r < world; ++r) {
+    if (mp.outputs[r] != ref.tallies[r]) {
+      tally_match = false;
+      std::fprintf(stderr,
+                   "world %d rank %d tally mismatch\n--- tcp ---\n%s"
+                   "--- inproc ---\n%s",
+                   world, r, mp.outputs[r].c_str(), ref.tallies[r].c_str());
+    }
+  }
+
+  JsonLine tcp;
+  tcp.Str("bench", "train_multiproc")
+      .Int("world", world)
+      .Str("backend", "tcp")
+      .Num("wall_s", tcp_wall, 4)
+      .Int("index_clock_bytes",
+           static_cast<long long>(w.expected_index_clock_bytes))
+      .Int("embedding_bytes",
+           static_cast<long long>(w.expected_embedding_bytes))
+      .Int("allreduce_bytes",
+           static_cast<long long>(w.expected_allreduce_bytes))
+      .Int("ledger_index_clock_bytes",
+           static_cast<long long>(ref.ledger_index_clock))
+      .Int("ledger_embedding_bytes",
+           static_cast<long long>(ref.ledger_embedding))
+      .Int("verify_failures", 0)
+      .Bool("tally_match", tally_match);
+  sink.Emit(tcp);
+  return tally_match ? 0 : 1;
+#endif
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_train_multiproc: training across real processes",
+              "HET-GMP §6 (system architecture), DESIGN.md §5h");
+  const double scale = EnvScale(1.0);
+  BenchJsonSink sink;
+  int rc = 0;
+  for (const int world : {1, 2, 4}) {
+    rc |= RunWorld(sink, world, scale);
+  }
+  if (rc == 0) {
+    std::printf("all worlds: wire tallies match the simulator accounting "
+                "byte-for-byte\n");
+  }
+  return rc;
+}

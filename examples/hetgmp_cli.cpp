@@ -28,10 +28,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "comm/socket_transport.h"
 #include "comm/topology.h"
 #include "common/histogram.h"
 #include "common/zipf.h"
@@ -65,6 +67,17 @@ struct CliOptions {
   std::string save_dataset;
   std::string load_dataset;
 
+  // Engine-over-Transport (DESIGN.md §5h). "inproc" drives the round
+  // traffic through the mailbox backend inside this process; "tcp" makes
+  // this process rank R of a --workers-sized SPMD world connected over
+  // loopback TCP (launch one process per rank against one
+  // --rendezvous-dir).
+  std::string transport = "off";  // off|inproc|tcp
+  int rank = 0;
+  std::string rendezvous_dir = "/tmp/hetgmp_rendezvous";
+  std::string session_token = "hetgmp-cli";
+  int connect_timeout_ms = 30000;
+
   // Tiered embedding storage (hot/warm/cold hierarchy, DESIGN.md §5f).
   bool tiered = false;
   int64_t tiered_hot = 0;   // 0 = num_features/10
@@ -94,6 +107,9 @@ struct CliOptions {
       "          [--save-dataset PATH] [--load-dataset PATH]\n"
       "          [--tiered] [--tiered-hot N] [--tiered-warm N]\n"
       "          [--no-prefetch]\n"
+      "          [--transport off|inproc|tcp] [--rank R]\n"
+      "          [--rendezvous-dir PATH] [--session-token T]\n"
+      "          [--connect-timeout-ms N]\n"
       "       %s serve [--dataset ...] [--scale F] [--workers N]\n"
       "          [--epochs N] [--dim N] [--batch N] [--lookups N]\n"
       "          [--clients K] [--keys-per-request N] [--zipf-theta F]\n"
@@ -144,6 +160,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->tiered_warm = std::atoll(next());
     } else if (flag == "--no-prefetch") {
       opt->tiered_prefetch = false;
+    } else if (flag == "--transport") {
+      opt->transport = next();
+    } else if (flag == "--rank") {
+      opt->rank = std::atoi(next());
+    } else if (flag == "--rendezvous-dir") {
+      opt->rendezvous_dir = next();
+    } else if (flag == "--session-token") {
+      opt->session_token = next();
+    } else if (flag == "--connect-timeout-ms") {
+      opt->connect_timeout_ms = std::atoi(next());
     } else if (flag == "--lookups") {
       opt->lookups = std::atoll(next());
     } else if (flag == "--clients") {
@@ -263,6 +289,33 @@ void PrintStorageSummary(const TrainResult& r) {
   }
 }
 
+// One line of wire accounting after a transport-enabled run; non-zero
+// verify_failures (a received payload that did not match the locally
+// reproduced expectation) is a hard failure.
+int ReportWire(const TrainResult& r) {
+  if (!r.wire.enabled) return 0;
+  std::printf(
+      "wire: rounds=%d index_msgs=%lld embedding_msgs=%lld "
+      "entries=%lld+%lld rows=%lld+%lld "
+      "bytes{index_clock=%llu,embedding=%llu,allreduce=%llu} "
+      "verify_failures=%lld\n",
+      r.wire.rounds_exchanged, static_cast<long long>(r.wire.index_messages),
+      static_cast<long long>(r.wire.embedding_messages),
+      static_cast<long long>(r.wire.index_entries),
+      static_cast<long long>(r.wire.clock_entries),
+      static_cast<long long>(r.wire.pushed_rows),
+      static_cast<long long>(r.wire.fetched_rows),
+      static_cast<unsigned long long>(r.wire.expected_index_clock_bytes),
+      static_cast<unsigned long long>(r.wire.expected_embedding_bytes),
+      static_cast<unsigned long long>(r.wire.expected_allreduce_bytes),
+      static_cast<long long>(r.wire.verify_failures));
+  if (r.wire.verify_failures > 0) {
+    std::fprintf(stderr, "wire payload verification failed\n");
+    return 1;
+  }
+  return 0;
+}
+
 int RunTrain(const CliOptions& opt) {
   CtrDataset train = BuildDataset(opt);
   if (!opt.save_dataset.empty()) {
@@ -283,11 +336,46 @@ int RunTrain(const CliOptions& opt) {
                                 ? Topology::ClusterB(opt.workers)
                                 : Topology::ClusterA(opt.workers);
 
+  // Engine-over-Transport: the mailbox backend is in-process; "tcp" makes
+  // this process one rank of an SPMD world (every rank simulates all
+  // --workers workers; the wire exchange drives this rank's endpoint).
+  std::unique_ptr<SocketFabric> socket_fab;
+  if (opt.transport == "inproc") {
+    cfg.transport.enabled = true;
+  } else if (opt.transport == "tcp") {
+    if (opt.rank < 0 || opt.rank >= opt.workers) {
+      std::fprintf(stderr, "--rank %d out of range for --workers %d\n",
+                   opt.rank, opt.workers);
+      return 1;
+    }
+    RendezvousOptions ropts;
+    ropts.session_token = opt.session_token;
+    ropts.connect_timeout_ms = opt.connect_timeout_ms;
+    Result<std::unique_ptr<SocketFabric>> fab = SocketFabric::RendezvousTcp(
+        opt.rendezvous_dir, opt.rank, opt.workers, ropts);
+    if (!fab.ok()) {
+      std::fprintf(stderr, "rendezvous failed: %s\n",
+                   fab.status().ToString().c_str());
+      return 1;
+    }
+    socket_fab = std::move(fab).value();
+    cfg.transport.enabled = true;
+    cfg.transport.backend = EngineConfig::TransportConfig::Backend::kSocket;
+    cfg.transport.socket = socket_fab.get();
+    cfg.deterministic = true;  // SPMD verification needs the fixed schedule
+    std::printf("tcp transport up: rank %d of %d (dir %s)\n", opt.rank,
+                opt.workers, opt.rendezvous_dir.c_str());
+  } else if (opt.transport != "off") {
+    std::fprintf(stderr, "unknown --transport: %s\n", opt.transport.c_str());
+    return 1;
+  }
+
   ExperimentResult r = RunExperiment(cfg, train, test, topology,
                                      opt.epochs, opt.target_auc);
   std::printf("\n== %s ==\n%s", r.description.c_str(),
               FormatConvergenceCurve(r.train).c_str());
   PrintStorageSummary(r.train);
+  if (ReportWire(r.train) != 0) return 1;
   std::printf(
       "\n{\"strategy\":\"%s\",\"model\":\"%s\",\"dataset\":\"%s\","
       "\"workers\":%d,\"final_auc\":%.4f,\"sim_time\":%.6f,"

@@ -35,6 +35,15 @@
 #                               # + TCP rendezvous + injected fault, which
 #                               # TSan skips) and the transport bench with
 #                               # JSON output
+#   scripts/check.sh multiproc-smoke
+#                               # engine-over-transport gate: the golden
+#                               # parity suite (transport-driven engine
+#                               # bit-equal to the seed trajectories,
+#                               # tallies equal the ledger) under TSan,
+#                               # then a release build driving a real
+#                               # 2-process TCP training run through
+#                               # hetgmp_cli plus the 1/2/4-process
+#                               # scale-out bench with JSON output
 #   scripts/check.sh lint       # hetgmp_lint (R1-R5 project contracts)
 #                               # over the compile database + all of
 #                               # src/; findings JSON artifact at
@@ -87,7 +96,7 @@ run_mode() {
     *)
       echo "unknown mode: ${mode} (expected release, tsan, asan-ubsan," \
            "lint, lockrank, partitioner-smoke, hotpath-smoke," \
-           "storage-smoke, or comm-smoke)" >&2
+           "storage-smoke, comm-smoke, or multiproc-smoke)" >&2
       return 2
       ;;
   esac
@@ -257,6 +266,70 @@ run_comm_smoke() {
   echo "==== [comm-smoke] OK"
 }
 
+# Focused gate for the engine-over-transport layer (DESIGN.md §5h): the
+# golden parity suite under TSan — transport-on training must be
+# bit-identical to transport-off AND race-free (the wire exchange drives
+# one thread per in-proc endpoint) — then a release build running (a) a
+# real 2-process TCP training world through hetgmp_cli in one rendezvous
+# directory TWICE (exercising the stale-file unlink fix end to end) and
+# (b) the 1/2/4-process scale-out bench, which exits non-zero unless the
+# wire tallies equal the simulator accounting byte-for-byte.
+run_multiproc_smoke() {
+  local tsan_dir="${base}/tsan"
+  local rel_dir="${base}/release-bench"
+  local filter='EngineTransportTest|EngineTransportParityTest|RendezvousTest'
+
+  echo "==== [multiproc-smoke] configure + build (tsan)"
+  cmake -B "${tsan_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DHETGMP_SANITIZE=thread -DHETGMP_BUILD_BENCHMARKS=OFF \
+    -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${tsan_dir}" -j "${jobs}" --target \
+    engine_transport_test comm_transport_test
+  echo "==== [multiproc-smoke] engine transport parity under TSan"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
+      --no-tests=error -R "${filter}"
+
+  echo "==== [multiproc-smoke] configure + build (release: cli + bench)"
+  # Examples ON explicitly: the shared release-bench tree may be cached
+  # with them off by the other smoke gates, and the CLI drive needs one.
+  cmake -B "${rel_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETGMP_BUILD_EXAMPLES=ON
+  cmake --build "${rel_dir}" -j "${jobs}" --target \
+    engine_transport_test hetgmp_cli bench_train_multiproc
+  echo "==== [multiproc-smoke] parity + fork suites (release)"
+  ctest --test-dir "${rel_dir}" --output-on-failure -j "${jobs}" \
+    --no-tests=error -R "${filter}"
+
+  echo "==== [multiproc-smoke] 2-process TCP training via hetgmp_cli" \
+       "(twice in one rendezvous directory)"
+  local rdzv
+  rdzv="$(mktemp -d "${rel_dir}/rdzv.XXXXXX")"
+  local cli="${rel_dir}/examples/hetgmp_cli"
+  local run
+  for run in first second; do
+    "${cli}" train --dataset criteo --scale 0.02 --workers 2 --epochs 1 \
+      --transport tcp --rank 0 --rendezvous-dir "${rdzv}" \
+      --session-token "smoke-${run}" &
+    local pid0=$!
+    "${cli}" train --dataset criteo --scale 0.02 --workers 2 --epochs 1 \
+      --transport tcp --rank 1 --rendezvous-dir "${rdzv}" \
+      --session-token "smoke-${run}" > "${rel_dir}/cli_rank1_${run}.log" 2>&1 &
+    local pid1=$!
+    # Waited separately: `wait p0 p1` reports only the last pid's status.
+    wait "${pid0}"
+    wait "${pid1}"
+  done
+
+  echo "==== [multiproc-smoke] scale-out bench (1/2/4 processes)"
+  HETGMP_BENCH_SCALE="${HETGMP_BENCH_SCALE:-0.5}" \
+  HETGMP_BENCH_JSON="${rel_dir}/BENCH_train_multiproc.json" \
+    "${rel_dir}/bench/bench_train_multiproc"
+  echo "==== [multiproc-smoke] JSON summary at" \
+       "${rel_dir}/BENCH_train_multiproc.json"
+  echo "==== [multiproc-smoke] OK"
+}
+
 # Project-contract lint gate: builds tools/hetgmp_lint and runs it over
 # the compile database plus every header under src/. Fails on any
 # finding; always writes the machine-readable findings artifact (empty
@@ -291,6 +364,8 @@ for mode in "${modes[@]}"; do
     run_storage_smoke
   elif [[ "${mode}" == "comm-smoke" ]]; then
     run_comm_smoke
+  elif [[ "${mode}" == "multiproc-smoke" ]]; then
+    run_multiproc_smoke
   elif [[ "${mode}" == "lint" ]]; then
     run_lint
   else

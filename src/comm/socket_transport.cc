@@ -170,6 +170,10 @@ SocketFabric::~SocketFabric() {
       conn->fd = -1;
     }
   }
+  // Rendezvous cleanup backstop: the success path of RendezvousTcp
+  // already unlinked the file, but a fabric torn down after a partial
+  // exchange should still leave the directory reusable.
+  if (!addr_file_.empty()) ::unlink(addr_file_.c_str());
 }
 
 Result<std::vector<std::vector<int>>> SocketFabric::CreateLocalMesh(
@@ -595,6 +599,13 @@ Status ReadWholeFile(const std::string& path, std::string* out,
   *exists = true;
   std::ostringstream os;
   os << in.rdbuf();
+  // An I/O error mid-read leaves a partial buffer that would otherwise be
+  // handed to ParseRendezvousFile and misclassified as a stale file.
+  // badbit is the stream-level read failure; failbit alone is the normal
+  // empty-file case and must stay classified by the parser.
+  if (in.bad()) {
+    return Status::Internal("rendezvous: read error on " + path);
+  }
   *out = os.str();
   return Status::OK();
 }
@@ -643,37 +654,46 @@ Result<std::unique_ptr<SocketFabric>> SocketFabric::RendezvousTcp(
   Result<int> listen_fd = MakeListenSocket(world, &port);
   if (!listen_fd.ok()) return listen_fd.status();
 
+  const std::string addr_path = AddrPath(dir, rank);
   std::vector<int> fds(world, -1);
   auto fail = [&](Status st) -> Result<std::unique_ptr<SocketFabric>> {
     ::close(listen_fd.value());
     for (int fd : fds) {
       if (fd >= 0) ::close(fd);
     }
+    // Do not leave our own published file behind on failure: the next
+    // world in this directory should start from a clean slate.
+    ::unlink(addr_path.c_str());
     return st;
   };
 
   Status pub = PublishRendezvousFile(
-      AddrPath(dir, rank),
+      addr_path,
       RenderRendezvousFile(options.session_token, world, rank, port));
   if (!pub.ok()) return fail(pub);
 
   // Connect to every lower rank (they accept), validating their address
-  // files; stale files fail fast instead of burning the deadline.
+  // files. A stale leftover from a dead world in the same directory is
+  // NOT a fail-fast condition: the peer's fresh publish atomically
+  // replaces the leftover (tmp+rename), so keep re-reading until the
+  // token matches; only if the file is still stale at the deadline is
+  // the stale status surfaced.
   for (int peer = 0; peer < rank; ++peer) {
     int peer_port = 0;
     for (;;) {
       std::string contents;
       bool exists = false;
-      HETGMP_IGNORE_STATUS(ReadWholeFile(AddrPath(dir, peer), &contents,
-                                         &exists));
+      const Status rd =
+          ReadWholeFile(AddrPath(dir, peer), &contents, &exists);
+      if (!rd.ok()) return fail(rd);
+      Status stale = Status::OK();
       if (exists) {
-        const Status st =
-            ParseRendezvousFile(contents, options.session_token, world, peer,
-                                &peer_port);
-        if (!st.ok()) return fail(st);
-        break;
+        stale = ParseRendezvousFile(contents, options.session_token, world,
+                                    peer, &peer_port);
+        if (stale.ok()) break;
       }
       if (NowMs() >= deadline_ms) {
+        if (!stale.ok()) return fail(stale);
         return fail(Status::DeadlineExceeded(
             "rendezvous: rank " + std::to_string(peer) +
             " never published its address file"));
@@ -745,7 +765,15 @@ Result<std::unique_ptr<SocketFabric>> SocketFabric::RendezvousTcp(
   ::close(listen_fd.value());
   TransportOptions topts;
   topts.recv_timeout_ms = options.recv_timeout_ms;
-  return FromFds(rank, world, std::move(fds), topts);
+  std::unique_ptr<SocketFabric> fab =
+      FromFds(rank, world, std::move(fds), topts);
+  // Every peer is connected, so nobody will read our address file again.
+  // Unlink it now so a subsequent world can rendezvous in this directory
+  // without tripping over our leftover; the destructor repeats the unlink
+  // as a backstop (idempotent — ENOENT is fine).
+  fab->addr_file_ = addr_path;
+  ::unlink(addr_path.c_str());
+  return fab;
 }
 
 }  // namespace hetgmp

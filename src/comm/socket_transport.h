@@ -44,12 +44,15 @@ namespace hetgmp {
 
 // Rendezvous configuration for RendezvousTcp. The session token is the
 // freshness check: every rank of one world must pass the same token, and
-// an address file carrying any other token is rejected as stale (a
-// leftover from a dead world in the same directory) instead of being
+// an address file carrying any other token is treated as stale (a
+// leftover from a dead world in the same directory) rather than being
 // connected to. Publication uses ColdTierFile's tmp+fsync+rename
 // discipline, so a file is either absent or complete — a malformed file
-// can only be stale garbage, never a half-written fresh one, which is
-// what lets validation fail fast.
+// can only be stale garbage, never a half-written fresh one. Because a
+// fresh publish atomically overwrites a leftover, a reader that finds a
+// stale file keeps re-reading until the token matches or the connect
+// deadline expires; only then does it surface kFailedPrecondition. This
+// is what lets consecutive worlds share one rendezvous directory.
 struct RendezvousOptions {
   std::string session_token;
   int connect_timeout_ms = 10000;
@@ -69,9 +72,14 @@ class SocketFabric : public Transport {
   // Full TCP rendezvous through `dir`: listens on 127.0.0.1, publishes
   // "<dir>/hetgmp_rank<r>.addr" atomically, connects to every lower rank
   // and accepts every higher one, validating the session token both in
-  // the address files and in the in-band hello frames. Returns a
-  // connected fabric or a Status (stale/malformed rendezvous file:
-  // kFailedPrecondition; nobody showed up in time: kDeadlineExceeded).
+  // the address files and in the in-band hello frames. A stale address
+  // file (wrong token / geometry — a leftover from a dead world) is
+  // re-read until the peer's fresh publish overwrites it; if it is still
+  // stale at the deadline the stale kFailedPrecondition is returned.
+  // On success this rank's own address file is unlinked (again in the
+  // destructor as a backstop), so one directory serves consecutive
+  // worlds. Returns a connected fabric or a Status (stale file at
+  // deadline: kFailedPrecondition; nobody showed up: kDeadlineExceeded).
   static Result<std::unique_ptr<SocketFabric>> RendezvousTcp(
       const std::string& dir, int rank, int world,
       const RendezvousOptions& options);
@@ -158,6 +166,11 @@ class SocketFabric : public Transport {
   const int rank_;
   const int world_;
   const TransportOptions options_;
+  // Path of the rendezvous address file this rank published, if the
+  // fabric came from RendezvousTcp; unlinked in the destructor so the
+  // directory stays reusable for the next world. Empty for FromFds
+  // fabrics.
+  std::string addr_file_;
   std::vector<std::unique_ptr<Conn>> conns_;
   // Same accounting contract as Fabric's counters: relaxed, monotonic,
   // aggregated after quiesce.

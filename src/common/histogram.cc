@@ -81,15 +81,18 @@ double Histogram::Quantile(double p) const {
   const double target = p * static_cast<double>(count_);
   double seen = 0.0;
   for (int b = 0; b < kNumBuckets; ++b) {
+    // Empty buckets carry no mass and must not satisfy the cumulative
+    // test: with target == 0 (p = 0) an empty leading bucket would
+    // otherwise be selected and its upper edge returned instead of the
+    // true minimum.
+    if (buckets_[b] == 0) continue;
     seen += static_cast<double>(buckets_[b]);
     if (seen >= target) {
       const double lower = b == 0 ? min_ : BucketUpper(b - 1);
       const double upper = BucketUpper(b);
       // Interpolate within the bucket, clamped to the observed range.
       const double frac =
-          buckets_[b] == 0
-              ? 1.0
-              : 1.0 - (seen - target) / static_cast<double>(buckets_[b]);
+          1.0 - (seen - target) / static_cast<double>(buckets_[b]);
       double q = lower + frac * (upper - lower);
       return std::clamp(q, min_, max_);
     }

@@ -12,6 +12,8 @@
 
 namespace hetgmp {
 
+class Transport;
+
 // The training-system designs compared in §7. All run on the same engine
 // backbone (as the paper does with HET-MP, precisely to isolate the
 // placement/consistency policy from the implementation substrate):
@@ -149,6 +151,27 @@ struct EngineConfig {
     std::string cold_path;
   };
   TieredStoreConfig tiered_store;
+
+  // --- Engine-over-Transport (src/core/engine_wire.cc, DESIGN.md §5h) ---
+
+  // Drives the engine's per-round traffic — index/clock exchanges,
+  // embedding push/fetch blocks, dense AllReduce — through the typed §6
+  // protocol over a real Transport, in addition to charging the simulated
+  // Fabric ledger (the cost model is unchanged either way: RoundStats
+  // stay bit-identical to transport-off runs; golden parity tests lock
+  // this in). kInProc runs a private mailbox world inside the process,
+  // with Fabric charging on, and is the default backend. kSocket drives
+  // only this process's rank over `socket` (a connected SocketFabric,
+  // borrowed, world_size == num_workers) while every rank deterministically
+  // simulates all workers, so received bytes are verified against locally
+  // reproduced expectations — requires `deterministic`.
+  struct TransportConfig {
+    enum class Backend { kInProc, kSocket };
+    bool enabled = false;
+    Backend backend = Backend::kInProc;
+    Transport* socket = nullptr;  // borrowed; required iff kSocket
+  };
+  TransportConfig transport;
 
   // Barrier/evaluation cadence: each epoch is split into this many rounds;
   // every round ends with a light global barrier where the runner may

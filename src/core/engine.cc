@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "comm/protocol.h"
+#include "core/engine_worker_state.h"
 #include "common/lint_tags.h"
 #include "common/logging.h"
 #include "metrics/auc.h"
@@ -67,132 +68,8 @@ class StageClock {
 
 }  // namespace
 
-// Per-worker mutable state. Only the owning worker thread touches it,
-// except `iter_count` (read by SSP throttling) and `sim_time` (read in the
-// round-barrier serial section while the worker is parked).
-struct Engine::WorkerState {
-  int id = 0;
-  Rng rng{0};
-  std::vector<int64_t> local_samples;
-  int64_t cursor = 0;
-  int64_t batch_size = 0;  // per-worker (capacity-scaled when configured)
-  std::atomic<int64_t> iter_count{0};
-
-  // Batch scratch (reused across iterations).
-  std::vector<int64_t> batch_samples;
-  std::vector<float> batch_labels;
-  std::vector<FeatureId> unique_feats;
-  // Reference hot path only: the node-based map the batch plan replaces.
-  std::unordered_map<FeatureId, int32_t> feat_index;
-  std::vector<uint8_t> feat_kind;
-  std::vector<int64_t> feat_slot;
-  std::vector<uint64_t> feat_clock;  // replica clock as gathered
-  Tensor unique_values;
-  Tensor unique_grads;
-  Tensor emb_in, demb_in, logits, dlogits;
-
-  // --- Planned hot-path scratch (all reused across iterations) ---
-
-  // Flat [B×F] table: plan[b*F + f] is the unique index of sample b's
-  // field-f feature. Built once per iteration; steps 3b/4/6 read it
-  // instead of re-hashing.
-  std::vector<int32_t> plan;
-  // Open-addressed FeatureId → unique-index scratch map (linear probing,
-  // load ≤ 0.5). Slots are empty unless their stamp equals the current
-  // generation, so per-iteration reset is a counter bump, not a clear.
-  std::vector<FeatureId> map_keys;
-  std::vector<int32_t> map_vals;
-  std::vector<uint32_t> map_stamp;
-  uint32_t map_gen = 0;
-  uint64_t map_mask = 0;
-
-  // Step-3b screen state, hoisted per unique element so the O(B·F²)
-  // occurrence scan touches two small arrays instead of re-dividing (and
-  // in the pre-plan path, re-hashing) per pair. For fi >= fj > 0 the
-  // §5.3 gap |ci·fj/fi − cj| equals min(fi,fj)·|ci/fi − cj/fj| in real
-  // arithmetic, so min-freq times the difference of these per-element
-  // normalized clocks — plus a rounding allowance — upper-bounds the
-  // gap the full check would compute. ExecPairCheck refreshes update the
-  // entries in place.
-  std::vector<double> norm_clock;  // feat_clock / access_freq (0 if no freq)
-  std::vector<double> raw_clock;   // double(feat_clock)
-  std::vector<double> freq;        // access_freq as double
-  // Per-row contiguous copies of the screen inputs (length F), so the
-  // O(F²) scans read dense arrays instead of gathering through the plan.
-  // Members (not step-3b locals) so the hot path stays allocation-free
-  // after warmup (lint rule R4).
-  std::vector<double> row_val;
-  std::vector<double> row_freq;
-  std::vector<uint8_t> row_kind;
-
-  // Wall-clock stage timers (seconds), merged into
-  // TrainResult::stage_secs by FinalizeResult.
-  double stage_gather = 0.0;
-  double stage_inter = 0.0;
-  double stage_dense = 0.0;
-  double stage_scatter = 0.0;
-  double stage_flush = 0.0;
-
-  // Per-iteration communication tallies, flushed into the fabric once per
-  // peer per iteration (the batched message protocol of §6).
-  std::vector<uint64_t> fetch_bytes;   // peer → me, embedding values
-  std::vector<uint64_t> push_bytes;    // me → peer, gradients
-  std::vector<uint64_t> index_bytes;   // me ↔ peer, ids and clocks
-  std::vector<uint64_t> host_fetch_bytes;  // per machine (PS path)
-  std::vector<uint64_t> host_push_bytes;
-  std::vector<uint64_t> host_index_bytes;
-
-  // Simulated clocks (seconds).
-  double sim_time = 0.0;
-  double compute_time = 0.0;
-  double comm_time = 0.0;
-
-  int64_t samples_done = 0;
-  double loss_sum = 0.0;
-  int64_t loss_count = 0;
-  int64_t remote_fetches = 0;
-  int64_t intra_refreshes = 0;
-  int64_t inter_refreshes = 0;
-  int64_t inter_flags = 0;
-
-  // Per-worker staleness audit (merged into TrainResult::staleness after
-  // the worker threads join — see StalenessAudit in engine.h).
-  uint64_t max_intra_gap = 0;
-  double max_inter_norm_gap = 0.0;
-  int64_t inter_violations = 0;
-
-  // SSP mode only: iteration at which each secondary slot was last
-  // refreshed (SSP caches expire by worker-iteration age, §3 — no graph
-  // view of per-embedding update activity).
-  std::vector<int64_t> ssp_refresh_iter;
-
-  // Tiered mode: flat (duplicated) feature ids of the *next* batch,
-  // handed to the PrefetchPipeline each iteration. Member scratch so the
-  // hot path stays allocation-free after warmup (lint rule R4).
-  std::vector<FeatureId> prefetch_ids;
-
-  std::unique_ptr<SgdOptimizer> dense_opt;
-
-  void EnsureMapCapacity(int64_t max_entries) {
-    uint64_t cap = 64;
-    const uint64_t need = static_cast<uint64_t>(max_entries) * 2;
-    while (cap < need) cap <<= 1;
-    if (map_keys.size() >= cap) return;
-    map_keys.assign(cap, 0);
-    map_vals.assign(cap, 0);
-    map_stamp.assign(cap, 0);
-    map_mask = cap - 1;
-    map_gen = 0;
-  }
-
-  void BumpMapGen() {
-    if (++map_gen == 0) {  // stamp wrap: clear once every 2^32 iterations
-      std::fill(map_stamp.begin(), map_stamp.end(), 0u);
-      map_gen = 1;
-    }
-  }
-
-};
+// WorkerState moved to engine_worker_state.h so engine_wire.cc (the
+// engine-over-transport exchange) can replay the logged traffic.
 
 Engine::Engine(const EngineConfig& config, const CtrDataset& train,
                const CtrDataset& test, const Topology& topology,
@@ -315,6 +192,8 @@ Engine::Engine(const EngineConfig& config, const CtrDataset& train,
       prefetch_ = std::make_unique<PrefetchPipeline>(tier_store_.get(), N);
     }
   }
+
+  if (config_.transport.enabled) SetupWireTransport();
 }
 
 // Out of line for the unique_ptr<TieredEmbeddingStore/PrefetchPipeline>
@@ -378,6 +257,15 @@ void Engine::RefreshSecondary(WorkerState* ws, FeatureId x, int64_t slot) {
   const int owner = partition_.embedding_owner[x];
   ws->fetch_bytes[owner] += table_->RowBytes();
   ws->index_bytes[owner] += kIdBytes + kClockBytes;
+  if (config_.transport.enabled) {
+    WorkerState::PeerWireLog& log = ws->wire_log[owner];
+    log.index_ids.push_back(x);
+    log.clock_ids.push_back(x);
+    log.fetch_ids.push_back(x);
+    const float* v = cache.Value(slot);
+    log.fetch_vals.insert(log.fetch_vals.end(), v,
+                          v + config_.embedding_dim);
+  }
 }
 
 void Engine::FlushSecondary(WorkerState* ws, FeatureId x, int64_t slot) {
@@ -386,6 +274,16 @@ void Engine::FlushSecondary(WorkerState* ws, FeatureId x, int64_t slot) {
   if (count == 0) return;
   PrimaryApplyGradient(x, cache.Pending(slot));
   const int owner = partition_.embedding_owner[x];
+  if (config_.transport.enabled) {
+    // The wire payload is the reduced pending gradient ("local reduction
+    // then write to primaries", §6) — logged before ClearPending.
+    WorkerState::PeerWireLog& log = ws->wire_log[owner];
+    log.index_ids.push_back(x);
+    log.push_ids.push_back(x);
+    const float* g = cache.Pending(slot);
+    log.push_vals.insert(log.push_vals.end(), g,
+                         g + config_.embedding_dim);
+  }
   // One flush = one update event on the primary clock ("local reduction
   // then write to primaries", §6 — the reduced write-back is the unit of
   // staleness, not its constituent sample gradients). The secondary has
@@ -446,6 +344,10 @@ HETGMP_HOT_PATH void Engine::ResolveFeature(WorkerState* ws, FeatureId x,
     // cache instead expires by worker-iteration age — SSP has no view of
     // per-embedding update activity (§3).
     ws->index_bytes[owner] += kIdBytes + kClockBytes;
+    if (config_.transport.enabled) {
+      ws->wire_log[owner].index_ids.push_back(x);
+      ws->wire_log[owner].clock_ids.push_back(x);
+    }
     bool stale;
     uint64_t primary_used = 0;
     if (config_.consistency == ConsistencyMode::kSsp) {
@@ -482,6 +384,13 @@ HETGMP_HOT_PATH void Engine::ResolveFeature(WorkerState* ws, FeatureId x,
   ws->fetch_bytes[owner] += table_->RowBytes();
   ws->index_bytes[owner] += kIdBytes;
   ++ws->remote_fetches;
+  if (config_.transport.enabled) {
+    WorkerState::PeerWireLog& log = ws->wire_log[owner];
+    log.index_ids.push_back(x);
+    log.fetch_ids.push_back(x);
+    log.fetch_vals.insert(log.fetch_vals.end(), out,
+                          out + config_.embedding_dim);
+  }
 
   // Dynamic caching (HET-style): admit the fetched row into the LRU
   // cache, unless the eviction victim is another feature of this very
@@ -1053,6 +962,12 @@ HETGMP_HOT_PATH void Engine::ScatterGradients(WorkerState* ws) {
         clocks_->Increment(owner, x);
         ws->push_bytes[owner] += table_->RowBytes();
         ws->index_bytes[owner] += kIdBytes;
+        if (config_.transport.enabled) {
+          WorkerState::PeerWireLog& log = ws->wire_log[owner];
+          log.index_ids.push_back(x);
+          log.push_ids.push_back(x);
+          log.push_vals.insert(log.push_vals.end(), grad, grad + d);
+        }
         break;
       }
       case kHostFetch: {
@@ -1403,6 +1318,12 @@ bool Engine::RoundSerialSection(int round, int total_rounds,
                                 double auc_target, double sim_time_budget,
                                 TrainResult* result, Mutex* result_mu) {
   const int N = topology_.num_workers();
+  // Engine-over-transport: replay the round's logged traffic over the
+  // real Transport before the dense re-average mutates the replicas (the
+  // wire AllReduce runs on scratch copies of the still-divergent params,
+  // exactly the state the re-average below consumes). Touches neither
+  // fabric_ nor any RoundStats input, so trajectories stay bit-identical.
+  if (config_.transport.enabled) WireExchangeRound(round);
   if (config_.consistency != ConsistencyMode::kBsp && N > 1) {
     // Asynchronous modes: re-average the dense replicas (local-SGD
     // style; per-iteration sync cost was already charged).
@@ -1550,6 +1471,7 @@ void Engine::FinalizeResult(TrainResult* result) {
       result->tiers.prefetch_dropped = ps.dropped;
     }
   }
+  result->wire = wire_stats_;
 }
 
 TrainResult Engine::Train(int max_epochs, double auc_target,
@@ -1564,6 +1486,11 @@ TrainResult Engine::Train(int max_epochs, double auc_target,
   stop_.store(false, std::memory_order_relaxed);
   TrainResult result;
   Mutex result_mu{lock_rank::kEngineMerge};
+
+  // Per-Train wire accounting (the transport endpoints themselves keep
+  // cumulative tallies, which tests compare after a single Train).
+  wire_stats_ = TrainResult::WireStats{};
+  wire_stats_.enabled = config_.transport.enabled;
 
   // Ownership hand-off: replica stores were last touched by whichever
   // thread constructed the engine or ran the previous Train; from here

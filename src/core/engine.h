@@ -11,6 +11,7 @@
 #include "comm/allreduce.h"
 #include "comm/fabric.h"
 #include "comm/topology.h"
+#include "comm/transport.h"
 #include "common/status.h"
 #include "common/threading.h"
 #include "core/config.h"
@@ -111,6 +112,31 @@ struct TrainResult {
   bool tiered = false;
   TieredStoreStats tiers;
 
+  // Engine-over-Transport accounting (src/core/engine_wire.cc, DESIGN.md
+  // §5h). All zero unless config.transport.enabled. "Expected" bytes are
+  // the §6 wire-format sizes of the messages the engine decided to send;
+  // the transport endpoints' own payload tallies must equal them exactly,
+  // and they relate to the Fabric ledger by closed forms (the ledger
+  // charges ids/rows only, the wire adds per-message headers) — both
+  // locked in by EngineTransportTest.
+  struct WireStats {
+    bool enabled = false;
+    int rounds_exchanged = 0;
+    int64_t index_messages = 0;      // IndexClockMsg sends (index + clock)
+    int64_t embedding_messages = 0;  // EmbeddingBlockMsg sends (push+fetch)
+    int64_t index_entries = 0;       // feature ids in index messages
+    int64_t clock_entries = 0;       // feature ids in clock messages
+    int64_t pushed_rows = 0;         // gradient/write-back rows shipped
+    int64_t fetched_rows = 0;        // fetched embedding rows shipped
+    uint64_t expected_index_clock_bytes = 0;
+    uint64_t expected_embedding_bytes = 0;
+    uint64_t expected_allreduce_bytes = 0;
+    // Received payloads that failed bit-exact verification against the
+    // locally reproduced expectation (always 0 on a healthy run).
+    int64_t verify_failures = 0;
+  };
+  WireStats wire;
+
   double Throughput() const {        // samples / simulated second
     return total_sim_time > 0 ? samples_processed / total_sim_time : 0.0;
   }
@@ -185,6 +211,14 @@ class Engine {
   int num_workers() const { return topology_.num_workers(); }
   // Null unless config.tiered_store.enabled.
   TieredEmbeddingStore* tiered_store() { return tier_store_.get(); }
+
+  // Engine-over-transport introspection (engine_wire.cc). wire_endpoint
+  // returns worker w's Transport endpoint — in-proc: the private mailbox
+  // world's endpoint; socket: the borrowed fabric when w is this
+  // process's rank, null otherwise. wire_fabric is the private ledger the
+  // in-proc backend charges (null for socket / transport-off).
+  const Transport* wire_endpoint(int w) const;
+  const Fabric* wire_fabric() const { return wire_fabric_.get(); }
 
  private:
   struct WorkerState;
@@ -264,6 +298,21 @@ class Engine {
   // timers) into `result` after the schedule finishes.
   void FinalizeResult(TrainResult* result);
 
+  // --- Engine-over-Transport (src/core/engine_wire.cc) ---
+  // Validates config_.transport and builds the in-proc world / binds the
+  // borrowed socket endpoint. Called from the constructor.
+  void SetupWireTransport();
+  // Replays the round's logged per-peer traffic over the transport — four
+  // typed messages per ordered worker pair (index ids, clock ids, pushed
+  // rows, fetched rows) plus one dense TransportAllReduceAverage on
+  // scratch copies — verifies every received payload bit-exactly against
+  // the locally reproduced expectation, accumulates wire_stats_, and
+  // clears the logs. Runs at the top of the round-serial section, so the
+  // engine's own metrics and ledger are untouched (bit-identical
+  // trajectories either way).
+  void WireExchangeRound(int round);
+  void ClearWireLogs();
+
   uint64_t PrimaryClock(FeatureId x) const {
     return clocks_->Get(partition_.embedding_owner[x], x);
   }
@@ -323,6 +372,16 @@ class Engine {
 
   // Per-epoch iteration budget per worker.
   int64_t iters_per_epoch_ = 0;
+
+  // Engine-over-transport state (engine_wire.cc). wire_fabric_ is a
+  // PRIVATE ledger for the in-proc backend's charging — never fabric_,
+  // whose counters and simulated time feed RoundStats and must stay
+  // bit-identical to transport-off runs. Only touched from the
+  // round-serial section / constructor, so barrier-phase protected.
+  std::unique_ptr<Fabric> wire_fabric_;
+  std::unique_ptr<InProcTransportGroup> wire_group_;
+  Transport* wire_socket_ = nullptr;  // borrowed from config (kSocket)
+  TrainResult::WireStats wire_stats_;
 };
 
 }  // namespace hetgmp

@@ -1,0 +1,331 @@
+// Engine-over-Transport (DESIGN.md §5h): replays the traffic the training
+// hot path charged to the simulated Fabric ledger as real typed messages
+// over a Transport, once per round, from the round-serial section. The
+// cost model is untouched — fabric_, RoundStats, and simulated time are
+// exactly what a transport-off run produces (golden parity tests) — while
+// the bytes themselves move through the in-proc mailbox world or a
+// connected SocketFabric mesh and are verified bit-exactly on arrival.
+//
+// Message plan, per ordered worker pair (w → o), per round, always sent
+// (empty logs ship empty messages so counts stay deterministic):
+//   exchange A (tag 2·round):   IndexClockMsg  index_ids  + clock
+//                               EmbeddingBlock push rows  (w's write-backs)
+//   exchange B (tag 2·round+1): IndexClockMsg  clock_ids  + clock
+//                               EmbeddingBlock fetch rows o pulled from w
+//                               (w owns them, so w is the wire sender)
+// then one TransportAllReduceAverage over scratch copies of the dense
+// parameters. Every payload a rank receives is compared against the
+// locally reproduced expectation: in-proc trivially (all workers live
+// here), under sockets because every rank runs the same deterministic
+// simulation of all N workers — which is what makes a cross-process run
+// a true end-to-end check, not just plumbing.
+//
+// Deadlock freedom of the pairwise loop (both backends buffer sends and
+// deliver them even while the sender blocks in Recv): suppose every rank
+// is blocked. Rank a blocked on peer b means b has not yet *started* its
+// exchange with a (starting would have buffered the sends), so b's
+// current peer p(b) < a, as peers are visited in increasing order. Pick
+// the blocked rank r* whose current peer o* is minimal; then p(o*) < r*
+// but also p(o*) >= o* by minimality — and o* <= p(o*) < r* gives a rank
+// whose target is below the minimum. Contradiction, so someone always
+// progresses.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "comm/protocol.h"
+#include "common/logging.h"
+#include "core/engine.h"
+#include "core/engine_worker_state.h"
+
+namespace hetgmp {
+
+namespace {
+
+// Bytes TransportAllReduceAverage sends from rank r for `total` floats
+// over an n-rank world — the exact chunk schedule of protocol.cc
+// (reduce-scatter chunk (r-s) mod n, allgather chunk (r+1-s) mod n, n-1
+// steps each), so the tally is exact, not RingAllReduceBytesPerWorker's
+// rounded closed form.
+uint64_t RingAllReduceSentBytes(int n, int r, int64_t total) {
+  if (n <= 1 || total == 0) return 0;
+  const auto lo = [&](int c) { return static_cast<int64_t>(c) * total / n; };
+  const auto chunk_bytes = [&](int c) {
+    return static_cast<uint64_t>(lo(c + 1) - lo(c)) * sizeof(float);
+  };
+  uint64_t bytes = 0;
+  for (int s = 0; s < n - 1; ++s) {
+    bytes += chunk_bytes((r - s % n + n) % n);
+    bytes += chunk_bytes((r + 1 - s + 2 * n) % n);
+  }
+  return bytes;
+}
+
+bool SameIds(const std::vector<FeatureId>& a,
+             const std::vector<FeatureId>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(FeatureId)) == 0);
+}
+
+bool SameFloats(const std::vector<float>& a, const std::vector<float>& b) {
+  // memcmp, not ==: bit-exact is the contract (and NaN-safe).
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+}  // namespace
+
+void Engine::SetupWireTransport() {
+  const int N = topology_.num_workers();
+  using Backend = EngineConfig::TransportConfig::Backend;
+  if (config_.transport.backend == Backend::kSocket) {
+    // Socket SPMD mode: this process drives exactly one rank's endpoint,
+    // and relies on the deterministic schedule so that every process's
+    // full-world simulation agrees — that is what makes received payloads
+    // verifiable (and the partition/trajectory identical across ranks).
+    HETGMP_CHECK(config_.transport.socket != nullptr);
+    HETGMP_CHECK(config_.deterministic);
+    wire_socket_ = config_.transport.socket;
+    HETGMP_CHECK_EQ(wire_socket_->world_size(), N);
+    HETGMP_CHECK_GE(wire_socket_->rank(), 0);
+    HETGMP_CHECK_LT(wire_socket_->rank(), N);
+  } else {
+    // In-proc default: a private mailbox world with Fabric charging on.
+    // The charged ledger is wire_fabric_, never the engine's fabric_ —
+    // the engine ledger feeds RoundStats and must stay bit-identical to
+    // transport-off runs; the wire ledger exists so tests can equate the
+    // two accountings per (src, dst, class).
+    wire_fabric_ = std::make_unique<Fabric>(topology_);
+    wire_group_ =
+        std::make_unique<InProcTransportGroup>(N, wire_fabric_.get());
+  }
+  for (auto& ws : workers_) ws->wire_log.resize(N);
+}
+
+const Transport* Engine::wire_endpoint(int w) const {
+  if (wire_group_ != nullptr) return wire_group_->endpoint(w);
+  if (wire_socket_ != nullptr && w == wire_socket_->rank()) {
+    return wire_socket_;
+  }
+  return nullptr;
+}
+
+void Engine::ClearWireLogs() {
+  for (auto& ws : workers_) {
+    for (auto& log : ws->wire_log) log.Clear();
+  }
+}
+
+void Engine::WireExchangeRound(int round) {
+  const int N = topology_.num_workers();
+  const int d = config_.embedding_dim;
+  const uint32_t tag_a = static_cast<uint32_t>(2 * round);
+  const uint32_t tag_b = tag_a + 1;
+
+  // Every worker has finished the same number of iterations at a round
+  // barrier (fixed iters per round, stop only between rounds), so the
+  // clock a peer announces is locally predictable.
+  const uint64_t iter_clock =
+      static_cast<uint64_t>(workers_[0]->iter_count.load());
+
+  int64_t dense_total = 0;
+  if (N > 1) {
+    for (const Tensor* t : models_[0]->DenseParams()) {
+      dense_total += t->size();
+    }
+  }
+
+  // Fused expected average of the (still divergent) dense replicas,
+  // ascending-worker float accumulation — the same order the engine's
+  // own re-average uses. The ring collective sums in ring order instead,
+  // so the comparison below is tolerance-based, never bitwise, and the
+  // result is discarded rather than written back (the engine's
+  // AverageDenseReplicas remains the single source of truth).
+  std::vector<Tensor> dense_expected;
+  if (N > 1 && dense_total > 0) {
+    const std::vector<Tensor*> first = models_[0]->DenseParams();
+    for (const Tensor* t : first) dense_expected.push_back(*t);
+    for (int p = 1; p < N; ++p) {
+      const std::vector<Tensor*> other = models_[p]->DenseParams();
+      for (size_t t = 0; t < dense_expected.size(); ++t) {
+        for (int64_t i = 0; i < dense_expected[t].size(); ++i) {
+          dense_expected[t].at(i) += other[t]->at(i);
+        }
+      }
+    }
+    const float inv = 1.0f / static_cast<float>(N);
+    for (Tensor& t : dense_expected) {
+      for (int64_t i = 0; i < t.size(); ++i) t.at(i) *= inv;
+    }
+  }
+
+  // The SPMD body one rank executes: pairwise §6 exchanges with every
+  // peer in increasing order, then the dense collective on scratch
+  // copies. Returns the number of verification failures.
+  auto rank_body = [&](int w, Transport* t) -> int64_t {
+    int64_t failures = 0;
+    const WorkerState& me = *workers_[w];
+    for (int o = 0; o < N; ++o) {
+      if (o == w) continue;
+      const WorkerState::PeerWireLog& out_log = me.wire_log[o];
+      // What peer o sends toward w — reproduced from the local
+      // simulation of worker o.
+      const WorkerState::PeerWireLog& peer_out = workers_[o]->wire_log[w];
+
+      // Exchange A: index announcements + pushed (written-back) rows.
+      IndexClockMsg my_index;
+      my_index.ids = out_log.index_ids;
+      my_index.clock = iter_clock;
+      EmbeddingBlockMsg my_push;
+      my_push.dim = d;
+      my_push.ids = out_log.push_ids;
+      my_push.values = out_log.push_vals;
+      IndexClockMsg peer_index;
+      EmbeddingBlockMsg peer_push;
+      Status st = ExchangeIndexClockThenEmbeddings(
+          t, o, tag_a, my_index, my_push, &peer_index, &peer_push);
+      if (!st.ok()) {
+        HETGMP_LOG(Warning) << "wire exchange A rank " << w << " peer "
+                            << o << " round " << round << ": "
+                            << st.ToString();
+        ++failures;
+        continue;
+      }
+      if (!SameIds(peer_index.ids, peer_out.index_ids) ||
+          peer_index.clock != iter_clock) {
+        ++failures;
+      }
+      if (peer_push.dim != d || !SameIds(peer_push.ids, peer_out.push_ids) ||
+          !SameFloats(peer_push.values, peer_out.push_vals)) {
+        ++failures;
+      }
+
+      // Exchange B: clock reads + fetched rows. Rows o fetched from w are
+      // owned (served) by w, so w is their wire sender; symmetrically the
+      // block w receives here is what it fetched from o this round.
+      IndexClockMsg my_clock;
+      my_clock.ids = out_log.clock_ids;
+      my_clock.clock = iter_clock;
+      EmbeddingBlockMsg my_serve;
+      my_serve.dim = d;
+      my_serve.ids = peer_out.fetch_ids;
+      my_serve.values = peer_out.fetch_vals;
+      IndexClockMsg peer_clock;
+      EmbeddingBlockMsg fetched;
+      st = ExchangeIndexClockThenEmbeddings(t, o, tag_b, my_clock, my_serve,
+                                            &peer_clock, &fetched);
+      if (!st.ok()) {
+        HETGMP_LOG(Warning) << "wire exchange B rank " << w << " peer "
+                            << o << " round " << round << ": "
+                            << st.ToString();
+        ++failures;
+        continue;
+      }
+      if (!SameIds(peer_clock.ids, peer_out.clock_ids) ||
+          peer_clock.clock != iter_clock) {
+        ++failures;
+      }
+      if (fetched.dim != d || !SameIds(fetched.ids, out_log.fetch_ids) ||
+          !SameFloats(fetched.values, out_log.fetch_vals)) {
+        ++failures;
+      }
+    }
+
+    // Dense AllReduce on scratch copies of this rank's replica.
+    if (N > 1 && dense_total > 0) {
+      std::vector<Tensor> scratch;
+      for (const Tensor* src : models_[w]->DenseParams()) {
+        scratch.push_back(*src);
+      }
+      std::vector<Tensor*> ptrs;
+      ptrs.reserve(scratch.size());
+      for (Tensor& s : scratch) ptrs.push_back(&s);
+      const Status st = TransportAllReduceAverage(t, ptrs);
+      if (!st.ok()) {
+        HETGMP_LOG(Warning) << "wire allreduce rank " << w << " round "
+                            << round << ": " << st.ToString();
+        ++failures;
+      } else {
+        for (size_t ti = 0; ti < scratch.size(); ++ti) {
+          for (int64_t i = 0; i < scratch[ti].size(); ++i) {
+            const float got = scratch[ti].at(i);
+            const float want = dense_expected[ti].at(i);
+            const float tol =
+                1e-4f * std::max(1.0f, std::abs(want));
+            if (std::abs(got - want) > tol) {
+              ++failures;
+            }
+          }
+        }
+      }
+    }
+    return failures;
+  };
+
+  int64_t failures = 0;
+  if (wire_socket_ != nullptr) {
+    failures = rank_body(wire_socket_->rank(), wire_socket_);
+  } else {
+    // In-proc: one thread per endpoint (the Transport thread contract is
+    // one driver per endpoint, and both the pairwise exchanges and the
+    // collective block on peers). Workers are parked at the round
+    // barrier, so the wire logs are frozen for concurrent reads.
+    std::vector<int64_t> per_rank(N, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(N);
+    for (int w = 0; w < N; ++w) {
+      threads.emplace_back([&, w] {
+        per_rank[w] = rank_body(w, wire_group_->endpoint(w));
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int w = 0; w < N; ++w) failures += per_rank[w];
+  }
+  if (failures > 0) {
+    HETGMP_LOG(Warning) << "wire round " << round << ": " << failures
+                        << " payload verification failure(s)";
+  }
+
+  // Accounting for the ranks this process drives (all N in-proc, one
+  // under sockets — so each process's expectations equal its own
+  // endpoints' tallies).
+  wire_stats_.verify_failures += failures;
+  ++wire_stats_.rounds_exchanged;
+  const int drive_lo = wire_socket_ != nullptr ? wire_socket_->rank() : 0;
+  const int drive_hi = wire_socket_ != nullptr ? drive_lo + 1 : N;
+  for (int w = drive_lo; w < drive_hi; ++w) {
+    const WorkerState& me = *workers_[w];
+    for (int o = 0; o < N; ++o) {
+      if (o == w) continue;
+      const WorkerState::PeerWireLog& out_log = me.wire_log[o];
+      const WorkerState::PeerWireLog& peer_out = workers_[o]->wire_log[w];
+      wire_stats_.index_messages += 2;
+      wire_stats_.embedding_messages += 2;
+      wire_stats_.index_entries +=
+          static_cast<int64_t>(out_log.index_ids.size());
+      wire_stats_.clock_entries +=
+          static_cast<int64_t>(out_log.clock_ids.size());
+      wire_stats_.pushed_rows +=
+          static_cast<int64_t>(out_log.push_ids.size());
+      wire_stats_.fetched_rows +=
+          static_cast<int64_t>(peer_out.fetch_ids.size());
+      wire_stats_.expected_index_clock_bytes +=
+          IndexClockWireBytes(out_log.index_ids.size()) +
+          IndexClockWireBytes(out_log.clock_ids.size());
+      wire_stats_.expected_embedding_bytes +=
+          EmbeddingBlockWireBytes(out_log.push_ids.size(), d) +
+          EmbeddingBlockWireBytes(peer_out.fetch_ids.size(), d);
+    }
+    wire_stats_.expected_allreduce_bytes +=
+        RingAllReduceSentBytes(N, w, dense_total);
+  }
+
+  ClearWireLogs();
+}
+
+}  // namespace hetgmp

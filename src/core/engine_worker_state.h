@@ -1,0 +1,178 @@
+#ifndef HETGMP_CORE_ENGINE_WORKER_STATE_H_
+#define HETGMP_CORE_ENGINE_WORKER_STATE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace hetgmp {
+
+// Per-worker mutable state. Only the owning worker thread touches it,
+// except `iter_count` (read by SSP throttling), `sim_time` (read in the
+// round-barrier serial section while the worker is parked), and the wire
+// logs (read cross-worker in the serial section, same barrier-phase
+// protection). Shared between engine.cc (the training hot path) and
+// engine_wire.cc (the engine-over-transport exchange) — private to
+// src/core, not part of the public engine API.
+struct Engine::WorkerState {
+  int id = 0;
+  Rng rng{0};
+  std::vector<int64_t> local_samples;
+  int64_t cursor = 0;
+  int64_t batch_size = 0;  // per-worker (capacity-scaled when configured)
+  std::atomic<int64_t> iter_count{0};
+
+  // Batch scratch (reused across iterations).
+  std::vector<int64_t> batch_samples;
+  std::vector<float> batch_labels;
+  std::vector<FeatureId> unique_feats;
+  // Reference hot path only: the node-based map the batch plan replaces.
+  std::unordered_map<FeatureId, int32_t> feat_index;
+  std::vector<uint8_t> feat_kind;
+  std::vector<int64_t> feat_slot;
+  std::vector<uint64_t> feat_clock;  // replica clock as gathered
+  Tensor unique_values;
+  Tensor unique_grads;
+  Tensor emb_in, demb_in, logits, dlogits;
+
+  // --- Planned hot-path scratch (all reused across iterations) ---
+
+  // Flat [B×F] table: plan[b*F + f] is the unique index of sample b's
+  // field-f feature. Built once per iteration; steps 3b/4/6 read it
+  // instead of re-hashing.
+  std::vector<int32_t> plan;
+  // Open-addressed FeatureId → unique-index scratch map (linear probing,
+  // load ≤ 0.5). Slots are empty unless their stamp equals the current
+  // generation, so per-iteration reset is a counter bump, not a clear.
+  std::vector<FeatureId> map_keys;
+  std::vector<int32_t> map_vals;
+  std::vector<uint32_t> map_stamp;
+  uint32_t map_gen = 0;
+  uint64_t map_mask = 0;
+
+  // Step-3b screen state, hoisted per unique element so the O(B·F²)
+  // occurrence scan touches two small arrays instead of re-dividing (and
+  // in the pre-plan path, re-hashing) per pair. For fi >= fj > 0 the
+  // §5.3 gap |ci·fj/fi − cj| equals min(fi,fj)·|ci/fi − cj/fj| in real
+  // arithmetic, so min-freq times the difference of these per-element
+  // normalized clocks — plus a rounding allowance — upper-bounds the
+  // gap the full check would compute. ExecPairCheck refreshes update the
+  // entries in place.
+  std::vector<double> norm_clock;  // feat_clock / access_freq (0 if no freq)
+  std::vector<double> raw_clock;   // double(feat_clock)
+  std::vector<double> freq;        // access_freq as double
+  // Per-row contiguous copies of the screen inputs (length F), so the
+  // O(F²) scans read dense arrays instead of gathering through the plan.
+  // Members (not step-3b locals) so the hot path stays allocation-free
+  // after warmup (lint rule R4).
+  std::vector<double> row_val;
+  std::vector<double> row_freq;
+  std::vector<uint8_t> row_kind;
+
+  // Wall-clock stage timers (seconds), merged into
+  // TrainResult::stage_secs by FinalizeResult.
+  double stage_gather = 0.0;
+  double stage_inter = 0.0;
+  double stage_dense = 0.0;
+  double stage_scatter = 0.0;
+  double stage_flush = 0.0;
+
+  // Per-iteration communication tallies, flushed into the fabric once per
+  // peer per iteration (the batched message protocol of §6).
+  std::vector<uint64_t> fetch_bytes;   // peer → me, embedding values
+  std::vector<uint64_t> push_bytes;    // me → peer, gradients
+  std::vector<uint64_t> index_bytes;   // me ↔ peer, ids and clocks
+  std::vector<uint64_t> host_fetch_bytes;  // per machine (PS path)
+  std::vector<uint64_t> host_push_bytes;
+  std::vector<uint64_t> host_index_bytes;
+
+  // Engine-over-transport wire log (engine_wire.cc): per peer, the exact
+  // traffic the charge sites above accounted, recorded so the §6 typed
+  // messages can be replayed over a real Transport at the round barrier.
+  // push_back/insert on member scratch keeps the hot path allocation-free
+  // after warmup (lint rule R4). Sized num_workers when
+  // config.transport.enabled, empty otherwise. Directions: index/clock/
+  // push travel me → peer; fetch rows travel peer → me (the peer serves
+  // them, so the wire sender of a fetch block is the *peer* endpoint —
+  // see WireExchangeRound).
+  struct PeerWireLog {
+    std::vector<FeatureId> index_ids;  // ids announced (kIdBytes each)
+    std::vector<FeatureId> clock_ids;  // ids whose clocks were compared
+    std::vector<FeatureId> push_ids;   // rows written back to the peer
+    std::vector<float> push_vals;      // dim floats per push id
+    std::vector<FeatureId> fetch_ids;  // rows fetched from the peer
+    std::vector<float> fetch_vals;     // dim floats per fetch id
+    void Clear() {
+      index_ids.clear();
+      clock_ids.clear();
+      push_ids.clear();
+      push_vals.clear();
+      fetch_ids.clear();
+      fetch_vals.clear();
+    }
+  };
+  std::vector<PeerWireLog> wire_log;
+
+  // Simulated clocks (seconds).
+  double sim_time = 0.0;
+  double compute_time = 0.0;
+  double comm_time = 0.0;
+
+  int64_t samples_done = 0;
+  double loss_sum = 0.0;
+  int64_t loss_count = 0;
+  int64_t remote_fetches = 0;
+  int64_t intra_refreshes = 0;
+  int64_t inter_refreshes = 0;
+  int64_t inter_flags = 0;
+
+  // Per-worker staleness audit (merged into TrainResult::staleness after
+  // the worker threads join — see StalenessAudit in engine.h).
+  uint64_t max_intra_gap = 0;
+  double max_inter_norm_gap = 0.0;
+  int64_t inter_violations = 0;
+
+  // SSP mode only: iteration at which each secondary slot was last
+  // refreshed (SSP caches expire by worker-iteration age, §3 — no graph
+  // view of per-embedding update activity).
+  std::vector<int64_t> ssp_refresh_iter;
+
+  // Tiered mode: flat (duplicated) feature ids of the *next* batch,
+  // handed to the PrefetchPipeline each iteration. Member scratch so the
+  // hot path stays allocation-free after warmup (lint rule R4).
+  std::vector<FeatureId> prefetch_ids;
+
+  std::unique_ptr<SgdOptimizer> dense_opt;
+
+  void EnsureMapCapacity(int64_t max_entries) {
+    uint64_t cap = 64;
+    const uint64_t need = static_cast<uint64_t>(max_entries) * 2;
+    while (cap < need) cap <<= 1;
+    if (map_keys.size() >= cap) return;
+    map_keys.assign(cap, 0);
+    map_vals.assign(cap, 0);
+    map_stamp.assign(cap, 0);
+    map_mask = cap - 1;
+    map_gen = 0;
+  }
+
+  void BumpMapGen() {
+    if (++map_gen == 0) {  // stamp wrap: clear once every 2^32 iterations
+      std::fill(map_stamp.begin(), map_stamp.end(), 0u);
+      map_gen = 1;
+    }
+  }
+};
+
+}  // namespace hetgmp
+
+#endif  // HETGMP_CORE_ENGINE_WORKER_STATE_H_

@@ -428,28 +428,104 @@ TEST(MultiProcSocketTest, TcpRendezvousTrainingExchangeWithInjectedFault) {
       << " rank1: " << result.outputs[1];
 }
 
-TEST(RendezvousTest, StaleFileIsRejectedFastNotRetried) {
+TEST(RendezvousTest, StaleFileIsRetriedUntilDeadlineThenSurfaced) {
   const std::string dir = MakeTempDir();
-  // A leftover from a previous (dead) session: same path, other token.
+  // A leftover from a previous (dead) session that nobody overwrites.
   ASSERT_TRUE(PublishRendezvousFile(
                   dir + "/hetgmp_rank0.addr",
                   RenderRendezvousFile("dead-session", 2, 0, 12345))
                   .ok());
   RendezvousOptions opts;
   opts.session_token = "fresh-session";
-  opts.connect_timeout_ms = 10000;
+  opts.connect_timeout_ms = 400;
   const auto t0 = std::chrono::steady_clock::now();
   Result<std::unique_ptr<SocketFabric>> r =
       SocketFabric::RendezvousTcp(dir, 1, 2, opts);
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - t0);
   ASSERT_FALSE(r.ok());
+  // The stale diagnosis (not a bare timeout) is what surfaces...
   EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition)
       << r.status().ToString();
   EXPECT_NE(r.status().message().find("stale"), std::string::npos);
-  // Fail-fast regression: a stale file must not be polled until the
-  // connect deadline burns down.
-  EXPECT_LT(elapsed.count(), 5000);
+  // ...but only after the deadline gave a fresh publish every chance to
+  // atomically replace the leftover (the old fail-fast behavior locked
+  // out every world launched after an unclean shutdown).
+  EXPECT_GE(elapsed.count(), 350);
+  // The failed attempt must not leave rank 1's own file behind either.
+  EXPECT_EQ(::access((dir + "/hetgmp_rank1.addr").c_str(), F_OK), -1);
+}
+
+TEST(RendezvousTest, FreshPublishOverwritesLeftoverMidRetry) {
+#ifdef HETGMP_TSAN_ENABLED
+  GTEST_SKIP() << "fork-based driver is not TSan-compatible";
+#endif
+  const std::string dir = MakeTempDir();
+  // Leftover rank-0 file from a dead session. Rank 1 starts retrying
+  // against it; the fresh rank 0 publishes ~150ms later, atomically
+  // replacing the leftover, and the world must connect.
+  ASSERT_TRUE(PublishRendezvousFile(
+                  dir + "/hetgmp_rank0.addr",
+                  RenderRendezvousFile("dead-session", 2, 0, 12345))
+                  .ok());
+  const MultiProcResult result = RunForkedRanks(
+      2,
+      [&dir](int rank, std::string* out) -> int {
+        if (rank == 0) ::usleep(150 * 1000);
+        RendezvousOptions opts;
+        opts.session_token = "fresh-session";
+        opts.connect_timeout_ms = 15000;
+        opts.recv_timeout_ms = 5000;
+        Result<std::unique_ptr<SocketFabric>> t =
+            SocketFabric::RendezvousTcp(dir, rank, 2, opts);
+        if (!t.ok()) {
+          *out = t.status().ToString();
+          return 10;
+        }
+        return TrainingExchangeBody(rank, t.value().get(), out);
+      },
+      30000);
+  ASSERT_TRUE(result.all_exited_cleanly)
+      << result.failure << " rank0: " << result.outputs[0]
+      << " rank1: " << result.outputs[1];
+}
+
+TEST(RendezvousTest, ConsecutiveWorldsShareOneDirectory) {
+#ifdef HETGMP_TSAN_ENABLED
+  GTEST_SKIP() << "fork-based driver is not TSan-compatible";
+#endif
+  const std::string dir = MakeTempDir();
+  // Two full TCP worlds back to back in the same directory, different
+  // session tokens. Before the unlink-on-success fix the second world
+  // found the first world's address files and failed fast as stale.
+  for (int world_idx = 0; world_idx < 2; ++world_idx) {
+    const std::string token = "world-" + std::to_string(world_idx);
+    const MultiProcResult result = RunForkedRanks(
+        2,
+        [&dir, &token](int rank, std::string* out) -> int {
+          RendezvousOptions opts;
+          opts.session_token = token;
+          opts.connect_timeout_ms = 15000;
+          opts.recv_timeout_ms = 5000;
+          Result<std::unique_ptr<SocketFabric>> t =
+              SocketFabric::RendezvousTcp(dir, rank, 2, opts);
+          if (!t.ok()) {
+            *out = t.status().ToString();
+            return 10;
+          }
+          return TrainingExchangeBody(rank, t.value().get(), out);
+        },
+        30000);
+    ASSERT_TRUE(result.all_exited_cleanly)
+        << "world " << world_idx << ": " << result.failure
+        << " rank0: " << result.outputs[0]
+        << " rank1: " << result.outputs[1];
+    // Successful completion unlinks every published address file.
+    EXPECT_EQ(::access((dir + "/hetgmp_rank0.addr").c_str(), F_OK), -1)
+        << "world " << world_idx << " left rank 0's address file behind";
+    EXPECT_EQ(::access((dir + "/hetgmp_rank1.addr").c_str(), F_OK), -1)
+        << "world " << world_idx << " left rank 1's address file behind";
+  }
 }
 
 TEST(RendezvousTest, PublishIsAtomicAndRoundTrips) {

@@ -340,6 +340,47 @@ TEST(HistogramTest, PercentilesWithSingleBucket) {
   EXPECT_LE(one.P99(), one.max());
 }
 
+TEST(HistogramTest, QuantileSkipsEmptyLeadingBuckets) {
+  // Regression: with data only in later buckets, Quantile(0)'s cumulative
+  // test (seen >= target with target == 0) used to be satisfied by the
+  // first — empty — bucket, returning that bucket's upper edge (≈0 here)
+  // instead of the true minimum. Empty buckets carry no mass and must be
+  // skipped.
+  Histogram h;
+  h.Add(500.0);
+  h.Add(900.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 500.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.max());
+  // p=1 lands in the last populated bucket, clamped to max().
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 900.0);
+}
+
+TEST(HistogramTest, QuantileSingleSampleIsTheSampleAtEveryP) {
+  Histogram h;
+  h.Add(123.0);
+  for (double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    // One sample, so every quantile is that sample (interpolation is
+    // clamped to the observed [min, max] range, which is a point).
+    EXPECT_DOUBLE_EQ(h.Quantile(p), 123.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, QuantileZeroWithGapsBetweenPopulatedBuckets) {
+  // Sparse population across decades: p0 must still be min() and the
+  // quantile function must stay monotone through the empty gaps.
+  Histogram h;
+  for (double v : {0.001, 1.0, 1000.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), h.min());
+  double prev = h.Quantile(0.0);
+  for (double p : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const double q = h.Quantile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.max());
+}
+
 TEST(HistogramTest, PercentileAccessorsMatchQuantile) {
   Histogram h;
   Rng rng(61);

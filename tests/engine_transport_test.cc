@@ -1,0 +1,395 @@
+// Engine-over-Transport parity and accounting suite (DESIGN.md §5h).
+//
+// Three contracts are locked in here:
+//
+//  1. Golden parity: driving Engine::Train's per-round traffic through a
+//     Transport (the in-proc mailbox backend) changes NOTHING the engine
+//     reports — every RoundStats field, final metric, and staleness audit
+//     is bit-identical to a transport-off run, across consistency modes
+//     and worker counts. The wire layer replays traffic; it never shapes
+//     it.
+//
+//  2. Accounting equality: the transport endpoints' own payload tallies
+//     equal the engine's expected wire bytes byte-for-byte, the private
+//     wire Fabric ledger agrees per (src, dst, class), and both relate to
+//     the engine's simulated ledger by the closed forms of protocol.h
+//     (the ledger charges ids/clocks/rows; the wire adds the typed
+//     message headers and the per-row id of embedding blocks).
+//
+//  3. Cross-process end-to-end: a 2-process SocketFabric training run
+//     over loopback TCP reproduces the in-proc trajectory exactly, with
+//     zero payload-verification failures, and each rank's sent-tally
+//     report equals the corresponding in-proc endpoint's.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/protocol.h"
+#include "comm/socket_transport.h"
+#include "comm/topology.h"
+#include "comm/transport.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/runner.h"
+#include "data/synthetic.h"
+#include "graph/bigraph.h"
+#include "multiproc_driver.h"
+
+namespace hetgmp {
+namespace {
+
+using testing_multiproc::MultiProcResult;
+using testing_multiproc::RunForkedRanks;
+
+SyntheticCtrConfig TinyConfig() {
+  SyntheticCtrConfig cfg;
+  cfg.num_samples = 3000;
+  cfg.num_fields = 8;
+  cfg.num_features = 600;
+  cfg.num_clusters = 4;
+  cfg.seed = 91;
+  return cfg;
+}
+
+// Same tiny workload as the hotpath golden suite, but with a pluggable
+// topology: the parity cases cover 1 and 4 workers, the socket case 2.
+struct Fixtures {
+  explicit Fixtures(Topology topo)
+      : train(GenerateSyntheticCtr(TinyConfig())),
+        test(train.SplitTail(0.2)),
+        topology(std::move(topo)) {}
+  CtrDataset train;
+  CtrDataset test;
+  Topology topology;
+};
+
+EngineConfig BaseConfig(ConsistencyMode mode) {
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kHetGmp;
+  ApplyStrategyDefaults(&cfg);
+  cfg.consistency = mode;
+  cfg.replica_policy = ReplicaPolicy::kStaticVertexCut;
+  cfg.batch_size = 64;
+  cfg.embedding_dim = 8;
+  cfg.rounds_per_epoch = 2;
+  cfg.bound.s = 1;
+  cfg.deterministic = true;
+  return cfg;
+}
+
+TrainResult RunOnce(EngineConfig cfg, const Fixtures& f, int epochs) {
+  Bigraph graph(f.train);
+  Partition part = BuildPartition(cfg, graph, f.topology);
+  Engine engine(cfg, f.train, f.test, f.topology, part);
+  return engine.Train(epochs);
+}
+
+// Exact comparison of everything the engine reports (the hotpath golden
+// suite's contract, re-stated here for transport-on vs transport-off).
+void ExpectIdenticalTrajectories(const TrainResult& ref,
+                                 const TrainResult& opt,
+                                 const std::string& label) {
+  ASSERT_EQ(ref.rounds.size(), opt.rounds.size()) << label;
+  for (size_t i = 0; i < ref.rounds.size(); ++i) {
+    SCOPED_TRACE(label + " round " + std::to_string(i));
+    const RoundStats& a = ref.rounds[i];
+    const RoundStats& b = opt.rounds[i];
+    EXPECT_EQ(a.iterations_done, b.iterations_done);
+    EXPECT_EQ(a.train_loss, b.train_loss);
+    EXPECT_EQ(a.auc, b.auc);
+    EXPECT_EQ(a.sim_time, b.sim_time);
+    EXPECT_EQ(a.embedding_bytes, b.embedding_bytes);
+    EXPECT_EQ(a.index_clock_bytes, b.index_clock_bytes);
+    EXPECT_EQ(a.allreduce_bytes, b.allreduce_bytes);
+    EXPECT_EQ(a.remote_fetches, b.remote_fetches);
+    EXPECT_EQ(a.intra_refreshes, b.intra_refreshes);
+    EXPECT_EQ(a.inter_refreshes, b.inter_refreshes);
+    EXPECT_EQ(a.inter_flags, b.inter_flags);
+  }
+  EXPECT_EQ(ref.final_auc, opt.final_auc) << label;
+  EXPECT_EQ(ref.total_sim_time, opt.total_sim_time) << label;
+  EXPECT_EQ(ref.total_iterations, opt.total_iterations) << label;
+  EXPECT_EQ(ref.samples_processed, opt.samples_processed) << label;
+  EXPECT_EQ(ref.staleness.max_intra_gap, opt.staleness.max_intra_gap)
+      << label;
+  EXPECT_EQ(ref.staleness.max_inter_norm_gap,
+            opt.staleness.max_inter_norm_gap)
+      << label;
+  EXPECT_EQ(ref.staleness.inter_violations, 0) << label;
+  EXPECT_EQ(opt.staleness.inter_violations, 0) << label;
+}
+
+// Canonical hexfloat rendering of a trajectory: equality of two of these
+// strings is bit-identity of every reported metric. Used to compare runs
+// across process boundaries, where TrainResult objects can't travel.
+std::string TrajectoryString(const TrainResult& r) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const RoundStats& s : r.rounds) {
+    os << s.round << ' ' << s.iterations_done << ' ' << s.train_loss << ' '
+       << s.auc << ' ' << s.sim_time << ' ' << s.embedding_bytes << ' '
+       << s.index_clock_bytes << ' ' << s.allreduce_bytes << ' '
+       << s.remote_fetches << ' ' << s.intra_refreshes << ' '
+       << s.inter_refreshes << ' ' << s.inter_flags << '\n';
+  }
+  os << "final " << r.final_auc << ' ' << r.total_sim_time << ' '
+     << r.total_iterations << ' ' << r.samples_processed << ' '
+     << r.staleness.max_intra_gap << ' ' << r.staleness.max_inter_norm_gap
+     << ' ' << r.staleness.inter_violations << '\n';
+  return os.str();
+}
+
+struct ParityCase {
+  ConsistencyMode mode;
+  int workers;
+  const char* name;
+};
+
+class EngineTransportParityTest
+    : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(EngineTransportParityTest, InProcBackendIsTrajectoryInvisible) {
+  const ParityCase pc = GetParam();
+  Fixtures f(pc.workers == 4 ? Topology::FourGpuPcie()
+                             : Topology::ClusterA(pc.workers));
+  const EngineConfig base = BaseConfig(pc.mode);
+
+  const TrainResult off = RunOnce(base, f, 2);
+  EXPECT_FALSE(off.wire.enabled) << pc.name;
+  EXPECT_EQ(off.wire.rounds_exchanged, 0) << pc.name;
+
+  EngineConfig on_cfg = base;
+  on_cfg.transport.enabled = true;  // backend defaults to kInProc
+  const TrainResult on = RunOnce(on_cfg, f, 2);
+
+  ExpectIdenticalTrajectories(off, on, pc.name);
+
+  EXPECT_TRUE(on.wire.enabled) << pc.name;
+  EXPECT_EQ(on.wire.verify_failures, 0) << pc.name;
+  EXPECT_EQ(on.wire.rounds_exchanged,
+            static_cast<int>(on.rounds.size()))
+      << pc.name;
+  if (pc.workers > 1) {
+    // Guard against a vacuous pass: real messages must have moved.
+    EXPECT_GT(on.wire.index_messages, 0) << pc.name;
+    EXPECT_GT(on.wire.pushed_rows + on.wire.fetched_rows, 0) << pc.name;
+    EXPECT_GT(on.wire.expected_allreduce_bytes, 0u) << pc.name;
+  } else {
+    // A 1-worker world has no peers and no collective, but the exchange
+    // hook still runs every round.
+    EXPECT_EQ(on.wire.index_messages, 0) << pc.name;
+    EXPECT_EQ(on.wire.expected_index_clock_bytes, 0u) << pc.name;
+    EXPECT_EQ(on.wire.expected_embedding_bytes, 0u) << pc.name;
+    EXPECT_EQ(on.wire.expected_allreduce_bytes, 0u) << pc.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndWorlds, EngineTransportParityTest,
+    ::testing::Values(
+        ParityCase{ConsistencyMode::kGraphBounded, 4, "graph_w4"},
+        ParityCase{ConsistencyMode::kGraphBounded, 1, "graph_w1"},
+        ParityCase{ConsistencyMode::kSsp, 4, "ssp_w4"},
+        ParityCase{ConsistencyMode::kSsp, 1, "ssp_w1"},
+        ParityCase{ConsistencyMode::kBsp, 4, "bsp_w4"},
+        ParityCase{ConsistencyMode::kBsp, 1, "bsp_w1"}),
+    [](const ::testing::TestParamInfo<ParityCase>& info) {
+      return info.param.name;
+    });
+
+// The full accounting chain on a 4-worker in-proc run:
+//   endpoint payload tallies == wire_stats expected bytes
+//   wire Fabric ledger       == endpoint tallies, per (src, dst, class)
+//   engine (simulated) ledger relates to both by protocol.h closed forms.
+TEST(EngineTransportTest, TalliesMatchLedgersByteForByte) {
+  Fixtures f(Topology::FourGpuPcie());
+  EngineConfig cfg = BaseConfig(ConsistencyMode::kGraphBounded);
+  cfg.transport.enabled = true;
+
+  Bigraph graph(f.train);
+  Partition part = BuildPartition(cfg, graph, f.topology);
+  Engine engine(cfg, f.train, f.test, f.topology, part);
+  const TrainResult r = engine.Train(2);
+  ASSERT_EQ(r.wire.verify_failures, 0);
+  const int N = f.topology.num_workers();
+
+  // (a) Sum of each endpoint's sent-payload tallies, per class, equals
+  // the engine's expected wire bytes exactly.
+  uint64_t sent_ic = 0, sent_emb = 0, sent_ar = 0, sent_lookup = 0;
+  for (int w = 0; w < N; ++w) {
+    const Transport* t = engine.wire_endpoint(w);
+    ASSERT_NE(t, nullptr) << "endpoint " << w;
+    for (int o = 0; o < N; ++o) {
+      if (o == w) continue;
+      sent_ic += t->SentPayloadBytes(o, TrafficClass::kIndexClock);
+      sent_emb += t->SentPayloadBytes(o, TrafficClass::kEmbedding);
+      sent_ar += t->SentPayloadBytes(o, TrafficClass::kAllReduce);
+      sent_lookup += t->SentPayloadBytes(o, TrafficClass::kLookup);
+    }
+  }
+  EXPECT_EQ(sent_ic, r.wire.expected_index_clock_bytes);
+  EXPECT_EQ(sent_emb, r.wire.expected_embedding_bytes);
+  EXPECT_EQ(sent_ar, r.wire.expected_allreduce_bytes);
+  EXPECT_EQ(sent_lookup, 0u);
+
+  // (b) The private wire Fabric the in-proc backend charges agrees with
+  // the endpoints cell by cell — two accountings of one byte stream.
+  const Fabric* wire_fab = engine.wire_fabric();
+  ASSERT_NE(wire_fab, nullptr);
+  for (int w = 0; w < N; ++w) {
+    const Transport* t = engine.wire_endpoint(w);
+    for (int o = 0; o < N; ++o) {
+      if (o == w) continue;
+      for (const TrafficClass cls :
+           {TrafficClass::kEmbedding, TrafficClass::kIndexClock,
+            TrafficClass::kAllReduce}) {
+        EXPECT_EQ(wire_fab->PairBytes(w, o, cls),
+                  t->SentPayloadBytes(o, cls))
+            << "pair " << w << "->" << o << " class "
+            << TrafficClassName(cls);
+        // Conformance: what o recorded receiving from w is what w sent.
+        EXPECT_EQ(engine.wire_endpoint(o)->ReceivedPayloadBytes(w, cls),
+                  t->SentPayloadBytes(o, cls))
+            << "pair " << w << "->" << o << " class "
+            << TrafficClassName(cls);
+      }
+    }
+  }
+
+  // (c) The engine's simulated ledger charges kIdBytes per announced id
+  // and kClockBytes per clock comparison (no message framing)...
+  const uint64_t ledger_ic =
+      engine.fabric().TotalBytes(TrafficClass::kIndexClock);
+  EXPECT_EQ(ledger_ic,
+            kIdBytes * static_cast<uint64_t>(r.wire.index_entries) +
+                kClockBytes * static_cast<uint64_t>(r.wire.clock_entries));
+  // ...and RowBytes per fetched/pushed row (ids ride the index class).
+  const uint64_t ledger_emb =
+      engine.fabric().TotalBytes(TrafficClass::kEmbedding);
+  EXPECT_EQ(ledger_emb,
+            engine.table().RowBytes() *
+                static_cast<uint64_t>(r.wire.pushed_rows +
+                                      r.wire.fetched_rows));
+
+  // (d) Wire bytes are the ledger plus exactly the typed framing: one
+  // fixed header per message, plus the per-row id each embedding block
+  // carries (the ledger books row ids under the index class instead).
+  EXPECT_EQ(r.wire.expected_index_clock_bytes,
+            ledger_ic + IndexClockWireBytes(0) *
+                            static_cast<uint64_t>(r.wire.index_messages));
+  EXPECT_EQ(
+      r.wire.expected_embedding_bytes,
+      ledger_emb +
+          kIdBytes *
+              static_cast<uint64_t>(r.wire.pushed_rows +
+                                    r.wire.fetched_rows) +
+          EmbeddingBlockWireBytes(0, cfg.embedding_dim) *
+              static_cast<uint64_t>(r.wire.embedding_messages));
+}
+
+// Transport-off engines expose no wire machinery at all.
+TEST(EngineTransportTest, DisabledTransportExposesNothing) {
+  Fixtures f(Topology::FourGpuPcie());
+  const EngineConfig cfg = BaseConfig(ConsistencyMode::kGraphBounded);
+  Bigraph graph(f.train);
+  Partition part = BuildPartition(cfg, graph, f.topology);
+  Engine engine(cfg, f.train, f.test, f.topology, part);
+  const TrainResult r = engine.Train(1);
+  EXPECT_FALSE(r.wire.enabled);
+  EXPECT_EQ(engine.wire_fabric(), nullptr);
+  EXPECT_EQ(engine.wire_endpoint(0), nullptr);
+}
+
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "hetgmp_engine_XXXXXX";
+  char* got = ::mkdtemp(tmpl.data());
+  EXPECT_NE(got, nullptr);
+  return tmpl;
+}
+
+// Two real processes, loopback TCP, full training run each (SPMD: every
+// process simulates the whole 2-worker world, drives its own rank's
+// endpoint). Both must reproduce the in-proc trajectory bit-for-bit,
+// verify every received payload, and post sent-tallies identical to the
+// corresponding in-proc endpoints'.
+TEST(EngineTransportTest, TwoProcessTcpTrainingMatchesInProc) {
+#ifdef HETGMP_TSAN_ENABLED
+  GTEST_SKIP() << "fork-based driver is not TSan-compatible";
+#endif
+  const std::string dir = MakeTempDir();
+  constexpr int kWorld = 2;
+  constexpr int kEpochs = 2;
+
+  const auto make_cfg = [] {
+    return BaseConfig(ConsistencyMode::kGraphBounded);
+  };
+
+  const MultiProcResult result = RunForkedRanks(
+      kWorld,
+      [&dir](int rank, std::string* out) -> int {
+        RendezvousOptions opts;
+        opts.session_token = "engine-e2e";
+        opts.connect_timeout_ms = 20000;
+        opts.recv_timeout_ms = 20000;
+        Result<std::unique_ptr<SocketFabric>> fab =
+            SocketFabric::RendezvousTcp(dir, rank, kWorld, opts);
+        if (!fab.ok()) {
+          *out = fab.status().ToString();
+          return 10;
+        }
+        Fixtures f(Topology::ClusterA(kWorld));
+        EngineConfig cfg = BaseConfig(ConsistencyMode::kGraphBounded);
+        cfg.transport.enabled = true;
+        cfg.transport.backend =
+            EngineConfig::TransportConfig::Backend::kSocket;
+        cfg.transport.socket = fab.value().get();
+        Bigraph graph(f.train);
+        Partition part = BuildPartition(cfg, graph, f.topology);
+        Engine engine(cfg, f.train, f.test, f.topology, part);
+        const TrainResult r = engine.Train(kEpochs);
+        *out = "TRAJ\n" + TrajectoryString(r) + "TALLY\n" +
+               fab.value()->SentTallyReport();
+        if (r.wire.verify_failures != 0) return 11;
+        if (r.wire.rounds_exchanged != static_cast<int>(r.rounds.size())) {
+          return 12;
+        }
+        return 0;
+      },
+      120000);
+  ASSERT_TRUE(result.all_exited_cleanly)
+      << result.failure << " rank0: " << result.outputs[0]
+      << " rank1: " << result.outputs[1];
+
+  // Reference: the identical workload in-proc (transport on, so the
+  // endpoints carry the same per-rank tallies the socket ranks report).
+  Fixtures f(Topology::ClusterA(kWorld));
+  EngineConfig cfg = make_cfg();
+  cfg.transport.enabled = true;
+  Bigraph graph(f.train);
+  Partition part = BuildPartition(cfg, graph, f.topology);
+  Engine engine(cfg, f.train, f.test, f.topology, part);
+  const TrainResult ref = engine.Train(kEpochs);
+  ASSERT_EQ(ref.wire.verify_failures, 0);
+  const std::string want_traj = "TRAJ\n" + TrajectoryString(ref);
+
+  for (int rank = 0; rank < kWorld; ++rank) {
+    SCOPED_TRACE("rank " + std::to_string(rank));
+    const std::string& got = result.outputs[rank];
+    const size_t tally_at = got.find("TALLY\n");
+    ASSERT_NE(tally_at, std::string::npos) << got;
+    // Trajectory: every process's simulation of the whole world agrees
+    // with the single-process run to the last bit.
+    EXPECT_EQ(got.substr(0, tally_at), want_traj);
+    // Tallies: the bytes rank r physically sent over TCP equal what the
+    // in-proc mailbox endpoint of the same rank sent.
+    EXPECT_EQ(got.substr(tally_at + 6),
+              engine.wire_endpoint(rank)->SentTallyReport());
+  }
+}
+
+}  // namespace
+}  // namespace hetgmp
