@@ -8,6 +8,14 @@
 // and hot-cache on vs. off — the serving-side analogue of the paper's
 // replication ablation (the same skew that makes training caches work is
 // what makes the serving tier fast).
+//
+// LIMITATION — closed loop: each client waits for its previous response
+// before sending the next request, so the arrival rate automatically
+// backs off exactly when the server slows down. That hides queueing
+// collapse and under-reports tail latency (coordinated omission). Use
+// this bench to compare front-door configurations at equal concurrency;
+// use bench_serve_openloop for latency-vs-offered-load curves, the knee
+// point, and the admission-control/QoS behavior past saturation.
 
 #include <atomic>
 #include <chrono>
@@ -84,15 +92,27 @@ LoadResult DriveLoad(int num_shards, int64_t num_features, int dim,
 }
 
 void PrintRow(const char* config, const LoadResult& r,
-              const LookupStats& stats) {
+              const LookupStats& stats, bench::BenchJsonSink* sink) {
   const std::vector<double> ps =
-      r.latency_us.PercentileMany({50.0, 95.0, 99.0});
-  std::printf("%-28s %9.0f %9.1f %9.1f %9.1f %8.3f %8lld\n", config,
-              r.wall_secs > 0
-                  ? static_cast<double>(r.latency_us.count()) / r.wall_secs
-                  : 0.0,
+      r.latency_us.PercentileMany({50.0, 95.0, 99.0, 99.9});
+  const double qps =
+      r.wall_secs > 0
+          ? static_cast<double>(r.latency_us.count()) / r.wall_secs
+          : 0.0;
+  std::printf("%-28s %9.0f %9.1f %9.1f %9.1f %8.3f %8lld\n", config, qps,
               ps[0], ps[1], ps[2], stats.LocalFraction(),
               static_cast<long long>(r.failures));
+  sink->Emit(bench::JsonLine()
+                 .Str("bench", "serve_latency")
+                 .Str("config", config)
+                 .Str("loop", "closed")
+                 .Num("qps", qps, 1)
+                 .Num("p50_us", ps[0], 1)
+                 .Num("p95_us", ps[1], 1)
+                 .Num("p99_us", ps[2], 1)
+                 .Num("p999_us", ps[3], 1)
+                 .Num("local_fraction", stats.LocalFraction())
+                 .Int("failures", r.failures));
 }
 
 }  // namespace
@@ -102,6 +122,7 @@ int main() {
       "Online serving latency (closed-loop, Zipf-skewed lookups)",
       "north-star extension: train-to-serve path over §5.1/§5.2 "
       "partition+replicas");
+  bench::BenchJsonSink sink;
 
   const double scale = bench::EnvScale(0.05);
   CtrDataset train = GenerateSyntheticCtr(CriteoLikeConfig(scale));
@@ -174,7 +195,7 @@ int main() {
                       return service.LookupBatch(shard, keys, n, out);
                     });
     }
-    PrintRow(s.name, r, service.stats());
+    PrintRow(s.name, r, service.stats(), &sink);
   }
 
   std::printf("\n%s\n", engine.fabric().ReportString().c_str());

@@ -94,6 +94,10 @@ struct CliOptions {
   int64_t hot_rows = 4096;
   int64_t batch_max_keys = 256;
   int64_t deadline_us = 200;
+  // Quantized read path + QoS (DESIGN.md §5i).
+  std::string quantize = "none";      // none|int8|fp16
+  std::string tenant_class = "gold";  // gold|besteffort
+  int64_t max_pending_keys = 0;       // 0 = unbounded (no admission control)
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -114,15 +118,30 @@ struct CliOptions {
       "          [--epochs N] [--dim N] [--batch N] [--lookups N]\n"
       "          [--clients K] [--keys-per-request N] [--zipf-theta F]\n"
       "          [--publish-every N] [--snapshot-dir PATH] [--hot-rows N]\n"
-      "          [--batch-max-keys N] [--deadline-us N]\n",
+      "          [--batch-max-keys N] [--deadline-us N]\n"
+      "          [--quantize none|int8|fp16] [--tenant-class gold|besteffort]\n"
+      "          [--max-pending-keys N]\n"
+      "flags also accept --flag=value\n",
       argv0, argv0);
   std::exit(2);
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opt) {
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string flag = argv[i];
+    std::string joined;
+    bool has_joined = false;
+    if (flag.rfind("--", 0) == 0) {
+      const size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        joined = flag.substr(eq + 1);
+        flag.resize(eq);
+        has_joined = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_joined) return joined.c_str();
       if (i + 1 >= argc) Usage(argv[0]);
       return argv[++i];
     };
@@ -188,6 +207,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->batch_max_keys = std::atoll(next());
     } else if (flag == "--deadline-us") {
       opt->deadline_us = std::atoll(next());
+    } else if (flag == "--quantize") {
+      opt->quantize = next();
+    } else if (flag == "--tenant-class") {
+      opt->tenant_class = next();
+    } else if (flag == "--max-pending-keys") {
+      opt->max_pending_keys = std::atoll(next());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -405,6 +430,19 @@ int RunServe(const CliOptions& opt) {
 
   SnapshotStoreOptions store_opts;
   store_opts.dir = opt.snapshot_dir;
+  if (!ParseSnapshotQuantization(opt.quantize, &store_opts.quantization)) {
+    std::fprintf(stderr, "unknown --quantize: %s (want none|int8|fp16)\n",
+                 opt.quantize.c_str());
+    return 1;
+  }
+  TenantClass tenant = TenantClass::kGold;
+  if (opt.tenant_class == "besteffort" || opt.tenant_class == "best-effort") {
+    tenant = TenantClass::kBestEffort;
+  } else if (opt.tenant_class != "gold") {
+    std::fprintf(stderr, "unknown --tenant-class: %s (want gold|besteffort)\n",
+                 opt.tenant_class.c_str());
+    return 1;
+  }
   SnapshotStore store(store_opts);
   engine.SetPublishHook(
       [&store](const Engine::PublishContext& ctx) {
@@ -440,6 +478,7 @@ int RunServe(const CliOptions& opt) {
   BatcherOptions batch_opts;
   batch_opts.max_batch_keys = opt.batch_max_keys;
   batch_opts.deadline = std::chrono::microseconds(opt.deadline_us);
+  batch_opts.max_pending_keys = opt.max_pending_keys;
   RequestBatcher batcher(&service, batch_opts);
 
   const int clients = std::max(1, opt.clients);
@@ -451,6 +490,7 @@ int RunServe(const CliOptions& opt) {
 
   std::vector<Histogram> latencies(clients);
   std::atomic<int64_t> failures{0};
+  std::atomic<int64_t> sheds{0};
   std::string first_error;
   Mutex error_mu;
 
@@ -466,10 +506,16 @@ int RunServe(const CliOptions& opt) {
         keys[k] = static_cast<FeatureId>(zipf.Sample(&rng));
       }
       const auto t0 = std::chrono::steady_clock::now();
-      const Status st =
-          batcher.Lookup(shard, keys.data(), keys_per_request, out.data());
+      const Status st = batcher.Lookup(shard, keys.data(), keys_per_request,
+                                       out.data(), tenant);
       const auto t1 = std::chrono::steady_clock::now();
       if (!st.ok()) {
+        // Admission-control sheds are expected behavior under a bounded
+        // --max-pending-keys budget, not serving errors.
+        if (st.code() == StatusCode::kResourceExhausted) {
+          sheds.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         failures.fetch_add(1, std::memory_order_relaxed);
         MutexLock lock(error_mu);
         if (first_error.empty()) first_error = st.ToString();
@@ -504,21 +550,37 @@ int RunServe(const CliOptions& opt) {
       static_cast<long long>(bs.full_flushes),
       static_cast<long long>(bs.deadline_flushes),
       static_cast<long long>(bs.shutdown_flushes), bs.max_queue_wait_us);
+  std::printf(
+      "qos: served_gold=%lld served_be=%lld shed_gold=%lld shed_be=%lld\n",
+      static_cast<long long>(bs.served_gold),
+      static_cast<long long>(bs.served_best_effort),
+      static_cast<long long>(bs.shed_gold),
+      static_cast<long long>(bs.shed_best_effort));
+  const auto snap = store.Acquire();
+  if (snap != nullptr) {
+    std::printf("snapshot: quantize=%s payload_bytes=%llu max_abs_err=%.3e\n",
+                ToString(snap->quantization()),
+                static_cast<unsigned long long>(snap->PayloadBytes()),
+                snap->max_abs_error());
+  }
 
   const std::vector<double> ps = all.PercentileMany({50.0, 95.0, 99.0});
   std::printf(
       "\n{\"mode\":\"serve\",\"dataset\":\"%s\",\"workers\":%d,"
       "\"final_auc\":%.4f,\"snapshot_version\":%llu,"
+      "\"quantize\":\"%s\",\"tenant_class\":\"%s\","
       "\"lookups\":%lld,\"qps\":%.0f,"
       "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,"
-      "\"lookup_bytes\":%llu,\"failures\":%lld}\n",
+      "\"lookup_bytes\":%llu,\"sheds\":%lld,\"failures\":%lld}\n",
       train.name().c_str(), opt.workers, tr.final_auc,
       static_cast<unsigned long long>(store.version()),
+      ToString(store_opts.quantization), ToString(tenant),
       static_cast<long long>(service.stats().requests),
       serve_secs > 0 ? static_cast<double>(all.count()) / serve_secs : 0.0,
       ps[0], ps[1], ps[2],
       static_cast<unsigned long long>(
           engine.fabric().TotalBytes(TrafficClass::kLookup)),
+      static_cast<long long>(sheds.load()),
       static_cast<long long>(failures.load()));
   if (failures.load() > 0) {
     std::fprintf(stderr, "lookup failures: %lld (first: %s)\n",

@@ -44,6 +44,14 @@
 #                               # 2-process TCP training run through
 #                               # hetgmp_cli plus the 1/2/4-process
 #                               # scale-out bench with JSON output
+#   scripts/check.sh serve-smoke
+#                               # serving gate: the snapshot/lookup/batcher
+#                               # suites plus the quantization + QoS suite
+#                               # (round-trip bounds, concurrent quantized
+#                               # swap hammer, admission/weighted-dequeue)
+#                               # under TSan, then a release build of the
+#                               # open-loop load bench at tiny scale with
+#                               # JSON output
 #   scripts/check.sh lint       # hetgmp_lint (R1-R5 project contracts)
 #                               # over the compile database + all of
 #                               # src/; findings JSON artifact at
@@ -96,7 +104,7 @@ run_mode() {
     *)
       echo "unknown mode: ${mode} (expected release, tsan, asan-ubsan," \
            "lint, lockrank, partitioner-smoke, hotpath-smoke," \
-           "storage-smoke, comm-smoke, or multiproc-smoke)" >&2
+           "storage-smoke, comm-smoke, multiproc-smoke, or serve-smoke)" >&2
       return 2
       ;;
   esac
@@ -330,6 +338,44 @@ run_multiproc_smoke() {
   echo "==== [multiproc-smoke] OK"
 }
 
+# Focused gate for the quantized serving read path (DESIGN.md §5i): the
+# serving suites — snapshot store, lookup service, batcher — plus the
+# quantization/QoS suite (int8/fp16 round-trip error bounds, fp32
+# byte-identity, checkpoint interop, the concurrent quantized-publish
+# hammer, and the admission-control/weighted-dequeue tests) under TSan,
+# then a release build of the open-loop load generator at tiny scale,
+# harvesting the one-line JSON summaries for CI artifacts. (The QoS
+# acceptance verdict only prints on full-scale multi-core runs; the
+# smoke bench reports n/a by design.)
+run_serve_smoke() {
+  local tsan_dir="${base}/tsan"
+  local rel_dir="${base}/release-bench"
+  local filter='SnapshotStoreTest|SnapshotSwapHammerTest|LookupServiceTest|BatcherTest|EnginePublishHookTest|QuantizedSnapshotTest|QuantizedSwapHammerTest|BatcherQosTest|Fp16Test|QuantizeRowTest'
+
+  echo "==== [serve-smoke] configure + build (tsan)"
+  cmake -B "${tsan_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DHETGMP_SANITIZE=thread -DHETGMP_BUILD_BENCHMARKS=OFF \
+    -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${tsan_dir}" -j "${jobs}" --target \
+    serve_test serve_quant_test tensor_test
+  echo "==== [serve-smoke] serving + quantization + QoS tests under TSan"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "${tsan_dir}" --output-on-failure -j "${jobs}" \
+      --no-tests=error -R "${filter}"
+
+  echo "==== [serve-smoke] configure + build (release bench)"
+  cmake -B "${rel_dir}" -S "${repo_root}" -DHETGMP_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHETGMP_BUILD_EXAMPLES=OFF
+  cmake --build "${rel_dir}" -j "${jobs}" --target bench_serve_openloop
+  echo "==== [serve-smoke] open-loop load bench (tiny sweep)"
+  HETGMP_BENCH_SCALE="${HETGMP_BENCH_SCALE:-0.02}" \
+  HETGMP_BENCH_JSON="${rel_dir}/BENCH_serve_openloop.json" \
+    "${rel_dir}/bench/bench_serve_openloop"
+  echo "==== [serve-smoke] JSON summary at" \
+       "${rel_dir}/BENCH_serve_openloop.json"
+  echo "==== [serve-smoke] OK"
+}
+
 # Project-contract lint gate: builds tools/hetgmp_lint and runs it over
 # the compile database plus every header under src/. Fails on any
 # finding; always writes the machine-readable findings artifact (empty
@@ -366,6 +412,8 @@ for mode in "${modes[@]}"; do
     run_comm_smoke
   elif [[ "${mode}" == "multiproc-smoke" ]]; then
     run_multiproc_smoke
+  elif [[ "${mode}" == "serve-smoke" ]]; then
+    run_serve_smoke
   elif [[ "${mode}" == "lint" ]]; then
     run_lint
   else

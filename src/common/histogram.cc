@@ -102,9 +102,41 @@ double Histogram::Quantile(double p) const {
 
 std::vector<double> Histogram::PercentileMany(
     const std::vector<double>& percents) const {
-  std::vector<double> out;
-  out.reserve(percents.size());
-  for (double p : percents) out.push_back(Percentile(p));
+  std::vector<double> out(percents.size(), 0.0);
+  if (percents.empty()) return out;
+  // Sort internally (indices, ascending percent) so one cumulative scan
+  // answers every entry; callers may pass any order with duplicates. The
+  // per-entry math below is exactly Quantile's, so each result matches a
+  // standalone Percentile(p) call bit for bit.
+  std::vector<size_t> order(percents.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&percents](size_t a, size_t b) {
+              return percents[a] < percents[b];
+            });
+  for (double p : percents) {
+    HETGMP_CHECK_GE(p, 0.0);
+    HETGMP_CHECK_LE(p, 100.0);
+  }
+  if (count_ == 0) return out;  // empty histogram: 0 for every percentile
+  size_t k = 0;
+  double seen = 0.0;
+  for (int b = 0; b < kNumBuckets && k < order.size(); ++b) {
+    if (buckets_[b] == 0) continue;  // no mass, same skip as Quantile
+    seen += static_cast<double>(buckets_[b]);
+    while (k < order.size()) {
+      const double target =
+          percents[order[k]] / 100.0 * static_cast<double>(count_);
+      if (seen < target) break;  // later bucket answers this (and the rest)
+      const double lower = b == 0 ? min_ : BucketUpper(b - 1);
+      const double upper = BucketUpper(b);
+      const double frac =
+          1.0 - (seen - target) / static_cast<double>(buckets_[b]);
+      out[order[k]] = std::clamp(lower + frac * (upper - lower), min_, max_);
+      ++k;
+    }
+  }
+  for (; k < order.size(); ++k) out[order[k]] = max_;
   return out;
 }
 

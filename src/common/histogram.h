@@ -35,11 +35,13 @@ class Histogram {
   double P50() const { return Quantile(0.50); }
   double P95() const { return Quantile(0.95); }
   double P99() const { return Quantile(0.99); }
+  double P999() const { return Quantile(0.999); }
 
   // Evaluates several percentiles (in percent, each in [0, 100]) in one
-  // call, returned in the caller's order. The bucket array is tiny, so
-  // this simply reuses Quantile per entry; the point is the call-site
-  // ergonomics, not a faster scan.
+  // call, returned in the caller's order. The input need not be sorted or
+  // deduplicated: entries are evaluated in ascending order internally
+  // over a single cumulative scan, then scattered back to caller order.
+  // Each result is identical to Percentile(p) for that entry.
   std::vector<double> PercentileMany(const std::vector<double>& percents) const;
 
   // Gini coefficient of positive added values; 0 = perfectly even,

@@ -206,6 +206,10 @@ class Engine {
   // same comm_report (TrafficClass::kLookup keeps it separable).
   Fabric* mutable_fabric() { return fabric_.get(); }
   const EmbeddingTable& table() const { return *table_; }
+  // Quiesced-only mutable access (no workers running): the quantization
+  // bench overwrites rows with their dequantized images to measure the
+  // served model's AUC delta, then restores them.
+  EmbeddingTable* mutable_table() { return table_.get(); }
   const Partition& partition() const { return partition_; }
   const EngineConfig& config() const { return config_; }
   int num_workers() const { return topology_.num_workers(); }

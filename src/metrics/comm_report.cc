@@ -39,12 +39,12 @@ std::string CommBreakdown::ToString() const {
 std::string RenderLatencyPercentiles(const std::string& label,
                                      const Histogram& latencies_us) {
   const std::vector<double> ps =
-      latencies_us.PercentileMany({50.0, 95.0, 99.0});
+      latencies_us.PercentileMany({50.0, 95.0, 99.0, 99.9});
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(1);
   os << label << ": n=" << latencies_us.count() << " p50=" << ps[0]
-     << "us p95=" << ps[1] << "us p99=" << ps[2]
+     << "us p95=" << ps[1] << "us p99=" << ps[2] << "us p999=" << ps[3]
      << "us max=" << latencies_us.max() << "us";
   return os.str();
 }

@@ -36,8 +36,9 @@ CommBreakdown SnapshotBreakdown(const Fabric& fabric, int64_t iterations);
 std::string RenderPairHeatmap(
     const std::vector<std::vector<uint64_t>>& matrix);
 
-// One-line p50/p95/p99 summary of a latency histogram, e.g.
-//   "lookup: n=1000 p50=12.3us p95=40.1us p99=88.0us max=102.5us"
+// One-line p50/p95/p99/p999 summary of a latency histogram, e.g.
+//   "lookup: n=1000 p50=12.3us p95=40.1us p99=88.0us p999=99.2us
+//    max=102.5us"
 // Values are interpreted as microseconds. Used by the serving latency
 // bench and the serve smoke path; empty histograms render n=0 with zero
 // percentiles rather than failing.

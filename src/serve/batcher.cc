@@ -1,15 +1,32 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace hetgmp {
 
+const char* ToString(TenantClass cls) {
+  return cls == TenantClass::kGold ? "gold" : "bestEffort";
+}
+
 RequestBatcher::RequestBatcher(LookupService* service, BatcherOptions options)
-    : service_(service), options_(options) {
+    : RequestBatcher(
+          LookupFn([service](int shard, const FeatureId* keys, int64_t n,
+                             float* out) {
+            return service->LookupBatch(shard, keys, n, out);
+          }),
+          options) {}
+
+RequestBatcher::RequestBatcher(LookupFn service, BatcherOptions options)
+    : service_(std::move(service)), options_(options) {
   HETGMP_CHECK_GT(options_.max_batch_keys, 0);
   HETGMP_CHECK_GT(options_.deadline.count(), 0);
+  HETGMP_CHECK_GE(options_.max_pending_keys, 0);
+  HETGMP_CHECK_GE(options_.best_effort_admit_fraction, 0.0);
+  HETGMP_CHECK_LE(options_.best_effort_admit_fraction, 1.0);
+  HETGMP_CHECK_GT(options_.gold_weight, 0);
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -25,18 +42,42 @@ void RequestBatcher::Shutdown() {
 }
 
 Status RequestBatcher::Lookup(int shard, const FeatureId* keys, int64_t n,
-                              float* out) {
+                              float* out, TenantClass cls) {
   if (n <= 0) return Status::InvalidArgument("empty lookup batch");
   Request req;
   req.shard = shard;
   req.keys = keys;
   req.n = n;
   req.out = out;
+  req.cls = cls;
   req.enqueued = std::chrono::steady_clock::now();
 
   MutexLock lock(mu_);
   if (shutdown_) return Status::FailedPrecondition("batcher is shut down");
-  pending_.push_back(&req);
+  if (options_.max_pending_keys > 0) {
+    // Admission control: fail fast instead of joining an unbounded queue.
+    // Best-effort admits against a lower water mark, so the band between
+    // the two budgets is headroom only gold may fill — best-effort sheds
+    // first, and gold keeps bounded queueing (hence bounded latency) even
+    // when the offered load is far past capacity.
+    const int64_t budget =
+        cls == TenantClass::kGold
+            ? options_.max_pending_keys
+            : static_cast<int64_t>(options_.best_effort_admit_fraction *
+                                   static_cast<double>(
+                                       options_.max_pending_keys));
+    if (pending_keys_ + n > budget) {
+      if (cls == TenantClass::kGold) {
+        ++stats_.shed_gold;
+      } else {
+        ++stats_.shed_best_effort;
+      }
+      return Status::ResourceExhausted("batcher queue full (" +
+                                       std::string(ToString(cls)) + ")");
+    }
+  }
+  (cls == TenantClass::kGold ? pending_gold_ : pending_best_effort_)
+      .push_back(&req);
   pending_keys_ += n;
   ++stats_.requests;
   stats_.keys += n;
@@ -45,30 +86,40 @@ Status RequestBatcher::Lookup(int shard, const FeatureId* keys, int64_t n,
   return req.status;
 }
 
+std::chrono::steady_clock::time_point RequestBatcher::OldestEnqueued() const {
+  if (pending_gold_.empty()) return pending_best_effort_.front()->enqueued;
+  if (pending_best_effort_.empty()) return pending_gold_.front()->enqueued;
+  return std::min(pending_gold_.front()->enqueued,
+                  pending_best_effort_.front()->enqueued);
+}
+
 void RequestBatcher::DispatcherLoop() {
   for (;;) {
     std::deque<Request*> batch;
     FlushReason reason = FlushReason::kFull;
     {
       MutexLock lock(mu_);
-      while (!shutdown_ && pending_.empty()) work_cv_.Wait(mu_);
-      if (pending_.empty()) break;  // shutdown with nothing left to drain
+      while (!shutdown_ && pending_gold_.empty() &&
+             pending_best_effort_.empty()) {
+        work_cv_.Wait(mu_);
+      }
+      if (pending_gold_.empty() && pending_best_effort_.empty()) {
+        break;  // shutdown with nothing left to drain
+      }
       // Micro-batching window: hold for more work until either the batch
       // is full or the *oldest* request has waited the deadline. The wait
       // budget is recomputed every wakeup, so late arrivals cannot extend
       // an earlier request's deadline.
       while (!shutdown_ && pending_keys_ < options_.max_batch_keys) {
-        const auto age =
-            std::chrono::steady_clock::now() - pending_.front()->enqueued;
+        const auto age = std::chrono::steady_clock::now() - OldestEnqueued();
         if (age >= options_.deadline) break;
         // The timeout verdict is unused on purpose: the loop re-derives
-        // the remaining budget from the front request's age every wakeup.
+        // the remaining budget from the oldest request's age every wakeup.
         (void)work_cv_.WaitFor(mu_, options_.deadline - age);
       }
       if (pending_keys_ >= options_.max_batch_keys) {
         reason = FlushReason::kFull;
-      } else if (std::chrono::steady_clock::now() -
-                     pending_.front()->enqueued >=
+      } else if (std::chrono::steady_clock::now() - OldestEnqueued() >=
                  options_.deadline) {
         reason = FlushReason::kDeadline;
       } else {
@@ -76,8 +127,33 @@ void RequestBatcher::DispatcherLoop() {
         // requests had not yet aged out.
         reason = FlushReason::kShutdown;
       }
-      batch.swap(pending_);
-      pending_keys_ = 0;
+      // Weighted dequeue, capped at max_batch_keys per dispatch (a backlog
+      // drains in successive bounded batches instead of one giant service
+      // call): gold_weight gold requests per best-effort request while
+      // both classes wait, falling through to whichever queue is
+      // non-empty otherwise.
+      int64_t batch_keys = 0;
+      int gold_credit = options_.gold_weight;
+      while ((!pending_gold_.empty() || !pending_best_effort_.empty()) &&
+             batch_keys < options_.max_batch_keys) {
+        std::deque<Request*>* q;
+        if (pending_best_effort_.empty()) {
+          q = &pending_gold_;
+        } else if (pending_gold_.empty()) {
+          q = &pending_best_effort_;
+        } else if (gold_credit > 0) {
+          q = &pending_gold_;
+          --gold_credit;
+        } else {
+          q = &pending_best_effort_;
+          gold_credit = options_.gold_weight;
+        }
+        Request* r = q->front();
+        q->pop_front();
+        batch.push_back(r);
+        batch_keys += r->n;
+        pending_keys_ -= r->n;
+      }
     }
     Flush(&batch, reason);
   }
@@ -89,7 +165,7 @@ void RequestBatcher::Flush(std::deque<Request*>* batch, FlushReason reason) {
   // keep queueing while this batch is in flight. The status write is safe
   // unlocked: the client only reads it after observing done under mu_.
   for (Request* r : *batch) {
-    r->status = service_->LookupBatch(r->shard, r->keys, r->n, r->out);
+    r->status = service_(r->shard, r->keys, r->n, r->out);
   }
   MutexLock lock(mu_);
   ++stats_.dispatches;
@@ -109,6 +185,11 @@ void RequestBatcher::Flush(std::deque<Request*>* batch, FlushReason reason) {
         std::chrono::duration<double, std::micro>(dispatch_start - r->enqueued)
             .count();
     stats_.max_queue_wait_us = std::max(stats_.max_queue_wait_us, wait_us);
+    if (r->cls == TenantClass::kGold) {
+      ++stats_.served_gold;
+    } else {
+      ++stats_.served_best_effort;
+    }
     r->done = true;
   }
   done_cv_.NotifyAll();

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <thread>
 
 #include "common/status.h"
@@ -12,6 +13,13 @@
 
 namespace hetgmp {
 
+// Serving tenant class. Gold traffic keeps its latency under overload;
+// best-effort traffic is the first to be shed and the last to be
+// dispatched when both classes are queued.
+enum class TenantClass { kGold, kBestEffort };
+
+const char* ToString(TenantClass cls);
+
 struct BatcherOptions {
   // Dispatch as soon as this many keys are pending (across requests).
   int64_t max_batch_keys = 256;
@@ -19,16 +27,35 @@ struct BatcherOptions {
   // queue for co-batching before the dispatcher flushes regardless of
   // batch size.
   std::chrono::microseconds deadline{200};
+  // Admission budget: total keys allowed to sit in the pending queues.
+  // A submit that would push past it fails fast with kResourceExhausted
+  // instead of queueing (0 = unbounded, the pre-QoS behavior). Bounding
+  // the queue is what keeps latency finite past saturation: shed work
+  // costs one status check, queued work costs everyone behind it.
+  int64_t max_pending_keys = 0;
+  // Best-effort requests are admitted only while the pending backlog is
+  // below this fraction of max_pending_keys, so gold always has reserved
+  // headroom and best-effort sheds first as load climbs.
+  double best_effort_admit_fraction = 0.5;
+  // Weighted dequeue: up to this many gold requests enter a batch for
+  // each best-effort request while both queues are non-empty.
+  int gold_weight = 4;
 };
 
 struct BatcherStats {
-  int64_t requests = 0;
-  int64_t keys = 0;
+  int64_t requests = 0;          // admitted requests
+  int64_t keys = 0;              // admitted keys
   int64_t dispatches = 0;        // service calls issued
   int64_t full_flushes = 0;      // flushed because max_batch_keys reached
   int64_t deadline_flushes = 0;  // flushed because the deadline expired
   int64_t shutdown_flushes = 0;  // partial batches drained at shutdown
   double max_queue_wait_us = 0.0;  // longest submit→dispatch wait observed
+  // Per-tenant-class accounting. served_* counts requests that completed
+  // a dispatch; shed_* counts requests refused at admission.
+  int64_t served_gold = 0;
+  int64_t served_best_effort = 0;
+  int64_t shed_gold = 0;
+  int64_t shed_best_effort = 0;
 };
 
 // Micro-batching front door for the lookup service: clients submit key
@@ -38,18 +65,33 @@ struct BatcherStats {
 // reaches max_batch_keys or when the oldest pending request has waited
 // `deadline` — so under light load a request pays at most the deadline in
 // queueing latency, and under heavy load batches fill before it expires.
+//
+// Overload behavior (opt-in via max_pending_keys): admission control
+// bounds the backlog, shedding with kResourceExhausted, and two tenant
+// classes share the queue — gold requests get reserved admission headroom
+// and a weighted dequeue advantage, so gold tail latency degrades only by
+// the (bounded) queue depth while best-effort absorbs the shedding.
 class RequestBatcher {
  public:
+  // Resolves one batch of keys; same contract as LookupService::LookupBatch.
+  using LookupFn =
+      std::function<Status(int, const FeatureId*, int64_t, float*)>;
+
   RequestBatcher(LookupService* service, BatcherOptions options = {});
+  // Same batcher over an arbitrary resolve function (tests inject latency
+  // and faults this way without standing up a snapshot store).
+  explicit RequestBatcher(LookupFn service, BatcherOptions options = {});
   ~RequestBatcher();
 
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
 
   // Blocking lookup of `n` keys arriving at front-end shard `shard` into
-  // out[0 .. n*dim). Returns the service's status for this request.
-  Status Lookup(int shard, const FeatureId* keys, int64_t n, float* out)
-      HETGMP_EXCLUDES(mu_);
+  // out[0 .. n*dim). Returns the service's status for this request, or
+  // kResourceExhausted immediately (no blocking) when admission control
+  // sheds it.
+  Status Lookup(int shard, const FeatureId* keys, int64_t n, float* out,
+                TenantClass cls = TenantClass::kGold) HETGMP_EXCLUDES(mu_);
 
   // Stops the dispatcher after draining pending requests. Called by the
   // destructor; safe to call twice.
@@ -63,6 +105,7 @@ class RequestBatcher {
     const FeatureId* keys = nullptr;
     int64_t n = 0;
     float* out = nullptr;
+    TenantClass cls = TenantClass::kGold;
     std::chrono::steady_clock::time_point enqueued;
     Status status;
     bool done = false;
@@ -75,17 +118,22 @@ class RequestBatcher {
   enum class FlushReason { kFull, kDeadline, kShutdown };
 
   void DispatcherLoop() HETGMP_EXCLUDES(mu_);
-  // Drains every pending request through the service.
+  // Runs one batch through the service and completes its requests.
   void Flush(std::deque<Request*>* batch, FlushReason reason)
       HETGMP_EXCLUDES(mu_);
+  // Enqueue time of the oldest pending request across both classes.
+  // Requires at least one pending request.
+  std::chrono::steady_clock::time_point OldestEnqueued() const
+      HETGMP_REQUIRES(mu_);
 
-  LookupService* const service_;
+  const LookupFn service_;
   const BatcherOptions options_;
 
   mutable Mutex mu_{lock_rank::kBatcher};
   CondVar work_cv_;   // dispatcher waits: work arrived / shutdown
   CondVar done_cv_;   // clients wait: their request completed
-  std::deque<Request*> pending_ HETGMP_GUARDED_BY(mu_);
+  std::deque<Request*> pending_gold_ HETGMP_GUARDED_BY(mu_);
+  std::deque<Request*> pending_best_effort_ HETGMP_GUARDED_BY(mu_);
   int64_t pending_keys_ HETGMP_GUARDED_BY(mu_) = 0;
   bool shutdown_ HETGMP_GUARDED_BY(mu_) = false;
   BatcherStats stats_ HETGMP_GUARDED_BY(mu_);

@@ -134,12 +134,12 @@ HETGMP_HOT_PATH Status LookupService::LookupBatch(int shard,
     float* dst = out + i * dim;
     const int owner = partition_.embedding_owner[x];
     if (owner == shard) {
-      std::copy(snap->Row(x), snap->Row(x) + dim, dst);
+      snap->ReadRow(x, dst);
       ++sh.stats.local_primary;
       continue;
     }
     if (options_.use_secondary_replicas && replicas_.HasSecondary(shard, x)) {
-      std::copy(snap->Row(x), snap->Row(x) + dim, dst);
+      snap->ReadRow(x, dst);
       ++sh.stats.secondary_hits;
       continue;
     }
@@ -148,7 +148,10 @@ HETGMP_HOT_PATH Status LookupService::LookupBatch(int shard,
       continue;
     }
     // Miss: route to the owner shard — request out, row back — charged to
-    // the serving traffic class.
+    // the serving traffic class. The reply moves the *encoded* row
+    // (snap->RowBytes() shrinks with quantization), and the shard caches
+    // the dequantized floats so a repeat hit pays neither the transfer
+    // nor the decode.
     if (fabric_ != nullptr) {
       sh.stats.sim_comm_time += fabric_->Transfer(
           shard, owner, options_.request_bytes, TrafficClass::kLookup);
@@ -156,7 +159,7 @@ HETGMP_HOT_PATH Status LookupService::LookupBatch(int shard,
                                                   snap->RowBytes(),
                                                   TrafficClass::kLookup);
     }
-    std::copy(snap->Row(x), snap->Row(x) + dim, dst);
+    snap->ReadRow(x, dst);
     if (sh.hot != nullptr) sh.hot->Put(x, version, dst);
     ++sh.stats.remote;
   }

@@ -9,11 +9,88 @@
 
 namespace hetgmp {
 
+const char* ToString(SnapshotQuantization q) {
+  switch (q) {
+    case SnapshotQuantization::kInt8:
+      return "int8";
+    case SnapshotQuantization::kFp16:
+      return "fp16";
+    case SnapshotQuantization::kNone:
+    default:
+      return "none";
+  }
+}
+
+bool ParseSnapshotQuantization(const std::string& s,
+                               SnapshotQuantization* out) {
+  if (s == "none" || s == "fp32") {
+    *out = SnapshotQuantization::kNone;
+  } else if (s == "int8") {
+    *out = SnapshotQuantization::kInt8;
+  } else if (s == "fp16") {
+    *out = SnapshotQuantization::kFp16;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 EmbeddingSnapshot::EmbeddingSnapshot(SnapshotMeta meta,
                                      std::vector<float> values)
-    : meta_(meta), values_(std::move(values)) {
+    : meta_(meta),
+      quantization_(SnapshotQuantization::kNone),
+      values_(std::move(values)) {
   HETGMP_CHECK_EQ(static_cast<int64_t>(values_.size()),
                   meta_.rows * meta_.dim);
+}
+
+EmbeddingSnapshot::EmbeddingSnapshot(SnapshotMeta meta,
+                                     std::vector<float> values,
+                                     SnapshotQuantization quantization)
+    : meta_(meta), quantization_(quantization) {
+  HETGMP_CHECK_EQ(static_cast<int64_t>(values.size()), meta_.rows * meta_.dim);
+  if (quantization_ == SnapshotQuantization::kNone) {
+    values_ = std::move(values);
+    return;
+  }
+  Encode(values);
+}
+
+void EmbeddingSnapshot::Encode(const std::vector<float>& values) {
+  const int64_t rows = meta_.rows;
+  const int64_t d = meta_.dim;
+  const size_t n = values.size();
+  // Round-trip error is measured here, at encode time, so the published
+  // snapshot carries its own accuracy bound instead of an analytic one.
+  float max_err = 0.0f;
+  if (quantization_ == SnapshotQuantization::kInt8) {
+    q8_.resize(n);
+    scales_.resize(static_cast<size_t>(rows));
+    for (int64_t x = 0; x < rows; ++x) {
+      const float* src = values.data() + x * d;
+      int8_t* q = q8_.data() + x * d;
+      scales_[static_cast<size_t>(x)] = QuantizeRowInt8(src, d, q);
+      const float scale = Fp16ToFloat(scales_[static_cast<size_t>(x)]);
+      for (int64_t i = 0; i < d; ++i) {
+        const float err = static_cast<float>(q[i]) * scale - src[i];
+        const float a = err < 0.0f ? -err : err;
+        if (a > max_err) max_err = a;
+      }
+    }
+  } else {  // kFp16
+    h16_.resize(n);
+    for (int64_t x = 0; x < rows; ++x) {
+      const float* src = values.data() + x * d;
+      uint16_t* h = h16_.data() + x * d;
+      QuantizeRowFp16(src, d, h);
+      for (int64_t i = 0; i < d; ++i) {
+        const float err = Fp16ToFloat(h[i]) - src[i];
+        const float a = err < 0.0f ? -err : err;
+        if (a > max_err) max_err = a;
+      }
+    }
+  }
+  max_abs_error_ = max_err;
 }
 
 SnapshotStore::SnapshotStore(SnapshotStoreOptions options)
@@ -68,6 +145,9 @@ Status SnapshotStore::PublishRows(int64_t rows, int dim,
     read_row(x, values.data() + x * dim);
   }
 
+  // The durable checkpoint is always the exact fp32 rows — quantization
+  // is an in-memory serving decision, and keeping one on-disk format lets
+  // a later restart re-serve the same file at any quantization.
   if (!options_.dir.empty()) {
     HETGMP_RETURN_IF_ERROR(SaveCheckpointRows(rows, dim, values.data(),
                                               dense_params,
@@ -79,7 +159,8 @@ Status SnapshotStore::PublishRows(int64_t rows, int dim,
     }
   }
 
-  Install(std::make_shared<const EmbeddingSnapshot>(meta, std::move(values)));
+  Install(std::make_shared<const EmbeddingSnapshot>(meta, std::move(values),
+                                                    options_.quantization));
   return Status::OK();
 }
 
@@ -93,8 +174,8 @@ Status SnapshotStore::PublishFromCheckpoint(const std::string& path) {
   meta.version = version_.load(std::memory_order_relaxed) + 1;
   meta.rows = ck.rows;
   meta.dim = ck.dim;
-  Install(std::make_shared<const EmbeddingSnapshot>(meta,
-                                                    std::move(ck.values)));
+  Install(std::make_shared<const EmbeddingSnapshot>(
+      meta, std::move(ck.values), options_.quantization));
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "embed/embedding_table.h"
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 
 namespace hetgmp {
@@ -25,31 +26,106 @@ struct SnapshotMeta {
   int64_t iterations = 0;    // global iteration count at publish time
 };
 
+// In-memory encoding of a snapshot's rows. Durable checkpoint files are
+// always written from the exact fp32 values regardless of this setting
+// (one on-disk format; quantization is a serving-memory decision), so a
+// checkpoint can be re-served at any quantization later.
+enum class SnapshotQuantization {
+  kNone,  // fp32, byte-identical to the original table rows
+  kInt8,  // per-row symmetric scale (stored as binary16) + int8 codes
+  kFp16,  // IEEE 754 binary16 per element
+};
+
+const char* ToString(SnapshotQuantization q);
+// Parses "none" / "int8" / "fp16"; returns false on anything else.
+bool ParseSnapshotQuantization(const std::string& s, SnapshotQuantization* out);
+
 // An immutable, fully materialized copy of the embedding table at one
 // version. Readers hold it via shared_ptr, so a snapshot stays valid for
 // as long as any in-flight lookup references it, regardless of how many
 // newer versions have been published since.
+//
+// Rows are stored in the encoding chosen at construction and decoded on
+// every read: ReadRow dequantizes into a caller buffer instead of handing
+// out an internal pointer, which is what lets int8 snapshots hold dim+2
+// bytes per row instead of 4*dim. Decoding is deterministic, so two reads
+// of the same row are always bit-identical.
 class EmbeddingSnapshot {
  public:
+  // fp32 snapshot; `values` is adopted untouched (byte-identical path).
   EmbeddingSnapshot(SnapshotMeta meta, std::vector<float> values);
+  // Encodes `values` with `quantization`. For kNone this is the adopting
+  // constructor above; otherwise the fp32 copy is dropped after encoding
+  // and the measured round-trip error is available via max_abs_error().
+  EmbeddingSnapshot(SnapshotMeta meta, std::vector<float> values,
+                    SnapshotQuantization quantization);
 
   const SnapshotMeta& meta() const { return meta_; }
   int64_t rows() const { return meta_.rows; }
   int dim() const { return meta_.dim; }
+  SnapshotQuantization quantization() const { return quantization_; }
 
-  // Row x, valid for the snapshot's lifetime. Bounds are the caller's
+  // Largest |decoded - original| over every element, measured while
+  // encoding (exactly 0 for kNone). For kInt8 this is bounded per row by
+  // half the fp16-rounded scale: ~max|row|/253, plus one 2^-25 absolute
+  // term when max|row|/127 falls into fp16's subnormal range.
+  float max_abs_error() const { return max_abs_error_; }
+
+  // Decodes row x into out[0..dim). Bounds are the caller's
   // responsibility (the lookup service validates keys first).
-  const float* Row(int64_t x) const {
-    return values_.data() + x * meta_.dim;
+  // Allocation-free; safe from any number of threads concurrently.
+  HETGMP_HOT_PATH void ReadRow(int64_t x, float* out) const {
+    const int64_t d = meta_.dim;
+    switch (quantization_) {
+      case SnapshotQuantization::kNone:
+        CopyRow(out, values_.data() + x * d, d);
+        break;
+      case SnapshotQuantization::kInt8:
+        DequantizeRowInt8(q8_.data() + x * d, Fp16ToFloat(scales_[x]), out,
+                          d);
+        break;
+      case SnapshotQuantization::kFp16:
+        DequantizeRowFp16(h16_.data() + x * d, out, d);
+        break;
+    }
   }
 
+  // Stored bytes per row (what a remote fetch moves over the fabric):
+  // 4*dim fp32, dim + 2 int8 (codes plus the binary16 scale), 2*dim fp16.
   uint64_t RowBytes() const {
-    return static_cast<uint64_t>(meta_.dim) * sizeof(float);
+    switch (quantization_) {
+      case SnapshotQuantization::kInt8:
+        return static_cast<uint64_t>(meta_.dim) + sizeof(uint16_t);
+      case SnapshotQuantization::kFp16:
+        return static_cast<uint64_t>(meta_.dim) * sizeof(uint16_t);
+      case SnapshotQuantization::kNone:
+      default:
+        return static_cast<uint64_t>(meta_.dim) * sizeof(float);
+    }
+  }
+
+  // Total bytes resident for row payloads (rows * RowBytes()).
+  uint64_t PayloadBytes() const {
+    return static_cast<uint64_t>(meta_.rows) * RowBytes();
+  }
+
+  // The raw fp32 payload. Only meaningful (and only non-null) for kNone;
+  // exists so byte-identity with the seed format stays testable.
+  const float* Fp32Payload() const {
+    return quantization_ == SnapshotQuantization::kNone ? values_.data()
+                                                        : nullptr;
   }
 
  private:
+  void Encode(const std::vector<float>& values);
+
   SnapshotMeta meta_;
-  std::vector<float> values_;
+  SnapshotQuantization quantization_ = SnapshotQuantization::kNone;
+  float max_abs_error_ = 0.0f;
+  std::vector<float> values_;      // kNone
+  std::vector<int8_t> q8_;         // kInt8 codes, rows*dim
+  std::vector<uint16_t> scales_;   // kInt8 per-row scale, binary16 bits
+  std::vector<uint16_t> h16_;      // kFp16 payload, rows*dim
 };
 
 struct SnapshotStoreOptions {
@@ -59,6 +135,10 @@ struct SnapshotStoreOptions {
   std::string dir;
   // Keep superseded snapshot files on disk; default prunes to the latest.
   bool keep_history = false;
+  // In-memory encoding for published snapshots. Checkpoint files are
+  // written from the exact fp32 rows in every mode; PublishFromCheckpoint
+  // re-applies this setting when restoring.
+  SnapshotQuantization quantization = SnapshotQuantization::kNone;
 };
 
 // The versioned hand-off point between training and serving.
@@ -99,7 +179,8 @@ class SnapshotStore {
   // rows demoted out of the hot tier are not valid in the arena, so the
   // publisher reads through TieredEmbeddingStore::PeekRow instead of the
   // table's unsafe accessors. The durable checkpoint is written from the
-  // materialized copy (SaveCheckpointRows), byte-identical in format.
+  // materialized fp32 copy (SaveCheckpointRows), byte-identical in format
+  // whatever options.quantization says.
   using RowReader = std::function<void(int64_t, float*)>;
   Status PublishRows(int64_t rows, int dim, const RowReader& read_row,
                      const std::vector<Tensor*>& dense_params,
@@ -107,7 +188,7 @@ class SnapshotStore {
       HETGMP_EXCLUDES(publish_mu_);
 
   // Restores the embedding section of a checkpoint file as the next
-  // version (serve-from-disk startup).
+  // version (serve-from-disk startup), encoded per options.quantization.
   Status PublishFromCheckpoint(const std::string& path)
       HETGMP_EXCLUDES(publish_mu_);
 

@@ -76,6 +76,188 @@ HETGMP_HOT_PATH HETGMP_BIT_STABLE inline void AxpyRow(
   for (int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
 }
 
+// --- Quantized row kernels ---
+//
+// The serving snapshot path (serve/snapshot_store) stores embedding rows
+// as int8 (per-row symmetric scale) or IEEE 754 binary16 and dequantizes
+// on every read, so these run on the hottest serving path. Like the row
+// kernels above they are inline, allocation-free, and bit-stable: each
+// output element is produced by the same scalar expression regardless of
+// vector width (no accumulation, so there is no reassociation to worry
+// about — the Vec16 tile only batches *different* outputs).
+
+namespace quant_detail {
+#if defined(__GNUC__) || defined(__clang__)
+// 16-lane tiles sized to match the matmul micro-kernel's Vec16. Loads and
+// stores go through __builtin_memcpy (never across a call boundary) for
+// the same -Wpsabi reason documented in ops.cc.
+typedef float VecF16 __attribute__((vector_size(64)));
+typedef int32_t VecI16 __attribute__((vector_size(64)));
+typedef uint32_t VecU16 __attribute__((vector_size(64)));
+typedef int8_t VecB16 __attribute__((vector_size(16)));
+typedef uint16_t VecH16 __attribute__((vector_size(32)));
+#endif
+// 2^112 as a float: multiplying a reinterpreted half payload by this
+// rescales the half exponent bias (15) to the float bias (127) exactly
+// (a power-of-two multiply is exact, and subnormal halves land on normal
+// floats), so the conversion below needs no per-lane branching.
+inline constexpr float kFp16Rescale = 5.192296858534827628530496329220e33f;
+}  // namespace quant_detail
+
+// Converts a float to IEEE 754 binary16 bits with round-to-nearest-even
+// (ties to even), the deterministic rounding every fp16 snapshot uses.
+// Overflow saturates to infinity; NaN payloads keep a quiet bit.
+HETGMP_BIT_STABLE inline uint16_t Fp16FromFloat(float v) {
+  uint32_t bits;
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  bits &= 0x7fffffffu;
+  if (bits >= 0x7f800000u) {  // inf / NaN
+    return static_cast<uint16_t>(
+        sign | 0x7c00u | (bits > 0x7f800000u ? 0x0200u : 0u));
+  }
+  const uint32_t e = bits >> 23;  // biased float exponent
+  if (e >= 143) return sign | 0x7c00u;  // >= 2^16: overflow to inf
+  if (e >= 113) {
+    // Normal half: drop 13 mantissa bits with round-to-nearest-even. The
+    // round carry may overflow into the exponent (and into inf at the
+    // top), which is exactly the right result.
+    uint32_t base = ((e - 112u) << 10) | ((bits >> 13) & 0x3ffu);
+    const uint32_t rem = bits & 0x1fffu;
+    base += (rem > 0x1000u) || (rem == 0x1000u && (base & 1u));
+    return static_cast<uint16_t>(sign | base);
+  }
+  if (e < 101) return sign;  // < 2^-26: underflows to signed zero
+  // Subnormal half: shift the full 24-bit significand down to units of
+  // 2^-24, rounding to nearest even; the carry into bit 10 (smallest
+  // normal) is again correct by construction.
+  const uint32_t m = (bits & 0x7fffffu) | 0x800000u;
+  const uint32_t shift = 126u - e;  // 14..25
+  uint32_t q = m >> shift;
+  const uint32_t rem = m & ((1u << shift) - 1u);
+  const uint32_t half_ulp = 1u << (shift - 1u);
+  q += (rem > half_ulp) || (rem == half_ulp && (q & 1u));
+  return static_cast<uint16_t>(sign | q);
+}
+
+// Converts IEEE 754 binary16 bits back to float, exactly (every half
+// value, normal or subnormal, is representable as a float).
+HETGMP_BIT_STABLE inline float Fp16ToFloat(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  uint32_t bits;
+  if ((h & 0x7c00u) == 0x7c00u) {  // inf / NaN
+    bits = sign | 0x7f800000u | (static_cast<uint32_t>(h & 0x3ffu) << 13);
+  } else {
+    float f;
+    bits = static_cast<uint32_t>(h & 0x7fffu) << 13;
+    __builtin_memcpy(&f, &bits, sizeof(f));
+    f *= quant_detail::kFp16Rescale;  // exact power-of-two rebias
+    __builtin_memcpy(&bits, &f, sizeof(bits));
+    bits |= sign;
+  }
+  float out;
+  __builtin_memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+// out[0..n) = q[0..n) * scale. Register-tiled: 16 int8 lanes widen to a
+// Vec16 of floats entirely in registers, so the row decode is bound by
+// the 1-byte-per-element loads instead of scalar convert latency.
+HETGMP_HOT_PATH HETGMP_BIT_STABLE inline void DequantizeRowInt8(
+    const int8_t* __restrict q, float scale, float* __restrict out,
+    int64_t n) {
+  int64_t i = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  for (; i + 16 <= n; i += 16) {
+    quant_detail::VecB16 b;
+    __builtin_memcpy(&b, q + i, sizeof(b));
+    const quant_detail::VecF16 f = __builtin_convertvector(
+        __builtin_convertvector(b, quant_detail::VecI16),
+        quant_detail::VecF16);
+    const quant_detail::VecF16 scaled = f * scale;
+    __builtin_memcpy(out + i, &scaled, sizeof(scaled));
+  }
+#endif
+  for (; i < n; ++i) out[i] = static_cast<float>(q[i]) * scale;
+}
+
+// out[0..n) = float(h[0..n)) for binary16 payloads. The 16-lane tile does
+// the exponent rebias with one exact power-of-two multiply per lane; the
+// inf/NaN fixup is an integer blend, so the vector and scalar paths are
+// bit-identical on every input.
+HETGMP_HOT_PATH HETGMP_BIT_STABLE inline void DequantizeRowFp16(
+    const uint16_t* __restrict h, float* __restrict out, int64_t n) {
+  int64_t i = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  for (; i + 16 <= n; i += 16) {
+    quant_detail::VecH16 hv;
+    __builtin_memcpy(&hv, h + i, sizeof(hv));
+    const quant_detail::VecU16 w =
+        __builtin_convertvector(hv, quant_detail::VecU16);
+    const quant_detail::VecU16 sign = (w & 0x8000u) << 16;
+    const quant_detail::VecU16 mag = (w & 0x7fffu) << 13;
+    quant_detail::VecF16 f;
+    __builtin_memcpy(&f, &mag, sizeof(f));
+    f *= quant_detail::kFp16Rescale;
+    quant_detail::VecU16 bits;
+    __builtin_memcpy(&bits, &f, sizeof(bits));
+    // Lanes holding inf/NaN need the real exponent, not the rebias.
+    const quant_detail::VecU16 is_special =
+        (w & 0x7c00u) == 0x7c00u;  // all-ones per matching lane
+    const quant_detail::VecU16 special =
+        0x7f800000u | ((w & 0x3ffu) << 13);
+    bits = (bits & ~is_special) | (special & is_special);
+    bits |= sign;
+    __builtin_memcpy(out + i, &bits, sizeof(bits));
+  }
+#endif
+  for (; i < n; ++i) out[i] = Fp16ToFloat(h[i]);
+}
+
+// Encodes src[0..n) as int8 with one symmetric per-row scale, returning
+// the fp16 bits the scale is stored as. The scale is max|src|/127 rounded
+// *up* to the next representable half (never zero for a non-zero row), so
+// |src[i]| / scale <= 127 always holds and the clamp below never bites:
+// the round-trip error is bounded by scale/2 <= (max|src|/254)(1 + 2^-10)
+// per element. All-zero rows encode as scale bits 0 with every q zero.
+// Publish-path cost (not hot); deterministic for a given input row.
+HETGMP_BIT_STABLE inline uint16_t QuantizeRowInt8(const float* __restrict src,
+                                                  int64_t n,
+                                                  int8_t* __restrict q) {
+  float max_abs = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float a = src[i] < 0.0f ? -src[i] : src[i];
+    if (a > max_abs) max_abs = a;
+  }
+  if (max_abs == 0.0f) {
+    for (int64_t i = 0; i < n; ++i) q[i] = 0;
+    return 0;
+  }
+  uint16_t scale_bits = Fp16FromFloat(max_abs / 127.0f);
+  if (scale_bits == 0) scale_bits = 1;  // tiny rows: smallest subnormal
+  // Round-to-nearest may have rounded down; bump ulps until the scale
+  // covers the row (terminates immediately in practice — one ulp at most).
+  while (Fp16ToFloat(scale_bits) * 127.0f < max_abs) ++scale_bits;
+  const float scale = Fp16ToFloat(scale_bits);
+  const float inv = 1.0f / scale;
+  for (int64_t i = 0; i < n; ++i) {
+    // lrintf under the default FP environment is round-to-nearest-even:
+    // deterministic, and |src/scale| <= 127 so the clamp is defensive.
+    int32_t v = static_cast<int32_t>(__builtin_lrintf(src[i] * inv));
+    if (v > 127) v = 127;
+    if (v < -127) v = -127;
+    q[i] = static_cast<int8_t>(v);
+  }
+  return scale_bits;
+}
+
+// Encodes src[0..n) as binary16 (round-to-nearest-even per element).
+HETGMP_BIT_STABLE inline void QuantizeRowFp16(const float* __restrict src,
+                                              int64_t n,
+                                              uint16_t* __restrict out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = Fp16FromFloat(src[i]);
+}
+
 }  // namespace hetgmp
 
 #endif  // HETGMP_TENSOR_OPS_H_

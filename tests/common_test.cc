@@ -395,6 +395,49 @@ TEST(HistogramTest, PercentileAccessorsMatchQuantile) {
   EXPECT_DOUBLE_EQ(ps[2], h.P99());
   EXPECT_LE(ps[0], ps[1]);
   EXPECT_LE(ps[1], ps[2]);
+  EXPECT_DOUBLE_EQ(h.P999(), h.Quantile(0.999));
+  EXPECT_LE(h.P99(), h.P999());
+  EXPECT_LE(h.P999(), h.max());
+}
+
+TEST(HistogramTest, PercentileManyAcceptsUnsortedAndDuplicateInput) {
+  // The single-scan implementation sorts internally, so unsorted and
+  // duplicated entries must come back in caller order, each bit-identical
+  // to a standalone Percentile() call.
+  Histogram h;
+  Rng rng(62);
+  for (int i = 0; i < 4000; ++i) h.Add(rng.NextDouble() * 500.0 + 0.5);
+  const std::vector<double> percents = {99.0, 50.0, 99.9, 50.0,
+                                        0.0,  100.0, 95.0};
+  const std::vector<double> ps = h.PercentileMany(percents);
+  ASSERT_EQ(ps.size(), percents.size());
+  for (size_t i = 0; i < percents.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ps[i], h.Percentile(percents[i])) << "p=" << percents[i];
+  }
+  EXPECT_DOUBLE_EQ(ps[1], ps[3]);  // duplicates agree exactly
+  EXPECT_DOUBLE_EQ(ps[4], h.min());
+  EXPECT_DOUBLE_EQ(ps[5], h.max());
+}
+
+TEST(HistogramTest, PercentileManyEdgeCases) {
+  // Empty input, empty histogram, single-sample histogram, and the
+  // endpoints all behave like the per-entry accessors.
+  Histogram h;
+  EXPECT_TRUE(h.PercentileMany({}).empty());
+  const std::vector<double> on_empty = h.PercentileMany({0.0, 99.9, 100.0});
+  for (double p : on_empty) EXPECT_EQ(p, 0.0);
+
+  h.Add(7.5);
+  const std::vector<double> one = h.PercentileMany({0.0, 50.0, 99.9, 100.0});
+  for (double p : one) EXPECT_DOUBLE_EQ(p, 7.5);
+
+  // Tail percentiles between sparse buckets stay monotone.
+  Histogram sparse;
+  for (double v : {0.01, 1.0, 50.0, 2000.0}) sparse.Add(v);
+  const std::vector<double> tail =
+      sparse.PercentileMany({90.0, 99.0, 99.9, 100.0});
+  for (size_t i = 1; i < tail.size(); ++i) EXPECT_GE(tail[i], tail[i - 1]);
+  EXPECT_DOUBLE_EQ(tail.back(), sparse.max());
 }
 
 // ------------------------------------------------------------ stringutil

@@ -1,0 +1,537 @@
+// Quantized snapshot read path + batcher admission/QoS coverage:
+//  * int8 / fp16 round-trip error bounds (measured and analytic)
+//  * quantization=none byte-identity with the seed fp32 snapshot format
+//  * durable checkpoints stay fp32 in every mode; PublishFromCheckpoint
+//    re-encodes at the restoring store's quantization
+//  * concurrent readers during quantized publish swaps (TSan hammer)
+//  * admission-control shedding and the gold/best-effort weighted dequeue
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/topology.h"
+#include "embed/checkpoint.h"
+#include "embed/embedding_table.h"
+#include "serve/batcher.h"
+#include "serve/lookup_service.h"
+#include "serve/snapshot_store.h"
+#include "tensor/ops.h"
+
+namespace hetgmp {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/hetgmp_quant_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// Deterministic pseudo-random table: mixed magnitudes (including tiny and
+// zero rows) so the error-bound checks cover the encoder's edge cases.
+void FillTableRandom(EmbeddingTable* table, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> unit(-1.0f, 1.0f);
+  for (int64_t x = 0; x < table->num_embeddings(); ++x) {
+    float* row = table->UnsafeMutableRow(x);
+    // Cycle row magnitudes across 8 decades; every 7th row is all-zero.
+    const float mag = std::pow(10.0f, static_cast<float>(x % 8) - 4.0f);
+    for (int d = 0; d < table->dim(); ++d) {
+      row[d] = (x % 7 == 6) ? 0.0f : unit(rng) * mag;
+    }
+  }
+}
+
+// ------------------------------------------------ round-trip error bounds
+
+TEST(QuantizedSnapshotTest, Int8RoundTripErrorBound) {
+  constexpr int64_t kRows = 128;
+  constexpr int kDim = 16;
+  EmbeddingTable table(kRows, kDim, 0.0f, 1);
+  FillTableRandom(&table, 11);
+
+  SnapshotStoreOptions opts;
+  opts.quantization = SnapshotQuantization::kInt8;
+  SnapshotStore store(opts);
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  auto snap = store.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->quantization(), SnapshotQuantization::kInt8);
+
+  float out[kDim];
+  float worst = 0.0f;
+  for (int64_t x = 0; x < kRows; ++x) {
+    const float* src = table.UnsafeRow(x);
+    float max_abs = 0.0f;
+    for (int d = 0; d < kDim; ++d) max_abs = std::max(max_abs, std::fabs(src[d]));
+    // scale = fp16-round-up(max_abs / 127), error <= scale / 2: the fp16
+    // rounding adds <= 2^-10 relative for normal scales plus one 2^-24
+    // subnormal ulp when max_abs/127 falls below 2^-14, so max_abs/252
+    // with a 2^-25-ish absolute cushion is a safe per-row ceiling. Zero
+    // rows must decode exactly.
+    const float bound = max_abs / 252.0f + 6e-8f * (max_abs > 0.0f);
+    snap->ReadRow(x, out);
+    for (int d = 0; d < kDim; ++d) {
+      const float err = std::fabs(out[d] - src[d]);
+      EXPECT_LE(err, bound) << "row " << x << " dim " << d;
+      worst = std::max(worst, err);
+    }
+  }
+  // The snapshot's self-measured bound is exactly the worst element.
+  EXPECT_FLOAT_EQ(snap->max_abs_error(), worst);
+  EXPECT_GT(snap->max_abs_error(), 0.0f);
+
+  // Decoding is deterministic: a second read is bit-identical.
+  float again[kDim];
+  snap->ReadRow(5, out);
+  snap->ReadRow(5, again);
+  EXPECT_EQ(std::memcmp(out, again, sizeof(out)), 0);
+}
+
+TEST(QuantizedSnapshotTest, Fp16RoundTripErrorBound) {
+  constexpr int64_t kRows = 128;
+  constexpr int kDim = 16;
+  EmbeddingTable table(kRows, kDim, 0.0f, 1);
+  FillTableRandom(&table, 12);
+
+  SnapshotStoreOptions opts;
+  opts.quantization = SnapshotQuantization::kFp16;
+  SnapshotStore store(opts);
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  auto snap = store.Acquire();
+  ASSERT_NE(snap, nullptr);
+
+  float out[kDim];
+  float worst = 0.0f;
+  for (int64_t x = 0; x < kRows; ++x) {
+    const float* src = table.UnsafeRow(x);
+    snap->ReadRow(x, out);
+    for (int d = 0; d < kDim; ++d) {
+      // binary16 round-to-nearest: <= 2^-11 relative for normals, plus
+      // 2^-25 absolute once the value falls into the subnormal range.
+      const float bound = std::fabs(src[d]) / 2048.0f + 3e-8f;
+      EXPECT_LE(std::fabs(out[d] - src[d]), bound) << "row " << x;
+      worst = std::max(worst, std::fabs(out[d] - src[d]));
+    }
+  }
+  EXPECT_FLOAT_EQ(snap->max_abs_error(), worst);
+}
+
+// ------------------------------------------------ sizes and byte-identity
+
+TEST(QuantizedSnapshotTest, Int8PayloadAtLeast3p5xSmaller) {
+  constexpr int64_t kRows = 100;
+  constexpr int kDim = 16;
+  EmbeddingTable table(kRows, kDim, 0.0f, 1);
+  SnapshotStoreOptions opts;
+  opts.quantization = SnapshotQuantization::kInt8;
+  SnapshotStore store(opts);
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  auto snap = store.Acquire();
+
+  const uint64_t fp32_bytes = kRows * kDim * sizeof(float);
+  EXPECT_EQ(snap->RowBytes(), static_cast<uint64_t>(kDim) + 2);
+  EXPECT_EQ(snap->PayloadBytes(), kRows * (kDim + 2));
+  EXPECT_GE(static_cast<double>(fp32_bytes) /
+                static_cast<double>(snap->PayloadBytes()),
+            3.5);
+}
+
+TEST(QuantizedSnapshotTest, NoneByteIdenticalToSeedFormat) {
+  constexpr int64_t kRows = 32;
+  constexpr int kDim = 8;
+  EmbeddingTable table(kRows, kDim, 0.0f, 1);
+  FillTableRandom(&table, 13);
+
+  SnapshotStore store;  // default: quantization = kNone
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  auto snap = store.Acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->quantization(), SnapshotQuantization::kNone);
+  EXPECT_EQ(snap->RowBytes(), kDim * sizeof(float));
+
+  // The in-memory payload is the table rows, bit for bit.
+  ASSERT_NE(snap->Fp32Payload(), nullptr);
+  for (int64_t x = 0; x < kRows; ++x) {
+    EXPECT_EQ(std::memcmp(snap->Fp32Payload() + x * kDim, table.UnsafeRow(x),
+                          kDim * sizeof(float)),
+              0);
+  }
+  // Quantized snapshots do not expose a raw fp32 payload.
+  SnapshotStoreOptions qopts;
+  qopts.quantization = SnapshotQuantization::kInt8;
+  SnapshotStore qstore(qopts);
+  ASSERT_TRUE(qstore.Publish(table, {}).ok());
+  EXPECT_EQ(qstore.Acquire()->Fp32Payload(), nullptr);
+}
+
+TEST(QuantizedSnapshotTest, CheckpointFilesAreFp32InEveryMode) {
+  constexpr int64_t kRows = 24;
+  constexpr int kDim = 6;
+  EmbeddingTable table(kRows, kDim, 0.0f, 1);
+  FillTableRandom(&table, 14);
+
+  // Reference file: the seed checkpoint writer over the exact rows.
+  std::vector<float> flat(kRows * kDim);
+  for (int64_t x = 0; x < kRows; ++x) {
+    std::memcpy(flat.data() + x * kDim, table.UnsafeRow(x),
+                kDim * sizeof(float));
+  }
+  const std::string ref_path = TempPath("ref");
+  ASSERT_TRUE(SaveCheckpointRows(kRows, kDim, flat.data(), {}, ref_path).ok());
+  const std::string ref_bytes = ReadFileBytes(ref_path);
+
+  for (SnapshotQuantization q :
+       {SnapshotQuantization::kNone, SnapshotQuantization::kInt8,
+        SnapshotQuantization::kFp16}) {
+    const std::string dir = TempPath(ToString(q));
+    ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+    SnapshotStoreOptions opts;
+    opts.dir = dir;
+    opts.quantization = q;
+    SnapshotStore store(opts);
+    ASSERT_TRUE(store.Publish(table, {}).ok());
+    // The durable file is byte-identical to the seed fp32 format no
+    // matter how the in-memory snapshot is encoded.
+    EXPECT_EQ(ReadFileBytes(store.SnapshotPath(1)), ref_bytes)
+        << "quantization=" << ToString(q);
+    std::remove(store.SnapshotPath(1).c_str());
+    ::rmdir(dir.c_str());
+  }
+  std::remove(ref_path.c_str());
+}
+
+TEST(QuantizedSnapshotTest, PublishFromCheckpointInterop) {
+  constexpr int64_t kRows = 40;
+  constexpr int kDim = 8;
+  EmbeddingTable table(kRows, kDim, 0.0f, 1);
+  FillTableRandom(&table, 15);
+
+  const std::string dir = TempPath("interop");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  SnapshotStoreOptions opts;
+  opts.dir = dir;
+  opts.quantization = SnapshotQuantization::kInt8;
+  SnapshotStore store(opts);
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+  const std::string path = store.SnapshotPath(1);
+
+  // An int8 store restoring the file re-encodes deterministically: reads
+  // are bit-identical to the original publisher's.
+  SnapshotStore restored_q(opts);
+  ASSERT_TRUE(restored_q.PublishFromCheckpoint(path).ok());
+  float a[kDim], b[kDim];
+  for (int64_t x = 0; x < kRows; ++x) {
+    store.Acquire()->ReadRow(x, a);
+    restored_q.Acquire()->ReadRow(x, b);
+    EXPECT_EQ(std::memcmp(a, b, sizeof(a)), 0) << "row " << x;
+  }
+
+  // A fp32 store restoring the same file serves the exact training rows:
+  // quantizing the serving tier never degrades the durable copy.
+  SnapshotStore restored_exact;
+  ASSERT_TRUE(restored_exact.PublishFromCheckpoint(path).ok());
+  for (int64_t x = 0; x < kRows; ++x) {
+    restored_exact.Acquire()->ReadRow(x, a);
+    EXPECT_EQ(std::memcmp(a, table.UnsafeRow(x), sizeof(a)), 0);
+  }
+  std::remove(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+// The remote-fetch fabric charge shrinks with the encoding.
+TEST(QuantizedSnapshotTest, RemoteFetchChargesEncodedRowBytes) {
+  constexpr int64_t kRows = 6;
+  constexpr int kDim = 16;
+  EmbeddingTable table(kRows, kDim, 0.0f, 1);
+  FillTableRandom(&table, 16);
+  SnapshotStoreOptions opts;
+  opts.quantization = SnapshotQuantization::kInt8;
+  SnapshotStore store(opts);
+  ASSERT_TRUE(store.Publish(table, {}).ok());
+
+  Partition partition;
+  partition.num_parts = 2;
+  partition.embedding_owner = {0, 0, 0, 1, 1, 1};
+  partition.secondaries = {{}, {}};
+  const Topology topology = Topology::ClusterA(2);
+  Fabric fabric(topology);
+  LookupServiceOptions lopts;
+  lopts.request_bytes = 16;
+  LookupService service(&store, partition, &fabric, lopts);
+
+  float out[kDim];
+  ASSERT_TRUE(service.Lookup(0, 4, out).ok());  // remote: shard 1 owns 4
+  EXPECT_EQ(fabric.TotalBytes(TrafficClass::kLookup),
+            16u + (static_cast<uint64_t>(kDim) + 2));
+}
+
+// ---------------------------------------------------- quantized hammer
+
+// Seed hammer, int8 edition: readers continuously acquire and fully scan
+// while the publisher republishes. Every snapshot is a constant fill of
+// float(version), so any torn or mixed-version row shows up as either a
+// non-constant row or a value outside the quantization error bound.
+TEST(QuantizedSwapHammerTest, ConcurrentReadersAndQuantizedPublisher) {
+  constexpr int kReaders = 8;
+  constexpr int kReadsPerReader = 100;
+  constexpr int64_t kRows = 64;
+  constexpr int kDim = 8;
+
+  EmbeddingTable table(kRows, kDim, 0.0f, 1);
+  SnapshotStoreOptions opts;
+  opts.quantization = SnapshotQuantization::kInt8;
+  SnapshotStore store(opts);
+  std::atomic<bool> readers_done{false};
+  std::atomic<int64_t> inconsistencies{0};
+
+  std::thread publisher([&] {
+    uint64_t v = 0;
+    while (!readers_done.load(std::memory_order_acquire)) {
+      ++v;
+      for (int64_t x = 0; x < kRows; ++x) {
+        float* row = table.UnsafeMutableRow(x);
+        for (int d = 0; d < kDim; ++d) row[d] = static_cast<float>(v);
+      }
+      ASSERT_TRUE(store.Publish(table, {}).ok());
+    }
+  });
+
+  auto reader_main = [&] {
+    int completed = 0;
+    float row[kDim];
+    while (completed < kReadsPerReader) {
+      auto snap = store.Acquire();
+      if (snap == nullptr) continue;
+      const float expected = static_cast<float>(snap->meta().version);
+      const float bound = expected / 250.0f;  // int8 round-trip ceiling
+      for (int64_t x = 0; x < snap->rows(); ++x) {
+        snap->ReadRow(x, row);
+        for (int d = 0; d < kDim; ++d) {
+          if (row[d] != row[0]) inconsistencies.fetch_add(1);
+          if (std::fabs(row[d] - expected) > bound) {
+            inconsistencies.fetch_add(1);
+          }
+        }
+      }
+      ++completed;
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) readers.emplace_back(reader_main);
+  for (auto& t : readers) t.join();
+  readers_done.store(true, std::memory_order_release);
+  publisher.join();
+
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_GT(store.version(), 0u);
+}
+
+// ------------------------------------------------- admission control / QoS
+
+// A controllable resolve function: the first dispatch parks on `gate`
+// (holding the dispatcher inside Flush, outside the batcher lock) so the
+// test can build up a pending backlog with exact key counts.
+struct GatedService {
+  std::atomic<bool> gate_open{false};
+  std::atomic<int> calls{0};
+  std::mutex order_mu;
+  std::vector<int> shard_order;  // shard ids in dispatch order
+
+  RequestBatcher::LookupFn Fn() {
+    return [this](int shard, const FeatureId*, int64_t, float*) {
+      {
+        std::lock_guard<std::mutex> lock(order_mu);
+        shard_order.push_back(shard);
+      }
+      calls.fetch_add(1);
+      while (!gate_open.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      return Status::OK();
+    };
+  }
+};
+
+TEST(BatcherQosTest, AdmissionShedsPastBudgetAndBestEffortFirst) {
+  GatedService service;
+  BatcherOptions opts;
+  opts.max_batch_keys = 1;  // first request dispatches alone, immediately
+  opts.deadline = std::chrono::seconds(30);
+  opts.max_pending_keys = 4;
+  opts.best_effort_admit_fraction = 0.5;  // best-effort budget: 2 keys
+  RequestBatcher batcher(service.Fn(), opts);
+
+  const FeatureId keys[4] = {0, 1, 2, 3};
+  float out[4];
+
+  // A: dispatched immediately, parks in the service holding the flush.
+  std::thread a([&] {
+    float a_out[1];
+    EXPECT_TRUE(batcher.Lookup(0, keys, 1, a_out).ok());
+  });
+  while (service.calls.load() < 1) std::this_thread::yield();
+
+  // B: 4 gold keys fill the entire admission budget.
+  std::thread b([&] {
+    float b_out[4];
+    EXPECT_TRUE(batcher.Lookup(0, keys, 4, b_out).ok());
+  });
+  while (batcher.stats().requests < 2) std::this_thread::yield();
+
+  // Queue full: gold sheds at the hard budget, best-effort at its lower
+  // water mark — both fail fast (no blocking, we are on the main thread).
+  EXPECT_EQ(batcher.Lookup(0, keys, 1, out).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(batcher.Lookup(0, keys, 1, out, TenantClass::kBestEffort).code(),
+            StatusCode::kResourceExhausted);
+
+  service.gate_open.store(true, std::memory_order_release);
+  a.join();
+  b.join();
+
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.shed_gold, 1);
+  EXPECT_EQ(stats.shed_best_effort, 1);
+  EXPECT_EQ(stats.served_gold, 2);
+  EXPECT_EQ(stats.served_best_effort, 0);
+  EXPECT_EQ(stats.requests, 2);  // shed requests are not admitted
+}
+
+TEST(BatcherQosTest, BestEffortShedsWhileGoldStillAdmitted) {
+  GatedService service;
+  BatcherOptions opts;
+  opts.max_batch_keys = 1;
+  opts.deadline = std::chrono::seconds(30);
+  opts.max_pending_keys = 8;
+  opts.best_effort_admit_fraction = 0.25;  // best-effort budget: 2 keys
+  RequestBatcher batcher(service.Fn(), opts);
+
+  const FeatureId keys[4] = {0, 1, 2, 3};
+  std::thread a([&] {
+    float a_out[1];
+    EXPECT_TRUE(batcher.Lookup(0, keys, 1, a_out).ok());
+  });
+  while (service.calls.load() < 1) std::this_thread::yield();
+  std::thread b([&] {
+    float b_out[4];
+    EXPECT_TRUE(batcher.Lookup(0, keys, 4, b_out).ok());
+  });
+  while (batcher.stats().requests < 2) std::this_thread::yield();
+
+  // Backlog of 4: past the best-effort water mark, within the gold one.
+  float out[4];
+  EXPECT_EQ(batcher.Lookup(0, keys, 1, out, TenantClass::kBestEffort).code(),
+            StatusCode::kResourceExhausted);
+  std::thread c([&] {
+    float c_out[1];
+    EXPECT_TRUE(batcher.Lookup(0, keys, 1, c_out).ok());  // gold: admitted
+  });
+  while (batcher.stats().requests < 3) std::this_thread::yield();
+
+  service.gate_open.store(true, std::memory_order_release);
+  a.join();
+  b.join();
+  c.join();
+
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.shed_best_effort, 1);
+  EXPECT_EQ(stats.shed_gold, 0);
+  EXPECT_EQ(stats.served_gold, 3);
+}
+
+TEST(BatcherQosTest, WeightedDequeueServesGoldBeforeBestEffort) {
+  GatedService service;
+  BatcherOptions opts;
+  opts.max_batch_keys = 2;  // backlog drains two keys per dispatch
+  opts.deadline = std::chrono::seconds(30);
+  RequestBatcher batcher(service.Fn(), opts);
+
+  // Park the dispatcher on a first request (shard 9 marks it). Exactly
+  // max_batch_keys wide, so it flushes immediately as a full batch
+  // instead of waiting out the micro-batching window.
+  const FeatureId key = 0;
+  const FeatureId first_keys[2] = {0, 1};
+  std::thread first([&] {
+    float f_out[2];
+    EXPECT_TRUE(batcher.Lookup(9, first_keys, 2, f_out).ok());
+  });
+  while (service.calls.load() < 1) std::this_thread::yield();
+
+  // Queue best-effort before gold; the weighted dequeue must still serve
+  // the gold pair first. Shard ids encode the class for the recorder.
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.emplace_back([&] {
+      float o[1];
+      EXPECT_TRUE(
+          batcher.Lookup(0, &key, 1, o, TenantClass::kBestEffort).ok());
+    });
+  }
+  while (batcher.stats().requests < 3) std::this_thread::yield();
+  for (int i = 0; i < 2; ++i) {
+    clients.emplace_back([&] {
+      float o[1];
+      EXPECT_TRUE(batcher.Lookup(1, &key, 1, o, TenantClass::kGold).ok());
+    });
+  }
+  while (batcher.stats().requests < 5) std::this_thread::yield();
+
+  service.gate_open.store(true, std::memory_order_release);
+  first.join();
+  for (auto& t : clients) t.join();
+
+  std::lock_guard<std::mutex> lock(service.order_mu);
+  ASSERT_EQ(service.shard_order.size(), 5u);
+  EXPECT_EQ(service.shard_order[0], 9);  // the parked first request
+  EXPECT_EQ(service.shard_order[1], 1);  // gold pair drains first...
+  EXPECT_EQ(service.shard_order[2], 1);
+  EXPECT_EQ(service.shard_order[3], 0);  // ...then the best-effort pair
+  EXPECT_EQ(service.shard_order[4], 0);
+
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.served_gold, 3);
+  EXPECT_EQ(stats.served_best_effort, 2);
+  EXPECT_GE(stats.dispatches, 3);  // capped batches, not one mega-flush
+}
+
+TEST(BatcherQosTest, UnboundedByDefaultNeverSheds) {
+  GatedService service;
+  service.gate_open.store(true);  // no parking needed
+  RequestBatcher batcher(service.Fn());  // default options: no budget
+
+  const FeatureId key = 0;
+  float out[1];
+  for (int i = 0; i < 16; ++i) {
+    const TenantClass cls =
+        (i % 2 == 0) ? TenantClass::kGold : TenantClass::kBestEffort;
+    ASSERT_TRUE(batcher.Lookup(0, &key, 1, out, cls).ok());
+  }
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.shed_gold, 0);
+  EXPECT_EQ(stats.shed_best_effort, 0);
+  EXPECT_EQ(stats.served_gold + stats.served_best_effort, 16);
+}
+
+}  // namespace
+}  // namespace hetgmp

@@ -78,9 +78,11 @@ TEST(SnapshotStoreTest, PublishAndAcquire) {
   EXPECT_EQ(snap->meta().iterations, 77);
   EXPECT_EQ(snap->rows(), 10);
   EXPECT_EQ(snap->dim(), 4);
+  float row[4];
   for (int64_t x = 0; x < 10; ++x) {
+    snap->ReadRow(x, row);
     for (int d = 0; d < 4; ++d) {
-      EXPECT_FLOAT_EQ(snap->Row(x)[d], table.UnsafeRow(x)[d]);
+      EXPECT_FLOAT_EQ(row[d], table.UnsafeRow(x)[d]);
     }
   }
 }
@@ -99,10 +101,13 @@ TEST(SnapshotStoreTest, OldSnapshotSurvivesNewPublishes) {
 
   // The v1 handle still reads v1 data even though the double buffer has
   // cycled past it twice.
+  float row[2];
   EXPECT_EQ(v1->meta().version, 1u);
-  EXPECT_FLOAT_EQ(v1->Row(0)[0], 1.0f);
+  v1->ReadRow(0, row);
+  EXPECT_FLOAT_EQ(row[0], 1.0f);
   EXPECT_EQ(store.Acquire()->meta().version, 3u);
-  EXPECT_FLOAT_EQ(store.Acquire()->Row(0)[0], 3.0f);
+  store.Acquire()->ReadRow(0, row);
+  EXPECT_FLOAT_EQ(row[0], 3.0f);
 }
 
 TEST(SnapshotStoreTest, DurablePublishPrunesSupersededFiles) {
@@ -143,8 +148,10 @@ TEST(SnapshotStoreTest, PublishFromCheckpointRestoresRows) {
   ASSERT_NE(snap, nullptr);
   EXPECT_EQ(snap->meta().version, 1u);
   EXPECT_EQ(snap->rows(), 8);
+  float row[2];
   for (int64_t x = 0; x < 8; ++x) {
-    EXPECT_FLOAT_EQ(snap->Row(x)[1], static_cast<float>(x) * 10.0f + 1.0f);
+    snap->ReadRow(x, row);
+    EXPECT_FLOAT_EQ(row[1], static_cast<float>(x) * 10.0f + 1.0f);
   }
   std::remove(path.c_str());
 }
@@ -187,8 +194,9 @@ TEST(SnapshotSwapHammerTest, ConcurrentReadersAndPublisher) {
       if (v < last_version) inconsistencies.fetch_add(1);
       last_version = v;
       const float expected = static_cast<float>(v);
+      float row[kDim];
       for (int64_t x = 0; x < snap->rows(); ++x) {
-        const float* row = snap->Row(x);
+        snap->ReadRow(x, row);
         for (int d = 0; d < snap->dim(); ++d) {
           if (row[d] != expected) inconsistencies.fetch_add(1);
         }
@@ -530,9 +538,11 @@ TEST(EnginePublishHookTest, PublishesOnCadenceAndAtFinalRound) {
   auto snap = store.Acquire();
   ASSERT_NE(snap, nullptr);
   ASSERT_EQ(snap->rows(), engine.table().num_embeddings());
+  std::vector<float> row(snap->dim());
   for (int64_t x = 0; x < snap->rows(); x += 17) {
+    snap->ReadRow(x, row.data());
     for (int d = 0; d < snap->dim(); ++d) {
-      EXPECT_FLOAT_EQ(snap->Row(x)[d], engine.table().UnsafeRow(x)[d]);
+      EXPECT_FLOAT_EQ(row[d], engine.table().UnsafeRow(x)[d]);
     }
   }
 
@@ -540,7 +550,8 @@ TEST(EnginePublishHookTest, PublishesOnCadenceAndAtFinalRound) {
   LookupService service(&store, engine.partition(), engine.mutable_fabric());
   std::vector<float> out(8);
   ASSERT_TRUE(service.Lookup(0, 5, out.data()).ok());
-  EXPECT_FLOAT_EQ(out[0], snap->Row(5)[0]);
+  snap->ReadRow(5, row.data());
+  EXPECT_FLOAT_EQ(out[0], row[0]);
 }
 
 TEST(EnginePublishHookTest, HookFailuresAreCountedNotFatal) {

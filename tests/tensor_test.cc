@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 
 #include "common/random.h"
 #include "tensor/ops.h"
@@ -250,6 +253,130 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(16, 1, 16), std::make_tuple(8, 8, 8),
                       std::make_tuple(33, 17, 5),
                       std::make_tuple(2, 64, 128)));
+
+// --------------------------------------------------- quantized kernels
+
+TEST(Fp16Test, KnownAnswers) {
+  // IEEE 754 binary16 reference pairs (value, bits).
+  const struct {
+    float f;
+    uint16_t h;
+  } kCases[] = {
+      {0.0f, 0x0000},      {-0.0f, 0x8000},     {1.0f, 0x3c00},
+      {-1.0f, 0xbc00},     {2.0f, 0x4000},      {0.5f, 0x3800},
+      {65504.0f, 0x7bff},  // largest normal half
+      {6.103515625e-05f, 0x0400},   // smallest normal half (2^-14)
+      {5.960464477539063e-08f, 0x0001},  // smallest subnormal (2^-24)
+      {-0.333251953125f, 0xb555},  // nearest half to -1/3
+  };
+  for (const auto& c : kCases) {
+    EXPECT_EQ(Fp16FromFloat(c.f), c.h) << c.f;
+    EXPECT_EQ(Fp16ToFloat(c.h), c.f) << std::hex << c.h;
+  }
+  // Overflow saturates to inf; inf and NaN survive the round trip.
+  EXPECT_EQ(Fp16FromFloat(1e6f), 0x7c00);
+  EXPECT_EQ(Fp16FromFloat(-1e6f), 0xfc00);
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Fp16FromFloat(inf), 0x7c00);
+  EXPECT_EQ(Fp16ToFloat(0x7c00), inf);
+  EXPECT_EQ(Fp16ToFloat(0xfc00), -inf);
+  EXPECT_TRUE(std::isnan(Fp16ToFloat(Fp16FromFloat(
+      std::numeric_limits<float>::quiet_NaN()))));
+  // Values below half the smallest subnormal flush to signed zero.
+  EXPECT_EQ(Fp16FromFloat(1e-9f), 0x0000);
+  EXPECT_EQ(Fp16FromFloat(-1e-9f), 0x8000);
+}
+
+TEST(Fp16Test, RoundTripIsExactForEveryHalf) {
+  // float -> half -> float must be the identity on all 65536 bit patterns
+  // (every binary16 value is exactly representable as a float).
+  for (uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    const uint16_t h = static_cast<uint16_t>(bits);
+    const float f = Fp16ToFloat(h);
+    if (std::isnan(f)) {
+      EXPECT_TRUE(std::isnan(Fp16ToFloat(Fp16FromFloat(f))));
+      continue;
+    }
+    EXPECT_EQ(Fp16FromFloat(f), h) << std::hex << h;
+  }
+}
+
+TEST(Fp16Test, RoundsToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half
+  // (1 + 2^-10); ties go to the even mantissa, i.e. down to 1.0.
+  EXPECT_EQ(Fp16FromFloat(1.0f + 9.765625e-04f / 2.0f), 0x3c00);
+  // Just above the tie rounds up.
+  EXPECT_EQ(Fp16FromFloat(1.0f + 9.765625e-04f / 2.0f + 1e-7f), 0x3c01);
+}
+
+TEST(QuantizeRowTest, Int8RoundTripBoundAndDeterminism) {
+  constexpr int64_t kN = 37;  // odd length exercises the scalar tail
+  float src[kN];
+  for (int64_t i = 0; i < kN; ++i) {
+    src[i] = std::sin(static_cast<float>(i) * 0.7f) * 3.5f;
+  }
+  int8_t q[kN];
+  const uint16_t scale_bits = QuantizeRowInt8(src, kN, q);
+  const float scale = Fp16ToFloat(scale_bits);
+  float max_abs = 0.0f;
+  for (float v : src) max_abs = std::max(max_abs, std::fabs(v));
+  // The scale always covers the row: no code may clamp.
+  EXPECT_GE(scale * 127.0f, max_abs);
+  float out[kN];
+  DequantizeRowInt8(q, scale, out, kN);
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_LE(std::fabs(out[i] - src[i]), 0.5f * scale + 1e-7f) << i;
+  }
+  // Same input, same codes — bit-stable.
+  int8_t q2[kN];
+  EXPECT_EQ(QuantizeRowInt8(src, kN, q2), scale_bits);
+  EXPECT_EQ(std::memcmp(q, q2, sizeof(q)), 0);
+}
+
+TEST(QuantizeRowTest, Int8ZeroAndTinyRows) {
+  float zeros[8] = {0};
+  int8_t q[8];
+  EXPECT_EQ(QuantizeRowInt8(zeros, 8, q), 0);
+  float out[8];
+  DequantizeRowInt8(q, Fp16ToFloat(0), out, 8);
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+  // A row far below fp16's subnormal floor still gets a non-zero scale
+  // (no division blow-ups, codes all zero-ish but finite).
+  float tiny[8];
+  for (int i = 0; i < 8; ++i) tiny[i] = 1e-30f;
+  const uint16_t s = QuantizeRowInt8(tiny, 8, q);
+  EXPECT_GT(Fp16ToFloat(s), 0.0f);
+  DequantizeRowInt8(q, Fp16ToFloat(s), out, 8);
+  for (float v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(QuantizeRowTest, VectorAndScalarPathsAgreeBitForBit) {
+  // n = 40 runs two full 16-lane tiles plus an 8-element scalar tail;
+  // re-decoding the same data one element at a time (pure scalar path)
+  // must agree exactly, which is what HETGMP_BIT_STABLE promises.
+  constexpr int64_t kN = 40;
+  float src[kN];
+  for (int64_t i = 0; i < kN; ++i) {
+    src[i] = std::cos(static_cast<float>(i) * 1.3f) * 0.02f;
+  }
+  int8_t q[kN];
+  const float scale = Fp16ToFloat(QuantizeRowInt8(src, kN, q));
+  float vec_out[kN];
+  DequantizeRowInt8(q, scale, vec_out, kN);
+  for (int64_t i = 0; i < kN; ++i) {
+    float one;
+    DequantizeRowInt8(q + i, scale, &one, 1);  // n=1 is always scalar
+    EXPECT_EQ(vec_out[i], one) << i;
+  }
+
+  uint16_t h[kN];
+  QuantizeRowFp16(src, kN, h);
+  float hvec[kN];
+  DequantizeRowFp16(h, hvec, kN);
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hvec[i], Fp16ToFloat(h[i])) << i;
+  }
+}
 
 }  // namespace
 }  // namespace hetgmp
