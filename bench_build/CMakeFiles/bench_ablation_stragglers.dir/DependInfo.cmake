@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/src/theory/CMakeFiles/hetgmp_theory.dir/DependInfo.cmake"
   "/root/repo/src/models/CMakeFiles/hetgmp_models.dir/DependInfo.cmake"
   "/root/repo/src/metrics/CMakeFiles/hetgmp_metrics.dir/DependInfo.cmake"
+  "/root/repo/src/store/CMakeFiles/hetgmp_store.dir/DependInfo.cmake"
   "/root/repo/src/embed/CMakeFiles/hetgmp_embed.dir/DependInfo.cmake"
   "/root/repo/src/sync/CMakeFiles/hetgmp_sync.dir/DependInfo.cmake"
   "/root/repo/src/comm/CMakeFiles/hetgmp_comm.dir/DependInfo.cmake"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_comm_transport"
+  "../bench/bench_comm_transport.pdb"
+  "CMakeFiles/bench_comm_transport.dir/bench_comm_transport.cc.o"
+  "CMakeFiles/bench_comm_transport.dir/bench_comm_transport.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

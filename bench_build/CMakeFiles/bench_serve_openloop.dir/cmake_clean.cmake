@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_serve_openloop"
+  "../bench/bench_serve_openloop.pdb"
+  "CMakeFiles/bench_serve_openloop.dir/bench_serve_openloop.cc.o"
+  "CMakeFiles/bench_serve_openloop.dir/bench_serve_openloop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve_openloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_store_tiering"
+  "../bench/bench_store_tiering.pdb"
+  "CMakeFiles/bench_store_tiering.dir/bench_store_tiering.cc.o"
+  "CMakeFiles/bench_store_tiering.dir/bench_store_tiering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_store_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_train_multiproc"
+  "../bench/bench_train_multiproc.pdb"
+  "CMakeFiles/bench_train_multiproc.dir/bench_train_multiproc.cc.o"
+  "CMakeFiles/bench_train_multiproc.dir/bench_train_multiproc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_train_multiproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,12 +10,18 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/comm/allreduce.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/allreduce.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/allreduce.cc.o.d"
   "/root/repo/src/comm/fabric.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/fabric.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/fabric.cc.o.d"
+  "/root/repo/src/comm/fault_transport.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/fault_transport.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/fault_transport.cc.o.d"
+  "/root/repo/src/comm/protocol.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/protocol.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/protocol.cc.o.d"
+  "/root/repo/src/comm/socket_transport.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/socket_transport.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/socket_transport.cc.o.d"
   "/root/repo/src/comm/topology.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/topology.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/topology.cc.o.d"
+  "/root/repo/src/comm/transport.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/transport.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/transport.cc.o.d"
+  "/root/repo/src/comm/wire.cc" "src/comm/CMakeFiles/hetgmp_comm.dir/wire.cc.o" "gcc" "src/comm/CMakeFiles/hetgmp_comm.dir/wire.cc.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/src/tensor/CMakeFiles/hetgmp_tensor.dir/DependInfo.cmake"
+  "/root/repo/src/data/CMakeFiles/hetgmp_data.dir/DependInfo.cmake"
   "/root/repo/src/common/CMakeFiles/hetgmp_common.dir/DependInfo.cmake"
   )
 

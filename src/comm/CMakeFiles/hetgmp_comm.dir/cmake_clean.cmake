@@ -3,8 +3,18 @@ file(REMOVE_RECURSE
   "CMakeFiles/hetgmp_comm.dir/allreduce.cc.o.d"
   "CMakeFiles/hetgmp_comm.dir/fabric.cc.o"
   "CMakeFiles/hetgmp_comm.dir/fabric.cc.o.d"
+  "CMakeFiles/hetgmp_comm.dir/fault_transport.cc.o"
+  "CMakeFiles/hetgmp_comm.dir/fault_transport.cc.o.d"
+  "CMakeFiles/hetgmp_comm.dir/protocol.cc.o"
+  "CMakeFiles/hetgmp_comm.dir/protocol.cc.o.d"
+  "CMakeFiles/hetgmp_comm.dir/socket_transport.cc.o"
+  "CMakeFiles/hetgmp_comm.dir/socket_transport.cc.o.d"
   "CMakeFiles/hetgmp_comm.dir/topology.cc.o"
   "CMakeFiles/hetgmp_comm.dir/topology.cc.o.d"
+  "CMakeFiles/hetgmp_comm.dir/transport.cc.o"
+  "CMakeFiles/hetgmp_comm.dir/transport.cc.o.d"
+  "CMakeFiles/hetgmp_comm.dir/wire.cc.o"
+  "CMakeFiles/hetgmp_comm.dir/wire.cc.o.d"
   "libhetgmp_comm.a"
   "libhetgmp_comm.pdb"
 )

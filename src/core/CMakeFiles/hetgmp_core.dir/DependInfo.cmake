@@ -10,12 +10,14 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/config.cc" "src/core/CMakeFiles/hetgmp_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/hetgmp_core.dir/config.cc.o.d"
   "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/hetgmp_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/hetgmp_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/engine_wire.cc" "src/core/CMakeFiles/hetgmp_core.dir/engine_wire.cc.o" "gcc" "src/core/CMakeFiles/hetgmp_core.dir/engine_wire.cc.o.d"
   "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/hetgmp_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/hetgmp_core.dir/runner.cc.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/src/models/CMakeFiles/hetgmp_models.dir/DependInfo.cmake"
+  "/root/repo/src/store/CMakeFiles/hetgmp_store.dir/DependInfo.cmake"
   "/root/repo/src/embed/CMakeFiles/hetgmp_embed.dir/DependInfo.cmake"
   "/root/repo/src/partition/CMakeFiles/hetgmp_partition.dir/DependInfo.cmake"
   "/root/repo/src/comm/CMakeFiles/hetgmp_comm.dir/DependInfo.cmake"

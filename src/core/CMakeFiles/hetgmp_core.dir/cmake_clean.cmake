@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/hetgmp_core.dir/config.cc.o.d"
   "CMakeFiles/hetgmp_core.dir/engine.cc.o"
   "CMakeFiles/hetgmp_core.dir/engine.cc.o.d"
+  "CMakeFiles/hetgmp_core.dir/engine_wire.cc.o"
+  "CMakeFiles/hetgmp_core.dir/engine_wire.cc.o.d"
   "CMakeFiles/hetgmp_core.dir/runner.cc.o"
   "CMakeFiles/hetgmp_core.dir/runner.cc.o.d"
   "libhetgmp_core.a"

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/src/comm/CMakeFiles/hetgmp_comm.dir/DependInfo.cmake"
   "/root/repo/src/tensor/CMakeFiles/hetgmp_tensor.dir/DependInfo.cmake"
+  "/root/repo/src/data/CMakeFiles/hetgmp_data.dir/DependInfo.cmake"
   "/root/repo/src/common/CMakeFiles/hetgmp_common.dir/DependInfo.cmake"
   )
 

@@ -19,10 +19,10 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/src/comm/CMakeFiles/hetgmp_comm.dir/DependInfo.cmake"
   "/root/repo/src/partition/CMakeFiles/hetgmp_partition.dir/DependInfo.cmake"
   "/root/repo/src/graph/CMakeFiles/hetgmp_graph.dir/DependInfo.cmake"
-  "/root/repo/src/data/CMakeFiles/hetgmp_data.dir/DependInfo.cmake"
   "/root/repo/src/nn/CMakeFiles/hetgmp_nn.dir/DependInfo.cmake"
   "/root/repo/src/sync/CMakeFiles/hetgmp_sync.dir/DependInfo.cmake"
   "/root/repo/src/tensor/CMakeFiles/hetgmp_tensor.dir/DependInfo.cmake"
+  "/root/repo/src/data/CMakeFiles/hetgmp_data.dir/DependInfo.cmake"
   "/root/repo/src/common/CMakeFiles/hetgmp_common.dir/DependInfo.cmake"
   )
 

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_store.dir/cold_tier.cc.o"
+  "CMakeFiles/hetgmp_store.dir/cold_tier.cc.o.d"
+  "CMakeFiles/hetgmp_store.dir/prefetch.cc.o"
+  "CMakeFiles/hetgmp_store.dir/prefetch.cc.o.d"
+  "CMakeFiles/hetgmp_store.dir/tiered_store.cc.o"
+  "CMakeFiles/hetgmp_store.dir/tiered_store.cc.o.d"
+  "libhetgmp_store.a"
+  "libhetgmp_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/comm_fault_test.cc" "tests/CMakeFiles/comm_fault_test.dir/comm_fault_test.cc.o" "gcc" "tests/CMakeFiles/comm_fault_test.dir/comm_fault_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/serve/CMakeFiles/hetgmp_serve.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/hetgmp_core.dir/DependInfo.cmake"
+  "/root/repo/src/theory/CMakeFiles/hetgmp_theory.dir/DependInfo.cmake"
+  "/root/repo/src/models/CMakeFiles/hetgmp_models.dir/DependInfo.cmake"
+  "/root/repo/src/metrics/CMakeFiles/hetgmp_metrics.dir/DependInfo.cmake"
+  "/root/repo/src/store/CMakeFiles/hetgmp_store.dir/DependInfo.cmake"
+  "/root/repo/src/embed/CMakeFiles/hetgmp_embed.dir/DependInfo.cmake"
+  "/root/repo/src/sync/CMakeFiles/hetgmp_sync.dir/DependInfo.cmake"
+  "/root/repo/src/comm/CMakeFiles/hetgmp_comm.dir/DependInfo.cmake"
+  "/root/repo/src/partition/CMakeFiles/hetgmp_partition.dir/DependInfo.cmake"
+  "/root/repo/src/graph/CMakeFiles/hetgmp_graph.dir/DependInfo.cmake"
+  "/root/repo/src/data/CMakeFiles/hetgmp_data.dir/DependInfo.cmake"
+  "/root/repo/src/nn/CMakeFiles/hetgmp_nn.dir/DependInfo.cmake"
+  "/root/repo/src/tensor/CMakeFiles/hetgmp_tensor.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/hetgmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

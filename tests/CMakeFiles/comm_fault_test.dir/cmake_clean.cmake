@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_fault_test.dir/comm_fault_test.cc.o"
+  "CMakeFiles/comm_fault_test.dir/comm_fault_test.cc.o.d"
+  "comm_fault_test"
+  "comm_fault_test.pdb"
+  "comm_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_transport_test.dir/comm_transport_test.cc.o"
+  "CMakeFiles/comm_transport_test.dir/comm_transport_test.cc.o.d"
+  "comm_transport_test"
+  "comm_transport_test.pdb"
+  "comm_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

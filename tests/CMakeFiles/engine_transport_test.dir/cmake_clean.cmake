@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_transport_test.dir/engine_transport_test.cc.o"
+  "CMakeFiles/engine_transport_test.dir/engine_transport_test.cc.o.d"
+  "engine_transport_test"
+  "engine_transport_test.pdb"
+  "engine_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_quant_test.dir/serve_quant_test.cc.o"
+  "CMakeFiles/serve_quant_test.dir/serve_quant_test.cc.o.d"
+  "serve_quant_test"
+  "serve_quant_test.pdb"
+  "serve_quant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

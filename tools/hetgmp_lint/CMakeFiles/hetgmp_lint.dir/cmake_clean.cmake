@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_lint.dir/main.cc.o"
+  "CMakeFiles/hetgmp_lint.dir/main.cc.o.d"
+  "hetgmp_lint"
+  "hetgmp_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

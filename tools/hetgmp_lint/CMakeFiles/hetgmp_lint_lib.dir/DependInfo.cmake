@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/hetgmp_lint/driver.cc" "tools/hetgmp_lint/CMakeFiles/hetgmp_lint_lib.dir/driver.cc.o" "gcc" "tools/hetgmp_lint/CMakeFiles/hetgmp_lint_lib.dir/driver.cc.o.d"
+  "/root/repo/tools/hetgmp_lint/lexer.cc" "tools/hetgmp_lint/CMakeFiles/hetgmp_lint_lib.dir/lexer.cc.o" "gcc" "tools/hetgmp_lint/CMakeFiles/hetgmp_lint_lib.dir/lexer.cc.o.d"
+  "/root/repo/tools/hetgmp_lint/model.cc" "tools/hetgmp_lint/CMakeFiles/hetgmp_lint_lib.dir/model.cc.o" "gcc" "tools/hetgmp_lint/CMakeFiles/hetgmp_lint_lib.dir/model.cc.o.d"
+  "/root/repo/tools/hetgmp_lint/rules.cc" "tools/hetgmp_lint/CMakeFiles/hetgmp_lint_lib.dir/rules.cc.o" "gcc" "tools/hetgmp_lint/CMakeFiles/hetgmp_lint_lib.dir/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

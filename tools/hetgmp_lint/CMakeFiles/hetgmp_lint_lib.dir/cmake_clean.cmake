@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgmp_lint_lib.dir/driver.cc.o"
+  "CMakeFiles/hetgmp_lint_lib.dir/driver.cc.o.d"
+  "CMakeFiles/hetgmp_lint_lib.dir/lexer.cc.o"
+  "CMakeFiles/hetgmp_lint_lib.dir/lexer.cc.o.d"
+  "CMakeFiles/hetgmp_lint_lib.dir/model.cc.o"
+  "CMakeFiles/hetgmp_lint_lib.dir/model.cc.o.d"
+  "CMakeFiles/hetgmp_lint_lib.dir/rules.cc.o"
+  "CMakeFiles/hetgmp_lint_lib.dir/rules.cc.o.d"
+  "libhetgmp_lint_lib.a"
+  "libhetgmp_lint_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgmp_lint_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

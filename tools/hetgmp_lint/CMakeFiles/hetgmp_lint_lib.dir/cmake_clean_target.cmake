@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhetgmp_lint_lib.a"
+)

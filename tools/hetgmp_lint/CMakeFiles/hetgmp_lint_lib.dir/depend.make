@@ -1,0 +1,2 @@
+# Empty dependencies file for hetgmp_lint_lib.
+# This may be replaced when dependencies are built.
